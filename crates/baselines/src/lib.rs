@@ -1,0 +1,25 @@
+//! Reference optimizers that IAMA is evaluated against (Section 6.1).
+//!
+//! * [`one_shot`] — the non-iterative approximation scheme of prior work
+//!   (Trummer & Koch, SIGMOD 2014): a single dynamic-programming pass that
+//!   prunes with the *target* precision directly and keeps result sets
+//!   minimal. Produces the finest frontier immediately, but nothing before.
+//! * [`memoryless_series`] — the iterative/anytime baseline: the same DP
+//!   run from scratch once per resolution level, producing the same
+//!   sequence of result plan sets as IAMA but redoing all work each time.
+//! * [`exhaustive_pareto`] — the full-Pareto DP in the style of Ganguly et
+//!   al. (`alpha = 1`): exact Pareto sets, exponential blow-up in practice.
+//!   Used as ground truth by the correctness tests and quality benchmarks.
+//! * [`single_objective_dp`] — classical Selinger-style DP over a scalar
+//!   weighted cost; the amortized-complexity comparison point of
+//!   Theorem 5 ("averaged time complexity over many iterations equals the
+//!   time complexity of single-objective query optimization with bushy
+//!   plans").
+
+#![warn(missing_docs)]
+
+pub mod dp;
+pub mod scalar;
+
+pub use dp::{approx_dp, exhaustive_pareto, memoryless_series, one_shot, DpOutcome};
+pub use scalar::{single_objective_dp, ScalarOutcome};

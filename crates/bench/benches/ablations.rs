@@ -1,0 +1,62 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//! Δ-set filtering in `Fresh`, eager candidate re-indexing, and shadowing
+//! of dominated result plans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_bench::{bench_model, iama_series_with_config, ExperimentSetup};
+use moqo_core::IamaConfig;
+use moqo_tpch::query_block;
+
+const SF: f64 = 0.1;
+const LEVELS: usize = 8;
+
+fn bench_ablations(c: &mut Criterion) {
+    let model = bench_model();
+    let schedule = ExperimentSetup::fig4().schedule(LEVELS);
+    let spec = query_block("q05", SF).expect("q05");
+
+    let variants: Vec<(&str, IamaConfig)> = vec![
+        ("default", IamaConfig::default()),
+        (
+            "no_delta",
+            IamaConfig {
+                use_delta: false,
+                ..IamaConfig::default()
+            },
+        ),
+        (
+            "no_eager_requeue",
+            IamaConfig {
+                eager_level_skip: false,
+                ..IamaConfig::default()
+            },
+        ),
+        (
+            "no_shadowing",
+            IamaConfig {
+                shadow_dominated: false,
+                ..IamaConfig::default()
+            },
+        ),
+        (
+            "paper_exact",
+            IamaConfig {
+                eager_level_skip: false,
+                shadow_dominated: false,
+                ..IamaConfig::default()
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::new("series", name), &config, |b, config| {
+            b.iter(|| iama_series_with_config(&spec, &model, &schedule, config.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 2 regression benches.
+//!
+//! * 2(a) anytime vs one-shot: time to the *first* visualized result —
+//!   IAMA's coarse first invocation against the one-shot's only result.
+//! * 2(b) incremental vs memoryless: steady-state invocation time once
+//!   everything has been generated (IAMA's amortized regime, Theorem 5)
+//!   versus a from-scratch re-run at the finest precision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moqo_baselines::{approx_dp, one_shot};
+use moqo_bench::{bench_model, ExperimentSetup};
+use moqo_core::IamaOptimizer;
+use moqo_cost::Bounds;
+use moqo_costmodel::CostModel;
+use moqo_tpch::query_block;
+
+const SF: f64 = 0.1;
+const LEVELS: usize = 10;
+
+fn bench_fig2(c: &mut Criterion) {
+    let model = bench_model();
+    let setup = ExperimentSetup::fig4();
+    let schedule = setup.schedule(LEVELS);
+    let bounds = Bounds::unbounded(model.dim());
+    let spec = query_block("q05", SF).expect("q05");
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+
+    // 2(a): time to first result.
+    group.bench_function("anytime_first_result", |b| {
+        b.iter_with_setup(
+            || IamaOptimizer::new(&spec, &model, schedule.clone()),
+            |mut opt| opt.optimize(&bounds, 0),
+        )
+    });
+    group.bench_function("oneshot_first_result", |b| {
+        b.iter(|| one_shot(&spec, &model, &schedule, &bounds))
+    });
+
+    // 2(b): per-invocation cost after convergence.
+    group.bench_function("incremental_steady_state", |b| {
+        b.iter_with_setup(
+            || {
+                let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+                for r in 0..=schedule.r_max() {
+                    opt.optimize(&bounds, r);
+                }
+                opt
+            },
+            |mut opt| opt.optimize(&bounds, schedule.r_max()),
+        )
+    });
+    group.bench_function("memoryless_steady_state", |b| {
+        b.iter(|| approx_dp(&spec, &model, schedule.target_factor(), &bounds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

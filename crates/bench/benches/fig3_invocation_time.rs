@@ -1,0 +1,47 @@
+//! Figure 3 regression bench: per-invocation time of IAMA vs the
+//! memoryless and one-shot baselines at moderate target precision
+//! (`alpha_T = 1.01`, `alpha_S = 0.05`), on representative TPC-H blocks
+//! of each table count. The `repro fig3` binary prints the full table;
+//! this bench tracks the same code paths in criterion for regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_baselines::{memoryless_series, one_shot};
+use moqo_bench::{bench_model, iama_series, ExperimentSetup};
+use moqo_cost::Bounds;
+use moqo_costmodel::CostModel;
+use moqo_tpch::query_block;
+
+/// One representative block per table count (kept small via sf = 0.1 so a
+/// bench run stays in seconds).
+const BLOCKS: &[(&str, usize)] = &[("q12", 2), ("q03", 3), ("q10", 4), ("q02", 5), ("q05", 6)];
+const SF: f64 = 0.1;
+const LEVELS: usize = 5;
+
+fn bench_fig3(c: &mut Criterion) {
+    let model = bench_model();
+    let setup = ExperimentSetup::fig3();
+    let schedule = setup.schedule(LEVELS);
+    let bounds = Bounds::unbounded(model.dim());
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for &(name, tables) in BLOCKS {
+        let spec = query_block(name, SF).expect("block");
+        group.bench_with_input(
+            BenchmarkId::new("iama_series", tables),
+            &spec,
+            |b, spec| b.iter(|| iama_series(spec, &model, &schedule)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("memoryless_series", tables),
+            &spec,
+            |b, spec| b.iter(|| memoryless_series(spec, &model, &schedule, &bounds)),
+        );
+        group.bench_with_input(BenchmarkId::new("one_shot", tables), &spec, |b, spec| {
+            b.iter(|| one_shot(spec, &model, &schedule, &bounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 5 regression bench: the *worst-case single invocation*.
+//!
+//! Criterion times closures, so we isolate the invocation that dominates
+//! each algorithm's maximum: for the memoryless baseline that is its
+//! final (finest) from-scratch run — "the invocation with maximal
+//! execution time is usually the last one" — which equals the one-shot
+//! run; for IAMA it is the most expensive single incremental step, which
+//! we time by running the full series and benching the dominant level on
+//! a pre-warmed optimizer clone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_baselines::one_shot;
+use moqo_bench::{bench_model, iama_series, ExperimentSetup};
+use moqo_core::IamaOptimizer;
+use moqo_cost::Bounds;
+use moqo_costmodel::CostModel;
+use moqo_tpch::query_block;
+
+const BLOCKS: &[(&str, usize)] = &[("q03", 3), ("q05", 6)];
+const SF: f64 = 0.1;
+const LEVELS: usize = 10;
+
+fn bench_fig5(c: &mut Criterion) {
+    let model = bench_model();
+    let setup = ExperimentSetup::fig4();
+    let schedule = setup.schedule(LEVELS);
+    let bounds = Bounds::unbounded(model.dim());
+    let mut group = c.benchmark_group("fig5_max");
+    group.sample_size(10);
+    for &(name, tables) in BLOCKS {
+        let spec = query_block(name, SF).expect("block");
+        // Find IAMA's worst level once.
+        let reports = iama_series(&spec, &model, &schedule);
+        let worst_level = reports
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.seconds().partial_cmp(&b.1.seconds()).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        group.bench_with_input(
+            BenchmarkId::new("iama_worst_invocation", tables),
+            &spec,
+            |b, spec| {
+                b.iter_with_setup(
+                    || {
+                        // Warm an optimizer up to (but excluding) the worst level.
+                        let mut opt = IamaOptimizer::new(spec, &model, schedule.clone());
+                        for r in 0..worst_level {
+                            opt.optimize(&bounds, r);
+                        }
+                        opt
+                    },
+                    |mut opt| opt.optimize(&bounds, worst_level),
+                )
+            },
+        );
+        // Memoryless max == its finest from-scratch run == one-shot.
+        group.bench_with_input(
+            BenchmarkId::new("memoryless_worst_invocation", tables),
+            &spec,
+            |b, spec| b.iter(|| one_shot(spec, &model, &schedule, &bounds)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Microbenchmarks of the (cost, resolution) plan indexes: the
+//! logarithmic cell grid (the paper's recommended Bentley-Friedman-style
+//! structure) versus the flat per-level vectors, on insert, narrow range
+//! queries (the pruning pattern), and wide range queries (the collect
+//! pattern).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_cost::{Bounds, CostVector};
+use moqo_index::{CellGrid, Entry, IndexKind, KdTree, LinearIndex, PlanIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 20_000;
+const DIM: usize = 3;
+
+fn entries(seed: u64) -> Vec<Entry<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N as u32)
+        .map(|i| {
+            // Log-uniform costs across five orders of magnitude, like real
+            // plan costs.
+            let cost = CostVector::from_fn(DIM, |_| 10f64.powf(rng.gen_range(0.0..5.0)));
+            Entry::new(i, cost, rng.gen_range(0..8), 0)
+        })
+        .collect()
+}
+
+fn build(kind: IndexKind, entries: &[Entry<u32>]) -> Box<dyn PlanIndex<u32>> {
+    match kind {
+        IndexKind::Linear => {
+            let mut idx = LinearIndex::new();
+            for e in entries {
+                idx.insert(*e);
+            }
+            Box::new(idx)
+        }
+        IndexKind::CellGrid => {
+            let mut idx = CellGrid::new(DIM);
+            for e in entries {
+                idx.insert(*e);
+            }
+            Box::new(idx)
+        }
+        IndexKind::KdTree => {
+            let mut idx = KdTree::new(DIM);
+            for e in entries {
+                idx.insert(*e);
+            }
+            Box::new(idx)
+        }
+    }
+}
+
+fn bench_index(c: &mut Criterion) {
+    let data = entries(7);
+    let mut group = c.benchmark_group("index");
+    for kind in [IndexKind::CellGrid, IndexKind::Linear, IndexKind::KdTree] {
+        let label = format!("{kind:?}");
+        group.bench_with_input(BenchmarkId::new("insert_20k", &label), &kind, |b, &kind| {
+            b.iter(|| build(kind, &data))
+        });
+        let idx = build(kind, &data);
+        // Narrow query: the pruning pattern — a small box around one point.
+        let narrow = Bounds::from_slice(&[50.0, 50.0, 50.0]);
+        group.bench_with_input(BenchmarkId::new("narrow_query", &label), &kind, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                idx.scan(&narrow, 7, &mut |_| {
+                    n += 1;
+                    false
+                });
+                n
+            })
+        });
+        // Wide query: the collect pattern — most of the space.
+        let wide = Bounds::from_slice(&[1e5, 1e5, 1e5]);
+        group.bench_with_input(BenchmarkId::new("wide_query", &label), &kind, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                idx.scan(&wide, 7, &mut |_| {
+                    n += 1;
+                    false
+                });
+                n
+            })
+        });
+        // Level-restricted query (anytime pattern): only levels <= 2.
+        group.bench_with_input(BenchmarkId::new("level_query", &label), &kind, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                idx.scan(&wide, 2, &mut |_| {
+                    n += 1;
+                    false
+                });
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

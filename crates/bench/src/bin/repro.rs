@@ -1,0 +1,506 @@
+//! Regenerates the paper's figures as terminal tables and plots.
+//!
+//! ```text
+//! cargo run --release -p moqo-bench --bin repro -- <experiment> [--sf <f>] [--fast]
+//! ```
+//!
+//! Experiments: `fig1`, `fig2a`, `fig2b`, `fig3`, `fig4`, `fig5`,
+//! `lemmas`, `quality`, `ablation-index`, `ablation-delta`,
+//! `ablation-shadow`, `bounds`, `space`, `amortized`, `schedules`, or `all`. `--fast` shrinks the
+//! scale factor and level counts for a quick smoke run.
+
+use moqo_baselines::one_shot;
+use moqo_bench::*;
+use moqo_core::{IamaConfig, IamaOptimizer, Session, StepOutcome, UserEvent};
+use moqo_cost::{Bounds, ResolutionSchedule};
+use moqo_costmodel::{CostModel, StandardCostModel};
+use moqo_tpch::query_block;
+use moqo_viz::{render_scatter, ScatterOptions, TextTable};
+use std::env;
+
+struct Cli {
+    experiment: String,
+    sf: f64,
+    fast: bool,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut sf = 1.0;
+    let mut fast = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sf needs a positive number");
+            }
+            "--fast" => fast = true,
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Cli {
+        experiment,
+        sf,
+        fast,
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let model = bench_model();
+    let run = |name: &str| cli.experiment == name || cli.experiment == "all";
+
+    if run("fig1") {
+        fig1(&model, cli.sf);
+    }
+    if run("fig2a") {
+        fig2a(&model, cli.sf);
+    }
+    if run("fig2b") {
+        fig2b(&model, cli.sf);
+    }
+    if run("fig3") {
+        figure_times("Figure 3 (avg time/invocation, alpha_T=1.01, alpha_S=0.05)", {
+            let mut s = ExperimentSetup::fig3();
+            s.sf = cli.sf;
+            if cli.fast {
+                s.level_counts = vec![1, 5];
+            }
+            s
+        }, &model, false);
+    }
+    if run("fig4") {
+        figure_times("Figure 4 (avg time/invocation, alpha_T=1.005, alpha_S=0.5)", {
+            let mut s = ExperimentSetup::fig4();
+            s.sf = cli.sf;
+            if cli.fast {
+                s.level_counts = vec![1, 5];
+            }
+            s
+        }, &model, false);
+    }
+    if run("fig5") {
+        figure_times("Figure 5 (MAX time/invocation, alpha_T=1.005, 20 levels)", {
+            let mut s = ExperimentSetup::fig4();
+            s.sf = cli.sf;
+            s.level_counts = if cli.fast { vec![5] } else { vec![20] };
+            s
+        }, &model, true);
+    }
+    if run("lemmas") {
+        lemmas(&model, cli.sf, cli.fast);
+    }
+    if run("quality") {
+        quality(cli.sf);
+    }
+    if run("ablation-index") {
+        ablations_index(&model, cli.sf);
+    }
+    if run("ablation-delta") {
+        ablations_delta(&model, cli.sf);
+    }
+    if run("ablation-shadow") {
+        ablation_shadow_exp(&model, cli.sf);
+    }
+    if run("bounds") {
+        bounds_exp(&model, cli.sf);
+    }
+    if run("space") {
+        space_exp(&model, cli.sf, cli.fast);
+    }
+    if run("amortized") {
+        amortized_exp(&model, cli.sf);
+    }
+    if run("schedules") {
+        schedules_exp(&model, cli.sf);
+    }
+}
+
+/// Future-work experiment: linear vs geometric precision ladders.
+fn schedules_exp(model: &StandardCostModel, sf: f64) {
+    println!("=== Schedule shapes: linear vs geometric precision ladders ===\n");
+    let mut t = TextTable::new(vec![
+        "query",
+        "schedule",
+        "avg s/inv",
+        "MAX s/inv",
+        "total s",
+    ]);
+    for name in ["q05", "q08"] {
+        let spec = query_block(name, sf).expect("block");
+        for (label, avg, max, total) in
+            schedule_comparison(&spec, model, 20, 1.005, 0.5)
+        {
+            t.row(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{avg:.4}"),
+                format!("{max:.4}"),
+                format!("{total:.4}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "On the calibrated (cost-saturating) substrate the two ladders\n         perform within a few percent; the geometric ladder's advantage\n         grows on denser cost spaces where the finest levels dominate\n         (set `quantize_grid: None` in the model to observe it).\n"
+    );
+}
+
+/// Theorem 5: amortized invocation time vs single-objective DP.
+fn amortized_exp(model: &StandardCostModel, sf: f64) {
+    println!("=== Theorem 5: amortized invocation time over long series ===\n");
+    let schedule = ExperimentSetup::fig4().schedule(10);
+    let mut t = TextTable::new(vec![
+        "query",
+        "amortized s/inv (50 rounds)",
+        "first-ladder s/inv",
+        "single-objective DP (s)",
+    ]);
+    for name in ["q03", "q05", "q09"] {
+        let spec = query_block(name, sf).expect("block");
+        let (amortized, first, single) = amortized_time(&spec, model, &schedule, 50);
+        t.row(vec![
+            name.to_string(),
+            format!("{amortized:.5}"),
+            format!("{first:.5}"),
+            format!("{single:.5}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Amortized time collapses far below the first ladder; the remaining\n         steady-state cost per invocation is the O(3^n) table-set sweep.\n"
+    );
+}
+
+/// Theorem 3: accumulated space after a full invocation series.
+fn space_exp(model: &StandardCostModel, sf: f64, fast: bool) {
+    println!("=== Theorem 3: accumulated space consumption on TPC-H ===\n");
+    let schedule = ExperimentSetup::fig4().schedule(if fast { 5 } else { 20 });
+    let mut t = TextTable::new(vec![
+        "query",
+        "tables",
+        "plans (arena)",
+        "result entries",
+        "candidate entries",
+        "frontier",
+    ]);
+    for r in space_consumption(model, &schedule, sf) {
+        t.row(vec![
+            r.query,
+            r.n_tables.to_string(),
+            r.plans.to_string(),
+            r.result_entries.to_string(),
+            r.candidate_entries.to_string(),
+            r.frontier.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Figure 1: the interactive refinement loop with a bound change.
+fn fig1(model: &StandardCostModel, sf: f64) {
+    println!("=== Figure 1: interactive anytime optimization (q05) ===\n");
+    let spec = query_block("q05", sf).expect("q05");
+    let schedule = ResolutionSchedule::linear(8, 1.01, 0.3);
+    let opt = IamaOptimizer::new(&spec, model, schedule);
+    let mut session = Session::new(opt);
+    let opts = |bounds| ScatterOptions {
+        width: 64,
+        height: 16,
+        x_metric: 0,
+        y_metric: 2,
+        x_label: "time".into(),
+        y_label: "error".into(),
+        bounds,
+    };
+    // (a) first coarse approximation.
+    if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
+        println!("(a) first approximation ({} plans):", frontier.len());
+        println!("{}", render_scatter(&frontier.costs(), &opts(None)));
+    }
+    // (b) refined without user interaction.
+    let mut last = None;
+    for _ in 0..3 {
+        if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
+            last = Some(frontier);
+        }
+    }
+    if let Some(frontier) = last {
+        println!("(b) refined approximation ({} plans):", frontier.len());
+        println!("{}", render_scatter(&frontier.costs(), &opts(None)));
+    }
+    // (c) the user drags the time bound.
+    let dim = model.dim();
+    let t_mid = {
+        let f = session.optimizer().frontier(session.bounds(), session.resolution());
+        let costs = f.costs();
+        let mut ts: Vec<f64> = costs.iter().map(|c| c[0]).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.get(ts.len() / 2).copied().unwrap_or(f64::INFINITY)
+    };
+    let new_bounds = Bounds::unbounded(dim).with_limit(0, t_mid);
+    session.step(UserEvent::SetBounds(new_bounds));
+    if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
+        println!(
+            "(c) after dragging the time bound to {t_mid:.2} ({} plans):",
+            frontier.len()
+        );
+        println!(
+            "{}",
+            render_scatter(&frontier.costs(), &opts(Some(new_bounds)))
+        );
+    }
+}
+
+/// Figure 2a: anytime vs one-shot result quality over time.
+fn fig2a(model: &StandardCostModel, sf: f64) {
+    println!("=== Figure 2a: anytime vs one-shot quality over time (q05) ===\n");
+    let spec = query_block("q05", sf).expect("q05");
+    let schedule = ExperimentSetup::fig4().schedule(20);
+    let (curve, oneshot_secs) = anytime_quality(&spec, model, &schedule);
+    let mut t = TextTable::new(vec![
+        "invocation",
+        "cum. seconds",
+        "coverage vs final",
+        "frontier size",
+    ]);
+    for p in &curve {
+        t.row(vec![
+            p.invocation.to_string(),
+            format!("{:.4}", p.cumulative_seconds),
+            format!("{:.4}", p.coverage_vs_final),
+            p.frontier_size.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "one-shot: first (and only) result after {oneshot_secs:.4}s\n\
+         IAMA: first result after {:.4}s, {} refinements before the one-shot finishes\n",
+        curve.first().map(|p| p.cumulative_seconds).unwrap_or(0.0),
+        curve
+            .iter()
+            .filter(|p| p.cumulative_seconds < oneshot_secs)
+            .count()
+    );
+}
+
+/// Figure 2b: incremental vs memoryless per-invocation time.
+fn fig2b(model: &StandardCostModel, sf: f64) {
+    println!("=== Figure 2b: incremental vs memoryless run time per invocation (q05) ===\n");
+    let spec = query_block("q05", sf).expect("q05");
+    let schedule = ExperimentSetup::fig4().schedule(20);
+    let rows = incremental_vs_memoryless(&spec, model, &schedule);
+    let mut t = TextTable::new(vec!["invocation", "incremental (s)", "memoryless (s)"]);
+    for (i, a, m) in rows {
+        t.row(vec![
+            i.to_string(),
+            format!("{a:.4}"),
+            format!("{m:.4}"),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Figures 3-5: per-invocation time tables grouped by table count.
+fn figure_times(title: &str, setup: ExperimentSetup, model: &StandardCostModel, use_max: bool) {
+    println!("=== {title} (sf={}) ===\n", setup.sf);
+    let rows = figure_invocation_times(&setup, model);
+    for &levels in &setup.level_counts {
+        println!("With {levels} resolution level(s):");
+        let mut t = TextTable::new(vec![
+            "tables",
+            "queries",
+            "IAMA (s)",
+            "memoryless (s)",
+            "one-shot (s)",
+            "speedup vs 1-shot",
+        ]);
+        for row in rows.iter().filter(|r| r.levels == levels) {
+            let (iama, mem) = if use_max {
+                (row.iama_max, row.memoryless_max)
+            } else {
+                (row.iama_avg, row.memoryless_avg)
+            };
+            t.row(vec![
+                row.n_tables.to_string(),
+                row.queries.to_string(),
+                format!("{iama:.4}"),
+                format!("{mem:.4}"),
+                format!("{:.4}", row.oneshot),
+                format!("{:.1}x", row.oneshot / iama.max(1e-9)),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+/// Lemma 5-7 invariant verification across the TPC-H workload.
+fn lemmas(model: &StandardCostModel, sf: f64, fast: bool) {
+    println!("=== Lemmas 5-7: incremental invariants on TPC-H ===\n");
+    let schedule = ExperimentSetup::fig4().schedule(if fast { 5 } else { 20 });
+    let reports = verify_invariants(model, &schedule, sf);
+    let mut t = TextTable::new(vec![
+        "query",
+        "max plan gens (<=1)",
+        "max pair gens (<=1)",
+        "max cand retrievals",
+        "bound rM+1",
+    ]);
+    let mut ok = true;
+    for r in &reports {
+        ok &= r.max_plan_generations <= 1
+            && r.max_pair_generations <= 1
+            && r.max_candidate_retrievals <= r.retrieval_bound;
+        t.row(vec![
+            r.query.clone(),
+            r.max_plan_generations.to_string(),
+            r.max_pair_generations.to_string(),
+            r.max_candidate_retrievals.to_string(),
+            r.retrieval_bound.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("all invariants hold: {ok}\n");
+}
+
+/// Theorem 2 in practice: measured vs guaranteed approximation factors.
+fn quality(sf: f64) {
+    println!("=== Theorem 2: measured vs guaranteed approximation factor ===\n");
+    let model = bench_model_small();
+    let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
+    let reports = verify_quality(&model, &schedule, sf * 0.01, 4);
+    let mut t = TextTable::new(vec![
+        "query",
+        "tables",
+        "measured",
+        "guarantee a^n",
+        "exhaustive size",
+        "IAMA size",
+    ]);
+    for r in &reports {
+        t.row(vec![
+            r.query.clone(),
+            r.n_tables.to_string(),
+            format!("{:.4}", r.measured_factor),
+            format!("{:.4}", r.guarantee),
+            r.exhaustive_size.to_string(),
+            r.iama_size.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Ablation: cell grid vs linear index.
+fn ablations_index(model: &StandardCostModel, sf: f64) {
+    println!("=== Ablation: cell-grid index vs flat index ===\n");
+    let schedule = ExperimentSetup::fig4().schedule(20);
+    let mut t = TextTable::new(vec!["query", "cell grid (s)", "linear (s)"]);
+    for name in ["q03", "q05", "q09"] {
+        let spec = query_block(name, sf).expect("block");
+        let (grid, linear) = ablation_index(&spec, model, &schedule);
+        t.row(vec![
+            name.to_string(),
+            format!("{grid:.4}"),
+            format!("{linear:.4}"),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Ablation: delta-set filtering on/off.
+fn ablations_delta(model: &StandardCostModel, sf: f64) {
+    println!("=== Ablation: delta-set filtering in Fresh ===\n");
+    let schedule = ExperimentSetup::fig4().schedule(20);
+    let mut t = TextTable::new(vec![
+        "query",
+        "with delta (s)",
+        "without (s)",
+        "stale pairs skipped",
+    ]);
+    for name in ["q03", "q05", "q09"] {
+        let spec = query_block(name, sf).expect("block");
+        let (with_d, without_d, stale) = ablation_delta(&spec, model, &schedule);
+        t.row(vec![
+            name.to_string(),
+            format!("{with_d:.4}"),
+            format!("{without_d:.4}"),
+            stale.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Ablation: result-plan shadowing on/off.
+fn ablation_shadow_exp(model: &StandardCostModel, sf: f64) {
+    println!("=== Ablation: shadowing of dominated result plans ===\n");
+    let schedule = ExperimentSetup::fig4().schedule(10);
+    let mut t = TextTable::new(vec![
+        "query",
+        "shadowed (s)",
+        "paper-exact (s)",
+        "plans shadowed",
+        "plans exact",
+    ]);
+    for name in ["q03", "q05", "q09"] {
+        let spec = query_block(name, sf).expect("block");
+        let on = iama_series_with_config(&spec, model, &schedule, IamaConfig::default());
+        let off = iama_series_with_config(
+            &spec,
+            model,
+            &schedule,
+            IamaConfig {
+                shadow_dominated: false,
+                ..IamaConfig::default()
+            },
+        );
+        let secs = |rs: &[moqo_core::InvocationReport]| -> f64 {
+            rs.iter().map(|r| r.seconds()).sum()
+        };
+        let plans = |rs: &[moqo_core::InvocationReport]| -> u64 {
+            rs.iter().map(|r| r.plans_generated).sum()
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", secs(&on)),
+            format!("{:.4}", secs(&off)),
+            plans(&on).to_string(),
+            plans(&off).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Bound-tightening scenario (Example 3).
+fn bounds_exp(model: &StandardCostModel, sf: f64) {
+    println!("=== Bounds scenario: user tightens the time bound mid-session (q05) ===\n");
+    let spec = query_block("q05", sf).expect("q05");
+    let schedule = ExperimentSetup::fig4().schedule(10);
+    let rows = bounds_scenario(&spec, model, &schedule);
+    let mut t = TextTable::new(vec!["step", "resolution", "seconds", "frontier size"]);
+    for (i, r, secs, size) in rows {
+        t.row(vec![
+            i.to_string(),
+            r.to_string(),
+            format!("{secs:.4}"),
+            size.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    // Sanity: contrast with a cold optimizer for the bounded phase.
+    let b = Bounds::unbounded(model.dim());
+    let shot = one_shot(&spec, model, &schedule, &b);
+    println!(
+        "(for scale: a cold one-shot run at target precision takes {:.4}s)\n",
+        shot.duration.as_secs_f64()
+    );
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating the paper's figures.
+//!
+//! Every figure of the paper's evaluation (and the conceptual figures of
+//! the introduction) maps to a function here; the `repro` binary prints
+//! the same series the paper reports and the criterion benches in
+//! `benches/` time the same code. See DESIGN.md §5 for the experiment
+//! index and EXPERIMENTS.md for the recorded paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::*;
+pub use workload::{bench_model, bench_model_small, ExperimentSetup};

@@ -1,0 +1,80 @@
+//! Fluent catalog construction.
+
+use crate::catalog::Catalog;
+use crate::column::Column;
+use crate::table::{Table, TableId};
+
+/// Builds a [`Catalog`] table by table.
+///
+/// ```
+/// use moqo_catalog::{CatalogBuilder, Column};
+///
+/// let catalog = CatalogBuilder::new()
+///     .table("nation", 25, 64, vec![Column::key("n_nationkey", 25)])
+///     .table("region", 5, 64, vec![Column::key("r_regionkey", 5)])
+///     .build();
+/// assert_eq!(catalog.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct CatalogBuilder {
+    tables: Vec<Table>,
+}
+
+impl CatalogBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table with columns; returns the builder for chaining.
+    pub fn table(
+        mut self,
+        name: impl Into<String>,
+        cardinality: u64,
+        row_width: u32,
+        columns: Vec<Column>,
+    ) -> Self {
+        let mut t = Table::new(name, cardinality, row_width);
+        t.columns = columns;
+        self.tables.push(t);
+        self
+    }
+
+    /// Adds a table and returns its future id (for wiring join graphs while
+    /// building).
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        cardinality: u64,
+        row_width: u32,
+        columns: Vec<Column>,
+    ) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        let mut t = Table::new(name, cardinality, row_width);
+        t.columns = columns;
+        self.tables.push(t);
+        id
+    }
+
+    /// Finalizes the catalog.
+    pub fn build(self) -> Catalog {
+        Catalog::new(self.tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_table_returns_sequential_ids() {
+        let mut b = CatalogBuilder::new();
+        let a = b.add_table("a", 10, 8, vec![]);
+        let c = b.add_table("c", 20, 8, vec![]);
+        assert_eq!(a, TableId(0));
+        assert_eq!(c, TableId(1));
+        let catalog = b.build();
+        assert_eq!(catalog.table(a).name, "a");
+        assert_eq!(catalog.table(c).cardinality, 20);
+    }
+}

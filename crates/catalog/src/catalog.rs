@@ -1,0 +1,116 @@
+//! The catalog: an immutable collection of tables.
+
+use crate::table::{Table, TableId};
+
+/// An immutable catalog of base tables.
+///
+/// Built once via [`crate::CatalogBuilder`] and then shared read-only by the
+/// optimizer — statistics never change during an interactive optimization
+/// session.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+}
+
+impl Catalog {
+    /// Creates a catalog from a table list (use [`crate::CatalogBuilder`]
+    /// for ergonomic construction).
+    ///
+    /// # Panics
+    /// Panics if two tables share a name.
+    pub fn new(tables: Vec<Table>) -> Self {
+        for (i, a) in tables.iter().enumerate() {
+            for b in tables.iter().skip(i + 1) {
+                assert_ne!(a.name, b.name, "duplicate table name {:?}", a.name);
+            }
+        }
+        Self { tables }
+    }
+
+    /// Number of tables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the catalog holds no tables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The table with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Looks up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<(TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name == name)
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// Iterates over `(id, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// The cardinality of the largest table — the paper's parameter `m`
+    /// used in the size bounds of Section 5.2.
+    pub fn max_cardinality(&self) -> u64 {
+        self.tables.iter().map(|t| t.cardinality).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        Catalog::new(vec![
+            Table::new("region", 5, 64),
+            Table::new("nation", 25, 64),
+            Table::new("orders", 1_500_000, 120),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let c = sample();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.table(TableId(1)).name, "nation");
+        let (id, t) = c.table_by_name("orders").unwrap();
+        assert_eq!(id, TableId(2));
+        assert_eq!(t.cardinality, 1_500_000);
+        assert!(c.table_by_name("lineitem").is_none());
+    }
+
+    #[test]
+    fn max_cardinality_is_paper_parameter_m() {
+        assert_eq!(sample().max_cardinality(), 1_500_000);
+        assert_eq!(Catalog::default().max_cardinality(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn rejects_duplicate_names() {
+        Catalog::new(vec![Table::new("t", 1, 1), Table::new("t", 2, 2)]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let c = sample();
+        let ids: Vec<u32> = c.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

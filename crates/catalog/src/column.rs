@@ -1,0 +1,73 @@
+//! Columns and column-level statistics.
+
+/// Identifies a column within its table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u32);
+
+impl ColumnId {
+    /// The column's position in the table's column list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role a column plays in join-selectivity estimation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// Primary-key column: distinct values equal the table cardinality.
+    PrimaryKey,
+    /// Foreign-key column referencing some primary key.
+    ForeignKey,
+    /// Any other attribute.
+    Attribute,
+}
+
+/// A column with the statistics used by the selectivity estimator.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Estimated number of distinct values.
+    pub distinct_values: u64,
+    /// Role of the column.
+    pub role: ColumnRole,
+}
+
+impl Column {
+    /// Creates a column with explicit statistics.
+    pub fn new(name: impl Into<String>, distinct_values: u64, role: ColumnRole) -> Self {
+        Self {
+            name: name.into(),
+            distinct_values: distinct_values.max(1),
+            role,
+        }
+    }
+
+    /// Creates a primary-key column with `cardinality` distinct values.
+    pub fn key(name: impl Into<String>, cardinality: u64) -> Self {
+        Self::new(name, cardinality, ColumnRole::PrimaryKey)
+    }
+
+    /// Creates a plain attribute column.
+    pub fn attribute(name: impl Into<String>, distinct_values: u64) -> Self {
+        Self::new(name, distinct_values, ColumnRole::Attribute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_roles() {
+        assert_eq!(Column::key("k", 10).role, ColumnRole::PrimaryKey);
+        assert_eq!(Column::attribute("a", 10).role, ColumnRole::Attribute);
+    }
+
+    #[test]
+    fn distinct_values_is_at_least_one() {
+        // Guards against division by zero in selectivity formulas.
+        assert_eq!(Column::attribute("a", 0).distinct_values, 1);
+    }
+}

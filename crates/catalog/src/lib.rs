@@ -1,0 +1,19 @@
+//! Catalog substrate: tables, columns, and statistics.
+//!
+//! The paper runs on an extended Postgres 9.2 and therefore inherits its
+//! catalog. We rebuild the minimal catalog the optimizer needs: per-table
+//! cardinalities and row widths, per-column domain sizes for join
+//! selectivity estimation, and key/foreign-key markers. `moqo-tpch`
+//! instantiates this catalog with the TPC-H schema.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod catalog;
+pub mod column;
+pub mod table;
+
+pub use builder::CatalogBuilder;
+pub use catalog::Catalog;
+pub use column::{Column, ColumnId, ColumnRole};
+pub use table::{Table, TableId};

@@ -1,0 +1,91 @@
+//! Base tables and their statistics.
+
+use crate::column::{Column, ColumnId};
+
+/// Identifies a table within a [`crate::Catalog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// The table's position in the catalog's table list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A base table with the statistics the optimizer consumes.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Estimated number of rows.
+    pub cardinality: u64,
+    /// Average row width in bytes (drives IO cost and memory footprints).
+    pub row_width: u32,
+    /// Columns, in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table with the given statistics and no columns yet.
+    pub fn new(name: impl Into<String>, cardinality: u64, row_width: u32) -> Self {
+        Self {
+            name: name.into(),
+            cardinality,
+            row_width,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Estimated size of the table in bytes.
+    #[inline]
+    pub fn byte_size(&self) -> u64 {
+        self.cardinality * self.row_width as u64
+    }
+
+    /// Looks up a column by name, returning its id within this table.
+    pub fn column_by_name(&self, name: &str) -> Option<(ColumnId, &Column)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name == name)
+            .map(|(i, c)| (ColumnId(i as u32), c))
+    }
+
+    /// True if the table is "small" relative to `threshold` rows.
+    ///
+    /// The paper's footnote 4 notes that small tables admit fewer sampling
+    /// strategies; the cost model uses this predicate to decide which scan
+    /// variants a table supports.
+    #[inline]
+    pub fn is_small(&self, threshold: u64) -> bool {
+        self.cardinality < threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnRole;
+
+    #[test]
+    fn table_statistics() {
+        let t = Table::new("orders", 1_500_000, 120);
+        assert_eq!(t.byte_size(), 180_000_000);
+        assert!(t.is_small(2_000_000));
+        assert!(!t.is_small(1_000_000));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let mut t = Table::new("nation", 25, 32);
+        t.columns.push(Column::key("n_nationkey", 25));
+        t.columns
+            .push(Column::new("n_regionkey", 5, ColumnRole::ForeignKey));
+        let (id, col) = t.column_by_name("n_regionkey").unwrap();
+        assert_eq!(id, ColumnId(1));
+        assert_eq!(col.distinct_values, 5);
+        assert!(t.column_by_name("missing").is_none());
+    }
+}

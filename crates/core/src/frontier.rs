@@ -1,0 +1,103 @@
+//! Frontier snapshots — what the `Visualize` procedure of Algorithm 1
+//! would render.
+
+use moqo_cost::{pareto_filter, CostVector};
+use moqo_plan::PlanId;
+
+/// One visualized cost tradeoff: a completed query plan and its cost.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierPoint {
+    /// The plan realizing this tradeoff.
+    pub plan: PlanId,
+    /// Its cost vector.
+    pub cost: CostVector,
+}
+
+/// The set of completed-plan cost tradeoffs shown to the user after an
+/// optimizer invocation (`Res^Q[0..b, 0..r]`).
+///
+/// IAMA's result sets are not minimal — dominated result plans are kept so
+/// sub-plan pointers stay valid (Section 4.2) — so a snapshot may contain
+/// dominated points; [`FrontierSnapshot::pareto_points`] filters them for
+/// display.
+#[derive(Clone, Debug, Default)]
+pub struct FrontierSnapshot {
+    /// All result points for the full query under the current bounds and
+    /// resolution.
+    pub points: Vec<FrontierPoint>,
+}
+
+impl FrontierSnapshot {
+    /// Creates a snapshot from raw points.
+    pub fn new(points: Vec<FrontierPoint>) -> Self {
+        Self { points }
+    }
+
+    /// Number of points (dominated ones included).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the snapshot holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cost vectors of all points.
+    pub fn costs(&self) -> Vec<CostVector> {
+        self.points.iter().map(|p| p.cost).collect()
+    }
+
+    /// The Pareto-optimal subset of the snapshot (what a 2-D/3-D plot
+    /// would draw as the frontier).
+    pub fn pareto_points(&self) -> Vec<FrontierPoint> {
+        let costs = self.costs();
+        pareto_filter(&costs)
+            .into_iter()
+            .map(|i| self.points[i])
+            .collect()
+    }
+
+    /// The point minimizing metric `metric_idx`, if any.
+    pub fn min_by_metric(&self, metric_idx: usize) -> Option<&FrontierPoint> {
+        self.points.iter().min_by(|a, b| {
+            a.cost[metric_idx]
+                .partial_cmp(&b.cost[metric_idx])
+                .unwrap()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(plan: u32, cost: &[f64]) -> FrontierPoint {
+        FrontierPoint {
+            plan: PlanId(plan),
+            cost: CostVector::new(cost),
+        }
+    }
+
+    #[test]
+    fn pareto_points_filter_dominated_entries() {
+        let s = FrontierSnapshot::new(vec![
+            pt(0, &[1.0, 4.0]),
+            pt(1, &[2.0, 5.0]), // dominated by 0
+            pt(2, &[4.0, 1.0]),
+        ]);
+        assert_eq!(s.len(), 3);
+        let pareto = s.pareto_points();
+        assert_eq!(pareto.len(), 2);
+        assert!(pareto.iter().any(|p| p.plan == PlanId(0)));
+        assert!(pareto.iter().any(|p| p.plan == PlanId(2)));
+    }
+
+    #[test]
+    fn min_by_metric_finds_extremes() {
+        let s = FrontierSnapshot::new(vec![pt(0, &[1.0, 4.0]), pt(1, &[4.0, 1.0])]);
+        assert_eq!(s.min_by_metric(0).unwrap().plan, PlanId(0));
+        assert_eq!(s.min_by_metric(1).unwrap().plan, PlanId(1));
+        assert!(FrontierSnapshot::default().min_by_metric(0).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! IAMA — the Incremental Anytime Multi-objective Query Optimization
+//! Algorithm (Trummer & Koch, SIGMOD 2015), Section 4.
+//!
+//! The crate implements the paper's two components:
+//!
+//! * [`IamaOptimizer`] — the incremental optimizer (Algorithm 2 plus the
+//!   `Prune` and `Fresh` sub-functions of Algorithm 3). It maintains the
+//!   result and candidate plan sets across invocations, indexed by table
+//!   set, cost vector, and resolution level, and guarantees that after an
+//!   invocation with bounds `b` and resolution `r`, the result set for
+//!   every table subset `q` (with `|q| = k`) contains an
+//!   `alpha_r^k`-approximate `b`-bounded Pareto plan set (Theorems 1–2).
+//! * [`Session`] — the main control loop (Algorithm 1). It feeds user
+//!   events (bound changes, plan selection) into the optimizer, resets the
+//!   resolution on bound changes, and otherwise refines resolution by one
+//!   level per iteration.
+//!
+//! [`OptimizerStats`] instruments the incremental invariants so the tests
+//! and benchmarks can verify Lemmas 5–7 directly: every plan is generated
+//! at most once, every ordered sub-plan pair is combined at most once, and
+//! every candidate is retrieved at most `rM + 1` times.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod frontier;
+pub mod optimizer;
+pub mod preference;
+pub mod report;
+pub mod session;
+pub mod stats;
+
+pub use config::IamaConfig;
+pub use frontier::{FrontierPoint, FrontierSnapshot};
+pub use optimizer::IamaOptimizer;
+pub use preference::Preference;
+pub use report::InvocationReport;
+pub use session::{Session, StepOutcome, UserEvent};
+pub use stats::OptimizerStats;

@@ -1,0 +1,728 @@
+//! The incremental optimizer — Algorithms 2 and 3 of the paper.
+
+use crate::config::IamaConfig;
+use crate::frontier::{FrontierPoint, FrontierSnapshot};
+use crate::report::InvocationReport;
+use crate::stats::OptimizerStats;
+use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
+use moqo_costmodel::{CostModel, PlanInput};
+use moqo_index::{DynIndex, Entry, FxHashMap, PairSet, PlanIndex};
+use moqo_plan::{PhysicalProps, PlanArena, PlanId};
+use moqo_query::{k_subsets, QuerySpec, TableSet};
+use std::time::Instant;
+
+/// A collected result entry enriched with its physical properties, the
+/// unit of work inside `Fresh`.
+#[derive(Clone, Copy)]
+struct ResEntry {
+    plan: PlanId,
+    cost: CostVector,
+    props: PhysicalProps,
+    invocation: u32,
+    level: u8,
+}
+
+/// The Incremental Anytime MOQO optimizer (IAMA).
+///
+/// Holds all state that persists across invocations for one query: the
+/// plan arena, the result and candidate plan sets (indexed by table set,
+/// cost, and resolution), and the `IsFresh` pair set. Invoke
+/// [`IamaOptimizer::optimize`] with bounds and a resolution level
+/// (Algorithm 2), or [`IamaOptimizer::run_invocation`] to let the
+/// optimizer advance the resolution the way Algorithm 1's main loop does.
+///
+/// ```
+/// use moqo_core::IamaOptimizer;
+/// use moqo_cost::{Bounds, ResolutionSchedule};
+/// use moqo_costmodel::{CostModel, StandardCostModel};
+/// use moqo_query::testkit;
+///
+/// let spec = testkit::chain_query(3, 50_000);
+/// let model = StandardCostModel::paper_metrics();
+/// let schedule = ResolutionSchedule::linear(3, 1.05, 0.5);
+/// let mut opt = IamaOptimizer::new(&spec, &model, schedule);
+/// let bounds = Bounds::unbounded(model.dim());
+///
+/// // Anytime refinement: coarse to fine.
+/// for r in 0..=opt.schedule().r_max() {
+///     let report = opt.optimize(&bounds, r);
+///     assert!(report.frontier_size > 0);
+/// }
+/// // Incrementality: a repeated invocation does no plan work.
+/// let again = opt.optimize(&bounds, opt.schedule().r_max());
+/// assert_eq!(again.plans_generated, 0);
+/// ```
+pub struct IamaOptimizer<'a, M: CostModel> {
+    spec: &'a QuerySpec,
+    model: &'a M,
+    schedule: ResolutionSchedule,
+    config: IamaConfig,
+    arena: PlanArena,
+    res: FxHashMap<TableSet, DynIndex<PlanId>>,
+    /// Result plans still eligible for sub-plan combination: the result
+    /// set minus plans shadowed by a plainly dominating, order-compatible
+    /// alternative (see [`IamaConfig::shadow_dominated`]). Mirrors `res`
+    /// exactly when shadowing is disabled.
+    res_active: FxHashMap<TableSet, Vec<ResEntry>>,
+    cand: FxHashMap<TableSet, DynIndex<PlanId>>,
+    pairs: PairSet,
+    /// Invocation at which each table set last received a result plan —
+    /// the auxiliary index the paper mentions for evaluating `ΔS`
+    /// efficiently (Section 4.2): a split whose operands both received
+    /// nothing this invocation has an empty Δ cross product and is skipped
+    /// without touching the plan sets.
+    last_res_insert: FxHashMap<TableSet, u32>,
+    /// Tag for entries inserted during the current (or next) invocation.
+    invocation: u32,
+    /// Bounds and resolution of the most recent invocation.
+    last_ctx: Option<(Bounds, usize)>,
+    scans_done: bool,
+    stats: OptimizerStats,
+}
+
+impl<'a, M: CostModel> IamaOptimizer<'a, M> {
+    /// Creates an optimizer with the default configuration.
+    pub fn new(spec: &'a QuerySpec, model: &'a M, schedule: ResolutionSchedule) -> Self {
+        Self::with_config(spec, model, schedule, IamaConfig::default())
+    }
+
+    /// Creates an optimizer with an explicit configuration.
+    pub fn with_config(
+        spec: &'a QuerySpec,
+        model: &'a M,
+        schedule: ResolutionSchedule,
+        config: IamaConfig,
+    ) -> Self {
+        assert!(spec.n_tables() >= 1, "query must join at least one table");
+        Self {
+            spec,
+            model,
+            schedule,
+            config,
+            arena: PlanArena::new(),
+            res: FxHashMap::default(),
+            res_active: FxHashMap::default(),
+            cand: FxHashMap::default(),
+            pairs: PairSet::new(),
+            last_res_insert: FxHashMap::default(),
+            invocation: 0,
+            last_ctx: None,
+            scans_done: false,
+            stats: OptimizerStats::default(),
+        }
+    }
+
+    /// The resolution schedule in use.
+    pub fn schedule(&self) -> &ResolutionSchedule {
+        &self.schedule
+    }
+
+    /// The query being optimized.
+    pub fn spec(&self) -> &QuerySpec {
+        self.spec
+    }
+
+    /// Number of cost metrics of the underlying model.
+    pub fn model_dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The plan arena (for `explain`-style rendering of frontier plans).
+    pub fn arena(&self) -> &PlanArena {
+        &self.arena
+    }
+
+    /// Cumulative instrumentation counters.
+    pub fn stats(&self) -> &OptimizerStats {
+        &self.stats
+    }
+
+    /// Number of completed invocations.
+    pub fn invocations(&self) -> u32 {
+        self.stats.invocations
+    }
+
+    /// Resolution level the next [`IamaOptimizer::run_invocation`] will
+    /// use for the given bounds (Algorithm 1's update rule).
+    pub fn next_resolution(&self, bounds: &Bounds) -> usize {
+        match &self.last_ctx {
+            Some((lb, lr)) if lb == bounds => (lr + 1).min(self.schedule.r_max()),
+            _ => 0,
+        }
+    }
+
+    /// Runs one invocation, advancing the resolution like Algorithm 1's
+    /// main loop: level 0 for new bounds, otherwise one level finer than
+    /// the previous invocation (saturating at `rM`).
+    pub fn run_invocation(&mut self, bounds: Bounds) -> InvocationReport {
+        let r = self.next_resolution(&bounds);
+        self.optimize(&bounds, r)
+    }
+
+    /// One invocation of the `Optimize` procedure (Algorithm 2) with
+    /// explicit bounds and resolution.
+    ///
+    /// Afterwards, for every table subset `q` with `|q| = k`, the result
+    /// set `Res^q[0..b, 0..r]` contains an `alpha_r^k`-approximate
+    /// `b`-bounded Pareto plan set (Theorem 2).
+    pub fn optimize(&mut self, bounds: &Bounds, r: usize) -> InvocationReport {
+        assert!(
+            r <= self.schedule.r_max(),
+            "resolution {r} exceeds rM={}",
+            self.schedule.r_max()
+        );
+        assert_eq!(
+            bounds.dim(),
+            self.model.dim(),
+            "bounds dimension must match the cost model"
+        );
+        let start = Instant::now();
+        let plans0 = self.stats.plans_generated;
+        let cands0 = self.stats.candidate_retrievals;
+        let pairs0 = self.stats.pairs_generated;
+        let res0 = self.stats.result_insertions;
+        let cins0 = self.stats.candidate_insertions;
+
+        // Scan plans are generated once per query, before the main loop
+        // (Algorithm 1 lines 7-10); lazily on the first invocation here.
+        if !self.scans_done {
+            self.init_scans(bounds, r);
+            self.scans_done = true;
+        }
+
+        // Δ-set filtering is sound when every plan now in
+        // `Res[0..b, 0..r]` that was inserted *before* this invocation was
+        // already pair-combined: bounds at most as permissive as last time
+        // and resolution not coarser (see Section 4.2's discussion of
+        // invocation series).
+        let use_delta = self.config.use_delta
+            && match &self.last_ctx {
+                None => true, // first invocation: all plans are fresh anyway
+                Some((lb, lr)) => lb.contains(bounds) && r >= *lr,
+            };
+
+        // Phase 1 (Algorithm 2 lines 6-12): reconsider candidate plans.
+        let cand_keys: Vec<TableSet> = self.cand.keys().copied().collect();
+        for q in cand_keys {
+            let drained = match self.cand.get_mut(&q) {
+                Some(idx) => idx.drain(bounds, r as u8),
+                None => continue,
+            };
+            for e in drained {
+                self.stats.candidate_retrievals += 1;
+                if self.config.track_invariants {
+                    *self
+                        .stats
+                        .candidate_retrieval_counts
+                        .entry(e.item.0)
+                        .or_insert(0) += 1;
+                }
+                self.prune(q, e.item, bounds, r);
+            }
+        }
+
+        // Phase 2 (lines 13-22): generate plans from fresh combinations,
+        // by table sets of increasing cardinality, over all ordered splits.
+        let n = self.spec.n_tables();
+        for k in 2..=n {
+            for q in k_subsets(n, k) {
+                for (q1, q2) in q.splits() {
+                    // The paper enumerates ordered splits (q1 ⊂ Q, q2 = Q \ q1);
+                    // our split iterator is unordered, so emit both directions.
+                    for (a, b) in [(q1, q2), (q2, q1)] {
+                        if !self.config.allow_cross_products
+                            && self.spec.is_cross_product(a, b)
+                        {
+                            continue;
+                        }
+                        self.combine_fresh(q, a, b, bounds, r, use_delta);
+                    }
+                }
+            }
+        }
+
+        self.stats.invocations += 1;
+        if use_delta {
+            self.stats.delta_invocations += 1;
+        }
+        let report = InvocationReport {
+            invocation: self.invocation,
+            resolution: r,
+            alpha: self.schedule.factor(r),
+            duration: start.elapsed(),
+            frontier_size: self.frontier(bounds, r).len(),
+            plans_generated: self.stats.plans_generated - plans0,
+            candidates_retrieved: self.stats.candidate_retrievals - cands0,
+            pairs_generated: self.stats.pairs_generated - pairs0,
+            result_insertions: self.stats.result_insertions - res0,
+            candidate_insertions: self.stats.candidate_insertions - cins0,
+            used_delta: use_delta,
+        };
+        self.invocation += 1;
+        self.last_ctx = Some((*bounds, r));
+        report
+    }
+
+    /// The completed-plan tradeoffs `Res^Q[0..b, 0..r]` that `Visualize`
+    /// would render (Algorithm 1 line 16).
+    pub fn frontier(&self, bounds: &Bounds, r: usize) -> FrontierSnapshot {
+        let full = self.spec.all_tables();
+        let mut points = Vec::new();
+        if let Some(idx) = self.res.get(&full) {
+            idx.scan(bounds, r as u8, &mut |e| {
+                points.push(FrontierPoint {
+                    plan: e.item,
+                    cost: e.cost,
+                });
+                false
+            });
+        }
+        FrontierSnapshot::new(points)
+    }
+
+    /// Total result-set entries across all table sets (diagnostics).
+    pub fn result_set_size(&self) -> usize {
+        self.res.values().map(|i| i.len()).sum()
+    }
+
+    /// Total candidate-set entries across all table sets (diagnostics).
+    pub fn candidate_set_size(&self) -> usize {
+        self.cand.values().map(|i| i.len()).sum()
+    }
+
+    /// Generates and prunes all scan plans (Algorithm 1 lines 7-10).
+    fn init_scans(&mut self, bounds: &Bounds, r: usize) {
+        for pos in 0..self.spec.n_tables() {
+            let q = TableSet::singleton(pos);
+            for (op, cost, props) in self.model.scan_alternatives(self.spec, pos) {
+                let pid = self.arena.push_scan(op, pos, cost, props);
+                self.stats.plans_generated += 1;
+                if self.config.track_invariants {
+                    *self
+                        .stats
+                        .plan_generations
+                        .entry((op, u32::MAX, u32::MAX))
+                        .or_insert(0) += 1;
+                }
+                self.prune(q, pid, bounds, r);
+            }
+        }
+    }
+
+    /// `Fresh` (Algorithm 3 lines 26-39) followed by pruning of each fresh
+    /// plan, for the ordered split `(q1, q2)` of `q`.
+    fn combine_fresh(
+        &mut self,
+        q: TableSet,
+        q1: TableSet,
+        q2: TableSet,
+        bounds: &Bounds,
+        r: usize,
+        use_delta: bool,
+    ) {
+        let cur = self.invocation;
+        if use_delta {
+            // Empty-Δ short-circuit via the last-insertion index: if
+            // neither operand set received a result plan this invocation,
+            // every cross product involving a Δ set is empty (the paper's
+            // empty-operand check), so skip without touching the sets.
+            let d1 = self.last_res_insert.get(&q1) == Some(&cur);
+            let d2 = self.last_res_insert.get(&q2) == Some(&cur);
+            if !d1 && !d2 {
+                return;
+            }
+        }
+        let p1s = match self.collect_res(q1, bounds, r) {
+            Some(v) => v,
+            None => return,
+        };
+        let p2s = match self.collect_res(q2, bounds, r) {
+            Some(v) => v,
+            None => return,
+        };
+        for e1 in &p1s {
+            for e2 in &p2s {
+                if use_delta && e1.invocation != cur && e2.invocation != cur {
+                    continue;
+                }
+                if !self.pairs.mark(e1.plan.0, e2.plan.0) {
+                    self.stats.stale_pairs_skipped += 1;
+                    continue;
+                }
+                self.stats.pairs_generated += 1;
+                if self.config.track_invariants {
+                    *self
+                        .stats
+                        .pair_generations
+                        .entry((e1.plan.0, e2.plan.0))
+                        .or_insert(0) += 1;
+                }
+                let left = PlanInput {
+                    tables: q1,
+                    cost: e1.cost,
+                    props: e1.props,
+                };
+                let right = PlanInput {
+                    tables: q2,
+                    cost: e2.cost,
+                    props: e2.props,
+                };
+                for (op, cost, props) in self.model.join_alternatives(self.spec, &left, &right) {
+                    let pid = self.arena.push_join(op, e1.plan, e2.plan, cost, props);
+                    self.stats.plans_generated += 1;
+                    if self.config.track_invariants {
+                        *self
+                            .stats
+                            .plan_generations
+                            .entry((op, e1.plan.0, e2.plan.0))
+                            .or_insert(0) += 1;
+                    }
+                    self.prune(q, pid, bounds, r);
+                }
+            }
+        }
+    }
+
+    /// Collects the combinable subset of `Res^q[0..b, 0..r]`; `None` when
+    /// absent or empty. Reads the active list (shadowed plans excluded).
+    fn collect_res(&self, q: TableSet, bounds: &Bounds, r: usize) -> Option<Vec<ResEntry>> {
+        let active = self.res_active.get(&q)?;
+        let out: Vec<ResEntry> = active
+            .iter()
+            .filter(|e| e.level as usize <= r && bounds.respects(&e.cost))
+            .copied()
+            .collect();
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// `Prune` (Algorithm 3 lines 5-22): route a plan into the result set,
+    /// the candidate set, or (at maximal resolution) discard it.
+    fn prune(&mut self, q: TableSet, plan: PlanId, bounds: &Bounds, r: usize) {
+        let (cost, props) = {
+            let node = self.arena.node(plan);
+            (node.cost, node.props)
+        };
+        let alpha = self.schedule.factor(r);
+
+        // Line 7: is there an alternative result plan (within bounds, at
+        // resolution <= r, with compatible physical properties) that
+        // approximately dominates the new plan? Any such plan has cost
+        // dominated by `alpha * c(p)`, so the range query is narrowed to
+        // the intersection of the user bounds with that region — this is
+        // where the multi-dimensional cost index pays off (Section 4.1).
+        // While scanning, remember the *best* (smallest) domination factor
+        // so eager re-indexing can skip resolution levels at which the
+        // same witness would dominate again.
+        let mut comparisons = 0u64;
+        let mut best_factor = f64::INFINITY;
+        if let Some(idx) = self.res.get(&q) {
+            let dom_region = bounds.intersect(&Bounds::new(cost.scaled(alpha)));
+            let arena = &self.arena;
+            let eager = self.config.eager_level_skip;
+            let target = self.schedule.target_factor();
+            idx.scan(&dom_region, r as u8, &mut |e| {
+                comparisons += 1;
+                if arena.node(e.item).props.satisfies(&props) {
+                    let f = e.cost.domination_factor(&cost);
+                    if f < best_factor {
+                        best_factor = f;
+                    }
+                    // Early exits: without eager re-indexing the first
+                    // witness decides; with it, a witness within the
+                    // *target* factor means the plan is discarded at every
+                    // remaining level, so the exact minimum is irrelevant.
+                    if best_factor <= if eager { target } else { alpha } {
+                        return true;
+                    }
+                }
+                false
+            });
+        }
+        self.stats.prune_comparisons += comparisons;
+        let dominated = best_factor <= alpha;
+
+        if dominated {
+            // Keep as candidate for finer resolutions (lines 9-12). With
+            // eager re-indexing, jump straight to the first level whose
+            // precision factor drops below the witness's domination
+            // factor; the plan provably stays dominated by the same
+            // witness at every level in between.
+            let next_level = if self.config.eager_level_skip {
+                ((r + 1)..=self.schedule.r_max())
+                    .find(|&r2| self.schedule.factor(r2) < best_factor)
+            } else if r < self.schedule.r_max() {
+                Some(r + 1)
+            } else {
+                None
+            };
+            match next_level {
+                Some(level) => self.insert_candidate(q, plan, cost, level as u8),
+                None => self.stats.candidates_discarded += 1,
+            }
+        } else if bounds.exceeds(&cost) {
+            // Keep as candidate for different bounds (lines 13-16).
+            self.insert_candidate(q, plan, cost, r as u8);
+        } else {
+            // Immediately relevant (lines 17-20).
+            self.insert_result(q, plan, cost, r as u8);
+        }
+    }
+
+    fn insert_result(&mut self, q: TableSet, plan: PlanId, cost: CostVector, level: u8) {
+        let dim = self.model.dim();
+        let kind = self.config.index_kind;
+        self.res
+            .entry(q)
+            .or_insert_with(|| DynIndex::new(kind, dim))
+            .insert(Entry::new(plan, cost, level, self.invocation));
+        let props = self.arena.node(plan).props;
+        let active = self.res_active.entry(q).or_default();
+        if self.config.shadow_dominated {
+            // Shadow plainly dominated, order-substitutable plans: they
+            // stop combining but stay in the index as pruning witnesses.
+            active.retain(|e| !(props.satisfies(&e.props) && cost.dominates(&e.cost)));
+        }
+        active.push(ResEntry {
+            plan,
+            cost,
+            props,
+            invocation: self.invocation,
+            level,
+        });
+        self.last_res_insert.insert(q, self.invocation);
+        self.stats.result_insertions += 1;
+    }
+
+    fn insert_candidate(&mut self, q: TableSet, plan: PlanId, cost: CostVector, level: u8) {
+        let dim = self.model.dim();
+        let kind = self.config.index_kind;
+        self.cand
+            .entry(q)
+            .or_insert_with(|| DynIndex::new(kind, dim))
+            .insert(Entry::new(plan, cost, level, self.invocation));
+        self.stats.candidate_insertions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_cost::coverage_factor;
+    use moqo_costmodel::StandardCostModel;
+    use moqo_query::testkit;
+
+    fn schedule() -> ResolutionSchedule {
+        ResolutionSchedule::linear(4, 1.05, 0.5)
+    }
+
+    #[test]
+    fn single_invocation_produces_a_frontier() {
+        let spec = testkit::chain_query(3, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let b = Bounds::unbounded(3);
+        let report = opt.optimize(&b, 0);
+        assert!(report.frontier_size > 0, "no complete plans found");
+        assert!(report.plans_generated > 0);
+        assert_eq!(report.resolution, 0);
+        let frontier = opt.frontier(&b, 0);
+        assert_eq!(frontier.len(), report.frontier_size);
+        // Every frontier plan joins all tables.
+        for p in &frontier.points {
+            assert_eq!(opt.arena().tables(p.plan), spec.all_tables());
+        }
+    }
+
+    #[test]
+    fn refining_resolution_grows_the_frontier() {
+        let spec = testkit::chain_query(3, 500_000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let b = Bounds::unbounded(3);
+        let mut sizes = Vec::new();
+        for r in 0..=opt.schedule().r_max() {
+            opt.optimize(&b, r);
+            sizes.push(opt.frontier(&b, r).len());
+        }
+        assert!(
+            sizes.last().unwrap() >= sizes.first().unwrap(),
+            "finer resolution should not shrink the frontier: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn run_invocation_follows_main_loop_resolution_rule() {
+        let spec = testkit::chain_query(2, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(2, 1.05, 0.5));
+        let b = Bounds::unbounded(3);
+        assert_eq!(opt.run_invocation(b).resolution, 0);
+        assert_eq!(opt.run_invocation(b).resolution, 1);
+        assert_eq!(opt.run_invocation(b).resolution, 2);
+        // Saturates at rM.
+        assert_eq!(opt.run_invocation(b).resolution, 2);
+        // Bound change resets to 0.
+        let tight = b.with_limit(0, 1e9);
+        assert_eq!(opt.run_invocation(tight).resolution, 0);
+    }
+
+    #[test]
+    fn incremental_invariants_hold_over_a_series() {
+        let spec = testkit::chain_query(4, 200_000);
+        let model = StandardCostModel::paper_metrics();
+        let sched = schedule();
+        let r_max = sched.r_max();
+        let mut opt = IamaOptimizer::with_config(&spec, &model, sched, IamaConfig::tracked());
+        let b = Bounds::unbounded(3);
+        for r in 0..=r_max {
+            opt.optimize(&b, r);
+        }
+        let stats = opt.stats();
+        // Lemma 5: each plan generated at most once.
+        assert!(
+            stats.max_plan_generations() <= 1,
+            "a plan was generated twice"
+        );
+        // Lemma 6: each ordered pair combined at most once.
+        assert!(
+            stats.max_pair_generations() <= 1,
+            "a sub-plan pair was combined twice"
+        );
+        // Lemma 7: each plan retrieved at most rM + 1 times as candidate.
+        assert!(
+            stats.max_candidate_retrievals() as usize <= r_max + 1,
+            "candidate retrieved too often: {}",
+            stats.max_candidate_retrievals()
+        );
+    }
+
+    #[test]
+    fn repeated_invocations_at_max_resolution_do_no_work() {
+        let spec = testkit::chain_query(3, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let b = Bounds::unbounded(3);
+        for r in 0..=opt.schedule().r_max() {
+            opt.optimize(&b, r);
+        }
+        let report = opt.optimize(&b, opt.schedule().r_max());
+        assert_eq!(report.plans_generated, 0, "steady state must generate nothing");
+        assert_eq!(report.pairs_generated, 0);
+        assert_eq!(report.candidates_retrieved, 0);
+    }
+
+    #[test]
+    fn frontier_respects_bounds() {
+        let spec = testkit::chain_query(3, 200_000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let unb = Bounds::unbounded(3);
+        let r_max = opt.schedule().r_max();
+        for r in 0..=r_max {
+            opt.optimize(&unb, r);
+        }
+        let full = opt.frontier(&unb, r_max);
+        assert!(!full.is_empty());
+        // Constrain time to the median frontier time: fewer plans visible,
+        // all within bounds.
+        let mut times: Vec<f64> = full.points.iter().map(|p| p.cost[0]).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        let bounded = Bounds::unbounded(3).with_limit(0, median);
+        let shown = opt.frontier(&bounded, r_max);
+        assert!(shown.len() <= full.len());
+        assert!(shown.points.iter().all(|p| bounded.respects(&p.cost)));
+    }
+
+    #[test]
+    fn bound_change_reuses_candidates_not_regeneration() {
+        let spec = testkit::chain_query(3, 200_000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt =
+            IamaOptimizer::with_config(&spec, &model, schedule(), IamaConfig::tracked());
+        // Start with tight time bounds.
+        let r_max = opt.schedule().r_max();
+        let unb = Bounds::unbounded(3);
+        opt.optimize(&unb, 0);
+        let t_min = opt
+            .frontier(&unb, 0)
+            .min_by_metric(0)
+            .map(|p| p.cost[0])
+            .unwrap();
+        let tight = Bounds::unbounded(3).with_limit(0, t_min * 1.5);
+        for r in 0..=r_max {
+            opt.optimize(&tight, r);
+        }
+        let plans_before = opt.stats().plans_generated;
+        // Loosen the bounds: candidates stored as out-of-bounds re-enter.
+        for r in 0..=r_max {
+            opt.optimize(&unb, r);
+        }
+        let stats = opt.stats();
+        assert!(
+            stats.max_plan_generations() <= 1,
+            "bound change caused plan regeneration"
+        );
+        assert!(stats.max_pair_generations() <= 1);
+        // New plans may be generated (pairs that were never within tight
+        // bounds), but the frontier must now be at least as large.
+        assert!(stats.plans_generated >= plans_before);
+        assert!(!opt.frontier(&unb, r_max).is_empty());
+    }
+
+    #[test]
+    fn final_result_is_within_alpha_n_of_level_specific_runs() {
+        // Coverage sanity: running all levels and querying at rM covers
+        // the coarse frontier within the coarse factor.
+        let spec = testkit::chain_query(3, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let sched = schedule();
+        let r_max = sched.r_max();
+        let mut opt = IamaOptimizer::new(&spec, &model, sched);
+        let b = Bounds::unbounded(3);
+        let mut coarse_costs = Vec::new();
+        for r in 0..=r_max {
+            opt.optimize(&b, r);
+            if r == 0 {
+                coarse_costs = opt.frontier(&b, 0).costs();
+            }
+        }
+        let fine = opt.frontier(&b, r_max).costs();
+        // The fine frontier must cover the coarse one at factor 1 (coarse
+        // plans remain result plans — nothing is ever discarded).
+        assert!(coverage_factor(&fine, &coarse_costs) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_table_query_works() {
+        let spec = testkit::chain_query(1, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let b = Bounds::unbounded(3);
+        let report = opt.optimize(&b, 0);
+        assert!(report.frontier_size >= 1);
+        assert_eq!(report.pairs_generated, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds rM")]
+    fn rejects_out_of_schedule_resolution() {
+        let spec = testkit::chain_query(2, 1000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(1, 1.1, 0.5));
+        opt.optimize(&Bounds::unbounded(3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn rejects_mismatched_bounds_dimension() {
+        let spec = testkit::chain_query(2, 1000);
+        let model = StandardCostModel::paper_metrics();
+        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        opt.optimize(&Bounds::unbounded(2), 0);
+    }
+}

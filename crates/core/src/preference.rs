@@ -1,0 +1,172 @@
+//! Preference functions over cost tradeoffs.
+//!
+//! Prior work (which the paper contrasts with) assumed "users specify a
+//! preference function in the form of weights and cost bounds prior to
+//! optimization". This module provides those preference functions so that
+//! programmatic consumers — which, unlike humans, *can* state preferences
+//! up front — can pick a plan from a frontier automatically: a weighted
+//! sum, the Chebyshev (weighted max) scalarization, and lexicographic
+//! orderings.
+
+use crate::frontier::{FrontierPoint, FrontierSnapshot};
+use moqo_cost::{Bounds, CostVector};
+
+/// A scalarization of cost vectors; smaller is better.
+#[derive(Clone, Debug)]
+pub enum Preference {
+    /// `sum_i w_i * c_i` — the classic linear preference. Only finds
+    /// supported (convex-hull) Pareto points.
+    WeightedSum(Vec<f64>),
+    /// `max_i w_i * c_i` — the weighted Chebyshev scalarization; can
+    /// select any Pareto-optimal point.
+    Chebyshev(Vec<f64>),
+    /// Minimize metrics in the given priority order, breaking ties by the
+    /// next metric (with a relative tolerance for "tied").
+    Lexicographic {
+        /// Metric indices, most important first.
+        order: Vec<usize>,
+        /// Relative tie tolerance (e.g. `0.01` = within 1 % is a tie).
+        tolerance: f64,
+    },
+}
+
+impl Preference {
+    /// Scores a cost vector (lower is better). Lexicographic preferences
+    /// are handled by [`Preference::select`] instead and return the
+    /// primary metric here.
+    pub fn score(&self, cost: &CostVector) -> f64 {
+        match self {
+            Preference::WeightedSum(w) => {
+                assert_eq!(w.len(), cost.dim(), "weight dimension mismatch");
+                cost.as_slice().iter().zip(w).map(|(c, w)| c * w).sum()
+            }
+            Preference::Chebyshev(w) => {
+                assert_eq!(w.len(), cost.dim(), "weight dimension mismatch");
+                cost.as_slice()
+                    .iter()
+                    .zip(w)
+                    .map(|(c, w)| c * w)
+                    .fold(0.0, f64::max)
+            }
+            Preference::Lexicographic { order, .. } => {
+                let first = *order.first().expect("non-empty order");
+                cost[first]
+            }
+        }
+    }
+
+    /// Selects the best point of a frontier under this preference,
+    /// restricted to points respecting `bounds`. Returns `None` when no
+    /// point qualifies.
+    pub fn select<'a>(
+        &self,
+        frontier: &'a FrontierSnapshot,
+        bounds: &Bounds,
+    ) -> Option<&'a FrontierPoint> {
+        let qualified: Vec<&FrontierPoint> = frontier
+            .points
+            .iter()
+            .filter(|p| bounds.respects(&p.cost))
+            .collect();
+        if qualified.is_empty() {
+            return None;
+        }
+        match self {
+            Preference::Lexicographic { order, tolerance } => {
+                assert!(!order.is_empty(), "lexicographic order must be non-empty");
+                let mut pool = qualified;
+                for &metric in order {
+                    let best = pool
+                        .iter()
+                        .map(|p| p.cost[metric])
+                        .fold(f64::INFINITY, f64::min);
+                    let cutoff = best * (1.0 + tolerance) + f64::EPSILON;
+                    pool.retain(|p| p.cost[metric] <= cutoff);
+                    if pool.len() == 1 {
+                        break;
+                    }
+                }
+                pool.into_iter().next()
+            }
+            _ => qualified.into_iter().min_by(|a, b| {
+                self.score(&a.cost)
+                    .partial_cmp(&self.score(&b.cost))
+                    .expect("finite scores")
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_plan::PlanId;
+
+    fn snapshot() -> FrontierSnapshot {
+        let pts = vec![
+            (0, [1.0, 9.0]),
+            (1, [4.0, 4.0]),
+            (2, [9.0, 1.0]),
+            (3, [9.5, 1.0]), // dominated straggler
+        ];
+        FrontierSnapshot::new(
+            pts.into_iter()
+                .map(|(id, c)| FrontierPoint {
+                    plan: PlanId(id),
+                    cost: CostVector::new(&c),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn weighted_sum_moves_with_weights() {
+        let f = snapshot();
+        let unb = Bounds::unbounded(2);
+        let time_heavy = Preference::WeightedSum(vec![1.0, 0.01]);
+        assert_eq!(time_heavy.select(&f, &unb).unwrap().plan, PlanId(0));
+        let fee_heavy = Preference::WeightedSum(vec![0.01, 1.0]);
+        assert_eq!(fee_heavy.select(&f, &unb).unwrap().plan, PlanId(2));
+        let balanced = Preference::WeightedSum(vec![1.0, 1.0]);
+        assert_eq!(balanced.select(&f, &unb).unwrap().plan, PlanId(1));
+    }
+
+    #[test]
+    fn chebyshev_picks_balanced_points() {
+        let f = snapshot();
+        let unb = Bounds::unbounded(2);
+        let p = Preference::Chebyshev(vec![1.0, 1.0]);
+        assert_eq!(p.select(&f, &unb).unwrap().plan, PlanId(1));
+    }
+
+    #[test]
+    fn lexicographic_with_tolerance() {
+        let f = snapshot();
+        let unb = Bounds::unbounded(2);
+        // Strictly minimize metric 1, tie-break by metric 0: plans 2 and 3
+        // tie on metric 1; plan 2 has the better time.
+        let p = Preference::Lexicographic {
+            order: vec![1, 0],
+            tolerance: 0.0,
+        };
+        assert_eq!(p.select(&f, &unb).unwrap().plan, PlanId(2));
+    }
+
+    #[test]
+    fn bounds_restrict_selection() {
+        let f = snapshot();
+        let p = Preference::WeightedSum(vec![1.0, 0.0]);
+        // Cheapest time overall is plan 0, but it violates the fee bound.
+        let b = Bounds::from_slice(&[10.0, 6.0]);
+        assert_eq!(p.select(&f, &b).unwrap().plan, PlanId(1));
+        // Nothing qualifies under impossible bounds.
+        let none = Bounds::from_slice(&[0.5, 0.5]);
+        assert!(p.select(&f, &none).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight dimension mismatch")]
+    fn rejects_mismatched_weights() {
+        Preference::WeightedSum(vec![1.0]).score(&CostVector::new(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,62 @@
+//! Per-invocation reports.
+
+use std::time::Duration;
+
+/// What one `Optimize` invocation did — the quantities plotted in the
+/// paper's Figures 2–5 (invocation time) plus the incrementality counters.
+#[derive(Clone, Debug)]
+pub struct InvocationReport {
+    /// Invocation number (0-based).
+    pub invocation: u32,
+    /// Resolution level used.
+    pub resolution: usize,
+    /// Pruning precision factor `alpha_r` used.
+    pub alpha: f64,
+    /// Wall-clock time of the invocation.
+    pub duration: Duration,
+    /// Completed query plans in `Res^Q[0..b, 0..r]` after the invocation
+    /// (what `Visualize` would show).
+    pub frontier_size: usize,
+    /// Plans constructed during this invocation.
+    pub plans_generated: u64,
+    /// Candidate entries drained and re-pruned during this invocation.
+    pub candidates_retrieved: u64,
+    /// Ordered sub-plan pairs combined during this invocation.
+    pub pairs_generated: u64,
+    /// Result-set insertions during this invocation.
+    pub result_insertions: u64,
+    /// Candidate-set insertions during this invocation.
+    pub candidate_insertions: u64,
+    /// Whether Δ-set filtering was applicable (monotone invocation series).
+    pub used_delta: bool,
+}
+
+impl InvocationReport {
+    /// Seconds of wall-clock time (convenience for reports and CSV).
+    pub fn seconds(&self) -> f64 {
+        self.duration.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_converts_duration() {
+        let r = InvocationReport {
+            invocation: 0,
+            resolution: 0,
+            alpha: 1.1,
+            duration: Duration::from_millis(1500),
+            frontier_size: 0,
+            plans_generated: 0,
+            candidates_retrieved: 0,
+            pairs_generated: 0,
+            result_insertions: 0,
+            candidate_insertions: 0,
+            used_delta: false,
+        };
+        assert!((r.seconds() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! The interactive main control loop — Algorithm 1 of the paper.
+
+use crate::frontier::FrontierSnapshot;
+use crate::optimizer::IamaOptimizer;
+use crate::report::InvocationReport;
+use moqo_cost::Bounds;
+use moqo_costmodel::CostModel;
+use moqo_plan::PlanId;
+
+/// User input arriving between optimizer invocations (Algorithm 1 lines
+/// 17-25).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UserEvent {
+    /// No input: the resolution is refined by one level.
+    None,
+    /// The user dragged the cost bounds: optimization focus changes and
+    /// the resolution resets to 0.
+    SetBounds(Bounds),
+    /// The user clicked a visualized tradeoff: optimization ends and the
+    /// chosen plan is returned for execution.
+    SelectPlan(PlanId),
+}
+
+/// What one iteration of the main loop produced.
+#[derive(Clone, Debug)]
+pub enum StepOutcome {
+    /// Optimization continues; the report and the visualized frontier for
+    /// this iteration.
+    Continue {
+        /// The optimizer invocation's report.
+        report: InvocationReport,
+        /// The cost tradeoffs shown to the user.
+        frontier: FrontierSnapshot,
+    },
+    /// The user selected a plan; the session is finished.
+    Selected(PlanId),
+}
+
+/// The interactive MOQO session: owns the optimizer state, the current
+/// bounds, and the current resolution, and advances them per user event.
+///
+/// Usage mirrors Figure 1: call [`Session::step`] with [`UserEvent::None`]
+/// to let the approximation refine, with [`UserEvent::SetBounds`] when the
+/// user drags a bound, and with [`UserEvent::SelectPlan`] to finish.
+///
+/// ```
+/// use moqo_core::{IamaOptimizer, Session, StepOutcome, UserEvent};
+/// use moqo_cost::ResolutionSchedule;
+/// use moqo_costmodel::StandardCostModel;
+/// use moqo_query::testkit;
+///
+/// let spec = testkit::chain_query(2, 20_000);
+/// let model = StandardCostModel::paper_metrics();
+/// let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(2, 1.1, 0.4));
+/// let mut session = Session::new(opt);
+/// let frontier = match session.step(UserEvent::None) {
+///     StepOutcome::Continue { frontier, .. } => frontier,
+///     _ => unreachable!(),
+/// };
+/// // The user clicks the fastest visualized tradeoff.
+/// let choice = frontier.min_by_metric(0).unwrap().plan;
+/// match session.step(UserEvent::SelectPlan(choice)) {
+///     StepOutcome::Selected(plan) => assert_eq!(plan, choice),
+///     _ => unreachable!(),
+/// }
+/// ```
+pub struct Session<'a, M: CostModel> {
+    optimizer: IamaOptimizer<'a, M>,
+    bounds: Bounds,
+    resolution: usize,
+    finished: bool,
+}
+
+impl<'a, M: CostModel> Session<'a, M> {
+    /// Starts a session with default (unbounded) cost bounds.
+    pub fn new(optimizer: IamaOptimizer<'a, M>) -> Self {
+        let b = Bounds::unbounded(optimizer.model_dim());
+        Self::with_bounds(optimizer, b)
+    }
+
+    /// Starts a session with explicit initial bounds.
+    pub fn with_bounds(optimizer: IamaOptimizer<'a, M>, bounds: Bounds) -> Self {
+        Self {
+            optimizer,
+            bounds,
+            resolution: 0,
+            finished: false,
+        }
+    }
+
+    /// The current cost bounds.
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// The resolution the next step will use.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Access to the underlying optimizer (stats, arena, frontier).
+    pub fn optimizer(&self) -> &IamaOptimizer<'a, M> {
+        &self.optimizer
+    }
+
+    /// True once a plan was selected.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// One iteration of the main control loop: optimize at the current
+    /// focus, visualize, then apply the user event to pick the next focus.
+    ///
+    /// # Panics
+    /// Panics if called after a plan was selected.
+    pub fn step(&mut self, event: UserEvent) -> StepOutcome {
+        assert!(!self.finished, "session already finished");
+        // Lines 13-16: generate more plans, visualize known plans.
+        let report = self.optimizer.optimize(&self.bounds, self.resolution);
+        let frontier = self.optimizer.frontier(&self.bounds, self.resolution);
+        // Lines 17-25: update bounds or refine resolution.
+        match event {
+            UserEvent::None => {
+                self.resolution = (self.resolution + 1).min(self.optimizer.schedule().r_max());
+            }
+            UserEvent::SetBounds(b) => {
+                assert_eq!(b.dim(), self.bounds.dim(), "bounds dimension changed");
+                self.bounds = b;
+                self.resolution = 0;
+            }
+            UserEvent::SelectPlan(p) => {
+                self.finished = true;
+                return StepOutcome::Selected(p);
+            }
+        }
+        StepOutcome::Continue { report, frontier }
+    }
+
+    /// Convenience driver: runs `steps` iterations without user input and
+    /// returns the per-iteration reports (the paper's evaluation scenario,
+    /// "without user interaction ... cost bounds fixed to ∞").
+    pub fn run_uninterrupted(&mut self, steps: usize) -> Vec<InvocationReport> {
+        let mut reports = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            match self.step(UserEvent::None) {
+                StepOutcome::Continue { report, .. } => reports.push(report),
+                StepOutcome::Selected(_) => unreachable!("no selection event was sent"),
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_cost::ResolutionSchedule;
+    use moqo_costmodel::StandardCostModel;
+    use moqo_query::testkit;
+
+    #[test]
+    fn uninterrupted_session_refines_resolution() {
+        let spec = testkit::chain_query(3, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(3, 1.05, 0.5));
+        let mut session = Session::new(opt);
+        let reports = session.run_uninterrupted(5);
+        let resolutions: Vec<usize> = reports.iter().map(|r| r.resolution).collect();
+        // 0, 1, 2, 3 then saturation at rM = 3.
+        assert_eq!(resolutions, vec![0, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn bound_change_resets_resolution() {
+        let spec = testkit::chain_query(2, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(3, 1.05, 0.5));
+        let mut session = Session::new(opt);
+        session.step(UserEvent::None);
+        session.step(UserEvent::None);
+        assert_eq!(session.resolution(), 2);
+        let b = Bounds::unbounded(3).with_limit(0, 1e12);
+        session.step(UserEvent::SetBounds(b));
+        assert_eq!(session.resolution(), 0);
+        assert_eq!(session.bounds(), &b);
+    }
+
+    #[test]
+    fn selecting_a_plan_finishes_the_session() {
+        let spec = testkit::chain_query(2, 100_000);
+        let model = StandardCostModel::paper_metrics();
+        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(2, 1.05, 0.5));
+        let mut session = Session::new(opt);
+        let frontier = match session.step(UserEvent::None) {
+            StepOutcome::Continue { frontier, .. } => frontier,
+            _ => panic!("unexpected selection"),
+        };
+        let chosen = frontier.points[0].plan;
+        match session.step(UserEvent::SelectPlan(chosen)) {
+            StepOutcome::Selected(p) => assert_eq!(p, chosen),
+            _ => panic!("expected selection"),
+        }
+        assert!(session.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn stepping_after_selection_panics() {
+        let spec = testkit::chain_query(2, 1000);
+        let model = StandardCostModel::paper_metrics();
+        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(1, 1.05, 0.5));
+        let mut session = Session::new(opt);
+        let frontier = match session.step(UserEvent::None) {
+            StepOutcome::Continue { frontier, .. } => frontier,
+            _ => panic!(),
+        };
+        session.step(UserEvent::SelectPlan(frontier.points[0].plan));
+        session.step(UserEvent::None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Instrumentation counters for the incremental invariants (Lemmas 5–7).
+
+use moqo_index::FxHashMap;
+use moqo_plan::Operator;
+
+/// Aggregate and (optionally) per-plan counters maintained by the
+/// optimizer. The per-plan maps are only filled when
+/// [`crate::IamaConfig::track_invariants`] is set.
+#[derive(Clone, Debug, Default)]
+pub struct OptimizerStats {
+    /// Completed `Optimize` invocations.
+    pub invocations: u32,
+    /// Plans ever constructed (scan + join alternatives).
+    pub plans_generated: u64,
+    /// Ordered sub-plan pairs combined in `Fresh`.
+    pub pairs_generated: u64,
+    /// Candidate entries retrieved (drained) in phase 1.
+    pub candidate_retrievals: u64,
+    /// Cost-vector comparisons performed during pruning.
+    pub prune_comparisons: u64,
+    /// Insertions into result sets.
+    pub result_insertions: u64,
+    /// Insertions into candidate sets.
+    pub candidate_insertions: u64,
+    /// Candidates discarded at the maximal resolution.
+    pub candidates_discarded: u64,
+    /// Pairs skipped by the `IsFresh` check (already combined earlier).
+    pub stale_pairs_skipped: u64,
+    /// Invocations that could use Δ-set filtering in `Fresh`.
+    pub delta_invocations: u32,
+
+    /// Per-plan-signature generation counts (Lemma 5), keyed by
+    /// `(operator, left child, right child)`. Tracked only on demand.
+    pub plan_generations: FxHashMap<(Operator, u32, u32), u32>,
+    /// Per-ordered-pair generation counts (Lemma 6). Tracked only on
+    /// demand; `IsFresh` should keep every count at 1.
+    pub pair_generations: FxHashMap<(u32, u32), u32>,
+    /// Per-plan candidate retrieval counts (Lemma 7).
+    pub candidate_retrieval_counts: FxHashMap<u32, u32>,
+}
+
+impl OptimizerStats {
+    /// The maximum number of times any single plan signature was
+    /// generated. Lemma 5 requires this to be at most 1.
+    pub fn max_plan_generations(&self) -> u32 {
+        self.plan_generations.values().copied().max().unwrap_or(0)
+    }
+
+    /// The maximum number of times any ordered sub-plan pair was
+    /// generated. Lemma 6 requires this to be at most 1.
+    pub fn max_pair_generations(&self) -> u32 {
+        self.pair_generations.values().copied().max().unwrap_or(0)
+    }
+
+    /// The maximum number of times any plan was retrieved from a
+    /// candidate set. Lemma 7 requires this to be at most `rM + 1`.
+    pub fn max_candidate_retrievals(&self) -> u32 {
+        self.candidate_retrieval_counts
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxima_over_empty_maps_are_zero() {
+        let s = OptimizerStats::default();
+        assert_eq!(s.max_plan_generations(), 0);
+        assert_eq!(s.max_pair_generations(), 0);
+        assert_eq!(s.max_candidate_retrievals(), 0);
+    }
+
+    #[test]
+    fn maxima_pick_the_largest_count() {
+        let mut s = OptimizerStats::default();
+        s.pair_generations.insert((1, 2), 1);
+        s.pair_generations.insert((3, 4), 5);
+        assert_eq!(s.max_pair_generations(), 5);
+        s.candidate_retrieval_counts.insert(9, 3);
+        assert_eq!(s.max_candidate_retrievals(), 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! Cost-aggregation functions and the Principle of Near-Optimality (PONO).
+//!
+//! The paper's formal guarantees hold for cost metrics whose recursive
+//! aggregation function — the function computing a plan's cost from the
+//! costs of its two sub-plans plus the join operator's own contribution —
+//! can be expressed with the operators *sum*, *maximum*, *minimum*, and
+//! *multiplication by a constant* (Section 5.1). All such functions satisfy
+//! PONO (Definition 1): replacing sub-plans by `alpha`-near-optimal
+//! sub-plans yields an `alpha`-near-optimal plan. They are also *monotone*:
+//! a plan costs at least as much as each sub-plan.
+//!
+//! This module defines the small combinator language and verifies the PONO
+//! and monotonicity properties in tests; `moqo-costmodel` builds the
+//! concrete per-metric aggregators on top of it.
+
+/// How a metric combines the two child values before the operator's own
+/// contribution is applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChildCombine {
+    /// `left + right` — e.g. energy consumption, monetary fees, or
+    /// execution time of sequential execution.
+    Sum,
+    /// `max(left, right)` — e.g. execution time of parallel execution, or
+    /// peak resource reservations such as the number of reserved cores.
+    Max,
+    /// `min(left, right)` — e.g. lower-is-better guarantees that propagate
+    /// by the weaker of the two operands.
+    Min,
+}
+
+impl ChildCombine {
+    /// Combines the two child metric values.
+    #[inline]
+    pub fn combine(self, left: f64, right: f64) -> f64 {
+        match self {
+            ChildCombine::Sum => left + right,
+            ChildCombine::Max => left.max(right),
+            ChildCombine::Min => left.min(right),
+        }
+    }
+}
+
+/// A per-metric aggregation function: `combine(children) ⊕ op_term`, where
+/// `⊕` is either `+` (additive operator contribution) or `max`.
+///
+/// The operator term itself may be scaled by a constant; all compositions
+/// stay within the paper's PONO-compliant class because the operator term
+/// is a constant with respect to the sub-plan costs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AggFn {
+    /// How the two child values are combined.
+    pub children: ChildCombine,
+    /// Whether the operator term is added (`true`) or max-ed (`false`).
+    pub additive_op: bool,
+    /// Constant scale applied to the combined child value (must be in
+    /// `(0, 1]` for monotonicity to hold; `1.0` for standard metrics).
+    pub child_scale: f64,
+}
+
+impl AggFn {
+    /// Sum of children plus operator cost — the most common shape
+    /// (execution time, energy, fees, IO).
+    pub const SUM: AggFn = AggFn {
+        children: ChildCombine::Sum,
+        additive_op: true,
+        child_scale: 1.0,
+    };
+
+    /// Max of children and operator cost — peak-resource metrics such as
+    /// the number of reserved cores or buffer space.
+    pub const MAX: AggFn = AggFn {
+        children: ChildCombine::Max,
+        additive_op: false,
+        child_scale: 1.0,
+    };
+
+    /// Max of children plus additive operator cost — e.g. execution time
+    /// where children run in parallel but the join runs after both.
+    pub const MAX_PLUS: AggFn = AggFn {
+        children: ChildCombine::Max,
+        additive_op: true,
+        child_scale: 1.0,
+    };
+
+    /// Evaluates the aggregation for child values and the operator term.
+    ///
+    /// All inputs must be non-negative; the result is then non-negative and
+    /// at least as large as `child_scale * combine(children)`.
+    #[inline]
+    pub fn apply(&self, left: f64, right: f64, op_term: f64) -> f64 {
+        debug_assert!(left >= 0.0 && right >= 0.0 && op_term >= 0.0);
+        let combined = self.children.combine(left, right) * self.child_scale;
+        if self.additive_op {
+            combined + op_term
+        } else {
+            combined.max(op_term)
+        }
+    }
+
+    /// True if the aggregation is monotone: the plan value is at least each
+    /// (scaled) child value. Holds whenever `child_scale == 1` for Sum/Max;
+    /// Min and down-scaling are *not* monotone in the paper's sense and are
+    /// rejected by the optimizer configuration for bound-based pruning.
+    #[inline]
+    pub fn is_monotone(&self) -> bool {
+        self.child_scale >= 1.0 && !matches!(self.children, ChildCombine::Min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_combiners() {
+        assert_eq!(ChildCombine::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(ChildCombine::Max.combine(2.0, 3.0), 3.0);
+        assert_eq!(ChildCombine::Min.combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn canned_aggregators() {
+        assert_eq!(AggFn::SUM.apply(1.0, 2.0, 4.0), 7.0);
+        assert_eq!(AggFn::MAX.apply(1.0, 2.0, 4.0), 4.0);
+        assert_eq!(AggFn::MAX.apply(1.0, 9.0, 4.0), 9.0);
+        assert_eq!(AggFn::MAX_PLUS.apply(1.0, 9.0, 4.0), 13.0);
+    }
+
+    #[test]
+    fn monotonicity_classification() {
+        assert!(AggFn::SUM.is_monotone());
+        assert!(AggFn::MAX.is_monotone());
+        assert!(AggFn::MAX_PLUS.is_monotone());
+        let min_agg = AggFn {
+            children: ChildCombine::Min,
+            additive_op: true,
+            child_scale: 1.0,
+        };
+        assert!(!min_agg.is_monotone());
+        let scaled_down = AggFn {
+            children: ChildCombine::Sum,
+            additive_op: true,
+            child_scale: 0.5,
+        };
+        assert!(!scaled_down.is_monotone());
+    }
+
+    #[test]
+    fn monotone_aggregators_dominate_children() {
+        for agg in [AggFn::SUM, AggFn::MAX, AggFn::MAX_PLUS] {
+            for &(l, r, op) in &[(0.0, 0.0, 0.0), (1.0, 2.0, 3.0), (5.0, 0.5, 0.0)] {
+                let v = agg.apply(l, r, op);
+                assert!(v >= l && v >= r, "{agg:?} not monotone at ({l},{r},{op})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn agg_fn() -> impl Strategy<Value = AggFn> {
+        (
+            prop_oneof![
+                Just(ChildCombine::Sum),
+                Just(ChildCombine::Max),
+                Just(ChildCombine::Min)
+            ],
+            any::<bool>(),
+        )
+            .prop_map(|(children, additive_op)| AggFn {
+                children,
+                additive_op,
+                child_scale: 1.0,
+            })
+    }
+
+    proptest! {
+        /// PONO (Definition 1): if each child value is inflated by at most
+        /// `alpha >= 1`, the aggregated value is inflated by at most `alpha`.
+        /// This holds for every combination of sum/max/min children and
+        /// additive/max operator terms.
+        #[test]
+        fn pono_holds(
+            agg in agg_fn(),
+            l in 0.0f64..1e6,
+            r in 0.0f64..1e6,
+            op in 0.0f64..1e6,
+            alpha in 1.0f64..4.0,
+            // Per-child inflation within [1, alpha].
+            fl in 0.0f64..1.0,
+            fr in 0.0f64..1.0,
+        ) {
+            let al = 1.0 + fl * (alpha - 1.0);
+            let ar = 1.0 + fr * (alpha - 1.0);
+            let base = agg.apply(l, r, op);
+            let inflated = agg.apply(al * l, ar * r, op);
+            // Allow tiny FP slack.
+            prop_assert!(inflated <= alpha * base * (1.0 + 1e-12) + 1e-12,
+                "PONO violated: {inflated} > {alpha} * {base}");
+        }
+
+        /// Aggregated values never decrease when a child value increases.
+        #[test]
+        fn monotone_in_children(
+            agg in agg_fn(),
+            l in 0.0f64..1e6,
+            r in 0.0f64..1e6,
+            op in 0.0f64..1e6,
+            dl in 0.0f64..1e5,
+        ) {
+            prop_assert!(agg.apply(l + dl, r, op) >= agg.apply(l, r, op));
+            prop_assert!(agg.apply(l, r + dl, op) >= agg.apply(l, r, op));
+        }
+
+        /// Monotone cost aggregation (Section 5.1 assumption): the plan
+        /// value is at least each child value for monotone aggregators.
+        #[test]
+        fn monotone_aggregators_bound_children(
+            agg in agg_fn().prop_filter("monotone", |a| a.is_monotone()),
+            l in 0.0f64..1e6,
+            r in 0.0f64..1e6,
+            op in 0.0f64..1e6,
+        ) {
+            let v = agg.apply(l, r, op);
+            prop_assert!(v >= l);
+            prop_assert!(v >= r);
+        }
+    }
+}

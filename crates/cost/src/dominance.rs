@@ -1,0 +1,135 @@
+//! Free-function dominance relations over [`CostVector`]s.
+//!
+//! These mirror the relations of Section 3 of the paper:
+//! * `dominates(a, b)`  ⇔  `c(a) ⪯ c(b)` — `a` is at least as good as `b`
+//!   on every metric;
+//! * `strictly_dominates(a, b)`  ⇔  `c(a) ≺ c(b)` — dominates and strictly
+//!   better on at least one metric;
+//! * `dominates_scaled(a, b, alpha)`  ⇔  `c(a) ⪯ alpha · c(b)` — the
+//!   approximate dominance used throughout pruning.
+
+use crate::vector::CostVector;
+
+/// `a ⪯ b`: `a` is at least as good as `b` according to every cost metric.
+#[inline]
+pub fn dominates(a: &CostVector, b: &CostVector) -> bool {
+    a.dominates(b)
+}
+
+/// `a ≺ b`: `a` dominates `b` and has lower cost on at least one metric.
+#[inline]
+pub fn strictly_dominates(a: &CostVector, b: &CostVector) -> bool {
+    a.strictly_dominates(b)
+}
+
+/// `a ⪯ alpha · b`: approximate dominance with precision factor `alpha`.
+///
+/// With `alpha > 1` this is *easier* to satisfy than plain dominance: the
+/// cost of `b` is inflated before the comparison, so `a` only needs to be
+/// within a factor `alpha` of `b` on every metric.
+#[inline]
+pub fn dominates_scaled(a: &CostVector, b: &CostVector, alpha: f64) -> bool {
+    a.dominates_scaled(b, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[f64]) -> CostVector {
+        CostVector::new(s)
+    }
+
+    #[test]
+    fn free_functions_match_methods() {
+        let a = v(&[1.0, 2.0]);
+        let b = v(&[2.0, 2.0]);
+        assert!(dominates(&a, &b));
+        assert!(strictly_dominates(&a, &b));
+        assert!(dominates_scaled(&b, &a, 2.0));
+        assert!(!dominates_scaled(&b, &a, 1.0));
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_antisymmetric_up_to_equality() {
+        let a = v(&[3.0, 1.0]);
+        let b = v(&[3.0, 1.0]);
+        assert!(dominates(&a, &b) && dominates(&b, &a));
+        assert!(!strictly_dominates(&a, &b));
+    }
+
+    #[test]
+    fn scaled_dominance_with_alpha_one_is_plain_dominance() {
+        let a = v(&[1.0, 4.0]);
+        let b = v(&[2.0, 3.0]);
+        assert_eq!(dominates(&a, &b), dominates_scaled(&a, &b, 1.0));
+        assert_eq!(dominates(&b, &a), dominates_scaled(&b, &a, 1.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cost_vec(dim: usize) -> impl Strategy<Value = CostVector> {
+        proptest::collection::vec(0.0f64..1e6, dim).prop_map(|v| CostVector::new(&v))
+    }
+
+    proptest! {
+        /// Dominance is a partial order: reflexive and transitive.
+        #[test]
+        fn dominance_reflexive(a in cost_vec(3)) {
+            prop_assert!(dominates(&a, &a));
+        }
+
+        #[test]
+        fn dominance_transitive(a in cost_vec(3), b in cost_vec(3), c in cost_vec(3)) {
+            if dominates(&a, &b) && dominates(&b, &c) {
+                prop_assert!(dominates(&a, &c));
+            }
+        }
+
+        /// Strict dominance is irreflexive and implies dominance.
+        #[test]
+        fn strict_implies_plain(a in cost_vec(4), b in cost_vec(4)) {
+            if strictly_dominates(&a, &b) {
+                prop_assert!(dominates(&a, &b));
+                prop_assert!(a != b);
+            }
+        }
+
+        /// Approximate dominance is monotone in alpha.
+        #[test]
+        fn scaled_monotone_in_alpha(
+            a in cost_vec(3),
+            b in cost_vec(3),
+            alpha in 1.0f64..4.0,
+            extra in 0.0f64..2.0,
+        ) {
+            if dominates_scaled(&a, &b, alpha) {
+                prop_assert!(dominates_scaled(&a, &b, alpha + extra));
+            }
+        }
+
+        /// Plain dominance implies alpha-dominance for any alpha >= 1.
+        #[test]
+        fn dominance_implies_scaled(a in cost_vec(3), b in cost_vec(3), alpha in 1.0f64..4.0) {
+            if dominates(&a, &b) {
+                prop_assert!(dominates_scaled(&a, &b, alpha));
+            }
+        }
+
+        /// domination_factor is the exact threshold for dominates_scaled.
+        #[test]
+        fn domination_factor_is_threshold(a in cost_vec(3), b in cost_vec(3)) {
+            let f = a.domination_factor(&b);
+            if f.is_finite() {
+                prop_assert!(dominates_scaled(&a, &b, f * (1.0 + 1e-12) + 1e-12));
+                if f > 1e-9 {
+                    prop_assert!(!dominates_scaled(&a, &b, f * (1.0 - 1e-9) - 1e-9));
+                }
+            }
+        }
+    }
+}

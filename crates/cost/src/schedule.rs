@@ -1,0 +1,241 @@
+//! Resolution-level schedules.
+//!
+//! IAMA refines the frontier over a fixed ladder of resolution levels
+//! `r ∈ {0, …, rM}`. Each level maps to a pruning precision factor
+//! `alpha_r` with `alpha_r > 1` and `alpha_r > alpha_{r+1}` — coarser
+//! levels prune more aggressively. The paper's evaluation (Section 6.1)
+//! uses the linear schedule
+//!
+//! ```text
+//! alpha_r = alpha_T + alpha_S * (rM - r) / rM
+//! ```
+//!
+//! so that the finest level `rM` prunes with exactly the target precision
+//! `alpha_T`. By Theorem 2 an optimizer invocation at level `r` yields an
+//! `alpha_r^n`-approximate Pareto set for an `n`-table query.
+
+/// A schedule of precision factors over resolution levels `0..=r_max`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolutionSchedule {
+    factors: Vec<f64>,
+}
+
+impl ResolutionSchedule {
+    /// The paper's linear schedule: `alpha_r = alpha_t + alpha_s * (rM - r)/rM`.
+    ///
+    /// `r_max` is the highest resolution level (`rM`); the schedule has
+    /// `r_max + 1` levels. With `r_max == 0` there is a single level with
+    /// factor `alpha_t + alpha_s` — matching the paper's "1 resolution
+    /// level" configuration degenerating to a one-shot run at that factor.
+    ///
+    /// # Panics
+    /// Panics unless `alpha_t > 1` and `alpha_s >= 0`.
+    pub fn linear(r_max: usize, alpha_t: f64, alpha_s: f64) -> Self {
+        assert!(alpha_t > 1.0, "target precision alpha_T must exceed 1");
+        assert!(alpha_s >= 0.0, "precision step alpha_S must be non-negative");
+        let rm = r_max as f64;
+        let factors = (0..=r_max)
+            .map(|r| {
+                if r_max == 0 {
+                    alpha_t + alpha_s
+                } else {
+                    alpha_t + alpha_s * (rm - r as f64) / rm
+                }
+            })
+            .collect();
+        Self { factors }
+    }
+
+    /// A geometric schedule: the precision *margins* `alpha_r - 1` decay
+    /// geometrically from `alpha_0 - 1` down to `alpha_t - 1`.
+    ///
+    /// The paper's evaluation uses the linear ladder and notes that the
+    /// worst-case invocation-time ratio "could be extended by a more
+    /// optimized sequence of precision factors" (Section 6.2). A geometric
+    /// ladder spaces the *work* between levels more evenly: the number of
+    /// plans in an `alpha`-net grows roughly like `(1/(alpha-1))^(l-1)`,
+    /// so equal multiplicative steps in the margin produce comparable
+    /// per-level plan deltas instead of backloading everything into the
+    /// finest levels.
+    ///
+    /// # Panics
+    /// Panics unless `alpha_0 > alpha_t > 1`.
+    pub fn geometric(r_max: usize, alpha_t: f64, alpha_0: f64) -> Self {
+        assert!(alpha_t > 1.0, "target precision alpha_T must exceed 1");
+        assert!(alpha_0 > alpha_t, "initial factor must exceed the target");
+        if r_max == 0 {
+            return Self {
+                factors: vec![alpha_0],
+            };
+        }
+        let m0 = alpha_0 - 1.0;
+        let mt = alpha_t - 1.0;
+        let ratio = (mt / m0).powf(1.0 / r_max as f64);
+        let factors = (0..=r_max)
+            .map(|r| 1.0 + m0 * ratio.powi(r as i32))
+            .collect();
+        Self { factors }
+    }
+
+    /// A schedule from explicit factors (must be strictly decreasing and
+    /// all greater than one).
+    ///
+    /// # Panics
+    /// Panics if the factor sequence is empty, contains a factor `<= 1`, or
+    /// is not strictly decreasing.
+    pub fn from_factors(factors: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "schedule needs at least one level");
+        for w in factors.windows(2) {
+            assert!(w[0] > w[1], "factors must strictly decrease per level");
+        }
+        assert!(
+            *factors.last().unwrap() > 1.0,
+            "all precision factors must exceed 1"
+        );
+        Self { factors }
+    }
+
+    /// The highest resolution level `rM`.
+    #[inline]
+    pub fn r_max(&self) -> usize {
+        self.factors.len() - 1
+    }
+
+    /// Number of levels (`rM + 1`).
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The pruning precision factor `alpha_r` for level `r`.
+    ///
+    /// # Panics
+    /// Panics if `r > rM`.
+    #[inline]
+    pub fn factor(&self, r: usize) -> f64 {
+        self.factors[r]
+    }
+
+    /// The finest (target) factor `alpha_{rM}`.
+    #[inline]
+    pub fn target_factor(&self) -> f64 {
+        *self.factors.last().unwrap()
+    }
+
+    /// The formal approximation guarantee after an invocation at level `r`
+    /// for an `n`-table query: `alpha_r^n` (Theorem 2).
+    #[inline]
+    pub fn guarantee(&self, r: usize, n_tables: usize) -> f64 {
+        self.factor(r).powi(n_tables as i32)
+    }
+
+    /// Iterates over `(level, factor)` pairs from coarsest to finest.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.factors.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_schedule_endpoints() {
+        let s = ResolutionSchedule::linear(20, 1.01, 0.05);
+        assert_eq!(s.levels(), 21);
+        assert_eq!(s.r_max(), 20);
+        assert!((s.factor(0) - 1.06).abs() < 1e-12);
+        assert!((s.target_factor() - 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_schedule_is_strictly_decreasing() {
+        let s = ResolutionSchedule::linear(5, 1.005, 0.5);
+        for r in 0..s.r_max() {
+            assert!(s.factor(r) > s.factor(r + 1));
+        }
+        assert!(s.target_factor() > 1.0);
+    }
+
+    #[test]
+    fn single_level_schedule() {
+        let s = ResolutionSchedule::linear(0, 1.01, 0.05);
+        assert_eq!(s.levels(), 1);
+        assert!((s.factor(0) - 1.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_guarantee_example() {
+        // Section 6.2: alpha_T = 1.01 with at most 8 tables gives about an
+        // 8% worst-case deviation (1.01^8 ≈ 1.083).
+        let s = ResolutionSchedule::linear(20, 1.01, 0.05);
+        let g = s.guarantee(s.r_max(), 8);
+        assert!((g - 1.01f64.powi(8)).abs() < 1e-12);
+        assert!(g > 1.08 && g < 1.09);
+    }
+
+    #[test]
+    fn geometric_schedule_endpoints_and_monotonicity() {
+        let s = ResolutionSchedule::geometric(10, 1.005, 1.5);
+        assert_eq!(s.levels(), 11);
+        assert!((s.factor(0) - 1.5).abs() < 1e-12);
+        assert!((s.target_factor() - 1.005).abs() < 1e-9);
+        for r in 0..s.r_max() {
+            assert!(s.factor(r) > s.factor(r + 1));
+        }
+        // Margins decay geometrically: constant ratio between steps.
+        let ratios: Vec<f64> = (0..s.r_max())
+            .map(|r| (s.factor(r + 1) - 1.0) / (s.factor(r) - 1.0))
+            .collect();
+        for w in ratios.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "ratios {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn geometric_single_level() {
+        let s = ResolutionSchedule::geometric(0, 1.01, 1.5);
+        assert_eq!(s.levels(), 1);
+        assert_eq!(s.factor(0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the target")]
+    fn geometric_rejects_inverted_factors() {
+        ResolutionSchedule::geometric(5, 1.5, 1.01);
+    }
+
+    #[test]
+    fn from_factors_accepts_valid_ladder() {
+        let s = ResolutionSchedule::from_factors(vec![2.0, 1.5, 1.1]);
+        assert_eq!(s.r_max(), 2);
+        assert_eq!(s.factor(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decrease")]
+    fn from_factors_rejects_non_decreasing() {
+        ResolutionSchedule::from_factors(vec![1.5, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn from_factors_rejects_factor_at_most_one() {
+        ResolutionSchedule::from_factors(vec![1.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha_T must exceed 1")]
+    fn linear_rejects_bad_target() {
+        ResolutionSchedule::linear(5, 1.0, 0.5);
+    }
+
+    #[test]
+    fn iter_yields_all_levels() {
+        let s = ResolutionSchedule::linear(3, 1.1, 0.3);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0].0, 0);
+        assert_eq!(pairs[3], (3, s.target_factor()));
+    }
+}

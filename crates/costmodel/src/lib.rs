@@ -1,0 +1,30 @@
+//! Multi-metric cost models.
+//!
+//! The paper deliberately reuses cost models from prior work ("the focus of
+//! this paper is on optimization and not on costing"). This crate provides
+//! that substrate: a [`CostModel`] trait consumed by every optimizer in the
+//! workspace, and [`StandardCostModel`], a textbook implementation over the
+//! operators of `moqo-plan` supporting the paper's three evaluation metrics
+//! — execution time, number of reserved cores, and result precision
+//! (encoded as *error* = 1 − precision so that lower is always better) —
+//! plus monetary fees and energy for the cloud scenarios of Examples 1/2.
+//!
+//! Every aggregation function used here satisfies the Principle of
+//! Near-Optimality (Definition 1) and monotone cost aggregation
+//! (Section 5.1); the property tests in [`metrics`] verify this, including
+//! for the probabilistic-sum error combinator that lies outside the basic
+//! sum/max/min class (the paper notes PONO was separately shown for result
+//! precision).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod model;
+pub mod standard;
+
+pub use metrics::{Metric, MetricSet};
+pub use model::{CostModel, PlanInput};
+pub use standard::{StandardCostModel, StandardCostModelConfig};
+
+#[cfg(test)]
+mod tests_memory;

@@ -1,0 +1,237 @@
+//! Metric definitions and PONO-compliant per-metric aggregation.
+
+use moqo_cost::CostVector;
+
+/// A plan cost metric with fixed aggregation semantics.
+///
+/// The units are abstract "work units" for time-like metrics; only relative
+/// comparisons matter to the optimizer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Execution time. Children combine with `+` (sequential) or `max`
+    /// (parallel) depending on the operator; the operator term is added.
+    Time,
+    /// Peak number of reserved cores. Children combine with `max` (for
+    /// sequential execution) or `+` (for concurrently running children);
+    /// the operator term is max-ed in.
+    Cores,
+    /// Result error, `1 − precision ∈ [0, 1)`. Children combine with the
+    /// probabilistic sum `e1 + e2 − e1·e2` (precisions multiply); join
+    /// operators add no error of their own.
+    Error,
+    /// Monetary execution fees (e.g. core-seconds billed in a cloud).
+    /// Children combine with `+`; the operator term is added.
+    Fees,
+    /// Energy consumption. Children combine with `+`; the operator term is
+    /// added (footnote 2 of the paper).
+    Energy,
+    /// Peak buffer memory reservation in bytes (the paper lists "buffer
+    /// space" among the supported resource metrics). Children combine
+    /// with `max` (sequential pipeline stages release their buffers) or
+    /// `+` (concurrent children hold buffers simultaneously); the
+    /// operator term is max-ed in.
+    Memory,
+}
+
+impl Metric {
+    /// Short lower-case name for reports and CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Time => "time",
+            Metric::Cores => "cores",
+            Metric::Error => "error",
+            Metric::Fees => "fees",
+            Metric::Energy => "energy",
+            Metric::Memory => "memory",
+        }
+    }
+}
+
+/// Probabilistic sum: the error of a plan whose two inputs have independent
+/// errors `a` and `b` (precisions multiply: `1-e = (1-a)(1-b)`).
+///
+/// PONO holds: if `a* ≤ α·a` and `b* ≤ α·b` with `α ≥ 1`, then
+/// `prob_sum(a*, b*) ≤ α · prob_sum(a, b)` (verified by property test).
+#[inline]
+pub fn prob_sum(a: f64, b: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+    a + b - a * b
+}
+
+/// An ordered set of metrics defining the cost-vector layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSet {
+    metrics: Vec<Metric>,
+}
+
+impl MetricSet {
+    /// Creates a metric set.
+    ///
+    /// # Panics
+    /// Panics if empty, longer than [`moqo_cost::MAX_DIM`], or containing
+    /// duplicates.
+    pub fn new(metrics: Vec<Metric>) -> Self {
+        assert!(!metrics.is_empty(), "need at least one metric");
+        assert!(metrics.len() <= moqo_cost::MAX_DIM);
+        for (i, a) in metrics.iter().enumerate() {
+            for b in metrics.iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate metric {a:?}");
+            }
+        }
+        Self { metrics }
+    }
+
+    /// The paper's evaluation metrics: time, reserved cores, result error.
+    pub fn paper() -> Self {
+        Self::new(vec![Metric::Time, Metric::Cores, Metric::Error])
+    }
+
+    /// Example 1's cloud metrics: time and monetary fees.
+    pub fn cloud() -> Self {
+        Self::new(vec![Metric::Time, Metric::Fees])
+    }
+
+    /// Time + energy (green computing scenario).
+    pub fn energy() -> Self {
+        Self::new(vec![Metric::Time, Metric::Energy])
+    }
+
+    /// All six supported metrics.
+    pub fn all() -> Self {
+        Self::new(vec![
+            Metric::Time,
+            Metric::Cores,
+            Metric::Error,
+            Metric::Fees,
+            Metric::Energy,
+            Metric::Memory,
+        ])
+    }
+
+    /// Resource-focused metrics: time, cores, and buffer memory.
+    pub fn resources() -> Self {
+        Self::new(vec![Metric::Time, Metric::Cores, Metric::Memory])
+    }
+
+    /// Number of metrics (the paper's `l`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// The metric at vector position `i`.
+    #[inline]
+    pub fn metric(&self, i: usize) -> Metric {
+        self.metrics[i]
+    }
+
+    /// Position of `metric` in the vector layout, if present.
+    pub fn position(&self, metric: Metric) -> Option<usize> {
+        self.metrics.iter().position(|m| *m == metric)
+    }
+
+    /// Iterates over the metrics in vector order.
+    pub fn iter(&self) -> impl Iterator<Item = Metric> + '_ {
+        self.metrics.iter().copied()
+    }
+
+    /// Extracts the value of `metric` from a cost vector laid out by this
+    /// set, if present.
+    pub fn get(&self, cost: &CostVector, metric: Metric) -> Option<f64> {
+        self.position(metric).map(|i| cost[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(MetricSet::paper().dim(), 3);
+        assert_eq!(MetricSet::cloud().dim(), 2);
+        assert_eq!(MetricSet::all().dim(), 6);
+        assert_eq!(MetricSet::resources().dim(), 3);
+        assert_eq!(MetricSet::paper().metric(0), Metric::Time);
+    }
+
+    #[test]
+    fn positions_and_get() {
+        let s = MetricSet::paper();
+        assert_eq!(s.position(Metric::Cores), Some(1));
+        assert_eq!(s.position(Metric::Fees), None);
+        let c = CostVector::new(&[1.0, 4.0, 0.25]);
+        assert_eq!(s.get(&c, Metric::Error), Some(0.25));
+        assert_eq!(s.get(&c, Metric::Energy), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric")]
+    fn rejects_duplicates() {
+        MetricSet::new(vec![Metric::Time, Metric::Time]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        MetricSet::new(vec![]);
+    }
+
+    #[test]
+    fn prob_sum_basics() {
+        assert_eq!(prob_sum(0.0, 0.0), 0.0);
+        assert_eq!(prob_sum(0.5, 0.0), 0.5);
+        assert!((prob_sum(0.5, 0.5) - 0.75).abs() < 1e-12);
+        assert_eq!(prob_sum(1.0, 0.3), 1.0);
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(Metric::Time.name(), "time");
+        assert_eq!(Metric::Error.name(), "error");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// PONO for the probabilistic-sum error combinator: inflating each
+        /// child error by at most alpha inflates the combined error by at
+        /// most alpha. (The cross term only helps: alpha²·ab ≥ alpha·ab.)
+        #[test]
+        fn prob_sum_satisfies_pono(
+            a in 0.0f64..1.0,
+            b in 0.0f64..1.0,
+            alpha in 1.0f64..3.0,
+            fa in 0.0f64..1.0,
+            fb in 0.0f64..1.0,
+        ) {
+            let aa = (a * (1.0 + fa * (alpha - 1.0))).min(1.0);
+            let bb = (b * (1.0 + fb * (alpha - 1.0))).min(1.0);
+            let base = prob_sum(a, b);
+            let inflated = prob_sum(aa, bb);
+            prop_assert!(inflated <= alpha * base + 1e-12,
+                "prob_sum PONO violated: {inflated} > {alpha} * {base}");
+        }
+
+        /// Monotone cost aggregation: combined error bounds each child.
+        #[test]
+        fn prob_sum_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let c = prob_sum(a, b);
+            prop_assert!(c >= a - 1e-15 && c >= b - 1e-15);
+            prop_assert!(c <= 1.0 + 1e-15);
+        }
+
+        /// Probabilistic sum is commutative and associative.
+        #[test]
+        fn prob_sum_algebra(a in 0.0f64..1.0, b in 0.0f64..1.0, c in 0.0f64..1.0) {
+            prop_assert!((prob_sum(a, b) - prob_sum(b, a)).abs() < 1e-12);
+            let l = prob_sum(prob_sum(a, b), c);
+            let r = prob_sum(a, prob_sum(b, c));
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+}

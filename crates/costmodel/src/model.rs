@@ -1,0 +1,60 @@
+//! The [`CostModel`] trait: what every optimizer needs from the costing
+//! substrate.
+
+use crate::metrics::MetricSet;
+use moqo_cost::CostVector;
+use moqo_plan::{Operator, PhysicalProps};
+use moqo_query::{QuerySpec, TableSet};
+
+/// What the cost model sees of a child plan when costing a join: its table
+/// set, cached cost vector, and physical properties.
+///
+/// This is all the information the recursive cost formulas may consume —
+/// the paper's Lemma 4 requires that combining two sub-plans costs `O(1)`,
+/// which holds because the cost is computed "from the cached cost of the
+/// sub-plans using recursive cost formulas".
+#[derive(Clone, Copy, Debug)]
+pub struct PlanInput {
+    /// Tables joined by the child plan.
+    pub tables: TableSet,
+    /// Cached cost vector of the child plan.
+    pub cost: CostVector,
+    /// Physical properties of the child plan's output.
+    pub props: PhysicalProps,
+}
+
+/// A multi-objective cost model: enumerates operator alternatives and costs
+/// them with PONO-compliant recursive formulas.
+pub trait CostModel {
+    /// The metric layout of the produced cost vectors.
+    fn metrics(&self) -> &MetricSet;
+
+    /// Number of cost metrics (the paper's `l`).
+    fn dim(&self) -> usize {
+        self.metrics().dim()
+    }
+
+    /// All scan alternatives for the query table at `position`:
+    /// `(operator, cost, output properties)` triples.
+    ///
+    /// Multiple alternatives per table (e.g. sampled scans at different
+    /// rates) are what make single-table Pareto sets non-trivial.
+    fn scan_alternatives(
+        &self,
+        spec: &QuerySpec,
+        position: usize,
+    ) -> Vec<(Operator, CostVector, PhysicalProps)>;
+
+    /// All join alternatives combining `left ⋈ right`:
+    /// `(operator, cost, output properties)` triples.
+    ///
+    /// Implementations must only use the children's [`PlanInput`] data and
+    /// per-table-set statistics from `spec`, keeping each alternative O(1)
+    /// to cost.
+    fn join_alternatives(
+        &self,
+        spec: &QuerySpec,
+        left: &PlanInput,
+        right: &PlanInput,
+    ) -> Vec<(Operator, CostVector, PhysicalProps)>;
+}

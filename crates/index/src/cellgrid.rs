@@ -1,0 +1,321 @@
+//! Logarithmically partitioned cell grid.
+//!
+//! The paper suggests (Section 5.3, footnote 3) partitioning the cost space
+//! into cells with *logarithmic* boundaries — the region a result plan
+//! approximately dominates is its cost vector scaled by a constant factor,
+//! so log-partitioning distributes plans more uniformly over cells.
+//!
+//! A cost vector `c` maps to the cell coordinate `floor(log2(1 + c_i))`
+//! per metric. For a range query `[0, b]` the bound's coordinates split
+//! the cells into three classes:
+//!
+//! * coordinate `< coord(b_i)` on every metric → the whole cell lies
+//!   inside the range: its entries are accepted without per-entry checks;
+//! * coordinate `> coord(b_i)` on some metric → the whole cell lies
+//!   outside: rejected in `O(1)`;
+//! * otherwise the cell straddles the boundary and entries are checked
+//!   individually.
+//!
+//! Cells are kept in a hash map per resolution level, so insertion is
+//! `O(1)` and queries only touch non-empty cells.
+
+use crate::entry::Entry;
+use crate::fxhash::FxHashMap;
+use crate::PlanIndex;
+use moqo_cost::{Bounds, CostVector, MAX_DIM};
+
+/// Cell coordinates: one log-bucket index per metric.
+type CellKey = [u8; MAX_DIM];
+
+const COORD_INF: u8 = u8::MAX;
+
+#[inline]
+fn coord(v: f64) -> u8 {
+    if v.is_infinite() {
+        return COORD_INF;
+    }
+    debug_assert!(v >= 0.0);
+    // floor(log2(1 + v)) via the exponent of 1 + v.
+    let x = 1.0 + v;
+    (x.log2().floor() as i64).clamp(0, (COORD_INF - 1) as i64) as u8
+}
+
+#[inline]
+fn cell_key(c: &CostVector) -> CellKey {
+    let mut key = [0u8; MAX_DIM];
+    for (i, slot) in key.iter_mut().enumerate().take(c.dim()) {
+        *slot = coord(c[i]);
+    }
+    key
+}
+
+/// Relationship of a cell to a query range.
+#[derive(PartialEq, Eq, Debug, Clone, Copy)]
+enum CellClass {
+    Inside,
+    Straddles,
+    Outside,
+}
+
+#[inline]
+fn classify(cell: &CellKey, bound: &CellKey, dim: usize) -> CellClass {
+    let mut straddles = false;
+    for i in 0..dim {
+        if cell[i] > bound[i] {
+            return CellClass::Outside;
+        }
+        if cell[i] == bound[i] && bound[i] != COORD_INF {
+            straddles = true;
+        }
+    }
+    if straddles {
+        CellClass::Straddles
+    } else {
+        CellClass::Inside
+    }
+}
+
+/// A [`PlanIndex`] backed by a logarithmic cell grid per resolution level.
+#[derive(Clone, Debug)]
+pub struct CellGrid<T: Copy> {
+    dim: usize,
+    levels: Vec<FxHashMap<CellKey, Vec<Entry<T>>>>,
+    len: usize,
+}
+
+impl<T: Copy> CellGrid<T> {
+    /// Creates an empty grid for `dim` metrics.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0 && dim <= MAX_DIM);
+        Self {
+            dim,
+            levels: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of non-empty cells (diagnostics / ablation reporting).
+    pub fn cell_count(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+}
+
+impl<T: Copy> PlanIndex<T> for CellGrid<T> {
+    fn insert(&mut self, entry: Entry<T>) {
+        debug_assert_eq!(entry.cost.dim(), self.dim);
+        let level = entry.level as usize;
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, FxHashMap::default);
+        }
+        let key = cell_key(&entry.cost);
+        self.levels[level].entry(key).or_default().push(entry);
+        self.len += 1;
+    }
+
+    fn scan(
+        &self,
+        bounds: &Bounds,
+        max_level: u8,
+        visitor: &mut dyn FnMut(&Entry<T>) -> bool,
+    ) -> bool {
+        let bound_key = cell_key(bounds.limits());
+        for level in self.levels.iter().take(max_level as usize + 1) {
+            for (key, cell) in level {
+                match classify(key, &bound_key, self.dim) {
+                    CellClass::Outside => continue,
+                    CellClass::Inside => {
+                        for e in cell {
+                            if visitor(e) {
+                                return true;
+                            }
+                        }
+                    }
+                    CellClass::Straddles => {
+                        for e in cell {
+                            if bounds.respects(&e.cost) && visitor(e) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn drain(&mut self, bounds: &Bounds, max_level: u8) -> Vec<Entry<T>> {
+        let bound_key = cell_key(bounds.limits());
+        let mut out = Vec::new();
+        for level in self.levels.iter_mut().take(max_level as usize + 1) {
+            level.retain(|key, cell| match classify(key, &bound_key, self.dim) {
+                CellClass::Outside => true,
+                CellClass::Inside => {
+                    out.append(cell);
+                    false
+                }
+                CellClass::Straddles => {
+                    let mut i = 0;
+                    while i < cell.len() {
+                        if bounds.respects(&cell[i].cost) {
+                            out.push(cell.swap_remove(i));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    !cell.is_empty()
+                }
+            });
+        }
+        self.len -= out.len();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_is_logarithmic() {
+        assert_eq!(coord(0.0), 0);
+        assert_eq!(coord(0.9), 0);
+        assert_eq!(coord(1.0), 1);
+        assert_eq!(coord(2.9), 1);
+        assert_eq!(coord(3.0), 2);
+        assert_eq!(coord(7.1), 3);
+        assert_eq!(coord(f64::INFINITY), COORD_INF);
+        // Huge but finite values clamp below the infinity sentinel.
+        assert_eq!(coord(f64::MAX), COORD_INF - 1);
+    }
+
+    #[test]
+    fn classify_cells() {
+        // dim 2, bound at coords [3, COORD_INF] (second metric unbounded).
+        let bound = {
+            let mut k = [0u8; MAX_DIM];
+            k[0] = 3;
+            k[1] = COORD_INF;
+            k
+        };
+        let mk = |a: u8, b: u8| {
+            let mut k = [0u8; MAX_DIM];
+            k[0] = a;
+            k[1] = b;
+            k
+        };
+        assert_eq!(classify(&mk(2, 5), &bound, 2), CellClass::Inside);
+        assert_eq!(classify(&mk(3, 5), &bound, 2), CellClass::Straddles);
+        assert_eq!(classify(&mk(4, 0), &bound, 2), CellClass::Outside);
+        // Unbounded metric never causes straddling.
+        assert_eq!(classify(&mk(0, COORD_INF - 1), &bound, 2), CellClass::Inside);
+    }
+
+    #[test]
+    fn insert_scan_drain_roundtrip() {
+        let mut grid: CellGrid<u32> = CellGrid::new(2);
+        for i in 0..20u32 {
+            let c = CostVector::new(&[i as f64, (20 - i) as f64]);
+            grid.insert(Entry::new(i, c, (i % 3) as u8, 0));
+        }
+        assert_eq!(PlanIndex::len(&grid), 20);
+        assert!(grid.cell_count() > 1);
+
+        // Unbounded query at max level sees everything.
+        assert_eq!(grid.collect(&Bounds::unbounded(2), 2).len(), 20);
+        // Level filter.
+        let lvl0: Vec<u32> = grid
+            .collect(&Bounds::unbounded(2), 0)
+            .iter()
+            .map(|e| e.item)
+            .collect();
+        assert!(lvl0.iter().all(|i| i % 3 == 0));
+
+        // Bounds filter agrees with a manual check.
+        let b = Bounds::from_slice(&[10.0, 15.0]);
+        let got: std::collections::HashSet<u32> = grid
+            .collect(&b, 2)
+            .iter()
+            .map(|e| e.item)
+            .collect();
+        let expected: std::collections::HashSet<u32> = (0..20u32)
+            .filter(|&i| (i as f64) <= 10.0 && ((20 - i) as f64) <= 15.0)
+            .collect();
+        assert_eq!(got, expected);
+
+        // Drain removes exactly the matching entries.
+        let drained = grid.drain(&b, 2);
+        assert_eq!(drained.len(), expected.len());
+        assert_eq!(PlanIndex::len(&grid), 20 - expected.len());
+        assert!(grid.collect(&b, 2).is_empty());
+    }
+
+    #[test]
+    fn scan_early_exit_counts_once() {
+        let mut grid: CellGrid<u32> = CellGrid::new(1);
+        for i in 0..50u32 {
+            grid.insert(Entry::new(i, CostVector::new(&[i as f64]), 0, 0));
+        }
+        let mut seen = 0;
+        let stopped = grid.scan(&Bounds::unbounded(1), 0, &mut |_| {
+            seen += 1;
+            true
+        });
+        assert!(stopped);
+        assert_eq!(seen, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::linear::LinearIndex;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The cell grid agrees with the linear index on arbitrary
+        /// workloads (same query results, same drain behaviour).
+        #[test]
+        fn grid_equivalent_to_linear(
+            entries in proptest::collection::vec(
+                ((0.0f64..1e5), (0.0f64..1e5), 0u8..4), 0..80),
+            qb in (0.0f64..1.2e5, 0.0f64..1.2e5),
+            qr in 0u8..4,
+            unbounded in any::<bool>(),
+        ) {
+            let mut grid: CellGrid<u32> = CellGrid::new(2);
+            let mut lin: LinearIndex<u32> = LinearIndex::new();
+            for (i, (a, b, lvl)) in entries.iter().enumerate() {
+                let e = Entry::new(i as u32, CostVector::new(&[*a, *b]), *lvl, 0);
+                grid.insert(e);
+                lin.insert(e);
+            }
+            let bounds = if unbounded {
+                Bounds::unbounded(2)
+            } else {
+                Bounds::from_slice(&[qb.0, qb.1])
+            };
+            let norm = |mut v: Vec<Entry<u32>>| {
+                v.sort_by_key(|e| e.item);
+                v.iter().map(|e| e.item).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(
+                norm(grid.collect(&bounds, qr)),
+                norm(lin.collect(&bounds, qr))
+            );
+            // Drain agreement and post-state agreement.
+            let dg = norm(grid.drain(&bounds, qr));
+            let dl = norm(lin.drain(&bounds, qr));
+            prop_assert_eq!(dg, dl);
+            prop_assert_eq!(PlanIndex::len(&grid), PlanIndex::len(&lin));
+            let all = Bounds::unbounded(2);
+            prop_assert_eq!(
+                norm(grid.collect(&all, 4)),
+                norm(lin.collect(&all, 4))
+            );
+        }
+    }
+}

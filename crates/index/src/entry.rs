@@ -1,0 +1,49 @@
+//! Index entries.
+
+use moqo_cost::CostVector;
+
+/// One indexed plan: payload, cost vector, resolution tag, and the
+/// optimizer-invocation number at which it was inserted.
+///
+/// The invocation tag supports the `Δ` filtering in the paper's `Fresh`
+/// function: "auxiliary data structures that index plans based on the
+/// invocation at which they were inserted" (Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry<T: Copy> {
+    /// The payload (a plan id in the optimizer).
+    pub item: T,
+    /// The plan's cost vector.
+    pub cost: CostVector,
+    /// Resolution level this entry is registered for.
+    pub level: u8,
+    /// Optimizer-invocation number at which the entry was inserted.
+    pub invocation: u32,
+}
+
+impl<T: Copy> Entry<T> {
+    /// Creates an entry.
+    #[inline]
+    pub fn new(item: T, cost: CostVector, level: u8, invocation: u32) -> Self {
+        Self {
+            item,
+            cost,
+            level,
+            invocation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_plain_data() {
+        let e = Entry::new(42u32, CostVector::new(&[1.0]), 3, 7);
+        let copy = e;
+        assert_eq!(copy.item, 42);
+        assert_eq!(copy.level, 3);
+        assert_eq!(copy.invocation, 7);
+        assert_eq!(e, copy);
+    }
+}

@@ -1,0 +1,304 @@
+//! A k-d tree plan index.
+//!
+//! The paper points to Bentley & Friedman's survey of range-search
+//! structures and notes that "different data structures offer different
+//! tradeoffs between insertion and retrieval time". Besides the cell grid
+//! and the flat index, this module provides the classic k-d tree: each
+//! node splits on one cost metric (cycling through the metrics by depth),
+//! and a `[0, b]` range query descends into the left child always and
+//! into the right child only when the node's split value is within the
+//! bound — pruning whole subtrees the way the cell grid prunes cells.
+//!
+//! Insertion appends at a leaf (`O(depth)`); no rebalancing is performed,
+//! which matches the optimizer's workload (bounded number of insertions,
+//! unbounded number of retrievals, no deletions except drains).
+
+use crate::entry::Entry;
+use crate::PlanIndex;
+use moqo_cost::Bounds;
+
+struct Node<T: Copy> {
+    entry: Entry<T>,
+    /// Metric this node splits on.
+    axis: u8,
+    /// Lazily deleted by `drain` (tombstone).
+    dead: bool,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+impl<T: Copy> Node<T> {
+    fn new(entry: Entry<T>, axis: u8) -> Self {
+        Self {
+            entry,
+            axis,
+            dead: false,
+            left: None,
+            right: None,
+        }
+    }
+}
+
+/// A per-resolution-level forest of k-d trees implementing [`PlanIndex`].
+pub struct KdTree<T: Copy> {
+    dim: usize,
+    levels: Vec<Option<Box<Node<T>>>>,
+    len: usize,
+    /// Tombstoned entries awaiting compaction.
+    dead: usize,
+}
+
+impl<T: Copy> KdTree<T> {
+    /// Creates an empty tree index for `dim` metrics.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0 && dim <= moqo_cost::MAX_DIM);
+        Self {
+            dim,
+            levels: Vec::new(),
+            len: 0,
+            dead: 0,
+        }
+    }
+
+    fn insert_node(&mut self, level: usize, entry: Entry<T>) {
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, || None);
+        }
+        let dim = self.dim;
+        let mut slot = &mut self.levels[level];
+        let mut depth = 0usize;
+        while let Some(node) = slot {
+            let axis = node.axis as usize;
+            slot = if entry.cost[axis] < node.entry.cost[axis] {
+                &mut node.left
+            } else {
+                &mut node.right
+            };
+            depth += 1;
+        }
+        *slot = Some(Box::new(Node::new(entry, (depth % dim) as u8)));
+    }
+
+    fn scan_node<'a>(
+        node: &'a Node<T>,
+        bounds: &Bounds,
+        visitor: &mut dyn FnMut(&Entry<T>) -> bool,
+    ) -> bool {
+        if !node.dead && bounds.respects(&node.entry.cost) && visitor(&node.entry) {
+            return true;
+        }
+        if let Some(left) = &node.left {
+            if Self::scan_node(left, bounds, visitor) {
+                return true;
+            }
+        }
+        // The right subtree only holds entries with cost[axis] >= this
+        // node's split value; skip it when the split already exceeds the
+        // bound on that axis.
+        let axis = node.axis as usize;
+        if node.entry.cost[axis] <= bounds.limits()[axis] {
+            if let Some(right) = &node.right {
+                if Self::scan_node(right, bounds, visitor) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn drain_node(node: &mut Node<T>, bounds: &Bounds, out: &mut Vec<Entry<T>>) {
+        if !node.dead && bounds.respects(&node.entry.cost) {
+            node.dead = true;
+            out.push(node.entry);
+        }
+        if let Some(left) = &mut node.left {
+            Self::drain_node(left, bounds, out);
+        }
+        let axis = node.axis as usize;
+        if node.entry.cost[axis] <= bounds.limits()[axis] {
+            if let Some(right) = &mut node.right {
+                Self::drain_node(right, bounds, out);
+            }
+        }
+    }
+
+    /// Rebuilds a level's tree without tombstones (compaction).
+    fn compact(&mut self) {
+        let mut survivors: Vec<(usize, Entry<T>)> = Vec::with_capacity(self.len);
+        for (level, root) in self.levels.iter().enumerate() {
+            let mut stack: Vec<&Node<T>> = root.iter().map(|b| b.as_ref()).collect();
+            while let Some(n) = stack.pop() {
+                if !n.dead {
+                    survivors.push((level, n.entry));
+                }
+                if let Some(l) = &n.left {
+                    stack.push(l);
+                }
+                if let Some(r) = &n.right {
+                    stack.push(r);
+                }
+            }
+        }
+        self.levels.clear();
+        self.dead = 0;
+        self.len = 0;
+        for (level, entry) in survivors {
+            self.insert_node(level, entry);
+            self.len += 1;
+        }
+    }
+}
+
+impl<T: Copy> PlanIndex<T> for KdTree<T> {
+    fn insert(&mut self, entry: Entry<T>) {
+        debug_assert_eq!(entry.cost.dim(), self.dim);
+        self.insert_node(entry.level as usize, entry);
+        self.len += 1;
+    }
+
+    fn scan(
+        &self,
+        bounds: &Bounds,
+        max_level: u8,
+        visitor: &mut dyn FnMut(&Entry<T>) -> bool,
+    ) -> bool {
+        for root in self.levels.iter().take(max_level as usize + 1).flatten() {
+            if Self::scan_node(root, bounds, visitor) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn drain(&mut self, bounds: &Bounds, max_level: u8) -> Vec<Entry<T>> {
+        let mut out = Vec::new();
+        for root in self
+            .levels
+            .iter_mut()
+            .take(max_level as usize + 1)
+            .flatten()
+        {
+            Self::drain_node(root, bounds, &mut out);
+        }
+        self.len -= out.len();
+        self.dead += out.len();
+        // Compact once tombstones dominate, to keep scans proportional to
+        // live entries.
+        if self.dead > 64 && self.dead > self.len {
+            self.compact();
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_cost::CostVector;
+
+    fn entry(item: u32, cost: &[f64], level: u8) -> Entry<u32> {
+        Entry::new(item, CostVector::new(cost), level, 0)
+    }
+
+    #[test]
+    fn insert_scan_and_level_filter() {
+        let mut t: KdTree<u32> = KdTree::new(2);
+        t.insert(entry(1, &[1.0, 9.0], 0));
+        t.insert(entry(2, &[9.0, 1.0], 0));
+        t.insert(entry(3, &[5.0, 5.0], 1));
+        assert_eq!(PlanIndex::len(&t), 3);
+        assert_eq!(t.collect(&Bounds::unbounded(2), 1).len(), 3);
+        assert_eq!(t.collect(&Bounds::unbounded(2), 0).len(), 2);
+        let low: Vec<u32> = t
+            .collect(&Bounds::from_slice(&[6.0, 6.0]), 1)
+            .iter()
+            .map(|e| e.item)
+            .collect();
+        assert_eq!(low, vec![3]);
+    }
+
+    #[test]
+    fn drain_tombstones_and_compaction() {
+        let mut t: KdTree<u32> = KdTree::new(1);
+        for i in 0..200u32 {
+            t.insert(entry(i, &[i as f64], 0));
+        }
+        let drained = t.drain(&Bounds::from_slice(&[99.0]), 0);
+        assert_eq!(drained.len(), 100);
+        assert_eq!(PlanIndex::len(&t), 100);
+        // Drained entries no longer appear.
+        assert!(t.collect(&Bounds::from_slice(&[99.0]), 0).is_empty());
+        // Remaining entries all there (compaction may or may not have
+        // happened; both must be transparent).
+        assert_eq!(t.collect(&Bounds::unbounded(1), 0).len(), 100);
+        // Re-inserting after a drain works.
+        t.insert(entry(1000, &[5.0], 0));
+        assert_eq!(t.collect(&Bounds::from_slice(&[99.0]), 0).len(), 1);
+    }
+
+    #[test]
+    fn scan_early_exit() {
+        let mut t: KdTree<u32> = KdTree::new(2);
+        for i in 0..50u32 {
+            t.insert(entry(i, &[i as f64, (50 - i) as f64], 0));
+        }
+        let mut seen = 0;
+        assert!(t.scan(&Bounds::unbounded(2), 0, &mut |_| {
+            seen += 1;
+            true
+        }));
+        assert_eq!(seen, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::linear::LinearIndex;
+    use moqo_cost::CostVector;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The k-d tree agrees with the linear index on arbitrary
+        /// insert/query/drain workloads.
+        #[test]
+        fn kdtree_equivalent_to_linear(
+            entries in proptest::collection::vec(
+                ((0.0f64..1e4), (0.0f64..1e4), 0u8..4), 0..60),
+            queries in proptest::collection::vec(
+                ((0.0f64..1.2e4), (0.0f64..1.2e4), 0u8..4, any::<bool>()), 1..6),
+        ) {
+            let mut tree: KdTree<u32> = KdTree::new(2);
+            let mut lin: LinearIndex<u32> = LinearIndex::new();
+            for (i, (a, b, lvl)) in entries.iter().enumerate() {
+                let e = Entry::new(i as u32, CostVector::new(&[*a, *b]), *lvl, 0);
+                tree.insert(e);
+                lin.insert(e);
+            }
+            let norm = |mut v: Vec<Entry<u32>>| {
+                v.sort_by_key(|e| e.item);
+                v.iter().map(|e| e.item).collect::<Vec<_>>()
+            };
+            for (qa, qb, qr, do_drain) in queries {
+                let bounds = Bounds::from_slice(&[qa, qb]);
+                prop_assert_eq!(
+                    norm(tree.collect(&bounds, qr)),
+                    norm(lin.collect(&bounds, qr))
+                );
+                if do_drain {
+                    prop_assert_eq!(
+                        norm(tree.drain(&bounds, qr)),
+                        norm(lin.drain(&bounds, qr))
+                    );
+                    prop_assert_eq!(PlanIndex::len(&tree), PlanIndex::len(&lin));
+                }
+            }
+            let all = Bounds::unbounded(2);
+            prop_assert_eq!(norm(tree.collect(&all, 4)), norm(lin.collect(&all, 4)));
+        }
+    }
+}

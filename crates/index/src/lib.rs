@@ -1,0 +1,193 @@
+//! Plan-set indexes supporting (cost, resolution) range queries.
+//!
+//! IAMA indexes both result plans and candidate plans "by plan cost and by
+//! resolution level", using "a data structure supporting multi-dimensional
+//! range queries" (Section 4.1). The notation `S[0..b, 0..r]` selects the
+//! entries whose cost vector is dominated by the bounds `b` and whose
+//! resolution tag is at most `r`.
+//!
+//! Three interchangeable implementations are provided behind the
+//! [`PlanIndex`] trait:
+//!
+//! * [`LinearIndex`] — per-resolution flat vectors, scanned with a bounds
+//!   filter. Simple and cache-friendly; retrieval is `O(stored)`.
+//! * [`CellGrid`] — the logarithmically partitioned cell structure the
+//!   paper recommends (citing Bentley & Friedman): cost space is split
+//!   into cells along `floor(log2(1 + cost))` per metric, so a range query
+//!   can accept whole cells without per-entry checks and reject
+//!   out-of-range cells in `O(1)`. Under the paper's uniformity
+//!   assumptions retrieval of `F` entries is `O(F)`.
+//! * [`KdTree`] — a classic k-d tree over the cost metrics, pruning whole
+//!   subtrees during range queries; drains use tombstones with periodic
+//!   compaction.
+//!
+//! The paper's amortized analysis prioritizes retrieval over insertion
+//! time (Section 4.1); the grid and flat structures insert in `O(1)`, the
+//! tree in `O(depth)`.
+//!
+//! The crate also provides [`PairSet`], the hash structure behind the
+//! `IsFresh` predicate ensuring no sub-plan pair is combined twice
+//! (Lemma 6), and [`fxhash`], a small fast non-cryptographic hasher used
+//! throughout the optimizer.
+
+#![warn(missing_docs)]
+
+pub mod cellgrid;
+pub mod entry;
+pub mod fxhash;
+pub mod kdtree;
+pub mod linear;
+pub mod pairs;
+
+pub use cellgrid::CellGrid;
+pub use entry::Entry;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use kdtree::KdTree;
+pub use linear::LinearIndex;
+pub use pairs::PairSet;
+
+use moqo_cost::Bounds;
+
+/// A plan-set index keyed by cost vector and resolution level.
+///
+/// `T` is the payload (a plan identifier in the optimizer).
+pub trait PlanIndex<T: Copy> {
+    /// Inserts an entry.
+    fn insert(&mut self, entry: Entry<T>);
+
+    /// Visits every entry in `S[0..b, 0..r]` (cost dominated by `bounds`,
+    /// level `<= max_level`). The visitor returns `true` to stop early;
+    /// `scan` returns `true` if it was stopped early.
+    ///
+    /// Visit order is unspecified.
+    fn scan(
+        &self,
+        bounds: &Bounds,
+        max_level: u8,
+        visitor: &mut dyn FnMut(&Entry<T>) -> bool,
+    ) -> bool;
+
+    /// Removes and returns every entry in `S[0..b, 0..r]`.
+    fn drain(&mut self, bounds: &Bounds, max_level: u8) -> Vec<Entry<T>>;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// True if no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collects (copies of) all entries in `S[0..b, 0..r]`.
+    fn collect(&self, bounds: &Bounds, max_level: u8) -> Vec<Entry<T>> {
+        let mut out = Vec::new();
+        self.scan(bounds, max_level, &mut |e| {
+            out.push(*e);
+            false
+        });
+        out
+    }
+
+    /// True if some entry in `S[0..b, 0..r]` satisfies `pred`.
+    fn any(&self, bounds: &Bounds, max_level: u8, pred: &mut dyn FnMut(&Entry<T>) -> bool) -> bool {
+        self.scan(bounds, max_level, pred)
+    }
+}
+
+/// Which index implementation to use (runtime-selectable for the ablation
+/// benchmarks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Flat per-resolution vectors.
+    Linear,
+    /// Logarithmic cell grid.
+    CellGrid,
+    /// k-d tree (cycling split axes, tombstoned drains).
+    KdTree,
+}
+
+/// A [`PlanIndex`] implementation chosen at runtime.
+pub enum DynIndex<T: Copy> {
+    /// Flat index variant.
+    Linear(LinearIndex<T>),
+    /// Cell-grid variant.
+    Grid(CellGrid<T>),
+    /// k-d tree variant.
+    Tree(KdTree<T>),
+}
+
+impl<T: Copy> DynIndex<T> {
+    /// Creates an empty index of the requested kind for `dim` metrics.
+    pub fn new(kind: IndexKind, dim: usize) -> Self {
+        match kind {
+            IndexKind::Linear => DynIndex::Linear(LinearIndex::new()),
+            IndexKind::CellGrid => DynIndex::Grid(CellGrid::new(dim)),
+            IndexKind::KdTree => DynIndex::Tree(KdTree::new(dim)),
+        }
+    }
+}
+
+impl<T: Copy> PlanIndex<T> for DynIndex<T> {
+    fn insert(&mut self, entry: Entry<T>) {
+        match self {
+            DynIndex::Linear(i) => i.insert(entry),
+            DynIndex::Grid(i) => i.insert(entry),
+            DynIndex::Tree(i) => i.insert(entry),
+        }
+    }
+
+    fn scan(
+        &self,
+        bounds: &Bounds,
+        max_level: u8,
+        visitor: &mut dyn FnMut(&Entry<T>) -> bool,
+    ) -> bool {
+        match self {
+            DynIndex::Linear(i) => i.scan(bounds, max_level, visitor),
+            DynIndex::Grid(i) => i.scan(bounds, max_level, visitor),
+            DynIndex::Tree(i) => i.scan(bounds, max_level, visitor),
+        }
+    }
+
+    fn drain(&mut self, bounds: &Bounds, max_level: u8) -> Vec<Entry<T>> {
+        match self {
+            DynIndex::Linear(i) => i.drain(bounds, max_level),
+            DynIndex::Grid(i) => i.drain(bounds, max_level),
+            DynIndex::Tree(i) => i.drain(bounds, max_level),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            DynIndex::Linear(i) => PlanIndex::len(i),
+            DynIndex::Grid(i) => PlanIndex::len(i),
+            DynIndex::Tree(i) => PlanIndex::len(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod dyn_tests {
+    use super::*;
+    use moqo_cost::CostVector;
+
+    #[test]
+    fn dyn_index_dispatches_both_kinds() {
+        for kind in [IndexKind::Linear, IndexKind::CellGrid, IndexKind::KdTree] {
+            let mut idx: DynIndex<u32> = DynIndex::new(kind, 2);
+            idx.insert(Entry::new(7, CostVector::new(&[1.0, 2.0]), 0, 0));
+            idx.insert(Entry::new(8, CostVector::new(&[5.0, 5.0]), 1, 0));
+            assert_eq!(PlanIndex::len(&idx), 2);
+            let all = idx.collect(&Bounds::unbounded(2), 1);
+            assert_eq!(all.len(), 2);
+            let low = idx.collect(&Bounds::from_slice(&[2.0, 2.0]), 1);
+            assert_eq!(low.len(), 1);
+            assert_eq!(low[0].item, 7);
+            let lvl0 = idx.collect(&Bounds::unbounded(2), 0);
+            assert_eq!(lvl0.len(), 1);
+            let drained = idx.drain(&Bounds::unbounded(2), 1);
+            assert_eq!(drained.len(), 2);
+            assert!(PlanIndex::is_empty(&idx));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The `IsFresh` pair set.
+//!
+//! Lemma 6 of the paper requires that each sub-plan pair is generated at
+//! most once across all optimizer invocations. Function `Fresh` enforces
+//! this with the `IsFresh` predicate, implemented here as a hash set over
+//! `(u32, u32)` pair keys ("we can use a hash table to perform this check
+//! efficiently", Section 4.2).
+
+use crate::fxhash::FxHashSet;
+
+/// A set of already-combined (ordered) sub-plan pairs.
+#[derive(Clone, Debug, Default)]
+pub struct PairSet {
+    seen: FxHashSet<u64>,
+}
+
+impl PairSet {
+    /// Creates an empty pair set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn key(a: u32, b: u32) -> u64 {
+        ((a as u64) << 32) | b as u64
+    }
+
+    /// True if the ordered pair `(a, b)` has not been recorded yet.
+    #[inline]
+    pub fn is_fresh(&self, a: u32, b: u32) -> bool {
+        !self.seen.contains(&Self::key(a, b))
+    }
+
+    /// Records the ordered pair `(a, b)`; returns true if it was fresh.
+    #[inline]
+    pub fn mark(&mut self, a: u32, b: u32) -> bool {
+        self.seen.insert(Self::key(a, b))
+    }
+
+    /// Number of recorded pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if no pair was recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freshness_tracking() {
+        let mut p = PairSet::new();
+        assert!(p.is_fresh(1, 2));
+        assert!(p.mark(1, 2));
+        assert!(!p.is_fresh(1, 2));
+        assert!(!p.mark(1, 2));
+        // Pairs are ordered: (2, 1) is distinct from (1, 2).
+        assert!(p.is_fresh(2, 1));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn large_ids_do_not_collide() {
+        let mut p = PairSet::new();
+        assert!(p.mark(u32::MAX, 0));
+        assert!(p.mark(0, u32::MAX));
+        assert!(p.mark(u32::MAX, u32::MAX));
+        assert_eq!(p.len(), 3);
+    }
+}

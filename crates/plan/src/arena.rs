@@ -1,0 +1,328 @@
+//! The plan arena: O(1)-space plan representation with stable ids.
+
+use crate::operator::Operator;
+use crate::props::PhysicalProps;
+use moqo_cost::CostVector;
+use moqo_query::TableSet;
+
+/// Identifies a plan within a [`PlanArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(pub u32);
+
+impl PlanId {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One arena entry: operator, child ids, joined tables, cost, properties.
+///
+/// Mirrors the paper's O(1)-per-plan representation (Section 5.2): scan
+/// plans carry no children; join plans carry exactly two child ids. Cost
+/// vectors are cached so that combining plans evaluates the recursive cost
+/// formulas in O(1) (Lemma 4).
+#[derive(Clone, Copy, Debug)]
+pub struct PlanNode {
+    /// The operator at the root of this (sub-)plan.
+    pub op: Operator,
+    /// Children (empty for scans, two ids for joins).
+    pub children: Option<(PlanId, PlanId)>,
+    /// The set of query tables this plan joins.
+    pub tables: TableSet,
+    /// Cached cost vector.
+    pub cost: CostVector,
+    /// Physical properties of the output.
+    pub props: PhysicalProps,
+}
+
+/// Append-only arena of plans for one query.
+///
+/// Plans are never removed: the incremental optimizer keeps result plans
+/// alive because earlier invocations may have used them as sub-plans
+/// (Section 4.2's second design decision). Dropping the whole arena at the
+/// end of a session releases everything at once.
+#[derive(Clone, Debug, Default)]
+pub struct PlanArena {
+    nodes: Vec<PlanNode>,
+}
+
+impl PlanArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty arena with room for `cap` plans.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of plans ever inserted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no plan was inserted yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts a scan plan.
+    pub fn push_scan(
+        &mut self,
+        op: Operator,
+        position: usize,
+        cost: CostVector,
+        props: PhysicalProps,
+    ) -> PlanId {
+        debug_assert!(op.is_scan());
+        self.push_node(PlanNode {
+            op,
+            children: None,
+            tables: TableSet::singleton(position),
+            cost,
+            props,
+        })
+    }
+
+    /// Inserts a join plan over two existing plans.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the children's table sets overlap.
+    pub fn push_join(
+        &mut self,
+        op: Operator,
+        left: PlanId,
+        right: PlanId,
+        cost: CostVector,
+        props: PhysicalProps,
+    ) -> PlanId {
+        debug_assert!(op.is_join());
+        let tables = {
+            let l = self.node(left).tables;
+            let r = self.node(right).tables;
+            debug_assert!(l.is_disjoint(r), "join children overlap: {l:?} vs {r:?}");
+            l.union(r)
+        };
+        self.push_node(PlanNode {
+            op,
+            children: Some((left, right)),
+            tables,
+            cost,
+            props,
+        })
+    }
+
+    fn push_node(&mut self, node: PlanNode) -> PlanId {
+        let id = PlanId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// The node for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn node(&self, id: PlanId) -> &PlanNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The cached cost of `id`.
+    #[inline]
+    pub fn cost(&self, id: PlanId) -> &CostVector {
+        &self.node(id).cost
+    }
+
+    /// The table set joined by `id`.
+    #[inline]
+    pub fn tables(&self, id: PlanId) -> TableSet {
+        self.node(id).tables
+    }
+
+    /// Iterates over all `(id, node)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (PlanId, &PlanNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (PlanId(i as u32), n))
+    }
+
+    /// The number of operator nodes in the tree rooted at `id` (counts
+    /// shared sub-plans once per occurrence).
+    pub fn tree_size(&self, id: PlanId) -> usize {
+        match self.node(id).children {
+            None => 1,
+            Some((l, r)) => 1 + self.tree_size(l) + self.tree_size(r),
+        }
+    }
+
+    /// Depth of the tree rooted at `id` (a scan has depth 1).
+    pub fn depth(&self, id: PlanId) -> usize {
+        match self.node(id).children {
+            None => 1,
+            Some((l, r)) => 1 + self.depth(l).max(self.depth(r)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::JoinAlgo;
+
+    fn cost(v: f64) -> CostVector {
+        CostVector::new(&[v, v])
+    }
+
+    #[test]
+    fn scan_and_join_construction() {
+        let mut arena = PlanArena::new();
+        let s0 = arena.push_scan(Operator::full_scan(0), 0, cost(1.0), PhysicalProps::NONE);
+        let s1 = arena.push_scan(Operator::full_scan(1), 1, cost(2.0), PhysicalProps::NONE);
+        let j = arena.push_join(
+            Operator::join(JoinAlgo::Hash, 1),
+            s0,
+            s1,
+            cost(5.0),
+            PhysicalProps::NONE,
+        );
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.tables(j), TableSet::from_positions([0, 1]));
+        assert_eq!(arena.cost(j).as_slice(), &[5.0, 5.0]);
+        assert_eq!(arena.node(j).children, Some((s0, s1)));
+        assert_eq!(arena.tree_size(j), 3);
+        assert_eq!(arena.depth(j), 2);
+    }
+
+    #[test]
+    fn shared_subplans_are_counted_per_occurrence() {
+        let mut arena = PlanArena::new();
+        let s0 = arena.push_scan(Operator::full_scan(0), 0, cost(1.0), PhysicalProps::NONE);
+        let s1 = arena.push_scan(Operator::full_scan(1), 1, cost(1.0), PhysicalProps::NONE);
+        let s2 = arena.push_scan(Operator::full_scan(2), 2, cost(1.0), PhysicalProps::NONE);
+        let j01 = arena.push_join(
+            Operator::join(JoinAlgo::Hash, 1),
+            s0,
+            s1,
+            cost(2.0),
+            PhysicalProps::NONE,
+        );
+        let j012 = arena.push_join(
+            Operator::join(JoinAlgo::SortMerge, 2),
+            j01,
+            s2,
+            cost(3.0),
+            PhysicalProps::NONE,
+        );
+        assert_eq!(arena.tree_size(j012), 5);
+        assert_eq!(arena.depth(j012), 3);
+        assert_eq!(arena.tables(j012), TableSet::full(3));
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut arena = PlanArena::new();
+        let a = arena.push_scan(Operator::full_scan(0), 0, cost(1.0), PhysicalProps::NONE);
+        let b = arena.push_scan(Operator::full_scan(1), 1, cost(1.0), PhysicalProps::NONE);
+        let ids: Vec<PlanId> = arena.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "join children overlap")]
+    fn join_rejects_overlapping_children() {
+        let mut arena = PlanArena::new();
+        let s0 = arena.push_scan(Operator::full_scan(0), 0, cost(1.0), PhysicalProps::NONE);
+        let s0b = arena.push_scan(Operator::full_scan(0), 0, cost(1.0), PhysicalProps::NONE);
+        arena.push_join(
+            Operator::join(JoinAlgo::Hash, 1),
+            s0,
+            s0b,
+            cost(2.0),
+            PhysicalProps::NONE,
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::operator::JoinAlgo;
+    use proptest::prelude::*;
+
+    /// Builds a random plan forest in the arena and returns the roots of
+    /// complete binary trees over disjoint positions.
+    fn random_tree(ops: Vec<(u8, u8)>) -> (PlanArena, Option<PlanId>) {
+        let mut arena = PlanArena::new();
+        // Leaves over positions 0..8.
+        let leaves: Vec<PlanId> = (0..8)
+            .map(|i| {
+                arena.push_scan(
+                    Operator::full_scan(i),
+                    i,
+                    CostVector::new(&[1.0, 1.0]),
+                    crate::props::PhysicalProps::NONE,
+                )
+            })
+            .collect();
+        // Fold random pairs of disjoint roots into joins.
+        let mut roots = leaves;
+        for (a, b) in ops {
+            if roots.len() < 2 {
+                break;
+            }
+            let i = (a as usize) % roots.len();
+            let l = roots.swap_remove(i);
+            let j = (b as usize) % roots.len();
+            let r = roots.swap_remove(j);
+            let cost = arena.cost(l).add(arena.cost(r));
+            let id = arena.push_join(
+                Operator::join(JoinAlgo::Hash, 1),
+                l,
+                r,
+                cost,
+                crate::props::PhysicalProps::NONE,
+            );
+            roots.push(id);
+        }
+        let root = roots.last().copied();
+        (arena, root)
+    }
+
+    proptest! {
+        /// Structural invariants of arbitrary plan trees: the table set of
+        /// a join is the disjoint union of its children's, tree size is
+        /// odd (full binary tree), and depth <= size.
+        #[test]
+        fn arena_structural_invariants(ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..7)) {
+            let (arena, root) = random_tree(ops);
+            for (id, node) in arena.iter() {
+                if let Some((l, r)) = node.children {
+                    let lt = arena.tables(l);
+                    let rt = arena.tables(r);
+                    prop_assert!(lt.is_disjoint(rt));
+                    prop_assert_eq!(lt.union(rt), node.tables);
+                    prop_assert!(l < id && r < id, "children precede parents");
+                }
+            }
+            if let Some(root) = root {
+                let size = arena.tree_size(root);
+                prop_assert_eq!(size % 2, 1, "full binary trees have odd size");
+                prop_assert!(arena.depth(root) <= size);
+                prop_assert_eq!(
+                    arena.tables(root).len(),
+                    (size + 1) / 2,
+                    "leaf count equals joined tables"
+                );
+            }
+        }
+    }
+}

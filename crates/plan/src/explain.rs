@@ -1,0 +1,72 @@
+//! Textual plan rendering (an `EXPLAIN`-style tree).
+
+use crate::arena::{PlanArena, PlanId};
+use crate::operator::{JoinAlgo, Operator, ScanMethod};
+use std::fmt::Write as _;
+
+/// Renders the plan tree rooted at `id` as an indented multi-line string.
+///
+/// ```text
+/// HashJoin(dop=2) tables={0,1,2} cost=(12.0, 2.0, 0.0)
+///   HashJoin(dop=1) tables={0,1} cost=(8.0, 1.0, 0.0)
+///     FullScan(t0) ...
+///     FullScan(t1) ...
+///   SampledScan(t2, 25.0%) ...
+/// ```
+pub fn explain(arena: &PlanArena, id: PlanId) -> String {
+    let mut out = String::new();
+    render(arena, id, 0, &mut out);
+    out
+}
+
+fn render(arena: &PlanArena, id: PlanId, depth: usize, out: &mut String) {
+    let node = arena.node(id);
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match node.op {
+        Operator::Scan { position, method } => match method {
+            ScanMethod::Full => {
+                let _ = write!(out, "FullScan(t{position})");
+            }
+            ScanMethod::Sampled { rate_pm } => {
+                let _ = write!(out, "SampledScan(t{position}, {:.1}%)", rate_pm as f64 / 10.0);
+            }
+        },
+        Operator::Join { algo, dop } => {
+            let name = match algo {
+                JoinAlgo::Hash => "HashJoin",
+                JoinAlgo::SortMerge => "SortMergeJoin",
+                JoinAlgo::NestedLoop => "NestedLoopJoin",
+            };
+            let _ = write!(out, "{name}(dop={dop})");
+        }
+    }
+    let _ = write!(out, " tables={:?} cost={}", node.tables, node.cost);
+    out.push('\n');
+    if let Some((l, r)) = node.children {
+        render(arena, l, depth + 1, out);
+        render(arena, r, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::PhysicalProps;
+    use moqo_cost::CostVector;
+
+    #[test]
+    fn explain_renders_tree_shape() {
+        let mut arena = PlanArena::new();
+        let c = CostVector::new(&[1.0]);
+        let s0 = arena.push_scan(Operator::full_scan(0), 0, c, PhysicalProps::NONE);
+        let s1 = arena.push_scan(Operator::sampled_scan(1, 250), 1, c, PhysicalProps::NONE);
+        let j = arena.push_join(Operator::join(JoinAlgo::SortMerge, 4), s0, s1, c, PhysicalProps::NONE);
+        let text = explain(&arena, j);
+        assert!(text.starts_with("SortMergeJoin(dop=4)"));
+        assert!(text.contains("\n  FullScan(t0)"));
+        assert!(text.contains("\n  SampledScan(t1, 25.0%)"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

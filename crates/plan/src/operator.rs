@@ -1,0 +1,159 @@
+//! Physical operators.
+
+/// How a base table is scanned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScanMethod {
+    /// Read every row.
+    Full,
+    /// Read a Bernoulli sample of the table.
+    ///
+    /// The sampling rate is stored in per-mille (`1..=999`) so the variant
+    /// stays `Eq + Hash`. Sampling reduces execution time proportionally
+    /// but introduces result error (`1 - precision`); the cost model maps
+    /// the rate to both metrics. Following the paper's footnote 4, small
+    /// tables admit no (or fewer) sampling strategies.
+    Sampled {
+        /// Sampling rate in per-mille (`500` = 50 %).
+        rate_pm: u16,
+    },
+}
+
+impl ScanMethod {
+    /// The fraction of rows read, in `(0, 1]`.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        match self {
+            ScanMethod::Full => 1.0,
+            ScanMethod::Sampled { rate_pm } => {
+                debug_assert!((1..1000).contains(&rate_pm));
+                rate_pm as f64 / 1000.0
+            }
+        }
+    }
+}
+
+/// Join algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinAlgo {
+    /// Build a hash table on the right (smaller) input, probe with the left.
+    Hash,
+    /// Sort both inputs on the join key and merge. Produces output sorted
+    /// on the join key — an interesting order.
+    SortMerge,
+    /// Block nested-loop join; cheap for tiny inputs, quadratic otherwise.
+    NestedLoop,
+}
+
+impl JoinAlgo {
+    /// All supported algorithms, in a fixed enumeration order.
+    pub const ALL: [JoinAlgo; 3] = [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop];
+}
+
+/// A physical plan operator.
+///
+/// Scans carry the *query-table position* they read (index into the join
+/// graph's table list), not a catalog id, because the same catalog table
+/// can occur at several positions (self-joins).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operator {
+    /// Scan of the base table at a query position.
+    Scan {
+        /// Query-table position being scanned.
+        position: u16,
+        /// Scan method (full or sampled).
+        method: ScanMethod,
+    },
+    /// Join of the two child plans.
+    Join {
+        /// Join algorithm.
+        algo: JoinAlgo,
+        /// Degree of parallelism (reserved cores for this operator),
+        /// `>= 1`.
+        dop: u16,
+    },
+}
+
+impl Operator {
+    /// Convenience constructor for a full scan.
+    #[inline]
+    pub fn full_scan(position: usize) -> Self {
+        Operator::Scan {
+            position: position as u16,
+            method: ScanMethod::Full,
+        }
+    }
+
+    /// Convenience constructor for a sampled scan.
+    #[inline]
+    pub fn sampled_scan(position: usize, rate_pm: u16) -> Self {
+        assert!((1..1000).contains(&rate_pm), "rate must be 1..=999 ‰");
+        Operator::Scan {
+            position: position as u16,
+            method: ScanMethod::Sampled { rate_pm },
+        }
+    }
+
+    /// Convenience constructor for a join.
+    #[inline]
+    pub fn join(algo: JoinAlgo, dop: u16) -> Self {
+        assert!(dop >= 1, "degree of parallelism must be at least 1");
+        Operator::Join { algo, dop }
+    }
+
+    /// True for scan operators.
+    #[inline]
+    pub fn is_scan(&self) -> bool {
+        matches!(self, Operator::Scan { .. })
+    }
+
+    /// True for join operators.
+    #[inline]
+    pub fn is_join(&self) -> bool {
+        matches!(self, Operator::Join { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_fractions() {
+        assert_eq!(ScanMethod::Full.fraction(), 1.0);
+        assert!((ScanMethod::Sampled { rate_pm: 250 }.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Operator::full_scan(3).is_scan());
+        assert!(Operator::join(JoinAlgo::Hash, 4).is_join());
+        let s = Operator::sampled_scan(1, 100);
+        match s {
+            Operator::Scan {
+                position,
+                method: ScanMethod::Sampled { rate_pm },
+            } => {
+                assert_eq!(position, 1);
+                assert_eq!(rate_pm, 100);
+            }
+            _ => panic!("wrong operator shape"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be")]
+    fn sampled_scan_rejects_full_rate() {
+        Operator::sampled_scan(0, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn join_rejects_zero_dop() {
+        Operator::join(JoinAlgo::Hash, 0);
+    }
+
+    #[test]
+    fn join_algo_enumeration_is_complete() {
+        assert_eq!(JoinAlgo::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Physical properties — interesting tuple orders.
+//!
+//! Section 4.3: dynamic-programming optimizers distinguish plans that
+//! produce different interesting tuple orders; cost-based pruning is
+//! restricted to plans producing *similar* orders, generalized here to the
+//! multi-objective case. We model an order as the join-graph edge whose key
+//! the output is sorted on (an opaque [`OrderKey`]).
+
+/// Identifies a sort key (an edge of the join graph, by index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrderKey(pub u16);
+
+/// Physical properties of a plan's output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PhysicalProps {
+    /// The sort order of the output, if any.
+    pub order: Option<OrderKey>,
+}
+
+impl PhysicalProps {
+    /// Unordered output (hash joins, plain scans).
+    pub const NONE: PhysicalProps = PhysicalProps { order: None };
+
+    /// Output sorted on `key`.
+    #[inline]
+    pub fn sorted(key: OrderKey) -> Self {
+        PhysicalProps { order: Some(key) }
+    }
+
+    /// True if a plan with properties `self` can replace a plan with
+    /// properties `other` without losing an order that downstream
+    /// operators might exploit.
+    ///
+    /// A sorted output satisfies both the same-order requirement and the
+    /// no-order requirement; an unsorted output only satisfies the latter.
+    /// Pruning may therefore only discard a plan in favour of one whose
+    /// properties *satisfy* the discarded plan's properties.
+    #[inline]
+    pub fn satisfies(&self, other: &PhysicalProps) -> bool {
+        match other.order {
+            None => true,
+            Some(key) => self.order == Some(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfaction_rules() {
+        let none = PhysicalProps::NONE;
+        let a = PhysicalProps::sorted(OrderKey(0));
+        let b = PhysicalProps::sorted(OrderKey(1));
+        // Anything satisfies "no required order".
+        assert!(none.satisfies(&none));
+        assert!(a.satisfies(&none));
+        // Only the same order satisfies a sorted requirement.
+        assert!(a.satisfies(&a));
+        assert!(!b.satisfies(&a));
+        assert!(!none.satisfies(&a));
+    }
+
+    #[test]
+    fn satisfies_is_reflexive_and_transitive() {
+        let props = [
+            PhysicalProps::NONE,
+            PhysicalProps::sorted(OrderKey(0)),
+            PhysicalProps::sorted(OrderKey(3)),
+        ];
+        for p in &props {
+            assert!(p.satisfies(p));
+        }
+        for a in &props {
+            for b in &props {
+                for c in &props {
+                    if a.satisfies(b) && b.satisfies(c) {
+                        assert!(a.satisfies(c));
+                    }
+                }
+            }
+        }
+    }
+}

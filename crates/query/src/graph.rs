@@ -1,0 +1,249 @@
+//! Join graphs: tables, join edges, selectivities, and local predicates.
+
+use crate::tableset::TableSet;
+use moqo_catalog::TableId;
+
+/// An equi-join edge between two query-table positions with an estimated
+/// selectivity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinEdge {
+    /// Position of the first table in the query's table list.
+    pub left: usize,
+    /// Position of the second table.
+    pub right: usize,
+    /// Join selectivity in `(0, 1]`: the join of relations with
+    /// cardinalities `|L|` and `|R|` has roughly `sel * |L| * |R|` rows.
+    pub selectivity: f64,
+}
+
+impl JoinEdge {
+    /// Creates an edge; positions are normalized so `left < right`.
+    ///
+    /// # Panics
+    /// Panics if `left == right` or if the selectivity lies outside `(0, 1]`.
+    pub fn new(left: usize, right: usize, selectivity: f64) -> Self {
+        assert_ne!(left, right, "self-join edges need distinct positions");
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity {selectivity} outside (0, 1]"
+        );
+        Self {
+            left: left.min(right),
+            right: left.max(right),
+            selectivity,
+        }
+    }
+
+    /// True if the edge connects a table in `a` with a table in `b`.
+    #[inline]
+    pub fn connects(&self, a: TableSet, b: TableSet) -> bool {
+        (a.contains(self.left) && b.contains(self.right))
+            || (a.contains(self.right) && b.contains(self.left))
+    }
+
+    /// True if both endpoints lie inside `set`.
+    #[inline]
+    pub fn within(&self, set: TableSet) -> bool {
+        set.contains(self.left) && set.contains(self.right)
+    }
+}
+
+/// A query's join graph: the table list (referencing catalog tables),
+/// join edges, and per-table local-filter selectivities.
+///
+/// Local predicates are assumed to be pushed below the joins ("applied as
+/// early as possible in the join tree", Section 4.3), so they scale the
+/// effective base-table cardinalities.
+#[derive(Clone, Debug)]
+pub struct JoinGraph {
+    /// Catalog table backing each query-table position. The same catalog
+    /// table may appear at several positions (self-joins).
+    pub tables: Vec<TableId>,
+    /// Join edges with selectivities.
+    pub edges: Vec<JoinEdge>,
+    /// Local-filter selectivity per table position, in `(0, 1]`.
+    pub filters: Vec<f64>,
+}
+
+impl JoinGraph {
+    /// Creates a graph over `tables` with no edges and no filters.
+    pub fn new(tables: Vec<TableId>) -> Self {
+        let n = tables.len();
+        assert!(n <= 64, "at most 64 tables per query block");
+        Self {
+            tables,
+            edges: Vec::new(),
+            filters: vec![1.0; n],
+        }
+    }
+
+    /// Number of tables (the paper's `n`).
+    #[inline]
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The set of all table positions.
+    #[inline]
+    pub fn all_tables(&self) -> TableSet {
+        TableSet::full(self.n_tables())
+    }
+
+    /// Adds a join edge.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, left: usize, right: usize, selectivity: f64) -> &mut Self {
+        assert!(left < self.n_tables() && right < self.n_tables());
+        self.edges.push(JoinEdge::new(left, right, selectivity));
+        self
+    }
+
+    /// Sets the local-filter selectivity for a table position.
+    pub fn set_filter(&mut self, pos: usize, selectivity: f64) -> &mut Self {
+        assert!(pos < self.n_tables());
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        self.filters[pos] = selectivity;
+        self
+    }
+
+    /// True if some join edge connects the two (disjoint) sets — joining
+    /// them is not a cross product.
+    pub fn connected(&self, a: TableSet, b: TableSet) -> bool {
+        self.edges.iter().any(|e| e.connects(a, b))
+    }
+
+    /// Product of the selectivities of all edges connecting `a` and `b`.
+    /// Returns `1.0` if no edge connects them (cross product).
+    pub fn join_selectivity(&self, a: TableSet, b: TableSet) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| e.connects(a, b))
+            .map(|e| e.selectivity)
+            .product()
+    }
+
+    /// True if the sub-graph induced by `set` is connected (via join
+    /// edges). Singletons are connected; the empty set is not.
+    pub fn is_connected_set(&self, set: TableSet) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        if set.len() == 1 {
+            return true;
+        }
+        // Flood fill from the lowest table.
+        let mut reached = TableSet::singleton(set.iter().next().unwrap());
+        loop {
+            let mut grew = false;
+            for e in &self.edges {
+                if !e.within(set) {
+                    continue;
+                }
+                let l_in = reached.contains(e.left);
+                let r_in = reached.contains(e.right);
+                if l_in != r_in {
+                    reached = reached.union(TableSet::singleton(if l_in {
+                        e.right
+                    } else {
+                        e.left
+                    }));
+                    grew = true;
+                }
+            }
+            if reached == set {
+                return true;
+            }
+            if !grew {
+                return false;
+            }
+        }
+    }
+
+    /// True if the whole graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.is_connected_set(self.all_tables())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> JoinGraph {
+        // t0 - t1 - t2
+        let mut g = JoinGraph::new(vec![TableId(0), TableId(1), TableId(2)]);
+        g.add_edge(0, 1, 0.1).add_edge(1, 2, 0.01);
+        g
+    }
+
+    #[test]
+    fn edge_normalization_and_validation() {
+        let e = JoinEdge::new(3, 1, 0.5);
+        assert_eq!((e.left, e.right), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn edge_rejects_zero_selectivity() {
+        JoinEdge::new(0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct positions")]
+    fn edge_rejects_self_loop() {
+        JoinEdge::new(2, 2, 0.5);
+    }
+
+    #[test]
+    fn connectivity_between_sets() {
+        let g = chain3();
+        let s0 = TableSet::singleton(0);
+        let s1 = TableSet::singleton(1);
+        let s2 = TableSet::singleton(2);
+        assert!(g.connected(s0, s1));
+        assert!(g.connected(s1, s2));
+        assert!(!g.connected(s0, s2)); // no direct edge: cross product
+        assert!(g.connected(s0.union(s1), s2));
+    }
+
+    #[test]
+    fn join_selectivity_multiplies_connecting_edges() {
+        let mut g = chain3();
+        g.add_edge(0, 2, 0.5); // close the triangle
+        let s01 = TableSet::from_positions([0, 1]);
+        let s2 = TableSet::singleton(2);
+        // Edges (1,2) and (0,2) both connect.
+        assert!((g.join_selectivity(s01, s2) - 0.01 * 0.5).abs() < 1e-15);
+        // Cross product has selectivity 1.
+        let g2 = JoinGraph::new(vec![TableId(0), TableId(1)]);
+        assert_eq!(
+            g2.join_selectivity(TableSet::singleton(0), TableSet::singleton(1)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn connected_set_detection() {
+        let g = chain3();
+        assert!(g.is_connected());
+        assert!(g.is_connected_set(TableSet::from_positions([0, 1])));
+        assert!(!g.is_connected_set(TableSet::from_positions([0, 2])));
+        assert!(g.is_connected_set(TableSet::singleton(2)));
+        assert!(!g.is_connected_set(TableSet::EMPTY));
+    }
+
+    #[test]
+    fn filters_default_to_one() {
+        let mut g = chain3();
+        assert_eq!(g.filters, vec![1.0; 3]);
+        g.set_filter(1, 0.25);
+        assert_eq!(g.filters[1], 0.25);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = JoinGraph::new(vec![TableId(0), TableId(1)]);
+        assert!(!g.is_connected());
+    }
+}

@@ -1,0 +1,453 @@
+//! Table sets as bitsets, with the subset and split enumerations that
+//! drive bottom-up dynamic programming over join orders.
+//!
+//! Positions refer to the query's table list (0-based), not catalog ids, so
+//! a `u64` backing store supports queries of up to 64 tables — far beyond
+//! the 8-table maximum of TPC-H.
+
+use std::fmt;
+
+/// A set of query-table positions, packed into a `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableSet(u64);
+
+impl TableSet {
+    /// The empty set.
+    pub const EMPTY: TableSet = TableSet(0);
+
+    /// The singleton set `{pos}`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= 64`.
+    #[inline]
+    pub fn singleton(pos: usize) -> Self {
+        assert!(pos < 64, "table position {pos} out of range");
+        TableSet(1 << pos)
+    }
+
+    /// The full set `{0, …, n-1}`.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 tables supported");
+        if n == 64 {
+            TableSet(u64::MAX)
+        } else {
+            TableSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a set from an iterator of positions.
+    pub fn from_positions(positions: impl IntoIterator<Item = usize>) -> Self {
+        positions
+            .into_iter()
+            .fold(TableSet::EMPTY, |s, p| s.union(TableSet::singleton(p)))
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// A set from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        TableSet(bits)
+    }
+
+    /// Number of tables in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if `pos` is in the set.
+    #[inline]
+    pub fn contains(self, pos: usize) -> bool {
+        pos < 64 && (self.0 >> pos) & 1 == 1
+    }
+
+    /// True if every table of `other` is in `self`.
+    #[inline]
+    pub fn is_superset_of(self, other: TableSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if the two sets share no table.
+    #[inline]
+    pub fn is_disjoint(self, other: TableSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: TableSet) -> TableSet {
+        TableSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & !other.0)
+    }
+
+    /// Iterates over the positions in the set, ascending.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let pos = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(pos)
+            }
+        })
+    }
+
+    /// The position of the single element of a singleton set.
+    ///
+    /// # Panics
+    /// Panics if the set does not contain exactly one table.
+    #[inline]
+    pub fn single(self) -> usize {
+        assert_eq!(self.len(), 1, "expected singleton, got {self:?}");
+        self.0.trailing_zeros() as usize
+    }
+
+    /// Enumerates all non-empty subsets of `self` (including `self`).
+    ///
+    /// Uses the standard `(s - 1) & q` descent, visiting subsets in
+    /// decreasing bit-pattern order.
+    #[inline]
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter {
+            universe: self.0,
+            next: self.0,
+            done: self.0 == 0,
+        }
+    }
+
+    /// Enumerates unordered splits of `self` into two non-empty disjoint
+    /// halves `(q1, q2)` with `q1 ∪ q2 = self`.
+    ///
+    /// Each unordered pair is produced exactly once: the half containing
+    /// the set's lowest table is always `q1`. The optimizer emits both join
+    /// orders `q1 ⋈ q2` and `q2 ⋈ q1` itself where relevant.
+    #[inline]
+    pub fn splits(self) -> SplitIter {
+        SplitIter::new(self)
+    }
+}
+
+/// Enumerates all `k`-element subsets of `{0, …, n-1}` in ascending
+/// bit-pattern order (Gosper's hack).
+///
+/// This drives the outer loop of the DP's plan-generation phase, which
+/// iterates "over table sets of increasing cardinality" (Algorithm 2).
+pub fn k_subsets(n: usize, k: usize) -> impl Iterator<Item = TableSet> {
+    assert!(n <= 64);
+    let mut cur: u64 = if k == 0 || k > n { 0 } else { (1u64 << k) - 1 };
+    let limit: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut done = cur == 0;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let out = TableSet(cur);
+        // Gosper's hack: next bit pattern with the same popcount.
+        let c = cur & cur.wrapping_neg();
+        let r = cur.wrapping_add(c);
+        if r > limit || r == 0 {
+            done = true;
+        } else {
+            cur = (((r ^ cur) >> 2) / c) | r;
+            if cur > limit {
+                done = true;
+            }
+        }
+        Some(out)
+    })
+}
+
+impl fmt::Debug for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TableSet{{")?;
+        for (i, pos) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{pos}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over non-empty subsets of a set. See [`TableSet::subsets`].
+pub struct SubsetIter {
+    universe: u64,
+    next: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = TableSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<TableSet> {
+        if self.done {
+            return None;
+        }
+        let cur = self.next;
+        if cur == 0 {
+            self.done = true;
+            return None;
+        }
+        self.next = (cur - 1) & self.universe;
+        if self.next == 0 {
+            self.done = true;
+        }
+        Some(TableSet(cur))
+    }
+}
+
+/// Iterator over unordered two-way splits of a set. See [`TableSet::splits`].
+pub struct SplitIter {
+    universe: u64,
+    anchor: u64,
+    /// Bits that may vary between the two halves (universe minus anchor).
+    free: u64,
+    /// Current subset of `free` assigned to the anchor half.
+    cursor: u64,
+    done: bool,
+}
+
+impl SplitIter {
+    fn new(set: TableSet) -> Self {
+        if set.len() < 2 {
+            return SplitIter {
+                universe: set.0,
+                anchor: 0,
+                free: 0,
+                cursor: 0,
+                done: true,
+            };
+        }
+        let anchor = set.0 & set.0.wrapping_neg(); // lowest bit
+        let free = set.0 & !anchor;
+        SplitIter {
+            universe: set.0,
+            anchor,
+            free,
+            // Start from the largest proper subset of `free` so that q2 is
+            // non-empty; descend to the empty subset (q1 = {anchor}).
+            cursor: (free - 1) & free,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for SplitIter {
+    type Item = (TableSet, TableSet);
+
+    #[inline]
+    fn next(&mut self) -> Option<(TableSet, TableSet)> {
+        if self.done {
+            return None;
+        }
+        let q1 = TableSet(self.anchor | self.cursor);
+        let q2 = TableSet(self.universe & !q1.0);
+        debug_assert!(!q2.is_empty());
+        if self.cursor == 0 {
+            self.done = true;
+        } else {
+            self.cursor = (self.cursor - 1) & self.free;
+        }
+        Some((q1, q2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = TableSet::from_positions([0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(2) && s.contains(5));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(TableSet::full(4).len(), 4);
+        assert_eq!(TableSet::full(64).len(), 64);
+        assert!(TableSet::EMPTY.is_empty());
+        assert_eq!(TableSet::full(0), TableSet::EMPTY);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = TableSet::from_positions([0, 1]);
+        let b = TableSet::from_positions([1, 2]);
+        assert_eq!(a.union(b), TableSet::from_positions([0, 1, 2]));
+        assert_eq!(a.intersect(b), TableSet::singleton(1));
+        assert_eq!(a.difference(b), TableSet::singleton(0));
+        assert!(a.union(b).is_superset_of(a));
+        assert!(!a.is_disjoint(b));
+        assert!(a.difference(b).is_disjoint(b));
+    }
+
+    #[test]
+    fn singleton_extraction() {
+        assert_eq!(TableSet::singleton(7).single(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected singleton")]
+    fn single_rejects_non_singletons() {
+        TableSet::from_positions([1, 2]).single();
+    }
+
+    #[test]
+    fn subsets_count_is_2k_minus_1() {
+        let s = TableSet::from_positions([1, 3, 4]);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 7);
+        assert!(subs.contains(&s));
+        assert!(subs.contains(&TableSet::singleton(3)));
+        for sub in subs {
+            assert!(s.is_superset_of(sub));
+            assert!(!sub.is_empty());
+        }
+    }
+
+    #[test]
+    fn subsets_of_empty_set_is_empty() {
+        assert_eq!(TableSet::EMPTY.subsets().count(), 0);
+    }
+
+    #[test]
+    fn splits_enumerate_each_unordered_pair_once() {
+        let s = TableSet::full(4);
+        let splits: Vec<_> = s.splits().collect();
+        // 2^(k-1) - 1 unordered splits for k tables.
+        assert_eq!(splits.len(), 7);
+        let mut seen = std::collections::HashSet::new();
+        for (q1, q2) in splits {
+            assert!(!q1.is_empty() && !q2.is_empty());
+            assert!(q1.is_disjoint(q2));
+            assert_eq!(q1.union(q2), s);
+            // q1 always holds the lowest table, so the pair is canonical.
+            assert!(q1.contains(0));
+            assert!(seen.insert((q1, q2)), "duplicate split {q1:?} {q2:?}");
+        }
+    }
+
+    #[test]
+    fn splits_of_small_sets() {
+        assert_eq!(TableSet::EMPTY.splits().count(), 0);
+        assert_eq!(TableSet::singleton(3).splits().count(), 0);
+        let pair = TableSet::from_positions([2, 6]);
+        let splits: Vec<_> = pair.splits().collect();
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0], (TableSet::singleton(2), TableSet::singleton(6)));
+    }
+
+    #[test]
+    fn k_subsets_enumerates_combinations() {
+        let subs: Vec<_> = k_subsets(4, 2).collect();
+        assert_eq!(subs.len(), 6); // C(4,2)
+        for s in &subs {
+            assert_eq!(s.len(), 2);
+            assert!(TableSet::full(4).is_superset_of(*s));
+        }
+        // Distinct.
+        let set: std::collections::HashSet<_> = subs.iter().collect();
+        assert_eq!(set.len(), 6);
+        // Edge cases.
+        assert_eq!(k_subsets(4, 0).count(), 0);
+        assert_eq!(k_subsets(4, 5).count(), 0);
+        assert_eq!(k_subsets(4, 4).count(), 1);
+        assert_eq!(k_subsets(1, 1).count(), 1);
+        // Total over all k = 2^n - 1.
+        let total: usize = (1..=8).map(|k| k_subsets(8, k).count()).sum();
+        assert_eq!(total, 255);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(
+            format!("{:?}", TableSet::from_positions([0, 3])),
+            "TableSet{0,3}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table_set() -> impl Strategy<Value = TableSet> {
+        (0u64..(1 << 12)).prop_map(TableSet::from_bits)
+    }
+
+    proptest! {
+        #[test]
+        fn iter_round_trips(s in table_set()) {
+            let rebuilt = TableSet::from_positions(s.iter());
+            prop_assert_eq!(rebuilt, s);
+        }
+
+        #[test]
+        fn subsets_are_exactly_the_powerset(s in table_set()) {
+            let count = s.subsets().count();
+            let expected = if s.is_empty() { 0 } else { (1usize << s.len()) - 1 };
+            prop_assert_eq!(count, expected);
+            for sub in s.subsets() {
+                prop_assert!(s.is_superset_of(sub));
+            }
+        }
+
+        #[test]
+        fn splits_partition_the_set(s in table_set()) {
+            let expected = if s.len() < 2 { 0 } else { (1usize << (s.len() - 1)) - 1 };
+            prop_assert_eq!(s.splits().count(), expected);
+            for (q1, q2) in s.splits() {
+                prop_assert!(q1.is_disjoint(q2));
+                prop_assert_eq!(q1.union(q2), s);
+                prop_assert!(!q1.is_empty() && !q2.is_empty());
+            }
+        }
+
+        #[test]
+        fn difference_and_union_are_consistent(a in table_set(), b in table_set()) {
+            let u = a.union(b);
+            prop_assert_eq!(u.difference(b).union(b.intersect(u)).union(b), u);
+            prop_assert!(a.difference(b).is_disjoint(b));
+            prop_assert!(u.is_superset_of(a) && u.is_superset_of(b));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic query generators for tests, examples, and benchmarks.
+//!
+//! Each generator builds a fresh catalog plus join graph, so callers don't
+//! have to wire statistics by hand. Cardinalities and selectivities are
+//! chosen to produce non-trivial Pareto frontiers (cheap-but-imprecise vs.
+//! expensive-but-exact plan alternatives).
+
+use crate::graph::JoinGraph;
+use crate::spec::QuerySpec;
+use moqo_catalog::CatalogBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A chain query `t0 ⋈ t1 ⋈ … ⋈ t{n-1}` with edges only between
+/// neighbours. `base_card` sets the cardinality of the largest table;
+/// tables alternate between `base_card` and `base_card / 10`.
+pub fn chain_query(n: usize, base_card: u64) -> QuerySpec {
+    assert!(n >= 1);
+    let mut b = CatalogBuilder::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let card = if i % 2 == 0 { base_card } else { base_card / 10 }.max(10);
+        ids.push(b.add_table(format!("chain_t{i}"), card, 100, vec![]));
+    }
+    let mut g = JoinGraph::new(ids);
+    for i in 0..n.saturating_sub(1) {
+        // Selectivity that keeps intermediate results comparable in size
+        // to the inputs (FK-join-like).
+        g.add_edge(i, i + 1, 1.0 / base_card as f64);
+    }
+    QuerySpec::new(format!("chain-{n}"), g, Arc::new(b.build()))
+}
+
+/// A star query: a large fact table at position 0 joined to `n - 1`
+/// dimension tables.
+pub fn star_query(n: usize, fact_card: u64) -> QuerySpec {
+    assert!(n >= 1);
+    let mut b = CatalogBuilder::new();
+    let mut ids = Vec::with_capacity(n);
+    ids.push(b.add_table("star_fact", fact_card, 200, vec![]));
+    for i in 1..n {
+        let dim_card = (fact_card / 100).max(10) * i as u64;
+        ids.push(b.add_table(format!("star_dim{i}"), dim_card, 80, vec![]));
+    }
+    let mut g = JoinGraph::new(ids);
+    for i in 1..n {
+        let dim_card = (fact_card / 100).max(10) * i as u64;
+        g.add_edge(0, i, 1.0 / dim_card as f64);
+    }
+    QuerySpec::new(format!("star-{n}"), g, Arc::new(b.build()))
+}
+
+/// A clique query: every pair of tables is connected.
+pub fn clique_query(n: usize, base_card: u64) -> QuerySpec {
+    assert!(n >= 1);
+    let mut b = CatalogBuilder::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        ids.push(b.add_table(
+            format!("clique_t{i}"),
+            base_card * (i as u64 + 1),
+            100,
+            vec![],
+        ));
+    }
+    let mut g = JoinGraph::new(ids);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(i, j, 1.0 / (base_card as f64 * (j as f64 + 1.0)));
+        }
+    }
+    QuerySpec::new(format!("clique-{n}"), g, Arc::new(b.build()))
+}
+
+/// A random connected query: a random spanning tree plus extra random
+/// edges, with log-uniform cardinalities and selectivities. Deterministic
+/// for a given seed.
+pub fn random_query(n: usize, seed: u64) -> QuerySpec {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CatalogBuilder::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        // Cardinalities from 100 to 10^6, log-uniform.
+        let exp: f64 = rng.gen_range(2.0..6.0);
+        let card = 10f64.powf(exp) as u64;
+        ids.push(b.add_table(
+            format!("rand{seed}_t{i}"),
+            card,
+            rng.gen_range(40..240),
+            vec![],
+        ));
+    }
+    let mut g = JoinGraph::new(ids);
+    // Random spanning tree: connect each table i >= 1 to a random earlier one.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let sel = 10f64.powf(rng.gen_range(-6.0..-1.0));
+        g.add_edge(i, j, sel);
+    }
+    // A few extra edges for denser graphs.
+    let extra = n / 3;
+    for _ in 0..extra {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j && !g.edges.iter().any(|e| e.left == i.min(j) && e.right == i.max(j)) {
+            let sel = 10f64.powf(rng.gen_range(-6.0..-1.0));
+            g.add_edge(i, j, sel);
+        }
+    }
+    // Random local filters on some tables.
+    for i in 0..n {
+        if rng.gen_bool(0.3) {
+            g.set_filter(i, rng.gen_range(0.05..1.0));
+        }
+    }
+    QuerySpec::new(format!("random-{n}-{seed}"), g, Arc::new(b.build()))
+}
+
+/// The two-table query `R ⋈ S` from the paper's Example 3.
+pub fn example3_query() -> QuerySpec {
+    let mut b = CatalogBuilder::new();
+    let r = b.add_table("R", 100_000, 100, vec![]);
+    let s = b.add_table("S", 20_000, 60, vec![]);
+    let mut g = JoinGraph::new(vec![r, s]);
+    g.add_edge(0, 1, 1.0 / 20_000.0);
+    QuerySpec::new("example3", g, Arc::new(b.build()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let q = chain_query(5, 10_000);
+        assert_eq!(q.n_tables(), 5);
+        assert_eq!(q.graph.edges.len(), 4);
+        assert!(q.graph.is_connected());
+    }
+
+    #[test]
+    fn star_shape() {
+        let q = star_query(4, 1_000_000);
+        assert_eq!(q.graph.edges.len(), 3);
+        assert!(q.graph.edges.iter().all(|e| e.left == 0));
+        assert!(q.graph.is_connected());
+    }
+
+    #[test]
+    fn clique_shape() {
+        let q = clique_query(4, 1000);
+        assert_eq!(q.graph.edges.len(), 6);
+        assert!(q.graph.is_connected());
+    }
+
+    #[test]
+    fn random_queries_are_connected_and_deterministic() {
+        for seed in 0..10 {
+            let q = random_query(6, seed);
+            assert!(q.graph.is_connected(), "seed {seed} disconnected");
+            let q2 = random_query(6, seed);
+            assert_eq!(q.graph.edges.len(), q2.graph.edges.len());
+            for (a, b) in q.graph.edges.iter().zip(&q2.graph.edges) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn single_table_queries_work() {
+        assert_eq!(chain_query(1, 100).n_tables(), 1);
+        assert_eq!(random_query(1, 7).graph.edges.len(), 0);
+    }
+
+    #[test]
+    fn example3_matches_paper_setup() {
+        let q = example3_query();
+        assert_eq!(q.n_tables(), 2);
+        assert_eq!(q.name, "example3");
+    }
+}

@@ -1,0 +1,195 @@
+//! Abstract syntax for the supported SQL subset.
+
+/// A column reference `alias.column` (the alias is mandatory in the
+/// subset to keep name resolution unambiguous with self-joins).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table alias the column belongs to.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+/// A table in the `FROM` list, with its alias (defaults to the table
+/// name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Alias used in predicates.
+    pub alias: String,
+}
+
+/// Comparison operators for filter predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A literal value in a predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    String(String),
+}
+
+/// One conjunct of the `WHERE` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Condition {
+    /// Equi-join predicate `a.x = b.y` between two different tables.
+    Join(ColumnRef, ColumnRef),
+    /// Local filter `a.x <op> literal`.
+    Filter(ColumnRef, Comparison, Literal),
+    /// `a.x IN (SELECT …)` — decomposed into a separate query block.
+    InSubquery(ColumnRef, Box<SelectStatement>),
+    /// `EXISTS (SELECT …)` — decomposed into a separate query block.
+    Exists(Box<SelectStatement>),
+}
+
+/// A parsed `SELECT` statement (one query block plus nested blocks).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStatement {
+    /// Projected columns; empty means `SELECT *`.
+    pub projections: Vec<ColumnRef>,
+    /// `FROM` list.
+    pub from: Vec<TableRef>,
+    /// `WHERE` conjuncts (empty for no `WHERE` clause).
+    pub conditions: Vec<Condition>,
+}
+
+impl SelectStatement {
+    /// Resolves an alias to its position in the `FROM` list.
+    pub fn alias_position(&self, alias: &str) -> Option<usize> {
+        self.from
+            .iter()
+            .position(|t| t.alias.eq_ignore_ascii_case(alias))
+    }
+
+    /// The nested sub-query statements, in syntactic order.
+    pub fn subqueries(&self) -> Vec<&SelectStatement> {
+        self.conditions
+            .iter()
+            .filter_map(|c| match c {
+                Condition::InSubquery(_, s) | Condition::Exists(s) => Some(s.as_ref()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_resolution_is_case_insensitive() {
+        let stmt = SelectStatement {
+            projections: vec![],
+            from: vec![
+                TableRef {
+                    table: "orders".into(),
+                    alias: "O".into(),
+                },
+                TableRef {
+                    table: "lineitem".into(),
+                    alias: "l".into(),
+                },
+            ],
+            conditions: vec![],
+        };
+        assert_eq!(stmt.alias_position("o"), Some(0));
+        assert_eq!(stmt.alias_position("L"), Some(1));
+        assert_eq!(stmt.alias_position("x"), None);
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Comparison::Eq => "=",
+            Comparison::Neq => "<>",
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::String(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Condition::Join(l, r) => write!(f, "{l} = {r}"),
+            Condition::Filter(c, op, lit) => write!(f, "{c} {op} {lit}"),
+            Condition::InSubquery(c, sub) => write!(f, "{c} IN ({sub})"),
+            Condition::Exists(sub) => write!(f, "EXISTS ({sub})"),
+        }
+    }
+}
+
+/// Renders the statement back to parseable SQL (used by the round-trip
+/// property tests).
+impl std::fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.projections.is_empty() {
+            write!(f, "*")?;
+        } else {
+            for (i, p) in self.projections.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.table)?;
+            if t.alias != t.table {
+                write!(f, " {}", t.alias)?;
+            }
+        }
+        if !self.conditions.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal SQL front-end for the optimizer.
+//!
+//! Section 4.3 of the paper: "complex SQL statements containing nested
+//! queries can be decomposed into simple select-project-join query blocks
+//! that can be optimized by our algorithm" (following Selinger et al.).
+//! This crate provides that pipeline for a pragmatic SQL subset:
+//!
+//! ```sql
+//! SELECT c.name, o.total
+//! FROM customer c, orders o, lineitem l
+//! WHERE c.custkey = o.custkey
+//!   AND o.orderkey = l.orderkey
+//!   AND c.segment = 'BUILDING'
+//!   AND o.total > 1000
+//!   AND o.orderkey IN (SELECT l2.orderkey FROM lineitem l2
+//!                      WHERE l2.qty > 300)
+//! ```
+//!
+//! * [`lexer`] tokenizes the statement;
+//! * [`parser`] builds the [`ast`] (joins via comma-separated `FROM` plus
+//!   `WHERE` equi-join predicates, local filters, `IN`/`EXISTS`
+//!   sub-queries);
+//! * [`decompose`] flattens the statement into one [`QuerySpec`] per
+//!   query block, estimating join selectivities from catalog column
+//!   statistics (`1 / max(ndv)`) and filter selectivities with the
+//!   classic System-R heuristics (equality `1/ndv`, range `1/3`).
+//!
+//! [`QuerySpec`]: moqo_query::QuerySpec
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod decompose;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Comparison, Condition, SelectStatement, TableRef};
+pub use decompose::{decompose, DecomposeError};
+pub use parser::{parse_select, ParseError};
+
+use moqo_catalog::Catalog;
+use moqo_query::QuerySpec;
+use std::sync::Arc;
+
+/// Convenience: parse a SQL string and decompose it into optimizable
+/// query blocks against `catalog`. The first block is the outermost
+/// query; sub-query blocks follow in discovery order.
+pub fn plan_blocks(sql: &str, catalog: &Arc<Catalog>) -> Result<Vec<QuerySpec>, SqlError> {
+    let stmt = parse_select(sql)?;
+    Ok(decompose(&stmt, catalog)?)
+}
+
+/// Any front-end error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlError {
+    /// Tokenizing/parsing failed.
+    Parse(ParseError),
+    /// Name resolution or statistics lookup failed.
+    Decompose(DecomposeError),
+}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+impl From<DecomposeError> for SqlError {
+    fn from(e: DecomposeError) -> Self {
+        SqlError::Decompose(e)
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "parse error: {e}"),
+            SqlError::Decompose(e) => write!(f, "decompose error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod proptests;

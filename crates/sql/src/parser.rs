@@ -1,0 +1,329 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::{
+    ColumnRef, Comparison, Condition, Literal, SelectStatement, TableRef,
+};
+use crate::lexer::{tokenize, LexError, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses a `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStatement, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error(format!(
+            "trailing input starting at {}",
+            p.peek().map(|t| t.to_string()).unwrap_or_default()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const KEYWORDS: &[&str] = &["select", "from", "where", "and", "in", "exists", "as"];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!(
+                "expected {kw}, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if !is_keyword(&s) => Ok(s),
+            other => Err(self.error(format!(
+                "expected identifier, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// `alias.column`
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let table = self.ident()?;
+        match self.next() {
+            Some(Token::Dot) => {}
+            other => {
+                return Err(self.error(format!(
+                    "expected '.' after alias {table:?}, found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        }
+        let column = self.ident()?;
+        Ok(ColumnRef { table, column })
+    }
+
+    fn select(&mut self) -> Result<SelectStatement, ParseError> {
+        self.expect_keyword("select")?;
+        // Projections: `*` or a comma list of column refs.
+        let mut projections = Vec::new();
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.next();
+        } else {
+            loop {
+                projections.push(self.column_ref()?);
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("from")?;
+        // FROM list: `table [AS] alias?` comma-separated.
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            if self.peek_keyword("as") {
+                self.next();
+            }
+            let alias = match self.peek() {
+                Some(Token::Ident(s)) if !is_keyword(s) => {
+                    let a = s.clone();
+                    self.next();
+                    a
+                }
+                _ => table.clone(),
+            };
+            from.push(TableRef { table, alias });
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        // Optional WHERE with AND-connected conjuncts.
+        let mut conditions = Vec::new();
+        if self.peek_keyword("where") {
+            self.next();
+            loop {
+                conditions.push(self.condition()?);
+                if self.peek_keyword("and") {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStatement {
+            projections,
+            from,
+            conditions,
+        })
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        // EXISTS (SELECT …)
+        if self.peek_keyword("exists") {
+            self.next();
+            self.expect_token(Token::LParen)?;
+            let sub = self.select()?;
+            self.expect_token(Token::RParen)?;
+            return Ok(Condition::Exists(Box::new(sub)));
+        }
+        let left = self.column_ref()?;
+        // col IN (SELECT …)
+        if self.peek_keyword("in") {
+            self.next();
+            self.expect_token(Token::LParen)?;
+            let sub = self.select()?;
+            self.expect_token(Token::RParen)?;
+            return Ok(Condition::InSubquery(left, Box::new(sub)));
+        }
+        let op = match self.next() {
+            Some(Token::Eq) => Comparison::Eq,
+            Some(Token::Neq) => Comparison::Neq,
+            Some(Token::Lt) => Comparison::Lt,
+            Some(Token::Le) => Comparison::Le,
+            Some(Token::Gt) => Comparison::Gt,
+            Some(Token::Ge) => Comparison::Ge,
+            other => {
+                return Err(self.error(format!(
+                    "expected comparison operator, found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        };
+        // Right side: column (join predicate, only for `=`) or literal.
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.next();
+                Ok(Condition::Filter(left, op, Literal::Number(n)))
+            }
+            Some(Token::String(s)) => {
+                self.next();
+                Ok(Condition::Filter(left, op, Literal::String(s)))
+            }
+            Some(Token::Ident(_)) => {
+                let right = self.column_ref()?;
+                if op != Comparison::Eq {
+                    return Err(self.error(
+                        "only equality join predicates between columns are supported",
+                    ));
+                }
+                Ok(Condition::Join(left, right))
+            }
+            other => Err(self.error(format!(
+                "expected literal or column after operator, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn expect_token(&mut self, expected: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == expected => Ok(()),
+            other => Err(self.error(format!(
+                "expected {expected}, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_three_way_join() {
+        let stmt = parse_select(
+            "SELECT c.name FROM customer c, orders o, lineitem l \
+             WHERE c.custkey = o.custkey AND o.orderkey = l.orderkey \
+             AND c.segment = 'BUILDING' AND o.total > 1000",
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.conditions.len(), 4);
+        assert!(matches!(stmt.conditions[0], Condition::Join(..)));
+        assert!(matches!(stmt.conditions[2], Condition::Filter(..)));
+        assert_eq!(stmt.projections.len(), 1);
+    }
+
+    #[test]
+    fn parses_select_star_and_default_alias() {
+        let stmt = parse_select("SELECT * FROM orders").unwrap();
+        assert!(stmt.projections.is_empty());
+        assert_eq!(stmt.from[0].alias, "orders");
+        assert!(stmt.conditions.is_empty());
+    }
+
+    #[test]
+    fn parses_as_alias() {
+        let stmt = parse_select("SELECT o.x FROM orders AS o").unwrap();
+        assert_eq!(stmt.from[0].alias, "o");
+    }
+
+    #[test]
+    fn parses_nested_in_subquery() {
+        let stmt = parse_select(
+            "SELECT o.k FROM orders o WHERE o.k IN \
+             (SELECT l.orderkey FROM lineitem l WHERE l.qty > 300)",
+        )
+        .unwrap();
+        assert_eq!(stmt.subqueries().len(), 1);
+        let sub = stmt.subqueries()[0];
+        assert_eq!(sub.from[0].table, "lineitem");
+        assert_eq!(sub.conditions.len(), 1);
+    }
+
+    #[test]
+    fn parses_exists_subquery() {
+        let stmt = parse_select(
+            "SELECT o.k FROM orders o WHERE EXISTS \
+             (SELECT l.k FROM lineitem l WHERE l.orderkey = o.orderkey)",
+        )
+        .unwrap();
+        assert!(matches!(stmt.conditions[0], Condition::Exists(_)));
+    }
+
+    #[test]
+    fn deeply_nested_subqueries() {
+        let stmt = parse_select(
+            "SELECT a.x FROM t1 a WHERE a.x IN (SELECT b.y FROM t2 b \
+             WHERE b.z IN (SELECT c.w FROM t3 c))",
+        )
+        .unwrap();
+        let sub = stmt.subqueries()[0];
+        assert_eq!(sub.subqueries().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_select("").is_err());
+        assert!(parse_select("SELECT FROM t").is_err());
+        assert!(parse_select("SELECT a.x FROM").is_err());
+        assert!(parse_select("SELECT a.x FROM t a WHERE").is_err());
+        assert!(parse_select("SELECT a.x FROM t a WHERE a.x").is_err());
+        assert!(parse_select("SELECT a.x FROM t a extra junk").is_err());
+        // Non-equality column-column predicates are unsupported.
+        assert!(parse_select("SELECT a.x FROM t a, u b WHERE a.x < b.y").is_err());
+        // Unqualified columns are rejected (aliases are mandatory).
+        assert!(parse_select("SELECT x FROM t").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let stmt =
+            parse_select("select o.x from orders o where o.x = 1 AND o.y <= 2").unwrap();
+        assert_eq!(stmt.conditions.len(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: random ASTs round-trip through print → parse.
+
+use crate::ast::{
+    ColumnRef, Comparison, Condition, Literal, SelectStatement, TableRef,
+};
+use crate::parser::parse_select;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Identifiers that cannot collide with keywords.
+    "[a-z][a-z0-9_]{0,6}"
+        .prop_filter("not a keyword", |s| {
+            !["select", "from", "where", "and", "in", "exists", "as"]
+                .contains(&s.as_str())
+        })
+        .prop_map(|s| s.to_string())
+}
+
+fn column_ref(aliases: Vec<String>) -> impl Strategy<Value = ColumnRef> {
+    (0..aliases.len(), ident()).prop_map(move |(i, column)| ColumnRef {
+        table: aliases[i].clone(),
+        column,
+    })
+}
+
+fn comparison() -> impl Strategy<Value = Comparison> {
+    prop_oneof![
+        Just(Comparison::Eq),
+        Just(Comparison::Neq),
+        Just(Comparison::Lt),
+        Just(Comparison::Le),
+        Just(Comparison::Gt),
+        Just(Comparison::Ge),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Positive numbers with short decimal expansions survive the
+        // f64 -> Display -> parse round trip exactly.
+        (0u32..100_000).prop_map(|n| Literal::Number(n as f64)),
+        "[a-zA-Z0-9 _]{0,10}".prop_map(Literal::String),
+    ]
+}
+
+fn statement(depth: u32) -> BoxedStrategy<SelectStatement> {
+    (proptest::collection::vec(ident(), 1..4), any::<bool>())
+        .prop_flat_map(move |(tables, star)| {
+            // Aliases a0, a1, ... keep alias resolution unambiguous even
+            // when table names repeat (self-joins).
+            let aliases: Vec<String> =
+                (0..tables.len()).map(|i| format!("a{i}")).collect();
+            let from: Vec<TableRef> = tables
+                .iter()
+                .zip(&aliases)
+                .map(|(t, a)| TableRef {
+                    table: t.clone(),
+                    alias: a.clone(),
+                })
+                .collect();
+            let projections = if star {
+                Just(Vec::new()).boxed()
+            } else {
+                proptest::collection::vec(column_ref(aliases.clone()), 1..3).boxed()
+            };
+            let join = (column_ref(aliases.clone()), column_ref(aliases.clone()))
+                .prop_map(|(l, r)| Condition::Join(l, r));
+            let filter = (column_ref(aliases.clone()), comparison(), literal())
+                .prop_map(|(c, op, l)| Condition::Filter(c, op, l));
+            let condition = if depth == 0 {
+                prop_oneof![join, filter].boxed()
+            } else {
+                let sub_in = (column_ref(aliases.clone()), statement(depth - 1))
+                    .prop_map(|(c, s)| Condition::InSubquery(c, Box::new(s)));
+                let sub_exists =
+                    statement(depth - 1).prop_map(|s| Condition::Exists(Box::new(s)));
+                prop_oneof![4 => join, 4 => filter, 1 => sub_in, 1 => sub_exists].boxed()
+            };
+            let conditions = proptest::collection::vec(condition, 0..4);
+            (projections, Just(from), conditions).prop_map(
+                |(projections, from, conditions)| SelectStatement {
+                    projections,
+                    from,
+                    conditions,
+                },
+            )
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print → parse is the identity on the AST.
+    #[test]
+    fn print_parse_roundtrip(stmt in statement(2)) {
+        let sql = stmt.to_string();
+        let reparsed = parse_select(&sql)
+            .unwrap_or_else(|e| panic!("reparse failed for {sql:?}: {e}"));
+        prop_assert_eq!(reparsed, stmt);
+    }
+
+    /// Parsing never panics on arbitrary input.
+    #[test]
+    fn parser_is_panic_free(input in "[ -~]{0,80}") {
+        let _ = parse_select(&input);
+    }
+}

@@ -1,0 +1,27 @@
+//! TPC-H workload substrate.
+//!
+//! The paper evaluates on "TPC-H queries containing at least one join",
+//! optimized on an extended Postgres whose planner "may split up
+//! optimization of one TPC-H query into multiple optimizations of
+//! sub-queries with different numbers of tables" (Section 6.1). We rebuild
+//! that workload analytically:
+//!
+//! * [`schema`] — the eight TPC-H tables with their standard cardinalities
+//!   at a configurable scale factor;
+//! * [`queries`] — the select-project-join blocks of the 22 TPC-H queries
+//!   as join graphs with foreign-key selectivities and local-filter
+//!   selectivities. The block sizes reproduce the paper's distribution:
+//!   2–6 and 8 joined tables, with **no 7-table block** (the missing bar
+//!   in Figures 3–5), and the single 8-table block (from Q8) touching
+//!   several small tables (footnote 4).
+//!
+//! No actual tuples are generated — the optimizers only consume
+//! statistics, exactly like the paper's cost models.
+
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod schema;
+
+pub use queries::{all_join_blocks, join_blocks_with_tables, query_block, table_counts};
+pub use schema::{tpch_catalog, TpchTable, SF_DEFAULT};

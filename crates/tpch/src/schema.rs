@@ -1,0 +1,190 @@
+//! The TPC-H schema with scale-factor-dependent statistics.
+
+use moqo_catalog::{Catalog, CatalogBuilder, Column, ColumnRole, TableId};
+use std::sync::Arc;
+
+/// The default scale factor (SF 1, ~1 GB).
+pub const SF_DEFAULT: f64 = 1.0;
+
+/// The eight TPC-H base tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TpchTable {
+    Region,
+    Nation,
+    Supplier,
+    Customer,
+    Part,
+    PartSupp,
+    Orders,
+    Lineitem,
+}
+
+impl TpchTable {
+    /// All tables, in catalog order.
+    pub const ALL: [TpchTable; 8] = [
+        TpchTable::Region,
+        TpchTable::Nation,
+        TpchTable::Supplier,
+        TpchTable::Customer,
+        TpchTable::Part,
+        TpchTable::PartSupp,
+        TpchTable::Orders,
+        TpchTable::Lineitem,
+    ];
+
+    /// The table's lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TpchTable::Region => "region",
+            TpchTable::Nation => "nation",
+            TpchTable::Supplier => "supplier",
+            TpchTable::Customer => "customer",
+            TpchTable::Part => "part",
+            TpchTable::PartSupp => "partsupp",
+            TpchTable::Orders => "orders",
+            TpchTable::Lineitem => "lineitem",
+        }
+    }
+
+    /// Cardinality at scale factor `sf` per the TPC-H specification.
+    /// `region` and `nation` are fixed-size; `lineitem` uses the standard
+    /// ~4 rows per order approximation.
+    pub fn cardinality(self, sf: f64) -> u64 {
+        let scaled = |base: f64| ((base * sf).round() as u64).max(1);
+        match self {
+            TpchTable::Region => 5,
+            TpchTable::Nation => 25,
+            TpchTable::Supplier => scaled(10_000.0),
+            TpchTable::Customer => scaled(150_000.0),
+            TpchTable::Part => scaled(200_000.0),
+            TpchTable::PartSupp => scaled(800_000.0),
+            TpchTable::Orders => scaled(1_500_000.0),
+            TpchTable::Lineitem => scaled(6_000_000.0),
+        }
+    }
+
+    /// Approximate average row width in bytes.
+    pub fn row_width(self) -> u32 {
+        match self {
+            TpchTable::Region => 120,
+            TpchTable::Nation => 128,
+            TpchTable::Supplier => 160,
+            TpchTable::Customer => 180,
+            TpchTable::Part => 156,
+            TpchTable::PartSupp => 145,
+            TpchTable::Orders => 120,
+            TpchTable::Lineitem => 130,
+        }
+    }
+
+    /// The catalog id assigned by [`tpch_catalog`] (position in
+    /// [`TpchTable::ALL`]).
+    pub fn id(self) -> TableId {
+        TableId(TpchTable::ALL.iter().position(|t| *t == self).unwrap() as u32)
+    }
+}
+
+/// Builds the TPC-H catalog at scale factor `sf`.
+pub fn tpch_catalog(sf: f64) -> Arc<Catalog> {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut b = CatalogBuilder::new();
+    for t in TpchTable::ALL {
+        let card = t.cardinality(sf);
+        let cols = match t {
+            TpchTable::Region => vec![
+                Column::key("r_regionkey", 5),
+                Column::attribute("r_name", 5),
+            ],
+            TpchTable::Nation => vec![
+                Column::key("n_nationkey", 25),
+                Column::new("n_regionkey", 5, ColumnRole::ForeignKey),
+                Column::attribute("n_name", 25),
+            ],
+            TpchTable::Supplier => vec![
+                Column::key("s_suppkey", card),
+                Column::new("s_nationkey", 25, ColumnRole::ForeignKey),
+            ],
+            TpchTable::Customer => vec![
+                Column::key("c_custkey", card),
+                Column::new("c_nationkey", 25, ColumnRole::ForeignKey),
+                Column::attribute("c_mktsegment", 5),
+            ],
+            TpchTable::Part => vec![
+                Column::key("p_partkey", card),
+                Column::attribute("p_brand", 25),
+                Column::attribute("p_type", 150),
+                Column::attribute("p_size", 50),
+            ],
+            TpchTable::PartSupp => vec![
+                Column::new("ps_partkey", card / 4, ColumnRole::ForeignKey),
+                Column::new("ps_suppkey", card / 80, ColumnRole::ForeignKey),
+            ],
+            TpchTable::Orders => vec![
+                Column::key("o_orderkey", card),
+                Column::new("o_custkey", card / 10, ColumnRole::ForeignKey),
+                Column::attribute("o_orderdate", 2_400),
+                Column::attribute("o_orderpriority", 5),
+            ],
+            TpchTable::Lineitem => vec![
+                Column::new("l_orderkey", card / 4, ColumnRole::ForeignKey),
+                Column::new("l_partkey", card / 30, ColumnRole::ForeignKey),
+                Column::new("l_suppkey", card / 600, ColumnRole::ForeignKey),
+                Column::attribute("l_shipdate", 2_500),
+                Column::attribute("l_shipmode", 7),
+            ],
+        };
+        b.add_table(t.name(), card, t.row_width(), cols);
+    }
+    Arc::new(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_at_sf1_match_spec() {
+        assert_eq!(TpchTable::Region.cardinality(1.0), 5);
+        assert_eq!(TpchTable::Nation.cardinality(1.0), 25);
+        assert_eq!(TpchTable::Supplier.cardinality(1.0), 10_000);
+        assert_eq!(TpchTable::Customer.cardinality(1.0), 150_000);
+        assert_eq!(TpchTable::Part.cardinality(1.0), 200_000);
+        assert_eq!(TpchTable::PartSupp.cardinality(1.0), 800_000);
+        assert_eq!(TpchTable::Orders.cardinality(1.0), 1_500_000);
+        assert_eq!(TpchTable::Lineitem.cardinality(1.0), 6_000_000);
+    }
+
+    #[test]
+    fn fixed_tables_do_not_scale() {
+        assert_eq!(TpchTable::Region.cardinality(10.0), 5);
+        assert_eq!(TpchTable::Nation.cardinality(0.01), 25);
+        assert_eq!(TpchTable::Orders.cardinality(0.1), 150_000);
+    }
+
+    #[test]
+    fn catalog_contains_all_tables_in_order() {
+        let c = tpch_catalog(1.0);
+        assert_eq!(c.len(), 8);
+        for t in TpchTable::ALL {
+            let (id, table) = c.table_by_name(t.name()).unwrap();
+            assert_eq!(id, t.id());
+            assert_eq!(table.cardinality, t.cardinality(1.0));
+        }
+        assert_eq!(c.max_cardinality(), 6_000_000);
+    }
+
+    #[test]
+    fn small_scale_factors_keep_tables_non_empty() {
+        let c = tpch_catalog(0.001);
+        for (_, t) in c.iter() {
+            assert!(t.cardinality >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_sf() {
+        tpch_catalog(0.0);
+    }
+}

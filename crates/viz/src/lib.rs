@@ -1,0 +1,15 @@
+//! Terminal rendering of cost-tradeoff frontiers.
+//!
+//! The paper's interface continuously visualizes the approximated
+//! Pareto-optimal cost tradeoffs (Figure 1). This crate renders 2-D
+//! projections of cost vectors as ASCII scatter plots — enough for the
+//! examples and the `repro` binary to show the anytime refinement in a
+//! terminal — plus a small fixed-width table helper for experiment output.
+
+#![warn(missing_docs)]
+
+pub mod scatter;
+pub mod table;
+
+pub use scatter::{render_scatter, ScatterOptions};
+pub use table::TextTable;

@@ -1,0 +1,166 @@
+//! ASCII scatter plots of cost vectors.
+
+use moqo_cost::{Bounds, CostVector};
+
+/// Options for [`render_scatter`].
+#[derive(Clone, Debug)]
+pub struct ScatterOptions {
+    /// Plot width in characters (at least 16).
+    pub width: usize,
+    /// Plot height in characters (at least 8).
+    pub height: usize,
+    /// Index of the metric on the x axis.
+    pub x_metric: usize,
+    /// Index of the metric on the y axis.
+    pub y_metric: usize,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// Optional cost bounds drawn as `|`/`-` lines.
+    pub bounds: Option<Bounds>,
+}
+
+impl Default for ScatterOptions {
+    fn default() -> Self {
+        Self {
+            width: 60,
+            height: 20,
+            x_metric: 0,
+            y_metric: 1,
+            x_label: "metric 0".into(),
+            y_label: "metric 1".into(),
+            bounds: None,
+        }
+    }
+}
+
+/// Renders cost vectors as an ASCII scatter plot (`*` marks a tradeoff,
+/// `#` marks several in one character cell, `|`/`-` mark bounds).
+///
+/// Returns a multi-line string; empty input produces an empty plot frame.
+pub fn render_scatter(points: &[CostVector], opts: &ScatterOptions) -> String {
+    let w = opts.width.max(16);
+    let h = opts.height.max(8);
+    let xs: Vec<f64> = points.iter().map(|c| c[opts.x_metric]).collect();
+    let ys: Vec<f64> = points.iter().map(|c| c[opts.y_metric]).collect();
+    let bound_x = opts
+        .bounds
+        .map(|b| b.limits()[opts.x_metric])
+        .filter(|v| v.is_finite());
+    let bound_y = opts
+        .bounds
+        .map(|b| b.limits()[opts.y_metric])
+        .filter(|v| v.is_finite());
+
+    let max_or = |vals: &[f64], extra: Option<f64>, default: f64| {
+        vals.iter()
+            .copied()
+            .chain(extra)
+            .fold(default, f64::max)
+    };
+    let x_max = max_or(&xs, bound_x, 1e-9) * 1.05;
+    let y_max = max_or(&ys, bound_y, 1e-9) * 1.05;
+
+    let mut grid = vec![vec![' '; w]; h];
+    // Bounds lines first so points overwrite them.
+    if let Some(bx) = bound_x {
+        let col = ((bx / x_max) * (w - 1) as f64).round() as usize;
+        for row in grid.iter_mut() {
+            row[col.min(w - 1)] = '|';
+        }
+    }
+    if let Some(by) = bound_y {
+        let r = h - 1 - (((by / y_max) * (h - 1) as f64).round() as usize).min(h - 1);
+        for c in grid[r].iter_mut() {
+            if *c == ' ' {
+                *c = '-';
+            }
+        }
+    }
+    for (x, y) in xs.iter().zip(&ys) {
+        let col = (((x / x_max) * (w - 1) as f64).round() as usize).min(w - 1);
+        let row = h - 1 - ((((y / y_max) * (h - 1) as f64).round() as usize).min(h - 1));
+        grid[row][col] = match grid[row][col] {
+            '*' | '#' => '#',
+            _ => '*',
+        };
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} ^\n", opts.y_label));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(w));
+    out.push_str("> ");
+    out.push_str(&opts.x_label);
+    out.push('\n');
+    out.push_str(&format!(
+        "  x: 0..{x_max:.3}  y: 0..{y_max:.3}  ({} plans)\n",
+        points.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_frame() {
+        let points = vec![
+            CostVector::new(&[1.0, 9.0]),
+            CostVector::new(&[5.0, 5.0]),
+            CostVector::new(&[9.0, 1.0]),
+        ];
+        let s = render_scatter(&points, &ScatterOptions::default());
+        assert!(s.contains('*'));
+        assert!(s.contains("(3 plans)"));
+        assert!(s.lines().count() > 20);
+    }
+
+    #[test]
+    fn overlapping_points_become_hash() {
+        let points = vec![CostVector::new(&[1.0, 1.0]); 5];
+        let s = render_scatter(&points, &ScatterOptions::default());
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn bounds_are_drawn() {
+        let points = vec![CostVector::new(&[2.0, 2.0])];
+        let opts = ScatterOptions {
+            bounds: Some(Bounds::from_slice(&[4.0, 4.0])),
+            ..ScatterOptions::default()
+        };
+        let s = render_scatter(&points, &opts);
+        // Frame rows contribute one '|' each; the vertical bound line
+        // contributes roughly one more per row.
+        assert!(s.matches('|').count() > opts.height);
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn empty_input_still_renders_a_frame() {
+        let s = render_scatter(&[], &ScatterOptions::default());
+        assert!(s.contains("(0 plans)"));
+    }
+
+    #[test]
+    fn infinite_bounds_are_ignored() {
+        let points = vec![CostVector::new(&[2.0, 2.0])];
+        let opts = ScatterOptions {
+            bounds: Some(Bounds::unbounded(2)),
+            ..ScatterOptions::default()
+        };
+        let s = render_scatter(&points, &opts);
+        // Only the frame's left border contributes '|' characters (one
+        // per plot row); no extra bound column is drawn.
+        let bars = s.matches('|').count();
+        assert_eq!(bars, opts.height);
+    }
+}

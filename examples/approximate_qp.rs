@@ -1,0 +1,80 @@
+//! Example 2 from the paper: approximate query processing — sampling
+//! reduces execution time at the cost of result precision. The user
+//! hand-tunes a frequently executed query by inspecting the time/error
+//! tradeoff curve at increasing precision.
+//!
+//! ```text
+//! cargo run --release --example approximate_qp
+//! ```
+
+use moqo::core::{Session, StepOutcome, UserEvent};
+use moqo::prelude::*;
+use moqo::viz::TextTable;
+
+fn main() {
+    // TPC-H Q3 (customer ⋈ orders ⋈ lineitem) at scale factor 1:
+    // lineitem has 6M rows, so sampled scans matter.
+    let spec = moqo::tpch::query_block("q03", 1.0).expect("q03 exists");
+    let model = StandardCostModel::paper_metrics();
+    let schedule = ResolutionSchedule::linear(10, 1.01, 0.2);
+    let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let mut session = Session::new(optimizer);
+
+    // Let the approximation refine for a few iterations, printing how the
+    // visible time/error tradeoffs evolve.
+    println!("refining the time/error tradeoff curve for {}:\n", spec.name);
+    for step in 0..6 {
+        match session.step(UserEvent::None) {
+            StepOutcome::Continue { report, frontier } => {
+                // Per iteration: the cheapest-time plan for a few error
+                // classes (the "curve" a UI would draw).
+                let mut per_error: Vec<(f64, f64)> = Vec::new();
+                for p in frontier.pareto_points() {
+                    per_error.push((p.cost[2], p.cost[0]));
+                }
+                per_error.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                per_error.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+                println!(
+                    "iteration {step}: resolution {}, {} tradeoffs, {:.1} ms",
+                    report.resolution,
+                    frontier.len(),
+                    report.seconds() * 1e3
+                );
+                if step == 5 {
+                    let mut t = TextTable::new(vec!["max error", "best time"]);
+                    for (err, time) in per_error.iter().take(10) {
+                        t.row(vec![format!("{err:.3}"), format!("{time:.1}")]);
+                    }
+                    println!("\nfinal curve (error -> best achievable time):");
+                    println!("{}", t.render());
+                }
+            }
+            StepOutcome::Selected(_) => unreachable!(),
+        }
+    }
+
+    // The user decides 10 % error is acceptable and picks the fastest
+    // plan within that tolerance.
+    let bounds = session.bounds();
+    let frontier = session
+        .optimizer()
+        .frontier(bounds, session.resolution().saturating_sub(1));
+    let choice = frontier
+        .points
+        .iter()
+        .filter(|p| p.cost[2] <= 0.10)
+        .min_by(|a, b| a.cost[0].partial_cmp(&b.cost[0]).unwrap())
+        .expect("a plan within 10% error exists");
+    println!(
+        "chosen plan (error <= 10%): time={:.1}, cores={:.0}, error={:.3}",
+        choice.cost[0], choice.cost[1], choice.cost[2]
+    );
+    println!(
+        "{}",
+        moqo::plan::explain(session.optimizer().arena(), choice.plan)
+    );
+    match session.step(UserEvent::SelectPlan(choice.plan)) {
+        StepOutcome::Selected(plan) => println!("plan {plan:?} selected for execution."),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,73 @@
+//! Example 1 from the paper: SQL processing in the cloud, where buying
+//! more resources speeds up execution — a tradeoff between execution time
+//! and monetary fees. The user sets a budget (a cost bound on fees) and
+//! inspects the tradeoffs inside it.
+//!
+//! ```text
+//! cargo run --release --example cloud_tradeoffs
+//! ```
+
+use moqo::prelude::*;
+use moqo::viz::{render_scatter, ScatterOptions};
+
+fn main() {
+    // TPC-H Q5: a six-table join (customer/orders/lineitem/supplier/
+    // nation/region) at scale factor 0.1.
+    let spec = moqo::tpch::query_block("q05", 0.1).expect("q05 exists");
+
+    // Two metrics: execution time and fees (core-seconds billed).
+    let model = StandardCostModel::cloud_metrics();
+    let schedule = ResolutionSchedule::linear(8, 1.02, 0.4);
+    let mut optimizer = IamaOptimizer::new(&spec, &model, schedule);
+
+    // Phase 1: no budget — discover the whole tradeoff curve.
+    let unbounded = Bounds::unbounded(model.dim());
+    for _ in 0..5 {
+        optimizer.run_invocation(unbounded);
+    }
+    let frontier = optimizer.frontier(&unbounded, 4);
+    println!("unconstrained tradeoffs ({} plans):", frontier.len());
+    let opts = ScatterOptions {
+        x_metric: 0,
+        y_metric: 1,
+        x_label: "execution time".into(),
+        y_label: "fees".into(),
+        ..ScatterOptions::default()
+    };
+    println!("{}", render_scatter(&frontier.costs(), &opts));
+
+    // Phase 2: the user sets a fee budget at 60 % of the most expensive
+    // Pareto plan. The optimizer reuses everything it already knows
+    // (incrementality) — plans outside the budget were kept as candidates.
+    let max_fee = frontier
+        .costs()
+        .iter()
+        .map(|c| c[1])
+        .fold(0.0f64, f64::max);
+    let budget = Bounds::unbounded(model.dim()).with_limit(1, max_fee * 0.6);
+    println!("setting fee budget: {budget}\n");
+    let mut last_report = None;
+    for _ in 0..9 {
+        last_report = Some(optimizer.run_invocation(budget));
+    }
+    let report = last_report.unwrap();
+    let bounded = optimizer.frontier(&budget, report.resolution);
+    println!(
+        "within budget: {} plans (finest resolution reached: {})",
+        bounded.len(),
+        report.resolution
+    );
+    let opts = ScatterOptions {
+        bounds: Some(budget),
+        ..opts
+    };
+    println!("{}", render_scatter(&bounded.costs(), &opts));
+
+    // Pick the fastest plan within budget — what the user would click.
+    let choice = bounded.min_by_metric(0).expect("at least one plan in budget");
+    println!(
+        "selected plan: time={:.2}, fees={:.4}",
+        choice.cost[0], choice.cost[1]
+    );
+    println!("{}", moqo::plan::explain(optimizer.arena(), choice.plan));
+}

@@ -1,0 +1,102 @@
+//! A full scripted interactive session (the paper's Figure 1 workflow):
+//! coarse frontier quickly → refinement without input → the user drags a
+//! bound → focused refinement → plan selection.
+//!
+//! ```text
+//! cargo run --release --example interactive_session
+//! ```
+
+use moqo::core::{Session, StepOutcome, UserEvent};
+use moqo::prelude::*;
+use moqo::viz::{render_scatter, ScatterOptions};
+
+fn main() {
+    let spec = moqo::tpch::query_block("q09", 0.1).expect("q09 exists");
+    let model = StandardCostModel::paper_metrics();
+    let schedule = ResolutionSchedule::linear(12, 1.01, 0.3);
+    let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let mut session = Session::new(optimizer);
+
+    let plot = |frontier: &moqo::core::FrontierSnapshot, bounds: Option<Bounds>| {
+        let opts = ScatterOptions {
+            width: 56,
+            height: 14,
+            x_metric: 0,
+            y_metric: 1,
+            x_label: "time".into(),
+            y_label: "cores".into(),
+            bounds,
+        };
+        render_scatter(&frontier.costs(), &opts)
+    };
+
+    // Step 1: the first invocation returns a coarse frontier quickly.
+    let first = match session.step(UserEvent::None) {
+        StepOutcome::Continue { report, frontier } => {
+            println!(
+                "first approximation after {:.1} ms ({} plans):",
+                report.seconds() * 1e3,
+                frontier.len()
+            );
+            println!("{}", plot(&frontier, None));
+            frontier
+        }
+        _ => unreachable!(),
+    };
+
+    // Steps 2-4: refinement without user input.
+    let mut refined = first;
+    for _ in 0..3 {
+        if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
+            refined = frontier;
+        }
+    }
+    println!("after three refinements ({} plans):", refined.len());
+    println!("{}", plot(&refined, None));
+
+    // Step 5: the user reserves at most 4 cores.
+    let bounds = Bounds::unbounded(model.dim()).with_limit(1, 4.0);
+    println!("user drags the cores bound to 4: {bounds}");
+    session.step(UserEvent::SetBounds(bounds));
+
+    // Steps 6-8: focused refinement under the new bounds (resolution was
+    // reset to 0 and climbs again; candidate plans are reused, nothing is
+    // regenerated).
+    let mut focused = None;
+    for _ in 0..3 {
+        if let StepOutcome::Continue { frontier, report } = session.step(UserEvent::None) {
+            println!(
+                "  focused invocation at resolution {}: {} plans, {:.1} ms",
+                report.resolution,
+                frontier.len(),
+                report.seconds() * 1e3
+            );
+            focused = Some(frontier);
+        }
+    }
+    let focused = focused.expect("session still running");
+    println!("\nfrontier within the core budget ({} plans):", focused.len());
+    println!("{}", plot(&focused, Some(bounds)));
+
+    // Step 9: the user clicks the plan with the best time within budget.
+    let choice = focused.min_by_metric(0).expect("non-empty frontier");
+    match session.step(UserEvent::SelectPlan(choice.plan)) {
+        StepOutcome::Selected(plan) => {
+            println!(
+                "selected plan {plan:?}: time={:.1}, cores={:.0}, error={:.3}",
+                choice.cost[0], choice.cost[1], choice.cost[2]
+            );
+            println!(
+                "{}",
+                moqo::plan::explain(session.optimizer().arena(), plan)
+            );
+        }
+        _ => unreachable!(),
+    }
+    // Incrementality receipt: nothing was ever generated twice.
+    let stats = session.optimizer().stats();
+    println!(
+        "session totals: {} invocations, {} plans generated, {} pairs combined",
+        stats.invocations, stats.plans_generated, stats.pairs_generated
+    );
+}

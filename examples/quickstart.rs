@@ -1,0 +1,60 @@
+//! Quickstart: optimize a small join query for multiple objectives and
+//! print the Pareto frontier of plan cost tradeoffs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use moqo::prelude::*;
+use moqo::plan::explain;
+
+fn main() {
+    // A four-table chain query over a synthetic catalog (each table
+    // ~500k rows). `testkit` wires tables, join edges, and selectivities.
+    let spec = moqo::query::testkit::chain_query(4, 500_000);
+
+    // The paper's three evaluation metrics: execution time, number of
+    // reserved cores, and result error (1 - precision).
+    let model = StandardCostModel::paper_metrics();
+
+    // Resolution schedule: 6 levels from coarse (alpha = 1.55) down to the
+    // target precision alpha_T = 1.05.
+    let schedule = ResolutionSchedule::linear(5, 1.05, 0.5);
+
+    let mut optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let bounds = Bounds::unbounded(model.dim());
+
+    // Anytime loop: each invocation refines the frontier; a real
+    // application would redraw its UI after every report.
+    println!("query: {} ({} tables)\n", spec.name, spec.n_tables());
+    for _ in 0..6 {
+        let report = optimizer.run_invocation(bounds);
+        println!(
+            "invocation {} (resolution {}, alpha {:.3}): {} tradeoffs in {:.2} ms",
+            report.invocation,
+            report.resolution,
+            report.alpha,
+            report.frontier_size,
+            report.seconds() * 1e3,
+        );
+    }
+
+    // The final frontier: Pareto-filter for display and show the extremes.
+    let r_max = optimizer.schedule().r_max();
+    let frontier = optimizer.frontier(&bounds, r_max);
+    let pareto = frontier.pareto_points();
+    println!("\nfinal frontier: {} plans ({} Pareto-optimal)", frontier.len(), pareto.len());
+
+    let fastest = frontier.min_by_metric(0).expect("non-empty frontier");
+    let most_precise = frontier.min_by_metric(2).expect("non-empty frontier");
+    println!(
+        "\nfastest plan: time={:.1}, cores={:.0}, error={:.2}",
+        fastest.cost[0], fastest.cost[1], fastest.cost[2]
+    );
+    println!("{}", explain(optimizer.arena(), fastest.plan));
+    println!(
+        "most precise plan: time={:.1}, cores={:.0}, error={:.2}",
+        most_precise.cost[0], most_precise.cost[1], most_precise.cost[2]
+    );
+    println!("{}", explain(optimizer.arena(), most_precise.plan));
+}

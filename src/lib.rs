@@ -1,0 +1,58 @@
+//! # moqo — Multi-Objective Query Optimization
+//!
+//! A from-scratch Rust reproduction of *"An Incremental Anytime Algorithm
+//! for Multi-Objective Query Optimization"* (Trummer & Koch, SIGMOD 2015).
+//!
+//! This facade crate re-exports every subsystem of the workspace so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`cost`] — cost vectors, dominance, Pareto utilities, resolution
+//!   schedules;
+//! * [`catalog`] — tables, columns, statistics;
+//! * [`tpch`] — the TPC-H schema and the join graphs of its queries;
+//! * [`query`] — join graphs, predicates, selectivity estimation;
+//! * [`sql`] — a minimal SQL front-end with Selinger-style decomposition
+//!   of nested statements into optimizable query blocks;
+//! * [`plan`] — the plan arena, scan/join operators, physical properties;
+//! * [`costmodel`] — PONO-compliant multi-metric cost models;
+//! * [`index`] — plan-set indexes with (cost, resolution) range queries;
+//! * [`core`] — the IAMA incremental anytime optimizer itself;
+//! * [`baselines`] — memoryless, one-shot, exhaustive, and single-objective
+//!   reference optimizers;
+//! * [`viz`] — ASCII rendering of cost frontiers.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use moqo::prelude::*;
+//!
+//! // A 3-table chain query over a synthetic catalog.
+//! let spec = moqo::query::testkit::chain_query(3, 10_000);
+//! let model = moqo::costmodel::StandardCostModel::paper_metrics();
+//! let schedule = ResolutionSchedule::linear(5, 1.05, 0.5);
+//! let mut opt = IamaOptimizer::new(&spec, &model, schedule);
+//! let report = opt.run_invocation(Bounds::unbounded(model.dim()));
+//! assert!(report.frontier_size > 0);
+//! ```
+
+pub use moqo_baselines as baselines;
+pub use moqo_catalog as catalog;
+pub use moqo_core as core;
+pub use moqo_cost as cost;
+pub use moqo_costmodel as costmodel;
+pub use moqo_index as index;
+pub use moqo_plan as plan;
+pub use moqo_query as query;
+pub use moqo_sql as sql;
+pub use moqo_tpch as tpch;
+pub use moqo_viz as viz;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use moqo_core::{IamaOptimizer, InvocationReport, Session, UserEvent};
+    pub use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
+    pub use moqo_costmodel::{CostModel, StandardCostModel};
+    pub use moqo_query::QuerySpec;
+}

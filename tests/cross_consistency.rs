@@ -1,0 +1,139 @@
+//! Cross-algorithm consistency: the whole stack agrees with itself.
+
+use moqo::baselines::{memoryless_series, single_objective_dp};
+use moqo::core::{IamaOptimizer, Preference};
+use moqo::cost::{Bounds, ResolutionSchedule};
+use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
+use moqo::query::testkit;
+
+fn model() -> StandardCostModel {
+    StandardCostModel::new(
+        MetricSet::paper(),
+        StandardCostModelConfig {
+            dops: vec![1, 4],
+            sampling_rates_pm: vec![500],
+            eval_spin: 0,
+            ..StandardCostModelConfig::default()
+        },
+    )
+}
+
+#[test]
+fn weighted_frontier_minimum_matches_single_objective_dp() {
+    // Selecting from IAMA's finest frontier with a linear preference must
+    // come within the approximation guarantee of the true scalar optimum
+    // (computed by the classical single-objective DP).
+    let spec = testkit::chain_query(4, 120_000);
+    let model = model();
+    let schedule = ResolutionSchedule::linear(4, 1.02, 0.4);
+    let weights = [1.0, 0.5, 100.0];
+
+    let scalar = single_objective_dp(&spec, &model, &weights);
+    let optimum = scalar.best.expect("scalar plan exists").1;
+
+    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let b = Bounds::unbounded(model.dim());
+    for r in 0..=schedule.r_max() {
+        opt.optimize(&b, r);
+    }
+    let frontier = opt.frontier(&b, schedule.r_max());
+    let pick = Preference::WeightedSum(weights.to_vec())
+        .select(&frontier, &b)
+        .expect("frontier non-empty");
+    let picked_score: f64 = pick
+        .cost
+        .as_slice()
+        .iter()
+        .zip(&weights)
+        .map(|(c, w)| c * w)
+        .sum();
+    // A linear score of an alpha^n-covered frontier is within alpha^n of
+    // the optimum (linearity preserves the factor).
+    let guarantee = schedule.guarantee(schedule.r_max(), spec.n_tables());
+    assert!(
+        picked_score <= optimum * guarantee + 1e-9,
+        "weighted pick {picked_score} exceeds {guarantee} x optimum {optimum}"
+    );
+    assert!(
+        picked_score >= optimum - 1e-9,
+        "weighted pick beats the true optimum?!"
+    );
+}
+
+#[test]
+fn memoryless_and_iama_agree_level_by_level() {
+    // "The memoryless algorithm produces the same sequence of result plan
+    // sets as the incremental anytime algorithm" — exact set equality is
+    // insertion-order dependent, but at every level the two frontiers
+    // must mutually cover within that level's guarantee (both are
+    // alpha_r^n-approximate Pareto sets), and their sizes stay close.
+    let spec = testkit::star_query(4, 250_000);
+    let model = model();
+    let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
+    let b = Bounds::unbounded(model.dim());
+    let mem = memoryless_series(&spec, &model, &schedule, &b);
+    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    for (r, mem_out) in mem.iter().enumerate() {
+        opt.optimize(&b, r);
+        let iama = opt.frontier(&b, r).costs();
+        let mem_costs = mem_out.frontier_costs();
+        let guarantee = schedule.guarantee(r, spec.n_tables());
+        let a = moqo::cost::coverage_factor(&iama, &mem_costs);
+        let m = moqo::cost::coverage_factor(&mem_costs, &iama);
+        assert!(
+            a <= guarantee + 1e-9 && m <= guarantee + 1e-9,
+            "level {r}: frontiers diverge ({a} / {m} vs {guarantee})"
+        );
+        // Sizes track each other within a factor of two.
+        let (big, small) = (iama.len().max(mem_costs.len()), iama.len().min(mem_costs.len()));
+        assert!(
+            small * 2 >= big,
+            "level {r}: sizes diverge ({} vs {})",
+            iama.len(),
+            mem_costs.len()
+        );
+    }
+}
+
+#[test]
+fn metric_subsets_agree_on_shared_extremes() {
+    // Optimizing with 2 metrics (time, cores) and with 3 (adding error)
+    // must find the same minimum achievable time: extra metrics never
+    // remove plans from the space.
+    let spec = testkit::chain_query(3, 200_000);
+    let config = StandardCostModelConfig {
+        dops: vec![1, 4],
+        sampling_rates_pm: vec![500],
+        eval_spin: 0,
+        ..StandardCostModelConfig::default()
+    };
+    let m2 = StandardCostModel::new(
+        MetricSet::new(vec![
+            moqo::costmodel::Metric::Time,
+            moqo::costmodel::Metric::Cores,
+        ]),
+        config.clone(),
+    );
+    let m3 = StandardCostModel::new(MetricSet::paper(), config);
+    let schedule = ResolutionSchedule::linear(4, 1.01, 0.3);
+    let min_time = |model: &StandardCostModel| -> f64 {
+        let mut opt = IamaOptimizer::new(&spec, model, schedule.clone());
+        let b = Bounds::unbounded(model.dim());
+        for r in 0..=schedule.r_max() {
+            opt.optimize(&b, r);
+        }
+        opt.frontier(&b, schedule.r_max())
+            .min_by_metric(0)
+            .unwrap()
+            .cost[0]
+    };
+    let t2 = min_time(&m2);
+    let t3 = min_time(&m3);
+    // Identical plan spaces; pruning factors may blur the shared extreme
+    // by at most the guarantee.
+    let guarantee = schedule.guarantee(schedule.r_max(), spec.n_tables());
+    assert!(
+        (t2 - t3).abs() <= t2.min(t3) * (guarantee - 1.0) + 1e-9,
+        "min-time mismatch: {t2} (2 metrics) vs {t3} (3 metrics)"
+    );
+}

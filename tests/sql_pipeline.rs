@@ -1,0 +1,108 @@
+//! End-to-end SQL → blocks → IAMA pipeline tests.
+
+use moqo::core::{IamaConfig, IamaOptimizer, Preference};
+use moqo::cost::{Bounds, ResolutionSchedule};
+use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
+
+fn model() -> StandardCostModel {
+    StandardCostModel::new(
+        MetricSet::paper(),
+        StandardCostModelConfig {
+            dops: vec![1, 4],
+            sampling_rates_pm: vec![500],
+            eval_spin: 0,
+            ..StandardCostModelConfig::default()
+        },
+    )
+}
+
+#[test]
+fn nested_statement_optimizes_block_by_block() {
+    let catalog = moqo::tpch::tpch_catalog(0.01);
+    let blocks = moqo::sql::plan_blocks(
+        "SELECT c.c_custkey FROM customer c, orders o, lineitem l \
+         WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+         AND c.c_mktsegment = 'BUILDING' \
+         AND o.o_orderkey IN (SELECT ps.ps_partkey FROM partsupp ps, part p \
+                              WHERE ps.ps_partkey = p.p_partkey AND p.p_size = 15)",
+        &catalog,
+    )
+    .expect("valid SQL");
+    assert_eq!(blocks.len(), 2);
+    assert_eq!(blocks[0].n_tables(), 3);
+    assert_eq!(blocks[1].n_tables(), 2);
+
+    let model = model();
+    let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
+    for spec in &blocks {
+        let mut opt =
+            IamaOptimizer::with_config(spec, &model, schedule.clone(), IamaConfig::tracked());
+        let b = Bounds::unbounded(model.dim());
+        for r in 0..=schedule.r_max() {
+            opt.optimize(&b, r);
+        }
+        let frontier = opt.frontier(&b, schedule.r_max());
+        assert!(!frontier.is_empty(), "{}: empty frontier", spec.name);
+        // Incremental invariants hold for decomposed blocks too.
+        assert!(opt.stats().max_plan_generations() <= 1);
+        assert!(opt.stats().max_pair_generations() <= 1);
+        // Every frontier plan joins exactly the block's tables.
+        for p in &frontier.points {
+            assert_eq!(opt.arena().tables(p.plan), spec.all_tables());
+        }
+    }
+}
+
+#[test]
+fn preference_selection_over_sql_block() {
+    let catalog = moqo::tpch::tpch_catalog(0.01);
+    let blocks = moqo::sql::plan_blocks(
+        "SELECT s.s_suppkey FROM supplier s, nation n, region r \
+         WHERE s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+         AND r.r_name = 'EUROPE'",
+        &catalog,
+    )
+    .unwrap();
+    let spec = &blocks[0];
+    let model = model();
+    let schedule = ResolutionSchedule::linear(5, 1.02, 0.4);
+    let mut opt = IamaOptimizer::new(spec, &model, schedule.clone());
+    let b = Bounds::unbounded(model.dim());
+    for r in 0..=schedule.r_max() {
+        opt.optimize(&b, r);
+    }
+    let frontier = opt.frontier(&b, schedule.r_max());
+    // Weighted time-first preference must pick a plan at least as fast as
+    // any plan the cores-first preference picks.
+    let fast = Preference::WeightedSum(vec![1.0, 1e-6, 1e-6])
+        .select(&frontier, &b)
+        .unwrap();
+    let lean = Preference::WeightedSum(vec![1e-6, 1.0, 1e-6])
+        .select(&frontier, &b)
+        .unwrap();
+    assert!(fast.cost[0] <= lean.cost[0] + 1e-12);
+    assert!(lean.cost[1] <= fast.cost[1] + 1e-12);
+}
+
+#[test]
+fn filter_selectivities_shrink_estimated_cardinality() {
+    let catalog = moqo::tpch::tpch_catalog(1.0);
+    let with_filter = moqo::sql::plan_blocks(
+        "SELECT o.o_orderkey FROM orders o, lineitem l \
+         WHERE o.o_orderkey = l.l_orderkey AND o.o_orderpriority = '1-URGENT'",
+        &catalog,
+    )
+    .unwrap();
+    let without = moqo::sql::plan_blocks(
+        "SELECT o.o_orderkey FROM orders o, lineitem l \
+         WHERE o.o_orderkey = l.l_orderkey",
+        &catalog,
+    )
+    .unwrap();
+    let card_f = with_filter[0].cardinality(with_filter[0].all_tables());
+    let card_n = without[0].cardinality(without[0].all_tables());
+    assert!(
+        card_f < card_n * 0.5,
+        "filter must shrink cardinality: {card_f} vs {card_n}"
+    );
+}
