@@ -149,21 +149,13 @@ pub fn approx_dp<M: CostModel>(
                                 cost: e2.cost,
                                 props: e2.props,
                             };
-                            for (op, cost, props) in
-                                model.join_alternatives(spec, &left, &right)
-                            {
+                            for (op, cost, props) in model.join_alternatives(spec, &left, &right) {
                                 let pid = arena.push_join(op, e1.plan, e2.plan, cost, props);
                                 plans_generated += 1;
                                 if bounds.exceeds(&cost) {
                                     continue;
                                 }
-                                insert_pruned(
-                                    sets.entry(q).or_default(),
-                                    pid,
-                                    cost,
-                                    props,
-                                    alpha,
-                                );
+                                insert_pruned(sets.entry(q).or_default(), pid, cost, props, alpha);
                             }
                         }
                     }
@@ -186,11 +178,7 @@ pub fn approx_dp<M: CostModel>(
 }
 
 /// The exhaustive full-Pareto baseline (Ganguly-style): `alpha = 1`.
-pub fn exhaustive_pareto<M: CostModel>(
-    spec: &QuerySpec,
-    model: &M,
-    bounds: &Bounds,
-) -> DpOutcome {
+pub fn exhaustive_pareto<M: CostModel>(spec: &QuerySpec, model: &M, bounds: &Bounds) -> DpOutcome {
     approx_dp(spec, model, 1.0, bounds)
 }
 
@@ -318,10 +306,7 @@ mod tests {
             bounded.pairs_generated <= full.pairs_generated,
             "bounds must not increase work"
         );
-        assert!(bounded
-            .frontier
-            .iter()
-            .all(|(_, c)| tight.respects(c)));
+        assert!(bounded.frontier.iter().all(|(_, c)| tight.respects(c)));
         // The bounded frontier still contains the fastest plan.
         assert!(!bounded.frontier.is_empty());
     }

@@ -118,9 +118,7 @@ pub fn single_objective_dp<M: CostModel>(
                                 cost: e2.cost,
                                 props: e2.props,
                             };
-                            for (op, cost, props) in
-                                model.join_alternatives(spec, &left, &right)
-                            {
+                            for (op, cost, props) in model.join_alternatives(spec, &left, &right) {
                                 let pid = arena.push_join(op, e1.plan, e2.plan, cost, props);
                                 plans_generated += 1;
                                 keep_best(

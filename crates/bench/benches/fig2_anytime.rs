@@ -13,6 +13,7 @@ use moqo_core::IamaOptimizer;
 use moqo_cost::Bounds;
 use moqo_costmodel::CostModel;
 use moqo_tpch::query_block;
+use std::sync::Arc;
 
 const SF: f64 = 0.1;
 const LEVELS: usize = 10;
@@ -30,7 +31,13 @@ fn bench_fig2(c: &mut Criterion) {
     // 2(a): time to first result.
     group.bench_function("anytime_first_result", |b| {
         b.iter_with_setup(
-            || IamaOptimizer::new(&spec, &model, schedule.clone()),
+            || {
+                IamaOptimizer::new(
+                    Arc::new(spec.clone()),
+                    Arc::new(model.clone()),
+                    schedule.clone(),
+                )
+            },
             |mut opt| opt.optimize(&bounds, 0),
         )
     });
@@ -42,7 +49,11 @@ fn bench_fig2(c: &mut Criterion) {
     group.bench_function("incremental_steady_state", |b| {
         b.iter_with_setup(
             || {
-                let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+                let mut opt = IamaOptimizer::new(
+                    Arc::new(spec.clone()),
+                    Arc::new(model.clone()),
+                    schedule.clone(),
+                );
                 for r in 0..=schedule.r_max() {
                     opt.optimize(&bounds, r);
                 }

@@ -26,11 +26,9 @@ fn bench_fig3(c: &mut Criterion) {
     group.sample_size(10);
     for &(name, tables) in BLOCKS {
         let spec = query_block(name, SF).expect("block");
-        group.bench_with_input(
-            BenchmarkId::new("iama_series", tables),
-            &spec,
-            |b, spec| b.iter(|| iama_series(spec, &model, &schedule)),
-        );
+        group.bench_with_input(BenchmarkId::new("iama_series", tables), &spec, |b, spec| {
+            b.iter(|| iama_series(spec, &model, &schedule))
+        });
         group.bench_with_input(
             BenchmarkId::new("memoryless_series", tables),
             &spec,

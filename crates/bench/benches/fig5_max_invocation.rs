@@ -15,6 +15,7 @@ use moqo_core::IamaOptimizer;
 use moqo_cost::Bounds;
 use moqo_costmodel::CostModel;
 use moqo_tpch::query_block;
+use std::sync::Arc;
 
 const BLOCKS: &[(&str, usize)] = &[("q03", 3), ("q05", 6)];
 const SF: f64 = 0.1;
@@ -44,7 +45,11 @@ fn bench_fig5(c: &mut Criterion) {
                 b.iter_with_setup(
                     || {
                         // Warm an optimizer up to (but excluding) the worst level.
-                        let mut opt = IamaOptimizer::new(spec, &model, schedule.clone());
+                        let mut opt = IamaOptimizer::new(
+                            Arc::new(spec.clone()),
+                            Arc::new(model.clone()),
+                            schedule.clone(),
+                        );
                         for r in 0..worst_level {
                             opt.optimize(&bounds, r);
                         }

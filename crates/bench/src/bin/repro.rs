@@ -17,11 +17,45 @@ use moqo_costmodel::{CostModel, StandardCostModel};
 use moqo_tpch::query_block;
 use moqo_viz::{render_scatter, ScatterOptions, TextTable};
 use std::env;
+use std::sync::Arc;
 
 struct Cli {
     experiment: String,
     sf: f64,
     fast: bool,
+}
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "fig5",
+    "lemmas",
+    "quality",
+    "ablation-index",
+    "ablation-delta",
+    "ablation-shadow",
+    "bounds",
+    "space",
+    "amortized",
+    "schedules",
+    "all",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [<experiment>] [--sf <positive number>] [--fast]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    )
+}
+
+/// Prints the problem plus usage to stderr and exits nonzero.
+fn cli_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{}", usage());
+    std::process::exit(2);
 }
 
 fn parse_cli() -> Cli {
@@ -32,19 +66,28 @@ fn parse_cli() -> Cli {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
             "--sf" => {
                 i += 1;
-                sf = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--sf needs a positive number");
+                sf = match args.get(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(v)) if v > 0.0 && v.is_finite() => v,
+                    Some(_) => {
+                        cli_error(&format!("--sf needs a positive number, got {:?}", args[i]))
+                    }
+                    None => cli_error("--sf needs a value"),
+                };
             }
             "--fast" => fast = true,
-            other if !other.starts_with('-') => experiment = other.to_string(),
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
+            other if !other.starts_with('-') => {
+                if !EXPERIMENTS.contains(&other) {
+                    cli_error(&format!("unknown experiment {other:?}"));
+                }
+                experiment = other.to_string();
             }
+            other => cli_error(&format!("unknown flag {other:?}")),
         }
         i += 1;
     }
@@ -70,32 +113,47 @@ fn main() {
         fig2b(&model, cli.sf);
     }
     if run("fig3") {
-        figure_times("Figure 3 (avg time/invocation, alpha_T=1.01, alpha_S=0.05)", {
-            let mut s = ExperimentSetup::fig3();
-            s.sf = cli.sf;
-            if cli.fast {
-                s.level_counts = vec![1, 5];
-            }
-            s
-        }, &model, false);
+        figure_times(
+            "Figure 3 (avg time/invocation, alpha_T=1.01, alpha_S=0.05)",
+            {
+                let mut s = ExperimentSetup::fig3();
+                s.sf = cli.sf;
+                if cli.fast {
+                    s.level_counts = vec![1, 5];
+                }
+                s
+            },
+            &model,
+            false,
+        );
     }
     if run("fig4") {
-        figure_times("Figure 4 (avg time/invocation, alpha_T=1.005, alpha_S=0.5)", {
-            let mut s = ExperimentSetup::fig4();
-            s.sf = cli.sf;
-            if cli.fast {
-                s.level_counts = vec![1, 5];
-            }
-            s
-        }, &model, false);
+        figure_times(
+            "Figure 4 (avg time/invocation, alpha_T=1.005, alpha_S=0.5)",
+            {
+                let mut s = ExperimentSetup::fig4();
+                s.sf = cli.sf;
+                if cli.fast {
+                    s.level_counts = vec![1, 5];
+                }
+                s
+            },
+            &model,
+            false,
+        );
     }
     if run("fig5") {
-        figure_times("Figure 5 (MAX time/invocation, alpha_T=1.005, 20 levels)", {
-            let mut s = ExperimentSetup::fig4();
-            s.sf = cli.sf;
-            s.level_counts = if cli.fast { vec![5] } else { vec![20] };
-            s
-        }, &model, true);
+        figure_times(
+            "Figure 5 (MAX time/invocation, alpha_T=1.005, 20 levels)",
+            {
+                let mut s = ExperimentSetup::fig4();
+                s.sf = cli.sf;
+                s.level_counts = if cli.fast { vec![5] } else { vec![20] };
+                s
+            },
+            &model,
+            true,
+        );
     }
     if run("lemmas") {
         lemmas(&model, cli.sf, cli.fast);
@@ -138,9 +196,7 @@ fn schedules_exp(model: &StandardCostModel, sf: f64) {
     ]);
     for name in ["q05", "q08"] {
         let spec = query_block(name, sf).expect("block");
-        for (label, avg, max, total) in
-            schedule_comparison(&spec, model, 20, 1.005, 0.5)
-        {
+        for (label, avg, max, total) in schedule_comparison(&spec, model, 20, 1.005, 0.5) {
             t.row(vec![
                 name.to_string(),
                 label.to_string(),
@@ -212,7 +268,7 @@ fn fig1(model: &StandardCostModel, sf: f64) {
     println!("=== Figure 1: interactive anytime optimization (q05) ===\n");
     let spec = query_block("q05", sf).expect("q05");
     let schedule = ResolutionSchedule::linear(8, 1.01, 0.3);
-    let opt = IamaOptimizer::new(&spec, model, schedule);
+    let opt = IamaOptimizer::new(Arc::new(spec.clone()), Arc::new(model.clone()), schedule);
     let mut session = Session::new(opt);
     let opts = |bounds| ScatterOptions {
         width: 64,
@@ -242,7 +298,9 @@ fn fig1(model: &StandardCostModel, sf: f64) {
     // (c) the user drags the time bound.
     let dim = model.dim();
     let t_mid = {
-        let f = session.optimizer().frontier(session.bounds(), session.resolution());
+        let f = session
+            .optimizer()
+            .frontier(session.bounds(), session.resolution());
         let costs = f.costs();
         let mut ts: Vec<f64> = costs.iter().map(|c| c[0]).collect();
         ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -302,11 +360,7 @@ fn fig2b(model: &StandardCostModel, sf: f64) {
     let rows = incremental_vs_memoryless(&spec, model, &schedule);
     let mut t = TextTable::new(vec!["invocation", "incremental (s)", "memoryless (s)"]);
     for (i, a, m) in rows {
-        t.row(vec![
-            i.to_string(),
-            format!("{a:.4}"),
-            format!("{m:.4}"),
-        ]);
+        t.row(vec![i.to_string(), format!("{a:.4}"), format!("{m:.4}")]);
     }
     println!("{}", t.render());
 }
@@ -463,9 +517,8 @@ fn ablation_shadow_exp(model: &StandardCostModel, sf: f64) {
                 ..IamaConfig::default()
             },
         );
-        let secs = |rs: &[moqo_core::InvocationReport]| -> f64 {
-            rs.iter().map(|r| r.seconds()).sum()
-        };
+        let secs =
+            |rs: &[moqo_core::InvocationReport]| -> f64 { rs.iter().map(|r| r.seconds()).sum() };
         let plans = |rs: &[moqo_core::InvocationReport]| -> u64 {
             rs.iter().map(|r| r.plans_generated).sum()
         };

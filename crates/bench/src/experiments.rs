@@ -8,6 +8,7 @@ use moqo_costmodel::{CostModel, StandardCostModel};
 use moqo_index::IndexKind;
 use moqo_query::QuerySpec;
 use moqo_tpch::{all_join_blocks, table_counts};
+use std::sync::Arc;
 
 /// Average/maximum per-invocation times of the three algorithms for one
 /// table-count group — one bar group of Figures 3–5.
@@ -39,9 +40,15 @@ pub fn iama_series(
     model: &StandardCostModel,
     schedule: &ResolutionSchedule,
 ) -> Vec<InvocationReport> {
-    let mut opt = IamaOptimizer::new(spec, model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     let b = Bounds::unbounded(model.dim());
-    (0..=schedule.r_max()).map(|r| opt.optimize(&b, r)).collect()
+    (0..=schedule.r_max())
+        .map(|r| opt.optimize(&b, r))
+        .collect()
 }
 
 /// Like [`iama_series`] but with an explicit optimizer configuration
@@ -52,9 +59,16 @@ pub fn iama_series_with_config(
     schedule: &ResolutionSchedule,
     config: IamaConfig,
 ) -> Vec<InvocationReport> {
-    let mut opt = IamaOptimizer::with_config(spec, model, schedule.clone(), config);
+    let mut opt = IamaOptimizer::with_config(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+        config,
+    );
     let b = Bounds::unbounded(model.dim());
-    (0..=schedule.r_max()).map(|r| opt.optimize(&b, r)).collect()
+    (0..=schedule.r_max())
+        .map(|r| opt.optimize(&b, r))
+        .collect()
 }
 
 /// Figures 3 and 4 (and the data for Figure 5): per-invocation times of
@@ -87,8 +101,7 @@ pub fn figure_invocation_times(
                 iama_avg += mean(&times);
                 iama_max = iama_max.max(max(&times));
                 let mem = memoryless_series(spec, model, &schedule, &b);
-                let mem_times: Vec<f64> =
-                    mem.iter().map(|o| o.duration.as_secs_f64()).collect();
+                let mem_times: Vec<f64> = mem.iter().map(|o| o.duration.as_secs_f64()).collect();
                 mem_avg += mean(&mem_times);
                 mem_max = mem_max.max(max(&mem_times));
                 shot += one_shot(spec, model, &schedule, &b).duration.as_secs_f64();
@@ -134,7 +147,11 @@ pub fn anytime_quality(
     schedule: &ResolutionSchedule,
 ) -> (Vec<QualityPoint>, f64) {
     let b = Bounds::unbounded(model.dim());
-    let mut opt = IamaOptimizer::new(spec, model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     let mut frontiers: Vec<(f64, Vec<CostVector>, usize)> = Vec::new();
     let mut cumulative = 0.0;
     for r in 0..=schedule.r_max() {
@@ -144,7 +161,10 @@ pub fn anytime_quality(
         let size = costs.len();
         frontiers.push((cumulative, costs, size));
     }
-    let final_costs = frontiers.last().map(|(_, c, _)| c.clone()).unwrap_or_default();
+    let final_costs = frontiers
+        .last()
+        .map(|(_, c, _)| c.clone())
+        .unwrap_or_default();
     let curve = frontiers
         .into_iter()
         .enumerate()
@@ -206,8 +226,12 @@ pub fn verify_invariants(
     all_join_blocks(sf)
         .iter()
         .map(|spec| {
-            let mut opt =
-                IamaOptimizer::with_config(spec, model, schedule.clone(), IamaConfig::tracked());
+            let mut opt = IamaOptimizer::with_config(
+                Arc::new(spec.clone()),
+                Arc::new(model.clone()),
+                schedule.clone(),
+                IamaConfig::tracked(),
+            );
             let b = Bounds::unbounded(model.dim());
             for r in 0..=schedule.r_max() {
                 opt.optimize(&b, r);
@@ -258,7 +282,11 @@ pub fn verify_quality(
         .map(|spec| {
             let exact = exhaustive_pareto(spec, model, &b);
             let exact_costs = exact.pareto_costs();
-            let mut opt = IamaOptimizer::new(spec, model, schedule.clone());
+            let mut opt = IamaOptimizer::new(
+                Arc::new(spec.clone()),
+                Arc::new(model.clone()),
+                schedule.clone(),
+            );
             for r in 0..=schedule.r_max() {
                 opt.optimize(&b, r);
             }
@@ -313,8 +341,8 @@ pub fn ablation_delta(
     let with_delta = iama_series_with_config(spec, model, schedule, IamaConfig::default());
     let b = Bounds::unbounded(model.dim());
     let mut opt = IamaOptimizer::with_config(
-        spec,
-        model,
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
         schedule.clone(),
         IamaConfig {
             use_delta: false,
@@ -340,7 +368,11 @@ pub fn bounds_scenario(
 ) -> Vec<(usize, usize, f64, usize)> {
     let dim = model.dim();
     let unb = Bounds::unbounded(dim);
-    let mut opt = IamaOptimizer::new(spec, model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     let mut out = Vec::new();
     let half = schedule.r_max() / 2;
     // Phase A: unbounded, refine to half resolution.
@@ -492,7 +524,11 @@ pub fn space_consumption(
     all_join_blocks(sf)
         .iter()
         .map(|spec| {
-            let mut opt = IamaOptimizer::new(spec, model, schedule.clone());
+            let mut opt = IamaOptimizer::new(
+                Arc::new(spec.clone()),
+                Arc::new(model.clone()),
+                schedule.clone(),
+            );
             for r in 0..=schedule.r_max() {
                 opt.optimize(&b, r);
             }
@@ -524,7 +560,11 @@ pub fn amortized_time(
 ) -> (f64, f64, f64) {
     assert!(rounds >= 2);
     let b = Bounds::unbounded(model.dim());
-    let mut opt = IamaOptimizer::new(spec, model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     let mut first_ladder = 0.0;
     let mut total = 0.0;
     let mut invocations = 0usize;

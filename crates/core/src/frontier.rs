@@ -60,11 +60,9 @@ impl FrontierSnapshot {
 
     /// The point minimizing metric `metric_idx`, if any.
     pub fn min_by_metric(&self, metric_idx: usize) -> Option<&FrontierPoint> {
-        self.points.iter().min_by(|a, b| {
-            a.cost[metric_idx]
-                .partial_cmp(&b.cost[metric_idx])
-                .unwrap()
-        })
+        self.points
+            .iter()
+            .min_by(|a, b| a.cost[metric_idx].partial_cmp(&b.cost[metric_idx]).unwrap())
     }
 }
 

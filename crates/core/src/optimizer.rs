@@ -5,10 +5,11 @@ use crate::frontier::{FrontierPoint, FrontierSnapshot};
 use crate::report::InvocationReport;
 use crate::stats::OptimizerStats;
 use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
-use moqo_costmodel::{CostModel, PlanInput};
+use moqo_costmodel::{PlanInput, SharedCostModel};
 use moqo_index::{DynIndex, Entry, FxHashMap, PairSet, PlanIndex};
 use moqo_plan::{PhysicalProps, PlanArena, PlanId};
 use moqo_query::{k_subsets, QuerySpec, TableSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A collected result entry enriched with its physical properties, the
@@ -31,17 +32,23 @@ struct ResEntry {
 /// (Algorithm 2), or [`IamaOptimizer::run_invocation`] to let the
 /// optimizer advance the resolution the way Algorithm 1's main loop does.
 ///
+/// The optimizer *owns* its query and cost model behind `Arc`s, so a
+/// session can be stored in a service map, handed between worker threads,
+/// or parked in a frontier cache and revived later — nothing borrows from
+/// a caller's stack frame.
+///
 /// ```
 /// use moqo_core::IamaOptimizer;
 /// use moqo_cost::{Bounds, ResolutionSchedule};
 /// use moqo_costmodel::{CostModel, StandardCostModel};
 /// use moqo_query::testkit;
+/// use std::sync::Arc;
 ///
-/// let spec = testkit::chain_query(3, 50_000);
-/// let model = StandardCostModel::paper_metrics();
-/// let schedule = ResolutionSchedule::linear(3, 1.05, 0.5);
-/// let mut opt = IamaOptimizer::new(&spec, &model, schedule);
+/// let spec = Arc::new(testkit::chain_query(3, 50_000));
+/// let model = Arc::new(StandardCostModel::paper_metrics());
 /// let bounds = Bounds::unbounded(model.dim());
+/// let schedule = ResolutionSchedule::linear(3, 1.05, 0.5);
+/// let mut opt = IamaOptimizer::new(spec, model, schedule);
 ///
 /// // Anytime refinement: coarse to fine.
 /// for r in 0..=opt.schedule().r_max() {
@@ -52,9 +59,9 @@ struct ResEntry {
 /// let again = opt.optimize(&bounds, opt.schedule().r_max());
 /// assert_eq!(again.plans_generated, 0);
 /// ```
-pub struct IamaOptimizer<'a, M: CostModel> {
-    spec: &'a QuerySpec,
-    model: &'a M,
+pub struct IamaOptimizer {
+    spec: Arc<QuerySpec>,
+    model: SharedCostModel,
     schedule: ResolutionSchedule,
     config: IamaConfig,
     arena: PlanArena,
@@ -80,16 +87,16 @@ pub struct IamaOptimizer<'a, M: CostModel> {
     stats: OptimizerStats,
 }
 
-impl<'a, M: CostModel> IamaOptimizer<'a, M> {
+impl IamaOptimizer {
     /// Creates an optimizer with the default configuration.
-    pub fn new(spec: &'a QuerySpec, model: &'a M, schedule: ResolutionSchedule) -> Self {
+    pub fn new(spec: Arc<QuerySpec>, model: SharedCostModel, schedule: ResolutionSchedule) -> Self {
         Self::with_config(spec, model, schedule, IamaConfig::default())
     }
 
     /// Creates an optimizer with an explicit configuration.
     pub fn with_config(
-        spec: &'a QuerySpec,
-        model: &'a M,
+        spec: Arc<QuerySpec>,
+        model: SharedCostModel,
         schedule: ResolutionSchedule,
         config: IamaConfig,
     ) -> Self {
@@ -119,7 +126,17 @@ impl<'a, M: CostModel> IamaOptimizer<'a, M> {
 
     /// The query being optimized.
     pub fn spec(&self) -> &QuerySpec {
-        self.spec
+        &self.spec
+    }
+
+    /// Shared handle to the query being optimized.
+    pub fn spec_arc(&self) -> Arc<QuerySpec> {
+        Arc::clone(&self.spec)
+    }
+
+    /// Shared handle to the cost model.
+    pub fn model(&self) -> SharedCostModel {
+        Arc::clone(&self.model)
     }
 
     /// Number of cost metrics of the underlying model.
@@ -230,9 +247,7 @@ impl<'a, M: CostModel> IamaOptimizer<'a, M> {
                     // The paper enumerates ordered splits (q1 ⊂ Q, q2 = Q \ q1);
                     // our split iterator is unordered, so emit both directions.
                     for (a, b) in [(q1, q2), (q2, q1)] {
-                        if !self.config.allow_cross_products
-                            && self.spec.is_cross_product(a, b)
-                        {
+                        if !self.config.allow_cross_products && self.spec.is_cross_product(a, b) {
                             continue;
                         }
                         self.combine_fresh(q, a, b, bounds, r, use_delta);
@@ -294,7 +309,7 @@ impl<'a, M: CostModel> IamaOptimizer<'a, M> {
     fn init_scans(&mut self, bounds: &Bounds, r: usize) {
         for pos in 0..self.spec.n_tables() {
             let q = TableSet::singleton(pos);
-            for (op, cost, props) in self.model.scan_alternatives(self.spec, pos) {
+            for (op, cost, props) in self.model.scan_alternatives(&self.spec, pos) {
                 let pid = self.arena.push_scan(op, pos, cost, props);
                 self.stats.plans_generated += 1;
                 if self.config.track_invariants {
@@ -367,7 +382,7 @@ impl<'a, M: CostModel> IamaOptimizer<'a, M> {
                     cost: e2.cost,
                     props: e2.props,
                 };
-                for (op, cost, props) in self.model.join_alternatives(self.spec, &left, &right) {
+                for (op, cost, props) in self.model.join_alternatives(&self.spec, &left, &right) {
                     let pid = self.arena.push_join(op, e1.plan, e2.plan, cost, props);
                     self.stats.plans_generated += 1;
                     if self.config.track_invariants {
@@ -452,8 +467,7 @@ impl<'a, M: CostModel> IamaOptimizer<'a, M> {
             // factor; the plan provably stays dominated by the same
             // witness at every level in between.
             let next_level = if self.config.eager_level_skip {
-                ((r + 1)..=self.schedule.r_max())
-                    .find(|&r2| self.schedule.factor(r2) < best_factor)
+                ((r + 1)..=self.schedule.r_max()).find(|&r2| self.schedule.factor(r2) < best_factor)
             } else if r < self.schedule.r_max() {
                 Some(r + 1)
             } else {
@@ -521,9 +535,9 @@ mod tests {
 
     #[test]
     fn single_invocation_produces_a_frontier() {
-        let spec = testkit::chain_query(3, 100_000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let spec = Arc::new(testkit::chain_query(3, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
         let b = Bounds::unbounded(3);
         let report = opt.optimize(&b, 0);
         assert!(report.frontier_size > 0, "no complete plans found");
@@ -539,9 +553,9 @@ mod tests {
 
     #[test]
     fn refining_resolution_grows_the_frontier() {
-        let spec = testkit::chain_query(3, 500_000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let spec = Arc::new(testkit::chain_query(3, 500_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
         let b = Bounds::unbounded(3);
         let mut sizes = Vec::new();
         for r in 0..=opt.schedule().r_max() {
@@ -556,9 +570,13 @@ mod tests {
 
     #[test]
     fn run_invocation_follows_main_loop_resolution_rule() {
-        let spec = testkit::chain_query(2, 100_000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(2, 1.05, 0.5));
+        let spec = Arc::new(testkit::chain_query(2, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(
+            spec.clone(),
+            model.clone(),
+            ResolutionSchedule::linear(2, 1.05, 0.5),
+        );
         let b = Bounds::unbounded(3);
         assert_eq!(opt.run_invocation(b).resolution, 0);
         assert_eq!(opt.run_invocation(b).resolution, 1);
@@ -572,11 +590,12 @@ mod tests {
 
     #[test]
     fn incremental_invariants_hold_over_a_series() {
-        let spec = testkit::chain_query(4, 200_000);
-        let model = StandardCostModel::paper_metrics();
+        let spec = Arc::new(testkit::chain_query(4, 200_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
         let sched = schedule();
         let r_max = sched.r_max();
-        let mut opt = IamaOptimizer::with_config(&spec, &model, sched, IamaConfig::tracked());
+        let mut opt =
+            IamaOptimizer::with_config(spec.clone(), model.clone(), sched, IamaConfig::tracked());
         let b = Bounds::unbounded(3);
         for r in 0..=r_max {
             opt.optimize(&b, r);
@@ -602,24 +621,27 @@ mod tests {
 
     #[test]
     fn repeated_invocations_at_max_resolution_do_no_work() {
-        let spec = testkit::chain_query(3, 100_000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let spec = Arc::new(testkit::chain_query(3, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
         let b = Bounds::unbounded(3);
         for r in 0..=opt.schedule().r_max() {
             opt.optimize(&b, r);
         }
         let report = opt.optimize(&b, opt.schedule().r_max());
-        assert_eq!(report.plans_generated, 0, "steady state must generate nothing");
+        assert_eq!(
+            report.plans_generated, 0,
+            "steady state must generate nothing"
+        );
         assert_eq!(report.pairs_generated, 0);
         assert_eq!(report.candidates_retrieved, 0);
     }
 
     #[test]
     fn frontier_respects_bounds() {
-        let spec = testkit::chain_query(3, 200_000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let spec = Arc::new(testkit::chain_query(3, 200_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
         let unb = Bounds::unbounded(3);
         let r_max = opt.schedule().r_max();
         for r in 0..=r_max {
@@ -640,10 +662,14 @@ mod tests {
 
     #[test]
     fn bound_change_reuses_candidates_not_regeneration() {
-        let spec = testkit::chain_query(3, 200_000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt =
-            IamaOptimizer::with_config(&spec, &model, schedule(), IamaConfig::tracked());
+        let spec = Arc::new(testkit::chain_query(3, 200_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::with_config(
+            spec.clone(),
+            model.clone(),
+            schedule(),
+            IamaConfig::tracked(),
+        );
         // Start with tight time bounds.
         let r_max = opt.schedule().r_max();
         let unb = Bounds::unbounded(3);
@@ -678,11 +704,11 @@ mod tests {
     fn final_result_is_within_alpha_n_of_level_specific_runs() {
         // Coverage sanity: running all levels and querying at rM covers
         // the coarse frontier within the coarse factor.
-        let spec = testkit::chain_query(3, 100_000);
-        let model = StandardCostModel::paper_metrics();
+        let spec = Arc::new(testkit::chain_query(3, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
         let sched = schedule();
         let r_max = sched.r_max();
-        let mut opt = IamaOptimizer::new(&spec, &model, sched);
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), sched);
         let b = Bounds::unbounded(3);
         let mut coarse_costs = Vec::new();
         for r in 0..=r_max {
@@ -699,9 +725,9 @@ mod tests {
 
     #[test]
     fn single_table_query_works() {
-        let spec = testkit::chain_query(1, 100_000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let spec = Arc::new(testkit::chain_query(1, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
         let b = Bounds::unbounded(3);
         let report = opt.optimize(&b, 0);
         assert!(report.frontier_size >= 1);
@@ -711,18 +737,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds rM")]
     fn rejects_out_of_schedule_resolution() {
-        let spec = testkit::chain_query(2, 1000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(1, 1.1, 0.5));
+        let spec = Arc::new(testkit::chain_query(2, 1000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(
+            spec.clone(),
+            model.clone(),
+            ResolutionSchedule::linear(1, 1.1, 0.5),
+        );
         opt.optimize(&Bounds::unbounded(3), 5);
     }
 
     #[test]
     #[should_panic(expected = "dimension")]
     fn rejects_mismatched_bounds_dimension() {
-        let spec = testkit::chain_query(2, 1000);
-        let model = StandardCostModel::paper_metrics();
-        let mut opt = IamaOptimizer::new(&spec, &model, schedule());
+        let spec = Arc::new(testkit::chain_query(2, 1000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
         opt.optimize(&Bounds::unbounded(2), 0);
     }
 }

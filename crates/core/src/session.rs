@@ -4,7 +4,6 @@ use crate::frontier::FrontierSnapshot;
 use crate::optimizer::IamaOptimizer;
 use crate::report::InvocationReport;
 use moqo_cost::Bounds;
-use moqo_costmodel::CostModel;
 use moqo_plan::PlanId;
 
 /// User input arriving between optimizer invocations (Algorithm 1 lines
@@ -48,10 +47,11 @@ pub enum StepOutcome {
 /// use moqo_cost::ResolutionSchedule;
 /// use moqo_costmodel::StandardCostModel;
 /// use moqo_query::testkit;
+/// use std::sync::Arc;
 ///
-/// let spec = testkit::chain_query(2, 20_000);
-/// let model = StandardCostModel::paper_metrics();
-/// let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(2, 1.1, 0.4));
+/// let spec = Arc::new(testkit::chain_query(2, 20_000));
+/// let model = Arc::new(StandardCostModel::paper_metrics());
+/// let opt = IamaOptimizer::new(spec, model, ResolutionSchedule::linear(2, 1.1, 0.4));
 /// let mut session = Session::new(opt);
 /// let frontier = match session.step(UserEvent::None) {
 ///     StepOutcome::Continue { frontier, .. } => frontier,
@@ -64,22 +64,22 @@ pub enum StepOutcome {
 ///     _ => unreachable!(),
 /// }
 /// ```
-pub struct Session<'a, M: CostModel> {
-    optimizer: IamaOptimizer<'a, M>,
+pub struct Session {
+    optimizer: IamaOptimizer,
     bounds: Bounds,
     resolution: usize,
     finished: bool,
 }
 
-impl<'a, M: CostModel> Session<'a, M> {
+impl Session {
     /// Starts a session with default (unbounded) cost bounds.
-    pub fn new(optimizer: IamaOptimizer<'a, M>) -> Self {
+    pub fn new(optimizer: IamaOptimizer) -> Self {
         let b = Bounds::unbounded(optimizer.model_dim());
         Self::with_bounds(optimizer, b)
     }
 
     /// Starts a session with explicit initial bounds.
-    pub fn with_bounds(optimizer: IamaOptimizer<'a, M>, bounds: Bounds) -> Self {
+    pub fn with_bounds(optimizer: IamaOptimizer, bounds: Bounds) -> Self {
         Self {
             optimizer,
             bounds,
@@ -99,8 +99,15 @@ impl<'a, M: CostModel> Session<'a, M> {
     }
 
     /// Access to the underlying optimizer (stats, arena, frontier).
-    pub fn optimizer(&self) -> &IamaOptimizer<'a, M> {
+    pub fn optimizer(&self) -> &IamaOptimizer {
         &self.optimizer
+    }
+
+    /// Dissolves the session, handing back the optimizer with all its
+    /// accumulated plan sets — the hook a serving layer uses to recycle a
+    /// finished session's state into a warm-frontier cache.
+    pub fn into_optimizer(self) -> IamaOptimizer {
+        self.optimizer
     }
 
     /// True once a plan was selected.
@@ -157,12 +164,17 @@ mod tests {
     use moqo_cost::ResolutionSchedule;
     use moqo_costmodel::StandardCostModel;
     use moqo_query::testkit;
+    use std::sync::Arc;
 
     #[test]
     fn uninterrupted_session_refines_resolution() {
-        let spec = testkit::chain_query(3, 100_000);
-        let model = StandardCostModel::paper_metrics();
-        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(3, 1.05, 0.5));
+        let spec = Arc::new(testkit::chain_query(3, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let opt = IamaOptimizer::new(
+            spec.clone(),
+            model.clone(),
+            ResolutionSchedule::linear(3, 1.05, 0.5),
+        );
         let mut session = Session::new(opt);
         let reports = session.run_uninterrupted(5);
         let resolutions: Vec<usize> = reports.iter().map(|r| r.resolution).collect();
@@ -172,9 +184,13 @@ mod tests {
 
     #[test]
     fn bound_change_resets_resolution() {
-        let spec = testkit::chain_query(2, 100_000);
-        let model = StandardCostModel::paper_metrics();
-        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(3, 1.05, 0.5));
+        let spec = Arc::new(testkit::chain_query(2, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let opt = IamaOptimizer::new(
+            spec.clone(),
+            model.clone(),
+            ResolutionSchedule::linear(3, 1.05, 0.5),
+        );
         let mut session = Session::new(opt);
         session.step(UserEvent::None);
         session.step(UserEvent::None);
@@ -187,9 +203,13 @@ mod tests {
 
     #[test]
     fn selecting_a_plan_finishes_the_session() {
-        let spec = testkit::chain_query(2, 100_000);
-        let model = StandardCostModel::paper_metrics();
-        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(2, 1.05, 0.5));
+        let spec = Arc::new(testkit::chain_query(2, 100_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let opt = IamaOptimizer::new(
+            spec.clone(),
+            model.clone(),
+            ResolutionSchedule::linear(2, 1.05, 0.5),
+        );
         let mut session = Session::new(opt);
         let frontier = match session.step(UserEvent::None) {
             StepOutcome::Continue { frontier, .. } => frontier,
@@ -206,9 +226,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "already finished")]
     fn stepping_after_selection_panics() {
-        let spec = testkit::chain_query(2, 1000);
-        let model = StandardCostModel::paper_metrics();
-        let opt = IamaOptimizer::new(&spec, &model, ResolutionSchedule::linear(1, 1.05, 0.5));
+        let spec = Arc::new(testkit::chain_query(2, 1000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let opt = IamaOptimizer::new(
+            spec.clone(),
+            model.clone(),
+            ResolutionSchedule::linear(1, 1.05, 0.5),
+        );
         let mut session = Session::new(opt);
         let frontier = match session.step(UserEvent::None) {
             StepOutcome::Continue { frontier, .. } => frontier,

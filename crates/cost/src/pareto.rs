@@ -157,7 +157,12 @@ mod tests {
 
     #[test]
     fn pareto_filter_drops_dominated() {
-        let costs = vec![v(&[1.0, 4.0]), v(&[2.0, 2.0]), v(&[3.0, 3.0]), v(&[4.0, 1.0])];
+        let costs = vec![
+            v(&[1.0, 4.0]),
+            v(&[2.0, 2.0]),
+            v(&[3.0, 3.0]),
+            v(&[4.0, 1.0]),
+        ];
         let keep = pareto_filter(&costs);
         assert_eq!(keep, vec![0, 1, 3]);
     }
@@ -248,8 +253,10 @@ mod tests {
         for (i, c) in costs.iter().enumerate() {
             acc.insert(*c, i);
         }
-        let expected: Vec<CostVector> =
-            pareto_filter(&costs).into_iter().map(|i| costs[i]).collect();
+        let expected: Vec<CostVector> = pareto_filter(&costs)
+            .into_iter()
+            .map(|i| costs[i])
+            .collect();
         let mut got = acc.costs();
         got.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
         let mut exp = expected;

@@ -32,7 +32,10 @@ impl ResolutionSchedule {
     /// Panics unless `alpha_t > 1` and `alpha_s >= 0`.
     pub fn linear(r_max: usize, alpha_t: f64, alpha_s: f64) -> Self {
         assert!(alpha_t > 1.0, "target precision alpha_T must exceed 1");
-        assert!(alpha_s >= 0.0, "precision step alpha_S must be non-negative");
+        assert!(
+            alpha_s >= 0.0,
+            "precision step alpha_S must be non-negative"
+        );
         let rm = r_max as f64;
         let factors = (0..=r_max)
             .map(|r| {

@@ -5,6 +5,16 @@ use crate::metrics::MetricSet;
 use moqo_cost::CostVector;
 use moqo_plan::{Operator, PhysicalProps};
 use moqo_query::{QuerySpec, TableSet};
+use std::sync::Arc;
+
+/// A shared, thread-safe, type-erased cost model.
+///
+/// The optimizer core and the serving engine hold cost models through this
+/// alias so that one model instance can back many concurrent sessions and
+/// move freely across worker threads. [`CostModel`] is object-safe by
+/// design — every concrete model converts with `Arc::new(model)` (plus the
+/// implicit unsizing coercion at the call site).
+pub type SharedCostModel = Arc<dyn CostModel + Send + Sync>;
 
 /// What the cost model sees of a child plan when costing a join: its table
 /// set, cached cost vector, and physical properties.
@@ -58,3 +68,36 @@ pub trait CostModel {
         right: &PlanInput,
     ) -> Vec<(Operator, CostVector, PhysicalProps)>;
 }
+
+/// Delegating impls so references and smart pointers to a model are
+/// themselves models: generic helpers taking `&M` keep working when the
+/// caller holds an `Arc<ConcreteModel>` or a [`SharedCostModel`].
+macro_rules! delegate_cost_model {
+    ($($ty:ty),*) => {$(
+        impl<M: CostModel + ?Sized> CostModel for $ty {
+            fn metrics(&self) -> &MetricSet {
+                (**self).metrics()
+            }
+            fn dim(&self) -> usize {
+                (**self).dim()
+            }
+            fn scan_alternatives(
+                &self,
+                spec: &QuerySpec,
+                position: usize,
+            ) -> Vec<(Operator, CostVector, PhysicalProps)> {
+                (**self).scan_alternatives(spec, position)
+            }
+            fn join_alternatives(
+                &self,
+                spec: &QuerySpec,
+                left: &PlanInput,
+                right: &PlanInput,
+            ) -> Vec<(Operator, CostVector, PhysicalProps)> {
+                (**self).join_alternatives(spec, left, right)
+            }
+        }
+    )*};
+}
+
+delegate_cost_model!(&M, Box<M>, Arc<M>);

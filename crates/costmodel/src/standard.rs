@@ -40,9 +40,9 @@
 use crate::metrics::{prob_sum, Metric, MetricSet};
 use crate::model::{CostModel, PlanInput};
 use moqo_cost::CostVector;
-use moqo_plan::{JoinAlgo, Operator, OrderKey, PhysicalProps};
 #[cfg(test)]
 use moqo_plan::ScanMethod;
+use moqo_plan::{JoinAlgo, Operator, OrderKey, PhysicalProps};
 use moqo_query::{QuerySpec, TableSet};
 
 /// Tunable parameters of [`StandardCostModel`].
@@ -161,8 +161,10 @@ impl StandardCostModel {
             return &[];
         }
         // One extra rate per order of magnitude above the threshold.
-        let magnitude =
-            (raw_rows / self.config.sampling_min_rows as f64).log10().floor() as usize + 1;
+        let magnitude = (raw_rows / self.config.sampling_min_rows as f64)
+            .log10()
+            .floor() as usize
+            + 1;
         let n = magnitude.min(self.config.sampling_rates_pm.len());
         &self.config.sampling_rates_pm[..n]
     }
@@ -315,8 +317,7 @@ impl CostModel for StandardCostModel {
         let n_out = spec.cardinality(union);
         let order_key = Self::join_order_key(spec, left.tables, right.tables);
 
-        let mut out =
-            Vec::with_capacity(self.config.join_algos.len() * self.config.dops.len());
+        let mut out = Vec::with_capacity(self.config.join_algos.len() * self.config.dops.len());
         for &algo in &self.config.join_algos {
             let (work, op_mem, props) = match algo {
                 JoinAlgo::Hash => (
@@ -347,9 +348,7 @@ impl CostModel for StandardCostModel {
                         props,
                     )
                 }
-                JoinAlgo::NestedLoop => {
-                    (C_NL * n_l * n_r + n_out, NL_BUFFER, PhysicalProps::NONE)
-                }
+                JoinAlgo::NestedLoop => (C_NL * n_l * n_r + n_out, NL_BUFFER, PhysicalProps::NONE),
             };
             for &dop in &self.config.dops {
                 self.costing_effort();
@@ -419,7 +418,10 @@ mod tests {
         let small = model.sampling_rates_for(10_000.0).len();
         let large = model.sampling_rates_for(10_000_000.0).len();
         assert!(small >= 1);
-        assert!(large > small, "footnote-4 behaviour: more strategies for bigger tables");
+        assert!(
+            large > small,
+            "footnote-4 behaviour: more strategies for bigger tables"
+        );
     }
 
     #[test]
@@ -428,10 +430,7 @@ mod tests {
         let model = StandardCostModel::paper_metrics();
         let (l, r) = inputs(&spec, &model);
         let alts = model.join_alternatives(&spec, &l, &r);
-        assert_eq!(
-            alts.len(),
-            JoinAlgo::ALL.len() * model.config().dops.len()
-        );
+        assert_eq!(alts.len(), JoinAlgo::ALL.len() * model.config().dops.len());
     }
 
     #[test]
@@ -443,11 +442,27 @@ mod tests {
         let metrics = model.metrics();
         let hash1 = alts
             .iter()
-            .find(|(op, _, _)| matches!(op, Operator::Join { algo: JoinAlgo::Hash, dop: 1 }))
+            .find(|(op, _, _)| {
+                matches!(
+                    op,
+                    Operator::Join {
+                        algo: JoinAlgo::Hash,
+                        dop: 1
+                    }
+                )
+            })
             .unwrap();
         let hash8 = alts
             .iter()
-            .find(|(op, _, _)| matches!(op, Operator::Join { algo: JoinAlgo::Hash, dop: 8 }))
+            .find(|(op, _, _)| {
+                matches!(
+                    op,
+                    Operator::Join {
+                        algo: JoinAlgo::Hash,
+                        dop: 8
+                    }
+                )
+            })
             .unwrap();
         assert!(
             metrics.get(&hash8.1, Metric::Time) < metrics.get(&hash1.1, Metric::Time),
@@ -467,7 +482,15 @@ mod tests {
         let alts = model.join_alternatives(&spec, &l, &r);
         let smj = alts
             .iter()
-            .find(|(op, _, _)| matches!(op, Operator::Join { algo: JoinAlgo::SortMerge, dop: 1 }))
+            .find(|(op, _, _)| {
+                matches!(
+                    op,
+                    Operator::Join {
+                        algo: JoinAlgo::SortMerge,
+                        dop: 1
+                    }
+                )
+            })
             .unwrap();
         let key = smj.2.order.expect("SMJ output must be sorted");
         // Feed a pre-sorted left child: the SMJ gets cheaper.
@@ -478,7 +501,15 @@ mod tests {
         let alts2 = model.join_alternatives(&spec, &sorted_left, &r);
         let smj2 = alts2
             .iter()
-            .find(|(op, _, _)| matches!(op, Operator::Join { algo: JoinAlgo::SortMerge, dop: 1 }))
+            .find(|(op, _, _)| {
+                matches!(
+                    op,
+                    Operator::Join {
+                        algo: JoinAlgo::SortMerge,
+                        dop: 1
+                    }
+                )
+            })
             .unwrap();
         let metrics = model.metrics();
         assert!(
@@ -538,11 +569,27 @@ mod tests {
         let alts = model.join_alternatives(&spec, &l, &r);
         let h1 = alts
             .iter()
-            .find(|(op, _, _)| matches!(op, Operator::Join { algo: JoinAlgo::Hash, dop: 1 }))
+            .find(|(op, _, _)| {
+                matches!(
+                    op,
+                    Operator::Join {
+                        algo: JoinAlgo::Hash,
+                        dop: 1
+                    }
+                )
+            })
             .unwrap();
         let h8 = alts
             .iter()
-            .find(|(op, _, _)| matches!(op, Operator::Join { algo: JoinAlgo::Hash, dop: 8 }))
+            .find(|(op, _, _)| {
+                matches!(
+                    op,
+                    Operator::Join {
+                        algo: JoinAlgo::Hash,
+                        dop: 8
+                    }
+                )
+            })
             .unwrap();
         assert!(metrics.get(&h8.1, Metric::Time) < metrics.get(&h1.1, Metric::Time));
         assert!(
@@ -570,10 +617,22 @@ mod tests {
         };
         let tiny = testkit::chain_query(2, 20);
         let (op, _, _) = pick_best(&tiny);
-        assert!(matches!(op, Operator::Join { algo: JoinAlgo::NestedLoop, .. }));
+        assert!(matches!(
+            op,
+            Operator::Join {
+                algo: JoinAlgo::NestedLoop,
+                ..
+            }
+        ));
         let big = testkit::chain_query(2, 1_000_000);
         let (op, _, _) = pick_best(&big);
-        assert!(matches!(op, Operator::Join { algo: JoinAlgo::Hash, .. }));
+        assert!(matches!(
+            op,
+            Operator::Join {
+                algo: JoinAlgo::Hash,
+                ..
+            }
+        ));
     }
 }
 

@@ -48,7 +48,15 @@ fn hash_join_memory_scales_with_build_side() {
         let alts = m.join_alternatives(spec, &li, &ri);
         let hash = alts
             .iter()
-            .find(|(op, _, _)| matches!(op, Operator::Join { algo: JoinAlgo::Hash, dop: 1 }))
+            .find(|(op, _, _)| {
+                matches!(
+                    op,
+                    Operator::Join {
+                        algo: JoinAlgo::Hash,
+                        dop: 1
+                    }
+                )
+            })
             .unwrap();
         metrics.get(&hash.1, Metric::Memory).unwrap()
     };
@@ -82,7 +90,11 @@ fn memory_is_monotone_and_parallel_children_add_up() {
         assert!(cost[mem_pos] >= li.cost[mem_pos] - 1e-9);
         assert!(cost[mem_pos] >= ri.cost[mem_pos] - 1e-9);
         // A parallel nested-loop join holds both child buffers at once.
-        if let Operator::Join { algo: JoinAlgo::NestedLoop, dop } = op {
+        if let Operator::Join {
+            algo: JoinAlgo::NestedLoop,
+            dop,
+        } = op
+        {
             let expected_children = if *dop > 1 {
                 li.cost[mem_pos] + ri.cost[mem_pos]
             } else {
@@ -111,5 +123,8 @@ fn six_metric_optimization_end_to_end() {
     // the `interactive` integration test).
     let alts = m.scan_alternatives(&spec, 0);
     assert!(alts.iter().all(|(_, c, _)| c.dim() == 6 && c.is_finite()));
-    let _ = (Bounds::unbounded(6), ResolutionSchedule::linear(2, 1.1, 0.4));
+    let _ = (
+        Bounds::unbounded(6),
+        ResolutionSchedule::linear(2, 1.1, 0.4),
+    );
 }

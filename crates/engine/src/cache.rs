@@ -1,0 +1,141 @@
+//! The warm-frontier cache.
+//!
+//! When an interactive session ends, its optimizer — arena, result and
+//! candidate plan sets, `IsFresh` pair set — is parked here keyed by the
+//! query's canonical fingerprint. A later session over an equivalent query
+//! resumes from that state instead of resolution 0: thanks to the
+//! incremental invariants (Lemmas 5–7), its first invocation re-generates
+//! **zero** plans and serves the existing frontier immediately.
+//!
+//! This is only possible because [`IamaOptimizer`] owns its state behind
+//! `Arc`s; a borrowed optimizer could never outlive the session that
+//! created it.
+
+use crate::fingerprint::QueryFingerprint;
+use moqo_core::IamaOptimizer;
+use moqo_index::FxHashMap;
+use std::collections::VecDeque;
+
+/// Counters describing cache effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a parked optimizer.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted because the cache was full.
+    pub evictions: u64,
+    /// Optimizers currently parked.
+    pub entries: usize,
+}
+
+/// LRU cache of parked optimizers keyed by [`QueryFingerprint`].
+///
+/// `take` removes the entry: an optimizer is a mutable object owned by
+/// exactly one session at a time, so a hit transfers ownership to the new
+/// session and the entry returns via `put` when that session ends.
+#[derive(Default)]
+pub struct FrontierCache {
+    capacity: usize,
+    map: FxHashMap<QueryFingerprint, IamaOptimizer>,
+    /// Least-recently-used order, front = coldest.
+    order: VecDeque<QueryFingerprint>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FrontierCache {
+    /// Creates a cache holding at most `capacity` parked optimizers.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Removes and returns the parked optimizer for `fp`, if any.
+    pub fn take(&mut self, fp: QueryFingerprint) -> Option<IamaOptimizer> {
+        match self.map.remove(&fp) {
+            Some(opt) => {
+                self.order.retain(|f| *f != fp);
+                self.hits += 1;
+                Some(opt)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Parks an optimizer under `fp`, evicting the coldest entry if full.
+    /// A fresher optimizer for the same fingerprint replaces the old one.
+    pub fn put(&mut self, fp: QueryFingerprint, optimizer: IamaOptimizer) {
+        if self.map.insert(fp, optimizer).is_some() {
+            self.order.retain(|f| *f != fp);
+        } else if self.map.len() > self.capacity {
+            if let Some(cold) = self.order.pop_front() {
+                self.map.remove(&cold);
+                self.evictions += 1;
+            }
+        }
+        self.order.push_back(fp);
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_core::IamaOptimizer;
+    use moqo_cost::ResolutionSchedule;
+    use moqo_costmodel::{MetricSet, StandardCostModel};
+    use moqo_query::testkit;
+    use std::sync::Arc;
+
+    fn opt_for(n: usize) -> (QueryFingerprint, IamaOptimizer) {
+        let spec = Arc::new(testkit::chain_query(n, 10_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let fp = QueryFingerprint::of(&spec, &MetricSet::paper());
+        let opt = IamaOptimizer::new(spec, model, ResolutionSchedule::linear(2, 1.1, 0.4));
+        (fp, opt)
+    }
+
+    #[test]
+    fn take_transfers_ownership_and_counts() {
+        let mut cache = FrontierCache::new(4);
+        let (fp, opt) = opt_for(2);
+        assert!(cache.take(fp).is_none());
+        cache.put(fp, opt);
+        assert_eq!(cache.stats().entries, 1);
+        assert!(cache.take(fp).is_some());
+        assert!(cache.take(fp).is_none(), "take must remove the entry");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 0));
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest() {
+        let mut cache = FrontierCache::new(2);
+        let (fp2, o2) = opt_for(2);
+        let (fp3, o3) = opt_for(3);
+        let (fp4, o4) = opt_for(4);
+        cache.put(fp2, o2);
+        cache.put(fp3, o3);
+        cache.put(fp4, o4); // evicts fp2
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.take(fp2).is_none());
+        assert!(cache.take(fp3).is_some());
+        assert!(cache.take(fp4).is_some());
+    }
+}

@@ -1,0 +1,145 @@
+//! Canonical query fingerprints.
+//!
+//! Two interactive sessions over "the same" query should share optimizer
+//! state: a user re-running yesterday's dashboard query must not pay for
+//! plan generation from resolution 0 again. The fingerprint captures
+//! exactly the inputs the optimizer's plan sets depend on —
+//!
+//! * the **join-graph shape**: table count, join edges with their
+//!   selectivities, and per-table local-filter selectivities;
+//! * the **catalog statistics** of the referenced tables: cardinality and
+//!   row width (what the cost formulas consume);
+//! * the **metric set**: the cost-vector layout the frontier lives in —
+//!
+//! and deliberately ignores presentation-level identity such as the query
+//! or table *names*: `chain-3` submitted twice under different labels is
+//! one cache entry.
+
+use moqo_costmodel::MetricSet;
+use moqo_query::QuerySpec;
+
+/// A 64-bit canonical fingerprint of (query shape, catalog stats, metrics).
+///
+/// Computed with FNV-1a over a canonical byte encoding; collisions are
+/// astronomically unlikely at serving-cache sizes, and a collision's worst
+/// case is a warm start from an unrelated frontier — costs are recomputed
+/// per plan, never trusted across specs, so results stay correct only if
+/// the specs really were equivalent; treat the fingerprint as an equality
+/// proxy for *equivalent* specs, which is how [`crate::FrontierCache`]
+/// uses it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryFingerprint(u64);
+
+impl QueryFingerprint {
+    /// Fingerprints a query spec under a metric layout.
+    pub fn of(spec: &QuerySpec, metrics: &MetricSet) -> Self {
+        let mut h = Fnv::new();
+        let g = &spec.graph;
+        h.u64(g.n_tables() as u64);
+        for pos in 0..g.n_tables() {
+            let table = spec.catalog.table(g.tables[pos]);
+            h.u64(table.cardinality);
+            h.u64(table.row_width as u64);
+            h.u64(g.filters[pos].to_bits());
+        }
+        // Edges in canonical order (JoinEdge::new normalizes left < right).
+        let mut edges: Vec<(usize, usize, u64)> = g
+            .edges
+            .iter()
+            .map(|e| (e.left, e.right, e.selectivity.to_bits()))
+            .collect();
+        edges.sort_unstable();
+        for (l, r, sel) in edges {
+            h.u64(l as u64);
+            h.u64(r as u64);
+            h.u64(sel);
+        }
+        for i in 0..metrics.dim() {
+            h.str(metrics.metric(i).name());
+        }
+        Self(h.finish())
+    }
+
+    /// The raw 64-bit value (diagnostics, logging, sharding).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Minimal FNV-1a accumulator (no `std::hash::Hasher` indirection so the
+/// encoding stays explicit and stable).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.byte(b);
+        }
+        // Length delimiter so "ab"+"c" != "a"+"bc".
+        self.u64(s.len() as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_query::testkit;
+
+    #[test]
+    fn equivalent_specs_share_a_fingerprint_despite_names() {
+        let metrics = MetricSet::paper();
+        let a = testkit::chain_query(3, 100_000);
+        let b = testkit::chain_query(3, 100_000);
+        // testkit names tables identically, but even a renamed spec matches:
+        // fingerprints ignore the spec's display name entirely.
+        let mut c = testkit::chain_query(3, 100_000);
+        c.name = "totally-different-label".into();
+        assert_eq!(
+            QueryFingerprint::of(&a, &metrics),
+            QueryFingerprint::of(&b, &metrics)
+        );
+        assert_eq!(
+            QueryFingerprint::of(&a, &metrics),
+            QueryFingerprint::of(&c, &metrics)
+        );
+    }
+
+    #[test]
+    fn shape_stats_and_metrics_all_discriminate() {
+        let metrics = MetricSet::paper();
+        let base = QueryFingerprint::of(&testkit::chain_query(3, 100_000), &metrics);
+        // Different join-graph shape.
+        assert_ne!(
+            base,
+            QueryFingerprint::of(&testkit::star_query(3, 100_000), &metrics)
+        );
+        // Different catalog stats.
+        assert_ne!(
+            base,
+            QueryFingerprint::of(&testkit::chain_query(3, 200_000), &metrics)
+        );
+        // Different metric set.
+        assert_ne!(
+            base,
+            QueryFingerprint::of(&testkit::chain_query(3, 100_000), &MetricSet::cloud())
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! moqo-engine — the concurrent multi-session serving layer.
+//!
+//! The paper's interaction model (Figure 1 / Algorithm 1) is a *session*:
+//! a user watches an anytime Pareto frontier refine between optimizer
+//! invocations, drags cost bounds, and eventually clicks a plan. A real
+//! deployment serves **many** such sessions at once. This crate provides
+//! that layer on top of the owned-state optimizer core:
+//!
+//! * [`SessionManager`] — owns concurrent interactive sessions keyed by
+//!   [`SessionId`], advances them on a worker pool with round-robin,
+//!   budgeted time slices (each tick is one incremental `optimize`
+//!   invocation), and routes [`UserEvent`]s into the right session.
+//! * [`QueryFingerprint`] — canonical identity of a query: join-graph
+//!   shape + catalog statistics + metric set, independent of display
+//!   names.
+//! * [`FrontierCache`] — parked optimizers of finished sessions, keyed by
+//!   fingerprint. A repeated query starts from the warm frontier: its
+//!   first invocation reports `plans_generated == 0`.
+//!
+//! ```
+//! use moqo_cost::ResolutionSchedule;
+//! use moqo_costmodel::StandardCostModel;
+//! use moqo_engine::{EngineConfig, SessionManager};
+//! use moqo_query::testkit;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let manager = SessionManager::new(
+//!     Arc::new(StandardCostModel::paper_metrics()),
+//!     ResolutionSchedule::linear(3, 1.05, 0.5),
+//!     EngineConfig::default(),
+//! );
+//! let a = manager.submit(Arc::new(testkit::chain_query(2, 10_000)));
+//! let b = manager.submit(Arc::new(testkit::chain_query(3, 10_000)));
+//! assert!(manager.wait_idle(Duration::from_secs(30)));
+//! assert!(!manager.frontier(a).unwrap().is_empty());
+//! assert!(!manager.frontier(b).unwrap().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod manager;
+
+pub use cache::{CacheStats, FrontierCache};
+pub use fingerprint::QueryFingerprint;
+pub use manager::{EngineConfig, SessionId, SessionManager, SessionStatus};
+
+// Re-exported so engine users can speak the session vocabulary without a
+// direct moqo-core dependency.
+pub use moqo_core::{StepOutcome, UserEvent};

@@ -1,0 +1,546 @@
+//! The concurrent multi-session serving layer.
+//!
+//! [`SessionManager`] owns many interactive optimization sessions at once
+//! — the deployment shape Figure 1 of the paper implies: every connected
+//! user drags bounds over their own refining Pareto frontier while a
+//! shared worker pool advances all sessions fairly.
+//!
+//! Scheduling is round-robin with budgeted time slices: a worker checks a
+//! session out of the shared map, runs at most
+//! [`EngineConfig::ticks_per_slice`] anytime invocations (each tick is one
+//! `optimize(bounds, r)` call, so the *incrementality* of IAMA — not the
+//! scheduler — keeps slices short), then requeues the session at the back.
+//! User events ([`UserEvent`]) are routed into the owning session's inbox
+//! and consumed between invocations exactly like Algorithm 1's main loop
+//! reads user input between `Optimize` calls.
+//!
+//! Finished sessions park their optimizer in the [`FrontierCache`] keyed
+//! by canonical [`QueryFingerprint`], so a repeated query starts from a
+//! warm frontier: its first invocation generates zero plans.
+
+use crate::cache::{CacheStats, FrontierCache};
+use crate::fingerprint::QueryFingerprint;
+use moqo_core::{
+    FrontierSnapshot, IamaOptimizer, InvocationReport, Session, StepOutcome, UserEvent,
+};
+use moqo_cost::{Bounds, ResolutionSchedule};
+use moqo_costmodel::SharedCostModel;
+use moqo_plan::PlanId;
+use moqo_query::QuerySpec;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Identifier of one interactive session within a [`SessionManager`].
+pub type SessionId = u64;
+
+/// Tunables of the serving layer.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads advancing sessions. At least 1.
+    pub workers: usize,
+    /// Parked optimizers kept in the warm-frontier cache.
+    pub cache_capacity: usize,
+    /// Anytime invocations a session may run without user input before it
+    /// parks. `0` means "derive from the schedule": one full resolution
+    /// ladder (`r_max + 1` invocations).
+    pub auto_ticks: usize,
+    /// Invocations a worker runs for one session per checkout before
+    /// requeueing it (round-robin fairness knob).
+    pub ticks_per_slice: usize,
+    /// Wall-clock budget per checkout; the slice ends early once spent.
+    pub slice_budget: Duration,
+    /// Finished sessions whose final [`SessionStatus`] stays queryable
+    /// after their optimizer moved to the cache; the oldest beyond this
+    /// many are dropped so a long-lived manager's memory stays bounded.
+    pub retired_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            cache_capacity: 64,
+            auto_ticks: 0,
+            ticks_per_slice: 1,
+            slice_budget: Duration::from_millis(100),
+            retired_capacity: 256,
+        }
+    }
+}
+
+/// Read-only snapshot of one session, refreshed after every slice.
+#[derive(Clone, Debug)]
+pub struct SessionStatus {
+    /// The session's id.
+    pub id: SessionId,
+    /// Display name of the query being optimized.
+    pub query: String,
+    /// Canonical fingerprint (the frontier-cache key).
+    pub fingerprint: QueryFingerprint,
+    /// True if the session started from a cached warm frontier.
+    pub warm_start: bool,
+    /// True once the session ended (plan selected or retired).
+    pub finished: bool,
+    /// The plan the user selected, if any.
+    pub selected: Option<PlanId>,
+    /// Invocations run so far *in this session*.
+    pub invocations: u64,
+    /// Resolution level the next invocation will use.
+    pub resolution: usize,
+    /// The session's current cost bounds.
+    pub bounds: Bounds,
+    /// Cost tradeoffs currently visualized for this session.
+    pub frontier: FrontierSnapshot,
+    /// Report of the session's first invocation (warm-start evidence:
+    /// `plans_generated == 0` on a cache hit).
+    pub first_report: Option<InvocationReport>,
+    /// Report of the most recent invocation.
+    pub last_report: Option<InvocationReport>,
+}
+
+/// A checked-in session: the interactive state plus its event inbox.
+struct Active {
+    session: Session,
+    inbox: VecDeque<UserEvent>,
+    remaining_ticks: usize,
+}
+
+impl Active {
+    fn has_work(&self) -> bool {
+        !self.inbox.is_empty() || self.remaining_ticks > 0
+    }
+}
+
+enum Cell {
+    /// Parked in the map, available for checkout.
+    Idle(Box<Active>),
+    /// Currently owned by a worker.
+    Running,
+    /// Finished; the optimizer has moved to the frontier cache.
+    Retired,
+}
+
+struct Slot {
+    cell: Cell,
+    status: SessionStatus,
+    queued: bool,
+    /// Events that arrived while a worker held the session; merged into
+    /// the session's inbox when the slice checks back in.
+    late_inbox: VecDeque<UserEvent>,
+}
+
+struct EngineState {
+    slots: HashMap<SessionId, Slot>,
+    queue: VecDeque<SessionId>,
+    cache: FrontierCache,
+    next_id: SessionId,
+    running: usize,
+    /// Retired sessions in retirement order, oldest first; trimmed to
+    /// `EngineConfig::retired_capacity` so `slots` stays bounded.
+    retired: VecDeque<SessionId>,
+}
+
+struct Shared {
+    state: Mutex<EngineState>,
+    /// Signals workers that the run queue may be non-empty.
+    work: Condvar,
+    /// Signals waiters that a slice finished (idle / finish conditions).
+    settled: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Owns many concurrent interactive sessions and the worker pool driving
+/// them; see the module docs for the scheduling model.
+///
+/// One manager serves one deployment: a single shared cost model and
+/// resolution schedule, many queries. Dropping the manager shuts the
+/// workers down and joins them.
+pub struct SessionManager {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    model: SharedCostModel,
+    schedule: ResolutionSchedule,
+    auto_ticks: usize,
+}
+
+impl SessionManager {
+    /// Starts the worker pool.
+    pub fn new(model: SharedCostModel, schedule: ResolutionSchedule, config: EngineConfig) -> Self {
+        let auto_ticks = if config.auto_ticks == 0 {
+            schedule.levels()
+        } else {
+            config.auto_ticks
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(EngineState {
+                slots: HashMap::new(),
+                queue: VecDeque::new(),
+                cache: FrontierCache::new(config.cache_capacity),
+                next_id: 1,
+                running: 0,
+                retired: VecDeque::new(),
+            }),
+            work: Condvar::new(),
+            settled: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let cfg = config.clone();
+                let auto = auto_ticks;
+                thread::Builder::new()
+                    .name(format!("moqo-engine-{i}"))
+                    .spawn(move || worker_loop(shared, cfg, auto))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            model,
+            schedule,
+            auto_ticks,
+        }
+    }
+
+    /// Admits a new interactive session with unbounded initial bounds.
+    ///
+    /// If the frontier cache holds a parked optimizer for an equivalent
+    /// query, the session resumes from that warm state.
+    pub fn submit(&self, spec: Arc<QuerySpec>) -> SessionId {
+        self.submit_with_bounds(spec, Bounds::unbounded(self.model.dim()))
+    }
+
+    /// Admits a new session with explicit initial cost bounds.
+    pub fn submit_with_bounds(&self, spec: Arc<QuerySpec>, bounds: Bounds) -> SessionId {
+        let fp = QueryFingerprint::of(&spec, self.model.metrics());
+        let mut state = self.lock();
+        let (optimizer, warm) = match state.cache.take(fp) {
+            Some(opt) => (opt, true),
+            None => (
+                IamaOptimizer::new(spec.clone(), self.model.clone(), self.schedule.clone()),
+                false,
+            ),
+        };
+        let session = Session::with_bounds(optimizer, bounds);
+        let id = state.next_id;
+        state.next_id += 1;
+        let status = SessionStatus {
+            id,
+            query: spec.name.clone(),
+            fingerprint: fp,
+            warm_start: warm,
+            finished: false,
+            selected: None,
+            invocations: 0,
+            resolution: 0,
+            bounds,
+            frontier: FrontierSnapshot::default(),
+            first_report: None,
+            last_report: None,
+        };
+        state.slots.insert(
+            id,
+            Slot {
+                cell: Cell::Idle(Box::new(Active {
+                    session,
+                    inbox: VecDeque::new(),
+                    remaining_ticks: self.auto_ticks,
+                })),
+                status,
+                queued: false,
+                late_inbox: VecDeque::new(),
+            },
+        );
+        enqueue(&mut state, id);
+        drop(state);
+        self.shared.work.notify_one();
+        id
+    }
+
+    /// Routes a user event into a session's inbox and wakes it.
+    ///
+    /// Returns `false` if the session does not exist or already finished.
+    /// `true` means the event was accepted for delivery, not that it will
+    /// be acted on: an event racing with the session's own completion (the
+    /// user's earlier `SelectPlan` lands in the same slice) is discarded
+    /// with the rest of the inbox, exactly as if it had arrived a moment
+    /// later.
+    pub fn send_event(&self, id: SessionId, event: UserEvent) -> bool {
+        let mut state = self.lock();
+        let Some(slot) = state.slots.get_mut(&id) else {
+            return false;
+        };
+        if slot.status.finished {
+            return false;
+        }
+        match &mut slot.cell {
+            Cell::Idle(active) => active.inbox.push_back(event),
+            Cell::Running => {
+                // The worker drains the inbox before checking the slot back
+                // in, so park the event on the status-side queue: simplest
+                // correct option is to requeue after it settles. We store
+                // it in the slot's pending list via a small detour: the
+                // worker merges `late_inbox` on check-in.
+                slot.late_inbox.push_back(event);
+            }
+            Cell::Retired => return false,
+        }
+        enqueue(&mut state, id);
+        drop(state);
+        self.shared.work.notify_one();
+        true
+    }
+
+    /// Snapshot of one session's current state.
+    pub fn status(&self, id: SessionId) -> Option<SessionStatus> {
+        self.lock().slots.get(&id).map(|s| s.status.clone())
+    }
+
+    /// The currently visualized frontier of one session.
+    pub fn frontier(&self, id: SessionId) -> Option<FrontierSnapshot> {
+        self.status(id).map(|s| s.frontier)
+    }
+
+    /// Ids of all sessions the manager still tracks.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self.lock().slots.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Retires a session, parking its optimizer in the frontier cache, and
+    /// returns its final status. Blocks while a worker holds the session.
+    pub fn finish(&self, id: SessionId) -> Option<SessionStatus> {
+        let mut state = self.lock();
+        loop {
+            let running = match state.slots.get(&id) {
+                None => return None,
+                Some(slot) => matches!(slot.cell, Cell::Running),
+            };
+            if !running {
+                break;
+            }
+            state = self.shared.settled.wait(state).expect("engine lock");
+        }
+        let mut slot = state.slots.remove(&id).expect("checked above");
+        if let Cell::Idle(active) = slot.cell {
+            let fp = slot.status.fingerprint;
+            state.cache.put(fp, active.session.into_optimizer());
+        }
+        slot.status.finished = true;
+        Some(slot.status)
+    }
+
+    /// Effectiveness counters of the warm-frontier cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock().cache.stats()
+    }
+
+    /// Blocks until no session has runnable work and no worker holds one.
+    /// Returns `false` on timeout.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if state.queue.is_empty() && state.running == 0 {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, res) = self
+                .shared
+                .settled
+                .wait_timeout(state, left)
+                .expect("engine lock");
+            state = guard;
+            if res.timed_out() && !(state.queue.is_empty() && state.running == 0) {
+                return false;
+            }
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        self.shared.state.lock().expect("engine lock poisoned")
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Notify while holding the state lock: a worker is either before
+        // its shutdown check (sees the flag) or parked in `work.wait()`
+        // (receives this wakeup) — never in between, which would lose the
+        // notification and deadlock `join`.
+        {
+            let _guard = self.shared.state.lock().expect("engine lock poisoned");
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Puts `id` on the run queue unless it is already there.
+fn enqueue(state: &mut EngineState, id: SessionId) {
+    if let Some(slot) = state.slots.get_mut(&id) {
+        if !slot.queued {
+            slot.queued = true;
+            state.queue.push_back(id);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig, auto_ticks: usize) {
+    let mut state = shared.state.lock().expect("engine lock poisoned");
+    loop {
+        // Find the next checked-in session with work.
+        let (id, mut active) = loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match state.queue.pop_front() {
+                Some(id) => {
+                    let Some(slot) = state.slots.get_mut(&id) else {
+                        // Finished and removed meanwhile; the queue shrank,
+                        // so idle-waiters must re-evaluate their predicate.
+                        shared.settled.notify_all();
+                        continue;
+                    };
+                    slot.queued = false;
+                    match std::mem::replace(&mut slot.cell, Cell::Running) {
+                        Cell::Idle(active) => break (id, active),
+                        // Running entries do appear here: send_event
+                        // enqueues a mid-slice session so its new event is
+                        // re-checked after check-in (which requeues it
+                        // anyway, making this pop redundant). Retired
+                        // sessions stay retired. Either way the entry is
+                        // consumed without a check-in, so wake idle-waiters.
+                        other => {
+                            slot.cell = other;
+                            shared.settled.notify_all();
+                        }
+                    }
+                }
+                None => {
+                    state = shared.work.wait(state).expect("engine lock poisoned");
+                }
+            }
+        };
+        state.running += 1;
+        drop(state);
+
+        // --- Run one budgeted slice outside the lock. ---
+        let slice_start = Instant::now();
+        let mut ticks = 0usize;
+        let mut selected: Option<PlanId> = None;
+        let mut first_report: Option<InvocationReport> = None;
+        let mut last_report: Option<InvocationReport> = None;
+        let mut frontier: Option<FrontierSnapshot> = None;
+        let mut invocations = 0u64;
+        while selected.is_none() {
+            let event = match active.inbox.pop_front() {
+                Some(ev) => {
+                    if matches!(ev, UserEvent::SetBounds(_)) {
+                        // A user refocusing their bounds re-arms the
+                        // refinement budget (Algorithm 1 keeps iterating
+                        // after bound changes).
+                        active.remaining_ticks = auto_ticks;
+                    }
+                    ev
+                }
+                None if active.remaining_ticks > 0 => {
+                    active.remaining_ticks -= 1;
+                    UserEvent::None
+                }
+                None => break,
+            };
+            match active.session.step(event) {
+                StepOutcome::Continue {
+                    report,
+                    frontier: f,
+                } => {
+                    invocations += 1;
+                    if first_report.is_none() {
+                        first_report = Some(report.clone());
+                    }
+                    last_report = Some(report);
+                    frontier = Some(f);
+                }
+                StepOutcome::Selected(plan) => {
+                    selected = Some(plan);
+                }
+            }
+            ticks += 1;
+            if ticks >= cfg.ticks_per_slice.max(1) || slice_start.elapsed() >= cfg.slice_budget {
+                break;
+            }
+        }
+
+        // --- Check the session back in. ---
+        state = shared.state.lock().expect("engine lock poisoned");
+        state.running -= 1;
+        let st: &mut EngineState = &mut state;
+        let mut requeue = false;
+        let mut retire = false;
+        let mut park: Option<(QueryFingerprint, IamaOptimizer)> = None;
+        match st.slots.get_mut(&id) {
+            // finish() cannot remove a Running slot, so this is
+            // unreachable; tolerate it anyway rather than poisoning the
+            // pool.
+            None => {}
+            Some(slot) => {
+                let status = &mut slot.status;
+                status.invocations += invocations;
+                status.resolution = active.session.resolution();
+                status.bounds = *active.session.bounds();
+                if status.first_report.is_none() {
+                    status.first_report = first_report;
+                }
+                if last_report.is_some() {
+                    status.last_report = last_report;
+                }
+                if let Some(f) = frontier {
+                    status.frontier = f;
+                }
+                // Events that arrived while the slice ran.
+                active.inbox.append(&mut slot.late_inbox);
+                if let Some(plan) = selected {
+                    status.finished = true;
+                    status.selected = Some(plan);
+                    slot.cell = Cell::Retired;
+                    retire = true;
+                    park = Some((status.fingerprint, active.session.into_optimizer()));
+                } else {
+                    requeue = active.has_work();
+                    slot.cell = Cell::Idle(active);
+                }
+            }
+        }
+        if let Some((fp, optimizer)) = park {
+            st.cache.put(fp, optimizer);
+        }
+        if retire {
+            // Keep the final status queryable, but bound the history.
+            st.retired.push_back(id);
+            while st.retired.len() > cfg.retired_capacity.max(1) {
+                if let Some(old) = st.retired.pop_front() {
+                    st.slots.remove(&old);
+                }
+            }
+        }
+        if requeue {
+            enqueue(st, id);
+            shared.work.notify_one();
+        }
+        shared.settled.notify_all();
+    }
+}

@@ -1,0 +1,169 @@
+//! Integration tests of the serving layer: session isolation, event
+//! routing, and the warm-frontier cache.
+
+use moqo_core::UserEvent;
+use moqo_cost::{Bounds, ResolutionSchedule};
+use moqo_costmodel::{CostModel, StandardCostModel};
+use moqo_engine::{EngineConfig, SessionManager};
+use moqo_query::testkit;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDLE: Duration = Duration::from_secs(60);
+
+fn schedule() -> ResolutionSchedule {
+    ResolutionSchedule::linear(3, 1.05, 0.5)
+}
+
+fn manager(workers: usize) -> SessionManager {
+    SessionManager::new(
+        Arc::new(StandardCostModel::paper_metrics()),
+        schedule(),
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+#[test]
+fn concurrent_sessions_keep_distinct_frontiers() {
+    let m = manager(3);
+    // Structurally different queries must end with different frontiers —
+    // no state bleeding between concurrently advancing sessions.
+    let ids: Vec<_> = [
+        Arc::new(testkit::chain_query(2, 50_000)),
+        Arc::new(testkit::chain_query(4, 50_000)),
+        Arc::new(testkit::star_query(4, 200_000)),
+        Arc::new(testkit::clique_query(3, 20_000)),
+    ]
+    .into_iter()
+    .map(|spec| m.submit(spec))
+    .collect();
+    assert!(m.wait_idle(IDLE), "engine did not drain");
+    let statuses: Vec<_> = ids.iter().map(|&id| m.status(id).unwrap()).collect();
+    for s in &statuses {
+        // Every session ran its full auto ladder and produced plans.
+        assert_eq!(s.invocations, schedule().levels() as u64, "{}", s.query);
+        assert!(!s.frontier.is_empty(), "{}: empty frontier", s.query);
+        assert!(!s.finished);
+    }
+    // Fingerprints (and hence cached state) are all distinct.
+    for i in 0..statuses.len() {
+        for j in (i + 1)..statuses.len() {
+            assert_ne!(statuses[i].fingerprint, statuses[j].fingerprint);
+        }
+    }
+    // Frontier *plan sets* differ: a 2-chain and a 4-chain can't agree.
+    let c2 = &statuses[0].frontier;
+    let c4 = &statuses[1].frontier;
+    assert_ne!(
+        (c2.len(), c2.costs().first().map(|c| c[0].to_bits())),
+        (c4.len(), c4.costs().first().map(|c| c[0].to_bits())),
+    );
+}
+
+#[test]
+fn warm_cache_hit_generates_zero_plans_on_first_invocation() {
+    let m = manager(2);
+    let spec = Arc::new(testkit::chain_query(3, 100_000));
+    let cold = m.submit(spec.clone());
+    assert!(m.wait_idle(IDLE));
+    let cold_status = m.status(cold).unwrap();
+    assert!(!cold_status.warm_start);
+    assert!(
+        cold_status.first_report.as_ref().unwrap().plans_generated > 0,
+        "cold session must actually build plans"
+    );
+    let cold_frontier_len = cold_status.frontier.len();
+    // Retire the session; its optimizer parks in the frontier cache.
+    m.finish(cold).unwrap();
+
+    // An *equivalent* query (fresh spec instance, different display name)
+    // hits the cache and resumes from the warm frontier.
+    let mut again = testkit::chain_query(3, 100_000);
+    again.name = "repeat-of-chain-3".into();
+    let warm = m.submit(Arc::new(again));
+    assert!(m.wait_idle(IDLE));
+    let warm_status = m.status(warm).unwrap();
+    assert!(warm_status.warm_start, "expected a frontier-cache hit");
+    let first = warm_status.first_report.as_ref().unwrap();
+    assert_eq!(
+        first.plans_generated, 0,
+        "warm start must not regenerate plans"
+    );
+    assert_eq!(first.pairs_generated, 0);
+    assert!(
+        warm_status.frontier.len() >= cold_frontier_len,
+        "warm frontier lost plans"
+    );
+    let stats = m.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.entries, 0, "hit transfers the optimizer out");
+}
+
+#[test]
+fn set_bounds_routes_to_the_right_session_only() {
+    let m = manager(2);
+    let model_dim = StandardCostModel::paper_metrics().dim();
+    let a = m.submit(Arc::new(testkit::chain_query(3, 80_000)));
+    let b = m.submit(Arc::new(testkit::star_query(3, 80_000)));
+    assert!(m.wait_idle(IDLE));
+    let a0 = m.status(a).unwrap();
+    let b0 = m.status(b).unwrap();
+    // Both ladders ran to saturation.
+    assert_eq!(a0.resolution, schedule().r_max());
+    assert_eq!(b0.resolution, schedule().r_max());
+
+    // Drag a bound on session A only.
+    let t_max = a0.frontier.min_by_metric(0).unwrap().cost[0] * 4.0;
+    let tight = Bounds::unbounded(model_dim).with_limit(0, t_max);
+    assert!(m.send_event(a, UserEvent::SetBounds(tight)));
+    assert!(m.wait_idle(IDLE));
+
+    let a1 = m.status(a).unwrap();
+    let b1 = m.status(b).unwrap();
+    // A refocused: new bounds, more invocations, ladder re-ran from 0.
+    assert_eq!(a1.bounds, tight);
+    assert!(a1.invocations > a0.invocations);
+    assert!(a1.frontier.points.iter().all(|p| tight.respects(&p.cost)));
+    // B untouched: same bounds, same invocation count, same frontier.
+    assert_eq!(b1.bounds, b0.bounds);
+    assert_eq!(b1.invocations, b0.invocations);
+    assert_eq!(b1.frontier.len(), b0.frontier.len());
+}
+
+#[test]
+fn select_plan_finishes_and_recycles_the_session() {
+    let m = manager(2);
+    let a = m.submit(Arc::new(testkit::chain_query(2, 30_000)));
+    assert!(m.wait_idle(IDLE));
+    let choice = m.frontier(a).unwrap().min_by_metric(0).unwrap().plan;
+    assert!(m.send_event(a, UserEvent::SelectPlan(choice)));
+    assert!(m.wait_idle(IDLE));
+    let s = m.status(a).unwrap();
+    assert!(s.finished);
+    assert_eq!(s.selected, Some(choice));
+    // The optimizer was parked for reuse.
+    assert_eq!(m.cache_stats().entries, 1);
+    // Events to a finished session are rejected.
+    assert!(!m.send_event(a, UserEvent::None));
+}
+
+#[test]
+fn eight_plus_concurrent_sessions_drain_on_a_small_pool() {
+    let m = manager(3);
+    let mut ids = Vec::new();
+    for n in 2..=5 {
+        ids.push(m.submit(Arc::new(testkit::chain_query(n, 40_000))));
+        ids.push(m.submit(Arc::new(testkit::star_query(n, 40_000))));
+        ids.push(m.submit(Arc::new(testkit::random_query(n, n as u64))));
+    }
+    assert!(ids.len() >= 8);
+    assert!(m.wait_idle(IDLE), "pool failed to drain 12 sessions");
+    for id in ids {
+        let s = m.status(id).unwrap();
+        assert_eq!(s.invocations, schedule().levels() as u64, "{}", s.query);
+        assert!(!s.frontier.is_empty(), "{}", s.query);
+    }
+}

@@ -211,7 +211,10 @@ mod tests {
         assert_eq!(classify(&mk(3, 5), &bound, 2), CellClass::Straddles);
         assert_eq!(classify(&mk(4, 0), &bound, 2), CellClass::Outside);
         // Unbounded metric never causes straddling.
-        assert_eq!(classify(&mk(0, COORD_INF - 1), &bound, 2), CellClass::Inside);
+        assert_eq!(
+            classify(&mk(0, COORD_INF - 1), &bound, 2),
+            CellClass::Inside
+        );
     }
 
     #[test]
@@ -236,11 +239,8 @@ mod tests {
 
         // Bounds filter agrees with a manual check.
         let b = Bounds::from_slice(&[10.0, 15.0]);
-        let got: std::collections::HashSet<u32> = grid
-            .collect(&b, 2)
-            .iter()
-            .map(|e| e.item)
-            .collect();
+        let got: std::collections::HashSet<u32> =
+            grid.collect(&b, 2).iter().map(|e| e.item).collect();
         let expected: std::collections::HashSet<u32> = (0..20u32)
             .filter(|&i| (i as f64) <= 10.0 && ((20 - i) as f64) <= 15.0)
             .collect();

@@ -319,7 +319,7 @@ mod proptests {
                 prop_assert!(arena.depth(root) <= size);
                 prop_assert_eq!(
                     arena.tables(root).len(),
-                    (size + 1) / 2,
+                    size.div_ceil(2),
                     "leaf count equals joined tables"
                 );
             }

@@ -30,7 +30,11 @@ fn render(arena: &PlanArena, id: PlanId, depth: usize, out: &mut String) {
                 let _ = write!(out, "FullScan(t{position})");
             }
             ScanMethod::Sampled { rate_pm } => {
-                let _ = write!(out, "SampledScan(t{position}, {:.1}%)", rate_pm as f64 / 10.0);
+                let _ = write!(
+                    out,
+                    "SampledScan(t{position}, {:.1}%)",
+                    rate_pm as f64 / 10.0
+                );
             }
         },
         Operator::Join { algo, dop } => {
@@ -62,7 +66,13 @@ mod tests {
         let c = CostVector::new(&[1.0]);
         let s0 = arena.push_scan(Operator::full_scan(0), 0, c, PhysicalProps::NONE);
         let s1 = arena.push_scan(Operator::sampled_scan(1, 250), 1, c, PhysicalProps::NONE);
-        let j = arena.push_join(Operator::join(JoinAlgo::SortMerge, 4), s0, s1, c, PhysicalProps::NONE);
+        let j = arena.push_join(
+            Operator::join(JoinAlgo::SortMerge, 4),
+            s0,
+            s1,
+            c,
+            PhysicalProps::NONE,
+        );
         let text = explain(&arena, j);
         assert!(text.starts_with("SortMergeJoin(dop=4)"));
         assert!(text.contains("\n  FullScan(t0)"));

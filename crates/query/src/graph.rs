@@ -143,11 +143,8 @@ impl JoinGraph {
                 let l_in = reached.contains(e.left);
                 let r_in = reached.contains(e.right);
                 if l_in != r_in {
-                    reached = reached.union(TableSet::singleton(if l_in {
-                        e.right
-                    } else {
-                        e.left
-                    }));
+                    reached =
+                        reached.union(TableSet::singleton(if l_in { e.right } else { e.left }));
                     grew = true;
                 }
             }

@@ -20,7 +20,12 @@ pub fn chain_query(n: usize, base_card: u64) -> QuerySpec {
     let mut b = CatalogBuilder::new();
     let mut ids = Vec::with_capacity(n);
     for i in 0..n {
-        let card = if i % 2 == 0 { base_card } else { base_card / 10 }.max(10);
+        let card = if i % 2 == 0 {
+            base_card
+        } else {
+            base_card / 10
+        }
+        .max(10);
         ids.push(b.add_table(format!("chain_t{i}"), card, 100, vec![]));
     }
     let mut g = JoinGraph::new(ids);
@@ -104,7 +109,12 @@ pub fn random_query(n: usize, seed: u64) -> QuerySpec {
     for _ in 0..extra {
         let i = rng.gen_range(0..n);
         let j = rng.gen_range(0..n);
-        if i != j && !g.edges.iter().any(|e| e.left == i.min(j) && e.right == i.max(j)) {
+        if i != j
+            && !g
+                .edges
+                .iter()
+                .any(|e| e.left == i.min(j) && e.right == i.max(j))
+        {
             let sel = 10f64.powf(rng.gen_range(-6.0..-1.0));
             g.add_edge(i, j, sel);
         }

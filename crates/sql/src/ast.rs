@@ -90,32 +90,6 @@ impl SelectStatement {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn alias_resolution_is_case_insensitive() {
-        let stmt = SelectStatement {
-            projections: vec![],
-            from: vec![
-                TableRef {
-                    table: "orders".into(),
-                    alias: "O".into(),
-                },
-                TableRef {
-                    table: "lineitem".into(),
-                    alias: "l".into(),
-                },
-            ],
-            conditions: vec![],
-        };
-        assert_eq!(stmt.alias_position("o"), Some(0));
-        assert_eq!(stmt.alias_position("L"), Some(1));
-        assert_eq!(stmt.alias_position("x"), None);
-    }
-}
-
 impl std::fmt::Display for ColumnRef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}.{}", self.table, self.column)
@@ -191,5 +165,31 @@ impl std::fmt::Display for SelectStatement {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_resolution_is_case_insensitive() {
+        let stmt = SelectStatement {
+            projections: vec![],
+            from: vec![
+                TableRef {
+                    table: "orders".into(),
+                    alias: "O".into(),
+                },
+                TableRef {
+                    table: "lineitem".into(),
+                    alias: "l".into(),
+                },
+            ],
+            conditions: vec![],
+        };
+        assert_eq!(stmt.alias_position("o"), Some(0));
+        assert_eq!(stmt.alias_position("L"), Some(1));
+        assert_eq!(stmt.alias_position("x"), None);
     }
 }

@@ -120,10 +120,7 @@ fn decompose_into(
         .iter()
         .position(|b| b.name.starts_with(name) && b.name.len() > name.len())
         .unwrap_or(blocks.len());
-    blocks.insert(
-        insert_at,
-        QuerySpec::new(name, graph, Arc::clone(catalog)),
-    );
+    blocks.insert(insert_at, QuerySpec::new(name, graph, Arc::clone(catalog)));
     Ok(())
 }
 
@@ -142,9 +139,9 @@ fn column_ndv(
     let (_, table) = catalog
         .table_by_name(table_name)
         .ok_or_else(|| DecomposeError::UnknownTable(table_name.to_string()))?;
-    let (_, col) = table.column_by_name(column).ok_or_else(|| {
-        DecomposeError::UnknownColumn(table_name.to_string(), column.to_string())
-    })?;
+    let (_, col) = table
+        .column_by_name(column)
+        .ok_or_else(|| DecomposeError::UnknownColumn(table_name.to_string(), column.to_string()))?;
     Ok(match col.role {
         ColumnRole::PrimaryKey => table.cardinality.max(1),
         _ => col.distinct_values,
@@ -240,16 +237,13 @@ mod tests {
             decompose(&bad_table, &catalog).unwrap_err(),
             DecomposeError::UnknownTable("nosuch".into())
         );
-        let bad_alias = parse_select(
-            "SELECT o.o_orderkey FROM orders o WHERE x.o_orderkey = 1",
-        )
-        .unwrap();
+        let bad_alias =
+            parse_select("SELECT o.o_orderkey FROM orders o WHERE x.o_orderkey = 1").unwrap();
         assert_eq!(
             decompose(&bad_alias, &catalog).unwrap_err(),
             DecomposeError::UnknownAlias("x".into())
         );
-        let bad_col =
-            parse_select("SELECT o.nope FROM orders o WHERE o.nope = 1").unwrap();
+        let bad_col = parse_select("SELECT o.nope FROM orders o WHERE o.nope = 1").unwrap();
         assert!(matches!(
             decompose(&bad_col, &catalog).unwrap_err(),
             DecomposeError::UnknownColumn(..)

@@ -156,9 +156,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     // A dot followed by a non-digit is a separate token
                     // (not part of this number).
                     if bytes[i] == b'.'

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the SQL subset.
 
-use crate::ast::{
-    ColumnRef, Comparison, Condition, Literal, SelectStatement, TableRef,
-};
+use crate::ast::{ColumnRef, Comparison, Condition, Literal, SelectStatement, TableRef};
 use crate::lexer::{tokenize, LexError, Token};
 use std::fmt;
 
@@ -76,7 +74,9 @@ impl Parser {
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
             other => Err(self.error(format!(
                 "expected {kw}, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -90,7 +90,9 @@ impl Parser {
             Some(Token::Ident(s)) if !is_keyword(&s) => Ok(s),
             other => Err(self.error(format!(
                 "expected identifier, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -103,7 +105,9 @@ impl Parser {
             other => {
                 return Err(self.error(format!(
                     "expected '.' after alias {table:?}, found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         }
@@ -198,7 +202,9 @@ impl Parser {
             other => {
                 return Err(self.error(format!(
                     "expected comparison operator, found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         };
@@ -215,15 +221,17 @@ impl Parser {
             Some(Token::Ident(_)) => {
                 let right = self.column_ref()?;
                 if op != Comparison::Eq {
-                    return Err(self.error(
-                        "only equality join predicates between columns are supported",
-                    ));
+                    return Err(
+                        self.error("only equality join predicates between columns are supported")
+                    );
                 }
                 Ok(Condition::Join(left, right))
             }
             other => Err(self.error(format!(
                 "expected literal or column after operator, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -233,7 +241,9 @@ impl Parser {
             Some(t) if t == expected => Ok(()),
             other => Err(self.error(format!(
                 "expected {expected}, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -322,8 +332,7 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        let stmt =
-            parse_select("select o.x from orders o where o.x = 1 AND o.y <= 2").unwrap();
+        let stmt = parse_select("select o.x from orders o where o.x = 1 AND o.y <= 2").unwrap();
         assert_eq!(stmt.conditions.len(), 2);
     }
 }

@@ -1,8 +1,6 @@
 //! Property tests: random ASTs round-trip through print → parse.
 
-use crate::ast::{
-    ColumnRef, Comparison, Condition, Literal, SelectStatement, TableRef,
-};
+use crate::ast::{ColumnRef, Comparison, Condition, Literal, SelectStatement, TableRef};
 use crate::parser::parse_select;
 use proptest::prelude::*;
 
@@ -10,8 +8,7 @@ fn ident() -> impl Strategy<Value = String> {
     // Identifiers that cannot collide with keywords.
     "[a-z][a-z0-9_]{0,6}"
         .prop_filter("not a keyword", |s| {
-            !["select", "from", "where", "and", "in", "exists", "as"]
-                .contains(&s.as_str())
+            !["select", "from", "where", "and", "in", "exists", "as"].contains(&s.as_str())
         })
         .prop_map(|s| s.to_string())
 }
@@ -48,8 +45,7 @@ fn statement(depth: u32) -> BoxedStrategy<SelectStatement> {
         .prop_flat_map(move |(tables, star)| {
             // Aliases a0, a1, ... keep alias resolution unambiguous even
             // when table names repeat (self-joins).
-            let aliases: Vec<String> =
-                (0..tables.len()).map(|i| format!("a{i}")).collect();
+            let aliases: Vec<String> = (0..tables.len()).map(|i| format!("a{i}")).collect();
             let from: Vec<TableRef> = tables
                 .iter()
                 .zip(&aliases)
@@ -72,18 +68,17 @@ fn statement(depth: u32) -> BoxedStrategy<SelectStatement> {
             } else {
                 let sub_in = (column_ref(aliases.clone()), statement(depth - 1))
                     .prop_map(|(c, s)| Condition::InSubquery(c, Box::new(s)));
-                let sub_exists =
-                    statement(depth - 1).prop_map(|s| Condition::Exists(Box::new(s)));
+                let sub_exists = statement(depth - 1).prop_map(|s| Condition::Exists(Box::new(s)));
                 prop_oneof![4 => join, 4 => filter, 1 => sub_in, 1 => sub_exists].boxed()
             };
             let conditions = proptest::collection::vec(condition, 0..4);
-            (projections, Just(from), conditions).prop_map(
-                |(projections, from, conditions)| SelectStatement {
+            (projections, Just(from), conditions).prop_map(|(projections, from, conditions)| {
+                SelectStatement {
                     projections,
                     from,
                     conditions,
-                },
-            )
+                }
+            })
         })
         .boxed()
 }

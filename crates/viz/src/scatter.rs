@@ -54,10 +54,7 @@ pub fn render_scatter(points: &[CostVector], opts: &ScatterOptions) -> String {
         .filter(|v| v.is_finite());
 
     let max_or = |vals: &[f64], extra: Option<f64>, default: f64| {
-        vals.iter()
-            .copied()
-            .chain(extra)
-            .fold(default, f64::max)
+        vals.iter().copied().chain(extra).fold(default, f64::max)
     };
     let x_max = max_or(&xs, bound_x, 1e-9) * 1.05;
     let y_max = max_or(&ys, bound_y, 1e-9) * 1.05;

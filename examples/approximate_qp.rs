@@ -10,19 +10,23 @@
 use moqo::core::{Session, StepOutcome, UserEvent};
 use moqo::prelude::*;
 use moqo::viz::TextTable;
+use std::sync::Arc;
 
 fn main() {
     // TPC-H Q3 (customer ⋈ orders ⋈ lineitem) at scale factor 1:
     // lineitem has 6M rows, so sampled scans matter.
-    let spec = moqo::tpch::query_block("q03", 1.0).expect("q03 exists");
-    let model = StandardCostModel::paper_metrics();
+    let spec = Arc::new(moqo::tpch::query_block("q03", 1.0).expect("q03 exists"));
+    let model = Arc::new(StandardCostModel::paper_metrics());
     let schedule = ResolutionSchedule::linear(10, 1.01, 0.2);
-    let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
     let mut session = Session::new(optimizer);
 
     // Let the approximation refine for a few iterations, printing how the
     // visible time/error tradeoffs evolve.
-    println!("refining the time/error tradeoff curve for {}:\n", spec.name);
+    println!(
+        "refining the time/error tradeoff curve for {}:\n",
+        spec.name
+    );
     for step in 0..6 {
         match session.step(UserEvent::None) {
             StepOutcome::Continue { report, frontier } => {

@@ -9,16 +9,17 @@
 
 use moqo::prelude::*;
 use moqo::viz::{render_scatter, ScatterOptions};
+use std::sync::Arc;
 
 fn main() {
     // TPC-H Q5: a six-table join (customer/orders/lineitem/supplier/
     // nation/region) at scale factor 0.1.
-    let spec = moqo::tpch::query_block("q05", 0.1).expect("q05 exists");
+    let spec = Arc::new(moqo::tpch::query_block("q05", 0.1).expect("q05 exists"));
 
     // Two metrics: execution time and fees (core-seconds billed).
-    let model = StandardCostModel::cloud_metrics();
+    let model = Arc::new(StandardCostModel::cloud_metrics());
     let schedule = ResolutionSchedule::linear(8, 1.02, 0.4);
-    let mut optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let mut optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
 
     // Phase 1: no budget — discover the whole tradeoff curve.
     let unbounded = Bounds::unbounded(model.dim());
@@ -39,11 +40,7 @@ fn main() {
     // Phase 2: the user sets a fee budget at 60 % of the most expensive
     // Pareto plan. The optimizer reuses everything it already knows
     // (incrementality) — plans outside the budget were kept as candidates.
-    let max_fee = frontier
-        .costs()
-        .iter()
-        .map(|c| c[1])
-        .fold(0.0f64, f64::max);
+    let max_fee = frontier.costs().iter().map(|c| c[1]).fold(0.0f64, f64::max);
     let budget = Bounds::unbounded(model.dim()).with_limit(1, max_fee * 0.6);
     println!("setting fee budget: {budget}\n");
     let mut last_report = None;
@@ -64,7 +61,9 @@ fn main() {
     println!("{}", render_scatter(&bounded.costs(), &opts));
 
     // Pick the fastest plan within budget — what the user would click.
-    let choice = bounded.min_by_metric(0).expect("at least one plan in budget");
+    let choice = bounded
+        .min_by_metric(0)
+        .expect("at least one plan in budget");
     println!(
         "selected plan: time={:.2}, fees={:.4}",
         choice.cost[0], choice.cost[1]

@@ -1,0 +1,134 @@
+//! Engine serving demo: many simultaneous interactive sessions on one
+//! worker pool, plus a warm-frontier cache hit for a repeated query.
+//!
+//! ```text
+//! cargo run --release --example engine_serving
+//! ```
+//!
+//! Twelve users "connect" at once — TPC-H analysts and synthetic ad-hoc
+//! queries — and every session's anytime frontier refines concurrently
+//! under round-robin time slicing. One user then drags their time bound,
+//! another re-runs a query someone already finished (served straight from
+//! the cached frontier: zero plans generated), and a third picks a plan.
+
+use moqo::prelude::*;
+use moqo::viz::TextTable;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDLE: Duration = Duration::from_secs(120);
+
+fn main() {
+    let model = Arc::new(StandardCostModel::paper_metrics());
+    let schedule = ResolutionSchedule::linear(5, 1.02, 0.4);
+    let manager = SessionManager::new(
+        model.clone(),
+        schedule,
+        EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        },
+    );
+
+    // --- 12 concurrent sessions: a mixed serving workload. ---
+    let mut specs: Vec<Arc<QuerySpec>> = Vec::new();
+    for name in ["q03", "q05", "q07", "q09", "q10"] {
+        specs.push(Arc::new(
+            moqo::tpch::query_block(name, 0.01).expect("tpch block"),
+        ));
+    }
+    for n in 2..=5 {
+        specs.push(Arc::new(moqo::query::testkit::chain_query(n, 50_000)));
+    }
+    specs.push(Arc::new(moqo::query::testkit::star_query(4, 150_000)));
+    specs.push(Arc::new(moqo::query::testkit::random_query(4, 7)));
+    specs.push(Arc::new(moqo::query::testkit::random_query(5, 11)));
+    assert!(specs.len() >= 8, "demo needs at least 8 sessions");
+
+    let ids: Vec<SessionId> = specs.iter().map(|s| manager.submit(s.clone())).collect();
+    println!(
+        "submitted {} concurrent sessions to a 4-worker pool...",
+        ids.len()
+    );
+    assert!(manager.wait_idle(IDLE), "engine did not drain");
+
+    let mut table = TextTable::new(vec![
+        "session",
+        "query",
+        "warm",
+        "invocations",
+        "frontier",
+        "last invocation",
+    ]);
+    for &id in &ids {
+        let s = manager.status(id).expect("live session");
+        table.row(vec![
+            s.id.to_string(),
+            s.query.clone(),
+            if s.warm_start { "yes" } else { "no" }.to_string(),
+            s.invocations.to_string(),
+            s.frontier.len().to_string(),
+            format!(
+                "{:.2} ms",
+                s.last_report.as_ref().map_or(0.0, |r| r.seconds() * 1e3)
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // --- User interaction 1: drag a time bound on session 1. ---
+    let s0 = manager.status(ids[0]).unwrap();
+    let t_anchor = s0.frontier.min_by_metric(0).unwrap().cost[0];
+    let tight = Bounds::unbounded(model.dim()).with_limit(0, t_anchor * 3.0);
+    manager.send_event(ids[0], moqo::engine::UserEvent::SetBounds(tight));
+    assert!(manager.wait_idle(IDLE));
+    let s0b = manager.status(ids[0]).unwrap();
+    println!(
+        "session {}: dragged time bound to {:.1} -> frontier {} -> {} plans (all within bounds)",
+        s0b.id,
+        t_anchor * 3.0,
+        s0.frontier.len(),
+        s0b.frontier.len(),
+    );
+
+    // --- User interaction 2: pick a plan; the session retires. ---
+    let pick = manager
+        .frontier(ids[1])
+        .unwrap()
+        .min_by_metric(0)
+        .unwrap()
+        .plan;
+    manager.send_event(ids[1], moqo::engine::UserEvent::SelectPlan(pick));
+    assert!(manager.wait_idle(IDLE));
+    println!(
+        "session {}: user selected plan {:?}; optimizer parked in the frontier cache",
+        ids[1], pick
+    );
+
+    // --- Repeated query: a new session over q03 starts warm. ---
+    manager.finish(ids[0]).unwrap();
+    let mut rerun = moqo::tpch::query_block("q03", 0.01).expect("q03");
+    rerun.name = "q03-rerun-by-another-user".into();
+    let warm_id = manager.submit(Arc::new(rerun));
+    assert!(manager.wait_idle(IDLE));
+    let warm = manager.status(warm_id).unwrap();
+    let first = warm.first_report.as_ref().unwrap();
+    println!(
+        "repeated query '{}': warm_start={} first-invocation plans_generated={} frontier={}",
+        warm.query,
+        warm.warm_start,
+        first.plans_generated,
+        warm.frontier.len()
+    );
+    assert!(warm.warm_start);
+    assert_eq!(
+        first.plans_generated, 0,
+        "warm start must not rebuild plans"
+    );
+
+    let stats = manager.cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} parked optimizers",
+        stats.hits, stats.misses, stats.entries
+    );
+}

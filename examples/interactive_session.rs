@@ -9,12 +9,13 @@
 use moqo::core::{Session, StepOutcome, UserEvent};
 use moqo::prelude::*;
 use moqo::viz::{render_scatter, ScatterOptions};
+use std::sync::Arc;
 
 fn main() {
-    let spec = moqo::tpch::query_block("q09", 0.1).expect("q09 exists");
-    let model = StandardCostModel::paper_metrics();
+    let spec = Arc::new(moqo::tpch::query_block("q09", 0.1).expect("q09 exists"));
+    let model = Arc::new(StandardCostModel::paper_metrics());
     let schedule = ResolutionSchedule::linear(12, 1.01, 0.3);
-    let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
     let mut session = Session::new(optimizer);
 
     let plot = |frontier: &moqo::core::FrontierSnapshot, bounds: Option<Bounds>| {
@@ -75,7 +76,10 @@ fn main() {
         }
     }
     let focused = focused.expect("session still running");
-    println!("\nfrontier within the core budget ({} plans):", focused.len());
+    println!(
+        "\nfrontier within the core budget ({} plans):",
+        focused.len()
+    );
     println!("{}", plot(&focused, Some(bounds)));
 
     // Step 9: the user clicks the plan with the best time within budget.
@@ -86,10 +90,7 @@ fn main() {
                 "selected plan {plan:?}: time={:.1}, cores={:.0}, error={:.3}",
                 choice.cost[0], choice.cost[1], choice.cost[2]
             );
-            println!(
-                "{}",
-                moqo::plan::explain(session.optimizer().arena(), plan)
-            );
+            println!("{}", moqo::plan::explain(session.optimizer().arena(), plan));
         }
         _ => unreachable!(),
     }

@@ -5,23 +5,24 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use moqo::prelude::*;
 use moqo::plan::explain;
+use moqo::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // A four-table chain query over a synthetic catalog (each table
     // ~500k rows). `testkit` wires tables, join edges, and selectivities.
-    let spec = moqo::query::testkit::chain_query(4, 500_000);
+    let spec = Arc::new(moqo::query::testkit::chain_query(4, 500_000));
 
     // The paper's three evaluation metrics: execution time, number of
     // reserved cores, and result error (1 - precision).
-    let model = StandardCostModel::paper_metrics();
+    let model = Arc::new(StandardCostModel::paper_metrics());
 
     // Resolution schedule: 6 levels from coarse (alpha = 1.55) down to the
     // target precision alpha_T = 1.05.
     let schedule = ResolutionSchedule::linear(5, 1.05, 0.5);
 
-    let mut optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let mut optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
     let bounds = Bounds::unbounded(model.dim());
 
     // Anytime loop: each invocation refines the frontier; a real
@@ -43,7 +44,11 @@ fn main() {
     let r_max = optimizer.schedule().r_max();
     let frontier = optimizer.frontier(&bounds, r_max);
     let pareto = frontier.pareto_points();
-    println!("\nfinal frontier: {} plans ({} Pareto-optimal)", frontier.len(), pareto.len());
+    println!(
+        "\nfinal frontier: {} plans ({} Pareto-optimal)",
+        frontier.len(),
+        pareto.len()
+    );
 
     let fastest = frontier.min_by_metric(0).expect("non-empty frontier");
     let most_precise = frontier.min_by_metric(2).expect("non-empty frontier");

@@ -8,6 +8,7 @@
 
 use moqo::core::Preference;
 use moqo::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let catalog = moqo::tpch::tpch_catalog(0.1);
@@ -28,7 +29,7 @@ fn main() {
     let blocks = moqo::sql::plan_blocks(sql, &catalog).expect("valid statement");
     println!("decomposed into {} query blocks\n", blocks.len());
 
-    let model = StandardCostModel::paper_metrics();
+    let model = Arc::new(StandardCostModel::paper_metrics());
     // A programmatic consumer can state its preference up front (the
     // prior-work mode the paper contrasts with interactive MOQO): here,
     // minimize time, but never accept more than 2 % result error and
@@ -41,7 +42,7 @@ fn main() {
 
     for spec in &blocks {
         let schedule = ResolutionSchedule::linear(8, 1.01, 0.3);
-        let mut opt = IamaOptimizer::new(spec, &model, schedule.clone());
+        let mut opt = IamaOptimizer::new(Arc::new(spec.clone()), model.clone(), schedule.clone());
         let unbounded = Bounds::unbounded(model.dim());
         for r in 0..=schedule.r_max() {
             opt.optimize(&unbounded, r);

@@ -8,13 +8,14 @@
 
 use moqo::prelude::*;
 use moqo::viz::TextTable;
+use std::sync::Arc;
 
 fn main() {
     let sf: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
-    let model = StandardCostModel::paper_metrics();
+    let model = Arc::new(StandardCostModel::paper_metrics());
     let schedule = ResolutionSchedule::linear(9, 1.01, 0.3);
     let bounds = Bounds::unbounded(model.dim());
 
@@ -30,7 +31,7 @@ fn main() {
         "max inv ms",
     ]);
     for spec in moqo::tpch::all_join_blocks(sf) {
-        let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+        let mut opt = IamaOptimizer::new(Arc::new(spec.clone()), model.clone(), schedule.clone());
         let mut total = 0.0;
         let mut max_inv = 0.0f64;
         for r in 0..=schedule.r_max() {

@@ -17,23 +17,29 @@
 //! * [`costmodel`] — PONO-compliant multi-metric cost models;
 //! * [`index`] — plan-set indexes with (cost, resolution) range queries;
 //! * [`core`] — the IAMA incremental anytime optimizer itself;
+//! * [`engine`] — the concurrent multi-session serving layer: session
+//!   manager, worker pool, and the warm-frontier cache;
 //! * [`baselines`] — memoryless, one-shot, exhaustive, and single-objective
 //!   reference optimizers;
 //! * [`viz`] — ASCII rendering of cost frontiers.
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs`; in short:
+//! See `examples/quickstart.rs` (single query) and
+//! `examples/engine_serving.rs` (many concurrent sessions); in short:
 //!
 //! ```
 //! use moqo::prelude::*;
+//! use std::sync::Arc;
 //!
-//! // A 3-table chain query over a synthetic catalog.
-//! let spec = moqo::query::testkit::chain_query(3, 10_000);
-//! let model = moqo::costmodel::StandardCostModel::paper_metrics();
+//! // A 3-table chain query over a synthetic catalog. The optimizer owns
+//! // its inputs behind `Arc`s so sessions can move across threads.
+//! let spec = Arc::new(moqo::query::testkit::chain_query(3, 10_000));
+//! let model = Arc::new(moqo::costmodel::StandardCostModel::paper_metrics());
+//! let bounds = Bounds::unbounded(model.dim());
 //! let schedule = ResolutionSchedule::linear(5, 1.05, 0.5);
-//! let mut opt = IamaOptimizer::new(&spec, &model, schedule);
-//! let report = opt.run_invocation(Bounds::unbounded(model.dim()));
+//! let mut opt = IamaOptimizer::new(spec, model, schedule);
+//! let report = opt.run_invocation(bounds);
 //! assert!(report.frontier_size > 0);
 //! ```
 
@@ -42,6 +48,7 @@ pub use moqo_catalog as catalog;
 pub use moqo_core as core;
 pub use moqo_cost as cost;
 pub use moqo_costmodel as costmodel;
+pub use moqo_engine as engine;
 pub use moqo_index as index;
 pub use moqo_plan as plan;
 pub use moqo_query as query;
@@ -53,6 +60,7 @@ pub use moqo_viz as viz;
 pub mod prelude {
     pub use moqo_core::{IamaOptimizer, InvocationReport, Session, UserEvent};
     pub use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
-    pub use moqo_costmodel::{CostModel, StandardCostModel};
+    pub use moqo_costmodel::{CostModel, SharedCostModel, StandardCostModel};
+    pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionId, SessionManager};
     pub use moqo_query::QuerySpec;
 }

@@ -5,6 +5,7 @@ use moqo::core::{IamaOptimizer, Preference};
 use moqo::cost::{Bounds, ResolutionSchedule};
 use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
 use moqo::query::testkit;
+use std::sync::Arc;
 
 fn model() -> StandardCostModel {
     StandardCostModel::new(
@@ -31,7 +32,11 @@ fn weighted_frontier_minimum_matches_single_objective_dp() {
     let scalar = single_objective_dp(&spec, &model, &weights);
     let optimum = scalar.best.expect("scalar plan exists").1;
 
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     let b = Bounds::unbounded(model.dim());
     for r in 0..=schedule.r_max() {
         opt.optimize(&b, r);
@@ -72,7 +77,11 @@ fn memoryless_and_iama_agree_level_by_level() {
     let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
     let b = Bounds::unbounded(model.dim());
     let mem = memoryless_series(&spec, &model, &schedule, &b);
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     for (r, mem_out) in mem.iter().enumerate() {
         opt.optimize(&b, r);
         let iama = opt.frontier(&b, r).costs();
@@ -85,7 +94,10 @@ fn memoryless_and_iama_agree_level_by_level() {
             "level {r}: frontiers diverge ({a} / {m} vs {guarantee})"
         );
         // Sizes track each other within a factor of two.
-        let (big, small) = (iama.len().max(mem_costs.len()), iama.len().min(mem_costs.len()));
+        let (big, small) = (
+            iama.len().max(mem_costs.len()),
+            iama.len().min(mem_costs.len()),
+        );
         assert!(
             small * 2 >= big,
             "level {r}: sizes diverge ({} vs {})",
@@ -117,7 +129,11 @@ fn metric_subsets_agree_on_shared_extremes() {
     let m3 = StandardCostModel::new(MetricSet::paper(), config);
     let schedule = ResolutionSchedule::linear(4, 1.01, 0.3);
     let min_time = |model: &StandardCostModel| -> f64 {
-        let mut opt = IamaOptimizer::new(&spec, model, schedule.clone());
+        let mut opt = IamaOptimizer::new(
+            Arc::new(spec.clone()),
+            Arc::new(model.clone()),
+            schedule.clone(),
+        );
         let b = Bounds::unbounded(model.dim());
         for r in 0..=schedule.r_max() {
             opt.optimize(&b, r);

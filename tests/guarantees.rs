@@ -8,6 +8,7 @@ use moqo::core::{IamaConfig, IamaOptimizer};
 use moqo::cost::{coverage_factor, covers_bounded, Bounds, ResolutionSchedule};
 use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
 use moqo::query::{testkit, QuerySpec};
+use std::sync::Arc;
 
 /// A reduced operator space keeps exhaustive DP tractable.
 fn small_model() -> StandardCostModel {
@@ -28,7 +29,12 @@ fn run_iama_series(
     schedule: &ResolutionSchedule,
     config: IamaConfig,
 ) -> Vec<moqo::cost::CostVector> {
-    let mut opt = IamaOptimizer::with_config(spec, model, schedule.clone(), config);
+    let mut opt = IamaOptimizer::with_config(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+        config,
+    );
     let b = Bounds::unbounded(model.dim());
     for r in 0..=schedule.r_max() {
         opt.optimize(&b, r);
@@ -120,7 +126,11 @@ fn bounded_guarantee_after_bound_changes() {
     let exact = exhaustive_pareto(&spec, &model, &unb);
     let exact_costs = exact.pareto_costs();
 
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     // Tight phase.
     opt.optimize(&unb, 0);
     let t_min = opt
@@ -175,7 +185,11 @@ fn frontier_plans_are_real_plans_with_consistent_costs() {
     let schedule = ResolutionSchedule::linear(2, 1.1, 0.4);
     let spec = testkit::chain_query(4, 80_000);
     let b = Bounds::unbounded(model.dim());
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(
+        Arc::new(spec.clone()),
+        Arc::new(model.clone()),
+        schedule.clone(),
+    );
     for r in 0..=schedule.r_max() {
         opt.optimize(&b, r);
     }

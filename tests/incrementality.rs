@@ -6,9 +6,10 @@ use moqo::cost::{Bounds, ResolutionSchedule};
 use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
 use moqo::index::IndexKind;
 use moqo::query::testkit;
+use std::sync::Arc;
 
-fn model() -> StandardCostModel {
-    StandardCostModel::new(
+fn model() -> Arc<StandardCostModel> {
+    Arc::new(StandardCostModel::new(
         MetricSet::paper(),
         StandardCostModelConfig {
             dops: vec![1, 2, 4],
@@ -16,7 +17,7 @@ fn model() -> StandardCostModel {
             eval_spin: 0,
             ..StandardCostModelConfig::default()
         },
-    )
+    ))
 }
 
 #[test]
@@ -24,8 +25,12 @@ fn lemmas_hold_on_full_tpch_workload() {
     let model = model();
     let schedule = ResolutionSchedule::linear(6, 1.02, 0.4);
     for spec in moqo::tpch::all_join_blocks(0.01) {
-        let mut opt =
-            IamaOptimizer::with_config(&spec, &model, schedule.clone(), IamaConfig::tracked());
+        let mut opt = IamaOptimizer::with_config(
+            Arc::new(spec.clone()),
+            model.clone(),
+            schedule.clone(),
+            IamaConfig::tracked(),
+        );
         let b = Bounds::unbounded(model.dim());
         for r in 0..=schedule.r_max() {
             opt.optimize(&b, r);
@@ -50,8 +55,12 @@ fn lemmas_hold_under_chaotic_bound_changes() {
     let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
     let spec = testkit::chain_query(4, 200_000);
     let dim = model.dim();
-    let mut opt =
-        IamaOptimizer::with_config(&spec, &model, schedule.clone(), IamaConfig::tracked());
+    let mut opt = IamaOptimizer::with_config(
+        Arc::new(spec.clone()),
+        model.clone(),
+        schedule.clone(),
+        IamaConfig::tracked(),
+    );
     let unb = Bounds::unbounded(dim);
     opt.optimize(&unb, 0);
     let t_min = opt
@@ -72,8 +81,14 @@ fn lemmas_hold_under_chaotic_bound_changes() {
         opt.optimize(&bounds, r);
     }
     let stats = opt.stats();
-    assert!(stats.max_plan_generations() <= 1, "Lemma 5 under bound churn");
-    assert!(stats.max_pair_generations() <= 1, "Lemma 6 under bound churn");
+    assert!(
+        stats.max_plan_generations() <= 1,
+        "Lemma 5 under bound churn"
+    );
+    assert!(
+        stats.max_pair_generations() <= 1,
+        "Lemma 6 under bound churn"
+    );
     assert!(
         stats.max_candidate_retrievals() as usize <= schedule.r_max() + 1,
         "Lemma 7 under bound churn"
@@ -95,7 +110,12 @@ fn lemmas_hold_in_strict_paper_mode() {
         track_invariants: true,
         ..IamaConfig::default()
     };
-    let mut opt = IamaOptimizer::with_config(&spec, &model, schedule.clone(), config);
+    let mut opt = IamaOptimizer::with_config(
+        Arc::new(spec.clone()),
+        model.clone(),
+        schedule.clone(),
+        config,
+    );
     let b = Bounds::unbounded(model.dim());
     for r in 0..=schedule.r_max() {
         opt.optimize(&b, r);
@@ -107,8 +127,8 @@ fn lemmas_hold_in_strict_paper_mode() {
     // In strict mode some plan is typically re-examined at several
     // levels; the eager default cuts this (compare the two modes).
     let mut eager = IamaOptimizer::with_config(
-        &spec,
-        &model,
+        Arc::new(spec.clone()),
+        model.clone(),
         schedule.clone(),
         IamaConfig::tracked(),
     );
@@ -129,7 +149,7 @@ fn steady_state_invocations_are_free_of_plan_work() {
     let schedule = ResolutionSchedule::linear(5, 1.02, 0.5);
     let spec = testkit::chain_query(5, 150_000);
     let b = Bounds::unbounded(model.dim());
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(Arc::new(spec.clone()), model.clone(), schedule.clone());
     for r in 0..=schedule.r_max() {
         opt.optimize(&b, r);
     }
@@ -155,8 +175,8 @@ fn index_kinds_produce_equivalent_frontiers() {
     let mut frontiers = Vec::new();
     for kind in [IndexKind::CellGrid, IndexKind::Linear, IndexKind::KdTree] {
         let mut opt = IamaOptimizer::with_config(
-            &spec,
-            &model,
+            Arc::new(spec.clone()),
+            model.clone(),
             schedule.clone(),
             IamaConfig {
                 index_kind: kind,
@@ -192,8 +212,8 @@ fn delta_filtering_does_not_change_results() {
     let mut frontiers = Vec::new();
     for use_delta in [true, false] {
         let mut opt = IamaOptimizer::with_config(
-            &spec,
-            &model,
+            Arc::new(spec.clone()),
+            model.clone(),
             schedule.clone(),
             IamaConfig {
                 use_delta,
@@ -212,7 +232,10 @@ fn delta_filtering_does_not_change_results() {
         costs.sort();
         frontiers.push(costs);
     }
-    assert_eq!(frontiers[0], frontiers[1], "delta filtering changed results");
+    assert_eq!(
+        frontiers[0], frontiers[1],
+        "delta filtering changed results"
+    );
 }
 
 #[test]
@@ -225,7 +248,7 @@ fn tightening_bounds_only_reuses_plans() {
     let spec = testkit::chain_query(4, 200_000);
     let dim = model.dim();
     let unb = Bounds::unbounded(dim);
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(Arc::new(spec.clone()), model.clone(), schedule.clone());
     for r in 0..=schedule.r_max() {
         opt.optimize(&unb, r);
     }
@@ -260,7 +283,7 @@ fn amortized_work_is_bounded_over_many_invocations() {
     let schedule = ResolutionSchedule::linear(3, 1.05, 0.5);
     let spec = testkit::chain_query(4, 150_000);
     let b = Bounds::unbounded(model.dim());
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(Arc::new(spec.clone()), model.clone(), schedule.clone());
     let mut totals = Vec::new();
     for _round in 0..10 {
         for r in 0..=schedule.r_max() {

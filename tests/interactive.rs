@@ -6,9 +6,10 @@ use moqo::cost::{Bounds, ResolutionSchedule};
 use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
 use moqo::query::testkit;
 use proptest::prelude::*;
+use std::sync::Arc;
 
-fn model() -> StandardCostModel {
-    StandardCostModel::new(
+fn model() -> Arc<StandardCostModel> {
+    Arc::new(StandardCostModel::new(
         MetricSet::paper(),
         StandardCostModelConfig {
             dops: vec![1, 4],
@@ -16,15 +17,15 @@ fn model() -> StandardCostModel {
             eval_spin: 0,
             ..StandardCostModelConfig::default()
         },
-    )
+    ))
 }
 
 #[test]
 fn session_on_tpch_refines_then_selects() {
     let model = model();
-    let spec = moqo::tpch::query_block("q05", 0.01).expect("q05");
+    let spec = Arc::new(moqo::tpch::query_block("q05", 0.01).expect("q05"));
     let schedule = ResolutionSchedule::linear(6, 1.02, 0.4);
-    let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
     let mut session = Session::new(optimizer);
     let mut sizes = Vec::new();
     let mut last_frontier = None;
@@ -50,9 +51,9 @@ fn session_on_tpch_refines_then_selects() {
 #[test]
 fn bound_dragging_focuses_the_frontier() {
     let model = model();
-    let spec = moqo::tpch::query_block("q09", 0.01).expect("q09");
+    let spec = Arc::new(moqo::tpch::query_block("q09", 0.01).expect("q09"));
     let schedule = ResolutionSchedule::linear(8, 1.02, 0.4);
-    let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
     let mut session = Session::new(optimizer);
     // Refine, then constrain cores to 1 (serial plans only).
     for _ in 0..4 {
@@ -76,16 +77,16 @@ fn bound_dragging_focuses_the_frontier() {
 
 #[test]
 fn two_metric_cloud_session_works() {
-    let model = StandardCostModel::new(
+    let model = Arc::new(StandardCostModel::new(
         MetricSet::cloud(),
         StandardCostModelConfig {
             eval_spin: 0,
             ..StandardCostModelConfig::default()
         },
-    );
-    let spec = testkit::example3_query();
+    ));
+    let spec = Arc::new(testkit::example3_query());
     let schedule = ResolutionSchedule::linear(5, 1.05, 0.5);
-    let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+    let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
     let mut session = Session::new(optimizer);
     let reports = session.run_uninterrupted(6);
     assert_eq!(reports.len(), 6);
@@ -95,7 +96,7 @@ fn two_metric_cloud_session_works() {
 #[test]
 fn five_metric_optimization_works() {
     // The paper's class of metrics extends beyond three; exercise l = 5.
-    let model = StandardCostModel::new(
+    let model = Arc::new(StandardCostModel::new(
         MetricSet::all(),
         StandardCostModelConfig {
             dops: vec![1, 4],
@@ -103,10 +104,10 @@ fn five_metric_optimization_works() {
             eval_spin: 0,
             ..StandardCostModelConfig::default()
         },
-    );
-    let spec = testkit::chain_query(3, 100_000);
+    ));
+    let spec = Arc::new(testkit::chain_query(3, 100_000));
     let schedule = ResolutionSchedule::linear(3, 1.05, 0.5);
-    let mut opt = IamaOptimizer::new(&spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule.clone());
     let b = Bounds::unbounded(model.dim());
     for r in 0..=schedule.r_max() {
         let rep = opt.optimize(&b, r);
@@ -127,9 +128,9 @@ proptest! {
         scale in 1.5f64..8.0,
     ) {
         let model = model();
-        let spec = testkit::random_query(4, seed);
+        let spec = Arc::new(testkit::random_query(4, seed));
         let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
-        let optimizer = IamaOptimizer::new(&spec, &model, schedule);
+        let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
         let mut session = Session::new(optimizer);
         // Establish a reference point for bound placement.
         let first = match session.step(UserEvent::None) {

@@ -3,9 +3,10 @@
 use moqo::core::{IamaConfig, IamaOptimizer, Preference};
 use moqo::cost::{Bounds, ResolutionSchedule};
 use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
+use std::sync::Arc;
 
-fn model() -> StandardCostModel {
-    StandardCostModel::new(
+fn model() -> Arc<StandardCostModel> {
+    Arc::new(StandardCostModel::new(
         MetricSet::paper(),
         StandardCostModelConfig {
             dops: vec![1, 4],
@@ -13,7 +14,7 @@ fn model() -> StandardCostModel {
             eval_spin: 0,
             ..StandardCostModelConfig::default()
         },
-    )
+    ))
 }
 
 #[test]
@@ -35,8 +36,12 @@ fn nested_statement_optimizes_block_by_block() {
     let model = model();
     let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
     for spec in &blocks {
-        let mut opt =
-            IamaOptimizer::with_config(spec, &model, schedule.clone(), IamaConfig::tracked());
+        let mut opt = IamaOptimizer::with_config(
+            Arc::new(spec.clone()),
+            model.clone(),
+            schedule.clone(),
+            IamaConfig::tracked(),
+        );
         let b = Bounds::unbounded(model.dim());
         for r in 0..=schedule.r_max() {
             opt.optimize(&b, r);
@@ -66,7 +71,7 @@ fn preference_selection_over_sql_block() {
     let spec = &blocks[0];
     let model = model();
     let schedule = ResolutionSchedule::linear(5, 1.02, 0.4);
-    let mut opt = IamaOptimizer::new(spec, &model, schedule.clone());
+    let mut opt = IamaOptimizer::new(Arc::new(spec.clone()), model.clone(), schedule.clone());
     let b = Bounds::unbounded(model.dim());
     for r in 0..=schedule.r_max() {
         opt.optimize(&b, r);

@@ -1,0 +1,662 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds without a crates.io mirror, so this crate provides
+//! the slice of `proptest` the test suites actually use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter` / `boxed`,
+//! range and tuple and `Just` strategies, character-class string
+//! strategies (`"[a-z]{1,5}"`), [`collection::vec`], weighted
+//! [`prop_oneof!`], and the [`proptest!`] / `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Unlike upstream, failing cases are **not shrunk**: the failing
+//! assertion panics with its message and the deterministic case number, so
+//! a failure reproduces by rerunning the same test binary.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic per-case RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for one named test case attempt; the same `(name, attempt)`
+    /// pair always yields the same stream.
+    pub fn deterministic(name: &str, attempt: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h ^ ((attempt as u64) << 1)))
+    }
+
+    fn f64(&mut self) -> f64 {
+        self.0.gen_range(0.0..1.0)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty choice in strategy");
+        self.0.gen_range(0..n)
+    }
+
+    fn u64(&mut self) -> u64 {
+        self.0.gen_range(0..u64::MAX)
+    }
+}
+
+/// Why a generated case did not count as a passing case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+    /// `prop_assert*!` failed; abort the test.
+    Fail(String),
+}
+
+/// Execution parameters of a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of test values.
+///
+/// Combinator methods are `Self: Sized` so the trait stays object-safe for
+/// [`BoxedStrategy`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy
+    /// `f` builds from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (regenerating up to a retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// Strategy producing one fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "anything" strategy; see [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over every value of `T`; see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u8>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Weighted union of boxed strategies — the engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new_weighted(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            branches.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Self { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.branches.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.u64() % total;
+        for (w, s) in &self.branches {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Character-class string strategies: `"[a-z][a-z0-9_]{0,6}"` etc.
+// ---------------------------------------------------------------------------
+
+struct PatternAtom {
+    /// Inclusive character ranges to draw from.
+    choices: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pat:?}"))
+                    + i;
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                let mut out = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        out.push((body[j], body[j + 2]));
+                        j += 3;
+                    } else {
+                        out.push((body[j], body[j]));
+                        j += 1;
+                    }
+                }
+                out
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pat:?}"));
+                i += 2;
+                vec![(c, c)]
+            }
+            c => {
+                assert!(
+                    !"(){}|*+?.^$".contains(c),
+                    "unsupported regex syntax {c:?} in pattern {pat:?}"
+                );
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pat:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..count {
+                let (lo, hi) = atom.choices[rng.below(atom.choices.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                let c = char::from_u32(lo as u32 + (rng.u64() % span as u64) as u32)
+                    .expect("invalid char range");
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: exact or half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` values; see [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_excl - self.size.min;
+            let len = self.size.min + super::below_pub(rng, span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn below_pub(rng: &mut TestRng, n: usize) -> usize {
+    rng.below(n)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Supports the upstream surface used here:
+/// optional `#![proptest_config(...)]`, doc comments and `#[test]` on each
+/// function, and `arg in strategy` parameter lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut accepted: u32 = 0;
+                let mut attempt: u32 = 0;
+                while accepted < cfg.cases {
+                    attempt += 1;
+                    assert!(
+                        attempt <= cfg.cases.saturating_mul(20).saturating_add(1000),
+                        "prop_assume! rejected too many cases"
+                    );
+                    let mut __rng = $crate::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempt,
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property failed at {} case #{attempt}: {msg}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts inside a property; failure aborts the whole test with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {:?} != {:?}",
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        let mut rng = super::TestRng::deterministic("pattern", 1);
+        for _ in 0..200 {
+            let s = super::Strategy::generate(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_range_pattern_works() {
+        let mut rng = super::TestRng::deterministic("printable", 1);
+        for _ in 0..100 {
+            let s = super::Strategy::generate(&"[ -~]{0,80}", &mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_tuples_vecs_and_filters_compose(
+            x in 0u32..100,
+            pair in (0.0f64..1.0, any::<bool>()),
+            v in crate::collection::vec(0u8..4, 1..6),
+            even in (0u32..50).prop_filter("even", |n| n % 2 == 0),
+            tagged in prop_oneof![2 => Just("a"), 1 => Just("b")],
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&pair.0));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert_eq!(even % 2, 0);
+            prop_assert!(tagged == "a" || tagged == "b");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+    }
+}
