@@ -331,8 +331,11 @@ pub fn ablation_index(
     (sum(&grid), sum(&linear))
 }
 
-/// Ablation: Δ-set filtering on vs off — total time and stale pairs
-/// skipped (`(secs_with, secs_without, stale_pairs_without)`).
+/// Ablation: Δ-set filtering on vs off — total time and settled pairs
+/// skipped (`(secs_with, secs_without, settled_pairs_without)`). Without
+/// Δ filtering every invocation recombines the full cross products, so
+/// already-combined pairs are re-skipped — positionally by the watermark
+/// rectangles where possible, through the `IsFresh` hash otherwise.
 pub fn ablation_delta(
     spec: &QuerySpec,
     model: &StandardCostModel,
@@ -353,9 +356,9 @@ pub fn ablation_delta(
     for r in 0..=schedule.r_max() {
         without_secs += opt.optimize(&b, r).seconds();
     }
-    let stale = opt.stats().stale_pairs_skipped;
+    let settled = opt.stats().stale_pairs_skipped + opt.stats().pairs_skipped_watermark;
     let with_secs: f64 = with_delta.iter().map(|r| r.seconds()).sum();
-    (with_secs, without_secs, stale)
+    (with_secs, without_secs, settled)
 }
 
 /// Bound-tightening scenario (Example 3 / Figure 1c): invocation times of
@@ -487,10 +490,11 @@ mod tests {
         let schedule = ResolutionSchedule::linear(3, 1.05, 0.5);
         let (grid, linear) = ablation_index(&spec, &model, &schedule);
         assert!(grid > 0.0 && linear > 0.0);
-        let (with_d, without_d, stale) = ablation_delta(&spec, &model, &schedule);
+        let (with_d, without_d, settled) = ablation_delta(&spec, &model, &schedule);
         assert!(with_d > 0.0 && without_d > 0.0);
-        // Without Δ filtering, stale pairs are re-checked via IsFresh.
-        assert!(stale > 0);
+        // Without Δ filtering, already-combined pairs are re-skipped
+        // (watermark rectangles or the IsFresh fallback).
+        assert!(settled > 0);
     }
 }
 
@@ -611,6 +615,91 @@ pub fn schedule_comparison(
             let total: f64 = times.iter().sum();
             let max = times.iter().copied().fold(0.0, f64::max);
             (label, total / times.len() as f64, max, total)
+        })
+        .collect()
+}
+
+/// Enumeration-plane effectiveness for one query: the split-visit economy
+/// of the precomputed plan versus the exhaustive (seed) enumeration, over
+/// a full refinement ladder plus one repeated steady-state invocation.
+#[derive(Clone, Debug)]
+pub struct EnumerationReport {
+    /// Query name.
+    pub query: String,
+    /// Joined tables.
+    pub n_tables: usize,
+    /// Ordered splits the exhaustive path enumerates **every invocation**:
+    /// `sum over k of C(n, k) * (2^k - 2)` — all splits of all subsets,
+    /// connected or not.
+    pub exhaustive_splits_per_invocation: u64,
+    /// Subsets in the precomputed plan (relevant ones only).
+    pub plan_subsets: usize,
+    /// Valid ordered splits in the plan — the per-invocation ceiling of
+    /// the dense path.
+    pub plan_splits: usize,
+    /// Splits whose pair loop ran across the whole refinement ladder.
+    pub ladder_splits_visited: u64,
+    /// Splits whose pair loop ran in one repeated invocation (0 in steady
+    /// state: the watermarks settle everything).
+    pub steady_splits_visited: u64,
+    /// Splits settled without touching an entry in that repeated
+    /// invocation.
+    pub steady_splits_skipped: u64,
+    /// Pairs skipped positionally (watermark rectangles) plus via the
+    /// `IsFresh` fallback, cumulatively.
+    pub pairs_skipped: u64,
+    /// Peak size of the reusable combination scratch (left + right).
+    pub scratch_high_water: usize,
+}
+
+/// Ordered splits the exhaustive enumeration visits per invocation.
+pub fn exhaustive_split_visits(n: usize) -> u64 {
+    let mut total = 0u64;
+    let mut choose = 1u64; // C(n, 0)
+    for k in 1..=n as u64 {
+        choose = choose * (n as u64 - k + 1) / k;
+        if k >= 2 {
+            total += choose * ((1u64 << k) - 2);
+        }
+    }
+    total
+}
+
+/// Runs a full ladder plus one repeated invocation per query and reports
+/// the enumeration counters (`repro enumeration` / `repro --stats`).
+pub fn enumeration_effectiveness(
+    model: &StandardCostModel,
+    schedule: &ResolutionSchedule,
+    specs: &[QuerySpec],
+) -> Vec<EnumerationReport> {
+    let b = Bounds::unbounded(model.dim());
+    specs
+        .iter()
+        .map(|spec| {
+            let mut opt = IamaOptimizer::new(
+                Arc::new(spec.clone()),
+                Arc::new(model.clone()),
+                schedule.clone(),
+            );
+            for r in 0..=schedule.r_max() {
+                opt.optimize(&b, r);
+            }
+            let ladder_splits_visited = opt.stats().splits_visited;
+            let steady = opt.optimize(&b, schedule.r_max());
+            let plan = opt.enumeration();
+            EnumerationReport {
+                query: spec.name.clone(),
+                n_tables: spec.n_tables(),
+                exhaustive_splits_per_invocation: exhaustive_split_visits(spec.n_tables()),
+                plan_subsets: plan.len(),
+                plan_splits: plan.total_splits(),
+                ladder_splits_visited,
+                steady_splits_visited: steady.splits_visited,
+                steady_splits_skipped: steady.splits_skipped,
+                pairs_skipped: opt.stats().pairs_skipped_watermark
+                    + opt.stats().stale_pairs_skipped,
+                scratch_high_water: opt.stats().scratch_high_water,
+            }
         })
         .collect()
 }

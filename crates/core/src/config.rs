@@ -11,9 +11,11 @@ pub struct IamaConfig {
     pub index_kind: IndexKind,
     /// Enable Δ-set filtering in `Fresh`: when an invocation series allows
     /// it, only combine sub-plan pairs involving a plan inserted in the
-    /// current invocation. Disabling falls back to `ΔS = S` always (the
-    /// `IsFresh` hash check still prevents duplicate pairs); used by the
-    /// `ablation-delta` benchmark.
+    /// current invocation. Disabling falls back to `ΔS = S` always — every
+    /// invocation re-walks the full cross products, with duplicate pairs
+    /// suppressed positionally by the per-split watermark rectangles and,
+    /// for pairs combined during churn epochs, by the `IsFresh` hash
+    /// fallback; used by the `ablation-delta` benchmark.
     pub use_delta: bool,
     /// Consider cross-product joins even when the join graph connects the
     /// two operands nowhere. Off by default (Postgres behaviour).

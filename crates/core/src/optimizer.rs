@@ -1,4 +1,29 @@
-//! The incremental optimizer — Algorithms 2 and 3 of the paper.
+//! The incremental optimizer — Algorithms 2 and 3 of the paper — on top of
+//! the precomputed enumeration plane.
+//!
+//! # Dense subset state
+//!
+//! The optimizer's per-table-set bookkeeping (result index, candidate
+//! index, active list, last-insertion watermark) lives in a flat
+//! `Vec<SubsetState>` indexed by the [`EnumerationPlan`]'s dense
+//! [`SubsetId`]s — no `TableSet → …` hash probes on the hot path, and the
+//! `O(2^k)` split spaces of irrelevant (disconnected) subsets are never
+//! visited at all.
+//!
+//! # Watermarks instead of pair hashing
+//!
+//! Lemma 6 ("no sub-plan pair is combined twice") is enforced positionally:
+//! active lists are append-only (shadowed entries are tombstoned, never
+//! removed), so every split carries a watermark rectangle `(wl, wr)`
+//! meaning *all pairs of entries below those positions are settled* —
+//! combined earlier, or shadowed and never needed. A monotone invocation
+//! series (the paper's Section 4.2 Δ-set regime) advances the rectangles
+//! in lock-step with the lists and never touches a hash. Only *churn*
+//! epochs — bounds loosened, resolution reset, entries excluded by
+//! tighter bounds — fall back to the `IsFresh` [`PairSet`] for the pairs
+//! the rectangle cannot certify; every combined pair stays covered by
+//! `rectangle ∪ hash` at all times, which is the invariant the Lemma 5/6
+//! tests verify under chaotic bound changes.
 
 use crate::config::IamaConfig;
 use crate::frontier::{FrontierPoint, FrontierSnapshot};
@@ -6,36 +31,109 @@ use crate::report::InvocationReport;
 use crate::stats::OptimizerStats;
 use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
 use moqo_costmodel::{PlanInput, SharedCostModel};
-use moqo_index::{DynIndex, Entry, FxHashMap, PairSet, PlanIndex};
+use moqo_index::{DynIndex, Entry, PairSet, PlanIndex};
 use moqo_plan::{PhysicalProps, PlanArena, PlanId};
-use moqo_query::{k_subsets, QuerySpec, TableSet};
+use moqo_query::{EnumerationPlan, QuerySpec, SubsetId};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A collected result entry enriched with its physical properties, the
-/// unit of work inside `Fresh`.
+/// One combinable result plan in a subset's active list.
+///
+/// The list is strictly append-only: plans shadowed by a plainly
+/// dominating, order-compatible alternative are tombstoned in place (see
+/// [`IamaConfig::shadow_dominated`]), so list *positions* are stable and
+/// the per-split watermark rectangles remain meaningful forever.
 #[derive(Clone, Copy)]
-struct ResEntry {
+struct ActiveEntry {
     plan: PlanId,
     cost: CostVector,
     props: PhysicalProps,
+    /// Invocation at which the entry was appended; non-decreasing along
+    /// the list, so entries of the current invocation form a suffix.
     invocation: u32,
     level: u8,
+    /// Tombstone: excluded from all future combinations, kept for
+    /// positional stability (the plan itself stays in the cost index as a
+    /// pruning witness).
+    shadowed: bool,
+}
+
+/// A collected combination operand: a live, in-context active entry plus
+/// its stable list position (for watermark tests).
+#[derive(Clone, Copy)]
+struct Operand {
+    idx: u32,
+    plan: PlanId,
+    cost: CostVector,
+    props: PhysicalProps,
+    fresh: bool,
+}
+
+/// All per-subset optimizer state, indexed densely by [`SubsetId`].
+struct SubsetState {
+    /// Result plans `Res^q`, indexed by cost and resolution. Lazily
+    /// created: untouched subsets cost one `Option` each.
+    res: Option<DynIndex<PlanId>>,
+    /// Candidate plans `Cand^q`.
+    cand: Option<DynIndex<PlanId>>,
+    /// Append-only combinable view of the result set (the Δ-list of the
+    /// current invocation is its suffix with `invocation == current`).
+    active: Vec<ActiveEntry>,
+    /// Invocation of the most recent result insertion — the auxiliary
+    /// index the paper mentions for evaluating `ΔS` cheaply (Section
+    /// 4.2): a split whose operands both saw no insertion this invocation
+    /// has an empty Δ cross product. `u32::MAX` = never.
+    last_res_insert: u32,
+    /// Memoized combination view of `active` under the current
+    /// invocation's `(bounds, r)` context, valid while `operands_inv`
+    /// equals the current invocation: a subset feeding many splits is
+    /// filtered once per invocation, and the buffer is reused forever —
+    /// phase 2 allocates nothing in steady state.
+    operands: Vec<Operand>,
+    /// Whether every non-tombstoned `active` entry made it into
+    /// `operands` (the watermark-advance precondition).
+    operands_clean: bool,
+    /// Invocation `operands` was collected for. `u32::MAX` = never.
+    operands_inv: u32,
+}
+
+impl SubsetState {
+    fn new() -> Self {
+        Self {
+            res: None,
+            cand: None,
+            active: Vec::new(),
+            last_res_insert: u32::MAX,
+            operands: Vec::new(),
+            operands_clean: false,
+            operands_inv: u32::MAX,
+        }
+    }
+}
+
+/// Per-split freshness watermark: every operand pair with positions below
+/// `(left, right)` is settled (combined once, or tombstoned).
+#[derive(Clone, Copy, Default)]
+struct Watermark {
+    left: u32,
+    right: u32,
 }
 
 /// The Incremental Anytime MOQO optimizer (IAMA).
 ///
 /// Holds all state that persists across invocations for one query: the
-/// plan arena, the result and candidate plan sets (indexed by table set,
-/// cost, and resolution), and the `IsFresh` pair set. Invoke
-/// [`IamaOptimizer::optimize`] with bounds and a resolution level
-/// (Algorithm 2), or [`IamaOptimizer::run_invocation`] to let the
+/// plan arena and, per enumerated subset, the result and candidate plan
+/// sets (indexed by cost and resolution) plus the active combination
+/// list. Invoke [`IamaOptimizer::optimize`] with bounds and a resolution
+/// level (Algorithm 2), or [`IamaOptimizer::run_invocation`] to let the
 /// optimizer advance the resolution the way Algorithm 1's main loop does.
 ///
 /// The optimizer *owns* its query and cost model behind `Arc`s, so a
 /// session can be stored in a service map, handed between worker threads,
 /// or parked in a frontier cache and revived later — nothing borrows from
-/// a caller's stack frame.
+/// a caller's stack frame. The [`EnumerationPlan`] is likewise shared:
+/// construct with [`IamaOptimizer::with_plan`] to reuse one plan across
+/// all concurrent sessions of the same join-graph shape.
 ///
 /// ```
 /// use moqo_core::IamaOptimizer;
@@ -64,21 +162,15 @@ pub struct IamaOptimizer {
     model: SharedCostModel,
     schedule: ResolutionSchedule,
     config: IamaConfig,
+    plan: Arc<EnumerationPlan>,
     arena: PlanArena,
-    res: FxHashMap<TableSet, DynIndex<PlanId>>,
-    /// Result plans still eligible for sub-plan combination: the result
-    /// set minus plans shadowed by a plainly dominating, order-compatible
-    /// alternative (see [`IamaConfig::shadow_dominated`]). Mirrors `res`
-    /// exactly when shadowing is disabled.
-    res_active: FxHashMap<TableSet, Vec<ResEntry>>,
-    cand: FxHashMap<TableSet, DynIndex<PlanId>>,
+    /// Dense per-subset state, aligned with `plan.subsets()`.
+    states: Vec<SubsetState>,
+    /// Per-split watermark rectangles, aligned with `plan.splits()`.
+    watermarks: Vec<Watermark>,
+    /// `IsFresh` fallback for pairs the watermarks cannot certify
+    /// (combined during churn epochs). Empty over monotone series.
     pairs: PairSet,
-    /// Invocation at which each table set last received a result plan —
-    /// the auxiliary index the paper mentions for evaluating `ΔS`
-    /// efficiently (Section 4.2): a split whose operands both received
-    /// nothing this invocation has an empty Δ cross product and is skipped
-    /// without touching the plan sets.
-    last_res_insert: FxHashMap<TableSet, u32>,
     /// Tag for entries inserted during the current (or next) invocation.
     invocation: u32,
     /// Bounds and resolution of the most recent invocation.
@@ -93,25 +185,57 @@ impl IamaOptimizer {
         Self::with_config(spec, model, schedule, IamaConfig::default())
     }
 
-    /// Creates an optimizer with an explicit configuration.
+    /// Creates an optimizer with an explicit configuration, building a
+    /// private enumeration plan for the query's shape.
     pub fn with_config(
         spec: Arc<QuerySpec>,
         model: SharedCostModel,
         schedule: ResolutionSchedule,
         config: IamaConfig,
     ) -> Self {
+        let plan = Arc::new(EnumerationPlan::build(
+            &spec.graph,
+            config.allow_cross_products,
+        ));
+        Self::with_plan(spec, model, schedule, config, plan)
+    }
+
+    /// Creates an optimizer over a shared, precomputed enumeration plan.
+    ///
+    /// This is the serving-layer constructor: `moqo-engine` caches plans
+    /// by [`moqo_query::ShapeKey`] so all concurrent sessions over structurally
+    /// similar queries walk one immutable plan.
+    ///
+    /// # Panics
+    /// Panics if the query joins no table, or if `plan` was built for a
+    /// different join-graph shape or cross-product policy.
+    pub fn with_plan(
+        spec: Arc<QuerySpec>,
+        model: SharedCostModel,
+        schedule: ResolutionSchedule,
+        config: IamaConfig,
+        plan: Arc<EnumerationPlan>,
+    ) -> Self {
         assert!(spec.n_tables() >= 1, "query must join at least one table");
+        // Full structural check, not just the 64-bit ShapeKey: a hash
+        // collision in a shared plan cache must panic here rather than
+        // silently optimize over a wrong enumeration.
+        assert!(
+            plan.matches(&spec.graph, config.allow_cross_products),
+            "enumeration plan does not match the query's shape/policy"
+        );
+        let states = (0..plan.len()).map(|_| SubsetState::new()).collect();
+        let watermarks = vec![Watermark::default(); plan.total_splits()];
         Self {
             spec,
             model,
             schedule,
             config,
+            plan,
             arena: PlanArena::new(),
-            res: FxHashMap::default(),
-            res_active: FxHashMap::default(),
-            cand: FxHashMap::default(),
+            states,
+            watermarks,
             pairs: PairSet::new(),
-            last_res_insert: FxHashMap::default(),
             invocation: 0,
             last_ctx: None,
             scans_done: false,
@@ -147,6 +271,11 @@ impl IamaOptimizer {
     /// The plan arena (for `explain`-style rendering of frontier plans).
     pub fn arena(&self) -> &PlanArena {
         &self.arena
+    }
+
+    /// The (possibly shared) enumeration plan driving phase 2.
+    pub fn enumeration(&self) -> &Arc<EnumerationPlan> {
+        &self.plan
     }
 
     /// Cumulative instrumentation counters.
@@ -199,6 +328,9 @@ impl IamaOptimizer {
         let pairs0 = self.stats.pairs_generated;
         let res0 = self.stats.result_insertions;
         let cins0 = self.stats.candidate_insertions;
+        let subs0 = self.stats.subsets_visited;
+        let sv0 = self.stats.splits_visited;
+        let ss0 = self.stats.splits_skipped;
 
         // Scan plans are generated once per query, before the main loop
         // (Algorithm 1 lines 7-10); lazily on the first invocation here.
@@ -218,13 +350,14 @@ impl IamaOptimizer {
                 Some((lb, lr)) => lb.contains(bounds) && r >= *lr,
             };
 
-        // Phase 1 (Algorithm 2 lines 6-12): reconsider candidate plans.
-        let cand_keys: Vec<TableSet> = self.cand.keys().copied().collect();
-        for q in cand_keys {
-            let drained = match self.cand.get_mut(&q) {
-                Some(idx) => idx.drain(bounds, r as u8),
-                None => continue,
+        // Phase 1 (Algorithm 2 lines 6-12): reconsider candidate plans,
+        // in dense subset order (ascending cardinality).
+        for ix in 0..self.states.len() {
+            let drained = match self.states[ix].cand.as_mut() {
+                Some(idx) if !idx.is_empty() => idx.drain(bounds, r as u8),
+                _ => continue,
             };
+            let q = SubsetId::from_index(ix);
             for e in drained {
                 self.stats.candidate_retrievals += 1;
                 if self.config.track_invariants {
@@ -238,21 +371,19 @@ impl IamaOptimizer {
             }
         }
 
-        // Phase 2 (lines 13-22): generate plans from fresh combinations,
-        // by table sets of increasing cardinality, over all ordered splits.
-        let n = self.spec.n_tables();
-        for k in 2..=n {
-            for q in k_subsets(n, k) {
-                for (q1, q2) in q.splits() {
-                    // The paper enumerates ordered splits (q1 ⊂ Q, q2 = Q \ q1);
-                    // our split iterator is unordered, so emit both directions.
-                    for (a, b) in [(q1, q2), (q2, q1)] {
-                        if !self.config.allow_cross_products && self.spec.is_cross_product(a, b) {
-                            continue;
-                        }
-                        self.combine_fresh(q, a, b, bounds, r, use_delta);
-                    }
-                }
+        // Phase 2 (lines 13-22): generate plans from fresh combinations.
+        // The enumeration plan already fixed the visit order (subsets by
+        // increasing cardinality) and pre-resolved every valid ordered
+        // split, so this is a flat walk over two arrays.
+        for ix in 0..self.states.len() {
+            let info = self.plan.subsets()[ix];
+            if info.split_len == 0 {
+                continue;
+            }
+            self.stats.subsets_visited += 1;
+            let q = SubsetId::from_index(ix);
+            for off in 0..info.split_len as usize {
+                self.combine_split(q, info.split_offset as usize + off, bounds, r, use_delta);
             }
         }
 
@@ -271,6 +402,9 @@ impl IamaOptimizer {
             pairs_generated: self.stats.pairs_generated - pairs0,
             result_insertions: self.stats.result_insertions - res0,
             candidate_insertions: self.stats.candidate_insertions - cins0,
+            subsets_visited: self.stats.subsets_visited - subs0,
+            splits_visited: self.stats.splits_visited - sv0,
+            splits_skipped: self.stats.splits_skipped - ss0,
             used_delta: use_delta,
         };
         self.invocation += 1;
@@ -281,9 +415,12 @@ impl IamaOptimizer {
     /// The completed-plan tradeoffs `Res^Q[0..b, 0..r]` that `Visualize`
     /// would render (Algorithm 1 line 16).
     pub fn frontier(&self, bounds: &Bounds, r: usize) -> FrontierSnapshot {
-        let full = self.spec.all_tables();
         let mut points = Vec::new();
-        if let Some(idx) = self.res.get(&full) {
+        if let Some(idx) = self
+            .plan
+            .full_set()
+            .and_then(|id| self.states[id.index()].res.as_ref())
+        {
             idx.scan(bounds, r as u8, &mut |e| {
                 points.push(FrontierPoint {
                     plan: e.item,
@@ -297,18 +434,29 @@ impl IamaOptimizer {
 
     /// Total result-set entries across all table sets (diagnostics).
     pub fn result_set_size(&self) -> usize {
-        self.res.values().map(|i| i.len()).sum()
+        self.states
+            .iter()
+            .filter_map(|s| s.res.as_ref())
+            .map(|i| i.len())
+            .sum()
     }
 
     /// Total candidate-set entries across all table sets (diagnostics).
     pub fn candidate_set_size(&self) -> usize {
-        self.cand.values().map(|i| i.len()).sum()
+        self.states
+            .iter()
+            .filter_map(|s| s.cand.as_ref())
+            .map(|i| i.len())
+            .sum()
     }
 
     /// Generates and prunes all scan plans (Algorithm 1 lines 7-10).
     fn init_scans(&mut self, bounds: &Bounds, r: usize) {
         for pos in 0..self.spec.n_tables() {
-            let q = TableSet::singleton(pos);
+            let q = self
+                .plan
+                .subset_id(moqo_query::TableSet::singleton(pos))
+                .expect("singletons are always enumerated");
             for (op, cost, props) in self.model.scan_alternatives(&self.spec, pos) {
                 let pid = self.arena.push_scan(op, pos, cost, props);
                 self.stats.plans_generated += 1;
@@ -325,44 +473,129 @@ impl IamaOptimizer {
     }
 
     /// `Fresh` (Algorithm 3 lines 26-39) followed by pruning of each fresh
-    /// plan, for the ordered split `(q1, q2)` of `q`.
-    fn combine_fresh(
+    /// plan, for one precomputed ordered split of `q`.
+    ///
+    /// The fast path never hashes: the split's watermark rectangle settles
+    /// repeat pairs positionally, the subset's `last_res_insert` settles
+    /// the empty-Δ case, and a rectangle equal to both list lengths skips
+    /// the split without touching a single entry.
+    fn combine_split(
         &mut self,
-        q: TableSet,
-        q1: TableSet,
-        q2: TableSet,
+        q: SubsetId,
+        split_pos: usize,
         bounds: &Bounds,
         r: usize,
         use_delta: bool,
     ) {
         let cur = self.invocation;
-        if use_delta {
-            // Empty-Δ short-circuit via the last-insertion index: if
-            // neither operand set received a result plan this invocation,
-            // every cross product involving a Δ set is empty (the paper's
-            // empty-operand check), so skip without touching the sets.
-            let d1 = self.last_res_insert.get(&q1) == Some(&cur);
-            let d2 = self.last_res_insert.get(&q2) == Some(&cur);
-            if !d1 && !d2 {
-                return;
-            }
+        let split = self.plan.splits()[split_pos];
+        let (la, rb) = (split.left.index(), split.right.index());
+        let na = self.states[la].active.len() as u32;
+        let nb = self.states[rb].active.len() as u32;
+        if na == 0 || nb == 0 {
+            self.stats.splits_skipped += 1;
+            return;
         }
-        let p1s = match self.collect_res(q1, bounds, r) {
-            Some(v) => v,
-            None => return,
+        let wm = self.watermarks[split_pos];
+        if wm.left == na && wm.right == nb {
+            // The rectangle covers the whole cross product: nothing was
+            // appended to either operand since the split last combined.
+            self.stats.splits_skipped += 1;
+            return;
+        }
+        if use_delta
+            && self.states[la].last_res_insert != cur
+            && self.states[rb].last_res_insert != cur
+        {
+            // Empty-Δ short-circuit (the paper's empty-operand check):
+            // neither side received a result plan this invocation.
+            self.stats.splits_skipped += 1;
+            return;
+        }
+
+        // Operand views are collected once per subset per invocation (a
+        // subset feeding S splits is filtered once, not S times): by the
+        // time any split references it, its active list is final for this
+        // invocation — phase-1 drains precede phase 2, and a split's
+        // operands always carry a smaller dense id than its parent.
+        self.refresh_operands(la, bounds, r, cur);
+        self.refresh_operands(rb, bounds, r, cur);
+        // Take the cached views out of `self` for the duration of the
+        // pair loop (prune only ever touches `q`'s state, which is
+        // disjoint from both operands); restored untouched below.
+        let left = std::mem::take(&mut self.states[la].operands);
+        let right = std::mem::take(&mut self.states[rb].operands);
+        let restore = |s: &mut Self, left: Vec<Operand>, right: Vec<Operand>| {
+            s.states[la].operands = left;
+            s.states[rb].operands = right;
         };
-        let p2s = match self.collect_res(q2, bounds, r) {
-            Some(v) => v,
-            None => return,
+        if left.is_empty() || right.is_empty() {
+            self.stats.splits_skipped += 1;
+            restore(self, left, right);
+            return;
+        }
+        self.stats.splits_visited += 1;
+        let hw = left.len() + right.len();
+        if hw > self.stats.scratch_high_water {
+            self.stats.scratch_high_water = hw;
+        }
+        let (clean_l, clean_r) = (
+            self.states[la].operands_clean,
+            self.states[rb].operands_clean,
+        );
+
+        // May the rectangle advance to (na, nb) after this pass? Every
+        // pair below it must end up settled: `clean` guarantees excluded
+        // entries are tombstones (never needed again), and under Δ
+        // filtering the old×old block — skipped below — must already lie
+        // inside the rectangle.
+        let advance = if use_delta {
+            let old_l = old_prefix(&self.states[la].active, cur);
+            let old_r = old_prefix(&self.states[rb].active, cur);
+            clean_l && clean_r && wm.left >= old_l && wm.right >= old_r
+        } else {
+            clean_l && clean_r
         };
-        for e1 in &p1s {
-            for e2 in &p2s {
-                if use_delta && e1.invocation != cur && e2.invocation != cur {
-                    continue;
-                }
-                if !self.pairs.mark(e1.plan.0, e2.plan.0) {
-                    self.stats.stale_pairs_skipped += 1;
-                    continue;
+
+        // Fresh operands form a suffix (append-only lists, invocation
+        // order): under Δ filtering an old left operand pairs only with
+        // that suffix, so the old×old block is never iterated at all —
+        // the pass is O(Δ work), not O(cross product). Jumping to the
+        // suffix preserves the lexicographic (left, right) combination
+        // order of the full loop.
+        let fresh_r = right.partition_point(|o| !o.fresh);
+        let q1 = self.plan.tables(split.left);
+        let q2 = self.plan.tables(split.right);
+        for e1 in &left {
+            let skip_to = if use_delta && !e1.fresh { fresh_r } else { 0 };
+            for e2 in &right[skip_to..] {
+                if use_delta {
+                    // Δ rule: at least one side inserted this invocation.
+                    // Sound without any lookup — a pair involving an entry
+                    // appended now cannot have been combined before, and
+                    // old×old pairs within bounds were combined in the
+                    // monotone series that made `use_delta` true.
+                    if !advance {
+                        // The rectangle will not cover this pair: record
+                        // it for future churn epochs.
+                        self.pairs.mark(e1.plan.0, e2.plan.0);
+                    }
+                } else {
+                    // Full recombine (churn epoch): rectangle first, hash
+                    // for the remainder.
+                    if e1.idx < wm.left && e2.idx < wm.right {
+                        self.stats.pairs_skipped_watermark += 1;
+                        continue;
+                    }
+                    let settled = if advance {
+                        !self.pairs.is_fresh(e1.plan.0, e2.plan.0)
+                    } else {
+                        !self.pairs.mark(e1.plan.0, e2.plan.0)
+                    };
+                    if settled {
+                        self.stats.stale_pairs_skipped += 1;
+                        continue;
+                    }
                 }
                 self.stats.pairs_generated += 1;
                 if self.config.track_invariants {
@@ -372,17 +605,20 @@ impl IamaOptimizer {
                         .entry((e1.plan.0, e2.plan.0))
                         .or_insert(0) += 1;
                 }
-                let left = PlanInput {
+                let left_in = PlanInput {
                     tables: q1,
                     cost: e1.cost,
                     props: e1.props,
                 };
-                let right = PlanInput {
+                let right_in = PlanInput {
                     tables: q2,
                     cost: e2.cost,
                     props: e2.props,
                 };
-                for (op, cost, props) in self.model.join_alternatives(&self.spec, &left, &right) {
+                for (op, cost, props) in self
+                    .model
+                    .join_alternatives(&self.spec, &left_in, &right_in)
+                {
                     let pid = self.arena.push_join(op, e1.plan, e2.plan, cost, props);
                     self.stats.plans_generated += 1;
                     if self.config.track_invariants {
@@ -396,27 +632,33 @@ impl IamaOptimizer {
                 }
             }
         }
+        if advance {
+            self.watermarks[split_pos] = Watermark {
+                left: na,
+                right: nb,
+            };
+        }
+        restore(self, left, right);
     }
 
-    /// Collects the combinable subset of `Res^q[0..b, 0..r]`; `None` when
-    /// absent or empty. Reads the active list (shadowed plans excluded).
-    fn collect_res(&self, q: TableSet, bounds: &Bounds, r: usize) -> Option<Vec<ResEntry>> {
-        let active = self.res_active.get(&q)?;
-        let out: Vec<ResEntry> = active
-            .iter()
-            .filter(|e| e.level as usize <= r && bounds.respects(&e.cost))
-            .copied()
-            .collect();
-        if out.is_empty() {
-            None
-        } else {
-            Some(out)
+    /// Refills subset `x`'s cached operand view if it is stale for the
+    /// current invocation. The buffer is reused across invocations, so
+    /// phase 2 performs no allocations in steady state.
+    fn refresh_operands(&mut self, x: usize, bounds: &Bounds, r: usize, cur: u32) {
+        let state = &mut self.states[x];
+        if state.operands_inv == cur {
+            return;
         }
+        let mut buf = std::mem::take(&mut state.operands);
+        buf.clear();
+        state.operands_clean = collect_operands(&state.active, bounds, r, cur, &mut buf);
+        state.operands = buf;
+        state.operands_inv = cur;
     }
 
     /// `Prune` (Algorithm 3 lines 5-22): route a plan into the result set,
     /// the candidate set, or (at maximal resolution) discard it.
-    fn prune(&mut self, q: TableSet, plan: PlanId, bounds: &Bounds, r: usize) {
+    fn prune(&mut self, q: SubsetId, plan: PlanId, bounds: &Bounds, r: usize) {
         let (cost, props) = {
             let node = self.arena.node(plan);
             (node.cost, node.props)
@@ -434,7 +676,7 @@ impl IamaOptimizer {
         // same witness would dominate again.
         let mut comparisons = 0u64;
         let mut best_factor = f64::INFINITY;
-        if let Some(idx) = self.res.get(&q) {
+        if let Some(idx) = self.states[q.index()].res.as_ref() {
             let dom_region = bounds.intersect(&Bounds::new(cost.scaled(alpha)));
             let arena = &self.arena;
             let eager = self.config.eager_level_skip;
@@ -486,40 +728,87 @@ impl IamaOptimizer {
         }
     }
 
-    fn insert_result(&mut self, q: TableSet, plan: PlanId, cost: CostVector, level: u8) {
+    fn insert_result(&mut self, q: SubsetId, plan: PlanId, cost: CostVector, level: u8) {
         let dim = self.model.dim();
         let kind = self.config.index_kind;
-        self.res
-            .entry(q)
-            .or_insert_with(|| DynIndex::new(kind, dim))
-            .insert(Entry::new(plan, cost, level, self.invocation));
+        let invocation = self.invocation;
         let props = self.arena.node(plan).props;
-        let active = self.res_active.entry(q).or_default();
-        if self.config.shadow_dominated {
+        let shadow = self.config.shadow_dominated;
+        let state = &mut self.states[q.index()];
+        state
+            .res
+            .get_or_insert_with(|| DynIndex::new(kind, dim))
+            .insert(Entry::new(plan, cost, level, invocation));
+        if shadow {
             // Shadow plainly dominated, order-substitutable plans: they
-            // stop combining but stay in the index as pruning witnesses.
-            active.retain(|e| !(props.satisfies(&e.props) && cost.dominates(&e.cost)));
+            // stop combining but stay in the index as pruning witnesses,
+            // and stay in the list as tombstones so positions are stable.
+            for e in state.active.iter_mut() {
+                if !e.shadowed && props.satisfies(&e.props) && cost.dominates(&e.cost) {
+                    e.shadowed = true;
+                }
+            }
         }
-        active.push(ResEntry {
+        state.active.push(ActiveEntry {
             plan,
             cost,
             props,
-            invocation: self.invocation,
+            invocation,
             level,
+            shadowed: false,
         });
-        self.last_res_insert.insert(q, self.invocation);
+        state.last_res_insert = invocation;
         self.stats.result_insertions += 1;
     }
 
-    fn insert_candidate(&mut self, q: TableSet, plan: PlanId, cost: CostVector, level: u8) {
+    fn insert_candidate(&mut self, q: SubsetId, plan: PlanId, cost: CostVector, level: u8) {
         let dim = self.model.dim();
         let kind = self.config.index_kind;
-        self.cand
-            .entry(q)
-            .or_insert_with(|| DynIndex::new(kind, dim))
-            .insert(Entry::new(plan, cost, level, self.invocation));
+        let invocation = self.invocation;
+        self.states[q.index()]
+            .cand
+            .get_or_insert_with(|| DynIndex::new(kind, dim))
+            .insert(Entry::new(plan, cost, level, invocation));
         self.stats.candidate_insertions += 1;
     }
+}
+
+/// Copies the live, in-context entries of an active list into `out`,
+/// tagging each with its stable position and Δ-freshness. Returns `true`
+/// if the list is *clean*: every non-tombstoned entry made it into `out`,
+/// i.e. the excluded remainder is settled forever and a watermark may
+/// advance across it.
+fn collect_operands(
+    active: &[ActiveEntry],
+    bounds: &Bounds,
+    r: usize,
+    cur: u32,
+    out: &mut Vec<Operand>,
+) -> bool {
+    let mut clean = true;
+    for (i, e) in active.iter().enumerate() {
+        if e.shadowed {
+            continue;
+        }
+        if e.level as usize <= r && bounds.respects(&e.cost) {
+            out.push(Operand {
+                idx: i as u32,
+                plan: e.plan,
+                cost: e.cost,
+                props: e.props,
+                fresh: e.invocation == cur,
+            });
+        } else {
+            clean = false;
+        }
+    }
+    clean
+}
+
+/// Number of leading entries inserted before invocation `cur` (entries
+/// are appended in invocation order, so the old block is a prefix).
+fn old_prefix(active: &[ActiveEntry], cur: u32) -> u32 {
+    active.partition_point(|e| e.invocation < cur) as u32
 }
 
 #[cfg(test)]
@@ -635,6 +924,27 @@ mod tests {
         );
         assert_eq!(report.pairs_generated, 0);
         assert_eq!(report.candidates_retrieved, 0);
+        // The watermarks settle every split without a single pair visit.
+        assert_eq!(report.splits_visited, 0, "watermarks failed to settle");
+    }
+
+    #[test]
+    fn steady_state_skips_splits_by_watermark_not_hash() {
+        // The monotone regime must never populate the IsFresh fallback:
+        // Lemma 6 is enforced purely by watermark position.
+        let spec = Arc::new(testkit::chain_query(4, 150_000));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
+        let b = Bounds::unbounded(3);
+        for r in 0..=opt.schedule().r_max() {
+            opt.optimize(&b, r);
+        }
+        opt.optimize(&b, opt.schedule().r_max());
+        assert!(
+            opt.pairs.is_empty(),
+            "monotone series must not touch the pair hash"
+        );
+        assert!(opt.stats().splits_skipped > 0);
     }
 
     #[test]
@@ -732,6 +1042,66 @@ mod tests {
         let report = opt.optimize(&b, 0);
         assert!(report.frontier_size >= 1);
         assert_eq!(report.pairs_generated, 0);
+    }
+
+    #[test]
+    fn shared_plan_reuse_across_similar_queries() {
+        // One enumeration plan drives two structurally identical queries
+        // with different statistics — the cross-session sharing shape.
+        let a = Arc::new(testkit::chain_query(4, 100_000));
+        let z = Arc::new(testkit::chain_query(4, 7_777));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let plan = Arc::new(EnumerationPlan::build(&a.graph, false));
+        let b = Bounds::unbounded(3);
+        for spec in [a, z] {
+            let mut opt = IamaOptimizer::with_plan(
+                spec,
+                model.clone(),
+                schedule(),
+                IamaConfig::default(),
+                Arc::clone(&plan),
+            );
+            let report = opt.optimize(&b, 0);
+            assert!(report.frontier_size > 0);
+        }
+        assert_eq!(Arc::strong_count(&plan), 1, "optimizers dropped the plan");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_mismatched_enumeration_plan() {
+        let chain = Arc::new(testkit::chain_query(3, 1000));
+        let star = testkit::star_query(3, 1000);
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let wrong = Arc::new(EnumerationPlan::build(&star.graph, false));
+        IamaOptimizer::with_plan(chain, model, schedule(), IamaConfig::default(), wrong);
+    }
+
+    #[test]
+    fn disconnected_query_yields_empty_frontier_without_cross_products() {
+        use moqo_catalog::CatalogBuilder;
+        let mut cb = CatalogBuilder::new();
+        let t0 = cb.add_table("iso_a", 1000, 50, vec![]);
+        let t1 = cb.add_table("iso_b", 2000, 50, vec![]);
+        let g = moqo_query::JoinGraph::new(vec![t0, t1]);
+        let spec = Arc::new(QuerySpec::new("disconnected", g, Arc::new(cb.build())));
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let b = Bounds::unbounded(3);
+        let mut opt = IamaOptimizer::new(spec.clone(), model.clone(), schedule());
+        let report = opt.optimize(&b, 0);
+        assert_eq!(report.frontier_size, 0);
+        assert_eq!(report.pairs_generated, 0);
+        // With cross products allowed the same query completes.
+        let mut cp = IamaOptimizer::with_config(
+            spec,
+            model,
+            schedule(),
+            IamaConfig {
+                allow_cross_products: true,
+                ..IamaConfig::default()
+            },
+        );
+        assert!(cp.optimize(&b, 0).frontier_size > 0);
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct InvocationReport {
     pub result_insertions: u64,
     /// Candidate-set insertions during this invocation.
     pub candidate_insertions: u64,
+    /// Enumerated subsets visited in phase 2.
+    pub subsets_visited: u64,
+    /// Splits whose pair loop ran during this invocation.
+    pub splits_visited: u64,
+    /// Splits settled without touching a single entry (empty operand,
+    /// full watermark rectangle, or empty Δ).
+    pub splits_skipped: u64,
     /// Whether Δ-set filtering was applicable (monotone invocation series).
     pub used_delta: bool,
 }
@@ -55,6 +62,9 @@ mod tests {
             pairs_generated: 0,
             result_insertions: 0,
             candidate_insertions: 0,
+            subsets_visited: 0,
+            splits_visited: 0,
+            splits_skipped: 0,
             used_delta: false,
         };
         assert!((r.seconds() - 1.5).abs() < 1e-9);

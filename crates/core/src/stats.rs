@@ -24,10 +24,27 @@ pub struct OptimizerStats {
     pub candidate_insertions: u64,
     /// Candidates discarded at the maximal resolution.
     pub candidates_discarded: u64,
-    /// Pairs skipped by the `IsFresh` check (already combined earlier).
+    /// Pairs skipped by the `IsFresh` hash fallback (combined during an
+    /// earlier churn epoch and not yet covered by a watermark rectangle).
     pub stale_pairs_skipped: u64,
+    /// Pairs skipped positionally by a split's watermark rectangle during
+    /// a full (non-Δ) recombine — the hash-free fast path for Lemma 6.
+    pub pairs_skipped_watermark: u64,
     /// Invocations that could use Δ-set filtering in `Fresh`.
     pub delta_invocations: u32,
+    /// Enumerated subsets visited in phase 2 (those owning at least one
+    /// valid split; singletons and irrelevant subsets are never walked).
+    pub subsets_visited: u64,
+    /// Splits whose operand pair loop actually ran.
+    pub splits_visited: u64,
+    /// Splits settled without touching a single entry: empty operand,
+    /// watermark rectangle covering the whole cross product, or the
+    /// empty-Δ short-circuit.
+    pub splits_skipped: u64,
+    /// High-water mark of the reusable per-subset operand buffers (left
+    /// plus right view of the largest combination), the peak transient
+    /// footprint of phase 2.
+    pub scratch_high_water: usize,
 
     /// Per-plan-signature generation counts (Lemma 5), keyed by
     /// `(operator, left child, right child)`. Tracked only on demand.

@@ -20,7 +20,7 @@ pub const MAX_DIM: usize = 8;
 ///
 /// Lower values are better for every metric. Metrics where "more is better"
 /// (e.g. result precision) must be encoded as a loss (e.g. `1 - precision`)
-/// before entering the optimizer; [`moqo-costmodel`] does this.
+/// before entering the optimizer; `moqo-costmodel` does this.
 #[derive(Clone, Copy, PartialEq)]
 pub struct CostVector {
     vals: [f64; MAX_DIM],
@@ -64,13 +64,20 @@ impl CostVector {
     }
 
     /// Builds a vector by evaluating `f` for each metric index.
+    ///
+    /// # Panics
+    /// Panics under the same component rules as [`CostVector::new`]: NaN
+    /// and negative values are rejected in all build profiles (a NaN that
+    /// slipped through here would silently poison every dominance test it
+    /// ever participates in), infinite values are allowed.
     #[inline]
     pub fn from_fn(dim: usize, mut f: impl FnMut(usize) -> f64) -> Self {
         assert!(dim <= MAX_DIM);
         let mut vals = [0.0; MAX_DIM];
         for (i, slot) in vals.iter_mut().enumerate().take(dim) {
             let v = f(i);
-            debug_assert!(!v.is_nan() && v >= 0.0, "invalid cost component {v}");
+            assert!(!v.is_nan(), "cost component {i} is NaN");
+            assert!(v >= 0.0, "cost component {i} is negative: {v}");
             *slot = v;
         }
         Self {
@@ -270,6 +277,24 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn rejects_nan_components() {
         CostVector::new(&[f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn from_fn_rejects_negative_components() {
+        CostVector::from_fn(2, |i| if i == 1 { -1.0 } else { 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn from_fn_rejects_nan_components() {
+        CostVector::from_fn(1, |_| f64::NAN);
+    }
+
+    #[test]
+    fn from_fn_allows_infinite_components() {
+        let c = CostVector::from_fn(2, |_| f64::INFINITY);
+        assert!(!c.is_finite());
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! * [`FrontierCache`] — parked optimizers of finished sessions, keyed by
 //!   fingerprint. A repeated query starts from the warm frontier: its
 //!   first invocation reports `plans_generated == 0`.
+//! * [`PlanCache`] — shared `Arc<EnumerationPlan>`s keyed by [`ShapeKey`],
+//!   the shape component of the fingerprint. Structurally *similar*
+//!   queries (same join-graph shape, any statistics) walk one precomputed
+//!   enumeration plane — the first step of cross-session sharing beyond
+//!   exact repeats.
 //!
 //! ```
 //! use moqo_cost::ResolutionSchedule;
@@ -42,10 +47,16 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod manager;
+pub mod plans;
 
 pub use cache::{CacheStats, FrontierCache};
 pub use fingerprint::QueryFingerprint;
 pub use manager::{EngineConfig, SessionId, SessionManager, SessionStatus};
+pub use plans::{PlanCache, PlanCacheStats};
+
+// Re-exported so engine users can name the shared-plan vocabulary without
+// a direct moqo-query dependency.
+pub use moqo_query::{EnumerationPlan, ShapeKey};
 
 // Re-exported so engine users can speak the session vocabulary without a
 // direct moqo-core dependency.

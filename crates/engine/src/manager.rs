@@ -20,8 +20,9 @@
 
 use crate::cache::{CacheStats, FrontierCache};
 use crate::fingerprint::QueryFingerprint;
+use crate::plans::{PlanCache, PlanCacheStats};
 use moqo_core::{
-    FrontierSnapshot, IamaOptimizer, InvocationReport, Session, StepOutcome, UserEvent,
+    FrontierSnapshot, IamaConfig, IamaOptimizer, InvocationReport, Session, StepOutcome, UserEvent,
 };
 use moqo_cost::{Bounds, ResolutionSchedule};
 use moqo_costmodel::SharedCostModel;
@@ -166,6 +167,10 @@ pub struct SessionManager {
     model: SharedCostModel,
     schedule: ResolutionSchedule,
     auto_ticks: usize,
+    /// Enumeration plans shared across sessions, keyed by join-graph
+    /// shape: structurally similar queries (same shape, any statistics)
+    /// reuse one plan even when their frontiers cannot be shared.
+    plans: PlanCache,
 }
 
 impl SessionManager {
@@ -206,6 +211,7 @@ impl SessionManager {
             model,
             schedule,
             auto_ticks,
+            plans: PlanCache::new(),
         }
     }
 
@@ -220,11 +226,25 @@ impl SessionManager {
     /// Admits a new session with explicit initial cost bounds.
     pub fn submit_with_bounds(&self, spec: Arc<QuerySpec>, bounds: Bounds) -> SessionId {
         let fp = QueryFingerprint::of(&spec, self.model.metrics());
+        // Resolve the shared enumeration plan outside the state lock —
+        // plan construction can be expensive for wide shapes and must not
+        // stall unrelated sessions. A warm frontier-cache hit below makes
+        // this a pointer clone at worst (the shape is already cached).
+        let config = IamaConfig::default();
+        let plan = self
+            .plans
+            .get_or_build(&spec.graph, config.allow_cross_products);
         let mut state = self.lock();
         let (optimizer, warm) = match state.cache.take(fp) {
             Some(opt) => (opt, true),
             None => (
-                IamaOptimizer::new(spec.clone(), self.model.clone(), self.schedule.clone()),
+                IamaOptimizer::with_plan(
+                    spec.clone(),
+                    self.model.clone(),
+                    self.schedule.clone(),
+                    config,
+                    plan,
+                ),
                 false,
             ),
         };
@@ -341,6 +361,11 @@ impl SessionManager {
     /// Effectiveness counters of the warm-frontier cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.lock().cache.stats()
+    }
+
+    /// Effectiveness counters of the shared enumeration-plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// Blocks until no session has runnable work and no worker holds one.

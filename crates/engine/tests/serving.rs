@@ -167,3 +167,26 @@ fn eight_plus_concurrent_sessions_drain_on_a_small_pool() {
         assert!(!s.frontier.is_empty(), "{}", s.query);
     }
 }
+
+#[test]
+fn similar_queries_share_one_enumeration_plan() {
+    let m = manager(2);
+    // Three chain-4 queries with pairwise different statistics: distinct
+    // fingerprints (no frontier sharing) but one join-graph shape.
+    let ids: Vec<_> = [10_000u64, 50_000, 250_000]
+        .into_iter()
+        .map(|card| m.submit(Arc::new(testkit::chain_query(4, card))))
+        .collect();
+    // A different shape forces a second plan.
+    let star = m.submit(Arc::new(testkit::star_query(4, 100_000)));
+    assert!(m.wait_idle(IDLE));
+    for id in ids.iter().chain([&star]) {
+        assert!(!m.frontier(*id).unwrap().is_empty());
+    }
+    let plans = m.plan_cache_stats();
+    assert_eq!(plans.entries, 2, "expected one plan per shape");
+    assert_eq!(plans.misses, 2);
+    assert_eq!(plans.hits, 2, "similar chain queries must share the plan");
+    // No frontier-cache involvement: these are four distinct fingerprints.
+    assert_eq!(m.cache_stats().hits, 0);
+}

@@ -10,16 +10,22 @@
 //!   selectivities (local predicates applied as early as possible);
 //! * [`QuerySpec`] — a query bound to a catalog, with cardinality
 //!   estimation for arbitrary table subsets;
-//! * [`testkit`] — synthetic query generators (chain, star, clique,
-//!   random) used in tests, examples, and benchmarks.
+//! * [`enumeration`] — the precomputed enumeration plane: connected
+//!   subsets by cardinality with their valid ordered splits and a dense
+//!   `TableSet → SubsetId` rank, built once per join-graph *shape*
+//!   ([`ShapeKey`]) and shared across structurally similar queries;
+//! * [`testkit`] — synthetic query generators (chain, star, cycle,
+//!   clique, random) used in tests, examples, and benchmarks.
 
 #![warn(missing_docs)]
 
+pub mod enumeration;
 pub mod graph;
 pub mod spec;
 pub mod tableset;
 pub mod testkit;
 
+pub use enumeration::{EnumerationPlan, ShapeKey, Split, SubsetId, SubsetInfo};
 pub use graph::{JoinEdge, JoinGraph};
 pub use spec::QuerySpec;
 pub use tableset::{k_subsets, SplitIter, SubsetIter, TableSet};

@@ -56,6 +56,21 @@ pub fn star_query(n: usize, fact_card: u64) -> QuerySpec {
     QuerySpec::new(format!("star-{n}"), g, Arc::new(b.build()))
 }
 
+/// A cycle query: `t0 ⋈ t1 ⋈ … ⋈ t{n-1}` with neighbour edges plus a
+/// closing edge between `t{n-1}` and `t0` (requires `n >= 3`; smaller `n`
+/// degenerates to a chain). Cycles exercise enumeration beyond chains —
+/// every rotation of the ring is a connected subset — without the `O(3^n)`
+/// blow-up of cliques.
+pub fn cycle_query(n: usize, base_card: u64) -> QuerySpec {
+    assert!(n >= 1);
+    let mut spec = chain_query(n, base_card);
+    if n >= 3 {
+        spec.graph.add_edge(n - 1, 0, 1.0 / base_card as f64);
+    }
+    spec.name = format!("cycle-{n}");
+    spec
+}
+
 /// A clique query: every pair of tables is connected.
 pub fn clique_query(n: usize, base_card: u64) -> QuerySpec {
     assert!(n >= 1);
@@ -156,6 +171,17 @@ mod tests {
         assert_eq!(q.graph.edges.len(), 3);
         assert!(q.graph.edges.iter().all(|e| e.left == 0));
         assert!(q.graph.is_connected());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let q = cycle_query(5, 10_000);
+        assert_eq!(q.graph.edges.len(), 5);
+        assert!(q.graph.is_connected());
+        assert_eq!(q.name, "cycle-5");
+        // Degenerate sizes fall back to chains.
+        assert_eq!(cycle_query(2, 100).graph.edges.len(), 1);
+        assert_eq!(cycle_query(1, 100).graph.edges.len(), 0);
     }
 
     #[test]

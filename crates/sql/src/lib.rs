@@ -20,7 +20,7 @@
 //! * [`parser`] builds the [`ast`] (joins via comma-separated `FROM` plus
 //!   `WHERE` equi-join predicates, local filters, `IN`/`EXISTS`
 //!   sub-queries);
-//! * [`decompose`] flattens the statement into one [`QuerySpec`] per
+//! * [`mod@decompose`] flattens the statement into one [`QuerySpec`] per
 //!   query block, estimating join selectivities from catalog column
 //!   statistics (`1 / max(ndv)`) and filter selectivities with the
 //!   classic System-R heuristics (equality `1/ndv`, range `1/3`).

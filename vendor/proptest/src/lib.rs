@@ -424,7 +424,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: exact or half-open range.
+    /// Length specification for [`vec()`]: exact or half-open range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -450,7 +450,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for vectors of `element` values; see [`vec`].
+    /// Strategy for vectors of `element` values; see [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
