@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod serve;
 pub mod workload;
 
 pub use experiments::*;
+pub use serve::{serving_experiment, serving_workload, ServingPhaseReport};
 pub use workload::{bench_model, bench_model_small, ExperimentSetup};

@@ -1,0 +1,190 @@
+//! Serving-front experiment: submit→first-frontier latency and shard
+//! warm-hit rate under a skewed fingerprint workload (`repro serve`).
+//!
+//! The interactive SLO of an anytime optimizer service is not total
+//! optimization time but **time to first visualized frontier** — how long
+//! after `submit` a user sees tradeoffs to drag bounds over. The
+//! experiment measures it twice over the same skewed workload (a few hot
+//! templates dominating, an ad-hoc tail): once against a cold engine, and
+//! again after every session retired — when the hot fingerprints resume
+//! from parked frontiers on their home shards and the first invocation
+//! does zero plan generation.
+
+use moqo_cost::ResolutionSchedule;
+use moqo_costmodel::StandardCostModel;
+use moqo_engine::EngineConfig;
+use moqo_query::{testkit, QuerySpec};
+use moqo_serve::{GlobalSessionId, ShardConfig, ShardedEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency and warm-hit figures for one pass over the workload.
+#[derive(Clone, Debug)]
+pub struct ServingPhaseReport {
+    /// `"cold"` or `"warm"`.
+    pub label: &'static str,
+    /// Sessions submitted.
+    pub sessions: usize,
+    /// Distinct fingerprints in the workload.
+    pub distinct: usize,
+    /// Mean submit→first-frontier latency (microseconds).
+    pub mean_us: f64,
+    /// Median latency (microseconds).
+    pub p50_us: f64,
+    /// Worst latency (microseconds).
+    pub max_us: f64,
+    /// Submissions routed to a shard already parking their frontier.
+    pub warm_routed: u64,
+    /// Sessions whose first invocation generated zero plans.
+    pub zero_plan_starts: usize,
+}
+
+/// A skewed fingerprint workload: template `k` repeats ~`16/(k+1)` times.
+pub fn serving_workload(fast: bool) -> Vec<Arc<QuerySpec>> {
+    let mut templates: Vec<Arc<QuerySpec>> = Vec::new();
+    let top = if fast { 4 } else { 6 };
+    for n in 2..=top {
+        templates.push(Arc::new(testkit::chain_query(n, 60_000)));
+        templates.push(Arc::new(testkit::star_query(n, 90_000)));
+    }
+    for seed in [3, 7, 11, 13] {
+        templates.push(Arc::new(testkit::random_query(4, seed)));
+    }
+    let (total, hot) = if fast { (24, 8) } else { (64, 16) };
+    let mut specs = Vec::new();
+    let mut k = 0usize;
+    while specs.len() < total {
+        for _ in 0..(hot / (k + 1)).max(1) {
+            if specs.len() < total {
+                specs.push(templates[k % templates.len()].clone());
+            }
+        }
+        k += 1;
+    }
+    specs
+}
+
+/// Submits the workload and records submit→first-frontier latency per
+/// session via the per-session watch channels (no engine-global waits on
+/// the measurement path).
+fn run_phase(
+    engine: &ShardedEngine,
+    specs: &[Arc<QuerySpec>],
+    label: &'static str,
+) -> ServingPhaseReport {
+    let warm_before: u64 = engine.shard_stats().iter().map(|s| s.warm_routed).sum();
+    let mut watchers: Vec<(GlobalSessionId, Instant, std::sync::mpsc::Receiver<_>)> = Vec::new();
+    for spec in specs {
+        let t0 = Instant::now();
+        let (gid, _) = engine.submit(spec.clone());
+        let rx = engine.watch(gid).expect("fresh session");
+        watchers.push((gid, t0, rx));
+    }
+    // Round-robin over the channels until every session showed a frontier.
+    let mut latency = vec![None::<Duration>; watchers.len()];
+    let mut zero_plan_starts = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while latency.iter().any(Option::is_none) {
+        assert!(Instant::now() < deadline, "serving experiment stalled");
+        let mut progressed = false;
+        for (i, (_, t0, rx)) in watchers.iter().enumerate() {
+            if latency[i].is_some() {
+                continue;
+            }
+            while let Ok(status) = rx.try_recv() {
+                progressed = true;
+                if !status.frontier.is_empty() && latency[i].is_none() {
+                    latency[i] = Some(t0.elapsed());
+                    if status
+                        .first_report
+                        .as_ref()
+                        .is_some_and(|r| r.plans_generated == 0)
+                    {
+                        zero_plan_starts += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    assert!(engine.wait_idle(Duration::from_secs(600)));
+    for (gid, _, _) in &watchers {
+        engine.finish(*gid);
+    }
+    let mut us: Vec<f64> = latency
+        .into_iter()
+        .map(|d| d.expect("measured").as_secs_f64() * 1e6)
+        .collect();
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let distinct = {
+        let mut fps: Vec<u64> = specs
+            .iter()
+            .map(|s| engine.fingerprint(s).as_u64())
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        fps.len()
+    };
+    let warm_after: u64 = engine.shard_stats().iter().map(|s| s.warm_routed).sum();
+    ServingPhaseReport {
+        label,
+        sessions: specs.len(),
+        distinct,
+        mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        p50_us: us[us.len() / 2],
+        max_us: us.last().copied().unwrap_or(0.0),
+        warm_routed: warm_after - warm_before,
+        zero_plan_starts,
+    }
+}
+
+/// Runs the cold pass and the warm pass over one sharded engine.
+pub fn serving_experiment(fast: bool) -> Vec<ServingPhaseReport> {
+    let engine = ShardedEngine::new(
+        Arc::new(StandardCostModel::paper_metrics()),
+        ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.02, 0.4),
+        ShardConfig {
+            shards: 4,
+            engine: EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            rebalance_headroom: 8,
+        },
+    );
+    let specs = serving_workload(fast);
+    // Cold pass: every fingerprint is new; frontiers park on finish.
+    let cold = run_phase(&engine, &specs, "cold");
+    // Warm pass: repeats resume parked frontiers on their warm shards.
+    let warm = run_phase(&engine, &specs, "warm");
+    vec![cold, warm]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_pass_serves_from_parked_frontiers() {
+        let reports = serving_experiment(true);
+        assert_eq!(reports.len(), 2);
+        let (cold, warm) = (&reports[0], &reports[1]);
+        assert_eq!(cold.sessions, warm.sessions);
+        assert_eq!(cold.warm_routed, 0, "first sight cannot be warm");
+        assert_eq!(cold.zero_plan_starts, 0);
+        // The cold pass parked each fingerprint at least once (rebalanced
+        // duplicates may have parked copies on several shards). The warm
+        // pass resumes every parked copy — `take` transfers ownership, so
+        // concurrent duplicates beyond the parked copies run cold — and
+        // exactly the warm-routed sessions start with zero plans.
+        assert!(
+            warm.warm_routed >= warm.distinct as u64,
+            "every distinct fingerprint must resume warm at least once: {warm:?}"
+        );
+        assert_eq!(warm.zero_plan_starts as u64, warm.warm_routed);
+        assert!(cold.mean_us > 0.0 && warm.mean_us > 0.0);
+    }
+}

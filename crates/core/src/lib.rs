@@ -28,6 +28,7 @@ pub mod optimizer;
 pub mod preference;
 pub mod report;
 pub mod session;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::IamaConfig;
@@ -36,4 +37,5 @@ pub use optimizer::IamaOptimizer;
 pub use preference::Preference;
 pub use report::InvocationReport;
 pub use session::{Session, StepOutcome, UserEvent};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::OptimizerStats;

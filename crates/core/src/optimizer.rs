@@ -44,18 +44,18 @@ use std::time::Instant;
 /// [`IamaConfig::shadow_dominated`]), so list *positions* are stable and
 /// the per-split watermark rectangles remain meaningful forever.
 #[derive(Clone, Copy)]
-struct ActiveEntry {
-    plan: PlanId,
-    cost: CostVector,
-    props: PhysicalProps,
+pub(crate) struct ActiveEntry {
+    pub(crate) plan: PlanId,
+    pub(crate) cost: CostVector,
+    pub(crate) props: PhysicalProps,
     /// Invocation at which the entry was appended; non-decreasing along
     /// the list, so entries of the current invocation form a suffix.
-    invocation: u32,
-    level: u8,
+    pub(crate) invocation: u32,
+    pub(crate) level: u8,
     /// Tombstone: excluded from all future combinations, kept for
     /// positional stability (the plan itself stays in the cost index as a
     /// pruning witness).
-    shadowed: bool,
+    pub(crate) shadowed: bool,
 }
 
 /// A collected combination operand: a live, in-context active entry plus
@@ -70,20 +70,20 @@ struct Operand {
 }
 
 /// All per-subset optimizer state, indexed densely by [`SubsetId`].
-struct SubsetState {
+pub(crate) struct SubsetState {
     /// Result plans `Res^q`, indexed by cost and resolution. Lazily
     /// created: untouched subsets cost one `Option` each.
-    res: Option<DynIndex<PlanId>>,
+    pub(crate) res: Option<DynIndex<PlanId>>,
     /// Candidate plans `Cand^q`.
-    cand: Option<DynIndex<PlanId>>,
+    pub(crate) cand: Option<DynIndex<PlanId>>,
     /// Append-only combinable view of the result set (the Δ-list of the
     /// current invocation is its suffix with `invocation == current`).
-    active: Vec<ActiveEntry>,
+    pub(crate) active: Vec<ActiveEntry>,
     /// Invocation of the most recent result insertion — the auxiliary
     /// index the paper mentions for evaluating `ΔS` cheaply (Section
     /// 4.2): a split whose operands both saw no insertion this invocation
     /// has an empty Δ cross product. `u32::MAX` = never.
-    last_res_insert: u32,
+    pub(crate) last_res_insert: u32,
     /// Memoized combination view of `active` under the current
     /// invocation's `(bounds, r)` context, valid while `operands_inv`
     /// equals the current invocation: a subset feeding many splits is
@@ -98,7 +98,7 @@ struct SubsetState {
 }
 
 impl SubsetState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             res: None,
             cand: None,
@@ -114,9 +114,9 @@ impl SubsetState {
 /// Per-split freshness watermark: every operand pair with positions below
 /// `(left, right)` is settled (combined once, or tombstoned).
 #[derive(Clone, Copy, Default)]
-struct Watermark {
-    left: u32,
-    right: u32,
+pub(crate) struct Watermark {
+    pub(crate) left: u32,
+    pub(crate) right: u32,
 }
 
 /// The Incremental Anytime MOQO optimizer (IAMA).
@@ -158,25 +158,25 @@ struct Watermark {
 /// assert_eq!(again.plans_generated, 0);
 /// ```
 pub struct IamaOptimizer {
-    spec: Arc<QuerySpec>,
-    model: SharedCostModel,
-    schedule: ResolutionSchedule,
-    config: IamaConfig,
-    plan: Arc<EnumerationPlan>,
-    arena: PlanArena,
+    pub(crate) spec: Arc<QuerySpec>,
+    pub(crate) model: SharedCostModel,
+    pub(crate) schedule: ResolutionSchedule,
+    pub(crate) config: IamaConfig,
+    pub(crate) plan: Arc<EnumerationPlan>,
+    pub(crate) arena: PlanArena,
     /// Dense per-subset state, aligned with `plan.subsets()`.
-    states: Vec<SubsetState>,
+    pub(crate) states: Vec<SubsetState>,
     /// Per-split watermark rectangles, aligned with `plan.splits()`.
-    watermarks: Vec<Watermark>,
+    pub(crate) watermarks: Vec<Watermark>,
     /// `IsFresh` fallback for pairs the watermarks cannot certify
     /// (combined during churn epochs). Empty over monotone series.
-    pairs: PairSet,
+    pub(crate) pairs: PairSet,
     /// Tag for entries inserted during the current (or next) invocation.
-    invocation: u32,
+    pub(crate) invocation: u32,
     /// Bounds and resolution of the most recent invocation.
-    last_ctx: Option<(Bounds, usize)>,
-    scans_done: bool,
-    stats: OptimizerStats,
+    pub(crate) last_ctx: Option<(Bounds, usize)>,
+    pub(crate) scans_done: bool,
+    pub(crate) stats: OptimizerStats,
 }
 
 impl IamaOptimizer {

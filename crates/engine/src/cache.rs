@@ -10,11 +10,17 @@
 //! This is only possible because [`IamaOptimizer`] owns its state behind
 //! `Arc`s; a borrowed optimizer could never outlive the session that
 //! created it.
+//!
+//! Recency is tracked with a monotone sequence number per entry instead of
+//! an explicit LRU list: `take` and `put` are hash-map operations plus a
+//! tick bump (`O(1)`), and only an eviction — which already pays for a
+//! map insert and drops a whole optimizer — scans for the minimum tick.
+//! The earlier implementation kept a `VecDeque` order list and paid an
+//! `O(n)` `retain` on *every* hit and every overwrite.
 
 use crate::fingerprint::QueryFingerprint;
 use moqo_core::IamaOptimizer;
 use moqo_index::FxHashMap;
-use std::collections::VecDeque;
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -29,6 +35,15 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// A parked optimizer plus the tick of its last use.
+struct Parked {
+    optimizer: IamaOptimizer,
+    /// Value of the cache's tick counter when this entry was last parked.
+    /// Strictly increasing across `put`s, so the minimum identifies the
+    /// least-recently-parked entry without any ordering side structure.
+    tick: u64,
+}
+
 /// LRU cache of parked optimizers keyed by [`QueryFingerprint`].
 ///
 /// `take` removes the entry: an optimizer is a mutable object owned by
@@ -37,9 +52,9 @@ pub struct CacheStats {
 #[derive(Default)]
 pub struct FrontierCache {
     capacity: usize,
-    map: FxHashMap<QueryFingerprint, IamaOptimizer>,
-    /// Least-recently-used order, front = coldest.
-    order: VecDeque<QueryFingerprint>,
+    map: FxHashMap<QueryFingerprint, Parked>,
+    /// Monotone recency clock; bumped on every `put`.
+    tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -57,10 +72,9 @@ impl FrontierCache {
     /// Removes and returns the parked optimizer for `fp`, if any.
     pub fn take(&mut self, fp: QueryFingerprint) -> Option<IamaOptimizer> {
         match self.map.remove(&fp) {
-            Some(opt) => {
-                self.order.retain(|f| *f != fp);
+            Some(parked) => {
                 self.hits += 1;
-                Some(opt)
+                Some(parked.optimizer)
             }
             None => {
                 self.misses += 1;
@@ -69,18 +83,53 @@ impl FrontierCache {
         }
     }
 
+    /// True if an optimizer is parked under `fp`. Does not count as a
+    /// lookup (used by routers to probe for warmth without skewing the
+    /// hit/miss statistics).
+    pub fn contains(&self, fp: QueryFingerprint) -> bool {
+        self.map.contains_key(&fp)
+    }
+
     /// Parks an optimizer under `fp`, evicting the coldest entry if full.
     /// A fresher optimizer for the same fingerprint replaces the old one.
     pub fn put(&mut self, fp: QueryFingerprint, optimizer: IamaOptimizer) {
-        if self.map.insert(fp, optimizer).is_some() {
-            self.order.retain(|f| *f != fp);
-        } else if self.map.len() > self.capacity {
-            if let Some(cold) = self.order.pop_front() {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.map.insert(fp, Parked { optimizer, tick }).is_none()
+            && self.map.len() > self.capacity
+        {
+            // One eviction restores the invariant (inserts grow the map
+            // by at most one); scanning for the minimum tick is O(n) but
+            // only runs when an optimizer is dropped anyway.
+            if let Some(cold) = self
+                .map
+                .iter()
+                .min_by_key(|(_, p)| p.tick)
+                .map(|(fp, _)| *fp)
+            {
                 self.map.remove(&cold);
                 self.evictions += 1;
             }
         }
-        self.order.push_back(fp);
+    }
+
+    /// Visits every parked optimizer (persistence export). Order is
+    /// unspecified; does not affect recency or the hit/miss counters.
+    pub fn for_each_parked(&self, mut f: impl FnMut(QueryFingerprint, &IamaOptimizer)) {
+        for (fp, parked) in &self.map {
+            f(*fp, &parked.optimizer);
+        }
+    }
+
+    /// The fingerprints of all parked optimizers, in unspecified order.
+    pub fn parked_fingerprints(&self) -> Vec<QueryFingerprint> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Read-only access to one parked optimizer, if present. Does not
+    /// affect recency or the hit/miss counters.
+    pub fn parked(&self, fp: QueryFingerprint) -> Option<&IamaOptimizer> {
+        self.map.get(&fp).map(|p| &p.optimizer)
     }
 
     /// Current effectiveness counters.
@@ -118,6 +167,7 @@ mod tests {
         assert!(cache.take(fp).is_none());
         cache.put(fp, opt);
         assert_eq!(cache.stats().entries, 1);
+        assert!(cache.contains(fp));
         assert!(cache.take(fp).is_some());
         assert!(cache.take(fp).is_none(), "take must remove the entry");
         let s = cache.stats();
@@ -137,5 +187,63 @@ mod tests {
         assert!(cache.take(fp2).is_none());
         assert!(cache.take(fp3).is_some());
         assert!(cache.take(fp4).is_some());
+    }
+
+    #[test]
+    fn reput_refreshes_recency_without_eviction() {
+        let mut cache = FrontierCache::new(2);
+        let (fp2, o2) = opt_for(2);
+        let (fp3, o3) = opt_for(3);
+        cache.put(fp2, o2);
+        cache.put(fp3, o3);
+        // Re-parking fp2 must not evict anything and must make fp3 the
+        // coldest entry.
+        let (fp2b, o2b) = opt_for(2);
+        assert_eq!(fp2, fp2b);
+        cache.put(fp2b, o2b);
+        assert_eq!(cache.stats().evictions, 0);
+        let (fp4, o4) = opt_for(4);
+        cache.put(fp4, o4); // evicts fp3, the least recently parked
+        assert!(cache.take(fp3).is_none());
+        assert!(cache.take(fp2).is_some());
+        assert!(cache.take(fp4).is_some());
+    }
+
+    #[test]
+    fn hammering_at_capacity_keeps_the_hottest_entries() {
+        // Satellite regression: put/take churn at capacity must stay
+        // consistent — the map and the recency bookkeeping cannot drift.
+        let cap = 8;
+        let mut cache = FrontierCache::new(cap);
+        let pool: Vec<(QueryFingerprint, IamaOptimizer)> = (2..=12).map(opt_for).collect();
+        let fps: Vec<QueryFingerprint> = pool.iter().map(|(fp, _)| *fp).collect();
+        for (fp, opt) in pool {
+            cache.put(fp, opt);
+        }
+        assert_eq!(cache.stats().entries, cap);
+        // The cap most-recently-parked fingerprints survive, oldest die.
+        for fp in &fps[..fps.len() - cap] {
+            assert!(!cache.contains(*fp));
+        }
+        // Churn: repeatedly take a survivor and re-park it; the cache must
+        // never exceed capacity, never lose the churned entry, and keep
+        // hit/miss accounting exact.
+        let hot = *fps.last().unwrap();
+        for _ in 0..1000 {
+            let opt = cache.take(hot).expect("hot entry must survive churn");
+            cache.put(hot, opt);
+            assert!(cache.stats().entries <= cap);
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, 1000);
+        assert_eq!(s.entries, cap);
+        // The churned entry is now the most recent: filling with fresh
+        // fingerprints evicts everything else first.
+        let fresh: Vec<(QueryFingerprint, IamaOptimizer)> =
+            (13..13 + cap - 1).map(opt_for).collect();
+        for (fp, opt) in fresh {
+            cache.put(fp, opt);
+        }
+        assert!(cache.contains(hot), "most recent entry evicted too early");
     }
 }

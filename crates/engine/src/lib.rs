@@ -21,6 +21,16 @@
 //!   queries (same join-graph shape, any statistics) walk one precomputed
 //!   enumeration plane — the first step of cross-session sharing beyond
 //!   exact repeats.
+//! * [`SessionConfig`] — per-session overrides: initial bounds, a
+//!   resolution-ladder override for cold starts (the degrade-admission
+//!   hook of the `moqo-serve` front), and the refinement budget.
+//!
+//! Serving layers build on three hooks: [`SessionManager::watch`]
+//! (per-session status push channels, so no caller parks on the engine's
+//! condvar), [`SessionManager::park`] / [`SessionManager::for_each_parked`]
+//! (frontier persistence across restarts), and
+//! [`SessionManager::live_sessions`] (the load figure admission control
+//! and shard routing balance on).
 //!
 //! ```
 //! use moqo_cost::ResolutionSchedule;
@@ -51,7 +61,7 @@ pub mod plans;
 
 pub use cache::{CacheStats, FrontierCache};
 pub use fingerprint::QueryFingerprint;
-pub use manager::{EngineConfig, SessionId, SessionManager, SessionStatus};
+pub use manager::{EngineConfig, SessionConfig, SessionId, SessionManager, SessionStatus};
 pub use plans::{PlanCache, PlanCacheStats};
 
 // Re-exported so engine users can name the shared-plan vocabulary without

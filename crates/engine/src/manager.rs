@@ -30,7 +30,7 @@ use moqo_plan::PlanId;
 use moqo_query::QuerySpec;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -74,6 +74,43 @@ impl Default for EngineConfig {
     }
 }
 
+/// Per-session overrides applied at submission time.
+///
+/// A [`SessionManager`] serves one deployment-wide cost model and
+/// resolution ladder; individual sessions may override the ladder (and
+/// their initial bounds / refinement budget) without forking the manager.
+/// This is the hook the serving layer's *degrade* admission policy uses:
+/// under load, new sessions are admitted at a coarser target resolution,
+/// trading frontier precision for per-invocation work.
+///
+/// The schedule override applies to **cold starts only**: a session that
+/// resumes from a parked warm frontier keeps the schedule that frontier
+/// was refined under (its plan sets are tagged with that ladder's levels,
+/// and serving an already-warm frontier costs nothing anyway).
+#[derive(Clone, Debug, Default)]
+pub struct SessionConfig {
+    /// Initial cost bounds; `None` means unbounded.
+    pub bounds: Option<Bounds>,
+    /// Resolution ladder replacing the manager-wide schedule for this
+    /// session (cold starts only).
+    pub schedule: Option<ResolutionSchedule>,
+    /// Anytime invocations the session may run without user input before
+    /// parking; `None` derives one full ladder from the effective
+    /// schedule.
+    pub auto_ticks: Option<usize>,
+}
+
+impl SessionConfig {
+    /// Configuration admitting the session under a coarser (degraded)
+    /// resolution ladder.
+    pub fn degraded(schedule: ResolutionSchedule) -> Self {
+        Self {
+            schedule: Some(schedule),
+            ..Self::default()
+        }
+    }
+}
+
 /// Read-only snapshot of one session, refreshed after every slice.
 #[derive(Clone, Debug)]
 pub struct SessionStatus {
@@ -85,6 +122,13 @@ pub struct SessionStatus {
     pub fingerprint: QueryFingerprint,
     /// True if the session started from a cached warm frontier.
     pub warm_start: bool,
+    /// True if the session runs a non-default — typically degraded —
+    /// resolution ladder: a [`SessionConfig`] schedule override took
+    /// effect on a cold start, or a warm resume revived a frontier that
+    /// was refined under a ladder other than the manager-wide one (its
+    /// approximation guarantee is the parked ladder's, not the
+    /// deployment default's).
+    pub schedule_override: bool,
     /// True once the session ended (plan selected or retired).
     pub finished: bool,
     /// The plan the user selected, if any.
@@ -109,6 +153,9 @@ struct Active {
     session: Session,
     inbox: VecDeque<UserEvent>,
     remaining_ticks: usize,
+    /// Refinement budget re-armed on bound changes; per-session because a
+    /// [`SessionConfig`] can override the ladder length.
+    auto_ticks: usize,
 }
 
 impl Active {
@@ -133,6 +180,23 @@ struct Slot {
     /// Events that arrived while a worker held the session; merged into
     /// the session's inbox when the slice checks back in.
     late_inbox: VecDeque<UserEvent>,
+    /// Per-ticket push channels: every status refresh (after a slice, on
+    /// retirement, on `finish`) is cloned into each live watcher so
+    /// callers can `recv` on their own channel instead of parking on the
+    /// engine's internal condvar. Disconnected watchers are pruned on the
+    /// next send.
+    watchers: Vec<mpsc::Sender<SessionStatus>>,
+}
+
+impl Slot {
+    /// Pushes the current status to all watchers, dropping dead ones.
+    fn notify_watchers(&mut self) {
+        if self.watchers.is_empty() {
+            return;
+        }
+        let status = &self.status;
+        self.watchers.retain(|w| w.send(status.clone()).is_ok());
+    }
 }
 
 struct EngineState {
@@ -141,6 +205,9 @@ struct EngineState {
     cache: FrontierCache,
     next_id: SessionId,
     running: usize,
+    /// Sessions admitted and not yet finished (live load, for admission
+    /// control and shard routing).
+    live: usize,
     /// Retired sessions in retirement order, oldest first; trimmed to
     /// `EngineConfig::retired_capacity` so `slots` stays bounded.
     retired: VecDeque<SessionId>,
@@ -188,6 +255,7 @@ impl SessionManager {
                 cache: FrontierCache::new(config.cache_capacity),
                 next_id: 1,
                 running: 0,
+                live: 0,
                 retired: VecDeque::new(),
             }),
             work: Condvar::new(),
@@ -198,10 +266,9 @@ impl SessionManager {
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let cfg = config.clone();
-                let auto = auto_ticks;
                 thread::Builder::new()
                     .name(format!("moqo-engine-{i}"))
-                    .spawn(move || worker_loop(shared, cfg, auto))
+                    .spawn(move || worker_loop(shared, cfg))
                     .expect("spawn engine worker")
             })
             .collect();
@@ -220,12 +287,32 @@ impl SessionManager {
     /// If the frontier cache holds a parked optimizer for an equivalent
     /// query, the session resumes from that warm state.
     pub fn submit(&self, spec: Arc<QuerySpec>) -> SessionId {
-        self.submit_with_bounds(spec, Bounds::unbounded(self.model.dim()))
+        self.submit_with_config(spec, SessionConfig::default())
     }
 
     /// Admits a new session with explicit initial cost bounds.
     pub fn submit_with_bounds(&self, spec: Arc<QuerySpec>, bounds: Bounds) -> SessionId {
+        self.submit_with_config(
+            spec,
+            SessionConfig {
+                bounds: Some(bounds),
+                ..SessionConfig::default()
+            },
+        )
+    }
+
+    /// Admits a new session with per-session overrides (initial bounds,
+    /// resolution-ladder override, refinement budget) — see
+    /// [`SessionConfig`] for the override semantics.
+    pub fn submit_with_config(
+        &self,
+        spec: Arc<QuerySpec>,
+        session_cfg: SessionConfig,
+    ) -> SessionId {
         let fp = QueryFingerprint::of(&spec, self.model.metrics());
+        let bounds = session_cfg
+            .bounds
+            .unwrap_or_else(|| Bounds::unbounded(self.model.dim()));
         // Resolve the shared enumeration plan outside the state lock —
         // plan construction can be expensive for wide shapes and must not
         // stall unrelated sessions. A warm frontier-cache hit below makes
@@ -235,19 +322,42 @@ impl SessionManager {
             .plans
             .get_or_build(&spec.graph, config.allow_cross_products);
         let mut state = self.lock();
-        let (optimizer, warm) = match state.cache.take(fp) {
-            Some(opt) => (opt, true),
-            None => (
-                IamaOptimizer::with_plan(
-                    spec.clone(),
-                    self.model.clone(),
-                    self.schedule.clone(),
-                    config,
-                    plan,
-                ),
-                false,
-            ),
+        let (optimizer, warm, overridden) = match state.cache.take(fp) {
+            // Warm resumes keep the parked ladder: its plan sets are
+            // level-tagged under that schedule (see `SessionConfig`).
+            // If that ladder is not the manager-wide one — e.g. the
+            // frontier was refined under a degraded admission ladder —
+            // the weaker guarantee must stay visible, so the override
+            // flag is set from the *effective* schedule.
+            Some(opt) => {
+                let nonstandard = opt.schedule() != &self.schedule;
+                (opt, true, nonstandard)
+            }
+            None => {
+                let (schedule, overridden) = match session_cfg.schedule.clone() {
+                    Some(s) => (s, true),
+                    None => (self.schedule.clone(), false),
+                };
+                (
+                    IamaOptimizer::with_plan(
+                        spec.clone(),
+                        self.model.clone(),
+                        schedule,
+                        config,
+                        plan,
+                    ),
+                    false,
+                    overridden,
+                )
+            }
         };
+        let auto_ticks =
+            session_cfg
+                .auto_ticks
+                .unwrap_or_else(|| match (&session_cfg.schedule, warm) {
+                    (Some(s), false) => s.levels(),
+                    _ => self.auto_ticks,
+                });
         let session = Session::with_bounds(optimizer, bounds);
         let id = state.next_id;
         state.next_id += 1;
@@ -256,6 +366,7 @@ impl SessionManager {
             query: spec.name.clone(),
             fingerprint: fp,
             warm_start: warm,
+            schedule_override: overridden,
             finished: false,
             selected: None,
             invocations: 0,
@@ -271,13 +382,16 @@ impl SessionManager {
                 cell: Cell::Idle(Box::new(Active {
                     session,
                     inbox: VecDeque::new(),
-                    remaining_ticks: self.auto_ticks,
+                    remaining_ticks: auto_ticks,
+                    auto_ticks,
                 })),
                 status,
                 queued: false,
                 late_inbox: VecDeque::new(),
+                watchers: Vec::new(),
             },
         );
+        state.live += 1;
         enqueue(&mut state, id);
         drop(state);
         self.shared.work.notify_one();
@@ -350,12 +464,101 @@ impl SessionManager {
             state = self.shared.settled.wait(state).expect("engine lock");
         }
         let mut slot = state.slots.remove(&id).expect("checked above");
-        if let Cell::Idle(active) = slot.cell {
+        if let Cell::Idle(active) = std::mem::replace(&mut slot.cell, Cell::Retired) {
             let fp = slot.status.fingerprint;
             state.cache.put(fp, active.session.into_optimizer());
         }
-        slot.status.finished = true;
+        if !slot.status.finished {
+            slot.status.finished = true;
+            state.live = state.live.saturating_sub(1);
+        }
+        slot.notify_watchers();
         Some(slot.status)
+    }
+
+    /// Subscribes to a session's status updates.
+    ///
+    /// Returns a channel that receives a [`SessionStatus`] clone after
+    /// every completed slice (and a final one when the session finishes).
+    /// The current status is pushed immediately, so the first `recv`
+    /// never blocks on optimizer progress. Returns `None` for unknown
+    /// sessions. Receivers that fall behind simply buffer (the channel is
+    /// unbounded but updates are slice-paced); dropped receivers are
+    /// pruned on the next update.
+    ///
+    /// This is the non-blocking alternative to [`SessionManager::wait_idle`]:
+    /// callers park on their own channel, never on the engine's internal
+    /// condvar.
+    pub fn watch(&self, id: SessionId) -> Option<mpsc::Receiver<SessionStatus>> {
+        let mut state = self.lock();
+        let slot = state.slots.get_mut(&id)?;
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(slot.status.clone());
+        if !slot.status.finished {
+            slot.watchers.push(tx);
+        }
+        Some(rx)
+    }
+
+    /// Parks an optimizer directly in the warm-frontier cache (the
+    /// persistence-restore hook: a serving layer re-injects deserialized
+    /// frontiers on startup so the first submission of a known query
+    /// starts warm).
+    pub fn park(&self, fp: QueryFingerprint, optimizer: IamaOptimizer) {
+        self.lock().cache.put(fp, optimizer);
+    }
+
+    /// True if the warm-frontier cache holds a parked optimizer for `fp`.
+    /// Does not count as a cache lookup (router warmth probe).
+    pub fn has_parked(&self, fp: QueryFingerprint) -> bool {
+        self.lock().cache.contains(fp)
+    }
+
+    /// Visits every parked optimizer under the state lock (persistence
+    /// export). Keep the closure cheap-ish: submissions block while it
+    /// runs. Live (non-parked) sessions are not visited — park them first
+    /// via [`SessionManager::finish`] to capture their frontiers. For
+    /// per-entry work (e.g. serialization), prefer
+    /// [`SessionManager::parked_fingerprints`] +
+    /// [`SessionManager::with_parked`], which take the lock once per
+    /// entry instead of across the whole pass.
+    pub fn for_each_parked(&self, f: impl FnMut(QueryFingerprint, &IamaOptimizer)) {
+        self.lock().cache.for_each_parked(f);
+    }
+
+    /// Fingerprints of all currently parked optimizers (cheap snapshot
+    /// under the lock; pair with [`SessionManager::with_parked`]).
+    pub fn parked_fingerprints(&self) -> Vec<QueryFingerprint> {
+        self.lock().cache.parked_fingerprints()
+    }
+
+    /// Runs `f` over one parked optimizer under the state lock; `None`
+    /// if nothing is parked for `fp` (anymore). The lock is held only
+    /// for this single entry, so long export passes interleave with
+    /// submissions instead of stalling them wholesale.
+    pub fn with_parked<R>(
+        &self,
+        fp: QueryFingerprint,
+        f: impl FnOnce(&IamaOptimizer) -> R,
+    ) -> Option<R> {
+        self.lock().cache.parked(fp).map(f)
+    }
+
+    /// Number of admitted, not-yet-finished sessions — the load figure
+    /// admission control and shard routing balance on.
+    pub fn live_sessions(&self) -> usize {
+        self.lock().live
+    }
+
+    /// The manager-wide resolution ladder (sessions may override it via
+    /// [`SessionConfig`]).
+    pub fn schedule(&self) -> &ResolutionSchedule {
+        &self.schedule
+    }
+
+    /// Shared handle to the deployment-wide cost model.
+    pub fn model(&self) -> SharedCostModel {
+        self.model.clone()
     }
 
     /// Effectiveness counters of the warm-frontier cache.
@@ -424,7 +627,7 @@ fn enqueue(state: &mut EngineState, id: SessionId) {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig, auto_ticks: usize) {
+fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
     let mut state = shared.state.lock().expect("engine lock poisoned");
     loop {
         // Find the next checked-in session with work.
@@ -478,7 +681,7 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig, auto_ticks: usize) {
                         // A user refocusing their bounds re-arms the
                         // refinement budget (Algorithm 1 keeps iterating
                         // after bound changes).
-                        active.remaining_ticks = auto_ticks;
+                        active.remaining_ticks = active.auto_ticks;
                     }
                     ev
                 }
@@ -548,7 +751,15 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig, auto_ticks: usize) {
                     requeue = active.has_work();
                     slot.cell = Cell::Idle(active);
                 }
+                slot.notify_watchers();
+                if retire {
+                    // Final update delivered above; release the channels.
+                    slot.watchers.clear();
+                }
             }
+        }
+        if retire {
+            st.live = st.live.saturating_sub(1);
         }
         if let Some((fp, optimizer)) = park {
             st.cache.put(fp, optimizer);

@@ -4,7 +4,7 @@
 use moqo_core::UserEvent;
 use moqo_cost::{Bounds, ResolutionSchedule};
 use moqo_costmodel::{CostModel, StandardCostModel};
-use moqo_engine::{EngineConfig, SessionManager};
+use moqo_engine::{EngineConfig, SessionConfig, SessionManager};
 use moqo_query::testkit;
 use std::sync::Arc;
 use std::time::Duration;
@@ -166,6 +166,124 @@ fn eight_plus_concurrent_sessions_drain_on_a_small_pool() {
         assert_eq!(s.invocations, schedule().levels() as u64, "{}", s.query);
         assert!(!s.frontier.is_empty(), "{}", s.query);
     }
+}
+
+#[test]
+fn per_session_schedule_override_degrades_the_ladder() {
+    let m = manager(2);
+    // A degraded session runs a one-level ladder at a coarse target while
+    // the manager-wide schedule keeps four levels.
+    let coarse = ResolutionSchedule::linear(0, 1.5, 0.5);
+    let deg = m.submit_with_config(
+        Arc::new(testkit::chain_query(3, 60_000)),
+        SessionConfig::degraded(coarse.clone()),
+    );
+    let full = m.submit(Arc::new(testkit::chain_query(4, 60_000)));
+    assert!(m.wait_idle(IDLE));
+    let d = m.status(deg).unwrap();
+    let f = m.status(full).unwrap();
+    assert!(d.schedule_override);
+    assert!(!f.schedule_override);
+    // The degraded session's refinement budget is its own ladder length.
+    assert_eq!(d.invocations, coarse.levels() as u64);
+    assert_eq!(f.invocations, schedule().levels() as u64);
+    assert!(
+        !d.frontier.is_empty(),
+        "degraded session still serves plans"
+    );
+}
+
+#[test]
+fn warm_resume_ignores_the_schedule_override() {
+    let m = manager(2);
+    let spec = Arc::new(testkit::chain_query(3, 90_000));
+    let cold = m.submit(spec.clone());
+    assert!(m.wait_idle(IDLE));
+    m.finish(cold).unwrap();
+    // Resubmit with a degrade override: the warm frontier wins.
+    let warm = m.submit_with_config(
+        spec,
+        SessionConfig::degraded(ResolutionSchedule::linear(0, 1.5, 0.5)),
+    );
+    assert!(m.wait_idle(IDLE));
+    let s = m.status(warm).unwrap();
+    assert!(s.warm_start);
+    assert!(!s.schedule_override, "warm resume keeps the parked ladder");
+    assert_eq!(
+        s.first_report.as_ref().unwrap().plans_generated,
+        0,
+        "warm start must not regenerate plans"
+    );
+}
+
+#[test]
+fn watch_streams_updates_without_blocking_on_the_engine() {
+    let m = manager(2);
+    let id = m.submit(Arc::new(testkit::chain_query(3, 70_000)));
+    let rx = m.watch(id).expect("live session is watchable");
+    // The subscription primes itself with the current status...
+    let first = rx.recv_timeout(IDLE).expect("primed status");
+    assert_eq!(first.id, id);
+    // ...and then delivers one update per completed slice until the
+    // session parks; collect until the ladder saturates.
+    let mut last = first;
+    while last.invocations < schedule().levels() as u64 {
+        last = rx.recv_timeout(IDLE).expect("slice update");
+    }
+    assert!(!last.frontier.is_empty());
+    // Finishing delivers a final, finished status on the same channel.
+    m.finish(id).unwrap();
+    let fin = rx.recv_timeout(IDLE).expect("final status");
+    assert!(fin.finished);
+    // Unknown sessions are not watchable.
+    assert!(m.watch(9999).is_none());
+}
+
+#[test]
+fn park_and_probe_expose_the_cache_to_serving_layers() {
+    let m = manager(2);
+    let spec = Arc::new(testkit::chain_query(3, 45_000));
+    let fp = moqo_engine::QueryFingerprint::of(&spec, m.model().metrics());
+    assert!(!m.has_parked(fp));
+    // Build a warm optimizer out-of-band and park it (the restore path).
+    let mut opt = moqo_core::IamaOptimizer::new(spec.clone(), m.model(), schedule());
+    let b = Bounds::unbounded(m.model().dim());
+    for r in 0..=schedule().r_max() {
+        opt.optimize(&b, r);
+    }
+    m.park(fp, opt);
+    assert!(m.has_parked(fp));
+    let mut seen = 0;
+    m.for_each_parked(|pfp, _| {
+        assert_eq!(pfp, fp);
+        seen += 1;
+    });
+    assert_eq!(seen, 1);
+    // The next submission of an equivalent query starts warm.
+    let id = m.submit(spec);
+    assert!(m.wait_idle(IDLE));
+    let s = m.status(id).unwrap();
+    assert!(s.warm_start);
+    assert_eq!(s.first_report.as_ref().unwrap().plans_generated, 0);
+}
+
+#[test]
+fn live_sessions_tracks_admission_load() {
+    let m = manager(2);
+    assert_eq!(m.live_sessions(), 0);
+    let a = m.submit(Arc::new(testkit::chain_query(2, 10_000)));
+    let b = m.submit(Arc::new(testkit::chain_query(3, 10_000)));
+    assert_eq!(m.live_sessions(), 2);
+    assert!(m.wait_idle(IDLE));
+    // Parked-but-unfinished sessions still count as live.
+    assert_eq!(m.live_sessions(), 2);
+    m.finish(a).unwrap();
+    assert_eq!(m.live_sessions(), 1);
+    // Selecting a plan retires the session and sheds its load.
+    let choice = m.frontier(b).unwrap().min_by_metric(0).unwrap().plan;
+    m.send_event(b, UserEvent::SelectPlan(choice));
+    assert!(m.wait_idle(IDLE));
+    assert_eq!(m.live_sessions(), 0);
 }
 
 #[test]

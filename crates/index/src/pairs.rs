@@ -48,6 +48,19 @@ impl PairSet {
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
     }
+
+    /// Iterates over the raw pair keys in unspecified order (snapshot
+    /// export; feed them back through [`PairSet::insert_key`]).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.seen.iter().copied()
+    }
+
+    /// Re-inserts a raw key previously obtained from [`PairSet::keys`]
+    /// (snapshot import).
+    #[inline]
+    pub fn insert_key(&mut self, key: u64) {
+        self.seen.insert(key);
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +77,21 @@ mod tests {
         // Pairs are ordered: (2, 1) is distinct from (1, 2).
         assert!(p.is_fresh(2, 1));
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        let mut p = PairSet::new();
+        p.mark(3, 4);
+        p.mark(9, 1);
+        let mut q = PairSet::new();
+        for k in p.keys() {
+            q.insert_key(k);
+        }
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_fresh(3, 4));
+        assert!(!q.is_fresh(9, 1));
+        assert!(q.is_fresh(4, 3));
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! The non-blocking client surface.
+//!
+//! [`MoqoServer`] composes the sharded engine with admission control
+//! behind a ticket API: [`MoqoServer::submit`] never blocks on optimizer
+//! progress — it returns a [`Ticket`] after the admission decision, and
+//! everything that happens afterwards (per-slice frontier refinements,
+//! completion) arrives over the ticket's **own** channel. Callers either
+//! [`MoqoServer::poll`] (non-blocking drain of buffered updates) or
+//! [`MoqoServer::recv`] (block on the ticket channel with a timeout); no
+//! caller ever parks on the engine's internal condvar, so a slow or
+//! abandoned client cannot interfere with scheduling.
+//!
+//! Queued submissions (under [`AdmissionPolicy::Queue`]) admit lazily:
+//! every API interaction pumps the pending queue against freed capacity,
+//! so a server with *any* traffic drains its queue without a background
+//! thread; an idle server drains it on the next call.
+//!
+//! [`AdmissionPolicy::Queue`]: crate::AdmissionPolicy::Queue
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionController, RejectReason};
+use crate::shard::{GlobalSessionId, RouteDecision, ShardConfig, ShardedEngine};
+use moqo_core::UserEvent;
+use moqo_cost::{Bounds, ResolutionSchedule};
+use moqo_costmodel::SharedCostModel;
+use moqo_engine::{SessionConfig, SessionStatus};
+use moqo_plan::PlanId;
+use moqo_query::QuerySpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Serving-front configuration: sharding plus admission.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Shard count, per-shard engine tunables, rebalance headroom.
+    pub shard: ShardConfig,
+    /// Admission bound and overload policy.
+    pub admission: AdmissionConfig,
+    /// Closed (finished or rejected) tickets kept queryable; the oldest
+    /// beyond this many are dropped so a long-lived server's ticket
+    /// table tracks live load, not total traffic (mirrors
+    /// [`moqo_engine::EngineConfig::retired_capacity`]).
+    pub retired_tickets: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shard: ShardConfig::default(),
+            admission: AdmissionConfig::default(),
+            retired_tickets: 1024,
+        }
+    }
+}
+
+/// Handle to one submission. Cheap and copyable; rejected and finished
+/// tickets stay queryable until [`ServeConfig::retired_tickets`] younger
+/// tickets have closed after them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+/// Everything a caller can learn about a ticket without blocking.
+#[derive(Clone, Debug)]
+pub enum TicketStatus {
+    /// Waiting in the bounded admission queue.
+    Queued {
+        /// Submissions currently queued (including this one).
+        pending: usize,
+    },
+    /// Turned away by admission control.
+    Rejected(RejectReason),
+    /// Admitted; the latest session snapshot (which carries `finished`
+    /// and the selected plan once the session ends).
+    Active {
+        /// Where the session runs.
+        session: GlobalSessionId,
+        /// How the router placed it.
+        route: RouteDecision,
+        /// True if admitted under a degraded resolution ladder.
+        degraded: bool,
+        /// Most recent status (updated by `poll`/`recv`).
+        status: Box<SessionStatus>,
+    },
+}
+
+struct ActiveCell {
+    gid: GlobalSessionId,
+    route: RouteDecision,
+    degraded: bool,
+    /// Taken out (under no lock) while a caller blocks in `recv`.
+    rx: Option<mpsc::Receiver<SessionStatus>>,
+    latest: SessionStatus,
+    /// True once the finished status was observed and the ticket entered
+    /// the bounded closed-history (set at most once).
+    closed: bool,
+}
+
+enum Cell {
+    Queued,
+    Rejected(RejectReason),
+    Active(Box<ActiveCell>),
+}
+
+struct PendingSubmit {
+    ticket: u64,
+    spec: Arc<QuerySpec>,
+    config: SessionConfig,
+}
+
+/// Aggregate server statistics.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Admission counters.
+    pub admission: crate::admission::AdmissionStats,
+    /// Submissions waiting in the admission queue.
+    pub pending: usize,
+    /// Live sessions across all shards.
+    pub live: usize,
+    /// Per-shard load, cache, and routing statistics.
+    pub shards: Vec<crate::shard::ShardStats>,
+}
+
+/// Ticket table plus the bounded history of closed (finished/rejected)
+/// tickets, oldest first; trimmed to [`ServeConfig::retired_tickets`] so
+/// a long-running server's memory tracks live load, not total traffic.
+struct TicketTable {
+    cells: HashMap<u64, Cell>,
+    closed: std::collections::VecDeque<u64>,
+}
+
+impl TicketTable {
+    /// Records `id` as closed and drops the oldest closed tickets beyond
+    /// the cap. Must be called at most once per ticket.
+    fn close(&mut self, id: u64, cap: usize) {
+        self.closed.push_back(id);
+        while self.closed.len() > cap.max(1) {
+            if let Some(old) = self.closed.pop_front() {
+                self.cells.remove(&old);
+            }
+        }
+    }
+}
+
+/// Sharded, admission-controlled serving front; see the module docs for
+/// the interaction model.
+pub struct MoqoServer {
+    engine: ShardedEngine,
+    admission: AdmissionController<PendingSubmit>,
+    tickets: Mutex<TicketTable>,
+    /// Serializes admission *decisions* (load read + policy + slot
+    /// reservation), making `max_live`/`hard_cap` exact bounds instead
+    /// of racy targets. The engine submission itself runs outside the
+    /// gate — `reserved` covers the gap — so one expensive submission
+    /// (e.g. a cold wide-shape plan build) never stalls other
+    /// admissions. Never acquired while holding `tickets`.
+    gate: Mutex<()>,
+    /// Admissions decided under the gate whose engine submission has not
+    /// completed yet; added to the engine's live count for decisions.
+    reserved: AtomicU64,
+    retired_tickets: usize,
+    next: AtomicU64,
+}
+
+impl MoqoServer {
+    /// Starts the shard pool.
+    pub fn new(model: SharedCostModel, schedule: ResolutionSchedule, config: ServeConfig) -> Self {
+        Self {
+            engine: ShardedEngine::new(model, schedule, config.shard),
+            admission: AdmissionController::new(config.admission),
+            tickets: Mutex::new(TicketTable {
+                cells: HashMap::new(),
+                closed: std::collections::VecDeque::new(),
+            }),
+            gate: Mutex::new(()),
+            reserved: AtomicU64::new(0),
+            retired_tickets: config.retired_tickets,
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Live sessions plus decided-but-not-yet-submitted admissions — the
+    /// load figure admission decisions are made against.
+    fn admission_load(&self) -> usize {
+        self.engine.live_sessions() + self.reserved.load(Ordering::Relaxed) as usize
+    }
+
+    /// The sharded engine behind the front (persistence, diagnostics).
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Submits a query for interactive optimization. Returns immediately
+    /// with a ticket; the admission outcome is visible via
+    /// [`MoqoServer::poll`].
+    pub fn submit(&self, spec: Arc<QuerySpec>) -> Ticket {
+        self.submit_with_config(spec, SessionConfig::default())
+    }
+
+    /// Submits with per-session overrides. A degrade admission replaces
+    /// the configuration's schedule with the policy's degraded ladder.
+    pub fn submit_with_config(&self, spec: Arc<QuerySpec>, config: SessionConfig) -> Ticket {
+        self.pump();
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        // Register the ticket BEFORE the admission decision: once
+        // `request` parks the payload, a concurrent `pump` may pop and
+        // activate it immediately — it must find the cell present so its
+        // `Cell::Active` is never overwritten by a late `Cell::Queued`.
+        self.with_tickets(|t| {
+            t.cells.insert(id, Cell::Queued);
+        });
+        // The gate makes (load read, policy decision, slot reservation)
+        // atomic across submitters: `max_live` and `hard_cap` are exact.
+        // The engine submission happens after the gate drops, with the
+        // reservation standing in for the not-yet-counted session.
+        let gate = self.gate.lock().expect("admission gate poisoned");
+        let decision = self.admission.request(
+            self.admission_load(),
+            PendingSubmit {
+                ticket: id,
+                spec: spec.clone(),
+                config: config.clone(),
+            },
+        );
+        match decision {
+            Admission::Admit => {
+                self.reserved.fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                let cell = Cell::Active(Box::new(self.activate(spec, config, false)));
+                self.reserved.fetch_sub(1, Ordering::Relaxed);
+                self.with_tickets(|t| {
+                    t.cells.insert(id, cell);
+                });
+            }
+            Admission::AdmitDegraded(ladder) => {
+                self.reserved.fetch_add(1, Ordering::Relaxed);
+                drop(gate);
+                let degraded = SessionConfig {
+                    schedule: Some(ladder),
+                    ..config
+                };
+                let cell = Cell::Active(Box::new(self.activate(spec, degraded, true)));
+                self.reserved.fetch_sub(1, Ordering::Relaxed);
+                self.with_tickets(|t| {
+                    t.cells.insert(id, cell);
+                });
+            }
+            // The placeholder stands; a pump (possibly already racing on
+            // another thread) will replace it with the active cell.
+            Admission::Queued { .. } => drop(gate),
+            Admission::Rejected(reason) => {
+                drop(gate);
+                self.with_tickets(|t| {
+                    t.cells.insert(id, Cell::Rejected(reason));
+                    t.close(id, self.retired_tickets);
+                });
+            }
+        }
+        Ticket(id)
+    }
+
+    /// Submits to the engine and wires up the per-ticket channel.
+    fn activate(&self, spec: Arc<QuerySpec>, config: SessionConfig, degraded: bool) -> ActiveCell {
+        let (gid, route) = self.engine.submit_with_config(spec, config);
+        let rx = self.engine.watch(gid).expect("freshly submitted session");
+        // The watch channel self-primes with the current status.
+        let latest = rx.recv().expect("primed status");
+        ActiveCell {
+            gid,
+            route,
+            degraded,
+            rx: Some(rx),
+            latest,
+            closed: false,
+        }
+    }
+
+    /// Admits queued submissions into freed capacity (called from every
+    /// public entry point). The gate keeps the (load read, release)
+    /// decision atomic with concurrent admissions; the engine submission
+    /// runs outside it under a reservation.
+    fn pump(&self) {
+        loop {
+            let gate = self.gate.lock().expect("admission gate poisoned");
+            let Some(p) = self.admission.release(self.admission_load()) else {
+                return;
+            };
+            self.reserved.fetch_add(1, Ordering::Relaxed);
+            drop(gate);
+            let cell = Cell::Active(Box::new(self.activate(p.spec, p.config, false)));
+            self.reserved.fetch_sub(1, Ordering::Relaxed);
+            self.with_tickets(|t| {
+                t.cells.insert(p.ticket, cell);
+            });
+        }
+    }
+
+    fn with_tickets<R>(&self, f: impl FnOnce(&mut TicketTable) -> R) -> R {
+        f(&mut self.tickets.lock().expect("ticket table poisoned"))
+    }
+
+    /// Marks a finished active cell closed (dropping its channel) and
+    /// files the ticket into the bounded closed-history. Call with the
+    /// table lock held.
+    fn close_if_finished(t: &mut TicketTable, id: u64, cap: usize) {
+        if let Some(Cell::Active(active)) = t.cells.get_mut(&id) {
+            if active.latest.finished && !active.closed {
+                active.closed = true;
+                active.rx = None;
+                t.close(id, cap);
+            }
+        }
+    }
+
+    /// Non-blocking status: drains any buffered updates from the ticket
+    /// channel and returns the latest view. `None` for unknown tickets
+    /// (including closed tickets evicted from the bounded history).
+    pub fn poll(&self, ticket: Ticket) -> Option<TicketStatus> {
+        self.pump();
+        let cap = self.retired_tickets;
+        self.with_tickets(|t| {
+            let cell = t.cells.get_mut(&ticket.0)?;
+            let status = match cell {
+                Cell::Queued => TicketStatus::Queued {
+                    pending: self.admission.pending(),
+                },
+                Cell::Rejected(reason) => TicketStatus::Rejected(*reason),
+                Cell::Active(active) => {
+                    if let Some(rx) = &active.rx {
+                        while let Ok(status) = rx.try_recv() {
+                            // A finished status is terminal: never let an
+                            // older buffered slice update regress it.
+                            if !active.latest.finished {
+                                active.latest = status;
+                            }
+                        }
+                    }
+                    TicketStatus::Active {
+                        session: active.gid,
+                        route: active.route,
+                        degraded: active.degraded,
+                        status: Box::new(active.latest.clone()),
+                    }
+                }
+            };
+            Self::close_if_finished(t, ticket.0, cap);
+            Some(status)
+        })
+    }
+
+    /// Blocks on the ticket's channel for the next status update (at most
+    /// `timeout`), never on engine internals. Returns `None` for unknown,
+    /// queued, or rejected tickets, on timeout, and once the channel is
+    /// closed after the session finished (the final status remains
+    /// available via [`MoqoServer::poll`]). Only one caller may block per
+    /// ticket at a time; concurrent `recv`s on one ticket return `None`.
+    pub fn recv(&self, ticket: Ticket, timeout: Duration) -> Option<SessionStatus> {
+        self.pump();
+        // Take the receiver out so the table lock is NOT held while
+        // blocking; poll() keeps working (it sees `rx: None` and serves
+        // the latest snapshot).
+        let rx = self.with_tickets(|t| match t.cells.get_mut(&ticket.0) {
+            Some(Cell::Active(active)) => active.rx.take(),
+            _ => None,
+        })?;
+        let received = rx.recv_timeout(timeout).ok();
+        let cap = self.retired_tickets;
+        self.with_tickets(|t| {
+            if let Some(Cell::Active(active)) = t.cells.get_mut(&ticket.0) {
+                if let Some(status) = &received {
+                    // A concurrent finish() may have recorded the final
+                    // status while this recv was blocked on an older
+                    // buffered update; finished is terminal — never
+                    // regress it.
+                    if !active.latest.finished {
+                        active.latest = status.clone();
+                    }
+                }
+                active.rx = Some(rx);
+            }
+            Self::close_if_finished(t, ticket.0, cap);
+        });
+        received
+    }
+
+    /// Drags a session's cost bounds (Algorithm 1's `SetBounds` event).
+    pub fn set_bounds(&self, ticket: Ticket, bounds: Bounds) -> bool {
+        self.with_session(ticket, |gid, engine| {
+            engine.send_event(gid, UserEvent::SetBounds(bounds))
+        })
+    }
+
+    /// Selects a visualized plan, ending the session (its optimizer parks
+    /// in the owning shard's frontier cache).
+    pub fn select_plan(&self, ticket: Ticket, plan: PlanId) -> bool {
+        self.with_session(ticket, |gid, engine| {
+            engine.send_event(gid, UserEvent::SelectPlan(plan))
+        })
+    }
+
+    /// Retires a session without a selection, parking its warm frontier
+    /// for future equivalent queries, and frees its admission slot.
+    /// Returns the final status; `None` for tickets that never activated.
+    pub fn finish(&self, ticket: Ticket) -> Option<SessionStatus> {
+        let gid = self.with_tickets(|t| match t.cells.get(&ticket.0) {
+            Some(Cell::Active(active)) => Some(active.gid),
+            _ => None,
+        })?;
+        let status = self.engine.finish(gid);
+        if let Some(status) = &status {
+            let cap = self.retired_tickets;
+            self.with_tickets(|t| {
+                if let Some(Cell::Active(active)) = t.cells.get_mut(&ticket.0) {
+                    active.latest = status.clone();
+                }
+                Self::close_if_finished(t, ticket.0, cap);
+            });
+        }
+        // The freed slot may admit a queued submission right away.
+        self.pump();
+        status
+    }
+
+    /// Blocks until all shards drain (testing/batch use; interactive
+    /// callers should `recv` their own ticket instead).
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        self.pump();
+        self.engine.wait_idle(timeout)
+    }
+
+    /// Aggregate admission + shard statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            admission: self.admission.stats(),
+            pending: self.admission.pending(),
+            live: self.engine.live_sessions(),
+            shards: self.engine.shard_stats(),
+        }
+    }
+
+    fn with_session(
+        &self,
+        ticket: Ticket,
+        f: impl FnOnce(GlobalSessionId, &ShardedEngine) -> bool,
+    ) -> bool {
+        let Some(gid) = self.with_tickets(|t| match t.cells.get(&ticket.0) {
+            Some(Cell::Active(active)) => Some(active.gid),
+            _ => None,
+        }) else {
+            return false;
+        };
+        f(gid, &self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use moqo_costmodel::StandardCostModel;
+    use moqo_engine::EngineConfig;
+    use moqo_query::testkit;
+
+    const IDLE: Duration = Duration::from_secs(60);
+
+    fn server(admission: AdmissionConfig) -> MoqoServer {
+        MoqoServer::new(
+            Arc::new(StandardCostModel::paper_metrics()),
+            ResolutionSchedule::linear(2, 1.1, 0.4),
+            ServeConfig {
+                shard: ShardConfig {
+                    shards: 2,
+                    engine: EngineConfig {
+                        workers: 2,
+                        ..EngineConfig::default()
+                    },
+                    rebalance_headroom: 8,
+                },
+                admission,
+                retired_tickets: 1024,
+            },
+        )
+    }
+
+    #[test]
+    fn ticket_flow_submit_recv_select() {
+        let s = server(AdmissionConfig::default());
+        let t = s.submit(Arc::new(testkit::chain_query(3, 80_000)));
+        // Updates stream on the ticket channel until the ladder saturates.
+        let mut latest = match s.poll(t).unwrap() {
+            TicketStatus::Active { status, .. } => *status,
+            other => panic!("expected active ticket, got {other:?}"),
+        };
+        while latest.invocations < 3 {
+            latest = s.recv(t, IDLE).expect("slice update");
+        }
+        assert!(!latest.frontier.is_empty());
+        // Select the fastest visualized plan; the session retires.
+        let plan = latest.frontier.min_by_metric(0).unwrap().plan;
+        assert!(s.select_plan(t, plan));
+        assert!(s.wait_idle(IDLE));
+        let fin = match s.poll(t).unwrap() {
+            TicketStatus::Active { status, .. } => *status,
+            other => panic!("expected active ticket, got {other:?}"),
+        };
+        assert!(fin.finished);
+        assert_eq!(fin.selected, Some(plan));
+        assert_eq!(s.stats().live, 0);
+    }
+
+    #[test]
+    fn rejection_backpressure_is_visible_on_the_ticket() {
+        let s = server(AdmissionConfig {
+            max_live: 1,
+            policy: AdmissionPolicy::Reject,
+        });
+        let a = s.submit(Arc::new(testkit::chain_query(2, 10_000)));
+        let b = s.submit(Arc::new(testkit::chain_query(3, 10_000)));
+        assert!(matches!(s.poll(a), Some(TicketStatus::Active { .. })));
+        assert!(matches!(
+            s.poll(b),
+            Some(TicketStatus::Rejected(RejectReason::Overloaded { .. }))
+        ));
+        // recv on a rejected ticket returns immediately.
+        assert!(s.recv(b, Duration::from_millis(10)).is_none());
+        assert_eq!(s.stats().admission.rejected, 1);
+    }
+
+    #[test]
+    fn queued_submissions_admit_as_capacity_frees() {
+        let s = server(AdmissionConfig {
+            max_live: 1,
+            policy: AdmissionPolicy::Queue { depth: 1 },
+        });
+        let a = s.submit(Arc::new(testkit::chain_query(2, 20_000)));
+        let b = s.submit(Arc::new(testkit::chain_query(3, 20_000)));
+        let c = s.submit(Arc::new(testkit::chain_query(4, 20_000)));
+        assert!(matches!(s.poll(a), Some(TicketStatus::Active { .. })));
+        assert!(matches!(s.poll(b), Some(TicketStatus::Queued { .. })));
+        // The bounded queue is full: c is rejected, never silently grown.
+        assert!(matches!(
+            s.poll(c),
+            Some(TicketStatus::Rejected(RejectReason::QueueFull { .. }))
+        ));
+        // Finishing a frees the slot; the next interaction admits b.
+        assert!(s.wait_idle(IDLE));
+        s.finish(a).unwrap();
+        match s.poll(b).unwrap() {
+            TicketStatus::Active { .. } => {}
+            other => panic!("queued ticket should have admitted, got {other:?}"),
+        }
+        assert!(s.wait_idle(IDLE));
+        let st = match s.poll(b).unwrap() {
+            TicketStatus::Active { status, .. } => *status,
+            _ => unreachable!(),
+        };
+        assert!(!st.frontier.is_empty());
+    }
+
+    #[test]
+    fn closed_ticket_history_is_bounded() {
+        let s = MoqoServer::new(
+            Arc::new(StandardCostModel::paper_metrics()),
+            ResolutionSchedule::linear(1, 1.2, 0.4),
+            ServeConfig {
+                shard: ShardConfig {
+                    shards: 1,
+                    engine: EngineConfig {
+                        workers: 1,
+                        ..EngineConfig::default()
+                    },
+                    rebalance_headroom: 0,
+                },
+                admission: AdmissionConfig::default(),
+                retired_tickets: 2,
+            },
+        );
+        let tickets: Vec<Ticket> = (2..=5)
+            .map(|n| s.submit(Arc::new(testkit::chain_query(n, 5_000))))
+            .collect();
+        assert!(s.wait_idle(IDLE));
+        for &t in &tickets {
+            s.finish(t).unwrap();
+        }
+        // Only the two youngest closed tickets stay queryable; the
+        // older ones were evicted with their frontiers and channels.
+        assert!(s.poll(tickets[0]).is_none());
+        assert!(s.poll(tickets[1]).is_none());
+        assert!(matches!(
+            s.poll(tickets[2]),
+            Some(TicketStatus::Active { .. })
+        ));
+        assert!(matches!(
+            s.poll(tickets[3]),
+            Some(TicketStatus::Active { .. })
+        ));
+        // Operations on an evicted ticket degrade gracefully.
+        assert!(!s.set_bounds(tickets[0], Bounds::unbounded(3)));
+        assert!(s.finish(tickets[0]).is_none());
+    }
+
+    #[test]
+    fn degrade_policy_admits_under_a_coarse_ladder() {
+        let s = server(AdmissionConfig {
+            max_live: 1,
+            policy: AdmissionPolicy::Degrade {
+                schedule: ResolutionSchedule::linear(0, 1.5, 0.5),
+                hard_cap: 2,
+            },
+        });
+        let a = s.submit(Arc::new(testkit::chain_query(2, 30_000)));
+        let b = s.submit(Arc::new(testkit::chain_query(3, 30_000)));
+        let c = s.submit(Arc::new(testkit::chain_query(4, 30_000)));
+        assert!(matches!(
+            s.poll(a),
+            Some(TicketStatus::Active {
+                degraded: false,
+                ..
+            })
+        ));
+        match s.poll(b).unwrap() {
+            TicketStatus::Active { degraded, .. } => assert!(degraded),
+            other => panic!("expected degraded admission, got {other:?}"),
+        }
+        // Beyond the hard cap even degraded admission stops.
+        assert!(matches!(s.poll(c), Some(TicketStatus::Rejected(_))));
+        assert!(s.wait_idle(IDLE));
+        let st = match s.poll(b).unwrap() {
+            TicketStatus::Active { status, .. } => *status,
+            _ => unreachable!(),
+        };
+        // One-level ladder: a single invocation, but a frontier exists.
+        assert!(st.schedule_override);
+        assert_eq!(st.invocations, 1);
+        assert!(!st.frontier.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! moqo-serve — the sharded, admission-controlled serving front.
+//!
+//! `moqo-engine` turned the paper's single-user loop (Trummer & Koch,
+//! SIGMOD 2015, Figure 1) into a multi-session manager; this crate turns
+//! that manager into a *service*:
+//!
+//! * [`ShardedEngine`] — N independent [`moqo_engine::SessionManager`]
+//!   shards behind a [`QueryFingerprint`]-hash router. Repeats and
+//!   same-shape queries land on the shard whose `FrontierCache` /
+//!   `PlanCache` is already warm; cold queries may divert to the
+//!   least-loaded shard when their home is overloaded.
+//! * [`AdmissionController`] — bounded intake with pluggable overload
+//!   policy: [`Reject`](AdmissionPolicy::Reject) (pure backpressure),
+//!   [`Queue`](AdmissionPolicy::Queue) (bounded FIFO, never unbounded
+//!   growth), or [`Degrade`](AdmissionPolicy::Degrade) (admit at a
+//!   coarser target resolution — IAMA's resolution ladder doubling as a
+//!   load-shedding knob).
+//! * [`MoqoServer`] — the non-blocking client surface: `submit` returns a
+//!   [`Ticket`] immediately; frontier snapshots and completion arrive
+//!   over per-ticket channels (`poll` to drain, `recv` to block on *your
+//!   own* channel). No caller ever parks on the engine's internal
+//!   condvar.
+//! * [`SnapshotStore`] — versioned snapshot/restore of parked frontiers
+//!   (one file per fingerprint via
+//!   [`moqo_core::IamaOptimizer::export_frontier`]), so a restarted
+//!   server's first invocation of a known query still generates zero
+//!   plans.
+//!
+//! ```
+//! use moqo_cost::ResolutionSchedule;
+//! use moqo_costmodel::StandardCostModel;
+//! use moqo_query::testkit;
+//! use moqo_serve::{MoqoServer, ServeConfig, TicketStatus};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let server = MoqoServer::new(
+//!     Arc::new(StandardCostModel::paper_metrics()),
+//!     ResolutionSchedule::linear(2, 1.1, 0.4),
+//!     ServeConfig::default(),
+//! );
+//! let ticket = server.submit(Arc::new(testkit::chain_query(3, 50_000)));
+//! assert!(server.wait_idle(Duration::from_secs(30)));
+//! match server.poll(ticket) {
+//!     Some(TicketStatus::Active { status, .. }) => assert!(!status.frontier.is_empty()),
+//!     other => panic!("expected an active ticket, got {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod api;
+pub mod persist;
+pub mod shard;
+
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats, RejectReason,
+};
+pub use api::{MoqoServer, ServeConfig, ServerStats, Ticket, TicketStatus};
+pub use persist::{RestoreReport, SaveReport, SnapshotStore, FRONTIER_EXT};
+pub use shard::{GlobalSessionId, RouteDecision, ShardConfig, ShardStats, ShardedEngine};
+
+// Re-exported so serve users can speak the engine vocabulary without a
+// direct moqo-engine dependency.
+pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionConfig, SessionStatus};

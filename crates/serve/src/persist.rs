@@ -1,0 +1,314 @@
+//! Durable warm state: snapshot/restore of parked frontiers.
+//!
+//! The frontier caches are the serving front's accumulated capital — each
+//! parked optimizer represents a full refinement ladder someone already
+//! paid for. [`SnapshotStore`] writes every parked optimizer to disk
+//! (one file per [`moqo_engine::QueryFingerprint`], bytes produced by
+//! [`IamaOptimizer::export_frontier`], already versioned and
+//! self-validating) and re-parks them on startup, so a restarted server's
+//! first invocation of a known query still generates **zero** plans.
+//!
+//! Restore is tolerant by design: every file is decoded independently,
+//! and files that fail validation (truncated writes, version skew, a cost
+//! model whose metric layout changed) are skipped and reported, never
+//! trusted. Frontiers are re-parked at their fingerprint's *home* shard —
+//! placement is a pure function of `(fingerprint, shard count)`, so the
+//! router finds them even if the saving process ran with a different
+//! shard count.
+//!
+//! Writes go through a temp file + rename, so a crash mid-save leaves the
+//! previous snapshot generation intact rather than a half-written file.
+
+use crate::shard::ShardedEngine;
+use moqo_core::IamaOptimizer;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File extension of frontier snapshot files.
+pub const FRONTIER_EXT: &str = "frontier";
+
+/// What a [`SnapshotStore::save`] wrote.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Snapshot files written.
+    pub written: usize,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+/// What a [`SnapshotStore::restore`] brought back.
+#[derive(Clone, Debug, Default)]
+pub struct RestoreReport {
+    /// Frontiers re-parked into shard caches.
+    pub restored: usize,
+    /// Files skipped, with the reason (corrupt, version skew, model
+    /// mismatch, unreadable).
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+impl fmt::Display for RestoreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "restored {} frontier(s)", self.restored)?;
+        if !self.skipped.is_empty() {
+            write!(f, ", skipped {}", self.skipped.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// A directory of frontier snapshots, one file per fingerprint.
+#[derive(Clone, Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// A store rooted at `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_for(&self, fp: moqo_engine::QueryFingerprint) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.{FRONTIER_EXT}", fp.as_u64()))
+    }
+
+    /// Serializes every parked frontier of every shard to the store
+    /// directory. Live sessions are not captured — retire them first
+    /// (e.g. [`ShardedEngine::finish`]) if their state should survive.
+    ///
+    /// A fingerprint can be parked on several shards at once (rebalanced
+    /// copies of one hot query each finished on their own shard); one
+    /// file per fingerprint is written, keeping the copy with the most
+    /// accumulated result state.
+    ///
+    /// Serialization takes each shard's state lock once **per entry**
+    /// (not across the whole pass), so a snapshot sweep interleaves with
+    /// live submissions; file IO happens with no lock held at all.
+    pub fn save(&self, engine: &ShardedEngine) -> io::Result<SaveReport> {
+        fs::create_dir_all(&self.dir)?;
+        let exported =
+            engine.map_parked(|fp, opt| (fp, opt.stats().result_insertions, opt.export_frontier()));
+        let mut blobs: std::collections::HashMap<
+            u64,
+            (moqo_engine::QueryFingerprint, u64, Vec<u8>),
+        > = std::collections::HashMap::new();
+        for (fp, warmth, bytes) in exported {
+            match blobs.entry(fp.as_u64()) {
+                std::collections::hash_map::Entry::Occupied(mut e) if e.get().1 < warmth => {
+                    e.insert((fp, warmth, bytes));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((fp, warmth, bytes));
+                }
+                _ => {}
+            }
+        }
+        let mut report = SaveReport::default();
+        for (fp, _, bytes) in blobs.into_values() {
+            let path = self.file_for(fp);
+            let tmp = path.with_extension("tmp");
+            fs::write(&tmp, &bytes)?;
+            fs::rename(&tmp, &path)?;
+            report.written += 1;
+            report.bytes += bytes.len() as u64;
+        }
+        Ok(report)
+    }
+
+    /// Decodes every snapshot file and re-parks the frontiers in their
+    /// home shards. Individual bad files are skipped (reported in the
+    /// result); only directory-level IO fails the whole restore. A
+    /// missing directory restores nothing.
+    pub fn restore(&self, engine: &ShardedEngine) -> io::Result<RestoreReport> {
+        let mut report = RestoreReport::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(FRONTIER_EXT) {
+                continue;
+            }
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.skipped.push((path, format!("unreadable: {e}")));
+                    continue;
+                }
+            };
+            match IamaOptimizer::import_frontier(engine.model(), &bytes) {
+                Ok(opt) => {
+                    // The fingerprint is recomputed from the decoded spec
+                    // (content-authoritative, file names are cosmetic).
+                    let fp = engine.fingerprint(opt.spec());
+                    engine.park(fp, opt);
+                    report.restored += 1;
+                }
+                Err(e) => report.skipped.push((path, e.to_string())),
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardConfig;
+    use moqo_cost::ResolutionSchedule;
+    use moqo_costmodel::StandardCostModel;
+    use moqo_engine::EngineConfig;
+    use moqo_query::testkit;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const IDLE: Duration = Duration::from_secs(60);
+
+    fn engine(shards: usize) -> ShardedEngine {
+        ShardedEngine::new(
+            Arc::new(StandardCostModel::paper_metrics()),
+            ResolutionSchedule::linear(2, 1.1, 0.4),
+            ShardConfig {
+                shards,
+                engine: EngineConfig {
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+                rebalance_headroom: 0,
+            },
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("moqo-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_survives_a_kill_restore_cycle() {
+        // Satellite requirement: snapshot → drop → restore → the first
+        // invocation of a known query generates 0 fresh plans.
+        let dir = temp_dir("cycle");
+        let store = SnapshotStore::new(&dir);
+        let specs: Vec<Arc<_>> = (2..=5)
+            .map(|n| Arc::new(testkit::chain_query(n, 77_000)))
+            .collect();
+        {
+            let e = engine(4);
+            let ids: Vec<_> = specs.iter().map(|s| e.submit(s.clone()).0).collect();
+            assert!(e.wait_idle(IDLE));
+            for id in ids {
+                e.finish(id).unwrap();
+            }
+            let saved = store.save(&e).unwrap();
+            assert_eq!(saved.written, specs.len());
+            assert!(saved.bytes > 0);
+        } // drop = kill: worker pools join, all in-memory state is gone
+
+        let e = engine(4);
+        let restored = store.restore(&e).unwrap();
+        assert_eq!(restored.restored, specs.len());
+        assert!(restored.skipped.is_empty(), "{:?}", restored.skipped);
+        for spec in &specs {
+            let fp = e.fingerprint(spec);
+            assert!(e.has_parked(fp));
+            // Restored frontiers live at the fingerprint's home shard.
+            assert_eq!(e.home_shard(fp), e.route(fp).0);
+            let (gid, decision) = e.submit(spec.clone());
+            assert!(decision.is_warm());
+            assert!(e.wait_idle(IDLE));
+            let s = e.status(gid).unwrap();
+            assert!(s.warm_start, "{}", spec.name);
+            assert_eq!(
+                s.first_report.unwrap().plans_generated,
+                0,
+                "{}: restored frontier regenerated plans",
+                spec.name
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_tolerates_shard_count_changes() {
+        let dir = temp_dir("reshard");
+        let store = SnapshotStore::new(&dir);
+        let spec = Arc::new(testkit::chain_query(4, 55_000));
+        {
+            let e = engine(2);
+            let (gid, _) = e.submit(spec.clone());
+            assert!(e.wait_idle(IDLE));
+            e.finish(gid).unwrap();
+            store.save(&e).unwrap();
+        }
+        // Restore into an 8-shard engine: the frontier re-parks at the
+        // *new* home, so routing still finds it.
+        let e = engine(8);
+        assert_eq!(store.restore(&e).unwrap().restored, 1);
+        let (gid, decision) = e.submit(spec);
+        assert!(decision.is_warm());
+        assert!(e.wait_idle(IDLE));
+        assert_eq!(
+            e.status(gid).unwrap().first_report.unwrap().plans_generated,
+            0
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_skipped_not_trusted() {
+        let dir = temp_dir("corrupt");
+        let store = SnapshotStore::new(&dir);
+        let spec = Arc::new(testkit::chain_query(3, 40_000));
+        {
+            let e = engine(2);
+            let (gid, _) = e.submit(spec.clone());
+            assert!(e.wait_idle(IDLE));
+            e.finish(gid).unwrap();
+            store.save(&e).unwrap();
+        }
+        // Corrupt the snapshot and drop a junk file next to it.
+        let files: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(files.len(), 1);
+        let mut bytes = fs::read(&files[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        fs::write(&files[0], &bytes).unwrap();
+        fs::write(dir.join(format!("junk.{FRONTIER_EXT}")), b"not a snapshot").unwrap();
+        fs::write(dir.join("README.txt"), b"ignored entirely").unwrap();
+
+        let e = engine(2);
+        let report = store.restore(&e).unwrap();
+        assert_eq!(report.restored, 0);
+        assert_eq!(report.skipped.len(), 2, "{report}");
+        // The engine stays cold but functional.
+        let (gid, decision) = e.submit(spec);
+        assert!(!decision.is_warm());
+        assert!(e.wait_idle(IDLE));
+        assert!(e.status(gid).unwrap().first_report.unwrap().plans_generated > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_from_a_missing_directory_is_a_clean_noop() {
+        let store = SnapshotStore::new(temp_dir("missing"));
+        let e = engine(2);
+        let report = store.restore(&e).unwrap();
+        assert_eq!(report.restored, 0);
+        assert!(report.skipped.is_empty());
+    }
+}

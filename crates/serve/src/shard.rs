@@ -1,0 +1,476 @@
+//! Fingerprint-sharded session placement.
+//!
+//! One [`SessionManager`] saturates at some number of concurrent sessions:
+//! every submission, event, and slice check-in crosses its single state
+//! lock, and its `FrontierCache` / `PlanCache` warm exactly the queries it
+//! has seen. [`ShardedEngine`] runs N independent managers and routes each
+//! submission by its [`QueryFingerprint`] hash, so
+//!
+//! * lock traffic divides by N — shards never share state;
+//! * a *repeated* query deterministically lands on the shard whose
+//!   frontier cache already parks its optimizer (a warm hit generates
+//!   zero plans on the first invocation);
+//! * *structurally similar* queries land on the shard whose plan cache
+//!   already holds their enumeration plane (fingerprints embed the shape,
+//!   so equal shapes with equal statistics hash together; equal shapes
+//!   with different statistics spread, which is what per-shard plan
+//!   caches tolerate well — plans are cheap to share, frontiers are not).
+//!
+//! The router is **warmth-aware and rebalance-aware**: a fingerprint whose
+//! home shard parks its frontier always goes home (moving it would forfeit
+//! the warm state), while a *cold* fingerprint may be diverted to the
+//! least-loaded shard when its home shard is overloaded by more than
+//! [`ShardConfig::rebalance_headroom`] sessions. Home placement is a pure
+//! function of fingerprint and shard count, so two engines with equal
+//! shard counts agree on every home — the property that lets a restarted
+//! process re-park restored frontiers where future submissions will look.
+
+use moqo_core::{FrontierSnapshot, IamaOptimizer, UserEvent};
+use moqo_cost::{Bounds, ResolutionSchedule};
+use moqo_costmodel::{CostModel, SharedCostModel};
+use moqo_engine::{
+    CacheStats, EngineConfig, PlanCacheStats, QueryFingerprint, SessionConfig, SessionId,
+    SessionManager, SessionStatus,
+};
+use moqo_query::QuerySpec;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tunables of the sharded serving front.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Number of independent [`SessionManager`] shards. At least 1.
+    pub shards: usize,
+    /// Engine configuration applied to every shard (worker count, cache
+    /// capacity, slice budget, ...).
+    pub engine: EngineConfig,
+    /// How many live sessions a cold submission's home shard may exceed
+    /// the least-loaded shard by before the router diverts the submission
+    /// there. Warm submissions are never diverted. `0` disables
+    /// rebalancing (strict hash placement).
+    pub rebalance_headroom: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            engine: EngineConfig::default(),
+            rebalance_headroom: 8,
+        }
+    }
+}
+
+/// A session address within a [`ShardedEngine`]: shard plus the shard's
+/// local session id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalSessionId {
+    /// The shard owning the session.
+    pub shard: usize,
+    /// The session id within that shard's manager.
+    pub local: SessionId,
+}
+
+/// How the router placed a submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Home shard, which already parks a warm frontier for the
+    /// fingerprint.
+    WarmHome,
+    /// A non-home shard parks the warm frontier (a rebalanced session
+    /// finished there); the submission follows the warmth.
+    WarmRemote {
+        /// The fingerprint's hash-home that was bypassed.
+        home: usize,
+    },
+    /// Home shard, cold (first sight of the fingerprint, or its frontier
+    /// was evicted).
+    ColdHome,
+    /// Diverted from the overloaded home shard to the least-loaded one.
+    Rebalanced {
+        /// The home shard the submission was diverted away from.
+        from: usize,
+    },
+}
+
+impl RouteDecision {
+    /// True if the decision targets a shard already parking the
+    /// fingerprint's frontier.
+    pub fn is_warm(self) -> bool {
+        matches!(
+            self,
+            RouteDecision::WarmHome | RouteDecision::WarmRemote { .. }
+        )
+    }
+}
+
+/// Per-shard load and effectiveness snapshot.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Admitted, not-yet-finished sessions.
+    pub live: usize,
+    /// Warm-frontier cache counters.
+    pub cache: CacheStats,
+    /// Shared enumeration-plan cache counters.
+    pub plans: PlanCacheStats,
+    /// Submissions routed here warm (frontier already parked).
+    pub warm_routed: u64,
+    /// Submissions routed here cold by hash.
+    pub cold_routed: u64,
+    /// Cold submissions diverted here from an overloaded home shard.
+    pub rebalanced_in: u64,
+}
+
+#[derive(Default)]
+struct RouteCounters {
+    warm: AtomicU64,
+    cold: AtomicU64,
+    rebalanced_in: AtomicU64,
+}
+
+/// N independent [`SessionManager`]s behind a fingerprint-hash router; see
+/// the module docs for the placement policy.
+pub struct ShardedEngine {
+    shards: Vec<SessionManager>,
+    counters: Vec<RouteCounters>,
+    model: SharedCostModel,
+    schedule: ResolutionSchedule,
+    rebalance_headroom: usize,
+}
+
+impl ShardedEngine {
+    /// Starts `config.shards` managers, each with its own worker pool and
+    /// caches.
+    pub fn new(model: SharedCostModel, schedule: ResolutionSchedule, config: ShardConfig) -> Self {
+        let n = config.shards.max(1);
+        let shards = (0..n)
+            .map(|_| SessionManager::new(model.clone(), schedule.clone(), config.engine.clone()))
+            .collect();
+        Self {
+            shards,
+            counters: (0..n).map(|_| RouteCounters::default()).collect(),
+            model,
+            schedule,
+            rebalance_headroom: config.rebalance_headroom,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shared handle to the deployment-wide cost model.
+    pub fn model(&self) -> SharedCostModel {
+        self.model.clone()
+    }
+
+    /// The deployment-wide resolution ladder.
+    pub fn schedule(&self) -> &ResolutionSchedule {
+        &self.schedule
+    }
+
+    /// Canonical fingerprint of a query under this engine's metric set —
+    /// the routing and cache key.
+    pub fn fingerprint(&self, spec: &QuerySpec) -> QueryFingerprint {
+        QueryFingerprint::of(spec, self.model.metrics())
+    }
+
+    /// The deterministic home shard of a fingerprint: a pure function of
+    /// `(fingerprint, shard count)`, identical across engine instances —
+    /// restored frontiers parked at home are found by later submissions.
+    pub fn home_shard(&self, fp: QueryFingerprint) -> usize {
+        (fp.as_u64() % self.shards.len() as u64) as usize
+    }
+
+    /// Routes a fingerprint: to parked warmth wherever it lives (home
+    /// first), otherwise home — unless home is overloaded and the
+    /// fingerprint is cold (nothing warm to forfeit), in which case the
+    /// least-loaded shard takes it.
+    pub fn route(&self, fp: QueryFingerprint) -> (usize, RouteDecision) {
+        let home = self.home_shard(fp);
+        if self.shards[home].has_parked(fp) {
+            return (home, RouteDecision::WarmHome);
+        }
+        // A rebalanced session parks its frontier where it ran; follow it
+        // rather than rebuilding from scratch at home.
+        if let Some(remote) = self.shards.iter().position(|s| s.has_parked(fp)) {
+            return (remote, RouteDecision::WarmRemote { home });
+        }
+        if self.rebalance_headroom > 0 {
+            let home_load = self.shards[home].live_sessions();
+            let (coolest, min_load) = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.live_sessions()))
+                .min_by_key(|&(_, load)| load)
+                .expect("at least one shard");
+            if coolest != home && home_load >= min_load + self.rebalance_headroom {
+                return (coolest, RouteDecision::Rebalanced { from: home });
+            }
+        }
+        (home, RouteDecision::ColdHome)
+    }
+
+    /// Admits a session with default per-session configuration.
+    pub fn submit(&self, spec: Arc<QuerySpec>) -> (GlobalSessionId, RouteDecision) {
+        self.submit_with_config(spec, SessionConfig::default())
+    }
+
+    /// Admits a session with per-session overrides (bounds, degraded
+    /// schedule, refinement budget), routed by fingerprint.
+    pub fn submit_with_config(
+        &self,
+        spec: Arc<QuerySpec>,
+        config: SessionConfig,
+    ) -> (GlobalSessionId, RouteDecision) {
+        let fp = self.fingerprint(&spec);
+        let (shard, decision) = self.route(fp);
+        let counter = &self.counters[shard];
+        match decision {
+            RouteDecision::WarmHome | RouteDecision::WarmRemote { .. } => {
+                counter.warm.fetch_add(1, Ordering::Relaxed)
+            }
+            RouteDecision::ColdHome => counter.cold.fetch_add(1, Ordering::Relaxed),
+            RouteDecision::Rebalanced { .. } => {
+                counter.rebalanced_in.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        let local = self.shards[shard].submit_with_config(spec, config);
+        (GlobalSessionId { shard, local }, decision)
+    }
+
+    fn shard(&self, id: GlobalSessionId) -> Option<&SessionManager> {
+        self.shards.get(id.shard)
+    }
+
+    /// Snapshot of one session's current state.
+    pub fn status(&self, id: GlobalSessionId) -> Option<SessionStatus> {
+        self.shard(id)?.status(id.local)
+    }
+
+    /// The currently visualized frontier of one session.
+    pub fn frontier(&self, id: GlobalSessionId) -> Option<FrontierSnapshot> {
+        self.shard(id)?.frontier(id.local)
+    }
+
+    /// Routes a user event to the owning shard's session.
+    pub fn send_event(&self, id: GlobalSessionId, event: UserEvent) -> bool {
+        self.shard(id)
+            .is_some_and(|s| s.send_event(id.local, event))
+    }
+
+    /// Subscribes to a session's per-slice status updates (see
+    /// [`SessionManager::watch`]).
+    pub fn watch(&self, id: GlobalSessionId) -> Option<mpsc::Receiver<SessionStatus>> {
+        self.shard(id)?.watch(id.local)
+    }
+
+    /// Retires a session, parking its optimizer in its shard's frontier
+    /// cache.
+    pub fn finish(&self, id: GlobalSessionId) -> Option<SessionStatus> {
+        self.shard(id)?.finish(id.local)
+    }
+
+    /// Blocks until every shard has drained. Returns `false` on timeout.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.shards.iter().all(|s| {
+            let left = deadline.saturating_duration_since(Instant::now());
+            s.wait_idle(left)
+        })
+    }
+
+    /// Total live sessions across all shards.
+    pub fn live_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.live_sessions()).sum()
+    }
+
+    /// Per-shard load and routing statistics.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .zip(&self.counters)
+            .enumerate()
+            .map(|(i, (s, c))| ShardStats {
+                shard: i,
+                live: s.live_sessions(),
+                cache: s.cache_stats(),
+                plans: s.plan_cache_stats(),
+                warm_routed: c.warm.load(Ordering::Relaxed),
+                cold_routed: c.cold.load(Ordering::Relaxed),
+                rebalanced_in: c.rebalanced_in.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Parks an optimizer in its fingerprint's *home* shard cache — the
+    /// restore hook: future submissions of the fingerprint route home and
+    /// start warm.
+    pub fn park(&self, fp: QueryFingerprint, optimizer: IamaOptimizer) {
+        self.shards[self.home_shard(fp)].park(fp, optimizer);
+    }
+
+    /// True if some shard parks a warm frontier for `fp`.
+    pub fn has_parked(&self, fp: QueryFingerprint) -> bool {
+        self.shards.iter().any(|s| s.has_parked(fp))
+    }
+
+    /// Visits every parked optimizer of every shard (persistence export).
+    /// Each shard's state lock is held while its entries are visited; for
+    /// expensive per-entry work prefer [`ShardedEngine::map_parked`].
+    pub fn for_each_parked(&self, mut f: impl FnMut(QueryFingerprint, &IamaOptimizer)) {
+        for shard in &self.shards {
+            shard.for_each_parked(&mut f);
+        }
+    }
+
+    /// Maps `f` over every parked optimizer of every shard, taking each
+    /// shard's state lock **once per entry** instead of across the whole
+    /// pass — a long serialization sweep interleaves with submissions
+    /// and worker check-ins rather than stalling them. Entries taken by
+    /// a racing warm submission between the fingerprint snapshot and
+    /// their visit are skipped (they are live again, not parked).
+    pub fn map_parked<R>(
+        &self,
+        mut f: impl FnMut(QueryFingerprint, &IamaOptimizer) -> R,
+    ) -> Vec<R> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for fp in shard.parked_fingerprints() {
+                if let Some(r) = shard.with_parked(fp, |opt| f(fp, opt)) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Unbounded initial bounds under the engine's cost model.
+    pub fn unbounded(&self) -> Bounds {
+        Bounds::unbounded(self.model.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_costmodel::StandardCostModel;
+    use moqo_query::testkit;
+
+    const IDLE: Duration = Duration::from_secs(60);
+
+    fn engine(shards: usize) -> ShardedEngine {
+        ShardedEngine::new(
+            Arc::new(StandardCostModel::paper_metrics()),
+            ResolutionSchedule::linear(2, 1.1, 0.4),
+            ShardConfig {
+                shards,
+                engine: EngineConfig {
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+                rebalance_headroom: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn home_shard_is_deterministic_across_instances() {
+        // Satellite requirement: equal shard counts ⇒ identical mapping,
+        // across engine instances.
+        let a = engine(4);
+        let b = engine(4);
+        for n in 2..=9 {
+            let spec = testkit::chain_query(n, 10_000 * n as u64);
+            let fp = a.fingerprint(&spec);
+            assert_eq!(a.home_shard(fp), b.home_shard(fp), "n={n}");
+            assert_eq!(fp.as_u64() % 4, a.home_shard(fp) as u64);
+        }
+    }
+
+    #[test]
+    fn repeated_fingerprint_routes_to_its_warm_shard() {
+        let e = engine(4);
+        let spec = Arc::new(testkit::chain_query(3, 120_000));
+        let (gid, d1) = e.submit(spec.clone());
+        assert_eq!(d1, RouteDecision::ColdHome);
+        assert!(e.wait_idle(IDLE));
+        e.finish(gid).unwrap();
+        // The repeat goes home and starts warm, regardless of load.
+        let (gid2, d2) = e.submit(spec);
+        assert_eq!(d2, RouteDecision::WarmHome);
+        assert_eq!(gid2.shard, gid.shard);
+        assert!(e.wait_idle(IDLE));
+        let s = e.status(gid2).unwrap();
+        assert!(s.warm_start);
+        assert_eq!(s.first_report.unwrap().plans_generated, 0);
+        let stats = e.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.warm_routed).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn overloaded_home_diverts_cold_queries_only() {
+        // headroom 3: pile sessions onto one shard's hash bucket until a
+        // cold stranger diverts, then verify a warm repeat does not.
+        let e = ShardedEngine::new(
+            Arc::new(StandardCostModel::paper_metrics()),
+            ResolutionSchedule::linear(2, 1.1, 0.4),
+            ShardConfig {
+                shards: 2,
+                engine: EngineConfig {
+                    workers: 1,
+                    // Park nothing automatically: sessions stay live until
+                    // finished, keeping the load imbalance visible.
+                    ..EngineConfig::default()
+                },
+                rebalance_headroom: 3,
+            },
+        );
+        // Find specs hashing to shard 0 until we exceed the headroom.
+        let mut loaded = 0usize;
+        let mut card = 10_000u64;
+        while loaded < 3 {
+            card += 17;
+            let spec = Arc::new(testkit::chain_query(3, card));
+            if e.home_shard(e.fingerprint(&spec)) == 0 {
+                let (gid, _) = e.submit(spec);
+                assert_eq!(gid.shard, 0);
+                loaded += 1;
+            }
+        }
+        // A cold spec homing to shard 0 now diverts to shard 1.
+        let mut diverted = None;
+        while diverted.is_none() {
+            card += 17;
+            let spec = Arc::new(testkit::chain_query(3, card));
+            let fp = e.fingerprint(&spec);
+            if e.home_shard(fp) == 0 {
+                let (gid, d) = e.submit(spec.clone());
+                assert_eq!(d, RouteDecision::Rebalanced { from: 0 });
+                assert_eq!(gid.shard, 1);
+                diverted = Some((spec, gid));
+            }
+        }
+        assert!(e.wait_idle(IDLE));
+        // The diverted session finishes and parks its frontier on shard 1
+        // (where it ran). A repeat of the fingerprint must follow that
+        // warmth instead of rebuilding cold at its hash-home.
+        let (spec, gid) = diverted.unwrap();
+        let fp = e.fingerprint(&spec);
+        e.finish(gid).unwrap();
+        assert!(e.shards[1].has_parked(fp));
+        let (gid2, d2) = e.submit(spec);
+        assert_eq!(d2, RouteDecision::WarmRemote { home: 0 });
+        assert!(d2.is_warm());
+        assert_eq!(gid2.shard, 1);
+        assert!(e.wait_idle(IDLE));
+        let s = e.status(gid2).unwrap();
+        assert!(s.warm_start);
+        assert_eq!(s.first_report.unwrap().plans_generated, 0);
+    }
+}

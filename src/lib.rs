@@ -19,6 +19,10 @@
 //! * [`core`] — the IAMA incremental anytime optimizer itself;
 //! * [`engine`] — the concurrent multi-session serving layer: session
 //!   manager, worker pool, and the warm-frontier cache;
+//! * [`serve`] — the sharded, admission-controlled serving front:
+//!   fingerprint-hash shard routing, bounded admission (reject / queue /
+//!   degrade), per-ticket channels, and frontier persistence across
+//!   restarts;
 //! * [`baselines`] — memoryless, one-shot, exhaustive, and single-objective
 //!   reference optimizers;
 //! * [`viz`] — ASCII rendering of cost frontiers.
@@ -52,6 +56,7 @@ pub use moqo_engine as engine;
 pub use moqo_index as index;
 pub use moqo_plan as plan;
 pub use moqo_query as query;
+pub use moqo_serve as serve;
 pub use moqo_sql as sql;
 pub use moqo_tpch as tpch;
 pub use moqo_viz as viz;
@@ -61,6 +66,12 @@ pub mod prelude {
     pub use moqo_core::{IamaOptimizer, InvocationReport, Session, UserEvent};
     pub use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
     pub use moqo_costmodel::{CostModel, SharedCostModel, StandardCostModel};
-    pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionId, SessionManager};
+    pub use moqo_engine::{
+        EngineConfig, QueryFingerprint, SessionConfig, SessionId, SessionManager,
+    };
     pub use moqo_query::QuerySpec;
+    pub use moqo_serve::{
+        AdmissionConfig, AdmissionPolicy, MoqoServer, ServeConfig, ShardConfig, ShardedEngine,
+        SnapshotStore, Ticket, TicketStatus,
+    };
 }
