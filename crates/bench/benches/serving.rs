@@ -38,10 +38,12 @@ fn engine() -> ShardedEngine {
 fn first_frontier(e: &ShardedEngine, spec: Arc<moqo_query::QuerySpec>) -> usize {
     let (gid, _) = e.submit(spec);
     let rx = e.watch(gid).expect("fresh session");
+    let mut view = moqo_serve::SessionView::default();
     let mut size = 0;
-    for status in rx.iter() {
-        if !status.frontier.is_empty() {
-            size = status.frontier.len();
+    for event in rx.iter() {
+        view.fold(&event).expect("ordered watch stream");
+        if !view.frontier.is_empty() {
+            size = view.frontier.len();
             break;
         }
     }

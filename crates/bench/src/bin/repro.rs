@@ -14,7 +14,7 @@
 
 use moqo_baselines::one_shot;
 use moqo_bench::*;
-use moqo_core::{IamaConfig, IamaOptimizer, Session, StepOutcome, UserEvent};
+use moqo_core::{IamaConfig, IamaOptimizer, Session, SessionCommand};
 use moqo_cost::{Bounds, ResolutionSchedule};
 use moqo_costmodel::{CostModel, StandardCostModel};
 use moqo_tpch::query_block;
@@ -390,18 +390,18 @@ fn fig1(model: &StandardCostModel, sf: f64) {
         bounds,
     };
     // (a) first coarse approximation.
-    if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
+    session.apply(SessionCommand::Refine).expect("live session");
+    {
+        let frontier = session.frontier();
         println!("(a) first approximation ({} plans):", frontier.len());
         println!("{}", render_scatter(&frontier.costs(), &opts(None)));
     }
     // (b) refined without user interaction.
-    let mut last = None;
     for _ in 0..3 {
-        if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
-            last = Some(frontier);
-        }
+        session.apply(SessionCommand::Refine).expect("live session");
     }
-    if let Some(frontier) = last {
+    {
+        let frontier = session.frontier();
         println!("(b) refined approximation ({} plans):", frontier.len());
         println!("{}", render_scatter(&frontier.costs(), &opts(None)));
     }
@@ -417,8 +417,12 @@ fn fig1(model: &StandardCostModel, sf: f64) {
         ts.get(ts.len() / 2).copied().unwrap_or(f64::INFINITY)
     };
     let new_bounds = Bounds::unbounded(dim).with_limit(0, t_mid);
-    session.step(UserEvent::SetBounds(new_bounds));
-    if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
+    session
+        .apply(SessionCommand::SetBounds(new_bounds))
+        .expect("live session");
+    session.apply(SessionCommand::Refine).expect("live session");
+    {
+        let frontier = session.frontier();
         println!(
             "(c) after dragging the time bound to {t_mid:.2} ({} plans):",
             frontier.len()

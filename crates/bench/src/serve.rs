@@ -66,19 +66,27 @@ pub fn serving_workload(fast: bool) -> Vec<Arc<QuerySpec>> {
 
 /// Submits the workload and records submit→first-frontier latency per
 /// session via the per-session watch channels (no engine-global waits on
-/// the measurement path).
+/// the measurement path). Each channel delivers delta-streamed
+/// [`moqo_serve::SessionEvent`]s; a client-side
+/// [`moqo_serve::SessionView`] reassembles them exactly as a remote UI
+/// would.
 fn run_phase(
     engine: &ShardedEngine,
     specs: &[Arc<QuerySpec>],
     label: &'static str,
 ) -> ServingPhaseReport {
     let warm_before: u64 = engine.shard_stats().iter().map(|s| s.warm_routed).sum();
-    let mut watchers: Vec<(GlobalSessionId, Instant, std::sync::mpsc::Receiver<_>)> = Vec::new();
+    let mut watchers: Vec<(
+        GlobalSessionId,
+        Instant,
+        std::sync::mpsc::Receiver<moqo_serve::SessionEvent>,
+        moqo_serve::SessionView,
+    )> = Vec::new();
     for spec in specs {
         let t0 = Instant::now();
         let (gid, _) = engine.submit(spec.clone());
         let rx = engine.watch(gid).expect("fresh session");
-        watchers.push((gid, t0, rx));
+        watchers.push((gid, t0, rx, moqo_serve::SessionView::default()));
     }
     // Round-robin over the channels until every session showed a frontier.
     let mut latency = vec![None::<Duration>; watchers.len()];
@@ -87,15 +95,16 @@ fn run_phase(
     while latency.iter().any(Option::is_none) {
         assert!(Instant::now() < deadline, "serving experiment stalled");
         let mut progressed = false;
-        for (i, (_, t0, rx)) in watchers.iter().enumerate() {
+        for (i, (_, t0, rx, view)) in watchers.iter_mut().enumerate() {
             if latency[i].is_some() {
                 continue;
             }
-            while let Ok(status) = rx.try_recv() {
+            while let Ok(event) = rx.try_recv() {
                 progressed = true;
-                if !status.frontier.is_empty() && latency[i].is_none() {
+                view.fold(&event).expect("ordered watch stream");
+                if !view.frontier.is_empty() && latency[i].is_none() {
                     latency[i] = Some(t0.elapsed());
-                    if status
+                    if view
                         .first_report
                         .as_ref()
                         .is_some_and(|r| r.plans_generated == 0)
@@ -111,7 +120,7 @@ fn run_phase(
         }
     }
     assert!(engine.wait_idle(Duration::from_secs(600)));
-    for (gid, _, _) in &watchers {
+    for (gid, _, _, _) in &watchers {
         engine.finish(*gid);
     }
     let mut us: Vec<f64> = latency

@@ -64,6 +64,36 @@ impl FrontierSnapshot {
             .iter()
             .min_by(|a, b| a.cost[metric_idx].partial_cmp(&b.cost[metric_idx]).unwrap())
     }
+
+    /// True if the two snapshots are identical point for point — same
+    /// order, same plans, bitwise-equal costs. This is the equality the
+    /// protocol's delta streams guarantee
+    /// ([`FrontierDelta::between`](crate::FrontierDelta::between)
+    /// reassembles exactly), and the one tests and examples should
+    /// assert with.
+    pub fn bits_eq(&self, other: &FrontierSnapshot) -> bool {
+        self.points.len() == other.points.len()
+            && self
+                .points
+                .iter()
+                .zip(&other.points)
+                .all(|(a, b)| a.bits_eq(b))
+    }
+}
+
+impl FrontierPoint {
+    /// True if `other` is the same plan with a bitwise-equal cost vector
+    /// (no float tolerance: delta streams promise exactness).
+    pub fn bits_eq(&self, other: &FrontierPoint) -> bool {
+        self.plan == other.plan
+            && self.cost.dim() == other.cost.dim()
+            && self
+                .cost
+                .as_slice()
+                .iter()
+                .zip(other.cost.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
 }
 
 #[cfg(test)]

@@ -10,10 +10,17 @@
 //!   invocation with bounds `b` and resolution `r`, the result set for
 //!   every table subset `q` (with `|q| = k`) contains an
 //!   `alpha_r^k`-approximate `b`-bounded Pareto plan set (Theorems 1–2).
-//! * [`Session`] — the main control loop (Algorithm 1). It feeds user
-//!   events (bound changes, plan selection) into the optimizer, resets the
-//!   resolution on bound changes, and otherwise refines resolution by one
-//!   level per iteration.
+//! * [`Session`] — the main control loop (Algorithm 1). It feeds
+//!   [`SessionCommand`]s (refinement, bound changes, plan selection) into
+//!   the optimizer, resets the resolution on bound changes, and otherwise
+//!   refines resolution by one level per iteration, emitting one
+//!   delta-streamed [`SessionEvent`] per command.
+//!
+//! The [`protocol`] module defines the typed session vocabulary —
+//! [`SessionRequest`] / [`SessionCommand`] / [`SessionEvent`] — that the
+//! serving layers (`moqo-engine`, `moqo-serve`) re-export and speak
+//! unchanged, so one client codepath drives a bare session, a session
+//! manager, and the sharded serving front.
 //!
 //! [`OptimizerStats`] instruments the incremental invariants so the tests
 //! and benchmarks can verify Lemmas 5–7 directly: every plan is generated
@@ -26,6 +33,7 @@ pub mod config;
 pub mod frontier;
 pub mod optimizer;
 pub mod preference;
+pub mod protocol;
 pub mod report;
 pub mod session;
 pub mod snapshot;
@@ -35,7 +43,11 @@ pub use config::IamaConfig;
 pub use frontier::{FrontierPoint, FrontierSnapshot};
 pub use optimizer::IamaOptimizer;
 pub use preference::Preference;
+pub use protocol::{
+    AdmissionResponse, FrontierDelta, ProtocolError, RejectReason, SessionCommand, SessionEvent,
+    SessionOutcome, SessionRequest, SessionView,
+};
 pub use report::InvocationReport;
-pub use session::{Session, StepOutcome, UserEvent};
+pub use session::Session;
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::OptimizerStats;

@@ -6,13 +6,19 @@
 //! programmatic consumers — which, unlike humans, *can* state preferences
 //! up front — can pick a plan from a frontier automatically: a weighted
 //! sum, the Chebyshev (weighted max) scalarization, and lexicographic
-//! orderings.
+//! orderings. A [`crate::SessionRequest`] carries one to auto-select a
+//! plan at the target resolution without a `SelectPlan` round-trip.
+//!
+//! Malformed preferences (wrong weight dimension, empty order) are
+//! [`ProtocolError`]s, never panics: a bad serve-layer request must not
+//! crash a shard worker.
 
 use crate::frontier::{FrontierPoint, FrontierSnapshot};
+use crate::protocol::ProtocolError;
 use moqo_cost::{Bounds, CostVector};
 
 /// A scalarization of cost vectors; smaller is better.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Preference {
     /// `sum_i w_i * c_i` — the classic linear preference. Only finds
     /// supported (convex-hull) Pareto points.
@@ -31,49 +37,82 @@ pub enum Preference {
 }
 
 impl Preference {
+    /// Checks the preference against a cost-model dimension. Non-finite
+    /// weights or tolerances are rejected too: a NaN weight would poison
+    /// every score comparison downstream, and this `validate` is the
+    /// door-check serving layers rely on to keep client data from ever
+    /// panicking a worker.
+    pub fn validate(&self, dim: usize) -> Result<(), ProtocolError> {
+        match self {
+            Preference::WeightedSum(w) | Preference::Chebyshev(w) => {
+                if w.len() != dim {
+                    return Err(ProtocolError::WeightDimensionMismatch {
+                        expected: dim,
+                        got: w.len(),
+                    });
+                }
+                if w.iter().any(|x| !x.is_finite()) {
+                    return Err(ProtocolError::NonFinitePreference);
+                }
+            }
+            Preference::Lexicographic { order, tolerance } => {
+                if order.is_empty() {
+                    return Err(ProtocolError::EmptyPreferenceOrder);
+                }
+                if let Some(&metric) = order.iter().find(|&&m| m >= dim) {
+                    return Err(ProtocolError::MetricOutOfRange { metric, dim });
+                }
+                if !tolerance.is_finite() {
+                    return Err(ProtocolError::NonFinitePreference);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Scores a cost vector (lower is better). Lexicographic preferences
     /// are handled by [`Preference::select`] instead and return the
     /// primary metric here.
-    pub fn score(&self, cost: &CostVector) -> f64 {
+    pub fn score(&self, cost: &CostVector) -> Result<f64, ProtocolError> {
+        self.validate(cost.dim())?;
+        Ok(self.raw_score(cost))
+    }
+
+    /// The scalarization with no validation — callers must have run
+    /// [`Preference::validate`] against the cost's dimension.
+    fn raw_score(&self, cost: &CostVector) -> f64 {
         match self {
-            Preference::WeightedSum(w) => {
-                assert_eq!(w.len(), cost.dim(), "weight dimension mismatch");
-                cost.as_slice().iter().zip(w).map(|(c, w)| c * w).sum()
-            }
-            Preference::Chebyshev(w) => {
-                assert_eq!(w.len(), cost.dim(), "weight dimension mismatch");
-                cost.as_slice()
-                    .iter()
-                    .zip(w)
-                    .map(|(c, w)| c * w)
-                    .fold(0.0, f64::max)
-            }
-            Preference::Lexicographic { order, .. } => {
-                let first = *order.first().expect("non-empty order");
-                cost[first]
-            }
+            Preference::WeightedSum(w) => cost.as_slice().iter().zip(w).map(|(c, w)| c * w).sum(),
+            Preference::Chebyshev(w) => cost
+                .as_slice()
+                .iter()
+                .zip(w)
+                .map(|(c, w)| c * w)
+                .fold(0.0, f64::max),
+            Preference::Lexicographic { order, .. } => cost[order[0]],
         }
     }
 
     /// Selects the best point of a frontier under this preference,
-    /// restricted to points respecting `bounds`. Returns `None` when no
-    /// point qualifies.
+    /// restricted to points respecting `bounds`. Returns `Ok(None)` when
+    /// no point qualifies and a [`ProtocolError`] for malformed weights
+    /// or metric indices.
     pub fn select<'a>(
         &self,
         frontier: &'a FrontierSnapshot,
         bounds: &Bounds,
-    ) -> Option<&'a FrontierPoint> {
+    ) -> Result<Option<&'a FrontierPoint>, ProtocolError> {
+        self.validate(bounds.dim())?;
         let qualified: Vec<&FrontierPoint> = frontier
             .points
             .iter()
             .filter(|p| bounds.respects(&p.cost))
             .collect();
         if qualified.is_empty() {
-            return None;
+            return Ok(None);
         }
-        match self {
+        Ok(match self {
             Preference::Lexicographic { order, tolerance } => {
-                assert!(!order.is_empty(), "lexicographic order must be non-empty");
                 let mut pool = qualified;
                 for &metric in order {
                     let best = pool
@@ -88,12 +127,17 @@ impl Preference {
                 }
                 pool.into_iter().next()
             }
-            _ => qualified.into_iter().min_by(|a, b| {
-                self.score(&a.cost)
-                    .partial_cmp(&self.score(&b.cost))
-                    .expect("finite scores")
-            }),
-        }
+            // Score each point once (not per comparison). Scores of
+            // validated (finite) weights over non-NaN costs compare
+            // totally in practice; the Equal fallback covers the one
+            // residual hole (a zero weight against an infinite cost
+            // metric makes NaN) — workers never panic on client data.
+            _ => qualified
+                .into_iter()
+                .map(|p| (self.raw_score(&p.cost), p))
+                .min_by(|(a, _), (b, _)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(_, p)| p),
+        })
     }
 }
 
@@ -124,11 +168,14 @@ mod tests {
         let f = snapshot();
         let unb = Bounds::unbounded(2);
         let time_heavy = Preference::WeightedSum(vec![1.0, 0.01]);
-        assert_eq!(time_heavy.select(&f, &unb).unwrap().plan, PlanId(0));
+        assert_eq!(
+            time_heavy.select(&f, &unb).unwrap().unwrap().plan,
+            PlanId(0)
+        );
         let fee_heavy = Preference::WeightedSum(vec![0.01, 1.0]);
-        assert_eq!(fee_heavy.select(&f, &unb).unwrap().plan, PlanId(2));
+        assert_eq!(fee_heavy.select(&f, &unb).unwrap().unwrap().plan, PlanId(2));
         let balanced = Preference::WeightedSum(vec![1.0, 1.0]);
-        assert_eq!(balanced.select(&f, &unb).unwrap().plan, PlanId(1));
+        assert_eq!(balanced.select(&f, &unb).unwrap().unwrap().plan, PlanId(1));
     }
 
     #[test]
@@ -136,7 +183,7 @@ mod tests {
         let f = snapshot();
         let unb = Bounds::unbounded(2);
         let p = Preference::Chebyshev(vec![1.0, 1.0]);
-        assert_eq!(p.select(&f, &unb).unwrap().plan, PlanId(1));
+        assert_eq!(p.select(&f, &unb).unwrap().unwrap().plan, PlanId(1));
     }
 
     #[test]
@@ -149,7 +196,7 @@ mod tests {
             order: vec![1, 0],
             tolerance: 0.0,
         };
-        assert_eq!(p.select(&f, &unb).unwrap().plan, PlanId(2));
+        assert_eq!(p.select(&f, &unb).unwrap().unwrap().plan, PlanId(2));
     }
 
     #[test]
@@ -158,15 +205,69 @@ mod tests {
         let p = Preference::WeightedSum(vec![1.0, 0.0]);
         // Cheapest time overall is plan 0, but it violates the fee bound.
         let b = Bounds::from_slice(&[10.0, 6.0]);
-        assert_eq!(p.select(&f, &b).unwrap().plan, PlanId(1));
+        assert_eq!(p.select(&f, &b).unwrap().unwrap().plan, PlanId(1));
         // Nothing qualifies under impossible bounds.
         let none = Bounds::from_slice(&[0.5, 0.5]);
-        assert!(p.select(&f, &none).is_none());
+        assert!(p.select(&f, &none).unwrap().is_none());
     }
 
     #[test]
-    #[should_panic(expected = "weight dimension mismatch")]
-    fn rejects_mismatched_weights() {
-        Preference::WeightedSum(vec![1.0]).score(&CostVector::new(&[1.0, 2.0]));
+    fn mismatched_weights_are_a_typed_error_not_a_panic() {
+        let err = Preference::WeightedSum(vec![1.0])
+            .score(&CostVector::new(&[1.0, 2.0]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::WeightDimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        let f = snapshot();
+        assert!(Preference::Chebyshev(vec![1.0, 1.0, 1.0])
+            .select(&f, &Bounds::unbounded(2))
+            .is_err());
+        assert_eq!(
+            Preference::Lexicographic {
+                order: vec![],
+                tolerance: 0.0
+            }
+            .validate(2),
+            Err(ProtocolError::EmptyPreferenceOrder)
+        );
+        assert_eq!(
+            Preference::Lexicographic {
+                order: vec![0, 5],
+                tolerance: 0.0
+            }
+            .validate(2),
+            Err(ProtocolError::MetricOutOfRange { metric: 5, dim: 2 })
+        );
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_not_scored() {
+        // NaN or infinite weights would poison every score comparison —
+        // they must fail validation, never reach a worker's select().
+        assert_eq!(
+            Preference::WeightedSum(vec![f64::NAN, 0.0]).validate(2),
+            Err(ProtocolError::NonFinitePreference)
+        );
+        assert_eq!(
+            Preference::Chebyshev(vec![1.0, f64::INFINITY]).validate(2),
+            Err(ProtocolError::NonFinitePreference)
+        );
+        assert_eq!(
+            Preference::Lexicographic {
+                order: vec![0],
+                tolerance: f64::NAN
+            }
+            .validate(2),
+            Err(ProtocolError::NonFinitePreference)
+        );
+        let f = snapshot();
+        assert!(Preference::WeightedSum(vec![f64::NAN, 0.0])
+            .select(&f, &Bounds::unbounded(2))
+            .is_err());
     }
 }

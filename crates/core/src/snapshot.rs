@@ -46,7 +46,11 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MOQOFRNT";
 /// the deterministic enumeration-plane construction changes (watermarks
 /// are stored in plan order, so a re-ordered enumeration invalidates old
 /// snapshots — the per-split operand check below catches stragglers).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 added the exporting cost model's
+/// [identity](moqo_costmodel::CostModel::identity) to the model guard,
+/// so a frontier refined under one model can never warm-start a session
+/// under a differently parameterized model with the same metric layout.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be imported.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -316,9 +320,21 @@ fn read_operator(r: &mut Reader<'_>) -> Result<Operator> {
     }
 }
 
+/// Writes index entries in a canonical order (plan id, level,
+/// invocation): the plan-set indexes are *sets* whose iteration order
+/// depends on insertion history, so sorting here makes the export a pure
+/// function of optimizer state — equal state produces equal bytes even
+/// across an import/re-export round trip, which is what lets the
+/// snapshot store's dirty tracking skip unchanged frontiers.
 fn write_entries(w: &mut Writer, entries: &[Entry<PlanId>]) {
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        let e = &entries[i];
+        (e.item.0, e.level, e.invocation)
+    });
     w.u32(entries.len() as u32);
-    for e in entries {
+    for i in order {
+        let e = &entries[i];
         w.u32(e.item.0);
         w.cost(&e.cost);
         w.u8(e.level);
@@ -379,6 +395,7 @@ impl IamaOptimizer {
         for i in 0..metrics.dim() {
             w.str(metrics.metric(i).name());
         }
+        w.u64(self.model.identity());
 
         // --- Query spec: name, catalog, join graph. ---
         w.str(&self.spec.name);
@@ -563,6 +580,14 @@ impl IamaOptimizer {
                     metrics.metric(i).name()
                 )));
             }
+        }
+        let identity = r.u64()?;
+        if identity != model.identity() {
+            return Err(SnapshotError::ModelMismatch(format!(
+                "snapshot was exported under cost-model identity {identity:#018x}, \
+                 the provided model has {:#018x}",
+                model.identity()
+            )));
         }
 
         // --- Query spec. ---
@@ -1075,6 +1100,27 @@ mod tests {
         ));
         assert!(matches!(
             IamaOptimizer::import_frontier(other, bytes.as_slice()),
+            Err(SnapshotError::ModelMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn import_rejects_same_metrics_different_model_identity() {
+        use moqo_costmodel::{MetricSet, StandardCostModel, StandardCostModelConfig};
+        let opt = warm_optimizer(3);
+        let bytes = opt.export_frontier();
+        // Same metric layout, different cost parameters: the identity
+        // guard must refuse — this model would cost the frontier's plans
+        // differently, so resuming warm would serve wrong tradeoffs.
+        let tweaked: SharedCostModel = Arc::new(StandardCostModel::new(
+            MetricSet::paper(),
+            StandardCostModelConfig {
+                dops: vec![1, 2],
+                ..StandardCostModelConfig::default()
+            },
+        ));
+        assert!(matches!(
+            IamaOptimizer::import_frontier(tweaked, bytes.as_slice()),
             Err(SnapshotError::ModelMismatch(_))
         ));
     }

@@ -1,0 +1,87 @@
+//! The workspace's one FNV-1a accumulator.
+//!
+//! Canonical identities all over the stack — query fingerprints, cost
+//! model identities, snapshot dirty-tracking content hashes — are FNV-1a
+//! over explicit byte encodings. They live in different crates but must
+//! agree on the algorithm's constants forever, so the accumulator is
+//! defined once here (the bottom of the crate graph) instead of being
+//! re-rolled per layer. No `std::hash::Hasher` indirection: the encoding
+//! stays explicit and stable.
+
+/// Incremental FNV-1a (64-bit) accumulator.
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds one byte.
+    #[inline]
+    pub fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// Feeds a byte slice (no length delimiter; see [`Fnv64::str`]).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a string with a trailing length delimiter, so
+    /// `"ab" + "c"` hashes differently from `"a" + "bc"`.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+        self.u64(s.len() as u64);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot hash of a byte blob.
+    pub fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Self::new();
+        h.bytes(bytes);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn str_is_length_delimited() {
+        let mut a = Fnv64::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = Fnv64::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -14,6 +14,7 @@
 pub mod agg;
 pub mod bounds;
 pub mod dominance;
+pub mod hash;
 pub mod pareto;
 pub mod schedule;
 pub mod vector;
@@ -21,6 +22,7 @@ pub mod vector;
 pub use agg::{AggFn, ChildCombine};
 pub use bounds::Bounds;
 pub use dominance::{dominates, dominates_scaled, strictly_dominates};
+pub use hash::Fnv64;
 pub use pareto::{
     coverage_factor, covers, covers_bounded, is_pareto_optimal, pareto_filter, ParetoAccumulator,
 };

@@ -39,6 +39,19 @@ pub trait CostModel {
     /// The metric layout of the produced cost vectors.
     fn metrics(&self) -> &MetricSet;
 
+    /// A stable identity of this model's *cost semantics*.
+    ///
+    /// Two model instances that can cost the same plan differently must
+    /// return different identities; instances that are behaviorally
+    /// identical should return the same one (so warm state transfers
+    /// between them). Serving layers embed the identity in the query
+    /// fingerprint and in frontier snapshots, guaranteeing that cached or
+    /// persisted warm frontiers are never resumed under a model that
+    /// would have costed them differently. Hash every parameter the cost
+    /// formulas consume — the metric layout alone is not enough once a
+    /// model is tunable.
+    fn identity(&self) -> u64;
+
     /// Number of cost metrics (the paper's `l`).
     fn dim(&self) -> usize {
         self.metrics().dim()
@@ -77,6 +90,9 @@ macro_rules! delegate_cost_model {
         impl<M: CostModel + ?Sized> CostModel for $ty {
             fn metrics(&self) -> &MetricSet {
                 (**self).metrics()
+            }
+            fn identity(&self) -> u64 {
+                (**self).identity()
             }
             fn dim(&self) -> usize {
                 (**self).dim()

@@ -279,6 +279,39 @@ impl CostModel for StandardCostModel {
         &self.metrics
     }
 
+    fn identity(&self) -> u64 {
+        // FNV-1a over the metric layout and every config parameter the
+        // cost formulas consume; two StandardCostModels agree iff they
+        // cost every plan identically.
+        let mut h = moqo_cost::Fnv64::new();
+        h.str("StandardCostModel");
+        for i in 0..self.metrics.dim() {
+            h.str(self.metrics.metric(i).name());
+        }
+        let c = &self.config;
+        h.u64(c.dops.len() as u64);
+        for &d in &c.dops {
+            h.u64(d as u64);
+        }
+        h.u64(c.sampling_rates_pm.len() as u64);
+        for &r in &c.sampling_rates_pm {
+            h.u64(r as u64);
+        }
+        h.u64(c.sampling_min_rows);
+        h.u64(c.join_algos.len() as u64);
+        for &a in &c.join_algos {
+            h.u64(a as u64);
+        }
+        h.u64(c.price_per_core_unit.to_bits());
+        h.u64(c.energy_per_unit.to_bits());
+        h.u64(c.energy_op_overhead.to_bits());
+        // Hash the Option discriminant separately: `None` must not
+        // collide with `Some(0.0)` (whose bits are also zero).
+        h.u64(c.quantize_grid.is_some() as u64);
+        h.u64(c.quantize_grid.map_or(0, |g| g.to_bits()));
+        h.finish()
+    }
+
     fn scan_alternatives(
         &self,
         spec: &QuerySpec,

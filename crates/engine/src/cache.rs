@@ -148,14 +148,14 @@ mod tests {
     use super::*;
     use moqo_core::IamaOptimizer;
     use moqo_cost::ResolutionSchedule;
-    use moqo_costmodel::{MetricSet, StandardCostModel};
+    use moqo_costmodel::StandardCostModel;
     use moqo_query::testkit;
     use std::sync::Arc;
 
     fn opt_for(n: usize) -> (QueryFingerprint, IamaOptimizer) {
         let spec = Arc::new(testkit::chain_query(n, 10_000));
         let model = Arc::new(StandardCostModel::paper_metrics());
-        let fp = QueryFingerprint::of(&spec, &MetricSet::paper());
+        let fp = QueryFingerprint::of(&spec, &*model);
         let opt = IamaOptimizer::new(spec, model, ResolutionSchedule::linear(2, 1.1, 0.4));
         (fp, opt)
     }

@@ -9,16 +9,20 @@
 //!   selectivities, and per-table local-filter selectivities;
 //! * the **catalog statistics** of the referenced tables: cardinality and
 //!   row width (what the cost formulas consume);
-//! * the **metric set**: the cost-vector layout the frontier lives in —
+//! * the **cost model**: its metric layout *and* its
+//!   [identity](moqo_costmodel::CostModel::identity) — two sessions over
+//!   one query under differently parameterized models produce different
+//!   frontiers, so their warm state must never cross —
 //!
 //! and deliberately ignores presentation-level identity such as the query
 //! or table *names*: `chain-3` submitted twice under different labels is
 //! one cache entry.
 
-use moqo_costmodel::MetricSet;
+use moqo_costmodel::CostModel;
 use moqo_query::QuerySpec;
 
-/// A 64-bit canonical fingerprint of (query shape, catalog stats, metrics).
+/// A 64-bit canonical fingerprint of (query shape, catalog stats, cost
+/// model).
 ///
 /// Computed with FNV-1a over a canonical byte encoding; collisions are
 /// astronomically unlikely at serving-cache sizes, and a collision's worst
@@ -31,9 +35,11 @@ use moqo_query::QuerySpec;
 pub struct QueryFingerprint(u64);
 
 impl QueryFingerprint {
-    /// Fingerprints a query spec under a metric layout.
-    pub fn of(spec: &QuerySpec, metrics: &MetricSet) -> Self {
-        let mut h = Fnv::new();
+    /// Fingerprints a query spec under a cost model (metric layout plus
+    /// model identity).
+    pub fn of<M: CostModel + ?Sized>(spec: &QuerySpec, model: &M) -> Self {
+        let metrics = model.metrics();
+        let mut h = moqo_cost::Fnv64::new();
         let g = &spec.graph;
         h.u64(g.n_tables() as u64);
         for pos in 0..g.n_tables() {
@@ -57,6 +63,7 @@ impl QueryFingerprint {
         for i in 0..metrics.dim() {
             h.str(metrics.metric(i).name());
         }
+        h.u64(model.identity());
         Self(h.finish())
     }
 
@@ -66,80 +73,61 @@ impl QueryFingerprint {
     }
 }
 
-/// Minimal FNV-1a accumulator (no `std::hash::Hasher` indirection so the
-/// encoding stays explicit and stable).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn str(&mut self, s: &str) {
-        for b in s.bytes() {
-            self.byte(b);
-        }
-        // Length delimiter so "ab"+"c" != "a"+"bc".
-        self.u64(s.len() as u64);
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moqo_costmodel::{MetricSet, StandardCostModel, StandardCostModelConfig};
     use moqo_query::testkit;
+
+    fn model() -> StandardCostModel {
+        StandardCostModel::paper_metrics()
+    }
 
     #[test]
     fn equivalent_specs_share_a_fingerprint_despite_names() {
-        let metrics = MetricSet::paper();
+        let m = model();
         let a = testkit::chain_query(3, 100_000);
         let b = testkit::chain_query(3, 100_000);
         // testkit names tables identically, but even a renamed spec matches:
         // fingerprints ignore the spec's display name entirely.
         let mut c = testkit::chain_query(3, 100_000);
         c.name = "totally-different-label".into();
-        assert_eq!(
-            QueryFingerprint::of(&a, &metrics),
-            QueryFingerprint::of(&b, &metrics)
-        );
-        assert_eq!(
-            QueryFingerprint::of(&a, &metrics),
-            QueryFingerprint::of(&c, &metrics)
-        );
+        assert_eq!(QueryFingerprint::of(&a, &m), QueryFingerprint::of(&b, &m));
+        assert_eq!(QueryFingerprint::of(&a, &m), QueryFingerprint::of(&c, &m));
     }
 
     #[test]
-    fn shape_stats_and_metrics_all_discriminate() {
-        let metrics = MetricSet::paper();
-        let base = QueryFingerprint::of(&testkit::chain_query(3, 100_000), &metrics);
+    fn shape_stats_metrics_and_model_identity_all_discriminate() {
+        let m = model();
+        let base = QueryFingerprint::of(&testkit::chain_query(3, 100_000), &m);
         // Different join-graph shape.
         assert_ne!(
             base,
-            QueryFingerprint::of(&testkit::star_query(3, 100_000), &metrics)
+            QueryFingerprint::of(&testkit::star_query(3, 100_000), &m)
         );
         // Different catalog stats.
         assert_ne!(
             base,
-            QueryFingerprint::of(&testkit::chain_query(3, 200_000), &metrics)
+            QueryFingerprint::of(&testkit::chain_query(3, 200_000), &m)
         );
         // Different metric set.
+        let cloud = StandardCostModel::new(MetricSet::cloud(), StandardCostModelConfig::default());
         assert_ne!(
             base,
-            QueryFingerprint::of(&testkit::chain_query(3, 100_000), &MetricSet::cloud())
+            QueryFingerprint::of(&testkit::chain_query(3, 100_000), &cloud)
+        );
+        // Same metric layout, different cost parameters: the model
+        // identity keeps warm state from crossing models.
+        let tweaked = StandardCostModel::new(
+            MetricSet::paper(),
+            StandardCostModelConfig {
+                dops: vec![1, 2],
+                ..StandardCostModelConfig::default()
+            },
+        );
+        assert_ne!(
+            base,
+            QueryFingerprint::of(&testkit::chain_query(3, 100_000), &tweaked)
         );
     }
 }

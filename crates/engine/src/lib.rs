@@ -4,33 +4,38 @@
 //! a user watches an anytime Pareto frontier refine between optimizer
 //! invocations, drags cost bounds, and eventually clicks a plan. A real
 //! deployment serves **many** such sessions at once. This crate provides
-//! that layer on top of the owned-state optimizer core:
+//! that layer on top of the owned-state optimizer core, speaking the
+//! [session protocol](moqo_core::protocol) unchanged:
 //!
 //! * [`SessionManager`] — owns concurrent interactive sessions keyed by
 //!   [`SessionId`], advances them on a worker pool with round-robin,
 //!   budgeted time slices (each tick is one incremental `optimize`
-//!   invocation), and routes [`UserEvent`]s into the right session.
+//!   invocation), and routes [`SessionCommand`]s into the right session.
+//!   Sessions open from a [`SessionRequest`], which may carry per-session
+//!   bounds, a schedule override, an auto-select
+//!   [`Preference`](moqo_core::Preference), and a per-session **cost
+//!   model**.
 //! * [`QueryFingerprint`] — canonical identity of a query: join-graph
-//!   shape + catalog statistics + metric set, independent of display
-//!   names.
+//!   shape + catalog statistics + cost model (metric layout *and*
+//!   [identity](moqo_costmodel::CostModel::identity)), independent of
+//!   display names. Two sessions under different models can never share
+//!   warm state.
 //! * [`FrontierCache`] — parked optimizers of finished sessions, keyed by
 //!   fingerprint. A repeated query starts from the warm frontier: its
 //!   first invocation reports `plans_generated == 0`.
 //! * [`PlanCache`] — shared `Arc<EnumerationPlan>`s keyed by [`ShapeKey`],
 //!   the shape component of the fingerprint. Structurally *similar*
-//!   queries (same join-graph shape, any statistics) walk one precomputed
-//!   enumeration plane — the first step of cross-session sharing beyond
-//!   exact repeats.
-//! * [`SessionConfig`] — per-session overrides: initial bounds, a
-//!   resolution-ladder override for cold starts (the degrade-admission
-//!   hook of the `moqo-serve` front), and the refinement budget.
+//!   queries (same join-graph shape, any statistics, any model) walk one
+//!   precomputed enumeration plane — the first step of cross-session
+//!   sharing beyond exact repeats.
 //!
 //! Serving layers build on three hooks: [`SessionManager::watch`]
-//! (per-session status push channels, so no caller parks on the engine's
-//! condvar), [`SessionManager::park`] / [`SessionManager::for_each_parked`]
-//! (frontier persistence across restarts), and
-//! [`SessionManager::live_sessions`] (the load figure admission control
-//! and shard routing balance on).
+//! (per-session [`SessionEvent`] push channels carrying delta-streamed
+//! frontiers, so no caller parks on the engine's condvar and the full
+//! frontier is never re-shipped), [`SessionManager::park`] /
+//! [`SessionManager::for_each_parked`] (frontier persistence across
+//! restarts), and [`SessionManager::live_sessions`] (the load figure
+//! admission control and shard routing balance on).
 //!
 //! ```
 //! use moqo_cost::ResolutionSchedule;
@@ -61,13 +66,17 @@ pub mod plans;
 
 pub use cache::{CacheStats, FrontierCache};
 pub use fingerprint::QueryFingerprint;
-pub use manager::{EngineConfig, SessionConfig, SessionId, SessionManager, SessionStatus};
+pub use manager::{EngineConfig, SessionId, SessionManager, SessionStatus};
 pub use plans::{PlanCache, PlanCacheStats};
 
 // Re-exported so engine users can name the shared-plan vocabulary without
 // a direct moqo-query dependency.
 pub use moqo_query::{EnumerationPlan, ShapeKey};
 
-// Re-exported so engine users can speak the session vocabulary without a
-// direct moqo-core dependency.
-pub use moqo_core::{StepOutcome, UserEvent};
+// The session protocol, re-exported so engine users speak it without a
+// direct moqo-core dependency — the same types drive the bare core
+// session and the moqo-serve front.
+pub use moqo_core::protocol::{
+    AdmissionResponse, FrontierDelta, ProtocolError, RejectReason, SessionCommand, SessionEvent,
+    SessionOutcome, SessionRequest, SessionView,
+};

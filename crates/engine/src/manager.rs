@@ -5,25 +5,37 @@
 //! user drags bounds over their own refining Pareto frontier while a
 //! shared worker pool advances all sessions fairly.
 //!
+//! The manager speaks the [session protocol](moqo_core::protocol)
+//! end to end: sessions open from a [`SessionRequest`] (which may carry
+//! per-session bounds, a schedule override, a [`Preference`] that
+//! auto-selects at the target resolution, and a **per-session cost
+//! model**), clients steer them with [`SessionCommand`]s routed into
+//! per-session inboxes, and [`SessionManager::watch`] streams
+//! [`SessionEvent`]s whose [`FrontierDelta`]s reassemble — exactly — to
+//! the full frontier, instead of re-shipping it after every slice.
+//!
 //! Scheduling is round-robin with budgeted time slices: a worker checks a
 //! session out of the shared map, runs at most
 //! [`EngineConfig::ticks_per_slice`] anytime invocations (each tick is one
 //! `optimize(bounds, r)` call, so the *incrementality* of IAMA — not the
 //! scheduler — keeps slices short), then requeues the session at the back.
-//! User events ([`UserEvent`]) are routed into the owning session's inbox
-//! and consumed between invocations exactly like Algorithm 1's main loop
-//! reads user input between `Optimize` calls.
 //!
 //! Finished sessions park their optimizer in the [`FrontierCache`] keyed
-//! by canonical [`QueryFingerprint`], so a repeated query starts from a
-//! warm frontier: its first invocation generates zero plans.
+//! by canonical [`QueryFingerprint`] — which embeds the cost model's
+//! [identity](moqo_costmodel::CostModel::identity), so sessions under
+//! different per-session models can never exchange warm state — and a
+//! repeated query starts from a warm frontier: its first invocation
+//! generates zero plans.
+//!
+//! [`Preference`]: moqo_core::Preference
 
 use crate::cache::{CacheStats, FrontierCache};
 use crate::fingerprint::QueryFingerprint;
 use crate::plans::{PlanCache, PlanCacheStats};
-use moqo_core::{
-    FrontierSnapshot, IamaConfig, IamaOptimizer, InvocationReport, Session, StepOutcome, UserEvent,
+use moqo_core::protocol::{
+    FrontierDelta, ProtocolError, SessionCommand, SessionEvent, SessionOutcome, SessionRequest,
 };
+use moqo_core::{FrontierSnapshot, IamaConfig, IamaOptimizer, InvocationReport, Session};
 use moqo_cost::{Bounds, ResolutionSchedule};
 use moqo_costmodel::SharedCostModel;
 use moqo_plan::PlanId;
@@ -74,43 +86,6 @@ impl Default for EngineConfig {
     }
 }
 
-/// Per-session overrides applied at submission time.
-///
-/// A [`SessionManager`] serves one deployment-wide cost model and
-/// resolution ladder; individual sessions may override the ladder (and
-/// their initial bounds / refinement budget) without forking the manager.
-/// This is the hook the serving layer's *degrade* admission policy uses:
-/// under load, new sessions are admitted at a coarser target resolution,
-/// trading frontier precision for per-invocation work.
-///
-/// The schedule override applies to **cold starts only**: a session that
-/// resumes from a parked warm frontier keeps the schedule that frontier
-/// was refined under (its plan sets are tagged with that ladder's levels,
-/// and serving an already-warm frontier costs nothing anyway).
-#[derive(Clone, Debug, Default)]
-pub struct SessionConfig {
-    /// Initial cost bounds; `None` means unbounded.
-    pub bounds: Option<Bounds>,
-    /// Resolution ladder replacing the manager-wide schedule for this
-    /// session (cold starts only).
-    pub schedule: Option<ResolutionSchedule>,
-    /// Anytime invocations the session may run without user input before
-    /// parking; `None` derives one full ladder from the effective
-    /// schedule.
-    pub auto_ticks: Option<usize>,
-}
-
-impl SessionConfig {
-    /// Configuration admitting the session under a coarser (degraded)
-    /// resolution ladder.
-    pub fn degraded(schedule: ResolutionSchedule) -> Self {
-        Self {
-            schedule: Some(schedule),
-            ..Self::default()
-        }
-    }
-}
-
 /// Read-only snapshot of one session, refreshed after every slice.
 #[derive(Clone, Debug)]
 pub struct SessionStatus {
@@ -118,21 +93,27 @@ pub struct SessionStatus {
     pub id: SessionId,
     /// Display name of the query being optimized.
     pub query: String,
-    /// Canonical fingerprint (the frontier-cache key).
+    /// Canonical fingerprint (the frontier-cache key; embeds the
+    /// session's effective cost-model identity).
     pub fingerprint: QueryFingerprint,
     /// True if the session started from a cached warm frontier.
     pub warm_start: bool,
     /// True if the session runs a non-default — typically degraded —
-    /// resolution ladder: a [`SessionConfig`] schedule override took
+    /// resolution ladder: a [`SessionRequest`] schedule override took
     /// effect on a cold start, or a warm resume revived a frontier that
     /// was refined under a ladder other than the manager-wide one (its
     /// approximation guarantee is the parked ladder's, not the
     /// deployment default's).
     pub schedule_override: bool,
-    /// True once the session ended (plan selected or retired).
-    pub finished: bool,
-    /// The plan the user selected, if any.
-    pub selected: Option<PlanId>,
+    /// True if the session runs under a per-session cost model instead of
+    /// the manager-wide one.
+    pub model_override: bool,
+    /// Epoch of the last published [`SessionEvent`] (watch streams resume
+    /// from here).
+    pub epoch: u64,
+    /// Terminal state, once the session ended (plan selected, preference
+    /// fired, cancelled, or retired).
+    pub outcome: Option<SessionOutcome>,
     /// Invocations run so far *in this session*.
     pub invocations: u64,
     /// Resolution level the next invocation will use.
@@ -148,13 +129,25 @@ pub struct SessionStatus {
     pub last_report: Option<InvocationReport>,
 }
 
-/// A checked-in session: the interactive state plus its event inbox.
+impl SessionStatus {
+    /// True once the session ended.
+    pub fn is_finished(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// The plan the session ended with, if any.
+    pub fn selected(&self) -> Option<PlanId> {
+        self.outcome.and_then(|o| o.selected())
+    }
+}
+
+/// A checked-in session: the interactive state plus its command inbox.
 struct Active {
     session: Session,
-    inbox: VecDeque<UserEvent>,
+    inbox: VecDeque<SessionCommand>,
     remaining_ticks: usize,
     /// Refinement budget re-armed on bound changes; per-session because a
-    /// [`SessionConfig`] can override the ladder length.
+    /// [`SessionRequest`] can override the ladder length.
     auto_ticks: usize,
 }
 
@@ -177,25 +170,26 @@ struct Slot {
     cell: Cell,
     status: SessionStatus,
     queued: bool,
-    /// Events that arrived while a worker held the session; merged into
+    /// Commands that arrived while a worker held the session; merged into
     /// the session's inbox when the slice checks back in.
-    late_inbox: VecDeque<UserEvent>,
-    /// Per-ticket push channels: every status refresh (after a slice, on
-    /// retirement, on `finish`) is cloned into each live watcher so
-    /// callers can `recv` on their own channel instead of parking on the
-    /// engine's internal condvar. Disconnected watchers are pruned on the
-    /// next send.
-    watchers: Vec<mpsc::Sender<SessionStatus>>,
+    late_inbox: VecDeque<SessionCommand>,
+    /// Per-watcher push channels: every published [`SessionEvent`]
+    /// (after a slice, on retirement, on `finish`) is cloned into each
+    /// live watcher so callers can `recv` on their own channel instead of
+    /// parking on the engine's internal condvar. Disconnected watchers
+    /// are pruned on the next send.
+    watchers: Vec<mpsc::Sender<SessionEvent>>,
 }
 
 impl Slot {
-    /// Pushes the current status to all watchers, dropping dead ones.
-    fn notify_watchers(&mut self) {
+    /// Publishes one event to all watchers (dropping dead ones) and
+    /// advances the stream epoch.
+    fn publish(&mut self, event: SessionEvent) {
+        self.status.epoch = event.epoch;
         if self.watchers.is_empty() {
             return;
         }
-        let status = &self.status;
-        self.watchers.retain(|w| w.send(status.clone()).is_ok());
+        self.watchers.retain(|w| w.send(event.clone()).is_ok());
     }
 }
 
@@ -225,9 +219,10 @@ struct Shared {
 /// Owns many concurrent interactive sessions and the worker pool driving
 /// them; see the module docs for the scheduling model.
 ///
-/// One manager serves one deployment: a single shared cost model and
-/// resolution schedule, many queries. Dropping the manager shuts the
-/// workers down and joins them.
+/// One manager serves one deployment default (cost model + resolution
+/// schedule) but any number of per-session overrides via
+/// [`SessionRequest`]. Dropping the manager shuts the workers down and
+/// joins them.
 pub struct SessionManager {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -235,8 +230,9 @@ pub struct SessionManager {
     schedule: ResolutionSchedule,
     auto_ticks: usize,
     /// Enumeration plans shared across sessions, keyed by join-graph
-    /// shape: structurally similar queries (same shape, any statistics)
-    /// reuse one plan even when their frontiers cannot be shared.
+    /// shape: structurally similar queries (same shape, any statistics,
+    /// any cost model) reuse one plan even when their frontiers cannot be
+    /// shared.
     plans: PlanCache,
 }
 
@@ -282,37 +278,35 @@ impl SessionManager {
         }
     }
 
-    /// Admits a new interactive session with unbounded initial bounds.
+    /// Admits a new interactive session with every default in place
+    /// (unbounded bounds, manager-wide model and schedule).
     ///
     /// If the frontier cache holds a parked optimizer for an equivalent
-    /// query, the session resumes from that warm state.
+    /// query under the same cost model, the session resumes from that
+    /// warm state.
     pub fn submit(&self, spec: Arc<QuerySpec>) -> SessionId {
-        self.submit_with_config(spec, SessionConfig::default())
+        self.open(SessionRequest::new(spec))
+            .expect("a bare request has nothing to validate")
     }
 
-    /// Admits a new session with explicit initial cost bounds.
-    pub fn submit_with_bounds(&self, spec: Arc<QuerySpec>, bounds: Bounds) -> SessionId {
-        self.submit_with_config(
-            spec,
-            SessionConfig {
-                bounds: Some(bounds),
-                ..SessionConfig::default()
-            },
-        )
-    }
-
-    /// Admits a new session with per-session overrides (initial bounds,
-    /// resolution-ladder override, refinement budget) — see
-    /// [`SessionConfig`] for the override semantics.
-    pub fn submit_with_config(
-        &self,
-        spec: Arc<QuerySpec>,
-        session_cfg: SessionConfig,
-    ) -> SessionId {
-        let fp = QueryFingerprint::of(&spec, self.model.metrics());
-        let bounds = session_cfg
+    /// Admits a new session from a protocol request.
+    ///
+    /// The request may override the initial bounds, the resolution ladder
+    /// (cold starts only — a warm resume keeps the parked ladder), the
+    /// refinement budget, the **cost model**, and may install a
+    /// [`Preference`](moqo_core::Preference) that auto-selects a plan at
+    /// the target resolution. All dimensioned fields are validated
+    /// against the effective model here, so a malformed request is a
+    /// typed [`ProtocolError`] at the door — never a worker panic.
+    pub fn open(&self, request: SessionRequest) -> Result<SessionId, ProtocolError> {
+        let model = request.effective_model(&self.model);
+        request.validate(model.dim())?;
+        let model_override = request.cost_model.is_some();
+        let spec = request.spec.clone();
+        let fp = QueryFingerprint::of(&spec, &model);
+        let bounds = request
             .bounds
-            .unwrap_or_else(|| Bounds::unbounded(self.model.dim()));
+            .unwrap_or_else(|| Bounds::unbounded(model.dim()));
         // Resolve the shared enumeration plan outside the state lock —
         // plan construction can be expensive for wide shapes and must not
         // stall unrelated sessions. A warm frontier-cache hit below makes
@@ -324,7 +318,7 @@ impl SessionManager {
         let mut state = self.lock();
         let (optimizer, warm, overridden) = match state.cache.take(fp) {
             // Warm resumes keep the parked ladder: its plan sets are
-            // level-tagged under that schedule (see `SessionConfig`).
+            // level-tagged under that schedule (see [`SessionRequest`]).
             // If that ladder is not the manager-wide one — e.g. the
             // frontier was refined under a degraded admission ladder —
             // the weaker guarantee must stay visible, so the override
@@ -334,31 +328,27 @@ impl SessionManager {
                 (opt, true, nonstandard)
             }
             None => {
-                let (schedule, overridden) = match session_cfg.schedule.clone() {
+                let (schedule, overridden) = match request.schedule.clone() {
                     Some(s) => (s, true),
                     None => (self.schedule.clone(), false),
                 };
                 (
-                    IamaOptimizer::with_plan(
-                        spec.clone(),
-                        self.model.clone(),
-                        schedule,
-                        config,
-                        plan,
-                    ),
+                    IamaOptimizer::with_plan(spec.clone(), model, schedule, config, plan),
                     false,
                     overridden,
                 )
             }
         };
-        let auto_ticks =
-            session_cfg
-                .auto_ticks
-                .unwrap_or_else(|| match (&session_cfg.schedule, warm) {
-                    (Some(s), false) => s.levels(),
-                    _ => self.auto_ticks,
-                });
-        let session = Session::with_bounds(optimizer, bounds);
+        let auto_ticks = request
+            .auto_ticks
+            .unwrap_or_else(|| match (&request.schedule, warm) {
+                (Some(s), false) => s.levels(),
+                _ => self.auto_ticks,
+            });
+        let mut session = Session::with_bounds(optimizer, bounds);
+        session
+            .set_preference(request.preference.clone())
+            .expect("validated against the effective model above");
         let id = state.next_id;
         state.next_id += 1;
         let status = SessionStatus {
@@ -367,8 +357,9 @@ impl SessionManager {
             fingerprint: fp,
             warm_start: warm,
             schedule_override: overridden,
-            finished: false,
-            selected: None,
+            model_override,
+            epoch: 0,
+            outcome: None,
             invocations: 0,
             resolution: 0,
             bounds,
@@ -395,41 +386,59 @@ impl SessionManager {
         enqueue(&mut state, id);
         drop(state);
         self.shared.work.notify_one();
-        id
+        Ok(id)
     }
 
-    /// Routes a user event into a session's inbox and wakes it.
+    /// Routes a [`SessionCommand`] into a session's inbox and wakes it.
     ///
-    /// Returns `false` if the session does not exist or already finished.
-    /// `true` means the event was accepted for delivery, not that it will
-    /// be acted on: an event racing with the session's own completion (the
-    /// user's earlier `SelectPlan` lands in the same slice) is discarded
-    /// with the rest of the inbox, exactly as if it had arrived a moment
+    /// Dimensioned commands are validated against the session's cost
+    /// model here, so a malformed command is a typed error at the door —
+    /// it never reaches (let alone crashes) a worker. `Ok` means the
+    /// command was accepted for delivery, not that it will be acted on:
+    /// a command racing with the session's own completion (the user's
+    /// earlier `SelectPlan` lands in the same slice) is discarded with
+    /// the rest of the inbox, exactly as if it had arrived a moment
     /// later.
-    pub fn send_event(&self, id: SessionId, event: UserEvent) -> bool {
+    pub fn command(&self, id: SessionId, command: SessionCommand) -> Result<(), ProtocolError> {
         let mut state = self.lock();
         let Some(slot) = state.slots.get_mut(&id) else {
-            return false;
+            return Err(ProtocolError::UnknownSession);
         };
-        if slot.status.finished {
-            return false;
+        if slot.status.is_finished() {
+            return Err(ProtocolError::SessionFinished);
+        }
+        let dim = slot.status.bounds.dim();
+        match &command {
+            SessionCommand::SetBounds(b) if b.dim() != dim => {
+                return Err(ProtocolError::BoundsDimensionMismatch {
+                    expected: dim,
+                    got: b.dim(),
+                });
+            }
+            SessionCommand::SetPreference(Some(p)) => p.validate(dim)?,
+            // A selection must name a currently *visualized* tradeoff
+            // (the published frontier is exactly what the client sees).
+            SessionCommand::SelectPlan(p)
+                if !slot.status.frontier.points.iter().any(|pt| pt.plan == *p) =>
+            {
+                return Err(ProtocolError::UnknownPlan { plan: *p });
+            }
+            _ => {}
         }
         match &mut slot.cell {
-            Cell::Idle(active) => active.inbox.push_back(event),
+            Cell::Idle(active) => active.inbox.push_back(command),
             Cell::Running => {
-                // The worker drains the inbox before checking the slot back
-                // in, so park the event on the status-side queue: simplest
-                // correct option is to requeue after it settles. We store
-                // it in the slot's pending list via a small detour: the
-                // worker merges `late_inbox` on check-in.
-                slot.late_inbox.push_back(event);
+                // The worker drains the inbox before checking the slot
+                // back in, so park the command on the status-side queue;
+                // the worker merges `late_inbox` on check-in.
+                slot.late_inbox.push_back(command);
             }
-            Cell::Retired => return false,
+            Cell::Retired => return Err(ProtocolError::SessionFinished),
         }
         enqueue(&mut state, id);
         drop(state);
         self.shared.work.notify_one();
-        true
+        Ok(())
     }
 
     /// Snapshot of one session's current state.
@@ -451,6 +460,9 @@ impl SessionManager {
 
     /// Retires a session, parking its optimizer in the frontier cache, and
     /// returns its final status. Blocks while a worker holds the session.
+    /// Watchers receive a final [`SessionEvent`] with a
+    /// [`SessionOutcome::Retired`] outcome (unless the session already
+    /// ended).
     pub fn finish(&self, id: SessionId) -> Option<SessionStatus> {
         let mut state = self.lock();
         loop {
@@ -468,33 +480,47 @@ impl SessionManager {
             let fp = slot.status.fingerprint;
             state.cache.put(fp, active.session.into_optimizer());
         }
-        if !slot.status.finished {
-            slot.status.finished = true;
+        if slot.status.outcome.is_none() {
+            slot.status.outcome = Some(SessionOutcome::Retired);
             state.live = state.live.saturating_sub(1);
         }
-        slot.notify_watchers();
+        let event = terminal_event(&slot.status);
+        slot.publish(event);
         Some(slot.status)
     }
 
-    /// Subscribes to a session's status updates.
+    /// Subscribes to a session's event stream.
     ///
-    /// Returns a channel that receives a [`SessionStatus`] clone after
-    /// every completed slice (and a final one when the session finishes).
-    /// The current status is pushed immediately, so the first `recv`
-    /// never blocks on optimizer progress. Returns `None` for unknown
-    /// sessions. Receivers that fall behind simply buffer (the channel is
-    /// unbounded but updates are slice-paced); dropped receivers are
-    /// pruned on the next update.
+    /// Returns a channel that receives one [`SessionEvent`] per completed
+    /// slice (and a final one when the session finishes). The stream is
+    /// primed immediately with a reset-delta event carrying the current
+    /// full frontier, so the first `recv` never blocks on optimizer
+    /// progress and a [`moqo_core::SessionView`] folded over the stream
+    /// reassembles the exact server-side frontier. Returns `None` for
+    /// unknown sessions. Receivers that fall behind simply buffer (the
+    /// channel is unbounded but updates are slice-paced); dropped
+    /// receivers are pruned on the next update.
     ///
-    /// This is the non-blocking alternative to [`SessionManager::wait_idle`]:
-    /// callers park on their own channel, never on the engine's internal
-    /// condvar.
-    pub fn watch(&self, id: SessionId) -> Option<mpsc::Receiver<SessionStatus>> {
+    /// This is the non-blocking alternative to
+    /// [`SessionManager::wait_idle`]: callers park on their own channel,
+    /// never on the engine's internal condvar.
+    pub fn watch(&self, id: SessionId) -> Option<mpsc::Receiver<SessionEvent>> {
         let mut state = self.lock();
         let slot = state.slots.get_mut(&id)?;
         let (tx, rx) = mpsc::channel();
-        let _ = tx.send(slot.status.clone());
-        if !slot.status.finished {
+        let s = &slot.status;
+        let prime = SessionEvent {
+            epoch: s.epoch,
+            delta: FrontierDelta::full(&s.frontier),
+            resolution: s.resolution,
+            bounds: s.bounds,
+            invocations: s.invocations,
+            report: s.last_report.clone(),
+            first_report: s.first_report.clone(),
+            outcome: s.outcome,
+        };
+        let _ = tx.send(prime);
+        if s.outcome.is_none() {
             slot.watchers.push(tx);
         }
         Some(rx)
@@ -551,12 +577,12 @@ impl SessionManager {
     }
 
     /// The manager-wide resolution ladder (sessions may override it via
-    /// [`SessionConfig`]).
+    /// [`SessionRequest`]).
     pub fn schedule(&self) -> &ResolutionSchedule {
         &self.schedule
     }
 
-    /// Shared handle to the deployment-wide cost model.
+    /// Shared handle to the deployment-wide default cost model.
     pub fn model(&self) -> SharedCostModel {
         self.model.clone()
     }
@@ -617,6 +643,21 @@ impl Drop for SessionManager {
     }
 }
 
+/// The terminal event published on retirement: empty delta (the frontier
+/// did not change), the final outcome.
+fn terminal_event(status: &SessionStatus) -> SessionEvent {
+    SessionEvent {
+        epoch: status.epoch + 1,
+        delta: FrontierDelta::default(),
+        resolution: status.resolution,
+        bounds: status.bounds,
+        invocations: status.invocations,
+        report: None,
+        first_report: None,
+        outcome: status.outcome,
+    }
+}
+
 /// Puts `id` on the run queue unless it is already there.
 fn enqueue(state: &mut EngineState, id: SessionId) {
     if let Some(slot) = state.slots.get_mut(&id) {
@@ -646,9 +687,9 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
                     slot.queued = false;
                     match std::mem::replace(&mut slot.cell, Cell::Running) {
                         Cell::Idle(active) => break (id, active),
-                        // Running entries do appear here: send_event
-                        // enqueues a mid-slice session so its new event is
-                        // re-checked after check-in (which requeues it
+                        // Running entries do appear here: command()
+                        // enqueues a mid-slice session so its new command
+                        // is re-checked after check-in (which requeues it
                         // anyway, making this pop redundant). Retired
                         // sessions stay retired. Either way the entry is
                         // consumed without a check-in, so wake idle-waiters.
@@ -669,43 +710,47 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
         // --- Run one budgeted slice outside the lock. ---
         let slice_start = Instant::now();
         let mut ticks = 0usize;
-        let mut selected: Option<PlanId> = None;
+        let mut outcome: Option<SessionOutcome> = None;
         let mut first_report: Option<InvocationReport> = None;
         let mut last_report: Option<InvocationReport> = None;
-        let mut frontier: Option<FrontierSnapshot> = None;
         let mut invocations = 0u64;
-        while selected.is_none() {
-            let event = match active.inbox.pop_front() {
-                Some(ev) => {
-                    if matches!(ev, UserEvent::SetBounds(_)) {
+        // Per-invocation deltas compose into the slice's published delta
+        // (their base is the frontier at slice start, which is exactly
+        // the last published `status.frontier`).
+        let mut slice_delta = FrontierDelta::default();
+        while outcome.is_none() {
+            let command = match active.inbox.pop_front() {
+                Some(cmd) => {
+                    if matches!(cmd, SessionCommand::SetBounds(_)) {
                         // A user refocusing their bounds re-arms the
                         // refinement budget (Algorithm 1 keeps iterating
                         // after bound changes).
                         active.remaining_ticks = active.auto_ticks;
                     }
-                    ev
+                    cmd
                 }
                 None if active.remaining_ticks > 0 => {
                     active.remaining_ticks -= 1;
-                    UserEvent::None
+                    SessionCommand::Refine
                 }
                 None => break,
             };
-            match active.session.step(event) {
-                StepOutcome::Continue {
-                    report,
-                    frontier: f,
-                } => {
+            // A protocol fault on a live session (a dimension mismatch
+            // that slipped past command() — impossible today, but
+            // commands are data and workers must never die on data)
+            // drops the command and keeps the session.
+            if let Ok(event) = active.session.apply(command) {
+                if let Some(report) = event.report {
                     invocations += 1;
                     if first_report.is_none() {
                         first_report = Some(report.clone());
                     }
                     last_report = Some(report);
-                    frontier = Some(f);
                 }
-                StepOutcome::Selected(plan) => {
-                    selected = Some(plan);
+                if event.outcome.is_some() {
+                    outcome = event.outcome;
                 }
+                slice_delta = slice_delta.then(&event.delta);
             }
             ticks += 1;
             if ticks >= cfg.ticks_per_slice.max(1) || slice_start.elapsed() >= cfg.slice_budget {
@@ -730,20 +775,24 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
                 status.invocations += invocations;
                 status.resolution = active.session.resolution();
                 status.bounds = *active.session.bounds();
-                if status.first_report.is_none() {
-                    status.first_report = first_report;
+                let covered_first = invocations > 0 && status.first_report.is_none();
+                if covered_first {
+                    status.first_report = first_report.clone();
                 }
                 if last_report.is_some() {
-                    status.last_report = last_report;
+                    status.last_report = last_report.clone();
                 }
-                if let Some(f) = frontier {
-                    status.frontier = f;
-                }
-                // Events that arrived while the slice ran.
+                // The composed slice delta advances the published
+                // snapshot in place — no full-frontier diff or clone.
+                slice_delta.apply(&mut status.frontier);
+                debug_assert!(
+                    status.frontier.bits_eq(active.session.frontier()),
+                    "slice delta diverged from the session frontier"
+                );
+                // Commands that arrived while the slice ran.
                 active.inbox.append(&mut slot.late_inbox);
-                if let Some(plan) = selected {
-                    status.finished = true;
-                    status.selected = Some(plan);
+                if let Some(out) = outcome {
+                    status.outcome = Some(out);
                     slot.cell = Cell::Retired;
                     retire = true;
                     park = Some((status.fingerprint, active.session.into_optimizer()));
@@ -751,7 +800,19 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
                     requeue = active.has_work();
                     slot.cell = Cell::Idle(active);
                 }
-                slot.notify_watchers();
+                if invocations > 0 || retire {
+                    let event = SessionEvent {
+                        epoch: slot.status.epoch + 1,
+                        delta: slice_delta,
+                        resolution: slot.status.resolution,
+                        bounds: slot.status.bounds,
+                        invocations: slot.status.invocations,
+                        report: last_report,
+                        first_report: if covered_first { first_report } else { None },
+                        outcome: slot.status.outcome,
+                    };
+                    slot.publish(event);
+                }
                 if retire {
                     // Final update delivered above; release the channels.
                     slot.watchers.clear();

@@ -1,10 +1,13 @@
-//! Integration tests of the serving layer: session isolation, event
-//! routing, and the warm-frontier cache.
+//! Integration tests of the serving layer: session isolation, command
+//! routing over the session protocol, delta-streamed watch channels, and
+//! the warm-frontier cache (including per-session cost-model isolation).
 
-use moqo_core::UserEvent;
 use moqo_cost::{Bounds, ResolutionSchedule};
-use moqo_costmodel::{CostModel, StandardCostModel};
-use moqo_engine::{EngineConfig, SessionConfig, SessionManager};
+use moqo_costmodel::{CostModel, SharedCostModel, StandardCostModel, StandardCostModelConfig};
+use moqo_engine::{
+    EngineConfig, ProtocolError, SessionCommand, SessionManager, SessionOutcome, SessionRequest,
+    SessionView,
+};
 use moqo_query::testkit;
 use std::sync::Arc;
 use std::time::Duration;
@@ -46,7 +49,7 @@ fn concurrent_sessions_keep_distinct_frontiers() {
         // Every session ran its full auto ladder and produced plans.
         assert_eq!(s.invocations, schedule().levels() as u64, "{}", s.query);
         assert!(!s.frontier.is_empty(), "{}: empty frontier", s.query);
-        assert!(!s.finished);
+        assert!(!s.is_finished());
     }
     // Fingerprints (and hence cached state) are all distinct.
     for i in 0..statuses.len() {
@@ -118,7 +121,7 @@ fn set_bounds_routes_to_the_right_session_only() {
     // Drag a bound on session A only.
     let t_max = a0.frontier.min_by_metric(0).unwrap().cost[0] * 4.0;
     let tight = Bounds::unbounded(model_dim).with_limit(0, t_max);
-    assert!(m.send_event(a, UserEvent::SetBounds(tight)));
+    m.command(a, SessionCommand::SetBounds(tight)).unwrap();
     assert!(m.wait_idle(IDLE));
 
     let a1 = m.status(a).unwrap();
@@ -139,15 +142,73 @@ fn select_plan_finishes_and_recycles_the_session() {
     let a = m.submit(Arc::new(testkit::chain_query(2, 30_000)));
     assert!(m.wait_idle(IDLE));
     let choice = m.frontier(a).unwrap().min_by_metric(0).unwrap().plan;
-    assert!(m.send_event(a, UserEvent::SelectPlan(choice)));
+    m.command(a, SessionCommand::SelectPlan(choice)).unwrap();
     assert!(m.wait_idle(IDLE));
     let s = m.status(a).unwrap();
-    assert!(s.finished);
-    assert_eq!(s.selected, Some(choice));
+    assert!(s.is_finished());
+    assert_eq!(s.selected(), Some(choice));
     // The optimizer was parked for reuse.
     assert_eq!(m.cache_stats().entries, 1);
-    // Events to a finished session are rejected.
-    assert!(!m.send_event(a, UserEvent::None));
+    // Commands to a finished session are a typed protocol error.
+    assert_eq!(
+        m.command(a, SessionCommand::Refine),
+        Err(ProtocolError::SessionFinished)
+    );
+    // So are commands to sessions that never existed.
+    assert_eq!(
+        m.command(9999, SessionCommand::Refine),
+        Err(ProtocolError::UnknownSession)
+    );
+}
+
+#[test]
+fn malformed_commands_are_rejected_at_the_door() {
+    let m = manager(2);
+    let a = m.submit(Arc::new(testkit::chain_query(2, 20_000)));
+    // Wrong bounds dimension: typed error, and the worker never sees it.
+    assert_eq!(
+        m.command(a, SessionCommand::SetBounds(Bounds::unbounded(2))),
+        Err(ProtocolError::BoundsDimensionMismatch {
+            expected: 3,
+            got: 2
+        })
+    );
+    // Wrong preference dimension, same story.
+    assert_eq!(
+        m.command(
+            a,
+            SessionCommand::SetPreference(Some(moqo_core::Preference::WeightedSum(vec![1.0])))
+        ),
+        Err(ProtocolError::WeightDimensionMismatch {
+            expected: 3,
+            got: 1
+        })
+    );
+    // A NaN-weighted preference is caught at the door too (it would
+    // otherwise poison score comparisons inside a worker).
+    assert_eq!(
+        m.command(
+            a,
+            SessionCommand::SetPreference(Some(moqo_core::Preference::WeightedSum(vec![
+                f64::NAN,
+                0.0,
+                0.0
+            ])))
+        ),
+        Err(ProtocolError::NonFinitePreference)
+    );
+    // Selecting a plan that was never visualized is a typed error.
+    let bogus = moqo_plan::PlanId(u32::MAX);
+    assert!(matches!(
+        m.command(a, SessionCommand::SelectPlan(bogus)),
+        Err(ProtocolError::UnknownPlan { plan }) if plan == bogus
+    ));
+    assert!(m.wait_idle(IDLE));
+    // The session is unharmed and fully refined.
+    let s = m.status(a).unwrap();
+    assert!(!s.is_finished());
+    assert_eq!(s.invocations, schedule().levels() as u64);
+    assert!(!s.frontier.is_empty());
 }
 
 #[test]
@@ -174,10 +235,12 @@ fn per_session_schedule_override_degrades_the_ladder() {
     // A degraded session runs a one-level ladder at a coarse target while
     // the manager-wide schedule keeps four levels.
     let coarse = ResolutionSchedule::linear(0, 1.5, 0.5);
-    let deg = m.submit_with_config(
-        Arc::new(testkit::chain_query(3, 60_000)),
-        SessionConfig::degraded(coarse.clone()),
-    );
+    let deg = m
+        .open(
+            SessionRequest::new(Arc::new(testkit::chain_query(3, 60_000)))
+                .with_schedule(coarse.clone()),
+        )
+        .unwrap();
     let full = m.submit(Arc::new(testkit::chain_query(4, 60_000)));
     assert!(m.wait_idle(IDLE));
     let d = m.status(deg).unwrap();
@@ -201,10 +264,9 @@ fn warm_resume_ignores_the_schedule_override() {
     assert!(m.wait_idle(IDLE));
     m.finish(cold).unwrap();
     // Resubmit with a degrade override: the warm frontier wins.
-    let warm = m.submit_with_config(
-        spec,
-        SessionConfig::degraded(ResolutionSchedule::linear(0, 1.5, 0.5)),
-    );
+    let warm = m
+        .open(SessionRequest::new(spec).with_schedule(ResolutionSchedule::linear(0, 1.5, 0.5)))
+        .unwrap();
     assert!(m.wait_idle(IDLE));
     let s = m.status(warm).unwrap();
     assert!(s.warm_start);
@@ -217,24 +279,32 @@ fn warm_resume_ignores_the_schedule_override() {
 }
 
 #[test]
-fn watch_streams_updates_without_blocking_on_the_engine() {
+fn watch_streams_deltas_that_reassemble_to_the_exact_frontier() {
     let m = manager(2);
     let id = m.submit(Arc::new(testkit::chain_query(3, 70_000)));
     let rx = m.watch(id).expect("live session is watchable");
-    // The subscription primes itself with the current status...
-    let first = rx.recv_timeout(IDLE).expect("primed status");
-    assert_eq!(first.id, id);
-    // ...and then delivers one update per completed slice until the
-    // session parks; collect until the ladder saturates.
-    let mut last = first;
-    while last.invocations < schedule().levels() as u64 {
-        last = rx.recv_timeout(IDLE).expect("slice update");
+    // The subscription primes itself with a reset-delta event...
+    let first = rx.recv_timeout(IDLE).expect("primed event");
+    assert!(first.delta.reset);
+    let mut view = SessionView::default();
+    view.fold(&first).unwrap();
+    // ...and then delivers one event per completed slice until the
+    // session parks; fold until the ladder saturates.
+    while view.invocations < schedule().levels() as u64 {
+        let ev = rx.recv_timeout(IDLE).expect("slice event");
+        view.fold(&ev).unwrap();
     }
-    assert!(!last.frontier.is_empty());
-    // Finishing delivers a final, finished status on the same channel.
+    assert!(!view.frontier.is_empty());
+    // The reassembled frontier is bit-exact against the server's.
+    assert!(view.frontier.bits_eq(&m.frontier(id).unwrap()));
+    // Warm evidence flowed through the stream, not a status query.
+    assert!(view.first_report.is_some());
+    // Finishing delivers a final outcome event on the same channel.
     m.finish(id).unwrap();
-    let fin = rx.recv_timeout(IDLE).expect("final status");
-    assert!(fin.finished);
+    let fin = rx.recv_timeout(IDLE).expect("final event");
+    assert_eq!(fin.outcome, Some(SessionOutcome::Retired));
+    view.fold(&fin).unwrap();
+    assert!(view.is_finished());
     // Unknown sessions are not watchable.
     assert!(m.watch(9999).is_none());
 }
@@ -243,7 +313,8 @@ fn watch_streams_updates_without_blocking_on_the_engine() {
 fn park_and_probe_expose_the_cache_to_serving_layers() {
     let m = manager(2);
     let spec = Arc::new(testkit::chain_query(3, 45_000));
-    let fp = moqo_engine::QueryFingerprint::of(&spec, m.model().metrics());
+    let model = m.model();
+    let fp = moqo_engine::QueryFingerprint::of(&spec, &model);
     assert!(!m.has_parked(fp));
     // Build a warm optimizer out-of-band and park it (the restore path).
     let mut opt = moqo_core::IamaOptimizer::new(spec.clone(), m.model(), schedule());
@@ -281,7 +352,7 @@ fn live_sessions_tracks_admission_load() {
     assert_eq!(m.live_sessions(), 1);
     // Selecting a plan retires the session and sheds its load.
     let choice = m.frontier(b).unwrap().min_by_metric(0).unwrap().plan;
-    m.send_event(b, UserEvent::SelectPlan(choice));
+    m.command(b, SessionCommand::SelectPlan(choice)).unwrap();
     assert!(m.wait_idle(IDLE));
     assert_eq!(m.live_sessions(), 0);
 }
@@ -307,4 +378,98 @@ fn similar_queries_share_one_enumeration_plan() {
     assert_eq!(plans.hits, 2, "similar chain queries must share the plan");
     // No frontier-cache involvement: these are four distinct fingerprints.
     assert_eq!(m.cache_stats().hits, 0);
+}
+
+#[test]
+fn preference_requests_auto_select_without_a_round_trip() {
+    let m = manager(2);
+    let pref = moqo_core::Preference::WeightedSum(vec![1.0, 0.01, 0.01]);
+    let id = m
+        .open(
+            SessionRequest::new(Arc::new(testkit::chain_query(3, 55_000)))
+                .with_preference(pref.clone()),
+        )
+        .unwrap();
+    assert!(m.wait_idle(IDLE));
+    let s = m.status(id).unwrap();
+    match s.outcome {
+        Some(SessionOutcome::Selected {
+            plan,
+            by_preference,
+        }) => {
+            assert!(by_preference, "the preference must have fired");
+            // The selection matches what the preference would pick from
+            // the final frontier.
+            let best = pref.select(&s.frontier, &s.bounds).unwrap().unwrap();
+            assert_eq!(plan, best.plan);
+        }
+        other => panic!("expected an auto-selected outcome, got {other:?}"),
+    }
+    // The session retired on its own; its frontier parked for reuse.
+    assert_eq!(m.live_sessions(), 0);
+    assert_eq!(m.cache_stats().entries, 1);
+}
+
+#[test]
+fn per_session_cost_models_share_nothing_across_models() {
+    // One manager, one query, two cost models (same metric layout,
+    // different parameters). The fingerprint embeds the model identity,
+    // so each model's sessions warm only their own parked frontiers —
+    // zero crossover.
+    let m = manager(2);
+    let spec = Arc::new(testkit::chain_query(3, 65_000));
+    let custom: SharedCostModel = Arc::new(StandardCostModel::new(
+        moqo_costmodel::MetricSet::paper(),
+        StandardCostModelConfig {
+            dops: vec![1, 2],
+            sampling_rates_pm: vec![250],
+            ..StandardCostModelConfig::default()
+        },
+    ));
+    let default_id = m.submit(spec.clone());
+    let custom_id = m
+        .open(SessionRequest::new(spec.clone()).with_cost_model(custom.clone()))
+        .unwrap();
+    assert!(m.wait_idle(IDLE));
+    let d = m.status(default_id).unwrap();
+    let c = m.status(custom_id).unwrap();
+    assert!(!d.model_override);
+    assert!(c.model_override);
+    assert_ne!(
+        d.fingerprint, c.fingerprint,
+        "same query, different model: fingerprints must differ"
+    );
+    // Different models produce different frontiers over the same query.
+    assert_ne!(
+        (
+            d.frontier.len(),
+            d.frontier.costs().first().map(|x| x[0].to_bits())
+        ),
+        (
+            c.frontier.len(),
+            c.frontier.costs().first().map(|x| x[0].to_bits())
+        ),
+    );
+    m.finish(default_id).unwrap();
+    m.finish(custom_id).unwrap();
+    assert_eq!(m.cache_stats().entries, 2, "one parked frontier per model");
+
+    // Resubmitting under each model warms from exactly its own frontier.
+    let d2 = m.submit(spec.clone());
+    let c2 = m
+        .open(SessionRequest::new(spec).with_cost_model(custom))
+        .unwrap();
+    assert!(m.wait_idle(IDLE));
+    let d2s = m.status(d2).unwrap();
+    let c2s = m.status(c2).unwrap();
+    assert!(d2s.warm_start && c2s.warm_start);
+    assert_eq!(d2s.first_report.as_ref().unwrap().plans_generated, 0);
+    assert_eq!(c2s.first_report.as_ref().unwrap().plans_generated, 0);
+    // Each resumed the frontier its model built (bit-exact lengths and
+    // costs match the pre-finish state per model).
+    assert_eq!(d2s.frontier.len(), d.frontier.len());
+    assert_eq!(c2s.frontier.len(), c.frontier.len());
+    let stats = m.cache_stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.entries, 0, "both hits transferred ownership out");
 }

@@ -135,19 +135,14 @@ impl ShapeKey {
         // FNV-1a over a canonical encoding: n, the flag, then the
         // canonical edge-pair list.
         let pairs = canonical_edge_pairs(graph);
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut word = |v: u64| {
-            for b in v.to_le_bytes() {
-                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        word(graph.n_tables() as u64);
-        word(allow_cross_products as u64);
+        let mut h = moqo_cost::Fnv64::new();
+        h.u64(graph.n_tables() as u64);
+        h.u64(allow_cross_products as u64);
         for (l, r) in pairs {
-            word(l as u64);
-            word(r as u64);
+            h.u64(l as u64);
+            h.u64(r as u64);
         }
-        ShapeKey(h)
+        ShapeKey(h.finish())
     }
 
     /// The raw 64-bit value (diagnostics, logging, cache sharding).

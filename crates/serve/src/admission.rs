@@ -25,6 +25,7 @@
 //! but never touches the engine. The serving API drains it via
 //! [`AdmissionController::release`] whenever capacity may have freed.
 
+use moqo_core::protocol::RejectReason;
 use moqo_cost::ResolutionSchedule;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,24 +73,11 @@ impl Default for AdmissionConfig {
     }
 }
 
-/// Why a submission was turned away.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RejectReason {
-    /// Live sessions at (or above) the admission bound and the policy
-    /// sheds load.
-    Overloaded {
-        /// Live sessions observed at decision time.
-        live: usize,
-    },
-    /// The bounded pending queue is full.
-    QueueFull {
-        /// The configured queue depth.
-        depth: usize,
-    },
-}
-
-/// Outcome of an admission request. The queued payload stays inside the
-/// controller; everything else is returned to the caller.
+/// Outcome of an admission request — the controller-internal shape of the
+/// protocol's [`AdmissionResponse`](moqo_core::AdmissionResponse) (the
+/// serving API converts; the [`RejectReason`] is the protocol's own).
+/// The queued payload stays inside the controller; everything else is
+/// returned to the caller.
 #[derive(Debug)]
 pub enum Admission {
     /// Admit now at full resolution.

@@ -1,14 +1,19 @@
 //! The non-blocking client surface.
 //!
 //! [`MoqoServer`] composes the sharded engine with admission control
-//! behind a ticket API: [`MoqoServer::submit`] never blocks on optimizer
-//! progress — it returns a [`Ticket`] after the admission decision, and
-//! everything that happens afterwards (per-slice frontier refinements,
-//! completion) arrives over the ticket's **own** channel. Callers either
-//! [`MoqoServer::poll`] (non-blocking drain of buffered updates) or
-//! [`MoqoServer::recv`] (block on the ticket channel with a timeout); no
-//! caller ever parks on the engine's internal condvar, so a slow or
-//! abandoned client cannot interfere with scheduling.
+//! behind a ticket API, speaking the
+//! [session protocol](moqo_core::protocol) end to end:
+//! [`MoqoServer::submit`] takes a [`SessionRequest`] and never blocks on
+//! optimizer progress — it returns a [`Ticket`] plus the protocol-level
+//! [`AdmissionResponse`] (admitted / degraded / queued / rejected), and
+//! everything that happens afterwards arrives over the ticket's **own**
+//! channel as delta-streamed [`SessionEvent`]s. Callers either
+//! [`MoqoServer::poll`] (non-blocking: drains buffered events into the
+//! ticket's reassembled [`SessionView`]) or [`MoqoServer::recv`] (block
+//! on the ticket channel with a timeout for the next event); no caller
+//! ever parks on the engine's internal condvar, so a slow or abandoned
+//! client cannot interfere with scheduling — and the full frontier is
+//! shipped at most once per stream, deltas after that.
 //!
 //! Queued submissions (under [`AdmissionPolicy::Queue`]) admit lazily:
 //! every API interaction pumps the pending queue against freed capacity,
@@ -17,17 +22,16 @@
 //!
 //! [`AdmissionPolicy::Queue`]: crate::AdmissionPolicy::Queue
 
-use crate::admission::{Admission, AdmissionConfig, AdmissionController, RejectReason};
+use crate::admission::{Admission, AdmissionConfig, AdmissionController};
 use crate::shard::{GlobalSessionId, RouteDecision, ShardConfig, ShardedEngine};
-use moqo_core::UserEvent;
-use moqo_cost::{Bounds, ResolutionSchedule};
+use moqo_core::protocol::{
+    AdmissionResponse, ProtocolError, SessionCommand, SessionEvent, SessionRequest, SessionView,
+};
+use moqo_cost::ResolutionSchedule;
 use moqo_costmodel::SharedCostModel;
-use moqo_engine::{SessionConfig, SessionStatus};
-use moqo_plan::PlanId;
-use moqo_query::QuerySpec;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
 /// Serving-front configuration: sharding plus admission.
@@ -69,9 +73,9 @@ pub enum TicketStatus {
         pending: usize,
     },
     /// Turned away by admission control.
-    Rejected(RejectReason),
-    /// Admitted; the latest session snapshot (which carries `finished`
-    /// and the selected plan once the session ends).
+    Rejected(moqo_core::RejectReason),
+    /// Admitted; the view is reassembled purely from the ticket's event
+    /// stream (and carries `outcome` once the session ends).
     Active {
         /// Where the session runs.
         session: GlobalSessionId,
@@ -79,8 +83,10 @@ pub enum TicketStatus {
         route: RouteDecision,
         /// True if admitted under a degraded resolution ladder.
         degraded: bool,
-        /// Most recent status (updated by `poll`/`recv`).
-        status: Box<SessionStatus>,
+        /// True if the session resumed a parked warm frontier.
+        warm_start: bool,
+        /// The delta-reassembled session state (updated by `poll`/`recv`).
+        view: Box<SessionView>,
     },
 }
 
@@ -88,24 +94,49 @@ struct ActiveCell {
     gid: GlobalSessionId,
     route: RouteDecision,
     degraded: bool,
+    warm_start: bool,
     /// Taken out (under no lock) while a caller blocks in `recv`.
-    rx: Option<mpsc::Receiver<SessionStatus>>,
-    latest: SessionStatus,
-    /// True once the finished status was observed and the ticket entered
-    /// the bounded closed-history (set at most once).
+    rx: Option<mpsc::Receiver<SessionEvent>>,
+    /// Reassembled from the event stream; the integration tests assert it
+    /// matches the engine-side frontier bit for bit.
+    view: SessionView,
+    /// True once the final event was observed and the ticket entered the
+    /// bounded closed-history (set at most once).
     closed: bool,
+}
+
+impl ActiveCell {
+    /// Folds one event into the view. Stream events are ordered and
+    /// contiguous, so a fold failure is a server bug — surfaced in debug
+    /// builds, tolerated (event dropped) in release.
+    fn fold(&mut self, event: &SessionEvent) {
+        let res = self.view.fold(event);
+        debug_assert!(res.is_ok(), "ticket stream out of order: {res:?}");
+    }
+
+    /// Drains all buffered events from the channel into the view. A
+    /// no-op while the receiver is checked out by a blocked `recv`.
+    fn drain(&mut self) {
+        let Some(rx) = &self.rx else { return };
+        let mut drained = Vec::new();
+        while let Ok(event) = rx.try_recv() {
+            drained.push(event);
+        }
+        for event in &drained {
+            self.fold(event);
+        }
+    }
 }
 
 enum Cell {
     Queued,
-    Rejected(RejectReason),
+    Rejected(moqo_core::RejectReason),
     Active(Box<ActiveCell>),
 }
 
 struct PendingSubmit {
     ticket: u64,
-    spec: Arc<QuerySpec>,
-    config: SessionConfig,
+    request: SessionRequest,
 }
 
 /// Aggregate server statistics.
@@ -190,16 +221,21 @@ impl MoqoServer {
         &self.engine
     }
 
-    /// Submits a query for interactive optimization. Returns immediately
-    /// with a ticket; the admission outcome is visible via
-    /// [`MoqoServer::poll`].
-    pub fn submit(&self, spec: Arc<QuerySpec>) -> Ticket {
-        self.submit_with_config(spec, SessionConfig::default())
-    }
-
-    /// Submits with per-session overrides. A degrade admission replaces
-    /// the configuration's schedule with the policy's degraded ladder.
-    pub fn submit_with_config(&self, spec: Arc<QuerySpec>, config: SessionConfig) -> Ticket {
+    /// Submits a [`SessionRequest`] for interactive optimization (a bare
+    /// `Arc<QuerySpec>` converts). Returns immediately with the ticket
+    /// and the protocol-level admission decision; per-slice
+    /// [`SessionEvent`]s arrive on the ticket's channel afterwards.
+    ///
+    /// Malformed requests (bounds or preference dimensions that do not
+    /// match the effective cost model) are rejected here with a typed
+    /// [`ProtocolError`] before a ticket is issued — they can never reach
+    /// a shard worker.
+    pub fn submit(
+        &self,
+        request: impl Into<SessionRequest>,
+    ) -> Result<(Ticket, AdmissionResponse), ProtocolError> {
+        let request = request.into();
+        request.validate(request.effective_model(&self.engine.model()).dim())?;
         self.pump();
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         // Register the ticket BEFORE the admission decision: once
@@ -218,61 +254,77 @@ impl MoqoServer {
             self.admission_load(),
             PendingSubmit {
                 ticket: id,
-                spec: spec.clone(),
-                config: config.clone(),
+                request: request.clone(),
             },
         );
-        match decision {
+        let response = match decision {
             Admission::Admit => {
                 self.reserved.fetch_add(1, Ordering::Relaxed);
                 drop(gate);
-                let cell = Cell::Active(Box::new(self.activate(spec, config, false)));
+                let cell = Cell::Active(Box::new(self.activate(request, false)));
                 self.reserved.fetch_sub(1, Ordering::Relaxed);
                 self.with_tickets(|t| {
                     t.cells.insert(id, cell);
                 });
+                AdmissionResponse::Admitted
             }
             Admission::AdmitDegraded(ladder) => {
                 self.reserved.fetch_add(1, Ordering::Relaxed);
                 drop(gate);
-                let degraded = SessionConfig {
-                    schedule: Some(ladder),
-                    ..config
+                let degraded = SessionRequest {
+                    schedule: Some(ladder.clone()),
+                    ..request
                 };
-                let cell = Cell::Active(Box::new(self.activate(spec, degraded, true)));
+                let cell = Cell::Active(Box::new(self.activate(degraded, true)));
                 self.reserved.fetch_sub(1, Ordering::Relaxed);
                 self.with_tickets(|t| {
                     t.cells.insert(id, cell);
                 });
+                AdmissionResponse::Degraded { schedule: ladder }
             }
             // The placeholder stands; a pump (possibly already racing on
             // another thread) will replace it with the active cell.
-            Admission::Queued { .. } => drop(gate),
+            Admission::Queued { position } => {
+                drop(gate);
+                AdmissionResponse::Queued { position }
+            }
             Admission::Rejected(reason) => {
                 drop(gate);
                 self.with_tickets(|t| {
                     t.cells.insert(id, Cell::Rejected(reason));
                     t.close(id, self.retired_tickets);
                 });
+                AdmissionResponse::Rejected(reason)
             }
-        }
-        Ticket(id)
+        };
+        Ok((Ticket(id), response))
     }
 
-    /// Submits to the engine and wires up the per-ticket channel.
-    fn activate(&self, spec: Arc<QuerySpec>, config: SessionConfig, degraded: bool) -> ActiveCell {
-        let (gid, route) = self.engine.submit_with_config(spec, config);
+    /// Submits to the engine and wires up the per-ticket event channel.
+    fn activate(&self, request: SessionRequest, degraded: bool) -> ActiveCell {
+        let (gid, route) = self
+            .engine
+            .open(request)
+            .expect("request was validated at submission");
         let rx = self.engine.watch(gid).expect("freshly submitted session");
-        // The watch channel self-primes with the current status.
-        let latest = rx.recv().expect("primed status");
-        ActiveCell {
+        // The watch channel self-primes with a reset-delta event.
+        let primed = rx.recv().expect("primed event");
+        let warm_start = self
+            .engine
+            .status(gid)
+            .map(|s| s.warm_start)
+            .unwrap_or(false);
+        let mut cell = ActiveCell {
             gid,
             route,
             degraded,
+            warm_start,
             rx: Some(rx),
-            latest,
+            view: SessionView::default(),
             closed: false,
-        }
+        };
+        cell.fold(&primed);
+        cell
     }
 
     /// Admits queued submissions into freed capacity (called from every
@@ -287,7 +339,7 @@ impl MoqoServer {
             };
             self.reserved.fetch_add(1, Ordering::Relaxed);
             drop(gate);
-            let cell = Cell::Active(Box::new(self.activate(p.spec, p.config, false)));
+            let cell = Cell::Active(Box::new(self.activate(p.request, false)));
             self.reserved.fetch_sub(1, Ordering::Relaxed);
             self.with_tickets(|t| {
                 t.cells.insert(p.ticket, cell);
@@ -300,21 +352,25 @@ impl MoqoServer {
     }
 
     /// Marks a finished active cell closed (dropping its channel) and
-    /// files the ticket into the bounded closed-history. Call with the
-    /// table lock held.
+    /// files the ticket into the bounded closed-history (once). Call with
+    /// the table lock held. Idempotent on the channel: a receiver
+    /// restored by a `recv` that raced the close is dropped here too.
     fn close_if_finished(t: &mut TicketTable, id: u64, cap: usize) {
         if let Some(Cell::Active(active)) = t.cells.get_mut(&id) {
-            if active.latest.finished && !active.closed {
-                active.closed = true;
+            if active.view.is_finished() {
                 active.rx = None;
-                t.close(id, cap);
+                if !active.closed {
+                    active.closed = true;
+                    t.close(id, cap);
+                }
             }
         }
     }
 
-    /// Non-blocking status: drains any buffered updates from the ticket
-    /// channel and returns the latest view. `None` for unknown tickets
-    /// (including closed tickets evicted from the bounded history).
+    /// Non-blocking status: drains any buffered events from the ticket
+    /// channel into the reassembled view and returns the latest state.
+    /// `None` for unknown tickets (including closed tickets evicted from
+    /// the bounded history).
     pub fn poll(&self, ticket: Ticket) -> Option<TicketStatus> {
         self.pump();
         let cap = self.retired_tickets;
@@ -326,20 +382,13 @@ impl MoqoServer {
                 },
                 Cell::Rejected(reason) => TicketStatus::Rejected(*reason),
                 Cell::Active(active) => {
-                    if let Some(rx) = &active.rx {
-                        while let Ok(status) = rx.try_recv() {
-                            // A finished status is terminal: never let an
-                            // older buffered slice update regress it.
-                            if !active.latest.finished {
-                                active.latest = status;
-                            }
-                        }
-                    }
+                    active.drain();
                     TicketStatus::Active {
                         session: active.gid,
                         route: active.route,
                         degraded: active.degraded,
-                        status: Box::new(active.latest.clone()),
+                        warm_start: active.warm_start,
+                        view: Box::new(active.view.clone()),
                     }
                 }
             };
@@ -348,17 +397,19 @@ impl MoqoServer {
         })
     }
 
-    /// Blocks on the ticket's channel for the next status update (at most
-    /// `timeout`), never on engine internals. Returns `None` for unknown,
-    /// queued, or rejected tickets, on timeout, and once the channel is
-    /// closed after the session finished (the final status remains
-    /// available via [`MoqoServer::poll`]). Only one caller may block per
-    /// ticket at a time; concurrent `recv`s on one ticket return `None`.
-    pub fn recv(&self, ticket: Ticket, timeout: Duration) -> Option<SessionStatus> {
+    /// Blocks on the ticket's channel for the next [`SessionEvent`] (at
+    /// most `timeout`), never on engine internals; the event is folded
+    /// into the ticket's view before it is returned. Returns `None` for
+    /// unknown, queued, or rejected tickets, on timeout, and once the
+    /// channel is closed after the session finished (the final view
+    /// remains available via [`MoqoServer::poll`]). Only one caller may
+    /// block per ticket at a time; concurrent `recv`s on one ticket
+    /// return `None`.
+    pub fn recv(&self, ticket: Ticket, timeout: Duration) -> Option<SessionEvent> {
         self.pump();
         // Take the receiver out so the table lock is NOT held while
         // blocking; poll() keeps working (it sees `rx: None` and serves
-        // the latest snapshot).
+        // the latest reassembled view).
         let rx = self.with_tickets(|t| match t.cells.get_mut(&ticket.0) {
             Some(Cell::Active(active)) => active.rx.take(),
             _ => None,
@@ -367,58 +418,72 @@ impl MoqoServer {
         let cap = self.retired_tickets;
         self.with_tickets(|t| {
             if let Some(Cell::Active(active)) = t.cells.get_mut(&ticket.0) {
-                if let Some(status) = &received {
-                    // A concurrent finish() may have recorded the final
-                    // status while this recv was blocked on an older
-                    // buffered update; finished is terminal — never
-                    // regress it.
-                    if !active.latest.finished {
-                        active.latest = status.clone();
-                    }
+                if let Some(event) = &received {
+                    active.fold(event);
                 }
                 active.rx = Some(rx);
+                // Pick up anything that arrived while this call was
+                // blocked (e.g. the terminal event of a concurrent
+                // finish) so the view never closes behind the stream.
+                active.drain();
             }
             Self::close_if_finished(t, ticket.0, cap);
         });
         received
     }
 
-    /// Drags a session's cost bounds (Algorithm 1's `SetBounds` event).
-    pub fn set_bounds(&self, ticket: Ticket, bounds: Bounds) -> bool {
-        self.with_session(ticket, |gid, engine| {
-            engine.send_event(gid, UserEvent::SetBounds(bounds))
-        })
-    }
-
-    /// Selects a visualized plan, ending the session (its optimizer parks
-    /// in the owning shard's frontier cache).
-    pub fn select_plan(&self, ticket: Ticket, plan: PlanId) -> bool {
-        self.with_session(ticket, |gid, engine| {
-            engine.send_event(gid, UserEvent::SelectPlan(plan))
-        })
+    /// Routes a [`SessionCommand`] to the ticket's session — bound drags,
+    /// preference changes, plan selection, cancellation — exactly the
+    /// vocabulary the core session and the engine speak.
+    ///
+    /// Tickets that are queued, rejected, or evicted answer
+    /// [`ProtocolError::UnknownSession`]; dimension mismatches are
+    /// validated at the owning shard and never reach a worker.
+    pub fn command(&self, ticket: Ticket, command: SessionCommand) -> Result<(), ProtocolError> {
+        let gid = self
+            .with_tickets(|t| match t.cells.get(&ticket.0) {
+                Some(Cell::Active(active)) => Some(active.gid),
+                _ => None,
+            })
+            .ok_or(ProtocolError::UnknownSession)?;
+        self.engine.command(gid, command)
     }
 
     /// Retires a session without a selection, parking its warm frontier
     /// for future equivalent queries, and frees its admission slot.
-    /// Returns the final status; `None` for tickets that never activated.
-    pub fn finish(&self, ticket: Ticket) -> Option<SessionStatus> {
+    /// Returns the final reassembled view; `None` for tickets that never
+    /// activated.
+    pub fn finish(&self, ticket: Ticket) -> Option<SessionView> {
         let gid = self.with_tickets(|t| match t.cells.get(&ticket.0) {
             Some(Cell::Active(active)) => Some(active.gid),
             _ => None,
         })?;
-        let status = self.engine.finish(gid);
-        if let Some(status) = &status {
-            let cap = self.retired_tickets;
-            self.with_tickets(|t| {
-                if let Some(Cell::Active(active)) = t.cells.get_mut(&ticket.0) {
-                    active.latest = status.clone();
+        // The engine publishes the terminal event to the ticket channel;
+        // drain it into the view so the caller sees the final state.
+        let final_status = self.engine.finish(gid)?;
+        let cap = self.retired_tickets;
+        let view = self.with_tickets(|t| {
+            let view = match t.cells.get_mut(&ticket.0) {
+                Some(Cell::Active(active)) => {
+                    active.drain();
+                    if !active.view.is_finished() {
+                        // The receiver is checked out by a concurrent
+                        // blocked `recv` (which will fold the terminal
+                        // event itself); the session is finished either
+                        // way — record the outcome so this call returns
+                        // a final view and the ticket closes now.
+                        active.view.outcome = final_status.outcome;
+                    }
+                    Some(active.view.clone())
                 }
-                Self::close_if_finished(t, ticket.0, cap);
-            });
-        }
+                _ => None,
+            };
+            Self::close_if_finished(t, ticket.0, cap);
+            view
+        });
         // The freed slot may admit a queued submission right away.
         self.pump();
-        status
+        view
     }
 
     /// Blocks until all shards drain (testing/batch use; interactive
@@ -437,29 +502,19 @@ impl MoqoServer {
             shards: self.engine.shard_stats(),
         }
     }
-
-    fn with_session(
-        &self,
-        ticket: Ticket,
-        f: impl FnOnce(GlobalSessionId, &ShardedEngine) -> bool,
-    ) -> bool {
-        let Some(gid) = self.with_tickets(|t| match t.cells.get(&ticket.0) {
-            Some(Cell::Active(active)) => Some(active.gid),
-            _ => None,
-        }) else {
-            return false;
-        };
-        f(gid, &self.engine)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::admission::AdmissionPolicy;
+    use moqo_core::{RejectReason, SessionOutcome};
+    use moqo_cost::Bounds;
     use moqo_costmodel::StandardCostModel;
     use moqo_engine::EngineConfig;
     use moqo_query::testkit;
+    use std::sync::Arc;
+    use std::time::Instant;
 
     const IDLE: Duration = Duration::from_secs(60);
 
@@ -482,29 +537,45 @@ mod tests {
         )
     }
 
+    fn submit(s: &MoqoServer, spec: Arc<moqo_query::QuerySpec>) -> (Ticket, AdmissionResponse) {
+        s.submit(spec).expect("well-formed request")
+    }
+
     #[test]
     fn ticket_flow_submit_recv_select() {
         let s = server(AdmissionConfig::default());
-        let t = s.submit(Arc::new(testkit::chain_query(3, 80_000)));
-        // Updates stream on the ticket channel until the ladder saturates.
-        let mut latest = match s.poll(t).unwrap() {
-            TicketStatus::Active { status, .. } => *status,
+        let (t, resp) = submit(&s, Arc::new(testkit::chain_query(3, 80_000)));
+        assert_eq!(resp, AdmissionResponse::Admitted);
+        // Events stream on the ticket channel until the ladder saturates.
+        let mut view = match s.poll(t).unwrap() {
+            TicketStatus::Active { view, .. } => *view,
             other => panic!("expected active ticket, got {other:?}"),
         };
-        while latest.invocations < 3 {
-            latest = s.recv(t, IDLE).expect("slice update");
+        while view.invocations < 3 {
+            s.recv(t, IDLE).expect("slice event");
+            view = match s.poll(t).unwrap() {
+                TicketStatus::Active { view, .. } => *view,
+                other => panic!("expected active ticket, got {other:?}"),
+            };
         }
-        assert!(!latest.frontier.is_empty());
+        assert!(!view.frontier.is_empty());
+        // The delta-reassembled view matches the engine's frontier
+        // bit for bit.
+        let gid = match s.poll(t).unwrap() {
+            TicketStatus::Active { session, .. } => session,
+            _ => unreachable!(),
+        };
+        assert!(view.frontier.bits_eq(&s.engine().frontier(gid).unwrap()));
         // Select the fastest visualized plan; the session retires.
-        let plan = latest.frontier.min_by_metric(0).unwrap().plan;
-        assert!(s.select_plan(t, plan));
+        let plan = view.frontier.min_by_metric(0).unwrap().plan;
+        s.command(t, SessionCommand::SelectPlan(plan)).unwrap();
         assert!(s.wait_idle(IDLE));
         let fin = match s.poll(t).unwrap() {
-            TicketStatus::Active { status, .. } => *status,
+            TicketStatus::Active { view, .. } => *view,
             other => panic!("expected active ticket, got {other:?}"),
         };
-        assert!(fin.finished);
-        assert_eq!(fin.selected, Some(plan));
+        assert!(fin.is_finished());
+        assert_eq!(fin.selected(), Some(plan));
         assert_eq!(s.stats().live, 0);
     }
 
@@ -514,8 +585,13 @@ mod tests {
             max_live: 1,
             policy: AdmissionPolicy::Reject,
         });
-        let a = s.submit(Arc::new(testkit::chain_query(2, 10_000)));
-        let b = s.submit(Arc::new(testkit::chain_query(3, 10_000)));
+        let (a, ra) = submit(&s, Arc::new(testkit::chain_query(2, 10_000)));
+        let (b, rb) = submit(&s, Arc::new(testkit::chain_query(3, 10_000)));
+        assert!(ra.is_admitted());
+        assert!(matches!(
+            rb,
+            AdmissionResponse::Rejected(RejectReason::Overloaded { .. })
+        ));
         assert!(matches!(s.poll(a), Some(TicketStatus::Active { .. })));
         assert!(matches!(
             s.poll(b),
@@ -532,12 +608,18 @@ mod tests {
             max_live: 1,
             policy: AdmissionPolicy::Queue { depth: 1 },
         });
-        let a = s.submit(Arc::new(testkit::chain_query(2, 20_000)));
-        let b = s.submit(Arc::new(testkit::chain_query(3, 20_000)));
-        let c = s.submit(Arc::new(testkit::chain_query(4, 20_000)));
+        let (a, ra) = submit(&s, Arc::new(testkit::chain_query(2, 20_000)));
+        let (b, rb) = submit(&s, Arc::new(testkit::chain_query(3, 20_000)));
+        let (c, rc) = submit(&s, Arc::new(testkit::chain_query(4, 20_000)));
+        assert_eq!(ra, AdmissionResponse::Admitted);
+        assert_eq!(rb, AdmissionResponse::Queued { position: 0 });
+        // The bounded queue is full: c is rejected, never silently grown.
+        assert!(matches!(
+            rc,
+            AdmissionResponse::Rejected(RejectReason::QueueFull { .. })
+        ));
         assert!(matches!(s.poll(a), Some(TicketStatus::Active { .. })));
         assert!(matches!(s.poll(b), Some(TicketStatus::Queued { .. })));
-        // The bounded queue is full: c is rejected, never silently grown.
         assert!(matches!(
             s.poll(c),
             Some(TicketStatus::Rejected(RejectReason::QueueFull { .. }))
@@ -551,7 +633,7 @@ mod tests {
         }
         assert!(s.wait_idle(IDLE));
         let st = match s.poll(b).unwrap() {
-            TicketStatus::Active { status, .. } => *status,
+            TicketStatus::Active { view, .. } => *view,
             _ => unreachable!(),
         };
         assert!(!st.frontier.is_empty());
@@ -576,7 +658,7 @@ mod tests {
             },
         );
         let tickets: Vec<Ticket> = (2..=5)
-            .map(|n| s.submit(Arc::new(testkit::chain_query(n, 5_000))))
+            .map(|n| submit(&s, Arc::new(testkit::chain_query(n, 5_000))).0)
             .collect();
         assert!(s.wait_idle(IDLE));
         for &t in &tickets {
@@ -595,7 +677,10 @@ mod tests {
             Some(TicketStatus::Active { .. })
         ));
         // Operations on an evicted ticket degrade gracefully.
-        assert!(!s.set_bounds(tickets[0], Bounds::unbounded(3)));
+        assert_eq!(
+            s.command(tickets[0], SessionCommand::SetBounds(Bounds::unbounded(3))),
+            Err(ProtocolError::UnknownSession)
+        );
         assert!(s.finish(tickets[0]).is_none());
     }
 
@@ -608,9 +693,16 @@ mod tests {
                 hard_cap: 2,
             },
         });
-        let a = s.submit(Arc::new(testkit::chain_query(2, 30_000)));
-        let b = s.submit(Arc::new(testkit::chain_query(3, 30_000)));
-        let c = s.submit(Arc::new(testkit::chain_query(4, 30_000)));
+        let (a, ra) = submit(&s, Arc::new(testkit::chain_query(2, 30_000)));
+        let (b, rb) = submit(&s, Arc::new(testkit::chain_query(3, 30_000)));
+        let (_c, rc) = submit(&s, Arc::new(testkit::chain_query(4, 30_000)));
+        assert_eq!(ra, AdmissionResponse::Admitted);
+        match &rb {
+            AdmissionResponse::Degraded { schedule } => assert_eq!(schedule.levels(), 1),
+            other => panic!("expected degraded admission, got {other:?}"),
+        }
+        // Beyond the hard cap even degraded admission stops.
+        assert!(matches!(rc, AdmissionResponse::Rejected(_)));
         assert!(matches!(
             s.poll(a),
             Some(TicketStatus::Active {
@@ -618,20 +710,108 @@ mod tests {
                 ..
             })
         ));
-        match s.poll(b).unwrap() {
-            TicketStatus::Active { degraded, .. } => assert!(degraded),
-            other => panic!("expected degraded admission, got {other:?}"),
-        }
-        // Beyond the hard cap even degraded admission stops.
-        assert!(matches!(s.poll(c), Some(TicketStatus::Rejected(_))));
         assert!(s.wait_idle(IDLE));
         let st = match s.poll(b).unwrap() {
-            TicketStatus::Active { status, .. } => *status,
-            _ => unreachable!(),
+            TicketStatus::Active { degraded, view, .. } => {
+                assert!(degraded);
+                *view
+            }
+            other => panic!("expected degraded admission, got {other:?}"),
         };
         // One-level ladder: a single invocation, but a frontier exists.
-        assert!(st.schedule_override);
         assert_eq!(st.invocations, 1);
         assert!(!st.frontier.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_before_a_ticket_exists() {
+        let s = server(AdmissionConfig::default());
+        let bad = SessionRequest::new(Arc::new(testkit::chain_query(3, 10_000)))
+            .with_preference(moqo_core::Preference::WeightedSum(vec![1.0]));
+        assert_eq!(
+            s.submit(bad).unwrap_err(),
+            ProtocolError::WeightDimensionMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+        // The server is untouched: no ticket, no session, no pending.
+        assert_eq!(s.stats().live, 0);
+        assert_eq!(s.stats().pending, 0);
+    }
+
+    #[test]
+    fn preference_request_auto_selects_through_the_full_stack() {
+        let s = server(AdmissionConfig::default());
+        let pref = moqo_core::Preference::WeightedSum(vec![1.0, 0.01, 0.01]);
+        let (t, resp) = s
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(3, 40_000)))
+                    .with_preference(pref.clone()),
+            )
+            .unwrap();
+        assert_eq!(resp, AdmissionResponse::Admitted);
+        assert!(s.wait_idle(IDLE));
+        let view = match s.poll(t).unwrap() {
+            TicketStatus::Active { view, .. } => *view,
+            other => panic!("expected active, got {other:?}"),
+        };
+        match view.outcome {
+            Some(SessionOutcome::Selected { by_preference, .. }) => assert!(by_preference),
+            other => panic!("expected preference selection, got {other:?}"),
+        }
+        assert_eq!(s.stats().live, 0, "auto-selection frees the slot");
+    }
+
+    #[test]
+    fn recv_times_out_cleanly_on_an_idle_session() {
+        let s = server(AdmissionConfig::default());
+        let (t, _) = submit(&s, Arc::new(testkit::chain_query(2, 15_000)));
+        // Drain the whole refinement ladder.
+        assert!(s.wait_idle(IDLE));
+        while s.recv(t, Duration::from_millis(50)).is_some() {}
+        // The session is parked (not finished): no events are coming, so
+        // recv must block for the full timeout and return None — without
+        // touching the engine's internals.
+        let t0 = Instant::now();
+        let timeout = Duration::from_millis(150);
+        assert!(s.recv(t, timeout).is_none());
+        assert!(
+            t0.elapsed() >= timeout,
+            "recv returned early without an event"
+        );
+        // The ticket is still live and commandable afterwards.
+        assert!(matches!(s.poll(t), Some(TicketStatus::Active { .. })));
+        s.command(t, SessionCommand::Refine).unwrap();
+        assert!(s.wait_idle(IDLE));
+    }
+
+    #[test]
+    fn session_finishing_between_poll_and_recv_is_not_a_lost_wakeup() {
+        let s = server(AdmissionConfig::default());
+        let (t, _) = submit(&s, Arc::new(testkit::chain_query(3, 25_000)));
+        assert!(s.wait_idle(IDLE));
+        // Caller polls (sees an unfinished session)...
+        match s.poll(t).unwrap() {
+            TicketStatus::Active { view, .. } => assert!(!view.is_finished()),
+            other => panic!("expected active, got {other:?}"),
+        }
+        // ...the session finishes in the gap...
+        s.finish(t).unwrap();
+        // ...and the subsequent recv must return promptly — the terminal
+        // event was already drained by finish, the channel's sender side
+        // is gone, so recv sees a disconnect, not a full-timeout stall.
+        let t0 = Instant::now();
+        let timeout = Duration::from_secs(5);
+        assert!(s.recv(t, timeout).is_none());
+        assert!(t0.elapsed() < timeout, "recv stalled on a finished session");
+        // The final view stays available via poll.
+        match s.poll(t).unwrap() {
+            TicketStatus::Active { view, .. } => {
+                assert!(view.is_finished());
+                assert_eq!(view.outcome, Some(SessionOutcome::Retired));
+            }
+            other => panic!("expected closed-but-queryable ticket, got {other:?}"),
+        }
     }
 }

@@ -2,29 +2,38 @@
 //!
 //! `moqo-engine` turned the paper's single-user loop (Trummer & Koch,
 //! SIGMOD 2015, Figure 1) into a multi-session manager; this crate turns
-//! that manager into a *service*:
+//! that manager into a *service* — still speaking the
+//! [session protocol](moqo_core::protocol), so the same
+//! [`SessionRequest`] / [`SessionCommand`] / [`SessionEvent`] types that
+//! drive a bare `moqo_core::Session` drive the whole front:
 //!
 //! * [`ShardedEngine`] — N independent [`moqo_engine::SessionManager`]
 //!   shards behind a [`QueryFingerprint`]-hash router. Repeats and
 //!   same-shape queries land on the shard whose `FrontierCache` /
 //!   `PlanCache` is already warm; cold queries may divert to the
-//!   least-loaded shard when their home is overloaded.
+//!   least-loaded shard when their home is overloaded. Fingerprints
+//!   embed the effective cost-model identity, so per-session model
+//!   overrides route (and warm) independently.
 //! * [`AdmissionController`] — bounded intake with pluggable overload
 //!   policy: [`Reject`](AdmissionPolicy::Reject) (pure backpressure),
 //!   [`Queue`](AdmissionPolicy::Queue) (bounded FIFO, never unbounded
 //!   growth), or [`Degrade`](AdmissionPolicy::Degrade) (admit at a
 //!   coarser target resolution — IAMA's resolution ladder doubling as a
-//!   load-shedding knob).
-//! * [`MoqoServer`] — the non-blocking client surface: `submit` returns a
-//!   [`Ticket`] immediately; frontier snapshots and completion arrive
-//!   over per-ticket channels (`poll` to drain, `recv` to block on *your
-//!   own* channel). No caller ever parks on the engine's internal
-//!   condvar.
+//!   load-shedding knob). Decisions surface as the protocol's
+//!   [`AdmissionResponse`].
+//! * [`MoqoServer`] — the non-blocking client surface: `submit` takes a
+//!   [`SessionRequest`] and returns a [`Ticket`] plus the admission
+//!   response immediately; delta-streamed [`SessionEvent`]s arrive over
+//!   per-ticket channels (`poll` to drain into the reassembled
+//!   [`SessionView`], `recv` to block on *your own* channel). No caller
+//!   ever parks on the engine's internal condvar, and the full frontier
+//!   ships at most once per stream.
 //! * [`SnapshotStore`] — versioned snapshot/restore of parked frontiers
 //!   (one file per fingerprint via
-//!   [`moqo_core::IamaOptimizer::export_frontier`]), so a restarted
-//!   server's first invocation of a known query still generates zero
-//!   plans.
+//!   [`moqo_core::IamaOptimizer::export_frontier`], with per-fingerprint
+//!   dirty tracking so unchanged frontiers skip the write), so a
+//!   restarted server's first invocation of a known query still
+//!   generates zero plans.
 //!
 //! ```
 //! use moqo_cost::ResolutionSchedule;
@@ -39,10 +48,13 @@
 //!     ResolutionSchedule::linear(2, 1.1, 0.4),
 //!     ServeConfig::default(),
 //! );
-//! let ticket = server.submit(Arc::new(testkit::chain_query(3, 50_000)));
+//! let (ticket, response) = server
+//!     .submit(Arc::new(testkit::chain_query(3, 50_000)))
+//!     .unwrap();
+//! assert!(response.is_admitted());
 //! assert!(server.wait_idle(Duration::from_secs(30)));
 //! match server.poll(ticket) {
-//!     Some(TicketStatus::Active { status, .. }) => assert!(!status.frontier.is_empty()),
+//!     Some(TicketStatus::Active { view, .. }) => assert!(!view.frontier.is_empty()),
 //!     other => panic!("expected an active ticket, got {other:?}"),
 //! }
 //! ```
@@ -55,7 +67,7 @@ pub mod persist;
 pub mod shard;
 
 pub use admission::{
-    Admission, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats, RejectReason,
+    Admission, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats,
 };
 pub use api::{MoqoServer, ServeConfig, ServerStats, Ticket, TicketStatus};
 pub use persist::{RestoreReport, SaveReport, SnapshotStore, FRONTIER_EXT};
@@ -63,4 +75,10 @@ pub use shard::{GlobalSessionId, RouteDecision, ShardConfig, ShardStats, Sharded
 
 // Re-exported so serve users can speak the engine vocabulary without a
 // direct moqo-engine dependency.
-pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionConfig, SessionStatus};
+pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionStatus};
+
+// The session protocol — the one vocabulary all three layers speak.
+pub use moqo_core::protocol::{
+    AdmissionResponse, FrontierDelta, ProtocolError, RejectReason, SessionCommand, SessionEvent,
+    SessionOutcome, SessionRequest, SessionView,
+};

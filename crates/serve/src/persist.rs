@@ -18,13 +18,27 @@
 //!
 //! Writes go through a temp file + rename, so a crash mid-save leaves the
 //! previous snapshot generation intact rather than a half-written file.
+//!
+//! Saves are **incremental per fingerprint**: the store remembers the
+//! content hash of every file it has persisted (or restored) and skips
+//! fingerprints whose frontier bytes are unchanged — a periodic
+//! snapshot sweep over a mostly-idle cache costs serialization, not IO.
+//!
+//! Snapshots embed the exporting cost model's
+//! [identity](moqo_costmodel::CostModel::identity) (format v2), so a
+//! frontier refined under a per-session model override is *skipped* on
+//! restore under the deployment default model — reported, never silently
+//! resumed under a model that would cost it differently.
 
 use crate::shard::ShardedEngine;
 use moqo_core::IamaOptimizer;
+use moqo_engine::QueryFingerprint;
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// File extension of frontier snapshot files.
 pub const FRONTIER_EXT: &str = "frontier";
@@ -36,6 +50,9 @@ pub struct SaveReport {
     pub written: usize,
     /// Total bytes written.
     pub bytes: u64,
+    /// Fingerprints whose frontier bytes were unchanged since the last
+    /// persist — serialized for comparison, but no file touched.
+    pub unchanged: usize,
 }
 
 /// What a [`SnapshotStore::restore`] brought back.
@@ -58,16 +75,32 @@ impl fmt::Display for RestoreReport {
     }
 }
 
-/// A directory of frontier snapshots, one file per fingerprint.
-#[derive(Clone, Debug)]
+/// A directory of frontier snapshots, one file per fingerprint, with
+/// per-fingerprint dirty tracking (unchanged frontiers skip the write).
+#[derive(Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
+    /// Content hash of the last bytes persisted (or restored) per
+    /// fingerprint; a matching hash with the file still on disk means
+    /// the frontier is clean and the write is skipped.
+    persisted: Mutex<HashMap<u64, u64>>,
 }
+
+/// FNV-1a over a byte blob (the dirty-tracking content hash).
+fn content_hash(bytes: &[u8]) -> u64 {
+    moqo_cost::Fnv64::hash_bytes(bytes)
+}
+
+/// Process-wide sequence for unique snapshot temp-file names.
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl SnapshotStore {
     /// A store rooted at `dir` (created on first save).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            persisted: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The store's directory.
@@ -92,14 +125,16 @@ impl SnapshotStore {
     /// Serialization takes each shard's state lock once **per entry**
     /// (not across the whole pass), so a snapshot sweep interleaves with
     /// live submissions; file IO happens with no lock held at all.
+    ///
+    /// Fingerprints whose serialized bytes match what this store last
+    /// persisted (and whose file is still on disk) are counted in
+    /// [`SaveReport::unchanged`] and skip the write entirely — repeated
+    /// sweeps over an idle cache do no IO.
     pub fn save(&self, engine: &ShardedEngine) -> io::Result<SaveReport> {
         fs::create_dir_all(&self.dir)?;
         let exported =
             engine.map_parked(|fp, opt| (fp, opt.stats().result_insertions, opt.export_frontier()));
-        let mut blobs: std::collections::HashMap<
-            u64,
-            (moqo_engine::QueryFingerprint, u64, Vec<u8>),
-        > = std::collections::HashMap::new();
+        let mut blobs: HashMap<u64, (QueryFingerprint, u64, Vec<u8>)> = HashMap::new();
         for (fp, warmth, bytes) in exported {
             match blobs.entry(fp.as_u64()) {
                 std::collections::hash_map::Entry::Occupied(mut e) if e.get().1 < warmth => {
@@ -112,11 +147,45 @@ impl SnapshotStore {
             }
         }
         let mut report = SaveReport::default();
-        for (fp, _, bytes) in blobs.into_values() {
+        // Skip decisions happen under the dirty-map lock; the lock drops
+        // before any file is written, so concurrent sweeps over one
+        // store serialize only the (cheap) hash comparison, not the IO.
+        let dirty: Vec<(QueryFingerprint, u64, Vec<u8>)> = {
+            let persisted = self.persisted.lock().expect("snapshot dirty map poisoned");
+            blobs
+                .into_values()
+                .filter_map(|(fp, _, bytes)| {
+                    let hash = content_hash(&bytes);
+                    if persisted.get(&fp.as_u64()) == Some(&hash) && self.file_for(fp).exists() {
+                        report.unchanged += 1;
+                        None
+                    } else {
+                        Some((fp, hash, bytes))
+                    }
+                })
+                .collect()
+        };
+        for (fp, hash, bytes) in dirty {
             let path = self.file_for(fp);
-            let tmp = path.with_extension("tmp");
+            // The temp name is unique per call: two concurrent sweeps
+            // that both found the fingerprint dirty must not interleave
+            // writes into one temp inode and rename mixed bytes into
+            // place (the rename itself is atomic; the write is not).
+            let tmp = path.with_extension(format!(
+                "tmp.{}.{}",
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            ));
             fs::write(&tmp, &bytes)?;
-            fs::rename(&tmp, &path)?;
+            // Publish and record under the dirty-map lock so the map can
+            // never claim bytes that lost the rename race to a concurrent
+            // sweep (disk and map always describe the same generation;
+            // the bulk byte write above stays outside the lock).
+            {
+                let mut persisted = self.persisted.lock().expect("snapshot dirty map poisoned");
+                fs::rename(&tmp, &path)?;
+                persisted.insert(fp.as_u64(), hash);
+            }
             report.written += 1;
             report.bytes += bytes.len() as u64;
         }
@@ -149,9 +218,18 @@ impl SnapshotStore {
             match IamaOptimizer::import_frontier(engine.model(), &bytes) {
                 Ok(opt) => {
                     // The fingerprint is recomputed from the decoded spec
-                    // (content-authoritative, file names are cosmetic).
-                    let fp = engine.fingerprint(opt.spec());
+                    // under the optimizer's own model (content-
+                    // authoritative, file names are cosmetic).
+                    let model = opt.model();
+                    let fp = QueryFingerprint::of(opt.spec(), &model);
                     engine.park(fp, opt);
+                    // The file on disk is this frontier's current state:
+                    // seed the dirty tracker so an immediate save sweep
+                    // that finds it unchanged skips the rewrite.
+                    self.persisted
+                        .lock()
+                        .expect("snapshot dirty map poisoned")
+                        .insert(fp.as_u64(), content_hash(&bytes));
                     report.restored += 1;
                 }
                 Err(e) => report.skipped.push((path, e.to_string())),
@@ -300,6 +378,86 @@ mod tests {
         assert!(!decision.is_warm());
         assert!(e.wait_idle(IDLE));
         assert!(e.status(gid).unwrap().first_report.unwrap().plans_generated > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unchanged_frontiers_skip_the_rewrite() {
+        let dir = temp_dir("dirty");
+        let store = SnapshotStore::new(&dir);
+        let e = engine(2);
+        let specs: Vec<Arc<_>> = (2..=4)
+            .map(|n| Arc::new(testkit::chain_query(n, 33_000)))
+            .collect();
+        let ids: Vec<_> = specs.iter().map(|s| e.submit(s.clone()).0).collect();
+        assert!(e.wait_idle(IDLE));
+        for id in ids {
+            e.finish(id).unwrap();
+        }
+        // First sweep writes everything.
+        let first = store.save(&e).unwrap();
+        assert_eq!((first.written, first.unchanged), (specs.len(), 0));
+        // Second sweep over the untouched cache writes nothing.
+        let second = store.save(&e).unwrap();
+        assert_eq!((second.written, second.unchanged), (0, specs.len()));
+        assert_eq!(second.bytes, 0);
+
+        // Refine one fingerprint further (resume warm, change focus, and
+        // re-park): only that file is rewritten.
+        let (gid, decision) = e.submit(specs[0].clone());
+        assert!(decision.is_warm());
+        assert!(e.wait_idle(IDLE));
+        let tight = {
+            let f = e.frontier(gid).unwrap();
+            let anchor = f.min_by_metric(0).unwrap().cost[0];
+            moqo_cost::Bounds::unbounded(3).with_limit(0, anchor * 2.0)
+        };
+        e.command(gid, moqo_core::SessionCommand::SetBounds(tight))
+            .unwrap();
+        assert!(e.wait_idle(IDLE));
+        e.finish(gid).unwrap();
+        let third = store.save(&e).unwrap();
+        assert_eq!(
+            (third.written, third.unchanged),
+            (1, specs.len() - 1),
+            "only the refined fingerprint is dirty"
+        );
+
+        // A deleted file is re-written even with a clean hash (the disk
+        // is the source of truth for what exists).
+        let victim = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().and_then(|e| e.to_str()) == Some(FRONTIER_EXT))
+            .unwrap();
+        fs::remove_file(&victim).unwrap();
+        let fourth = store.save(&e).unwrap();
+        assert_eq!(fourth.written, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_seeds_the_dirty_tracker() {
+        let dir = temp_dir("restore-seed");
+        let spec = Arc::new(testkit::chain_query(3, 21_000));
+        {
+            let e = engine(2);
+            let (gid, _) = e.submit(spec.clone());
+            assert!(e.wait_idle(IDLE));
+            e.finish(gid).unwrap();
+            SnapshotStore::new(&dir).save(&e).unwrap();
+        }
+        // A fresh store (fresh process) restores, then sweeps: the
+        // untouched frontier must not be rewritten.
+        let store = SnapshotStore::new(&dir);
+        let e = engine(2);
+        assert_eq!(store.restore(&e).unwrap().restored, 1);
+        let sweep = store.save(&e).unwrap();
+        assert_eq!(
+            (sweep.written, sweep.unchanged),
+            (0, 1),
+            "restored-but-untouched frontier must be clean"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -25,12 +25,13 @@
 //! shard counts agree on every home — the property that lets a restarted
 //! process re-park restored frontiers where future submissions will look.
 
-use moqo_core::{FrontierSnapshot, IamaOptimizer, UserEvent};
+use moqo_core::protocol::{ProtocolError, SessionCommand, SessionEvent, SessionRequest};
+use moqo_core::{FrontierSnapshot, IamaOptimizer};
 use moqo_cost::{Bounds, ResolutionSchedule};
 use moqo_costmodel::{CostModel, SharedCostModel};
 use moqo_engine::{
-    CacheStats, EngineConfig, PlanCacheStats, QueryFingerprint, SessionConfig, SessionId,
-    SessionManager, SessionStatus,
+    CacheStats, EngineConfig, PlanCacheStats, QueryFingerprint, SessionId, SessionManager,
+    SessionStatus,
 };
 use moqo_query::QuerySpec;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -173,10 +174,19 @@ impl ShardedEngine {
         &self.schedule
     }
 
-    /// Canonical fingerprint of a query under this engine's metric set —
-    /// the routing and cache key.
+    /// Canonical fingerprint of a query under this engine's default cost
+    /// model — the routing and cache key. Requests with a per-session
+    /// model override route under [`ShardedEngine::fingerprint_of`]
+    /// instead.
     pub fn fingerprint(&self, spec: &QuerySpec) -> QueryFingerprint {
-        QueryFingerprint::of(spec, self.model.metrics())
+        QueryFingerprint::of(spec, &self.model)
+    }
+
+    /// The fingerprint a request routes and caches under: its query spec
+    /// plus its *effective* cost model (the request override if present,
+    /// the engine default otherwise).
+    pub fn fingerprint_of(&self, request: &SessionRequest) -> QueryFingerprint {
+        QueryFingerprint::of(&request.spec, &request.effective_model(&self.model))
     }
 
     /// The deterministic home shard of a fingerprint: a pure function of
@@ -216,19 +226,22 @@ impl ShardedEngine {
         (home, RouteDecision::ColdHome)
     }
 
-    /// Admits a session with default per-session configuration.
+    /// Admits a session with every default in place.
     pub fn submit(&self, spec: Arc<QuerySpec>) -> (GlobalSessionId, RouteDecision) {
-        self.submit_with_config(spec, SessionConfig::default())
+        self.open(SessionRequest::new(spec))
+            .expect("a bare request has nothing to validate")
     }
 
-    /// Admits a session with per-session overrides (bounds, degraded
-    /// schedule, refinement budget), routed by fingerprint.
-    pub fn submit_with_config(
+    /// Admits a session from a protocol [`SessionRequest`] (per-session
+    /// bounds, schedule, preference, cost model, refinement budget),
+    /// routed by its effective fingerprint. Malformed requests are a
+    /// typed [`ProtocolError`] at the door.
+    pub fn open(
         &self,
-        spec: Arc<QuerySpec>,
-        config: SessionConfig,
-    ) -> (GlobalSessionId, RouteDecision) {
-        let fp = self.fingerprint(&spec);
+        request: SessionRequest,
+    ) -> Result<(GlobalSessionId, RouteDecision), ProtocolError> {
+        request.validate(request.effective_model(&self.model).dim())?;
+        let fp = self.fingerprint_of(&request);
         let (shard, decision) = self.route(fp);
         let counter = &self.counters[shard];
         match decision {
@@ -240,8 +253,8 @@ impl ShardedEngine {
                 counter.rebalanced_in.fetch_add(1, Ordering::Relaxed)
             }
         };
-        let local = self.shards[shard].submit_with_config(spec, config);
-        (GlobalSessionId { shard, local }, decision)
+        let local = self.shards[shard].open(request)?;
+        Ok((GlobalSessionId { shard, local }, decision))
     }
 
     fn shard(&self, id: GlobalSessionId) -> Option<&SessionManager> {
@@ -258,15 +271,20 @@ impl ShardedEngine {
         self.shard(id)?.frontier(id.local)
     }
 
-    /// Routes a user event to the owning shard's session.
-    pub fn send_event(&self, id: GlobalSessionId, event: UserEvent) -> bool {
+    /// Routes a [`SessionCommand`] to the owning shard's session.
+    pub fn command(
+        &self,
+        id: GlobalSessionId,
+        command: SessionCommand,
+    ) -> Result<(), ProtocolError> {
         self.shard(id)
-            .is_some_and(|s| s.send_event(id.local, event))
+            .ok_or(ProtocolError::UnknownSession)?
+            .command(id.local, command)
     }
 
-    /// Subscribes to a session's per-slice status updates (see
+    /// Subscribes to a session's delta-streamed [`SessionEvent`]s (see
     /// [`SessionManager::watch`]).
-    pub fn watch(&self, id: GlobalSessionId) -> Option<mpsc::Receiver<SessionStatus>> {
+    pub fn watch(&self, id: GlobalSessionId) -> Option<mpsc::Receiver<SessionEvent>> {
         self.shard(id)?.watch(id.local)
     }
 

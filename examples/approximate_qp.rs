@@ -7,7 +7,7 @@
 //! cargo run --release --example approximate_qp
 //! ```
 
-use moqo::core::{Session, StepOutcome, UserEvent};
+use moqo::core::{Session, SessionCommand};
 use moqo::prelude::*;
 use moqo::viz::TextTable;
 use std::sync::Arc;
@@ -28,32 +28,31 @@ fn main() {
         spec.name
     );
     for step in 0..6 {
-        match session.step(UserEvent::None) {
-            StepOutcome::Continue { report, frontier } => {
-                // Per iteration: the cheapest-time plan for a few error
-                // classes (the "curve" a UI would draw).
-                let mut per_error: Vec<(f64, f64)> = Vec::new();
-                for p in frontier.pareto_points() {
-                    per_error.push((p.cost[2], p.cost[0]));
-                }
-                per_error.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                per_error.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
-                println!(
-                    "iteration {step}: resolution {}, {} tradeoffs, {:.1} ms",
-                    report.resolution,
-                    frontier.len(),
-                    report.seconds() * 1e3
-                );
-                if step == 5 {
-                    let mut t = TextTable::new(vec!["max error", "best time"]);
-                    for (err, time) in per_error.iter().take(10) {
-                        t.row(vec![format!("{err:.3}"), format!("{time:.1}")]);
-                    }
-                    println!("\nfinal curve (error -> best achievable time):");
-                    println!("{}", t.render());
-                }
+        let event = session.apply(SessionCommand::Refine).expect("live session");
+        let report = event.report.expect("Refine runs an invocation");
+        let frontier = session.frontier();
+        // Per iteration: the cheapest-time plan for a few error classes
+        // (the "curve" a UI would draw).
+        let mut per_error: Vec<(f64, f64)> = Vec::new();
+        for p in frontier.pareto_points() {
+            per_error.push((p.cost[2], p.cost[0]));
+        }
+        per_error.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        per_error.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+        println!(
+            "iteration {step}: resolution {}, {} tradeoffs, {:.1} ms ({} frontier points shipped as a delta)",
+            report.resolution,
+            frontier.len(),
+            report.seconds() * 1e3,
+            event.delta.shipped_points(),
+        );
+        if step == 5 {
+            let mut t = TextTable::new(vec!["max error", "best time"]);
+            for (err, time) in per_error.iter().take(10) {
+                t.row(vec![format!("{err:.3}"), format!("{time:.1}")]);
             }
-            StepOutcome::Selected(_) => unreachable!(),
+            println!("\nfinal curve (error -> best achievable time):");
+            println!("{}", t.render());
         }
     }
 
@@ -77,8 +76,9 @@ fn main() {
         "{}",
         moqo::plan::explain(session.optimizer().arena(), choice.plan)
     );
-    match session.step(UserEvent::SelectPlan(choice.plan)) {
-        StepOutcome::Selected(plan) => println!("plan {plan:?} selected for execution."),
-        _ => unreachable!(),
-    }
+    let fin = session
+        .apply(SessionCommand::SelectPlan(choice.plan))
+        .expect("live session");
+    let plan = fin.outcome.expect("terminal event").selected().unwrap();
+    println!("plan {plan:?} selected for execution.");
 }

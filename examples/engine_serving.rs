@@ -80,7 +80,9 @@ fn main() {
     let s0 = manager.status(ids[0]).unwrap();
     let t_anchor = s0.frontier.min_by_metric(0).unwrap().cost[0];
     let tight = Bounds::unbounded(model.dim()).with_limit(0, t_anchor * 3.0);
-    manager.send_event(ids[0], moqo::engine::UserEvent::SetBounds(tight));
+    manager
+        .command(ids[0], SessionCommand::SetBounds(tight))
+        .expect("live session");
     assert!(manager.wait_idle(IDLE));
     let s0b = manager.status(ids[0]).unwrap();
     println!(
@@ -98,7 +100,9 @@ fn main() {
         .min_by_metric(0)
         .unwrap()
         .plan;
-    manager.send_event(ids[1], moqo::engine::UserEvent::SelectPlan(pick));
+    manager
+        .command(ids[1], SessionCommand::SelectPlan(pick))
+        .expect("live session");
     assert!(manager.wait_idle(IDLE));
     println!(
         "session {}: user selected plan {:?}; optimizer parked in the frontier cache",

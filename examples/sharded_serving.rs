@@ -103,19 +103,20 @@ fn main() {
 
     // --- Phase 1: burst admission. Beyond max_live=48 the degrade policy
     // kicks in; beyond hard_cap=60 submissions are rejected outright. ---
-    let tickets: Vec<Ticket> = specs.iter().map(|s| srv.submit(s.clone())).collect();
+    // Admission decisions are protocol-level responses, visible at
+    // submission time without a poll round-trip.
+    let mut tickets: Vec<Ticket> = Vec::new();
     let (mut full, mut degraded, mut rejected) = (0, 0, 0);
-    for &t in &tickets {
-        match srv.poll(t).expect("known ticket") {
-            TicketStatus::Active { degraded: d, .. } => {
-                if d {
-                    degraded += 1
-                } else {
-                    full += 1
-                }
-            }
-            TicketStatus::Rejected(_) => rejected += 1,
-            TicketStatus::Queued { .. } => unreachable!("degrade policy never queues"),
+    for spec in &specs {
+        let (t, response) = srv
+            .submit(SessionRequest::new(spec.clone()))
+            .expect("well-formed request");
+        tickets.push(t);
+        match response {
+            AdmissionResponse::Admitted => full += 1,
+            AdmissionResponse::Degraded { .. } => degraded += 1,
+            AdmissionResponse::Rejected(_) => rejected += 1,
+            AdmissionResponse::Queued { .. } => unreachable!("degrade policy never queues"),
         }
     }
     println!(
@@ -159,28 +160,30 @@ fn main() {
     let hot = specs[0].clone();
     let fp = srv.engine().fingerprint(&hot);
     let home = srv.engine().home_shard(fp);
-    let t = srv.submit(hot.clone());
+    let (t, response) = srv.submit(hot.clone()).expect("well-formed request");
+    assert!(response.is_admitted());
     assert!(srv.wait_idle(IDLE));
     match srv.poll(t).expect("known ticket") {
         TicketStatus::Active {
             session,
             route,
-            status,
+            warm_start,
+            view,
             ..
         } => {
             assert!(route.is_warm(), "expected warm routing, got {route:?}");
-            assert!(status.warm_start, "session missed its shard's cache");
-            let first = status.first_report.as_ref().expect("ran");
+            assert!(warm_start, "session missed its shard's cache");
+            let first = view.first_report.as_ref().expect("ran");
             assert_eq!(first.plans_generated, 0, "warm start rebuilt plans");
             println!(
                 "warm repeat of '{}': shard {} (home {}), route {:?}, \
                  first invocation generated {} plans, frontier {}",
-                status.query,
+                hot.name,
                 session.shard,
                 home,
                 route,
                 first.plans_generated,
-                status.frontier.len()
+                view.frontier.len()
             );
         }
         other => panic!("expected active warm repeat, got {other:?}"),
@@ -206,13 +209,18 @@ fn main() {
 
     // (c) persistence: the restarted server's first invocation of a known
     // query generates zero fresh plans.
-    let t = srv2.submit(hot);
+    let (t, _) = srv2.submit(hot.clone()).expect("well-formed request");
     assert!(srv2.wait_idle(IDLE));
     match srv2.poll(t).expect("known ticket") {
-        TicketStatus::Active { route, status, .. } => {
+        TicketStatus::Active {
+            route,
+            warm_start,
+            view,
+            ..
+        } => {
             assert!(route.is_warm(), "restored frontier not found by router");
-            assert!(status.warm_start);
-            let first = status.first_report.as_ref().expect("ran");
+            assert!(warm_start);
+            let first = view.first_report.as_ref().expect("ran");
             assert_eq!(
                 first.plans_generated, 0,
                 "restored frontier regenerated plans"
@@ -220,10 +228,10 @@ fn main() {
             println!(
                 "post-restore repeat of '{}': route {:?}, first invocation generated {} plans \
                  ({} tradeoffs served from disk-persisted state)",
-                status.query,
+                hot.name,
                 route,
                 first.plans_generated,
-                status.frontier.len()
+                view.frontier.len()
             );
         }
         other => panic!("expected active post-restore repeat, got {other:?}"),

@@ -50,6 +50,7 @@ fn main() {
         let frontier = opt.frontier(&unbounded, schedule.r_max());
         let chosen = prefer
             .select(&frontier, &error_budget)
+            .expect("well-formed preference")
             .expect("a plan within the error budget");
         println!(
             "block {:<4} ({} tables): {} tradeoffs, picked time={:.2} cores={:.0} error={:.3}",

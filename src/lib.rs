@@ -63,12 +63,14 @@ pub use moqo_viz as viz;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use moqo_core::{IamaOptimizer, InvocationReport, Session, UserEvent};
+    pub use moqo_core::{
+        AdmissionResponse, FrontierDelta, IamaOptimizer, InvocationReport, Preference,
+        ProtocolError, Session, SessionCommand, SessionEvent, SessionOutcome, SessionRequest,
+        SessionView,
+    };
     pub use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
     pub use moqo_costmodel::{CostModel, SharedCostModel, StandardCostModel};
-    pub use moqo_engine::{
-        EngineConfig, QueryFingerprint, SessionConfig, SessionId, SessionManager,
-    };
+    pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionId, SessionManager};
     pub use moqo_query::QuerySpec;
     pub use moqo_serve::{
         AdmissionConfig, AdmissionPolicy, MoqoServer, ServeConfig, ShardConfig, ShardedEngine,

@@ -44,6 +44,7 @@ fn weighted_frontier_minimum_matches_single_objective_dp() {
     let frontier = opt.frontier(&b, schedule.r_max());
     let pick = Preference::WeightedSum(weights.to_vec())
         .select(&frontier, &b)
+        .expect("well-formed preference")
         .expect("frontier non-empty");
     let picked_score: f64 = pick
         .cost

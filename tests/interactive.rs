@@ -1,7 +1,8 @@
-//! End-to-end interactive-session tests (Algorithm 1 over real workloads)
-//! plus property-based cross-checks of the whole stack.
+//! End-to-end interactive-session tests (Algorithm 1 over real workloads,
+//! spoken in the session protocol) plus property-based cross-checks of
+//! the whole stack.
 
-use moqo::core::{IamaOptimizer, Session, StepOutcome, UserEvent};
+use moqo::core::{IamaOptimizer, Session, SessionCommand, SessionView};
 use moqo::cost::{Bounds, ResolutionSchedule};
 use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
 use moqo::query::testkit;
@@ -28,24 +29,17 @@ fn session_on_tpch_refines_then_selects() {
     let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
     let mut session = Session::new(optimizer);
     let mut sizes = Vec::new();
-    let mut last_frontier = None;
     for _ in 0..7 {
-        match session.step(UserEvent::None) {
-            StepOutcome::Continue { frontier, .. } => {
-                sizes.push(frontier.len());
-                last_frontier = Some(frontier);
-            }
-            _ => unreachable!(),
-        }
+        session.apply(SessionCommand::Refine).expect("live session");
+        sizes.push(session.frontier().len());
     }
     // The visualized set never shrinks during pure refinement.
     assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes {sizes:?}");
-    let frontier = last_frontier.unwrap();
-    let choice = frontier.min_by_metric(0).unwrap();
-    match session.step(UserEvent::SelectPlan(choice.plan)) {
-        StepOutcome::Selected(p) => assert_eq!(p, choice.plan),
-        _ => panic!("expected selection"),
-    }
+    let choice = session.frontier().min_by_metric(0).unwrap().plan;
+    let fin = session
+        .apply(SessionCommand::SelectPlan(choice))
+        .expect("live session");
+    assert_eq!(fin.outcome.and_then(|o| o.selected()), Some(choice));
 }
 
 #[test]
@@ -57,17 +51,16 @@ fn bound_dragging_focuses_the_frontier() {
     let mut session = Session::new(optimizer);
     // Refine, then constrain cores to 1 (serial plans only).
     for _ in 0..4 {
-        session.step(UserEvent::None);
+        session.apply(SessionCommand::Refine).expect("live session");
     }
     let serial = Bounds::unbounded(model.dim()).with_limit(1, 1.0);
-    session.step(UserEvent::SetBounds(serial));
-    let mut last = None;
+    session
+        .apply(SessionCommand::SetBounds(serial))
+        .expect("live session");
     for _ in 0..4 {
-        if let StepOutcome::Continue { frontier, .. } = session.step(UserEvent::None) {
-            last = Some(frontier);
-        }
+        session.apply(SessionCommand::Refine).expect("live session");
     }
-    let frontier = last.unwrap();
+    let frontier = session.frontier();
     assert!(!frontier.is_empty(), "no serial plans found");
     assert!(
         frontier.points.iter().all(|p| p.cost[1] <= 1.0),
@@ -118,12 +111,13 @@ fn five_metric_optimization_works() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Random event sequences (refine / set random bound / reset) never
-    /// break the session or the frontier's bound discipline.
+    /// Random command sequences (refine / set random bound / reset) never
+    /// break the session, the frontier's bound discipline, or the
+    /// delta-stream reassembly invariant.
     #[test]
-    fn random_event_sequences_are_safe(
+    fn random_command_sequences_are_safe(
         seed in 0u64..500,
-        events in proptest::collection::vec(0u8..3, 1..10),
+        commands in proptest::collection::vec(0u8..3, 1..10),
         metric in 0usize..3,
         scale in 1.5f64..8.0,
     ) {
@@ -132,33 +126,31 @@ proptest! {
         let schedule = ResolutionSchedule::linear(4, 1.05, 0.5);
         let optimizer = IamaOptimizer::new(spec.clone(), model.clone(), schedule);
         let mut session = Session::new(optimizer);
+        let mut view = SessionView::default();
         // Establish a reference point for bound placement.
-        let first = match session.step(UserEvent::None) {
-            StepOutcome::Continue { frontier, .. } => frontier,
-            _ => unreachable!(),
-        };
-        prop_assume!(!first.is_empty());
-        let anchor = first.min_by_metric(metric).unwrap().cost[metric];
-        for ev in events {
-            let event = match ev {
-                0 => UserEvent::None,
-                1 => UserEvent::SetBounds(
+        let first = session.apply(SessionCommand::Refine).expect("live session");
+        view.fold(&first).expect("ordered stream");
+        prop_assume!(!view.frontier.is_empty());
+        let anchor = view.frontier.min_by_metric(metric).unwrap().cost[metric];
+        for cmd in commands {
+            let command = match cmd {
+                0 => SessionCommand::Refine,
+                1 => SessionCommand::SetBounds(
                     Bounds::unbounded(3).with_limit(metric, anchor * scale),
                 ),
-                _ => UserEvent::SetBounds(Bounds::unbounded(3)),
+                _ => SessionCommand::SetBounds(Bounds::unbounded(3)),
             };
-            match session.step(event) {
-                StepOutcome::Continue { frontier, .. } => {
-                    for p in &frontier.points {
-                        prop_assert!(session.bounds().respects(&p.cost) ||
-                            // step() applies the event *after* visualizing,
-                            // so compare against pre-event bounds is not
-                            // available; at minimum costs must be finite.
-                            p.cost.is_finite());
-                    }
-                }
-                StepOutcome::Selected(_) => break,
+            let event = session.apply(command).expect("well-formed command");
+            view.fold(&event).expect("ordered stream");
+            // Every visualized point respects the session's bounds (the
+            // command applies before the invocation, so the event's
+            // frontier is already focused).
+            for p in &view.frontier.points {
+                prop_assert!(session.bounds().respects(&p.cost));
+                prop_assert!(p.cost.is_finite());
             }
+            // The delta-reassembled view matches the session exactly.
+            prop_assert!(view.frontier.bits_eq(session.frontier()));
         }
     }
 }

@@ -81,10 +81,12 @@ fn preference_selection_over_sql_block() {
     // any plan the cores-first preference picks.
     let fast = Preference::WeightedSum(vec![1.0, 1e-6, 1e-6])
         .select(&frontier, &b)
-        .unwrap();
+        .expect("well-formed preference")
+        .expect("frontier non-empty");
     let lean = Preference::WeightedSum(vec![1e-6, 1.0, 1e-6])
         .select(&frontier, &b)
-        .unwrap();
+        .expect("well-formed preference")
+        .expect("frontier non-empty");
     assert!(fast.cost[0] <= lean.cost[0] + 1e-12);
     assert!(lean.cost[1] <= fast.cost[1] + 1e-12);
 }
