@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod net;
 pub mod serve;
 pub mod workload;
 
 pub use experiments::*;
+pub use net::{net_serving_experiment, net_workload, NetPhaseReport};
 pub use serve::{serving_experiment, serving_workload, ServingPhaseReport};
 pub use workload::{bench_model, bench_model_small, ExperimentSetup};

@@ -5,7 +5,7 @@ use moqo_cost::{pareto_filter, CostVector};
 use moqo_plan::PlanId;
 
 /// One visualized cost tradeoff: a completed query plan and its cost.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FrontierPoint {
     /// The plan realizing this tradeoff.
     pub plan: PlanId,

@@ -38,6 +38,7 @@ pub mod report;
 pub mod session;
 pub mod snapshot;
 pub mod stats;
+pub mod wire;
 
 pub use config::IamaConfig;
 pub use frontier::{FrontierPoint, FrontierSnapshot};
@@ -51,3 +52,4 @@ pub use report::InvocationReport;
 pub use session::Session;
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::OptimizerStats;
+pub use wire::{WireDecode, WireEncode, WireError, WireReader, WireResult, WireWriter};

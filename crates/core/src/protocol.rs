@@ -99,6 +99,16 @@ pub enum ProtocolError {
         /// The epoch of the rejected event.
         got: u64,
     },
+    /// A wire request referenced a per-session cost model by an identity
+    /// the server's model registry does not know. Cost models are code,
+    /// not data: the wire codec ships only
+    /// [`CostModel::identity`](moqo_costmodel::CostModel::identity), and
+    /// an unresolvable identity is answered with this typed error instead
+    /// of silently optimizing under the wrong cost semantics.
+    UnknownCostModel {
+        /// The unresolvable model identity.
+        identity: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -135,6 +145,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownSession => write!(f, "unknown session"),
             ProtocolError::EpochGap { have, got } => {
                 write!(f, "event epoch {got} does not follow view epoch {have}")
+            }
+            ProtocolError::UnknownCostModel { identity } => {
+                write!(f, "no registered cost model has identity {identity:#018x}")
             }
         }
     }
@@ -321,7 +334,7 @@ impl SessionOutcome {
 /// and cost bits included — falling back to a `reset` carrying the full
 /// snapshot whenever the change cannot be expressed as
 /// "remove these, append those".
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FrontierDelta {
     /// True if the receiver must discard its snapshot before applying
     /// (stream start, refocus, or an inexpressible reordering).
@@ -421,7 +434,7 @@ impl FrontierDelta {
 /// One streamed session update — what [`crate::Session::apply`] returns,
 /// what `SessionManager::watch` channels deliver per slice, and what
 /// `MoqoServer::recv` hands to ticket holders.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SessionEvent {
     /// Monotone emission counter within the emitting stream; deltas apply
     /// in epoch order.

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 /// What one `Optimize` invocation did — the quantities plotted in the
 /// paper's Figures 2–5 (invocation time) plus the incrementality counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InvocationReport {
     /// Invocation number (0-based).
     pub invocation: u32,

@@ -28,14 +28,14 @@
 //! space they were not computed in.
 
 use crate::optimizer::{ActiveEntry, IamaOptimizer, Watermark};
+use crate::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use crate::IamaConfig;
-use moqo_catalog::{Catalog, Column, ColumnRole, Table, TableId};
-use moqo_cost::{Bounds, CostVector, ResolutionSchedule, MAX_DIM};
+use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
 use moqo_costmodel::{CostModel, SharedCostModel};
 use moqo_index::{DynIndex, Entry, IndexKind, PlanIndex};
 use moqo_plan::{JoinAlgo, Operator, ScanMethod};
-use moqo_plan::{OrderKey, PhysicalProps, PlanId, PlanNode};
-use moqo_query::{JoinGraph, QuerySpec};
+use moqo_plan::{PhysicalProps, PlanId, PlanNode};
+use moqo_query::QuerySpec;
 use std::fmt;
 use std::sync::Arc;
 
@@ -87,158 +87,22 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// The byte-level primitives live in [`crate::wire`] (shared with the
+/// session-protocol codec); snapshot decoding maps their errors into
+/// [`SnapshotError`] so `?` composes across both layers.
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => SnapshotError::Truncated,
+            WireError::Corrupt(m) => SnapshotError::Corrupt(m),
+            WireError::UnknownModel { identity } => SnapshotError::ModelMismatch(format!(
+                "unknown cost-model identity {identity:#018x}"
+            )),
+        }
+    }
+}
+
 type Result<T> = std::result::Result<T, SnapshotError>;
-
-// ---------------------------------------------------------------------------
-// Byte-level primitives: explicit little-endian encoding, no host-dependent
-// layout, no external serialization dependency.
-// ---------------------------------------------------------------------------
-
-#[derive(Default)]
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn bool(&mut self, v: bool) {
-        self.buf.push(v as u8);
-    }
-    fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-    fn cost(&mut self, c: &CostVector) {
-        self.u8(c.dim() as u8);
-        for &v in c.as_slice() {
-            self.f64(v);
-        }
-    }
-    fn props(&mut self, p: &PhysicalProps) {
-        match p.order {
-            None => self.bool(false),
-            Some(OrderKey(k)) => {
-                self.bool(true);
-                self.u16(k);
-            }
-        }
-    }
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(SnapshotError::Truncated);
-        }
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-    fn bool(&mut self) -> Result<bool> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            b => Err(corrupt(format!("invalid bool byte {b}"))),
-        }
-    }
-    fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// Length-prefixed count, sanity-capped so corrupt lengths fail fast
-    /// instead of attempting huge allocations.
-    fn count(&mut self, what: &str) -> Result<usize> {
-        let n = self.u32()? as usize;
-        // Each encoded element occupies at least one byte.
-        if n > self.buf.len().saturating_sub(self.pos) {
-            return Err(corrupt(format!(
-                "{what} count {n} exceeds remaining buffer"
-            )));
-        }
-        Ok(n)
-    }
-
-    fn str(&mut self) -> Result<String> {
-        let n = self.count("string")?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("non-UTF-8 string".into()))
-    }
-
-    /// A cost component: finite-or-infinite, non-negative, never NaN (the
-    /// `CostVector` constructor enforces the same rules with panics; here
-    /// they must surface as errors).
-    fn cost_component(&mut self) -> Result<f64> {
-        let v = self.f64()?;
-        if v.is_nan() {
-            return Err(corrupt("NaN cost component".into()));
-        }
-        if v < 0.0 {
-            return Err(corrupt(format!("negative cost component {v}")));
-        }
-        Ok(v)
-    }
-
-    fn cost(&mut self) -> Result<CostVector> {
-        let dim = self.u8()? as usize;
-        if dim > MAX_DIM {
-            return Err(corrupt(format!("cost dimension {dim} exceeds MAX_DIM")));
-        }
-        let mut vals = [0.0; MAX_DIM];
-        for slot in vals.iter_mut().take(dim) {
-            *slot = self.cost_component()?;
-        }
-        Ok(CostVector::new(&vals[..dim]))
-    }
-
-    fn props(&mut self) -> Result<PhysicalProps> {
-        Ok(if self.bool()? {
-            PhysicalProps::sorted(OrderKey(self.u16()?))
-        } else {
-            PhysicalProps::NONE
-        })
-    }
-}
 
 fn corrupt(msg: String) -> SnapshotError {
     SnapshotError::Corrupt(msg)
@@ -261,7 +125,7 @@ fn index_kind_from(tag: u8) -> Result<IndexKind> {
     }
 }
 
-fn write_operator(w: &mut Writer, op: &Operator) {
+fn write_operator(w: &mut WireWriter, op: &Operator) {
     match *op {
         Operator::Scan { position, method } => {
             w.u8(0);
@@ -286,7 +150,7 @@ fn write_operator(w: &mut Writer, op: &Operator) {
     }
 }
 
-fn read_operator(r: &mut Reader<'_>) -> Result<Operator> {
+fn read_operator(r: &mut WireReader<'_>) -> Result<Operator> {
     match r.u8()? {
         0 => {
             let position = r.u16()?;
@@ -326,7 +190,7 @@ fn read_operator(r: &mut Reader<'_>) -> Result<Operator> {
 /// function of optimizer state — equal state produces equal bytes even
 /// across an import/re-export round trip, which is what lets the
 /// snapshot store's dirty tracking skip unchanged frontiers.
-fn write_entries(w: &mut Writer, entries: &[Entry<PlanId>]) {
+fn write_entries(w: &mut WireWriter, entries: &[Entry<PlanId>]) {
     let mut order: Vec<usize> = (0..entries.len()).collect();
     order.sort_unstable_by_key(|&i| {
         let e = &entries[i];
@@ -336,14 +200,14 @@ fn write_entries(w: &mut Writer, entries: &[Entry<PlanId>]) {
     for i in order {
         let e = &entries[i];
         w.u32(e.item.0);
-        w.cost(&e.cost);
+        e.cost.encode(w);
         w.u8(e.level);
         w.u32(e.invocation);
     }
 }
 
 fn read_entries(
-    r: &mut Reader<'_>,
+    r: &mut WireReader<'_>,
     arena_len: usize,
     r_max: usize,
     dim: usize,
@@ -357,7 +221,7 @@ fn read_entries(
                 "entry references plan {item} outside arena"
             )));
         }
-        let cost = r.cost()?;
+        let cost = CostVector::decode(r)?;
         if cost.dim() != dim {
             return Err(corrupt(format!(
                 "entry cost dimension {} != {dim}",
@@ -385,8 +249,8 @@ impl IamaOptimizer {
     /// layout. Cumulative [`crate::OptimizerStats`] counters are carried
     /// along; the test-only per-plan invariant maps are not.
     pub fn export_frontier(&self) -> Vec<u8> {
-        let mut w = Writer::default();
-        w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        let mut w = WireWriter::new();
+        w.bytes(&SNAPSHOT_MAGIC);
         w.u32(SNAPSHOT_VERSION);
 
         // --- Model guard: metric layout of the exporting cost model. ---
@@ -397,45 +261,12 @@ impl IamaOptimizer {
         }
         w.u64(self.model.identity());
 
-        // --- Query spec: name, catalog, join graph. ---
-        w.str(&self.spec.name);
-        let catalog = &self.spec.catalog;
-        w.u32(catalog.len() as u32);
-        for (_, table) in catalog.iter() {
-            w.str(&table.name);
-            w.u64(table.cardinality);
-            w.u32(table.row_width);
-            w.u32(table.columns.len() as u32);
-            for c in &table.columns {
-                w.str(&c.name);
-                w.u64(c.distinct_values);
-                w.u8(match c.role {
-                    ColumnRole::PrimaryKey => 0,
-                    ColumnRole::ForeignKey => 1,
-                    ColumnRole::Attribute => 2,
-                });
-            }
-        }
-        let g = &self.spec.graph;
-        w.u32(g.n_tables() as u32);
-        for tid in &g.tables {
-            w.u32(tid.0);
-        }
-        for &f in &g.filters {
-            w.f64(f);
-        }
-        w.u32(g.edges.len() as u32);
-        for e in &g.edges {
-            w.u32(e.left as u32);
-            w.u32(e.right as u32);
-            w.f64(e.selectivity);
-        }
+        // --- Query spec: name, catalog, join graph (the shared wire
+        // codec; byte-compatible with the pre-wire inline encoding). ---
+        self.spec.encode(&mut w);
 
         // --- Schedule and configuration. ---
-        w.u32(self.schedule.levels() as u32);
-        for (_, factor) in self.schedule.iter() {
-            w.f64(factor);
-        }
+        self.schedule.encode(&mut w);
         w.u8(index_kind_tag(self.config.index_kind));
         w.bool(self.config.use_delta);
         w.bool(self.config.allow_cross_products);
@@ -450,7 +281,7 @@ impl IamaOptimizer {
             None => w.bool(false),
             Some((bounds, r)) => {
                 w.bool(true);
-                w.cost(bounds.limits());
+                bounds.limits().encode(&mut w);
                 w.u32(*r as u32);
             }
         }
@@ -467,8 +298,8 @@ impl IamaOptimizer {
                     w.u32(r.0);
                 }
             }
-            w.cost(&node.cost);
-            w.props(&node.props);
+            node.cost.encode(&mut w);
+            node.props.encode(&mut w);
         }
 
         // --- Per-subset state, aligned with the enumeration plan. ---
@@ -496,8 +327,8 @@ impl IamaOptimizer {
             w.u32(state.active.len() as u32);
             for e in &state.active {
                 w.u32(e.plan.0);
-                w.cost(&e.cost);
-                w.props(&e.props);
+                e.cost.encode(&mut w);
+                e.props.encode(&mut w);
                 w.u32(e.invocation);
                 w.u8(e.level);
                 w.bool(e.shadowed);
@@ -542,7 +373,7 @@ impl IamaOptimizer {
         w.u64(s.splits_skipped);
         w.u64(s.scratch_high_water as u64);
 
-        w.buf
+        w.into_vec()
     }
 
     /// Rebuilds an optimizer from [`IamaOptimizer::export_frontier`]
@@ -554,7 +385,7 @@ impl IamaOptimizer {
     /// generates zero plans, and later bound changes resume the
     /// incremental series without violating Lemmas 5–7.
     pub fn import_frontier(model: SharedCostModel, bytes: &[u8]) -> Result<IamaOptimizer> {
-        let mut r = Reader::new(bytes);
+        let mut r = WireReader::new(bytes);
         if r.take(8)? != SNAPSHOT_MAGIC {
             return Err(SnapshotError::BadMagic);
         }
@@ -590,92 +421,12 @@ impl IamaOptimizer {
             )));
         }
 
-        // --- Query spec. ---
-        let name = r.str()?;
-        let n_catalog = r.count("catalog table")?;
-        let mut tables = Vec::with_capacity(n_catalog);
-        for _ in 0..n_catalog {
-            let tname = r.str()?;
-            if tables.iter().any(|t: &Table| t.name == tname) {
-                return Err(corrupt(format!("duplicate catalog table {tname:?}")));
-            }
-            let cardinality = r.u64()?;
-            let row_width = r.u32()?;
-            let mut table = Table::new(tname, cardinality, row_width);
-            let n_cols = r.count("column")?;
-            for _ in 0..n_cols {
-                let cname = r.str()?;
-                let distinct = r.u64()?;
-                let role = match r.u8()? {
-                    0 => ColumnRole::PrimaryKey,
-                    1 => ColumnRole::ForeignKey,
-                    2 => ColumnRole::Attribute,
-                    t => return Err(corrupt(format!("unknown column role {t}"))),
-                };
-                table.columns.push(Column::new(cname, distinct, role));
-            }
-            tables.push(table);
-        }
-        let catalog = Arc::new(Catalog::new(tables));
-
-        let n_tables = r.count("graph table")?;
-        if n_tables == 0 || n_tables > 64 {
-            return Err(corrupt(format!(
-                "graph table count {n_tables} out of range"
-            )));
-        }
-        let mut graph_tables = Vec::with_capacity(n_tables);
-        for _ in 0..n_tables {
-            let tid = r.u32()?;
-            if tid as usize >= catalog.len() {
-                return Err(corrupt(format!(
-                    "graph references table {tid} outside catalog"
-                )));
-            }
-            graph_tables.push(TableId(tid));
-        }
-        let mut graph = JoinGraph::new(graph_tables);
-        for pos in 0..n_tables {
-            let f = r.f64()?;
-            if !(f > 0.0 && f <= 1.0) {
-                return Err(corrupt(format!("filter selectivity {f} outside (0, 1]")));
-            }
-            graph.set_filter(pos, f);
-        }
-        let n_edges = r.count("join edge")?;
-        for _ in 0..n_edges {
-            let left = r.u32()? as usize;
-            let right = r.u32()? as usize;
-            let sel = r.f64()?;
-            if left >= n_tables || right >= n_tables || left == right {
-                return Err(corrupt(format!("join edge ({left}, {right}) invalid")));
-            }
-            if !(sel > 0.0 && sel <= 1.0) {
-                return Err(corrupt(format!("edge selectivity {sel} outside (0, 1]")));
-            }
-            graph.add_edge(left, right, sel);
-        }
-        let spec = Arc::new(QuerySpec::new(name, graph, catalog));
+        // --- Query spec (shared wire codec: every reference, filter, and
+        // selectivity validated before the panicking constructors run). ---
+        let spec = Arc::new(QuerySpec::decode(&mut r)?);
 
         // --- Schedule and configuration. ---
-        let n_levels = r.count("schedule level")?;
-        if n_levels == 0 {
-            return Err(corrupt("schedule has no levels".into()));
-        }
-        let mut factors = Vec::with_capacity(n_levels);
-        for _ in 0..n_levels {
-            let f = r.f64()?;
-            if !(f.is_finite() && f > 1.0) {
-                return Err(corrupt(format!("precision factor {f} must exceed 1")));
-            }
-            if let Some(&prev) = factors.last() {
-                if f >= prev {
-                    return Err(corrupt("precision factors must strictly decrease".into()));
-                }
-            }
-            factors.push(f);
-        }
-        let schedule = ResolutionSchedule::from_factors(factors);
+        let schedule = ResolutionSchedule::decode(&mut r)?;
         let r_max = schedule.r_max();
         let config = IamaConfig {
             index_kind: index_kind_from(r.u8()?)?,
@@ -690,7 +441,7 @@ impl IamaOptimizer {
         let invocation = r.u32()?;
         let scans_done = r.bool()?;
         let last_ctx = if r.bool()? {
-            let limits = r.cost()?;
+            let limits = CostVector::decode(&mut r)?;
             if limits.dim() != dim {
                 return Err(corrupt("last-context bounds dimension mismatch".into()));
             }
@@ -724,11 +475,11 @@ impl IamaOptimizer {
             } else {
                 None
             };
-            let cost = r.cost()?;
+            let cost = CostVector::decode(&mut r)?;
             if cost.dim() != dim {
                 return Err(corrupt(format!("plan {i} cost dimension mismatch")));
             }
-            let props = r.props()?;
+            let props = PhysicalProps::decode(&mut r)?;
             match (op, children) {
                 (Operator::Scan { position, .. }, None) => {
                     if position as usize >= opt.spec.n_tables() {
@@ -797,14 +548,14 @@ impl IamaOptimizer {
                         "subset {ix} active entry references plan {plan} of another subset"
                     )));
                 }
-                let cost = r.cost()?;
+                let cost = CostVector::decode(&mut r)?;
                 if cost.dim() != dim {
                     return Err(corrupt(format!(
                         "active cost dimension {} != {dim}",
                         cost.dim()
                     )));
                 }
-                let props = r.props()?;
+                let props = PhysicalProps::decode(&mut r)?;
                 let inv = r.u32()?;
                 if inv < prev_inv {
                     return Err(corrupt("active list not in invocation order".into()));

@@ -23,7 +23,7 @@ pub mod model;
 pub mod standard;
 
 pub use metrics::{Metric, MetricSet};
-pub use model::{CostModel, PlanInput, SharedCostModel};
+pub use model::{CostModel, ModelResolver, PlanInput, SharedCostModel};
 pub use standard::{StandardCostModel, StandardCostModelConfig};
 
 #[cfg(test)]

@@ -82,6 +82,28 @@ pub trait CostModel {
     ) -> Vec<(Operator, CostVector, PhysicalProps)>;
 }
 
+/// Resolves a cost-model [identity](CostModel::identity) back to a live
+/// model.
+///
+/// Cost models are code, not data: a serialized session request (the
+/// `moqo-wire` codec) or a persisted frontier snapshot carries only the
+/// model's identity hash, and the receiving side must map it back to an
+/// executable model. Serving deployments implement this with a model
+/// registry (`moqo_engine::ModelRegistry`); a single default model is
+/// itself a resolver for exactly its own identity.
+pub trait ModelResolver {
+    /// The registered model with this identity, if any.
+    fn resolve_model(&self, identity: u64) -> Option<SharedCostModel>;
+}
+
+/// A lone [`SharedCostModel`] resolves exactly its own identity — the
+/// degenerate single-model deployment.
+impl ModelResolver for SharedCostModel {
+    fn resolve_model(&self, identity: u64) -> Option<SharedCostModel> {
+        (self.identity() == identity).then(|| self.clone())
+    }
+}
+
 /// Delegating impls so references and smart pointers to a model are
 /// themselves models: generic helpers taking `&M` keep working when the
 /// caller holds an `Arc<ConcreteModel>` or a [`SharedCostModel`].

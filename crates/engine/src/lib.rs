@@ -63,11 +63,13 @@ pub mod cache;
 pub mod fingerprint;
 pub mod manager;
 pub mod plans;
+pub mod registry;
 
 pub use cache::{CacheStats, FrontierCache};
 pub use fingerprint::QueryFingerprint;
 pub use manager::{EngineConfig, SessionId, SessionManager, SessionStatus};
 pub use plans::{PlanCache, PlanCacheStats};
+pub use registry::ModelRegistry;
 
 // Re-exported so engine users can name the shared-plan vocabulary without
 // a direct moqo-query dependency.

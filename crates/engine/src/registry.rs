@@ -1,0 +1,114 @@
+//! Server-side cost-model registry.
+//!
+//! Cost models are code, not data: a wire-serialized
+//! [`SessionRequest`](moqo_core::SessionRequest) and a persisted frontier
+//! snapshot both carry only the model's
+//! [identity](moqo_costmodel::CostModel::identity). A serving deployment
+//! therefore keeps a [`ModelRegistry`] of every model it is willing to run
+//! — the deployment default plus any per-session overrides — and resolves
+//! identities through the [`ModelResolver`] hook that the wire codec
+//! consumes. An identity that was never registered stays unresolvable: a
+//! remote client cannot make a server optimize under cost semantics the
+//! operator did not deploy.
+
+use moqo_costmodel::{CostModel, ModelResolver, SharedCostModel};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Identity-keyed set of deployable cost models (thread-safe; shared by
+/// the network front's connection workers).
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<u64, SharedCostModel>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry seeded with the deployment's default model.
+    pub fn with_default(model: SharedCostModel) -> Self {
+        let registry = Self::new();
+        registry.register(model);
+        registry
+    }
+
+    /// Registers a model, returning its identity. Registering a model
+    /// whose identity is already present replaces it (the identity
+    /// contract says the two instances are behaviorally identical).
+    pub fn register(&self, model: SharedCostModel) -> u64 {
+        let identity = model.identity();
+        self.models
+            .write()
+            .expect("model registry poisoned")
+            .insert(identity, model);
+        identity
+    }
+
+    /// The registered model with this identity, if any.
+    pub fn resolve(&self, identity: u64) -> Option<SharedCostModel> {
+        self.models
+            .read()
+            .expect("model registry poisoned")
+            .get(&identity)
+            .cloned()
+    }
+
+    /// Identities of every registered model.
+    pub fn identities(&self) -> Vec<u64> {
+        self.models
+            .read()
+            .expect("model registry poisoned")
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("model registry poisoned").len()
+    }
+
+    /// True if no model was registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ModelResolver for ModelRegistry {
+    fn resolve_model(&self, identity: u64) -> Option<SharedCostModel> {
+        self.resolve(identity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqo_costmodel::{MetricSet, StandardCostModel, StandardCostModelConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn registry_resolves_exactly_what_was_registered() {
+        let default: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+        let tweaked: SharedCostModel = Arc::new(StandardCostModel::new(
+            MetricSet::paper(),
+            StandardCostModelConfig {
+                dops: vec![1, 2],
+                ..StandardCostModelConfig::default()
+            },
+        ));
+        let registry = ModelRegistry::with_default(default.clone());
+        assert_eq!(registry.len(), 1);
+        let id = registry.register(tweaked.clone());
+        assert_eq!(registry.len(), 2);
+        assert_ne!(default.identity(), id, "distinct configs, distinct ids");
+        assert!(registry.resolve(default.identity()).is_some());
+        assert_eq!(
+            registry.resolve_model(id).map(|m| m.identity()),
+            Some(tweaked.identity())
+        );
+        assert!(registry.resolve(id ^ 1).is_none());
+    }
+}

@@ -64,6 +64,21 @@ impl Default for ServeConfig {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ticket(u64);
 
+impl Ticket {
+    /// The raw ticket id — what the network front's admission frame
+    /// carries so a remote client can be correlated with server state.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a ticket from a raw id (diagnostics and the network
+    /// front's client side). An id the server never issued simply
+    /// resolves to no ticket on every API call.
+    pub fn from_u64(id: u64) -> Self {
+        Ticket(id)
+    }
+}
+
 /// Everything a caller can learn about a ticket without blocking.
 #[derive(Clone, Debug)]
 pub enum TicketStatus {
@@ -422,10 +437,20 @@ impl MoqoServer {
                     active.fold(event);
                 }
                 active.rx = Some(rx);
-                // Pick up anything that arrived while this call was
-                // blocked (e.g. the terminal event of a concurrent
-                // finish) so the view never closes behind the stream.
-                active.drain();
+                // No drain on a LIVE stream: `recv` hands events to the
+                // caller strictly one at a time (the network front
+                // forwards each to its remote client — swallowing
+                // buffered successors would tear a hole in the remote
+                // delta stream); events that arrived while this call was
+                // blocked stay queued for the next `recv`. The one
+                // exception is a session already finished out-of-band (a
+                // concurrent `finish` that set the outcome while our rx
+                // was checked out): the ticket is about to close, so fold
+                // the stragglers now or their deltas would be lost to
+                // `poll` forever.
+                if active.view.is_finished() {
+                    active.drain();
+                }
             }
             Self::close_if_finished(t, ticket.0, cap);
         });

@@ -34,6 +34,12 @@
 //!   dirty tracking so unchanged frontiers skip the write), so a
 //!   restarted server's first invocation of a known query still
 //!   generates zero plans.
+//! * [`NetServer`] / [`NetClient`] — the same protocol over real TCP
+//!   (`moqo-wire` framing): one framed duplex stream per ticket on a
+//!   small I/O thread pool, typed admission/error round-trips, cost
+//!   models resolved by identity against a [`ModelRegistry`], and
+//!   client-side [`SessionView`] reassembly that is bit-exact with the
+//!   server's.
 //!
 //! ```
 //! use moqo_cost::ResolutionSchedule;
@@ -63,6 +69,7 @@
 
 pub mod admission;
 pub mod api;
+pub mod net;
 pub mod persist;
 pub mod shard;
 
@@ -70,12 +77,16 @@ pub use admission::{
     Admission, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats,
 };
 pub use api::{MoqoServer, ServeConfig, ServerStats, Ticket, TicketStatus};
+pub use net::{NetClient, NetConfig, NetServer, NetStats};
 pub use persist::{RestoreReport, SaveReport, SnapshotStore, FRONTIER_EXT};
 pub use shard::{GlobalSessionId, RouteDecision, ShardConfig, ShardStats, ShardedEngine};
 
 // Re-exported so serve users can speak the engine vocabulary without a
 // direct moqo-engine dependency.
-pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionStatus};
+pub use moqo_engine::{EngineConfig, ModelRegistry, QueryFingerprint, SessionStatus};
+
+// The wire layer the network front speaks (handshake, frames, envelopes).
+pub use moqo_wire::NetError;
 
 // The session protocol — the one vocabulary all three layers speak.
 pub use moqo_core::protocol::{

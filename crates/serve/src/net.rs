@@ -1,0 +1,884 @@
+//! The TCP serving front: the session protocol over real sockets.
+//!
+//! [`NetServer`] wraps a [`MoqoServer`] behind a loopback-or-LAN TCP
+//! listener speaking the [`moqo_wire`] format: one framed duplex stream
+//! per ticket, multiplexed over a small pool of I/O worker threads. A
+//! connection's lifecycle is exactly the in-process ticket lifecycle:
+//!
+//! 1. handshake (`MOQOWIRE` + version, both directions);
+//! 2. client sends [`ClientMessage::Submit`] — the same
+//!    [`SessionRequest`] type that drives every in-process layer, with
+//!    per-session cost models resolved **by identity** against the
+//!    server's [`ModelRegistry`];
+//! 3. server answers [`ServerMessage::Admission`] (admitted / degraded /
+//!    queued / rejected — the protocol's [`AdmissionResponse`], typed,
+//!    end to end) and then streams [`ServerMessage::Event`]s;
+//! 4. client steers with [`ClientMessage::Command`]s; command faults come
+//!    back as typed [`ServerMessage::Error`]s, never a dropped socket;
+//! 5. the stream ends with the session's terminal event (selection,
+//!    cancellation, or preference auto-select). A client that simply
+//!    disconnects retires its session, parking the frontier for future
+//!    warm starts — a vanished user never leaks a session slot.
+//!
+//! [`NetClient`] is the matching blocking client: it folds the event
+//! stream into a [`SessionView`] with the same `fold` the in-process
+//! reassemblers use, so the client-side view is **bit-identical** to what
+//! `MoqoServer::poll` reports on the server (asserted end to end by
+//! `examples/network_serving.rs` and the cross-layer conformance test).
+//!
+//! The server owns its tickets' event channels: polling the same ticket
+//! concurrently through the in-process API while a connection is live
+//! would steal events from the stream. Diagnostics should use
+//! [`NetServer::moqo`] only after the connection finished (the admission
+//! frame carries the ticket id for exactly this correlation).
+
+use crate::api::{MoqoServer, Ticket, TicketStatus};
+use moqo_core::protocol::{
+    AdmissionResponse, FrontierDelta, ProtocolError, SessionCommand, SessionEvent, SessionRequest,
+    SessionView,
+};
+use moqo_engine::ModelRegistry;
+use moqo_wire::{
+    check_hello, client_hello, ClientMessage, FrameBuffer, NetError, ServerMessage, WireError,
+    HELLO_LEN,
+};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Network front configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// I/O worker threads; each multiplexes a share of the open
+    /// connections. The optimizer work itself runs on the engine's shard
+    /// workers, so a handful of I/O threads serves many connections.
+    pub io_threads: usize,
+    /// Per-connection socket read timeout — the pacing of one worker
+    /// loop visit when a connection is idle.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout. A client that stops reading
+    /// while the server streams events fills the TCP send buffer; the
+    /// write timeout bounds how long that client can hold a worker
+    /// thread before its connection is faulted and retired.
+    pub write_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            io_threads: 2,
+            read_timeout: Duration::from_millis(1),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Aggregate network-front counters.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Frames received from clients.
+    pub frames_in: u64,
+    /// Frames sent to clients.
+    pub frames_out: u64,
+    /// Connections dropped on a wire/socket fault (malformed frames,
+    /// version skew, mid-stream disconnects).
+    pub faulted: u64,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    accepted: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    faulted: AtomicU64,
+}
+
+/// What one pump of a connection concluded.
+enum Pump {
+    /// Keep the connection; true if any byte or frame moved.
+    Keep(bool),
+    /// Drop the connection (stream ended or faulted).
+    Close,
+}
+
+/// One client connection: handshake, then at most one ticket.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    hello_done: bool,
+    ticket: Option<Ticket>,
+    /// True once the client's view was primed (the full-state event sent
+    /// after activation); channel events forward only after this.
+    primed: bool,
+    /// True once the terminal event was forwarded (the session needs no
+    /// clean-up on disconnect).
+    finished: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            frames: FrameBuffer::new(),
+            hello_done: false,
+            ticket: None,
+            primed: false,
+            finished: false,
+        }
+    }
+
+    fn send(&mut self, msg: &ServerMessage, counters: &NetCounters) -> Result<(), NetError> {
+        moqo_wire::write_frame(&mut self.stream, &msg.encode())?;
+        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// A full-state event reconstructed from the server-side view at
+    /// attach time: folding it into a fresh client view reproduces the
+    /// server's view exactly, and subsequent live deltas continue from
+    /// its epoch. This is how a stream "joins" a session whose priming
+    /// event the server consumed at activation (including sessions that
+    /// sat queued first).
+    fn prime_event(server: &MoqoServer, view: &SessionView) -> SessionEvent {
+        SessionEvent {
+            epoch: view.epoch,
+            delta: FrontierDelta::full(&view.frontier),
+            resolution: view.resolution,
+            bounds: view.bounds.unwrap_or_else(|| server.engine().unbounded()),
+            invocations: view.invocations,
+            report: view.last_report.clone(),
+            first_report: view.first_report.clone(),
+            outcome: view.outcome,
+        }
+    }
+
+    /// Advances the connection: read, handshake, dispatch frames, prime,
+    /// forward events. Any fault retires the connection (and parks its
+    /// session).
+    fn pump(
+        &mut self,
+        server: &Arc<MoqoServer>,
+        registry: &Arc<ModelRegistry>,
+        counters: &NetCounters,
+    ) -> Pump {
+        match self.try_pump(server, registry, counters) {
+            Ok(keep) => keep,
+            Err(_) => {
+                counters.faulted.fetch_add(1, Ordering::Relaxed);
+                self.retire(server);
+                Pump::Close
+            }
+        }
+    }
+
+    fn try_pump(
+        &mut self,
+        server: &Arc<MoqoServer>,
+        registry: &Arc<ModelRegistry>,
+        counters: &NetCounters,
+    ) -> Result<Pump, NetError> {
+        let mut progressed = false;
+
+        // --- Drain the socket (reads block at most the configured
+        // read timeout, which paces the whole loop when idle). ---
+        let mut scratch = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    // Orderly client close: retire the session (parking
+                    // its warm frontier) unless it already finished.
+                    self.retire(server);
+                    return Ok(Pump::Close);
+                }
+                Ok(n) => {
+                    self.frames.extend(&scratch[..n]);
+                    progressed = true;
+                    if self.frames.buffered() > 1 << 20 {
+                        break; // keep one conn from starving its worker
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // --- Handshake: raw hello in, raw hello out. ---
+        if !self.hello_done {
+            let Some(hello) = self.frames.take_raw(HELLO_LEN) else {
+                return Ok(Pump::Keep(progressed));
+            };
+            check_hello(&hello.try_into().expect("take_raw returned HELLO_LEN"))?;
+            self.stream.write_all(&client_hello())?;
+            self.hello_done = true;
+            progressed = true;
+        }
+
+        // --- Dispatch complete frames. ---
+        while let Some(payload) = self.frames.next_frame()? {
+            counters.frames_in.fetch_add(1, Ordering::Relaxed);
+            progressed = true;
+            let msg = match ClientMessage::decode(&payload, registry.as_ref()) {
+                Ok(msg) => msg,
+                Err(WireError::UnknownModel { identity }) => {
+                    // The one wire fault with a protocol-level answer:
+                    // tell the client which identity was unknown, then
+                    // drop the connection.
+                    let _ = self.send(
+                        &ServerMessage::Error(ProtocolError::UnknownCostModel { identity }),
+                        counters,
+                    );
+                    return Err(WireError::UnknownModel { identity }.into());
+                }
+                Err(e) => return Err(e.into()),
+            };
+            match (msg, self.ticket) {
+                (ClientMessage::Submit(request), None) => match server.submit(request) {
+                    Ok((ticket, response)) => {
+                        self.ticket = Some(ticket);
+                        let admitted = response.is_admitted();
+                        let rejected = matches!(response, AdmissionResponse::Rejected(_));
+                        self.send(
+                            &ServerMessage::Admission {
+                                ticket: ticket.as_u64(),
+                                response,
+                            },
+                            counters,
+                        )?;
+                        if rejected {
+                            self.finished = true;
+                            return Ok(Pump::Close);
+                        }
+                        if admitted {
+                            self.prime(server, counters)?;
+                        }
+                    }
+                    Err(protocol_error) => {
+                        // Malformed request: typed answer, then close —
+                        // exactly what the in-process submit returns.
+                        self.send(&ServerMessage::Error(protocol_error.clone()), counters)?;
+                        return Err(protocol_error.into());
+                    }
+                },
+                (ClientMessage::Command(command), Some(ticket)) => {
+                    if let Err(protocol_error) = server.command(ticket, command) {
+                        self.send(&ServerMessage::Error(protocol_error), counters)?;
+                    }
+                }
+                (ClientMessage::Command(_), None) => {
+                    return Err(NetError::UnexpectedFrame("command before submit"));
+                }
+                (ClientMessage::Submit(_), Some(_)) => {
+                    return Err(NetError::UnexpectedFrame("second submit on one stream"));
+                }
+            }
+        }
+
+        // --- A queued submission activates asynchronously; prime the
+        // stream the moment the ticket goes live. ---
+        if self.ticket.is_some() && !self.primed {
+            self.prime(server, counters)?;
+        }
+
+        // --- Forward buffered session events. ---
+        if let Some(ticket) = self.ticket {
+            if self.primed && !self.finished {
+                while let Some(event) = server.recv(ticket, Duration::ZERO) {
+                    let is_final = event.is_final();
+                    self.send(&ServerMessage::Event(Box::new(event)), counters)?;
+                    progressed = true;
+                    if is_final {
+                        self.finished = true;
+                        return Ok(Pump::Close);
+                    }
+                }
+            }
+        }
+        Ok(Pump::Keep(progressed))
+    }
+
+    /// Sends the prime event if the ticket is active (no-op while it
+    /// still sits in the admission queue).
+    fn prime(&mut self, server: &Arc<MoqoServer>, counters: &NetCounters) -> Result<(), NetError> {
+        let ticket = self.ticket.expect("prime called without a ticket");
+        // poll() drains any pending channel events into the server-side
+        // view first, so the prime carries them and later recv()s only
+        // see strictly newer epochs.
+        match server.poll(ticket) {
+            Some(TicketStatus::Active { view, .. }) => {
+                let event = Self::prime_event(server, &view);
+                let is_final = event.is_final();
+                self.send(&ServerMessage::Event(Box::new(event)), counters)?;
+                self.primed = true;
+                if is_final {
+                    self.finished = true;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Parks the connection's session if it never finished (disconnects
+    /// and faults must not leak admission slots).
+    fn retire(&mut self, server: &Arc<MoqoServer>) {
+        if let Some(ticket) = self.ticket.take() {
+            if !self.finished {
+                let _ = server.finish(ticket);
+            }
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// The TCP front; see the module docs for the connection lifecycle.
+pub struct NetServer {
+    server: Arc<MoqoServer>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds the listener and starts the acceptor plus I/O workers.
+    ///
+    /// `registry` must contain every cost model remote requests may
+    /// reference (the deployment default is a sensible seed:
+    /// [`ModelRegistry::with_default`]).
+    pub fn bind(
+        server: Arc<MoqoServer>,
+        registry: Arc<ModelRegistry>,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let injector: Arc<Mutex<VecDeque<TcpStream>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let mut threads = Vec::new();
+
+        // Acceptor: configures sockets and hands them to the pool.
+        {
+            let stop = stop.clone();
+            let counters = counters.clone();
+            let injector = injector.clone();
+            let read_timeout = config.read_timeout;
+            let write_timeout = config.write_timeout;
+            threads.push(
+                thread::Builder::new()
+                    .name("moqo-net-accept".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    // Accepted sockets must NOT inherit the
+                                    // listener's nonblocking mode (platforms
+                                    // differ): the worker loop paces itself
+                                    // on the blocking read timeout.
+                                    let _ = stream.set_nonblocking(false);
+                                    let _ = stream.set_nodelay(true);
+                                    let _ = stream.set_read_timeout(Some(read_timeout));
+                                    let _ = stream.set_write_timeout(Some(write_timeout));
+                                    counters.accepted.fetch_add(1, Ordering::Relaxed);
+                                    injector
+                                        .lock()
+                                        .expect("net injector poisoned")
+                                        .push_back(stream);
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(_) => thread::sleep(Duration::from_millis(2)),
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        // I/O workers: each multiplexes its share of the connections.
+        for i in 0..config.io_threads.max(1) {
+            let stop = stop.clone();
+            let counters = counters.clone();
+            let injector = injector.clone();
+            let server = server.clone();
+            let registry = registry.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("moqo-net-io-{i}"))
+                    .spawn(move || {
+                        let mut conns: Vec<Conn> = Vec::new();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                // Graceful drain: park every unfinished
+                                // session, then close the sockets.
+                                for conn in &mut conns {
+                                    conn.retire(&server);
+                                }
+                                return;
+                            }
+                            if let Some(stream) =
+                                injector.lock().expect("net injector poisoned").pop_front()
+                            {
+                                conns.push(Conn::new(stream));
+                            }
+                            let mut progressed = false;
+                            conns.retain_mut(|conn| {
+                                match conn.pump(&server, &registry, &counters) {
+                                    Pump::Keep(p) => {
+                                        progressed |= p;
+                                        true
+                                    }
+                                    Pump::Close => {
+                                        progressed = true;
+                                        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                                        false
+                                    }
+                                }
+                            });
+                            if conns.is_empty() && !progressed {
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        Ok(NetServer {
+            server,
+            addr,
+            stop,
+            counters,
+            threads,
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The in-process server behind the front — for diagnostics and
+    /// persistence. While a connection is live its ticket's events belong
+    /// to the network stream; correlate via the admission frame's ticket
+    /// id and poll only after the stream finished.
+    pub fn moqo(&self) -> &Arc<MoqoServer> {
+        &self.server
+    }
+
+    /// Network-front counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
+            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
+            faulted: self.counters.faulted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, parks every unfinished session, closes all
+    /// connections, and joins the I/O threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+/// Blocking client for one session over one connection.
+///
+/// Events fold into the same [`SessionView`] the in-process reassemblers
+/// use, so [`NetClient::view`] is bit-identical to the server-side view
+/// (`FrontierSnapshot::bits_eq`) at every point of the stream.
+pub struct NetClient {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    view: SessionView,
+    ticket: Option<u64>,
+    admission: Option<AdmissionResponse>,
+    errors: Vec<ProtocolError>,
+    eof: bool,
+}
+
+impl NetClient {
+    /// Connects and completes the handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&client_hello())?;
+        let mut hello = [0u8; HELLO_LEN];
+        stream.read_exact(&mut hello)?;
+        check_hello(&hello)?;
+        Ok(NetClient {
+            stream,
+            frames: FrameBuffer::new(),
+            view: SessionView::default(),
+            ticket: None,
+            admission: None,
+            errors: Vec::new(),
+            eof: false,
+        })
+    }
+
+    /// Submits the connection's one [`SessionRequest`] and blocks for the
+    /// admission decision (at most `timeout`). Typed request faults
+    /// ([`ProtocolError`], including
+    /// [`ProtocolError::UnknownCostModel`]) come back as
+    /// [`NetError::Protocol`].
+    pub fn submit(
+        &mut self,
+        request: SessionRequest,
+        timeout: Duration,
+    ) -> Result<AdmissionResponse, NetError> {
+        if self.ticket.is_some() {
+            return Err(NetError::UnexpectedFrame("second submit on one stream"));
+        }
+        moqo_wire::write_frame(&mut self.stream, &ClientMessage::Submit(request).encode())?;
+        let deadline = Instant::now() + timeout;
+        match self.read_message(deadline)? {
+            Some(ServerMessage::Admission { ticket, response }) => {
+                self.ticket = Some(ticket);
+                self.admission = Some(response.clone());
+                Ok(response)
+            }
+            Some(ServerMessage::Error(e)) => Err(e.into()),
+            Some(ServerMessage::Event(_)) => {
+                Err(NetError::UnexpectedFrame("event before admission"))
+            }
+            // Distinguish a genuinely closed socket from a server that is
+            // merely slow to decide admission within `timeout`.
+            None if self.eof => Err(NetError::Disconnected),
+            None => Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "no admission response within the submit timeout",
+            ))),
+        }
+    }
+
+    /// Sends a [`SessionCommand`]. Commands are pipelined; a command the
+    /// server cannot honor surfaces as a typed error on the event stream
+    /// (see [`NetClient::take_errors`]).
+    pub fn command(&mut self, command: SessionCommand) -> Result<(), NetError> {
+        moqo_wire::write_frame(&mut self.stream, &ClientMessage::Command(command).encode())?;
+        Ok(())
+    }
+
+    /// Blocks for the next [`SessionEvent`] (at most `timeout`), folding
+    /// it into the view. `Ok(None)` on timeout, and once the stream ended
+    /// after the terminal event.
+    pub fn recv(&mut self, timeout: Duration) -> Result<Option<SessionEvent>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.eof {
+                return if self.view.is_finished() {
+                    Ok(None)
+                } else {
+                    Err(NetError::Disconnected)
+                };
+            }
+            match self.read_message(deadline)? {
+                Some(ServerMessage::Event(event)) => {
+                    self.view.fold(&event)?;
+                    return Ok(Some(*event));
+                }
+                Some(ServerMessage::Error(e)) => {
+                    // Command faults interleave with events; they are
+                    // collected, not stream-fatal.
+                    self.errors.push(e);
+                }
+                Some(ServerMessage::Admission { .. }) => {
+                    return Err(NetError::UnexpectedFrame("second admission"));
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Drains the stream until the session's terminal event (at most
+    /// `timeout`), returning the final view.
+    pub fn wait_finished(&mut self, timeout: Duration) -> Result<&SessionView, NetError> {
+        let deadline = Instant::now() + timeout;
+        while !self.view.is_finished() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "session did not finish in time",
+                )));
+            }
+            self.recv(deadline - now)?;
+        }
+        Ok(&self.view)
+    }
+
+    /// The client-side reassembled session state.
+    pub fn view(&self) -> &SessionView {
+        &self.view
+    }
+
+    /// The admission decision, once [`NetClient::submit`] returned.
+    pub fn admission(&self) -> Option<&AdmissionResponse> {
+        self.admission.as_ref()
+    }
+
+    /// The server-side ticket id from the admission frame (correlate with
+    /// [`Ticket::from_u64`] for post-session diagnostics).
+    pub fn server_ticket(&self) -> Option<u64> {
+        self.ticket
+    }
+
+    /// Typed command faults received so far (cleared on return).
+    pub fn take_errors(&mut self) -> Vec<ProtocolError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// One complete server message, or `None` on deadline/EOF.
+    fn read_message(&mut self, deadline: Instant) -> Result<Option<ServerMessage>, NetError> {
+        loop {
+            if let Some(payload) = self.frames.next_frame()? {
+                return Ok(Some(ServerMessage::decode(&payload)?));
+            }
+            if self.eof {
+                return Ok(None);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some(deadline - now))?;
+            let mut scratch = [0u8; 8192];
+            match self.stream.read(&mut scratch) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.frames.extend(&scratch[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{AdmissionConfig, AdmissionPolicy};
+    use crate::shard::ShardConfig;
+    use crate::ServeConfig;
+    use moqo_cost::ResolutionSchedule;
+    use moqo_costmodel::{SharedCostModel, StandardCostModel};
+    use moqo_engine::EngineConfig;
+    use moqo_query::testkit;
+
+    const IDLE: Duration = Duration::from_secs(60);
+
+    fn start(admission: AdmissionConfig) -> (NetServer, SocketAddr, SharedCostModel) {
+        let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+        let server = Arc::new(MoqoServer::new(
+            model.clone(),
+            ResolutionSchedule::linear(2, 1.1, 0.4),
+            ServeConfig {
+                shard: ShardConfig {
+                    shards: 2,
+                    engine: EngineConfig {
+                        workers: 2,
+                        ..EngineConfig::default()
+                    },
+                    rebalance_headroom: 8,
+                },
+                admission,
+                retired_tickets: 1024,
+            },
+        ));
+        let registry = Arc::new(ModelRegistry::with_default(model.clone()));
+        let net = NetServer::bind(server, registry, NetConfig::default()).expect("bind loopback");
+        let addr = net.local_addr();
+        (net, addr, model)
+    }
+
+    #[test]
+    fn tcp_session_reassembles_bit_exactly_and_parks_on_cancel() {
+        let (net, addr, _model) = start(AdmissionConfig::default());
+        let mut client = NetClient::connect(addr).expect("connect");
+        let response = client
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(3, 40_000))),
+                IDLE,
+            )
+            .expect("admitted");
+        assert_eq!(response, AdmissionResponse::Admitted);
+        // Drain the auto-refined ladder (3 levels).
+        while client.view().invocations < 3 {
+            client.recv(IDLE).expect("stream healthy");
+        }
+        assert!(!client.view().frontier.is_empty());
+        client.command(SessionCommand::Cancel).expect("send");
+        let view = client.wait_finished(IDLE).expect("terminal event");
+        assert!(view.selected().is_none());
+        // The client view is bit-identical to the server-side one.
+        let ticket = Ticket::from_u64(client.server_ticket().unwrap());
+        match net.moqo().poll(ticket).expect("closed but queryable") {
+            TicketStatus::Active {
+                view: server_view, ..
+            } => {
+                assert!(client.view().frontier.bits_eq(&server_view.frontier));
+                assert_eq!(client.view().epoch, server_view.epoch);
+                assert_eq!(client.view().invocations, server_view.invocations);
+            }
+            other => panic!("expected active ticket, got {other:?}"),
+        }
+        // The cancelled session parked its frontier for warm repeats.
+        let fp = net
+            .moqo()
+            .engine()
+            .fingerprint(&testkit::chain_query(3, 40_000));
+        assert!(net.moqo().engine().has_parked(fp));
+        net.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_identity_answers_typed_error() {
+        let (net, addr, _model) = start(AdmissionConfig::default());
+        let foreign: SharedCostModel = Arc::new(StandardCostModel::new(
+            moqo_costmodel::MetricSet::paper(),
+            moqo_costmodel::StandardCostModelConfig {
+                dops: vec![1, 2],
+                ..moqo_costmodel::StandardCostModelConfig::default()
+            },
+        ));
+        let mut client = NetClient::connect(addr).expect("connect");
+        let err = client
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(2, 10_000)))
+                    .with_cost_model(foreign.clone()),
+                IDLE,
+            )
+            .expect_err("unregistered model must be refused");
+        match err {
+            NetError::Protocol(ProtocolError::UnknownCostModel { identity }) => {
+                assert_eq!(identity, moqo_costmodel::CostModel::identity(&foreign));
+            }
+            other => panic!("expected UnknownCostModel, got {other:?}"),
+        }
+        assert_eq!(net.moqo().stats().live, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn command_faults_come_back_typed_without_killing_the_stream() {
+        let (net, addr, _model) = start(AdmissionConfig::default());
+        let mut client = NetClient::connect(addr).expect("connect");
+        client
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(2, 10_000))),
+                IDLE,
+            )
+            .expect("admitted");
+        while client.view().invocations < 3 {
+            client.recv(IDLE).expect("stream healthy");
+        }
+        // A select for a plan the session never generated: typed error,
+        // live stream.
+        client
+            .command(SessionCommand::SelectPlan(moqo_plan::PlanId(u32::MAX)))
+            .expect("send");
+        let deadline = Instant::now() + IDLE;
+        while client.take_errors().is_empty() {
+            assert!(Instant::now() < deadline, "no typed error arrived");
+            let _ = client.recv(Duration::from_millis(20)).expect("healthy");
+        }
+        // The session is still commandable: select a real plan.
+        let plan = client.view().frontier.min_by_metric(0).unwrap().plan;
+        client
+            .command(SessionCommand::SelectPlan(plan))
+            .expect("send");
+        let view = client.wait_finished(IDLE).expect("terminal event");
+        assert_eq!(view.selected(), Some(plan));
+        net.shutdown();
+    }
+
+    #[test]
+    fn rejection_round_trips_and_closes_the_stream() {
+        let (net, addr, _model) = start(AdmissionConfig {
+            max_live: 1,
+            policy: AdmissionPolicy::Reject,
+        });
+        let mut first = NetClient::connect(addr).expect("connect");
+        first
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(2, 10_000))),
+                IDLE,
+            )
+            .expect("admitted");
+        let mut second = NetClient::connect(addr).expect("connect");
+        let response = second
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(3, 10_000))),
+                IDLE,
+            )
+            .expect("typed rejection, not an error");
+        assert!(matches!(
+            response,
+            AdmissionResponse::Rejected(moqo_core::RejectReason::Overloaded { .. })
+        ));
+        net.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_fault_the_connection_not_the_server() {
+        let (net, addr, _model) = start(AdmissionConfig::default());
+        // Raw socket, no handshake: shove noise at the server.
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&[0xa5; 256]).expect("write");
+        // The server drops the connection; a well-behaved client still
+        // gets service.
+        let mut client = NetClient::connect(addr).expect("connect");
+        client
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(2, 10_000))),
+                IDLE,
+            )
+            .expect("admitted");
+        client.command(SessionCommand::Cancel).expect("send");
+        client.wait_finished(IDLE).expect("terminal event");
+        let deadline = Instant::now() + IDLE;
+        while net.stats().faulted == 0 {
+            assert!(Instant::now() < deadline, "fault never counted");
+            thread::sleep(Duration::from_millis(5));
+        }
+        net.shutdown();
+    }
+}

@@ -21,8 +21,11 @@
 //!   manager, worker pool, and the warm-frontier cache;
 //! * [`serve`] — the sharded, admission-controlled serving front:
 //!   fingerprint-hash shard routing, bounded admission (reject / queue /
-//!   degrade), per-ticket channels, and frontier persistence across
-//!   restarts;
+//!   degrade), per-ticket channels, frontier persistence across
+//!   restarts, and the TCP network front (`NetServer` / `NetClient`);
+//! * [`wire`] — the versioned, length-prefixed binary wire format the
+//!   network front speaks: handshake, frames, and message envelopes over
+//!   the validated per-type codecs of `moqo_core::wire`;
 //! * [`baselines`] — memoryless, one-shot, exhaustive, and single-objective
 //!   reference optimizers;
 //! * [`viz`] — ASCII rendering of cost frontiers.
@@ -60,6 +63,7 @@ pub use moqo_serve as serve;
 pub use moqo_sql as sql;
 pub use moqo_tpch as tpch;
 pub use moqo_viz as viz;
+pub use moqo_wire as wire;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -70,10 +74,12 @@ pub mod prelude {
     };
     pub use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
     pub use moqo_costmodel::{CostModel, SharedCostModel, StandardCostModel};
-    pub use moqo_engine::{EngineConfig, QueryFingerprint, SessionId, SessionManager};
+    pub use moqo_engine::{
+        EngineConfig, ModelRegistry, QueryFingerprint, SessionId, SessionManager,
+    };
     pub use moqo_query::QuerySpec;
     pub use moqo_serve::{
-        AdmissionConfig, AdmissionPolicy, MoqoServer, ServeConfig, ShardConfig, ShardedEngine,
-        SnapshotStore, Ticket, TicketStatus,
+        AdmissionConfig, AdmissionPolicy, MoqoServer, NetClient, NetConfig, NetServer, ServeConfig,
+        ShardConfig, ShardedEngine, SnapshotStore, Ticket, TicketStatus,
     };
 }

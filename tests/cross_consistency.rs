@@ -6,6 +6,7 @@ use moqo::cost::{Bounds, ResolutionSchedule};
 use moqo::costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
 use moqo::query::testkit;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn model() -> StandardCostModel {
     StandardCostModel::new(
@@ -106,6 +107,117 @@ fn memoryless_and_iama_agree_level_by_level() {
             mem_costs.len()
         );
     }
+}
+
+#[test]
+fn network_replay_of_the_protocol_tour_is_bit_exact_with_the_core_session() {
+    // The `protocol_tour` script — refine to saturation, drag one bound,
+    // refine again, install a preference that auto-selects — replayed
+    // through NetClient -> NetServer over real loopback TCP must produce
+    // a SessionView whose frontier is `bits_eq` with the in-process
+    // `Session` run, and the same auto-selected plan. This is the
+    // process-boundary extension of the three-layer agreement the
+    // protocol_tour example asserts in-process.
+    use moqo::core::{Session, SessionView};
+    use moqo::prelude::*;
+
+    const IDLE: Duration = Duration::from_secs(120);
+    let spec = || Arc::new(testkit::chain_query(4, 75_000));
+    let schedule = ResolutionSchedule::linear(3, 1.05, 0.5);
+    let levels = schedule.levels() as u64;
+    let shared_model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+    let preference = Preference::WeightedSum(vec![1.0, 0.05, 0.05]);
+
+    // --- Reference: the bare core session, in process. ---
+    let mut session = Session::open(
+        SessionRequest::new(spec()),
+        shared_model.clone(),
+        schedule.clone(),
+    )
+    .expect("valid request");
+    let mut core_view = SessionView::default();
+    for _ in 0..levels {
+        let ev = session.apply(SessionCommand::Refine).expect("live");
+        core_view.fold(&ev).expect("ordered stream");
+    }
+    let anchor = core_view.frontier.min_by_metric(0).expect("non-empty").cost[0];
+    let bound = Bounds::unbounded(shared_model.dim()).with_limit(0, anchor * 4.0);
+    let ev = session
+        .apply(SessionCommand::SetBounds(bound))
+        .expect("live");
+    core_view.fold(&ev).expect("ordered stream");
+    for _ in 0..levels {
+        let ev = session.apply(SessionCommand::Refine).expect("live");
+        core_view.fold(&ev).expect("ordered stream");
+    }
+    let ev = session
+        .apply(SessionCommand::SetPreference(Some(preference.clone())))
+        .expect("live");
+    core_view.fold(&ev).expect("ordered stream");
+    let core_selected = core_view.selected().expect("preference fired");
+
+    // --- The same script over TCP. ---
+    let server = Arc::new(MoqoServer::new(
+        shared_model.clone(),
+        schedule.clone(),
+        ServeConfig {
+            shard: ShardConfig {
+                shards: 2,
+                engine: EngineConfig {
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+                rebalance_headroom: 8,
+            },
+            ..ServeConfig::default()
+        },
+    ));
+    let registry = Arc::new(ModelRegistry::with_default(shared_model.clone()));
+    let net = NetServer::bind(server, registry, NetConfig::default()).expect("bind loopback");
+    let mut client = NetClient::connect(net.local_addr()).expect("connect");
+    let response = client
+        .submit(SessionRequest::new(spec()), IDLE)
+        .expect("well-formed request");
+    assert_eq!(response, AdmissionResponse::Admitted);
+    let wait_for = |client: &mut NetClient, invocations: u64| {
+        let deadline = Instant::now() + IDLE;
+        while client.view().invocations < invocations {
+            assert!(Instant::now() < deadline, "stream stalled");
+            client.recv(IDLE).expect("healthy stream");
+        }
+    };
+    // The served session auto-refines one full ladder, like the core
+    // session's scripted `Refine`s.
+    wait_for(&mut client, levels);
+    let anchor = client
+        .view()
+        .frontier
+        .min_by_metric(0)
+        .expect("non-empty")
+        .cost[0];
+    let bound = Bounds::unbounded(shared_model.dim()).with_limit(0, anchor * 4.0);
+    client
+        .command(SessionCommand::SetBounds(bound))
+        .expect("send");
+    // The refocus runs one invocation and re-refines to saturation.
+    wait_for(&mut client, 2 * levels + 1);
+    client
+        .command(SessionCommand::SetPreference(Some(preference)))
+        .expect("send");
+    let net_view = client.wait_finished(IDLE).expect("terminal event").clone();
+    net.shutdown();
+
+    assert!(
+        core_view.frontier.bits_eq(&net_view.frontier),
+        "network replay diverged from the core session: {} vs {} points",
+        core_view.frontier.len(),
+        net_view.frontier.len()
+    );
+    assert_eq!(
+        net_view.selected(),
+        Some(core_selected),
+        "the same preference must select the same plan across the wire"
+    );
 }
 
 #[test]
