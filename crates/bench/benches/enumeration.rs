@@ -9,9 +9,11 @@
 //! so one build stays in the hundreds of milliseconds).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moqo_bench::{build_pruning_grid, KERNEL_CELL_SIZES, KERNEL_DIMS};
 use moqo_core::IamaOptimizer;
 use moqo_cost::{Bounds, ResolutionSchedule};
 use moqo_costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
+use moqo_index::{dominance_scan_scalar, PlanIndex};
 use moqo_query::{testkit, EnumerationPlan, QuerySpec};
 use std::sync::Arc;
 
@@ -104,10 +106,57 @@ fn bench_steady_state_invocation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pruning witness search over controlled cell populations: the
+/// scalar per-entry visitor (`dominance_scan_scalar`) against the
+/// batched struct-of-arrays lane kernels (`CellGrid::dominance_scan`).
+/// A negative-infinity threshold forces full scans, so both paths do
+/// identical logical work over identical entries — the measured delta
+/// is purely storage layout and call protocol. `repro pruning` runs the
+/// same sweep with medians into `BENCH_pruning.json`.
+fn bench_pruning_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning_dominance_scan");
+    group.sample_size(20);
+    for &dim in KERNEL_DIMS {
+        for &cell_size in KERNEL_CELL_SIZES {
+            let cells = (4096 / cell_size).clamp(1, 256);
+            let (grid, target) = build_pruning_grid(dim, cells, cell_size, 0x5eed + dim as u64);
+            let bounds = Bounds::unbounded(dim);
+            let label = format!("dim{dim}_cell{cell_size}");
+            group.bench_with_input(BenchmarkId::new("scalar", &label), &grid, |b, grid| {
+                b.iter(|| {
+                    dominance_scan_scalar(
+                        grid,
+                        black_box(&bounds),
+                        0,
+                        black_box(&target),
+                        f64::NEG_INFINITY,
+                        &mut |_| true,
+                    )
+                    .best_factor
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("batched", &label), &grid, |b, grid| {
+                b.iter(|| {
+                    grid.dominance_scan(
+                        black_box(&bounds),
+                        0,
+                        black_box(&target),
+                        f64::NEG_INFINITY,
+                        &mut |_| true,
+                    )
+                    .best_factor
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_plan_build,
     bench_rank_lookup,
-    bench_steady_state_invocation
+    bench_steady_state_invocation,
+    bench_pruning_kernels
 );
 criterion_main!(benches);

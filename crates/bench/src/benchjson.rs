@@ -1,0 +1,162 @@
+//! Minimal JSON emitter for the machine-readable `BENCH_*.json` outputs.
+//!
+//! The `repro` experiments print human tables *and* drop a small JSON
+//! file per experiment so scripts can track medians and counters across
+//! runs without scraping stdout. The workspace is offline (no serde);
+//! the subset of JSON needed here — objects, arrays, strings, numbers,
+//! booleans — is small enough to emit by hand. Schemas are documented
+//! in `docs/benchmarks.md`.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value tree, built by the experiments and rendered with
+/// [`Json::render`].
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned counter (serialized without a fraction).
+    Int(u64),
+    /// A float. Non-finite values render as `null` (JSON has no
+    /// `Infinity`/`NaN`); finite values use Rust's shortest round-trip
+    /// formatting, so readers recover the exact `f64`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Renders the tree as pretty-printed JSON (2-space indent, trailing
+    /// newline) for stable, diff-friendly files.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders into `path`, overwriting any previous run's file.
+    pub fn write_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_whole_grammar() {
+        let j = Json::Obj(vec![
+            ("name", Json::Str("a \"quoted\"\nline".into())),
+            ("count", Json::Int(42)),
+            ("ratio", Json::Num(2.5)),
+            ("unbounded", Json::Num(f64::INFINITY)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"a \\\"quoted\\\"\\nline\""));
+        assert!(s.contains("\"count\": 42"));
+        assert!(s.contains("\"ratio\": 2.5"));
+        assert!(s.contains("\"unbounded\": null"));
+        assert!(s.contains("\"items\": [\n"));
+        assert!(s.contains("\"empty_arr\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn floats_round_trip_through_the_shortest_repr() {
+        let v = 0.1 + 0.2;
+        let s = Json::Num(v).render();
+        assert_eq!(s.trim().parse::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+}

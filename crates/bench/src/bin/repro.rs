@@ -7,10 +7,14 @@
 //! Experiments: `fig1`, `fig2a`, `fig2b`, `fig3`, `fig4`, `fig5`,
 //! `lemmas`, `quality`, `ablation-index`, `ablation-delta`,
 //! `ablation-shadow`, `bounds`, `space`, `amortized`, `schedules`,
-//! `enumeration`, or `all`. `--fast` shrinks the scale factor and level
-//! counts for a quick smoke run; `--stats` appends the enumeration-plane
-//! counter table (splits visited/skipped, pairs skipped, scratch
-//! high-water) regardless of the chosen experiment.
+//! `enumeration`, `pruning`, or `all`. `--fast` shrinks the scale factor
+//! and level counts for a quick smoke run; `--stats` appends the
+//! enumeration-plane counter table (splits visited/skipped, pairs
+//! skipped, scratch high-water) regardless of the chosen experiment.
+//!
+//! The `enumeration` and `pruning` experiments additionally drop
+//! machine-readable `BENCH_enumeration.json` / `BENCH_pruning.json`
+//! files into the working directory (schemas in `docs/benchmarks.md`).
 
 use moqo_baselines::one_shot;
 use moqo_bench::*;
@@ -46,6 +50,7 @@ const EXPERIMENTS: &[&str] = &[
     "amortized",
     "schedules",
     "enumeration",
+    "pruning",
     "serve",
     "net",
     "all",
@@ -195,6 +200,9 @@ fn main() {
     if run("enumeration") || cli.stats {
         enumeration_exp(cli.sf, cli.fast);
     }
+    if run("pruning") {
+        pruning_exp(cli.fast);
+    }
     if run("serve") {
         serve_exp(cli.fast);
     }
@@ -326,6 +334,153 @@ fn enumeration_exp(sf: f64, fast: bool) {
     println!(
         "A repeated invocation visits 0 splits: the watermark rectangles\n         settle the whole plan, versus the exhaustive path re-walking\n         every split of every subset each invocation.\n"
     );
+    let json = Json::Obj(vec![
+        ("experiment", Json::Str("enumeration".into())),
+        ("fast", Json::Bool(fast)),
+        ("sf", Json::Num(sf)),
+        (
+            "queries",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("query", Json::Str(r.query.clone())),
+                            ("tables", Json::Int(r.n_tables as u64)),
+                            (
+                                "exhaustive_splits_per_invocation",
+                                Json::Int(r.exhaustive_splits_per_invocation),
+                            ),
+                            ("plan_subsets", Json::Int(r.plan_subsets as u64)),
+                            ("plan_splits", Json::Int(r.plan_splits as u64)),
+                            ("ladder_splits_visited", Json::Int(r.ladder_splits_visited)),
+                            ("steady_splits_visited", Json::Int(r.steady_splits_visited)),
+                            ("steady_splits_skipped", Json::Int(r.steady_splits_skipped)),
+                            ("pairs_skipped", Json::Int(r.pairs_skipped)),
+                            ("scratch_high_water", Json::Int(r.scratch_high_water as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_bench_json("BENCH_enumeration.json", &json);
+}
+
+/// Pruning hot path: scalar visitor vs batched SoA lane kernels, plus
+/// the prune-path share of end-to-end invocation time.
+fn pruning_exp(fast: bool) {
+    println!("=== Pruning kernels: scalar visitor vs batched SoA lanes ===\n");
+    let kernel = kernel_measurements(fast);
+    let mut t = TextTable::new(vec![
+        "dim",
+        "cell size",
+        "entries",
+        "scalar ns/scan",
+        "batch ns/scan",
+        "scalar Mcmp/s",
+        "batch Mcmp/s",
+        "speedup",
+    ]);
+    for m in &kernel {
+        t.row(vec![
+            m.dim.to_string(),
+            m.cell_size.to_string(),
+            m.entries.to_string(),
+            format!("{:.0}", m.scalar_ns),
+            format!("{:.0}", m.batch_ns),
+            format!("{:.1}", m.scalar_comparisons_per_sec / 1e6),
+            format!("{:.1}", m.batch_comparisons_per_sec / 1e6),
+            format!("{:.2}x", m.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Prune-path share of full refinement ladders (time_pruning on):\n");
+    let share = prune_share_rows(fast);
+    let mut t = TextTable::new(vec![
+        "query",
+        "kernels",
+        "total (s)",
+        "prune (s)",
+        "share",
+        "comparisons",
+        "Mcmp/s",
+    ]);
+    for r in &share {
+        t.row(vec![
+            r.query.clone(),
+            if r.batch_kernels { "batched" } else { "scalar" }.to_string(),
+            format!("{:.4}", r.total_seconds),
+            format!("{:.4}", r.prune_seconds),
+            format!("{:.1}%", r.prune_share * 100.0),
+            r.prune_comparisons.to_string(),
+            format!("{:.1}", r.comparisons_per_sec / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Both modes produced bit-identical frontiers (asserted per run):\n         the kernels change time, never bytes.\n"
+    );
+    let json = Json::Obj(vec![
+        ("experiment", Json::Str("pruning".into())),
+        ("fast", Json::Bool(fast)),
+        (
+            "kernel",
+            Json::Arr(
+                kernel
+                    .iter()
+                    .map(|m| {
+                        Json::Obj(vec![
+                            ("dim", Json::Int(m.dim as u64)),
+                            ("cell_size", Json::Int(m.cell_size as u64)),
+                            ("cells", Json::Int(m.cells as u64)),
+                            ("entries", Json::Int(m.entries as u64)),
+                            ("scalar_ns_median", Json::Num(m.scalar_ns)),
+                            ("batch_ns_median", Json::Num(m.batch_ns)),
+                            (
+                                "scalar_comparisons_per_sec",
+                                Json::Num(m.scalar_comparisons_per_sec),
+                            ),
+                            (
+                                "batch_comparisons_per_sec",
+                                Json::Num(m.batch_comparisons_per_sec),
+                            ),
+                            ("speedup", Json::Num(m.speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "prune_share",
+            Json::Arr(
+                share
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("query", Json::Str(r.query.clone())),
+                            ("batch_kernels", Json::Bool(r.batch_kernels)),
+                            ("total_seconds", Json::Num(r.total_seconds)),
+                            ("prune_seconds", Json::Num(r.prune_seconds)),
+                            ("prune_share", Json::Num(r.prune_share)),
+                            ("prune_comparisons", Json::Int(r.prune_comparisons)),
+                            ("comparisons_per_sec", Json::Num(r.comparisons_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_bench_json("BENCH_pruning.json", &json);
+}
+
+/// Writes one experiment's machine-readable output, reporting rather
+/// than aborting on filesystem trouble (read-only checkouts).
+fn write_bench_json(name: &str, json: &Json) {
+    match json.write_file(std::path::Path::new(name)) {
+        Ok(()) => println!("wrote {name}\n"),
+        Err(e) => eprintln!("could not write {name}: {e}\n"),
+    }
 }
 
 /// Future-work experiment: linear vs geometric precision ladders.

@@ -8,12 +8,19 @@
 
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod experiments;
 pub mod net;
+pub mod pruning;
 pub mod serve;
 pub mod workload;
 
+pub use benchjson::Json;
 pub use experiments::*;
 pub use net::{net_serving_experiment, net_workload, NetPhaseReport};
+pub use pruning::{
+    build_pruning_grid, kernel_measurements, prune_share_rows, KernelMeasurement, PruneShareRow,
+    KERNEL_CELL_SIZES, KERNEL_DIMS,
+};
 pub use serve::{serving_experiment, serving_workload, ServingPhaseReport};
 pub use workload::{bench_model, bench_model_small, ExperimentSetup};

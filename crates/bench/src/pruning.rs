@@ -1,0 +1,335 @@
+//! The `repro pruning` experiment: throughput of the dominance-scan
+//! pruning kernels, scalar visitor versus batched struct-of-arrays
+//! lanes, plus the prune-path share of end-to-end invocation time.
+//!
+//! Two measurements:
+//!
+//! 1. **Kernel microbench** — synthetic cell grids with *controlled*
+//!    cell sizes (costs pinned into known `floor(log2(1+v))` buckets,
+//!    one bucket vector per cell) are scanned with
+//!    [`PlanIndex::dominance_scan`] (batched lane kernels) and
+//!    [`dominance_scan_scalar`] (the per-entry `dyn` visitor the
+//!    optimizer used before the refactor). `threshold =
+//!    f64::NEG_INFINITY` forces full scans so both paths do identical
+//!    logical work; the reported medians isolate the storage-layout and
+//!    call-protocol difference. The same builder feeds the criterion
+//!    group in `benches/enumeration.rs`.
+//! 2. **Prune share** — full refinement ladders with
+//!    [`IamaConfig::time_pruning`] on, batched kernels on versus off,
+//!    reporting how much of the invocation wall-clock the witness
+//!    search consumes and its comparison throughput.
+//!
+//! Both paths are decision-equivalent by construction (see
+//! `moqo_index::DominanceScan`); the experiment double-checks that the
+//! measured runs returned bit-identical frontier bytes.
+
+use moqo_core::{IamaConfig, IamaOptimizer};
+use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
+use moqo_costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
+use moqo_index::{dominance_scan_scalar, CellGrid, Entry, PlanIndex};
+use moqo_query::{testkit, QuerySpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cost-metric dimensionalities the kernel microbench sweeps.
+pub const KERNEL_DIMS: &[usize] = &[2, 3, 6];
+
+/// Grid-cell populations the kernel microbench sweeps.
+pub const KERNEL_CELL_SIZES: &[usize] = &[8, 64, 512];
+
+/// A tiny deterministic xorshift generator so the benchmark inputs are
+/// reproducible without external crates in library code.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Builds a cell grid with exactly `cells` populated cells of
+/// `cell_size` entries each: cell `c` gets the per-metric log-bucket
+/// `2 + 3 * digit_m(c)` (base-16 digits), and every entry's metric `m`
+/// is drawn uniformly from that bucket's value range
+/// `[2^e - 1, 2^{e+1} - 1)`, so `floor(log2(1 + v)) = e` exactly and no
+/// two cells collide. All entries carry level 0.
+///
+/// Returns the grid and a mid-range scan target. `cells` must be at
+/// most `16^min(dim, 2)` (256 for `dim >= 2`) to keep bucket vectors
+/// distinct.
+pub fn build_pruning_grid(
+    dim: usize,
+    cells: usize,
+    cell_size: usize,
+    seed: u64,
+) -> (CellGrid<u32>, CostVector) {
+    assert!(cells <= 16usize.pow(dim.min(2) as u32));
+    let mut rng = XorShift::new(seed);
+    let mut grid = CellGrid::new(dim);
+    let mut item = 0u32;
+    for c in 0..cells {
+        let exps: Vec<u32> = (0..dim)
+            .map(|m| 2 + 3 * ((c >> (4 * m.min(1))) as u32 & 0xf))
+            .collect();
+        for _ in 0..cell_size {
+            let vals: Vec<f64> = exps
+                .iter()
+                .map(|&e| {
+                    let lo = (1u64 << e) as f64;
+                    lo * (1.0 + rng.next_f64()) - 1.0
+                })
+                .collect();
+            grid.insert(Entry::new(item, CostVector::new(&vals), 0, 0));
+            item += 1;
+        }
+    }
+    let target = CostVector::new(&vec![64.0; dim]);
+    (grid, target)
+}
+
+/// One (dim, cell size) point of the kernel microbench.
+#[derive(Clone, Debug)]
+pub struct KernelMeasurement {
+    /// Cost dimensionality.
+    pub dim: usize,
+    /// Entries per grid cell.
+    pub cell_size: usize,
+    /// Populated cells in the grid.
+    pub cells: usize,
+    /// Total entries scanned per pass (`cells * cell_size`).
+    pub entries: usize,
+    /// Median nanoseconds per full scalar-visitor scan.
+    pub scalar_ns: f64,
+    /// Median nanoseconds per full batched-lane scan.
+    pub batch_ns: f64,
+    /// Scalar cost-vector comparisons per second (entries / scan time).
+    pub scalar_comparisons_per_sec: f64,
+    /// Batched cost-vector comparisons per second.
+    pub batch_comparisons_per_sec: f64,
+    /// `scalar_ns / batch_ns`.
+    pub speedup: f64,
+}
+
+/// Median of a small sample (consumes and sorts it).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Times `scan` (which performs one full pass over `entries` entries)
+/// and returns its median ns/pass over `samples` samples of `reps`
+/// passes each.
+fn time_scans(mut scan: impl FnMut() -> f64, reps: usize, samples: usize) -> f64 {
+    let mut per_pass = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        let mut sink = 0.0;
+        for _ in 0..reps {
+            sink += scan();
+        }
+        let ns = t.elapsed().as_nanos() as f64 / reps as f64;
+        assert!(sink.is_finite());
+        per_pass.push(ns);
+    }
+    median(per_pass)
+}
+
+/// Runs the kernel microbench sweep ([`KERNEL_DIMS`] ×
+/// [`KERNEL_CELL_SIZES`]).
+pub fn kernel_measurements(fast: bool) -> Vec<KernelMeasurement> {
+    let (samples, target_total) = if fast { (3, 1024) } else { (5, 4096) };
+    let mut out = Vec::new();
+    for &dim in KERNEL_DIMS {
+        for &cell_size in KERNEL_CELL_SIZES {
+            let cells = (target_total / cell_size).clamp(1, 256);
+            let entries = cells * cell_size;
+            let (grid, target) = build_pruning_grid(dim, cells, cell_size, 0x5eed + dim as u64);
+            let bounds = Bounds::unbounded(dim);
+            let reps = (2_000_000 / entries).max(8);
+            // Full scans: a negative-infinity threshold never triggers
+            // the early exit, so both paths walk every entry.
+            let scalar_ns = time_scans(
+                || {
+                    dominance_scan_scalar(
+                        &grid,
+                        &bounds,
+                        0,
+                        &target,
+                        f64::NEG_INFINITY,
+                        &mut |_| true,
+                    )
+                    .best_factor
+                },
+                reps,
+                samples,
+            );
+            let batch_ns = time_scans(
+                || {
+                    grid.dominance_scan(&bounds, 0, &target, f64::NEG_INFINITY, &mut |_| true)
+                        .best_factor
+                },
+                reps,
+                samples,
+            );
+            let per_sec = |ns: f64| entries as f64 / (ns * 1e-9);
+            out.push(KernelMeasurement {
+                dim,
+                cell_size,
+                cells,
+                entries,
+                scalar_ns,
+                batch_ns,
+                scalar_comparisons_per_sec: per_sec(scalar_ns),
+                batch_comparisons_per_sec: per_sec(batch_ns),
+                speedup: scalar_ns / batch_ns,
+            });
+        }
+    }
+    out
+}
+
+/// End-to-end prune-path profile of one refinement ladder.
+#[derive(Clone, Debug)]
+pub struct PruneShareRow {
+    /// Query name.
+    pub query: String,
+    /// Whether the batched kernels were enabled.
+    pub batch_kernels: bool,
+    /// Total seconds across the ladder.
+    pub total_seconds: f64,
+    /// Seconds spent inside the pruning witness search.
+    pub prune_seconds: f64,
+    /// `prune_seconds / total_seconds`.
+    pub prune_share: f64,
+    /// Cost-vector comparisons charged to pruning (block-granular for
+    /// the batched path).
+    pub prune_comparisons: u64,
+    /// `prune_comparisons / prune_seconds`.
+    pub comparisons_per_sec: f64,
+}
+
+/// The lean cost model used for enumeration-plane and pruning profiles:
+/// small option sets and no evaluation spin keep ladders fast while the
+/// pruning structure stays realistic.
+fn lean_model() -> StandardCostModel {
+    StandardCostModel::new(
+        MetricSet::paper(),
+        StandardCostModelConfig {
+            dops: vec![1, 4],
+            sampling_rates_pm: vec![100, 500],
+            eval_spin: 0,
+            ..StandardCostModelConfig::default()
+        },
+    )
+}
+
+/// Runs full refinement ladders with pruning timed, batched kernels on
+/// and off, over a mixed topology workload. Panics if the two modes
+/// disagree on a single frontier byte — the kernels must change time,
+/// never bytes.
+pub fn prune_share_rows(fast: bool) -> Vec<PruneShareRow> {
+    let model = Arc::new(lean_model());
+    let schedule = ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.05, 0.5);
+    let n = if fast { 7 } else { 9 };
+    let specs: Vec<QuerySpec> = vec![
+        testkit::chain_query(n, 100_000),
+        testkit::star_query(if fast { 5 } else { 7 }, 100_000),
+        testkit::clique_query(if fast { 4 } else { 6 }, 1000),
+    ];
+    let bounds = Bounds::unbounded(model.dim());
+    let mut out = Vec::new();
+    for spec in &specs {
+        let mut frontiers = Vec::new();
+        for batch in [true, false] {
+            let config = IamaConfig {
+                use_batch_kernels: batch,
+                time_pruning: true,
+                ..IamaConfig::default()
+            };
+            let mut opt = IamaOptimizer::with_config(
+                Arc::new(spec.clone()),
+                model.clone(),
+                schedule.clone(),
+                config,
+            );
+            let mut total_seconds = 0.0;
+            for r in 0..=schedule.r_max() {
+                total_seconds += opt.optimize(&bounds, r).seconds();
+            }
+            let stats = opt.stats();
+            let prune_seconds = stats.prune_nanos as f64 * 1e-9;
+            out.push(PruneShareRow {
+                query: spec.name.clone(),
+                batch_kernels: batch,
+                total_seconds,
+                prune_seconds,
+                prune_share: prune_seconds / total_seconds.max(1e-12),
+                prune_comparisons: stats.prune_comparisons,
+                comparisons_per_sec: stats.prune_comparisons as f64 / prune_seconds.max(1e-12),
+            });
+            frontiers.push(opt.frontier(&bounds, schedule.r_max()));
+        }
+        assert!(
+            frontiers[0].bits_eq(&frontiers[1]),
+            "{}: batched and scalar pruning disagree on frontier bytes",
+            spec.name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_builder_hits_the_requested_cell_sizes() {
+        let (grid, _) = build_pruning_grid(3, 7, 16, 99);
+        assert_eq!(grid.len(), 7 * 16);
+        // Every entry is visible to a full scan at level 0...
+        let mut seen = 0usize;
+        grid.scan(&Bounds::unbounded(3), 0, &mut |_| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 7 * 16);
+        // ...and both scan paths report the same witness minimum.
+        let target = CostVector::new(&[64.0; 3]);
+        let batched = grid.dominance_scan(
+            &Bounds::unbounded(3),
+            0,
+            &target,
+            f64::NEG_INFINITY,
+            &mut |_| true,
+        );
+        let scalar = dominance_scan_scalar(
+            &grid,
+            &Bounds::unbounded(3),
+            0,
+            &target,
+            f64::NEG_INFINITY,
+            &mut |_| true,
+        );
+        assert_eq!(batched.best_factor.to_bits(), scalar.best_factor.to_bits());
+    }
+
+    #[test]
+    fn builder_rejects_colliding_cell_counts() {
+        let result = std::panic::catch_unwind(|| build_pruning_grid(2, 257, 1, 1));
+        assert!(result.is_err());
+    }
+}

@@ -421,11 +421,17 @@ impl IamaOptimizer {
             .full_set()
             .and_then(|id| self.states[id.index()].res.as_ref())
         {
-            idx.scan(bounds, r as u8, &mut |e| {
-                points.push(FrontierPoint {
-                    plan: e.item,
-                    cost: e.cost,
-                });
+            // Batched range scan: whole struct-of-arrays blocks per
+            // callback on the cell grid, one-row batches elsewhere.
+            // Selected rows arrive in `scan` order, so the snapshot is
+            // bit-identical to the scalar visitor's.
+            idx.scan_batch(bounds, r as u8, &mut |batch| {
+                for j in batch.selected() {
+                    points.push(FrontierPoint {
+                        plan: batch.item(j),
+                        cost: batch.cost(j),
+                    });
+                }
                 false
             });
         }
@@ -671,35 +677,47 @@ impl IamaOptimizer {
         // dominated by `alpha * c(p)`, so the range query is narrowed to
         // the intersection of the user bounds with that region — this is
         // where the multi-dimensional cost index pays off (Section 4.1).
-        // While scanning, remember the *best* (smallest) domination factor
-        // so eager re-indexing can skip resolution levels at which the
-        // same witness would dominate again.
-        let mut comparisons = 0u64;
+        // The scan tracks the *best* (smallest) domination factor so
+        // eager re-indexing can skip resolution levels at which the same
+        // witness would dominate again, and exits early once the minimum
+        // reaches the decision threshold: without eager re-indexing the
+        // first witness within `alpha` decides; with it, a witness within
+        // the *target* factor means the plan is discarded at every
+        // remaining level, so the exact minimum is irrelevant. Both the
+        // batched (struct-of-arrays lane kernels) and the scalar visitor
+        // path visit entries in the same order and compute bit-identical
+        // factors, so the routing decision below never depends on which
+        // one ran.
         let mut best_factor = f64::INFINITY;
         if let Some(idx) = self.states[q.index()].res.as_ref() {
             let dom_region = bounds.intersect(&Bounds::new(cost.scaled(alpha)));
             let arena = &self.arena;
             let eager = self.config.eager_level_skip;
-            let target = self.schedule.target_factor();
-            idx.scan(&dom_region, r as u8, &mut |e| {
-                comparisons += 1;
-                if arena.node(e.item).props.satisfies(&props) {
-                    let f = e.cost.domination_factor(&cost);
-                    if f < best_factor {
-                        best_factor = f;
-                    }
-                    // Early exits: without eager re-indexing the first
-                    // witness decides; with it, a witness within the
-                    // *target* factor means the plan is discarded at every
-                    // remaining level, so the exact minimum is irrelevant.
-                    if best_factor <= if eager { target } else { alpha } {
-                        return true;
-                    }
-                }
-                false
-            });
+            let threshold = if eager {
+                self.schedule.target_factor()
+            } else {
+                alpha
+            };
+            let accept = &mut |item: PlanId| arena.node(item).props.satisfies(&props);
+            let timer = self.config.time_pruning.then(Instant::now);
+            let scan = if self.config.use_batch_kernels {
+                idx.dominance_scan(&dom_region, r as u8, &cost, threshold, accept)
+            } else {
+                moqo_index::dominance_scan_scalar(
+                    idx,
+                    &dom_region,
+                    r as u8,
+                    &cost,
+                    threshold,
+                    accept,
+                )
+            };
+            if let Some(t) = timer {
+                self.stats.prune_nanos += t.elapsed().as_nanos() as u64;
+            }
+            self.stats.prune_comparisons += scan.comparisons;
+            best_factor = scan.best_factor;
         }
-        self.stats.prune_comparisons += comparisons;
         let dominated = best_factor <= alpha;
 
         if dominated {

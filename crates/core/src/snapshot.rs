@@ -273,6 +273,12 @@ impl IamaOptimizer {
         w.bool(self.config.track_invariants);
         w.bool(self.config.eager_level_skip);
         w.bool(self.config.shadow_dominated);
+        // `use_batch_kernels` and `time_pruning` are deliberately not
+        // serialized: both settings produce byte-identical optimizer
+        // state (the batch kernels are decision-equivalent to the scalar
+        // path, and prune timing is pure diagnostics), so encoding them
+        // would bump SNAPSHOT_VERSION for no observable difference.
+        // Imported optimizers run with the defaults.
 
         // --- Invocation context. ---
         w.u32(self.invocation);
@@ -435,6 +441,9 @@ impl IamaOptimizer {
             track_invariants: r.bool()?,
             eager_level_skip: r.bool()?,
             shadow_dominated: r.bool()?,
+            // Execution-strategy knobs are not part of the wire state
+            // (see the encode side); imports run with the defaults.
+            ..IamaConfig::default()
         };
 
         // --- Invocation context. ---

@@ -16,8 +16,15 @@ pub struct OptimizerStats {
     pub pairs_generated: u64,
     /// Candidate entries retrieved (drained) in phase 1.
     pub candidate_retrievals: u64,
-    /// Cost-vector comparisons performed during pruning.
+    /// Cost-vector comparisons performed during pruning. The batched
+    /// kernels charge whole lane blocks (that is what they evaluate),
+    /// so with `use_batch_kernels` this can exceed the scalar count by
+    /// up to one block per early exit.
     pub prune_comparisons: u64,
+    /// Wall-clock nanoseconds spent in the pruning witness search.
+    /// Accumulated only when [`crate::IamaConfig::time_pruning`] is set;
+    /// otherwise stays 0.
+    pub prune_nanos: u64,
     /// Insertions into result sets.
     pub result_insertions: u64,
     /// Insertions into candidate sets.

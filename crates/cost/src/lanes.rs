@@ -1,0 +1,292 @@
+//! Lane-parallel kernels over struct-of-arrays cost storage.
+//!
+//! The pruning hot path (Algorithm 3 line 7) evaluates the same three
+//! predicates — bounds respect, approximate dominance, and the minimal
+//! domination factor — against every stored plan of a cell. When the
+//! costs are laid out as one contiguous `f64` lane per metric (as
+//! `moqo-index`'s cell grid stores them), those predicates become
+//! branch-light loops over `[f64; LANES]` chunks that the compiler
+//! auto-vectorizes on stable Rust; no intrinsics, no nightly.
+//!
+//! All kernels operate on *blocks* of at most [`BLOCK`] rows so that the
+//! predicate results fit a single `u64` hit mask (bit `j` = row
+//! `start + j`), and all are **bit-exact** with their scalar
+//! counterparts: the same comparisons on the same values in the same
+//! per-row order, so a batched caller makes byte-identical decisions —
+//! the kernels change time, never bytes.
+//!
+//! `lanes[m]` is the full column of metric `m`; every kernel reads the
+//! rows `start .. start + n` of each column.
+
+/// Width of the explicit vectorization chunks (`[f64; LANES]`), chosen
+/// to fill one AVX2 register / two NEON registers per chunk.
+pub const LANES: usize = 4;
+
+/// Maximum rows per kernel call: one `u64` hit mask worth.
+pub const BLOCK: usize = 64;
+
+/// The mask selecting all of the first `n` rows of a block.
+#[inline]
+pub fn full_mask(n: usize) -> u64 {
+    debug_assert!(n <= BLOCK);
+    if n == BLOCK {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Per-metric mask accumulation: AND into `mask` the rows whose value in
+/// `col` satisfies `v <= limit`.
+#[inline]
+fn and_le_mask(mask: u64, col: &[f64], limit: f64) -> u64 {
+    let mut bits = 0u64;
+    let mut base = 0usize;
+    let mut chunks = col.chunks_exact(LANES);
+    for c in &mut chunks {
+        let mut lane_bits = 0u64;
+        for (j, v) in c.iter().enumerate() {
+            lane_bits |= ((*v <= limit) as u64) << j;
+        }
+        bits |= lane_bits << base;
+        base += LANES;
+    }
+    for (j, v) in chunks.remainder().iter().enumerate() {
+        bits |= ((*v <= limit) as u64) << (base + j);
+    }
+    mask & bits
+}
+
+/// Lane variant of [`crate::Bounds::respects`]: the hit mask of rows
+/// `start .. start + n` whose cost respects `limits` on every metric
+/// (`lanes[m][row] <= limits[m]` for all `m`).
+///
+/// Metrics with an infinite limit are skipped — every stored cost
+/// satisfies them (costs are never NaN by [`crate::CostVector::new`]'s
+/// contract), so the result is identical, just cheaper.
+pub fn respects_lanes(lanes: &[&[f64]], limits: &[f64], start: usize, n: usize) -> u64 {
+    debug_assert!(n <= BLOCK);
+    debug_assert_eq!(lanes.len(), limits.len());
+    let mut mask = full_mask(n);
+    for (col, &limit) in lanes.iter().zip(limits) {
+        if limit == f64::INFINITY {
+            continue;
+        }
+        mask = and_le_mask(mask, &col[start..start + n], limit);
+        if mask == 0 {
+            return 0;
+        }
+    }
+    mask
+}
+
+/// Lane variant of [`crate::CostVector::dominates_scaled`]: the hit mask
+/// of rows whose cost approximately dominates `target` with precision
+/// `factor` (`lanes[m][row] <= factor * target[m]` for all `m`).
+///
+/// The per-metric threshold `factor * target[m]` is the exact product
+/// the scalar test computes per comparison, so hits are bit-identical.
+pub fn dominates_scaled_lanes(
+    lanes: &[&[f64]],
+    target: &[f64],
+    factor: f64,
+    start: usize,
+    n: usize,
+) -> u64 {
+    debug_assert!(n <= BLOCK);
+    debug_assert_eq!(lanes.len(), target.len());
+    let mut mask = full_mask(n);
+    for (col, &t) in lanes.iter().zip(target) {
+        mask = and_le_mask(mask, &col[start..start + n], factor * t);
+        if mask == 0 {
+            return 0;
+        }
+    }
+    mask
+}
+
+/// Lane variant of [`crate::CostVector::domination_factor`]: writes into
+/// `out[j]` the smallest `alpha` such that row `start + j` dominates
+/// `target` when `target` is scaled by `alpha`.
+///
+/// Per row this is `max` over metrics of `a / target[m]` (skipping
+/// `a <= 0`, which any factor covers); a zero target component under a
+/// positive `a` yields `a / 0 = +inf`, reproducing the scalar early
+/// return bit for bit. IEEE max over the same operands is
+/// order-independent here (no NaNs: costs are non-negative and `0/0`
+/// cannot occur because `a > 0` guards the division).
+pub fn domination_factor_lanes(
+    lanes: &[&[f64]],
+    target: &[f64],
+    start: usize,
+    n: usize,
+    out: &mut [f64; BLOCK],
+) {
+    debug_assert!(n <= BLOCK);
+    debug_assert_eq!(lanes.len(), target.len());
+    out[..n].fill(0.0);
+    for (col, &t) in lanes.iter().zip(target) {
+        let col = &col[start..start + n];
+        let mut chunks = col.chunks_exact(LANES);
+        let mut acc = out[..n].chunks_exact_mut(LANES);
+        for (c, o) in (&mut chunks).zip(&mut acc) {
+            for j in 0..LANES {
+                let a = c[j];
+                let f = if a > 0.0 { a / t } else { 0.0 };
+                o[j] = o[j].max(f);
+            }
+        }
+        for (a, o) in chunks.remainder().iter().zip(acc.into_remainder()) {
+            let f = if *a > 0.0 { *a / t } else { 0.0 };
+            *o = o.max(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bounds, CostVector};
+
+    fn columns(rows: &[CostVector]) -> Vec<Vec<f64>> {
+        let dim = rows.first().map_or(0, |c| c.dim());
+        (0..dim)
+            .map(|m| rows.iter().map(|c| c[m]).collect())
+            .collect()
+    }
+
+    fn refs(cols: &[Vec<f64>]) -> Vec<&[f64]> {
+        cols.iter().map(|c| c.as_slice()).collect()
+    }
+
+    #[test]
+    fn full_mask_shapes() {
+        assert_eq!(full_mask(0), 0);
+        assert_eq!(full_mask(1), 1);
+        assert_eq!(full_mask(5), 0b11111);
+        assert_eq!(full_mask(BLOCK), u64::MAX);
+    }
+
+    #[test]
+    fn respects_matches_scalar() {
+        let rows: Vec<CostVector> = (0..11)
+            .map(|i| CostVector::new(&[i as f64, (10 - i) as f64]))
+            .collect();
+        let cols = columns(&rows);
+        let bounds = Bounds::from_slice(&[6.0, 8.0]);
+        let mask = respects_lanes(&refs(&cols), bounds.limits().as_slice(), 0, rows.len());
+        for (i, c) in rows.iter().enumerate() {
+            assert_eq!(mask >> i & 1 == 1, bounds.respects(c), "row {i}");
+        }
+    }
+
+    #[test]
+    fn respects_skips_unbounded_metrics() {
+        let rows: Vec<CostVector> = vec![
+            CostVector::new(&[1.0, f64::INFINITY]),
+            CostVector::new(&[9.0, 2.0]),
+        ];
+        let cols = columns(&rows);
+        let bounds = Bounds::unbounded(2).with_limit(0, 5.0);
+        let mask = respects_lanes(&refs(&cols), bounds.limits().as_slice(), 0, 2);
+        assert_eq!(mask, 0b01);
+    }
+
+    #[test]
+    fn dominates_scaled_matches_scalar() {
+        let rows: Vec<CostVector> = (0..9)
+            .map(|i| CostVector::new(&[1.0 + i as f64 * 0.3, 4.0 - i as f64 * 0.2]))
+            .collect();
+        let cols = columns(&rows);
+        let target = CostVector::new(&[1.7, 2.1]);
+        for factor in [0.5, 1.0, 1.3, 2.0] {
+            let mask = dominates_scaled_lanes(&refs(&cols), target.as_slice(), factor, 0, 9);
+            for (i, c) in rows.iter().enumerate() {
+                assert_eq!(
+                    mask >> i & 1 == 1,
+                    c.dominates_scaled(&target, factor),
+                    "row {i} factor {factor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domination_factor_matches_scalar_bits() {
+        let rows: Vec<CostVector> = vec![
+            CostVector::new(&[2.0, 6.0]),
+            CostVector::new(&[0.0, 0.0]),
+            CostVector::new(&[1.0, 0.0]),
+            CostVector::new(&[0.3, 7.7]),
+        ];
+        let cols = columns(&rows);
+        // A zero target component forces the infinite-factor path.
+        for target in [CostVector::new(&[1.0, 2.0]), CostVector::new(&[0.0, 1.0])] {
+            let mut out = [0.0; BLOCK];
+            domination_factor_lanes(&refs(&cols), target.as_slice(), 0, rows.len(), &mut out);
+            for (i, c) in rows.iter().enumerate() {
+                assert_eq!(
+                    out[i].to_bits(),
+                    c.domination_factor(&target).to_bits(),
+                    "row {i} target {target:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_respect_the_start_offset() {
+        let rows: Vec<CostVector> = (0..7).map(|i| CostVector::new(&[i as f64])).collect();
+        let cols = columns(&rows);
+        let mask = respects_lanes(&refs(&cols), &[4.0], 3, 4);
+        // Rows 3, 4 pass; rows 5, 6 exceed the limit.
+        assert_eq!(mask, 0b0011);
+        let mut out = [0.0; BLOCK];
+        domination_factor_lanes(&refs(&cols), &[2.0], 5, 2, &mut out);
+        assert_eq!(out[0], 2.5);
+        assert_eq!(out[1], 3.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{Bounds, CostVector};
+    use proptest::prelude::*;
+
+    fn lane_vecs(rows: &[Vec<f64>], dim: usize) -> Vec<Vec<f64>> {
+        (0..dim)
+            .map(|m| rows.iter().map(|r| r[m]).collect())
+            .collect()
+    }
+
+    proptest! {
+        /// Every kernel agrees bit for bit with its scalar counterpart
+        /// on arbitrary non-negative costs (including zeros).
+        #[test]
+        fn lanes_agree_with_scalar(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..1e6, 3), 0..BLOCK + 1),
+            target in proptest::collection::vec(0.0f64..1e6, 3),
+            limits in proptest::collection::vec(0.0f64..1e6, 3),
+            factor in 0.5f64..3.0,
+        ) {
+            let dim = 3;
+            let cols = lane_vecs(&rows, dim);
+            let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+            let t = CostVector::new(&target);
+            let b = Bounds::from_slice(&limits);
+            let n = rows.len();
+            let respects = respects_lanes(&refs, b.limits().as_slice(), 0, n);
+            let scaled = dominates_scaled_lanes(&refs, t.as_slice(), factor, 0, n);
+            let mut factors = [0.0; BLOCK];
+            domination_factor_lanes(&refs, t.as_slice(), 0, n, &mut factors);
+            for (i, r) in rows.iter().enumerate() {
+                let c = CostVector::new(r);
+                prop_assert_eq!(respects >> i & 1 == 1, b.respects(&c));
+                prop_assert_eq!(scaled >> i & 1 == 1, c.dominates_scaled(&t, factor));
+                prop_assert_eq!(factors[i].to_bits(), c.domination_factor(&t).to_bits());
+            }
+        }
+    }
+}

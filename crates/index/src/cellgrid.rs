@@ -18,11 +18,21 @@
 //!
 //! Cells are kept in a hash map per resolution level, so insertion is
 //! `O(1)` and queries only touch non-empty cells.
+//!
+//! Each cell stores its entries in struct-of-arrays layout ([`SoaCell`]):
+//! one contiguous `f64` lane per metric plus parallel payload columns.
+//! Range drains, batched scans, and the pruning witness search
+//! ([`PlanIndex::dominance_scan`]) run the lane kernels of
+//! [`moqo_cost::lanes`] over whole 64-row blocks — branch-light,
+//! auto-vectorizable, and bit-exact with the scalar visitor protocol,
+//! which remains available (and identical in visit order) through
+//! [`PlanIndex::scan`].
 
 use crate::entry::Entry;
 use crate::fxhash::FxHashMap;
-use crate::PlanIndex;
-use moqo_cost::{Bounds, CostVector, MAX_DIM};
+use crate::soa::SoaCell;
+use crate::{DominanceScan, EntryBatch, PlanIndex};
+use moqo_cost::{lanes, Bounds, CostVector, MAX_DIM};
 
 /// Cell coordinates: one log-bucket index per metric.
 type CellKey = [u8; MAX_DIM];
@@ -35,9 +45,14 @@ fn coord(v: f64) -> u8 {
         return COORD_INF;
     }
     debug_assert!(v >= 0.0);
-    // floor(log2(1 + v)) via the exponent of 1 + v.
+    // floor(log2(1 + v)), read directly off the IEEE-754 exponent field:
+    // x = 1 + v >= 1.0 is always a normal number, so its unbiased
+    // exponent e satisfies 2^e <= x < 2^(e+1) *exactly* — unlike
+    // x.log2().floor(), which rounds 50 - epsilon up to 50.0 for x just
+    // below a power of two and mis-buckets it.
     let x = 1.0 + v;
-    (x.log2().floor() as i64).clamp(0, (COORD_INF - 1) as i64) as u8
+    let e = ((x.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    e.clamp(0, (COORD_INF - 1) as i64) as u8
 }
 
 #[inline]
@@ -75,11 +90,12 @@ fn classify(cell: &CellKey, bound: &CellKey, dim: usize) -> CellClass {
     }
 }
 
-/// A [`PlanIndex`] backed by a logarithmic cell grid per resolution level.
+/// A [`PlanIndex`] backed by a logarithmic cell grid per resolution level,
+/// with struct-of-arrays cell storage.
 #[derive(Clone, Debug)]
 pub struct CellGrid<T: Copy> {
     dim: usize,
-    levels: Vec<FxHashMap<CellKey, Vec<Entry<T>>>>,
+    levels: Vec<FxHashMap<CellKey, SoaCell<T>>>,
     len: usize,
 }
 
@@ -98,6 +114,29 @@ impl<T: Copy> CellGrid<T> {
     pub fn cell_count(&self) -> usize {
         self.levels.iter().map(|l| l.len()).sum()
     }
+
+    /// Debug-build invariants: the cached `len` matches the sum of cell
+    /// row counts, and no empty cell is retained in any level map (an
+    /// empty cell would distort `cell_count` and waste classify work).
+    #[cfg(debug_assertions)]
+    fn check_consistency(&self) {
+        let total: usize = self
+            .levels
+            .iter()
+            .flat_map(|l| l.values())
+            .map(|c| c.len())
+            .sum();
+        debug_assert_eq!(
+            total, self.len,
+            "cell grid len cache diverged from cell contents"
+        );
+        debug_assert!(
+            self.levels
+                .iter()
+                .all(|l| l.values().all(|c| !c.is_empty())),
+            "cell grid retained an empty cell"
+        );
+    }
 }
 
 impl<T: Copy> PlanIndex<T> for CellGrid<T> {
@@ -108,8 +147,10 @@ impl<T: Copy> PlanIndex<T> for CellGrid<T> {
             self.levels.resize_with(level + 1, FxHashMap::default);
         }
         let key = cell_key(&entry.cost);
-        self.levels[level].entry(key).or_default().push(entry);
+        self.levels[level].entry(key).or_default().push(&entry);
         self.len += 1;
+        #[cfg(debug_assertions)]
+        self.check_consistency();
     }
 
     fn scan(
@@ -124,15 +165,16 @@ impl<T: Copy> PlanIndex<T> for CellGrid<T> {
                 match classify(key, &bound_key, self.dim) {
                     CellClass::Outside => continue,
                     CellClass::Inside => {
-                        for e in cell {
-                            if visitor(e) {
+                        for i in 0..cell.len() {
+                            if visitor(&cell.entry(i, self.dim)) {
                                 return true;
                             }
                         }
                     }
                     CellClass::Straddles => {
-                        for e in cell {
-                            if bounds.respects(&e.cost) && visitor(e) {
+                        for i in 0..cell.len() {
+                            let e = cell.entry(i, self.dim);
+                            if bounds.respects(&e.cost) && visitor(&e) {
                                 return true;
                             }
                         }
@@ -145,33 +187,153 @@ impl<T: Copy> PlanIndex<T> for CellGrid<T> {
 
     fn drain(&mut self, bounds: &Bounds, max_level: u8) -> Vec<Entry<T>> {
         let bound_key = cell_key(bounds.limits());
+        let dim = self.dim;
         let mut out = Vec::new();
         for level in self.levels.iter_mut().take(max_level as usize + 1) {
-            level.retain(|key, cell| match classify(key, &bound_key, self.dim) {
+            level.retain(|key, cell| match classify(key, &bound_key, dim) {
                 CellClass::Outside => true,
                 CellClass::Inside => {
-                    out.append(cell);
+                    cell.drain_all_into(dim, &mut out);
                     false
                 }
                 CellClass::Straddles => {
-                    let mut i = 0;
-                    while i < cell.len() {
-                        if bounds.respects(&cell[i].cost) {
-                            out.push(cell.swap_remove(i));
-                        } else {
-                            i += 1;
-                        }
-                    }
+                    cell.drain_respecting_into(dim, bounds, &mut out);
                     !cell.is_empty()
                 }
             });
         }
         self.len -= out.len();
+        #[cfg(debug_assertions)]
+        self.check_consistency();
         out
     }
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn scan_batch(
+        &self,
+        bounds: &Bounds,
+        max_level: u8,
+        consumer: &mut dyn FnMut(&EntryBatch<'_, T>) -> bool,
+    ) -> bool {
+        let bound_key = cell_key(bounds.limits());
+        for level in self.levels.iter().take(max_level as usize + 1) {
+            for (key, cell) in level {
+                let class = classify(key, &bound_key, self.dim);
+                if class == CellClass::Outside {
+                    continue;
+                }
+                let cols = cell.lane_slices();
+                let n = cell.len();
+                let mut start = 0usize;
+                while start < n {
+                    let blk = (n - start).min(lanes::BLOCK);
+                    let mask = if class == CellClass::Inside {
+                        lanes::full_mask(blk)
+                    } else {
+                        bounds.respects_lanes(&cols[..self.dim], start, blk)
+                    };
+                    if mask != 0 {
+                        let end = start + blk;
+                        let batch = EntryBatch {
+                            items: &cell.items()[start..end],
+                            levels: &cell.levels()[start..end],
+                            invocations: &cell.invocations()[start..end],
+                            lanes: std::array::from_fn(|m| {
+                                if m < self.dim {
+                                    &cols[m][start..end]
+                                } else {
+                                    &[][..]
+                                }
+                            }),
+                            dim: self.dim,
+                            mask,
+                        };
+                        if consumer(&batch) {
+                            return true;
+                        }
+                    }
+                    start += blk;
+                }
+            }
+        }
+        false
+    }
+
+    fn dominance_scan(
+        &self,
+        bounds: &Bounds,
+        max_level: u8,
+        target: &CostVector,
+        threshold: f64,
+        accept: &mut dyn FnMut(T) -> bool,
+    ) -> DominanceScan {
+        let bound_key = cell_key(bounds.limits());
+        let tgt = target.as_slice();
+        let mut best_factor = f64::INFINITY;
+        let mut comparisons = 0u64;
+        let mut factors = [0.0f64; lanes::BLOCK];
+        for level in self.levels.iter().take(max_level as usize + 1) {
+            for (key, cell) in level {
+                let class = classify(key, &bound_key, self.dim);
+                if class == CellClass::Outside {
+                    continue;
+                }
+                let cols = cell.lane_slices();
+                let cols = &cols[..self.dim];
+                let n = cell.len();
+                let mut start = 0usize;
+                // Sub-block granularity: the factor kernel is division
+                // heavy and the scan usually exits early (witness found
+                // within a handful of rows), so charging 64 rows at a
+                // time wastes most of the block. 16 rows keep the lanes
+                // full (4 chunks) while bounding the overshoot past an
+                // early exit. Granularity is decision-neutral: factors
+                // are per-row pure and rows are still consumed in the
+                // exact scalar order.
+                const SUB: usize = 16;
+                while start < n {
+                    let blk = (n - start).min(SUB);
+                    let mask = if class == CellClass::Inside {
+                        lanes::full_mask(blk)
+                    } else {
+                        bounds.respects_lanes(cols, start, blk)
+                    };
+                    if mask != 0 {
+                        comparisons += u64::from(mask.count_ones());
+                        lanes::domination_factor_lanes(cols, tgt, start, blk, &mut factors);
+                        // Rows are consumed in ascending order — the same
+                        // order the scalar visitor sees them — so early
+                        // exits fire at the identical entry with the
+                        // identical running minimum.
+                        let mut bits = mask;
+                        while bits != 0 {
+                            let j = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let f = factors[j];
+                            // Skipping `accept` for non-improving rows
+                            // cannot change the minimum: `accept` is pure.
+                            if f < best_factor && accept(cell.item(start + j)) {
+                                best_factor = f;
+                                if best_factor <= threshold {
+                                    return DominanceScan {
+                                        best_factor,
+                                        comparisons,
+                                    };
+                                }
+                            }
+                        }
+                    }
+                    start += blk;
+                }
+            }
+        }
+        DominanceScan {
+            best_factor,
+            comparisons,
+        }
     }
 }
 
@@ -190,6 +352,43 @@ mod tests {
         assert_eq!(coord(f64::INFINITY), COORD_INF);
         // Huge but finite values clamp below the infinity sentinel.
         assert_eq!(coord(f64::MAX), COORD_INF - 1);
+    }
+
+    #[test]
+    fn coord_is_the_exact_exponent_over_a_value_sweep() {
+        // The exponent-extraction coord must satisfy the defining
+        // inequality 2^e <= 1 + v < 2^(e+1) exactly (below the clamp),
+        // including for the values the old log2().floor() got wrong.
+        let sweep: Vec<f64> = vec![
+            0.0,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            f64::MIN_POSITIVE,
+            1e-300,
+            0.5,
+            0.999_999_999,
+            1.0,
+            2.9,
+            3.0,
+            // Just below a power of two: 1 + v is the largest f64 < 2^50.
+            // log2().floor() rounds its logarithm up to 50.0 and
+            // mis-buckets; the exponent field cannot.
+            f64::from_bits(((1u64 << 50) as f64).to_bits() - 1) - 1.0,
+            (1u64 << 50) as f64 - 1.0,
+            (1u64 << 50) as f64,
+            1e300,
+            f64::MAX,
+        ];
+        for &v in &sweep {
+            let e = coord(v);
+            assert!(e < COORD_INF, "finite value hit the infinity sentinel");
+            let lo = 2f64.powi(e as i32);
+            assert!(lo <= 1.0 + v, "coord({v}) = {e}: 2^e > 1 + v");
+            if e < COORD_INF - 1 {
+                let hi = 2f64.powi(e as i32 + 1);
+                assert!(1.0 + v < hi, "coord({v}) = {e}: 1 + v >= 2^(e+1)");
+            }
+        }
+        assert_eq!(coord(f64::INFINITY), COORD_INF);
     }
 
     #[test]
@@ -254,6 +453,31 @@ mod tests {
     }
 
     #[test]
+    fn drain_keeps_len_and_cells_consistent() {
+        // Exercises the debug consistency assertion across a sequence of
+        // straddling drains (partial-cell removal) and re-inserts, and
+        // checks the observable counters agree with the contents.
+        let mut grid: CellGrid<u32> = CellGrid::new(2);
+        for i in 0..64u32 {
+            let c = CostVector::new(&[(i % 16) as f64, (i / 4) as f64]);
+            grid.insert(Entry::new(i, c, (i % 2) as u8, 0));
+        }
+        for limit in [3.0, 7.0, 11.0, 100.0] {
+            let before = PlanIndex::len(&grid);
+            let drained = grid.drain(&Bounds::from_slice(&[limit, limit]), 1);
+            assert_eq!(PlanIndex::len(&grid), before - drained.len());
+            let remaining = grid.collect(&Bounds::unbounded(2), 1);
+            assert_eq!(remaining.len(), PlanIndex::len(&grid));
+            // Re-insert half of the drained rows to churn the cells.
+            for e in drained.iter().step_by(2) {
+                grid.insert(*e);
+            }
+        }
+        // Empty cells are never retained, so every cell contributes.
+        assert!(grid.cell_count() <= PlanIndex::len(&grid));
+    }
+
+    #[test]
     fn scan_early_exit_counts_once() {
         let mut grid: CellGrid<u32> = CellGrid::new(1);
         for i in 0..50u32 {
@@ -266,6 +490,34 @@ mod tests {
         });
         assert!(stopped);
         assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn scan_batch_visits_the_same_entries_as_scan() {
+        let mut grid: CellGrid<u32> = CellGrid::new(2);
+        for i in 0..150u32 {
+            let c = CostVector::new(&[(i % 30) as f64 * 3.7, (i % 11) as f64 * 9.1]);
+            grid.insert(Entry::new(i, c, (i % 3) as u8, i));
+        }
+        let b = Bounds::from_slice(&[60.0, 55.0]);
+        let mut scalar = Vec::new();
+        grid.scan(&b, 2, &mut |e| {
+            scalar.push((e.item, e.level, e.invocation, e.cost));
+            false
+        });
+        let mut batched = Vec::new();
+        grid.scan_batch(&b, 2, &mut |batch| {
+            for j in batch.selected() {
+                batched.push((
+                    batch.item(j),
+                    batch.level(j),
+                    batch.invocation(j),
+                    batch.cost(j),
+                ));
+            }
+            false
+        });
+        assert_eq!(scalar, batched);
     }
 }
 

@@ -1,0 +1,233 @@
+//! Struct-of-arrays storage for index cells.
+//!
+//! The cell grid stores each cell's entries column-wise: one contiguous
+//! `f64` lane per cost metric plus parallel `item` / `level` /
+//! `invocation` columns. The lane layout is what makes the batched
+//! dominance kernels in [`moqo_cost::lanes`] auto-vectorizable — a
+//! block of 64 plans is one slice per metric, not 64 pointer-chased
+//! `Entry` structs — while the parallel columns keep reconstruction of
+//! a full [`Entry`] a plain gather.
+//!
+//! Row order is insertion order and every operation here preserves it,
+//! which is what lets the batched and scalar scan paths visit entries
+//! in the identical sequence (the bit-exactness contract of the
+//! optimizer's frontier oracles).
+
+use crate::entry::Entry;
+use moqo_cost::{lanes, Bounds, CostVector, MAX_DIM};
+
+/// One cell's entries in struct-of-arrays layout.
+#[derive(Clone, Debug)]
+pub struct SoaCell<T: Copy> {
+    items: Vec<T>,
+    levels: Vec<u8>,
+    invocations: Vec<u32>,
+    cost_lanes: [Vec<f64>; MAX_DIM],
+}
+
+impl<T: Copy> Default for SoaCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> SoaCell<T> {
+    /// An empty cell (lanes allocate lazily on first push).
+    pub fn new() -> Self {
+        Self {
+            items: Vec::new(),
+            levels: Vec::new(),
+            invocations: Vec::new(),
+            cost_lanes: Default::default(),
+        }
+    }
+
+    /// Number of stored rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no rows are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends an entry as a new row.
+    #[inline]
+    pub fn push(&mut self, e: &Entry<T>) {
+        self.items.push(e.item);
+        self.levels.push(e.level);
+        self.invocations.push(e.invocation);
+        for (m, lane) in self.cost_lanes.iter_mut().enumerate().take(e.cost.dim()) {
+            lane.push(e.cost[m]);
+        }
+    }
+
+    /// The payload of row `i`.
+    #[inline]
+    pub fn item(&self, i: usize) -> T {
+        self.items[i]
+    }
+
+    /// Reconstructs the cost vector of row `i` (bit-identical to the
+    /// vector that was pushed).
+    #[inline]
+    pub fn cost(&self, i: usize, dim: usize) -> CostVector {
+        CostVector::from_lanes(dim, |m| self.cost_lanes[m][i])
+    }
+
+    /// Reconstructs the full entry of row `i`.
+    #[inline]
+    pub fn entry(&self, i: usize, dim: usize) -> Entry<T> {
+        Entry::new(
+            self.items[i],
+            self.cost(i, dim),
+            self.levels[i],
+            self.invocations[i],
+        )
+    }
+
+    /// The per-metric cost lanes as borrowed slices (only the first
+    /// `dim` are populated; slice with `[..dim]` before handing them to
+    /// the kernels).
+    #[inline]
+    pub fn lane_slices(&self) -> [&[f64]; MAX_DIM] {
+        std::array::from_fn(|m| self.cost_lanes[m].as_slice())
+    }
+
+    /// The item column.
+    #[inline]
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// The level column.
+    #[inline]
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// The invocation column.
+    #[inline]
+    pub fn invocations(&self) -> &[u32] {
+        &self.invocations
+    }
+
+    /// Moves every row into `out` as reconstructed entries (in row
+    /// order) and clears the cell.
+    pub fn drain_all_into(&mut self, dim: usize, out: &mut Vec<Entry<T>>) {
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.entry(i, dim));
+        }
+        self.truncate(0);
+    }
+
+    /// Single-pass stable partition: rows respecting `bounds` move into
+    /// `out` (in row order), the rest compact down in place (also in
+    /// row order). The bounds test runs through the lane kernels one
+    /// [`lanes::BLOCK`] at a time.
+    pub fn drain_respecting_into(&mut self, dim: usize, bounds: &Bounds, out: &mut Vec<Entry<T>>) {
+        let n = self.len();
+        let mut write = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let blk = (n - start).min(lanes::BLOCK);
+            let mask = {
+                let cols = self.lane_slices();
+                bounds.respects_lanes(&cols[..dim], start, blk)
+            };
+            for j in 0..blk {
+                let i = start + j;
+                if mask >> j & 1 == 1 {
+                    out.push(self.entry(i, dim));
+                } else {
+                    if write != i {
+                        self.copy_row(i, write, dim);
+                    }
+                    write += 1;
+                }
+            }
+            start += blk;
+        }
+        self.truncate(write);
+    }
+
+    #[inline]
+    fn copy_row(&mut self, from: usize, to: usize, dim: usize) {
+        self.items[to] = self.items[from];
+        self.levels[to] = self.levels[from];
+        self.invocations[to] = self.invocations[from];
+        for lane in self.cost_lanes.iter_mut().take(dim) {
+            lane[to] = lane[from];
+        }
+    }
+
+    #[inline]
+    fn truncate(&mut self, len: usize) {
+        self.items.truncate(len);
+        self.levels.truncate(len);
+        self.invocations.truncate(len);
+        for lane in self.cost_lanes.iter_mut() {
+            lane.truncate(len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(costs: &[[f64; 2]]) -> SoaCell<u32> {
+        let mut c = SoaCell::new();
+        for (i, v) in costs.iter().enumerate() {
+            c.push(&Entry::new(
+                i as u32,
+                CostVector::new(v),
+                (i % 3) as u8,
+                i as u32 * 10,
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn push_and_reconstruct_round_trip() {
+        let c = cell(&[[1.0, 9.0], [2.5, 0.0], [f64::INFINITY, 3.0]]);
+        assert_eq!(c.len(), 3);
+        let e = c.entry(1, 2);
+        assert_eq!(e.item, 1);
+        assert_eq!(e.level, 1);
+        assert_eq!(e.invocation, 10);
+        assert_eq!(e.cost.as_slice(), &[2.5, 0.0]);
+        assert_eq!(c.lane_slices()[0], &[1.0, 2.5, f64::INFINITY]);
+        assert_eq!(c.lane_slices()[1], &[9.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn drain_respecting_is_a_stable_partition() {
+        let mut c = cell(&[[1.0, 1.0], [5.0, 5.0], [2.0, 2.0], [6.0, 1.0], [0.5, 3.0]]);
+        let mut out = Vec::new();
+        c.drain_respecting_into(2, &Bounds::from_slice(&[4.0, 4.0]), &mut out);
+        // Rows 0, 2, 4 respect the bounds, in that order.
+        assert_eq!(out.iter().map(|e| e.item).collect::<Vec<_>>(), [0, 2, 4]);
+        // Rows 1, 3 remain, still in insertion order.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.item(0), 1);
+        assert_eq!(c.item(1), 3);
+        assert_eq!(c.lane_slices()[0], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn drain_all_preserves_row_order() {
+        let mut c = cell(&[[3.0, 1.0], [1.0, 3.0]]);
+        let mut out = Vec::new();
+        c.drain_all_into(2, &mut out);
+        assert!(c.is_empty());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].item, 0);
+        assert_eq!(out[1].item, 1);
+    }
+}
