@@ -7,13 +7,14 @@
 //! Experiments: `fig1`, `fig2a`, `fig2b`, `fig3`, `fig4`, `fig5`,
 //! `lemmas`, `quality`, `ablation-index`, `ablation-delta`,
 //! `ablation-shadow`, `bounds`, `space`, `amortized`, `schedules`,
-//! `enumeration`, `pruning`, or `all`. `--fast` shrinks the scale factor
-//! and level counts for a quick smoke run; `--stats` appends the
-//! enumeration-plane counter table (splits visited/skipped, pairs
-//! skipped, scratch high-water) regardless of the chosen experiment.
+//! `enumeration`, `pruning`, `serve`, `net`, `similarity`, or `all`.
+//! `--fast` shrinks the scale factor and level counts for a quick smoke
+//! run; `--stats` appends the enumeration-plane counter table (splits
+//! visited/skipped, pairs skipped, scratch high-water) regardless of the
+//! chosen experiment.
 //!
-//! The `enumeration` and `pruning` experiments additionally drop
-//! machine-readable `BENCH_enumeration.json` / `BENCH_pruning.json`
+//! The `enumeration`, `pruning`, `serve`, `net`, and `similarity`
+//! experiments additionally drop machine-readable `BENCH_<name>.json`
 //! files into the working directory (schemas in `docs/benchmarks.md`).
 
 use moqo_baselines::one_shot;
@@ -53,6 +54,7 @@ const EXPERIMENTS: &[&str] = &[
     "pruning",
     "serve",
     "net",
+    "similarity",
     "all",
 ];
 
@@ -209,6 +211,75 @@ fn main() {
     if run("net") {
         net_exp(cli.fast);
     }
+    if run("similarity") {
+        similarity_exp(cli.fast);
+    }
+}
+
+/// Warm-state sharing across *similar* (not identical) queries: plans
+/// generated and submit→first-frontier latency for cold, exact-warm,
+/// sub-frontier-transplant, and stats-drift-rebase sessions.
+fn similarity_exp(fast: bool) {
+    println!("=== Similar queries: sub-frontier transplant and stats-drift rebase ===\n");
+    let reports = similarity_experiment(fast);
+    let mut t = TextTable::new(vec![
+        "pass",
+        "sessions",
+        "plans generated",
+        "mean first-frontier",
+        "p50",
+        "max",
+        "0-plan starts",
+        "rebased",
+        "seeded (subsets)",
+    ]);
+    for r in &reports {
+        t.row(vec![
+            r.label.to_string(),
+            r.sessions.to_string(),
+            r.plans_generated.to_string(),
+            format!("{:.1} us", r.mean_us),
+            format!("{:.1} us", r.p50_us),
+            format!("{:.1} us", r.max_us),
+            r.zero_plan_starts.to_string(),
+            r.rebased_sessions.to_string(),
+            format!("{} ({})", r.transplanted_sessions, r.seeded_subsets),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Same queries, four histories. Exact repeats do zero plan work;\n         transplanted sessions seed every shared subset from donor\n         sub-frontiers and generate measurably fewer plans than cold;\n         drifted replays rebase the parked frontier under the new stats\n         (Lemma 7: re-pruning known plans beats regenerating them).\n"
+    );
+    let json = Json::Obj(vec![
+        ("experiment", Json::Str("similarity".into())),
+        ("fast", Json::Bool(fast)),
+        (
+            "phases",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("label", Json::Str(r.label.into())),
+                            ("sessions", Json::Int(r.sessions as u64)),
+                            ("plans_generated", Json::Int(r.plans_generated)),
+                            ("mean_us", Json::Num(r.mean_us)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("max_us", Json::Num(r.max_us)),
+                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
+                            ("rebased_sessions", Json::Int(r.rebased_sessions as u64)),
+                            (
+                                "transplanted_sessions",
+                                Json::Int(r.transplanted_sessions as u64),
+                            ),
+                            ("seeded_subsets", Json::Int(r.seeded_subsets)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_bench_json("BENCH_similarity.json", &json);
 }
 
 /// Network front: the serving SLO as a remote TCP client observes it —
@@ -239,6 +310,29 @@ fn net_exp(fast: bool) {
     println!(
         "Every session crosses a real socket: MOQOWIRE handshake, framed\n         submit, typed admission, delta-streamed events. The warm pass\n         resumes parked frontiers — zero plan generation before the first\n         tradeoffs appear — so a repeat pays only transport pacing\n         (compare `repro serve` for the in-process figure), never plan\n         regeneration.\n"
     );
+    let json = Json::Obj(vec![
+        ("experiment", Json::Str("net".into())),
+        ("fast", Json::Bool(fast)),
+        (
+            "phases",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("label", Json::Str(r.label.into())),
+                            ("sessions", Json::Int(r.sessions as u64)),
+                            ("mean_us", Json::Num(r.mean_us)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("max_us", Json::Num(r.max_us)),
+                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_bench_json("BENCH_net.json", &json);
 }
 
 /// Serving front: submit→first-frontier latency and warm-hit economy of
@@ -272,6 +366,31 @@ fn serve_exp(fast: bool) {
     println!(
         "The warm pass resumes parked frontiers on their home shards: its\n         first copy of every repeated fingerprint starts with zero plan\n         generation, so first tradeoffs appear in cache-lookup time.\n"
     );
+    let json = Json::Obj(vec![
+        ("experiment", Json::Str("serve".into())),
+        ("fast", Json::Bool(fast)),
+        (
+            "phases",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("label", Json::Str(r.label.into())),
+                            ("sessions", Json::Int(r.sessions as u64)),
+                            ("distinct_fingerprints", Json::Int(r.distinct as u64)),
+                            ("mean_us", Json::Num(r.mean_us)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("max_us", Json::Num(r.max_us)),
+                            ("warm_routed", Json::Int(r.warm_routed)),
+                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_bench_json("BENCH_serve.json", &json);
 }
 
 /// Enumeration-plane effectiveness: split visits of the dense path versus

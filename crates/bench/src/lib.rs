@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod net;
 pub mod pruning;
 pub mod serve;
+pub mod similarity;
 pub mod workload;
 
 pub use benchjson::Json;
@@ -23,4 +24,7 @@ pub use pruning::{
     KERNEL_CELL_SIZES, KERNEL_DIMS,
 };
 pub use serve::{serving_experiment, serving_workload, ServingPhaseReport};
+pub use similarity::{
+    similarity_donors, similarity_experiment, similarity_recipients, SimilarityPhaseReport,
+};
 pub use workload::{bench_model, bench_model_small, ExperimentSetup};

@@ -1,0 +1,260 @@
+//! Similar-query warm-start experiment (`repro similarity`).
+//!
+//! Production traffic is rarely byte-identical, so the exact-fingerprint
+//! frontier cache alone under-serves it. This experiment measures the two
+//! near-miss tiers built on the paper's per-subset incremental state:
+//!
+//! * **transplant** — recipients share join subgraphs (query prefixes)
+//!   with previously finished *donor* queries; their subsets seed from
+//!   harvested sub-frontier blobs;
+//! * **rebase** — the same queries resubmitted after a statistics
+//!   refresh (cardinalities scaled, shape untouched); the parked donor's
+//!   plans re-enter as level-0 candidates under the new stats (the
+//!   Lemma 7 path: re-pruning known plans is cheaper than regenerating
+//!   them).
+//!
+//! Four phases over identical recipient shapes — `cold`, `exact-warm`,
+//! `transplant`, `rebase` — each recording submit→first-frontier latency
+//! and the total plans generated per session (summed over the per-slice
+//! invocation reports of its watch stream, so each phase counts only its
+//! own work even when optimizer state carries across phases).
+
+use moqo_cost::ResolutionSchedule;
+use moqo_costmodel::StandardCostModel;
+use moqo_engine::EngineConfig;
+use moqo_query::{testkit, QuerySpec};
+use moqo_serve::{GlobalSessionId, ShardConfig, ShardedEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency and plan-work figures for one pass of the experiment.
+#[derive(Clone, Debug)]
+pub struct SimilarityPhaseReport {
+    /// `"cold"`, `"exact-warm"`, `"transplant"`, or `"rebase"`.
+    pub label: &'static str,
+    /// Sessions submitted (one per recipient query).
+    pub sessions: usize,
+    /// Mean submit→first-frontier latency (microseconds).
+    pub mean_us: f64,
+    /// Median latency (microseconds).
+    pub p50_us: f64,
+    /// Worst latency (microseconds).
+    pub max_us: f64,
+    /// Plans generated across all sessions *during this phase*.
+    pub plans_generated: u64,
+    /// Sessions whose first invocation generated zero plans.
+    pub zero_plan_starts: usize,
+    /// Sessions that started from a stats-drift rebase.
+    pub rebased_sessions: usize,
+    /// Sessions seeded from at least one transplanted sub-frontier.
+    pub transplanted_sessions: usize,
+    /// Table subsets seeded across all sessions of the phase.
+    pub seeded_subsets: u64,
+}
+
+fn engine(fast: bool) -> ShardedEngine {
+    ShardedEngine::new(
+        Arc::new(StandardCostModel::paper_metrics()),
+        ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.02, 0.4),
+        ShardConfig {
+            shards: 4,
+            engine: EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            rebalance_headroom: 8,
+        },
+    )
+}
+
+/// Donor queries: the smaller members of each overlapping family.
+pub fn similarity_donors(fast: bool) -> Vec<Arc<QuerySpec>> {
+    let ns: &[usize] = if fast { &[4, 5] } else { &[4, 5, 6] };
+    let mut specs = Vec::new();
+    for &n in ns {
+        specs.push(Arc::new(testkit::chain_query(n, 60_000)));
+        specs.push(Arc::new(testkit::star_query(n, 90_000)));
+    }
+    specs
+}
+
+/// Recipient queries: larger members of the same families — every donor
+/// is an induced-subgraph prefix of its family's recipients, so donor
+/// sub-frontiers transplant, while no recipient fingerprint (or shape)
+/// equals a donor's.
+pub fn similarity_recipients(fast: bool) -> Vec<Arc<QuerySpec>> {
+    let ns: &[usize] = if fast { &[6, 7] } else { &[7, 8, 9] };
+    let mut specs = Vec::new();
+    for &n in ns {
+        specs.push(Arc::new(testkit::chain_query(n, 60_000)));
+        specs.push(Arc::new(testkit::star_query(n, 90_000)));
+    }
+    specs
+}
+
+/// Submits `specs`, recording submit→first-frontier latency per session
+/// and folding each session's full watch stream to sum the plans its
+/// invocations generated within this phase. Sessions are finished at the
+/// end of the phase (parking their frontiers and harvesting their
+/// sub-frontiers for the next phase, where applicable).
+fn run_phase(
+    eng: &ShardedEngine,
+    specs: &[Arc<QuerySpec>],
+    label: &'static str,
+) -> SimilarityPhaseReport {
+    let mut watchers: Vec<(
+        GlobalSessionId,
+        Instant,
+        std::sync::mpsc::Receiver<moqo_serve::SessionEvent>,
+        moqo_serve::SessionView,
+    )> = Vec::new();
+    for spec in specs {
+        let t0 = Instant::now();
+        let (gid, _) = eng.submit(spec.clone());
+        let rx = eng.watch(gid).expect("fresh session");
+        watchers.push((gid, t0, rx, moqo_serve::SessionView::default()));
+    }
+    let mut latency = vec![None::<Duration>; watchers.len()];
+    let mut plans = vec![0u64; watchers.len()];
+    let mut zero_plan_starts = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while latency.iter().any(Option::is_none) {
+        assert!(Instant::now() < deadline, "similarity experiment stalled");
+        let mut progressed = false;
+        for (i, (_, t0, rx, view)) in watchers.iter_mut().enumerate() {
+            if latency[i].is_some() {
+                continue;
+            }
+            while let Ok(event) = rx.try_recv() {
+                progressed = true;
+                if let Some(r) = &event.report {
+                    plans[i] += r.plans_generated;
+                }
+                view.fold(&event).expect("ordered watch stream");
+                if !view.frontier.is_empty() && latency[i].is_none() {
+                    latency[i] = Some(t0.elapsed());
+                    if view
+                        .first_report
+                        .as_ref()
+                        .is_some_and(|r| r.plans_generated == 0)
+                    {
+                        zero_plan_starts += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    assert!(eng.wait_idle(Duration::from_secs(600)));
+    // Drain the remainder of each stream: the ladder kept refining after
+    // the first frontier, and that work belongs to this phase too.
+    let mut rebased_sessions = 0usize;
+    let mut transplanted_sessions = 0usize;
+    let mut seeded_subsets = 0u64;
+    for (i, (gid, _, rx, _)) in watchers.iter().enumerate() {
+        while let Ok(event) = rx.try_recv() {
+            if let Some(r) = &event.report {
+                plans[i] += r.plans_generated;
+            }
+        }
+        let s = eng.status(*gid).expect("session still tracked");
+        if s.rebased {
+            rebased_sessions += 1;
+        }
+        if s.seeded_subsets > 0 {
+            transplanted_sessions += 1;
+            seeded_subsets += u64::from(s.seeded_subsets);
+        }
+        eng.finish(*gid);
+    }
+    let mut us: Vec<f64> = latency
+        .into_iter()
+        .map(|d| d.expect("measured").as_secs_f64() * 1e6)
+        .collect();
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SimilarityPhaseReport {
+        label,
+        sessions: specs.len(),
+        mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        p50_us: us[us.len() / 2],
+        max_us: us.last().copied().unwrap_or(0.0),
+        plans_generated: plans.iter().sum(),
+        zero_plan_starts,
+        rebased_sessions,
+        transplanted_sessions,
+        seeded_subsets,
+    }
+}
+
+/// Runs the four phases and returns their reports in order `cold`,
+/// `exact-warm`, `transplant`, `rebase`.
+pub fn similarity_experiment(fast: bool) -> Vec<SimilarityPhaseReport> {
+    let donors = similarity_donors(fast);
+    let recipients = similarity_recipients(fast);
+
+    // Phase 1+2: one engine; the recipients run cold, then resubmit as
+    // exact repeats against their own parked frontiers.
+    let e = engine(fast);
+    let cold = run_phase(&e, &recipients, "cold");
+    let exact = run_phase(&e, &recipients, "exact-warm");
+
+    // Phase 3: a fresh engine that has only ever seen the *donors* — the
+    // recipients' fingerprints all miss, but their shared subsets seed
+    // from the harvested donor sub-frontiers.
+    let e = engine(fast);
+    run_phase(&e, &donors, "donor-prime");
+    let transplant = run_phase(&e, &recipients, "transplant");
+
+    // Phase 4: a fresh engine primed with the recipients under *stale*
+    // statistics, then replayed under a 5% cardinality drift — exact
+    // fingerprints miss, the cardinality-blind rebase tier hits.
+    let e = engine(fast);
+    run_phase(&e, &recipients, "stale-prime");
+    let drifted: Vec<Arc<QuerySpec>> = recipients
+        .iter()
+        .map(|s| Arc::new(testkit::drift_cardinalities(s, 1.05)))
+        .collect();
+    let rebase = run_phase(&e, &drifted, "rebase");
+
+    vec![cold, exact, transplant, rebase]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transplant_and_rebase_beat_cold() {
+        let reports = similarity_experiment(true);
+        assert_eq!(reports.len(), 4);
+        let (cold, exact, transplant, rebase) =
+            (&reports[0], &reports[1], &reports[2], &reports[3]);
+        assert_eq!(cold.rebased_sessions, 0);
+        assert_eq!(cold.transplanted_sessions, 0);
+        assert!(cold.plans_generated > 0);
+        // Exact repeats do no plan work at all.
+        assert_eq!(exact.plans_generated, 0);
+        assert_eq!(exact.zero_plan_starts, exact.sessions);
+        // Every recipient seeds from donor sub-frontiers and generates
+        // measurably fewer plans than its cold twin.
+        assert_eq!(transplant.transplanted_sessions, transplant.sessions);
+        assert!(transplant.seeded_subsets as usize >= transplant.sessions);
+        assert!(
+            transplant.plans_generated < cold.plans_generated,
+            "transplant {} !< cold {}",
+            transplant.plans_generated,
+            cold.plans_generated
+        );
+        // Every drifted replay rebases and also beats cold regeneration.
+        assert_eq!(rebase.rebased_sessions, rebase.sessions);
+        assert!(
+            rebase.plans_generated < cold.plans_generated,
+            "rebase {} !< cold {}",
+            rebase.plans_generated,
+            cold.plans_generated
+        );
+    }
+}

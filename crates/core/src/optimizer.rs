@@ -779,7 +779,13 @@ impl IamaOptimizer {
         self.stats.result_insertions += 1;
     }
 
-    fn insert_candidate(&mut self, q: SubsetId, plan: PlanId, cost: CostVector, level: u8) {
+    pub(crate) fn insert_candidate(
+        &mut self,
+        q: SubsetId,
+        plan: PlanId,
+        cost: CostVector,
+        level: u8,
+    ) {
         let dim = self.model.dim();
         let kind = self.config.index_kind;
         let invocation = self.invocation;

@@ -31,11 +31,11 @@ use crate::optimizer::{ActiveEntry, IamaOptimizer, Watermark};
 use crate::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use crate::IamaConfig;
 use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
-use moqo_costmodel::{CostModel, SharedCostModel};
+use moqo_costmodel::{CostModel, PlanInput, SharedCostModel};
 use moqo_index::{DynIndex, Entry, IndexKind, PlanIndex};
-use moqo_plan::{JoinAlgo, Operator, ScanMethod};
+use moqo_plan::{JoinAlgo, Operator, PlanArena, ScanMethod};
 use moqo_plan::{PhysicalProps, PlanId, PlanNode};
-use moqo_query::QuerySpec;
+use moqo_query::{QuerySpec, TableSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -672,6 +672,465 @@ impl IamaOptimizer {
     }
 }
 
+/// Magic bytes opening every per-subset sub-frontier blob.
+pub const SUBSNAPSHOT_MAGIC: [u8; 8] = *b"MOQOSUBF";
+
+/// Current sub-frontier blob format version.
+pub const SUBSNAPSHOT_VERSION: u32 = 1;
+
+/// Encodes the operator tree rooted at `id` with scan positions remapped
+/// through `local` (global table position → local index within the
+/// subset). Pre-order and self-delimiting, so trees concatenate without
+/// length prefixes and compare lexicographically for the canonical order.
+fn encode_subtree(arena: &PlanArena, id: PlanId, local: &[u8], out: &mut WireWriter) {
+    let node = arena.node(id);
+    match node.op {
+        Operator::Scan { position, method } => {
+            out.u8(0);
+            out.u8(local[position as usize]);
+            match method {
+                ScanMethod::Full => out.u8(0),
+                ScanMethod::Sampled { rate_pm } => {
+                    out.u8(1);
+                    out.u16(rate_pm);
+                }
+            }
+        }
+        Operator::Join { algo, dop } => {
+            out.u8(1);
+            out.u8(match algo {
+                JoinAlgo::Hash => 0,
+                JoinAlgo::SortMerge => 1,
+                JoinAlgo::NestedLoop => 2,
+            });
+            out.u16(dop);
+            let (l, r) = node.children.expect("join node has children");
+            encode_subtree(arena, l, local, out);
+            encode_subtree(arena, r, local, out);
+        }
+    }
+}
+
+/// Per-table `(cardinality, row_width, filter)` in ascending position
+/// order plus the induced join edges `(local left, local right,
+/// selectivity bits)` — the statistics a sub-frontier blob guards on.
+type InducedStats = (Vec<(u64, u32, f64)>, Vec<(u8, u8, u64)>);
+
+/// The induced statistics a sub-frontier blob guards on. Computed
+/// identically on export and import, so a transplant only proceeds when
+/// the donor's sub-catalog matches the recipient's exactly (the
+/// structural backstop behind the engine's sub-fingerprint hash).
+fn induced_stats(spec: &QuerySpec, tables: TableSet) -> InducedStats {
+    let g = &spec.graph;
+    let mut local = vec![u8::MAX; g.n_tables()];
+    let mut stats = Vec::with_capacity(tables.len());
+    for (k, pos) in tables.iter().enumerate() {
+        local[pos] = k as u8;
+        let t = spec.catalog.table(g.tables[pos]);
+        stats.push((t.cardinality, t.row_width, g.filters[pos]));
+    }
+    let mut edges: Vec<(u8, u8, u64)> = g
+        .edges
+        .iter()
+        .filter(|e| tables.contains(e.left) && tables.contains(e.right))
+        .map(|e| (local[e.left], local[e.right], e.selectivity.to_bits()))
+        .collect();
+    edges.sort_unstable();
+    (stats, edges)
+}
+
+impl IamaOptimizer {
+    /// Serializes the warm `Res^q`/`Cand^q` state of one connected table
+    /// subset as a self-describing, position-independent blob: the metric
+    /// layout and cost-model identity it was refined under, the induced
+    /// sub-catalog statistics (the validation gate for transplants), and
+    /// the operator trees of every result/candidate plan with scan
+    /// positions relabeled to `0..k` in ascending order.
+    ///
+    /// Costs are deliberately *not* serialized: an importer re-scores
+    /// every tree against its live cost model at admission, which is what
+    /// keeps the paper's `alpha_T` guarantee intact across transplants.
+    /// Trees are sorted and deduplicated, so equal subset state exports
+    /// equal bytes regardless of insertion history.
+    ///
+    /// Returns `None` when the subset is not enumerated for this query or
+    /// holds no result/candidate plans.
+    pub fn export_subset(&self, tables: TableSet) -> Option<Vec<u8>> {
+        let q = self.plan.subset_id(tables)?;
+        let state = &self.states[q.index()];
+        let unbounded = Bounds::unbounded(self.model.dim());
+        let mut roots: Vec<PlanId> = Vec::new();
+        for idx in [&state.res, &state.cand].into_iter().flatten() {
+            roots.extend(idx.collect(&unbounded, u8::MAX).iter().map(|e| e.item));
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        if roots.is_empty() {
+            return None;
+        }
+
+        let g = &self.spec.graph;
+        let mut local = vec![u8::MAX; g.n_tables()];
+        for (k, pos) in tables.iter().enumerate() {
+            local[pos] = k as u8;
+        }
+        let mut trees: Vec<Vec<u8>> = roots
+            .iter()
+            .map(|&p| {
+                let mut tw = WireWriter::new();
+                encode_subtree(&self.arena, p, &local, &mut tw);
+                tw.into_vec()
+            })
+            .collect();
+        trees.sort_unstable();
+        trees.dedup();
+
+        let mut w = WireWriter::new();
+        w.bytes(&SUBSNAPSHOT_MAGIC);
+        w.u32(SUBSNAPSHOT_VERSION);
+        let metrics = self.model.metrics();
+        w.u8(metrics.dim() as u8);
+        for i in 0..metrics.dim() {
+            w.str(metrics.metric(i).name());
+        }
+        w.u64(self.model.identity());
+        let (stats, edges) = induced_stats(&self.spec, tables);
+        w.u8(stats.len() as u8);
+        for (card, width, filter) in stats {
+            w.u64(card);
+            w.u32(width);
+            w.u64(filter.to_bits());
+        }
+        w.u32(edges.len() as u32);
+        for (l, r, sel) in edges {
+            w.u8(l);
+            w.u8(r);
+            w.u64(sel);
+        }
+        w.u32(trees.len() as u32);
+        for t in &trees {
+            w.bytes(t);
+        }
+        Some(w.into_vec())
+    }
+
+    /// Seeds subset `tables` of this optimizer from an
+    /// [`export_subset`](IamaOptimizer::export_subset) blob produced by a
+    /// *different* (but statistically identical on this subset) query.
+    ///
+    /// Every tree is replayed bottom-up against the **live** cost model:
+    /// each operator must still be offered by
+    /// [`scan_alternatives`](moqo_costmodel::CostModel::scan_alternatives)
+    /// / [`join_alternatives`](moqo_costmodel::CostModel::join_alternatives),
+    /// and the plan is admitted with the freshly computed cost as a
+    /// level-0 `Cand` entry — so it re-enters through pruning at the next
+    /// invocation exactly like a natively generated plan, and Theorem 2's
+    /// `alpha_T` guarantee is preserved without caveats. Trees whose
+    /// operators are no longer offered are skipped, not errors.
+    ///
+    /// The blob's metric layout, cost-model identity, and induced
+    /// statistics must match this optimizer's; any mismatch yields an
+    /// error and the caller falls back to cold enumeration. Returns the
+    /// number of admitted candidate plans.
+    pub fn import_subset(&mut self, tables: TableSet, bytes: &[u8]) -> Result<usize> {
+        let q = self
+            .plan
+            .subset_id(tables)
+            .ok_or_else(|| corrupt("subset not enumerated for this query".into()))?;
+        let mut r = WireReader::new(bytes);
+        if r.take(8)? != SUBSNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        match r.u32()? {
+            SUBSNAPSHOT_VERSION => {}
+            v => return Err(SnapshotError::UnsupportedVersion(v)),
+        }
+        let dim = r.u8()? as usize;
+        let metrics = self.model.metrics();
+        if dim != metrics.dim() {
+            return Err(SnapshotError::ModelMismatch(format!(
+                "sub-frontier has {dim} metrics, model has {}",
+                metrics.dim()
+            )));
+        }
+        for i in 0..dim {
+            let name = r.str()?;
+            if name != metrics.metric(i).name() {
+                return Err(SnapshotError::ModelMismatch(format!(
+                    "metric {i} is {name:?} in the sub-frontier but {:?} in the model",
+                    metrics.metric(i).name()
+                )));
+            }
+        }
+        let identity = r.u64()?;
+        if identity != self.model.identity() {
+            return Err(SnapshotError::ModelMismatch(format!(
+                "sub-frontier was refined under cost-model identity {identity:#018x}, \
+                 this optimizer runs {:#018x}",
+                self.model.identity()
+            )));
+        }
+        let (stats, edges) = induced_stats(&self.spec, tables);
+        let k = r.u8()? as usize;
+        if k != stats.len() {
+            return Err(corrupt(format!(
+                "sub-frontier covers {k} tables, subset has {}",
+                stats.len()
+            )));
+        }
+        for (i, &(card, width, filter)) in stats.iter().enumerate() {
+            let (bc, bw, bf) = (r.u64()?, r.u32()?, r.u64()?);
+            if bc != card || bw != width || bf != filter.to_bits() {
+                return Err(corrupt(format!(
+                    "sub-frontier table {i} statistics differ from the live catalog"
+                )));
+            }
+        }
+        let n_edges = r.count("induced edge")?;
+        if n_edges != edges.len() {
+            return Err(corrupt(format!(
+                "sub-frontier has {n_edges} induced edges, subset has {}",
+                edges.len()
+            )));
+        }
+        for (i, &(l, rt, sel)) in edges.iter().enumerate() {
+            let (bl, br, bs) = (r.u8()?, r.u8()?, r.u64()?);
+            if bl != l || br != rt || bs != sel {
+                return Err(corrupt(format!(
+                    "sub-frontier edge {i} differs from the live join graph"
+                )));
+            }
+        }
+
+        let positions: Vec<usize> = tables.iter().collect();
+        let n_trees = r.count("sub-frontier tree")?;
+        let mut admitted = 0usize;
+        for _ in 0..n_trees {
+            if let Some((plan, cost)) = self.replay_tree(&mut r, &positions)? {
+                if self.arena.tables(plan) != tables {
+                    return Err(corrupt(
+                        "sub-frontier tree does not cover its subset".into(),
+                    ));
+                }
+                self.insert_candidate(q, plan, cost, 0);
+                self.stats.transplanted_candidates += 1;
+                admitted += 1;
+            }
+        }
+        if !r.done() {
+            return Err(corrupt("trailing bytes after sub-frontier".into()));
+        }
+        if admitted > 0 {
+            self.stats.subsets_seeded += 1;
+        }
+        Ok(admitted)
+    }
+
+    /// Decodes one pre-order tree and replays it bottom-up against the
+    /// live cost model, returning the admitted root and its fresh cost,
+    /// or `None` when some operator is no longer offered (the rest of the
+    /// tree is still consumed so decoding stays aligned).
+    fn replay_tree(
+        &mut self,
+        r: &mut WireReader<'_>,
+        positions: &[usize],
+    ) -> Result<Option<(PlanId, CostVector)>> {
+        match r.u8()? {
+            0 => {
+                let lp = r.u8()? as usize;
+                if lp >= positions.len() {
+                    return Err(corrupt(format!("local scan position {lp} out of range")));
+                }
+                let method = match r.u8()? {
+                    0 => ScanMethod::Full,
+                    1 => {
+                        let rate_pm = r.u16()?;
+                        if !(1..1000).contains(&rate_pm) {
+                            return Err(corrupt(format!("sampling rate {rate_pm}‰ out of range")));
+                        }
+                        ScanMethod::Sampled { rate_pm }
+                    }
+                    t => return Err(corrupt(format!("unknown scan method {t}"))),
+                };
+                let pos = positions[lp];
+                let want = Operator::Scan {
+                    position: pos as u16,
+                    method,
+                };
+                for (op, cost, props) in self.model.scan_alternatives(&self.spec, pos) {
+                    if op == want {
+                        let id = self.arena.push_scan(op, pos, cost, props);
+                        return Ok(Some((id, cost)));
+                    }
+                }
+                Ok(None)
+            }
+            1 => {
+                let algo = match r.u8()? {
+                    0 => JoinAlgo::Hash,
+                    1 => JoinAlgo::SortMerge,
+                    2 => JoinAlgo::NestedLoop,
+                    t => return Err(corrupt(format!("unknown join algorithm {t}"))),
+                };
+                let dop = r.u16()?;
+                if dop == 0 {
+                    return Err(corrupt("join degree of parallelism 0".into()));
+                }
+                let left = self.replay_tree(r, positions)?;
+                let right = self.replay_tree(r, positions)?;
+                let (Some((l, _)), Some((rt, _))) = (left, right) else {
+                    return Ok(None);
+                };
+                let want = Operator::Join { algo, dop };
+                let input = |n: &PlanNode| PlanInput {
+                    tables: n.tables,
+                    cost: n.cost,
+                    props: n.props,
+                };
+                let (li, ri) = (input(self.arena.node(l)), input(self.arena.node(rt)));
+                if !li.tables.is_disjoint(ri.tables) {
+                    return Err(corrupt("sub-frontier join children overlap".into()));
+                }
+                for (op, cost, props) in self.model.join_alternatives(&self.spec, &li, &ri) {
+                    if op == want {
+                        let id = self.arena.push_join(op, l, rt, cost, props);
+                        return Ok(Some((id, cost)));
+                    }
+                }
+                Ok(None)
+            }
+            t => Err(corrupt(format!("unknown operator tag {t}"))),
+        }
+    }
+
+    /// Rebase: seeds this **fresh** optimizer with every result/candidate
+    /// plan of `donor`, a parked optimizer for the *same query shape*
+    /// whose catalog statistics have since drifted. The donor is read
+    /// only — it stays parked and can serve an exact-fingerprint repeat.
+    ///
+    /// Every donor plan tree is copied arena-to-arena with the identity
+    /// table mapping and re-costed under this optimizer's model and live
+    /// statistics, then admitted as a level-0 `Cand` entry of its subset.
+    /// By Lemma 7 each re-admitted candidate is re-examined at most
+    /// `rM + 1` times, which is cheaper than regenerating it through the
+    /// full enumeration — while pruning under the fresh costs keeps the
+    /// `alpha_T` guarantee exact.
+    ///
+    /// Requires a cold `self` (no invocations run), a donor with an
+    /// identical join-graph shape and cross-product policy, and an
+    /// identical cost-model identity/metric layout. Returns the number of
+    /// admitted candidate plans.
+    pub fn rebase_from(&mut self, donor: &IamaOptimizer) -> Result<usize> {
+        if self.invocation != 0 || self.scans_done || !self.arena.is_empty() {
+            return Err(corrupt("rebase target must be a cold optimizer".into()));
+        }
+        let metrics = self.model.metrics();
+        let donor_metrics = donor.model.metrics();
+        if metrics.dim() != donor_metrics.dim()
+            || (0..metrics.dim())
+                .any(|i| metrics.metric(i).name() != donor_metrics.metric(i).name())
+        {
+            return Err(SnapshotError::ModelMismatch(
+                "rebase donor has a different metric layout".into(),
+            ));
+        }
+        if self.model.identity() != donor.model.identity() {
+            return Err(SnapshotError::ModelMismatch(format!(
+                "rebase donor has cost-model identity {:#018x}, this optimizer {:#018x}",
+                donor.model.identity(),
+                self.model.identity()
+            )));
+        }
+        if !self
+            .plan
+            .matches(&donor.spec.graph, donor.config.allow_cross_products)
+        {
+            return Err(corrupt(
+                "rebase donor has a different join-graph shape".into(),
+            ));
+        }
+
+        let unbounded = Bounds::unbounded(donor.model.dim());
+        // One memo across all subsets: roots share subtrees, and the
+        // donor arena is append-only, so each donor plan is replayed at
+        // most once into `self`.
+        let mut memo: Vec<Option<Option<PlanId>>> = vec![None; donor.arena.len()];
+        let mut admitted = 0usize;
+        for ix in 0..donor.states.len() {
+            let q = moqo_query::SubsetId::from_index(ix);
+            let state = &donor.states[ix];
+            let mut roots: Vec<PlanId> = Vec::new();
+            for idx in [&state.res, &state.cand].into_iter().flatten() {
+                roots.extend(idx.collect(&unbounded, u8::MAX).iter().map(|e| e.item));
+            }
+            roots.sort_unstable();
+            roots.dedup();
+            let mut seeded = false;
+            for root in roots {
+                if let Some(plan) = self.replay_donor(donor, root, &mut memo) {
+                    let cost = *self.arena.cost(plan);
+                    self.insert_candidate(q, plan, cost, 0);
+                    self.stats.rebased_candidates += 1;
+                    admitted += 1;
+                    seeded = true;
+                }
+            }
+            if seeded {
+                self.stats.subsets_seeded += 1;
+            }
+        }
+        Ok(admitted)
+    }
+
+    /// Replays donor plan `id` into this optimizer's arena, re-costing
+    /// every node under the live model. Memoized per donor plan id so
+    /// shared subtrees are copied once.
+    fn replay_donor(
+        &mut self,
+        donor: &IamaOptimizer,
+        id: PlanId,
+        memo: &mut [Option<Option<PlanId>>],
+    ) -> Option<PlanId> {
+        if let Some(done) = memo[id.0 as usize] {
+            return done;
+        }
+        let node = donor.arena.node(id);
+        let replayed = match (node.op, node.children) {
+            (op @ Operator::Scan { position, .. }, None) => {
+                let pos = position as usize;
+                self.model
+                    .scan_alternatives(&self.spec, pos)
+                    .into_iter()
+                    .find(|&(alt, _, _)| alt == op)
+                    .map(|(alt, cost, props)| self.arena.push_scan(alt, pos, cost, props))
+            }
+            (op @ Operator::Join { .. }, Some((dl, dr))) => {
+                let l = self.replay_donor(donor, dl, memo);
+                let r = self.replay_donor(donor, dr, memo);
+                match (l, r) {
+                    (Some(l), Some(r)) => {
+                        let input = |n: &PlanNode| PlanInput {
+                            tables: n.tables,
+                            cost: n.cost,
+                            props: n.props,
+                        };
+                        let (li, ri) = (input(self.arena.node(l)), input(self.arena.node(r)));
+                        self.model
+                            .join_alternatives(&self.spec, &li, &ri)
+                            .into_iter()
+                            .find(|&(alt, _, _)| alt == op)
+                            .map(|(alt, cost, props)| self.arena.push_join(alt, l, r, cost, props))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        memo[id.0 as usize] = Some(replayed);
+        replayed
+    }
+}
+
 // Re-assert at compile time that the arena node shape the codec assumes
 // still holds; a new `PlanNode` field would silently be dropped otherwise.
 const _: fn(&PlanNode) = |n: &PlanNode| {
@@ -890,5 +1349,190 @@ mod tests {
         let a = warm_optimizer(3).export_frontier();
         let b = warm_optimizer(3).export_frontier();
         assert_eq!(a, b, "equal optimizer state must serialize identically");
+    }
+
+    #[test]
+    fn sub_export_is_deterministic_for_equal_state() {
+        // Satellite requirement: equal per-subset state ⇒ equal bytes.
+        // The blob is the value of a content-addressed cache, so the
+        // encoding must be canonical — trees sorted, edges sorted, no
+        // iteration-order leakage from the indexes.
+        let a = warm_optimizer(4);
+        let b = warm_optimizer(4);
+        for tables in TableSet::full(4).subsets() {
+            if tables.len() < 2 {
+                continue;
+            }
+            assert_eq!(
+                a.export_subset(tables),
+                b.export_subset(tables),
+                "subset {:?} serialized differently for equal state",
+                tables.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn sub_round_trip_transplants_into_a_larger_query() {
+        // chain(4) is the 4-table prefix of chain(5) (same alternating
+        // cardinalities, same edge selectivities), so every sub-frontier
+        // harvested from a warm chain(4) seeds the {0..3} subsets of a
+        // cold chain(5).
+        let donor = warm_optimizer(4);
+        let spec5 = Arc::new(testkit::chain_query(5, 150_000));
+        let mut cold = IamaOptimizer::new(spec5.clone(), model(), schedule());
+        let mut seeded = IamaOptimizer::new(spec5, model(), schedule());
+        let mut imported = 0usize;
+        for tables in TableSet::full(4).subsets() {
+            if tables.len() < 2 {
+                continue;
+            }
+            // Disconnected subsets (e.g. {0, 2} in a chain) are not
+            // enumerated and export nothing.
+            if let Some(blob) = donor.export_subset(tables) {
+                imported += seeded.import_subset(tables, &blob).unwrap();
+            }
+        }
+        assert!(imported > 0, "no candidates transplanted");
+        assert_eq!(seeded.stats().transplanted_candidates, imported as u64);
+        assert!(seeded.stats().subsets_seeded > 0);
+
+        let b = Bounds::unbounded(3);
+        for r in 0..=schedule().r_max() {
+            cold.optimize(&b, r);
+            seeded.optimize(&b, r);
+        }
+        // Transplanted state must not change what the optimizer serves:
+        // both frontiers cover each other within the Theorem 2 factor
+        // (they are frontiers of the same query under the same ladder).
+        use moqo_cost::coverage_factor;
+        let guarantee = schedule().guarantee(schedule().r_max(), 5);
+        let fc = cold.frontier(&b, schedule().r_max()).costs();
+        let fs = seeded.frontier(&b, schedule().r_max()).costs();
+        assert!(!fs.is_empty());
+        assert!(coverage_factor(&fs, &fc) <= guarantee + 1e-9);
+        assert!(coverage_factor(&fc, &fs) <= guarantee + 1e-9);
+        // And it must pay: the seeded run generates fewer plans (the
+        // transplanted Pareto plans win the door competition early, so
+        // dominated combinations die before fanning out).
+        let (gc, gs) = (cold.stats().plans_generated, seeded.stats().plans_generated);
+        assert!(
+            gs < gc,
+            "transplant must reduce generation: cold={gc} seeded={gs}"
+        );
+    }
+
+    #[test]
+    fn sub_import_rejects_drifted_stats_and_foreign_models() {
+        let donor = warm_optimizer(4);
+        let tables = TableSet::from_positions(0..4);
+        let blob = donor.export_subset(tables).expect("warm subset exports");
+        // Same shape, drifted cardinalities: the stats backstop refuses
+        // (this near miss is the rebase path's job, not the transplant's).
+        let drifted = Arc::new(testkit::chain_query(5, 170_000));
+        let mut opt = IamaOptimizer::new(drifted, model(), schedule());
+        assert!(matches!(
+            opt.import_subset(tables, &blob),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Same spec, different model identity: refused before any decode.
+        use moqo_costmodel::{MetricSet, StandardCostModel, StandardCostModelConfig};
+        let tweaked: SharedCostModel = Arc::new(StandardCostModel::new(
+            MetricSet::paper(),
+            StandardCostModelConfig {
+                dops: vec![1, 2],
+                ..StandardCostModelConfig::default()
+            },
+        ));
+        let spec = Arc::new(testkit::chain_query(5, 150_000));
+        let mut opt = IamaOptimizer::new(spec, tweaked, schedule());
+        assert!(matches!(
+            opt.import_subset(tables, &blob),
+            Err(SnapshotError::ModelMismatch(_))
+        ));
+        // Byte corruption anywhere must never panic the decoder.
+        let spec = Arc::new(testkit::chain_query(5, 150_000));
+        let mut opt = IamaOptimizer::new(spec, model(), schedule());
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x5a;
+            let _ = opt.import_subset(tables, &bad);
+        }
+    }
+
+    #[test]
+    fn rebase_replays_a_drifted_donor_and_still_converges() {
+        // The donor refined under last hour's statistics; the recipient
+        // sees the same query shape with drifted cardinalities. Rebase
+        // re-admits the donor's plans as level-0 candidates re-costed
+        // under the *new* stats, and the ladder converges to the same
+        // frontier a cold run finds — with less generation.
+        let donor = warm_optimizer(4);
+        let drifted = Arc::new(testkit::chain_query(4, 165_000));
+        let mut cold = IamaOptimizer::new(drifted.clone(), model(), schedule());
+        let mut rebased = IamaOptimizer::new(drifted, model(), schedule());
+        let admitted = rebased.rebase_from(&donor).unwrap();
+        assert!(admitted > 0, "nothing rebased");
+        assert_eq!(rebased.stats().rebased_candidates, admitted as u64);
+
+        let b = Bounds::unbounded(3);
+        for r in 0..=schedule().r_max() {
+            cold.optimize(&b, r);
+            rebased.optimize(&b, r);
+        }
+        use moqo_cost::coverage_factor;
+        let guarantee = schedule().guarantee(schedule().r_max(), 4);
+        let fc = cold.frontier(&b, schedule().r_max()).costs();
+        let fr = rebased.frontier(&b, schedule().r_max()).costs();
+        assert!(!fr.is_empty());
+        assert!(coverage_factor(&fr, &fc) <= guarantee + 1e-9);
+        assert!(coverage_factor(&fc, &fr) <= guarantee + 1e-9);
+        let (gc, gr) = (
+            cold.stats().plans_generated,
+            rebased.stats().plans_generated,
+        );
+        assert!(
+            gr < gc,
+            "rebase must reduce generation: cold={gc} rebased={gr}"
+        );
+    }
+
+    #[test]
+    fn rebase_refuses_mismatched_shapes_and_warm_targets() {
+        let donor = warm_optimizer(4);
+        // Different shape: refused.
+        let mut other = IamaOptimizer::new(
+            Arc::new(testkit::star_query(3, 150_000)),
+            model(),
+            schedule(),
+        );
+        assert!(matches!(
+            other.rebase_from(&donor),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // A warm target would mix two refinement histories: refused.
+        let mut warm = warm_optimizer(4);
+        assert!(matches!(
+            warm.rebase_from(&donor),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Different model identity: refused.
+        use moqo_costmodel::{MetricSet, StandardCostModel, StandardCostModelConfig};
+        let tweaked: SharedCostModel = Arc::new(StandardCostModel::new(
+            MetricSet::paper(),
+            StandardCostModelConfig {
+                dops: vec![1, 2],
+                ..StandardCostModelConfig::default()
+            },
+        ));
+        let mut foreign = IamaOptimizer::new(
+            Arc::new(testkit::chain_query(4, 165_000)),
+            tweaked,
+            schedule(),
+        );
+        assert!(matches!(
+            foreign.rebase_from(&donor),
+            Err(SnapshotError::ModelMismatch(_))
+        ));
     }
 }

@@ -18,7 +18,7 @@
 //! The earlier implementation kept a `VecDeque` order list and paid an
 //! `O(n)` `retain` on *every* hit and every overwrite.
 
-use crate::fingerprint::QueryFingerprint;
+use crate::fingerprint::{QueryFingerprint, RebaseKey};
 use moqo_core::IamaOptimizer;
 use moqo_index::FxHashMap;
 
@@ -33,6 +33,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Optimizers currently parked.
     pub entries: usize,
+    /// Cardinality-blind donor lookups that found a parked optimizer of
+    /// the same shape under drifted statistics (see
+    /// [`FrontierCache::rebase_donor`]).
+    pub rebase_hits: u64,
+    /// Cardinality-blind donor lookups that found nothing.
+    pub rebase_misses: u64,
 }
 
 /// A parked optimizer plus the tick of its last use.
@@ -42,6 +48,9 @@ struct Parked {
     /// Strictly increasing across `put`s, so the minimum identifies the
     /// least-recently-parked entry without any ordering side structure.
     tick: u64,
+    /// The entry's cardinality-blind key, kept so removals can maintain
+    /// the secondary index without recomputing the hash.
+    rebase: RebaseKey,
 }
 
 /// LRU cache of parked optimizers keyed by [`QueryFingerprint`].
@@ -53,11 +62,17 @@ struct Parked {
 pub struct FrontierCache {
     capacity: usize,
     map: FxHashMap<QueryFingerprint, Parked>,
+    /// Secondary index for stats-drift near misses: cardinality-blind key
+    /// → fingerprints of the parked optimizers sharing it. Maintained on
+    /// every `put`/`take`/eviction, consulted only on a cold miss.
+    blind: FxHashMap<RebaseKey, Vec<QueryFingerprint>>,
     /// Monotone recency clock; bumped on every `put`.
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    rebase_hits: u64,
+    rebase_misses: u64,
 }
 
 impl FrontierCache {
@@ -73,12 +88,23 @@ impl FrontierCache {
     pub fn take(&mut self, fp: QueryFingerprint) -> Option<IamaOptimizer> {
         match self.map.remove(&fp) {
             Some(parked) => {
+                self.unindex(parked.rebase, fp);
                 self.hits += 1;
                 Some(parked.optimizer)
             }
             None => {
                 self.misses += 1;
                 None
+            }
+        }
+    }
+
+    /// Drops `fp` from the blind index's posting list for `key`.
+    fn unindex(&mut self, key: RebaseKey, fp: QueryFingerprint) {
+        if let Some(list) = self.blind.get_mut(&key) {
+            list.retain(|&f| f != fp);
+            if list.is_empty() {
+                self.blind.remove(&key);
             }
         }
     }
@@ -95,9 +121,23 @@ impl FrontierCache {
     pub fn put(&mut self, fp: QueryFingerprint, optimizer: IamaOptimizer) {
         self.tick += 1;
         let tick = self.tick;
-        if self.map.insert(fp, Parked { optimizer, tick }).is_none()
-            && self.map.len() > self.capacity
-        {
+        let rebase = RebaseKey::of(optimizer.spec(), &optimizer.model());
+        let slot = self.blind.entry(rebase).or_default();
+        if !slot.contains(&fp) {
+            slot.push(fp);
+        }
+        let inserted = self
+            .map
+            .insert(
+                fp,
+                Parked {
+                    optimizer,
+                    tick,
+                    rebase,
+                },
+            )
+            .is_none();
+        if inserted && self.map.len() > self.capacity {
             // One eviction restores the invariant (inserts grow the map
             // by at most one); scanning for the minimum tick is O(n) but
             // only runs when an optimizer is dropped anyway.
@@ -107,10 +147,43 @@ impl FrontierCache {
                 .min_by_key(|(_, p)| p.tick)
                 .map(|(fp, _)| *fp)
             {
-                self.map.remove(&cold);
+                if let Some(parked) = self.map.remove(&cold) {
+                    self.unindex(parked.rebase, cold);
+                }
                 self.evictions += 1;
             }
         }
+    }
+
+    /// Finds the most recently parked optimizer whose cardinality-blind
+    /// key equals `key` — a **rebase donor**: same join-graph shape, row
+    /// widths, filters, selectivities, metrics, and cost-model identity,
+    /// different table cardinalities. The donor is returned by shared
+    /// reference and stays parked (it can still serve an exact repeat of
+    /// *its* statistics); the caller replays its plans into a cold
+    /// optimizer via `IamaOptimizer::rebase_from`.
+    pub fn rebase_donor(&mut self, key: RebaseKey) -> Option<&IamaOptimizer> {
+        let best = self.blind.get(&key).and_then(|list| {
+            list.iter()
+                .max_by_key(|fp| self.map.get(fp).map(|p| p.tick).unwrap_or(0))
+                .copied()
+        });
+        match best.and_then(|fp| self.map.get(&fp)) {
+            Some(parked) => {
+                self.rebase_hits += 1;
+                Some(&parked.optimizer)
+            }
+            None => {
+                self.rebase_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True if a rebase donor is parked for `key`. Does not count as a
+    /// lookup (router probe, like [`FrontierCache::contains`]).
+    pub fn has_rebase_donor(&self, key: RebaseKey) -> bool {
+        self.blind.get(&key).is_some_and(|l| !l.is_empty())
     }
 
     /// Visits every parked optimizer (persistence export). Order is
@@ -139,6 +212,8 @@ impl FrontierCache {
             misses: self.misses,
             evictions: self.evictions,
             entries: self.map.len(),
+            rebase_hits: self.rebase_hits,
+            rebase_misses: self.rebase_misses,
         }
     }
 }
@@ -245,5 +320,42 @@ mod tests {
             cache.put(fp, opt);
         }
         assert!(cache.contains(hot), "most recent entry evicted too early");
+    }
+
+    #[test]
+    fn rebase_donor_finds_drifted_twins_and_tracks_eviction() {
+        let model = Arc::new(StandardCostModel::paper_metrics());
+        let mut cache = FrontierCache::new(4);
+        let (fp, opt) = opt_for(3);
+        let key = RebaseKey::of(opt.spec(), &*model);
+        assert!(!cache.has_rebase_donor(key));
+        assert!(cache.rebase_donor(key).is_none());
+        cache.put(fp, opt);
+        // A drifted-cardinality twin shares the blind key...
+        let drifted = testkit::drift_cardinalities(&testkit::chain_query(3, 10_000), 5.5);
+        let dkey = RebaseKey::of(&drifted, &*model);
+        assert_eq!(key, dkey);
+        assert!(cache.has_rebase_donor(dkey));
+        let donor = cache.rebase_donor(dkey).expect("donor parked");
+        // ...and the donor keeps its own statistics (it is a different
+        // fingerprint, returned by reference, still parked).
+        assert_eq!(
+            donor
+                .spec()
+                .catalog
+                .table(donor.spec().graph.tables[0])
+                .cardinality,
+            10_000
+        );
+        assert!(cache.contains(fp), "donor lookup must not unpark");
+        // A different shape has no donor.
+        let other = testkit::chain_query(4, 10_000);
+        assert!(!cache.has_rebase_donor(RebaseKey::of(&other, &*model)));
+        // take() unindexes: once the entry leaves, the donor is gone too.
+        assert!(cache.take(fp).is_some());
+        assert!(!cache.has_rebase_donor(key));
+        assert!(cache.rebase_donor(key).is_none());
+        let s = cache.stats();
+        assert_eq!((s.rebase_hits, s.rebase_misses), (1, 2));
     }
 }

@@ -19,7 +19,7 @@
 //! one cache entry.
 
 use moqo_costmodel::CostModel;
-use moqo_query::QuerySpec;
+use moqo_query::{QuerySpec, ShapeKey, TableSet};
 
 /// A 64-bit canonical fingerprint of (query shape, catalog stats, cost
 /// model).
@@ -68,6 +68,112 @@ impl QueryFingerprint {
     }
 
     /// The raw 64-bit value (diagnostics, logging, sharding).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// A cardinality-blind variant of [`QueryFingerprint`]: everything the
+/// full fingerprint hashes *except* the per-table cardinalities.
+///
+/// Two specs share a `RebaseKey` exactly when they differ only in catalog
+/// cardinalities — the hourly-stats-refresh near miss. A parked frontier
+/// whose `RebaseKey` matches a cold submission is a **rebase donor**: its
+/// plans can be re-admitted as level-0 candidates under the new stats
+/// (re-costed at the door), which by Lemma 7 is cheaper than regenerating
+/// them from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RebaseKey(u64);
+
+impl RebaseKey {
+    /// Computes the cardinality-blind key of a spec under a cost model.
+    pub fn of<M: CostModel + ?Sized>(spec: &QuerySpec, model: &M) -> Self {
+        let metrics = model.metrics();
+        let mut h = moqo_cost::Fnv64::new();
+        let g = &spec.graph;
+        h.u64(g.n_tables() as u64);
+        for pos in 0..g.n_tables() {
+            let table = spec.catalog.table(g.tables[pos]);
+            // Cardinality deliberately excluded: that is the drift the
+            // rebase absorbs. Row widths and filters still discriminate.
+            h.u64(table.row_width as u64);
+            h.u64(g.filters[pos].to_bits());
+        }
+        let mut edges: Vec<(usize, usize, u64)> = g
+            .edges
+            .iter()
+            .map(|e| (e.left, e.right, e.selectivity.to_bits()))
+            .collect();
+        edges.sort_unstable();
+        for (l, r, sel) in edges {
+            h.u64(l as u64);
+            h.u64(r as u64);
+            h.u64(sel);
+        }
+        for i in 0..metrics.dim() {
+            h.str(metrics.metric(i).name());
+        }
+        h.u64(model.identity());
+        Self(h.finish())
+    }
+
+    /// The raw 64-bit value (diagnostics, logging).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Canonical fingerprint of one connected table subset's warm state: the
+/// induced sub-shape (via [`ShapeKey::of_subset`], position independent),
+/// the induced catalog statistics and join selectivities in local index
+/// order, the metric layout, and the cost-model identity.
+///
+/// Two *different* queries whose induced subgraphs agree on all of the
+/// above hash equal here, so a sub-frontier exported from one can seed
+/// the other — the key of [`crate::SubFrontierCache`]. The exported blob
+/// itself re-validates the statistics on import, so a hash collision can
+/// never transplant wrong state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubsetFingerprint(u64);
+
+impl SubsetFingerprint {
+    /// Fingerprints the subset `tables` of a spec under a cost model.
+    pub fn of<M: CostModel + ?Sized>(spec: &QuerySpec, tables: TableSet, model: &M) -> Self {
+        let metrics = model.metrics();
+        let g = &spec.graph;
+        let mut h = moqo_cost::Fnv64::new();
+        // Sub-shape, relabeled to local indices (the cross-product policy
+        // is plan-sharing vocabulary, not state identity: fix it to the
+        // default so both policies share sub-frontiers).
+        h.u64(ShapeKey::of_subset(g, tables, false).as_u64());
+        let mut local = vec![u8::MAX; g.n_tables()];
+        for (k, pos) in tables.iter().enumerate() {
+            local[pos] = k as u8;
+            let table = spec.catalog.table(g.tables[pos]);
+            h.u64(table.cardinality);
+            h.u64(table.row_width as u64);
+            h.u64(g.filters[pos].to_bits());
+        }
+        let mut edges: Vec<(u8, u8, u64)> = g
+            .edges
+            .iter()
+            .filter(|e| tables.contains(e.left) && tables.contains(e.right))
+            .map(|e| (local[e.left], local[e.right], e.selectivity.to_bits()))
+            .collect();
+        edges.sort_unstable();
+        for (l, r, sel) in edges {
+            h.u64(l as u64);
+            h.u64(r as u64);
+            h.u64(sel);
+        }
+        for i in 0..metrics.dim() {
+            h.str(metrics.metric(i).name());
+        }
+        h.u64(model.identity());
+        Self(h.finish())
+    }
+
+    /// The raw 64-bit value (diagnostics, logging).
     pub fn as_u64(self) -> u64 {
         self.0
     }
@@ -128,6 +234,67 @@ mod tests {
         assert_ne!(
             base,
             QueryFingerprint::of(&testkit::chain_query(3, 100_000), &tweaked)
+        );
+    }
+
+    #[test]
+    fn subset_fingerprints_cross_query_boundaries() {
+        // testkit chains share their prefix: the first 3 tables and 2
+        // edges of chain(5) are identical to chain(3). A subset
+        // fingerprint is position-relabeled and induced-stat keyed, so
+        // the {0, 1, 2} subset of the larger query hashes equal to the
+        // full set of the smaller one — the hit that lets a sub-frontier
+        // harvested from one query seed the other.
+        let m = model();
+        let small = testkit::chain_query(3, 100_000);
+        let large = testkit::chain_query(5, 100_000);
+        let prefix = TableSet::from_positions(0..3);
+        assert_eq!(
+            SubsetFingerprint::of(&small, small.all_tables(), &m),
+            SubsetFingerprint::of(&large, prefix, &m),
+        );
+        // Drifted cardinalities miss (that near-miss is RebaseKey's job).
+        let drifted = testkit::chain_query(5, 120_000);
+        assert_ne!(
+            SubsetFingerprint::of(&large, prefix, &m),
+            SubsetFingerprint::of(&drifted, prefix, &m),
+        );
+        // Different induced shape misses.
+        assert_ne!(
+            SubsetFingerprint::of(&large, prefix, &m),
+            SubsetFingerprint::of(&large, TableSet::from_positions(0..4), &m),
+        );
+    }
+
+    #[test]
+    fn rebase_key_is_blind_to_cardinality_and_nothing_else() {
+        let m = model();
+        let spec = testkit::chain_query(3, 100_000);
+        let base = RebaseKey::of(&spec, &m);
+        // The hourly stats refresh: same shape, new cardinalities. (The
+        // exact fingerprint diverges on the same pair, of course.)
+        let drifted = testkit::drift_cardinalities(&spec, 2.5);
+        assert_eq!(base, RebaseKey::of(&drifted, &m));
+        assert_ne!(
+            QueryFingerprint::of(&spec, &m),
+            QueryFingerprint::of(&drifted, &m)
+        );
+        // Changed selectivities (chain_query derives them from the base
+        // cardinality) or shapes still discriminate.
+        assert_ne!(base, RebaseKey::of(&testkit::chain_query(3, 250_000), &m));
+        assert_ne!(base, RebaseKey::of(&testkit::star_query(3, 100_000), &m));
+        assert_ne!(base, RebaseKey::of(&testkit::chain_query(4, 100_000), &m));
+        // So does the model identity.
+        let tweaked = StandardCostModel::new(
+            MetricSet::paper(),
+            StandardCostModelConfig {
+                dops: vec![1, 2],
+                ..StandardCostModelConfig::default()
+            },
+        );
+        assert_ne!(
+            base,
+            RebaseKey::of(&testkit::chain_query(3, 100_000), &tweaked)
         );
     }
 }

@@ -28,6 +28,15 @@
 //!   queries (same join-graph shape, any statistics, any model) walk one
 //!   precomputed enumeration plane — the first step of cross-session
 //!   sharing beyond exact repeats.
+//! * [`SubFrontierCache`] — per-subset warm state keyed by
+//!   [`SubsetFingerprint`]: parking sessions harvest each connected table
+//!   subset's `Res`/`Cand` plans as position-independent blobs, and a
+//!   *similar* (not identical) query seeds every subset whose induced
+//!   subgraph and statistics match — its plans re-enter as level-0
+//!   candidates, re-costed at the door, preserving `alpha_T` exactly.
+//!   A parked frontier whose [`RebaseKey`] matches a cold submission
+//!   (same shape, drifted cardinalities) is instead **rebased** wholesale
+//!   via `IamaOptimizer::rebase_from`.
 //!
 //! Serving layers build on three hooks: [`SessionManager::watch`]
 //! (per-session [`SessionEvent`] push channels carrying delta-streamed
@@ -64,12 +73,14 @@ pub mod fingerprint;
 pub mod manager;
 pub mod plans;
 pub mod registry;
+pub mod subfrontier;
 
 pub use cache::{CacheStats, FrontierCache};
-pub use fingerprint::QueryFingerprint;
+pub use fingerprint::{QueryFingerprint, RebaseKey, SubsetFingerprint};
 pub use manager::{EngineConfig, SessionId, SessionManager, SessionStatus};
 pub use plans::{PlanCache, PlanCacheStats};
 pub use registry::ModelRegistry;
+pub use subfrontier::{SubFrontierCache, SubFrontierCacheStats};
 
 // Re-exported so engine users can name the shared-plan vocabulary without
 // a direct moqo-query dependency.

@@ -30,8 +30,9 @@
 //! [`Preference`]: moqo_core::Preference
 
 use crate::cache::{CacheStats, FrontierCache};
-use crate::fingerprint::QueryFingerprint;
+use crate::fingerprint::{QueryFingerprint, RebaseKey, SubsetFingerprint};
 use crate::plans::{PlanCache, PlanCacheStats};
+use crate::subfrontier::{SubFrontierCache, SubFrontierCacheStats};
 use moqo_core::protocol::{
     FrontierDelta, ProtocolError, SessionCommand, SessionEvent, SessionOutcome, SessionRequest,
 };
@@ -69,6 +70,10 @@ pub struct EngineConfig {
     /// after their optimizer moved to the cache; the oldest beyond this
     /// many are dropped so a long-lived manager's memory stays bounded.
     pub retired_capacity: usize,
+    /// Harvested per-subset sub-frontier blobs kept for transplanting
+    /// into similar (not identical) queries; see
+    /// [`crate::SubFrontierCache`].
+    pub subfrontier_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +87,7 @@ impl Default for EngineConfig {
             ticks_per_slice: 1,
             slice_budget: Duration::from_millis(100),
             retired_capacity: 256,
+            subfrontier_capacity: 1024,
         }
     }
 }
@@ -108,6 +114,14 @@ pub struct SessionStatus {
     /// True if the session runs under a per-session cost model instead of
     /// the manager-wide one.
     pub model_override: bool,
+    /// True if the session started cold on its exact fingerprint but was
+    /// seeded by **rebasing** a parked frontier of the same shape under
+    /// drifted catalog cardinalities (plans re-admitted as re-costed
+    /// level-0 candidates; see `IamaOptimizer::rebase_from`).
+    pub rebased: bool,
+    /// Number of table subsets seeded from transplanted sub-frontier
+    /// blobs on a cold start (0 for warm and rebased sessions).
+    pub seeded_subsets: u32,
     /// Epoch of the last published [`SessionEvent`] (watch streams resume
     /// from here).
     pub epoch: u64,
@@ -214,6 +228,11 @@ struct Shared {
     /// Signals waiters that a slice finished (idle / finish conditions).
     settled: Condvar,
     shutdown: AtomicBool,
+    /// Harvested per-subset warm state, probed on cold opens. Internally
+    /// locked (never under the state lock order issues: workers touch it
+    /// *outside* the state lock, `open`/`finish` take state → sub-frontier
+    /// in that order only).
+    subfrontiers: Arc<SubFrontierCache>,
 }
 
 /// Owns many concurrent interactive sessions and the worker pool driving
@@ -237,8 +256,22 @@ pub struct SessionManager {
 }
 
 impl SessionManager {
-    /// Starts the worker pool.
+    /// Starts the worker pool with a private sub-frontier cache.
     pub fn new(model: SharedCostModel, schedule: ResolutionSchedule, config: EngineConfig) -> Self {
+        let subfrontiers = Arc::new(SubFrontierCache::new(config.subfrontier_capacity));
+        Self::with_subfrontiers(model, schedule, config, subfrontiers)
+    }
+
+    /// Starts the worker pool sharing an existing sub-frontier cache —
+    /// the multi-shard deployment shape: sub-frontier blobs are position
+    /// and query independent, so every shard of a `ShardedEngine` harvests
+    /// into and transplants from one cache.
+    pub fn with_subfrontiers(
+        model: SharedCostModel,
+        schedule: ResolutionSchedule,
+        config: EngineConfig,
+        subfrontiers: Arc<SubFrontierCache>,
+    ) -> Self {
         let auto_ticks = if config.auto_ticks == 0 {
             schedule.levels()
         } else {
@@ -257,6 +290,7 @@ impl SessionManager {
             work: Condvar::new(),
             settled: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            subfrontiers,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -316,7 +350,7 @@ impl SessionManager {
             .plans
             .get_or_build(&spec.graph, config.allow_cross_products);
         let mut state = self.lock();
-        let (optimizer, warm, overridden) = match state.cache.take(fp) {
+        let (optimizer, warm, overridden, rebased, seeded_subsets) = match state.cache.take(fp) {
             // Warm resumes keep the parked ladder: its plan sets are
             // level-tagged under that schedule (see [`SessionRequest`]).
             // If that ladder is not the manager-wide one — e.g. the
@@ -325,18 +359,54 @@ impl SessionManager {
             // flag is set from the *effective* schedule.
             Some(opt) => {
                 let nonstandard = opt.schedule() != &self.schedule;
-                (opt, true, nonstandard)
+                (opt, true, nonstandard, false, 0)
             }
             None => {
                 let (schedule, overridden) = match request.schedule.clone() {
                     Some(s) => (s, true),
                     None => (self.schedule.clone(), false),
                 };
-                (
-                    IamaOptimizer::with_plan(spec.clone(), model, schedule, config, plan),
-                    false,
-                    overridden,
-                )
+                let mut opt =
+                    IamaOptimizer::with_plan(spec.clone(), model.clone(), schedule, config, plan);
+                // Exact fingerprint miss. Two warm near-miss tiers before
+                // cold enumeration, both re-costing every plan at the
+                // door so the `alpha_T` guarantee never weakens:
+                //
+                // 1. **Rebase** — a parked frontier of the same shape
+                //    whose fingerprint differs only in catalog
+                //    cardinalities (the hourly stats refresh). Its plans
+                //    re-enter as level-0 candidates; the donor stays
+                //    parked for exact repeats of its own statistics.
+                let mut rebased = false;
+                if let Some(donor) = state.cache.rebase_donor(RebaseKey::of(&spec, &model)) {
+                    rebased = opt.rebase_from(donor).map(|n| n > 0).unwrap_or(false);
+                }
+                // 2. **Transplant** — per-subset blobs harvested from
+                //    *different* queries sharing a join subgraph with
+                //    identical induced statistics. Skipped after a
+                //    successful rebase (which already seeds every
+                //    subset, including the full set).
+                let mut seeded = 0u32;
+                if !rebased {
+                    let enumeration = Arc::clone(opt.enumeration());
+                    for info in enumeration.subsets() {
+                        let tables = info.tables;
+                        if tables.len() < 2 {
+                            continue;
+                        }
+                        let sfp = SubsetFingerprint::of(&spec, tables, &model);
+                        if let Some(blob) = self.shared.subfrontiers.get(sfp) {
+                            // Import errors are near-miss hash collisions
+                            // or model drift: refuse the seed, run cold.
+                            if let Ok(n) = opt.import_subset(tables, &blob) {
+                                if n > 0 {
+                                    seeded += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                (opt, false, overridden, rebased, seeded)
             }
         };
         let auto_ticks = request
@@ -356,6 +426,8 @@ impl SessionManager {
             query: spec.name.clone(),
             fingerprint: fp,
             warm_start: warm,
+            rebased,
+            seeded_subsets,
             schedule_override: overridden,
             model_override,
             epoch: 0,
@@ -478,7 +550,9 @@ impl SessionManager {
         let mut slot = state.slots.remove(&id).expect("checked above");
         if let Cell::Idle(active) = std::mem::replace(&mut slot.cell, Cell::Retired) {
             let fp = slot.status.fingerprint;
-            state.cache.put(fp, active.session.into_optimizer());
+            let optimizer = active.session.into_optimizer();
+            harvest_subfrontiers(&self.shared.subfrontiers, &optimizer);
+            state.cache.put(fp, optimizer);
         }
         if slot.status.outcome.is_none() {
             slot.status.outcome = Some(SessionOutcome::Retired);
@@ -531,6 +605,7 @@ impl SessionManager {
     /// frontiers on startup so the first submission of a known query
     /// starts warm).
     pub fn park(&self, fp: QueryFingerprint, optimizer: IamaOptimizer) {
+        harvest_subfrontiers(&self.shared.subfrontiers, &optimizer);
         self.lock().cache.put(fp, optimizer);
     }
 
@@ -597,6 +672,25 @@ impl SessionManager {
         self.plans.stats()
     }
 
+    /// Effectiveness counters of the sub-frontier transplant cache.
+    pub fn subfrontier_stats(&self) -> SubFrontierCacheStats {
+        self.shared.subfrontiers.stats()
+    }
+
+    /// Shared handle to the sub-frontier cache, for constructing sibling
+    /// managers (shards) that pool their harvested sub-frontiers via
+    /// [`SessionManager::with_subfrontiers`].
+    pub fn subfrontiers(&self) -> Arc<SubFrontierCache> {
+        Arc::clone(&self.shared.subfrontiers)
+    }
+
+    /// True if the warm-frontier cache holds a rebase donor — a parked
+    /// optimizer of the same shape under drifted cardinalities — for
+    /// `key`. Does not count as a lookup (router warmth probe).
+    pub fn has_rebase_donor(&self, key: RebaseKey) -> bool {
+        self.lock().cache.has_rebase_donor(key)
+    }
+
     /// Blocks until no session has runnable work and no worker holds one.
     /// Returns `false` on timeout.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
@@ -655,6 +749,24 @@ fn terminal_event(status: &SessionStatus) -> SessionEvent {
         report: None,
         first_report: None,
         outcome: status.outcome,
+    }
+}
+
+/// Harvests every multi-table subset of a parking optimizer's state into
+/// the sub-frontier cache, keyed by [`SubsetFingerprint`]. Singleton
+/// subsets are skipped: re-enumerating scans is cheaper than a cache
+/// round trip. Empty subsets export `None` and are skipped too.
+fn harvest_subfrontiers(cache: &SubFrontierCache, optimizer: &IamaOptimizer) {
+    let spec = optimizer.spec();
+    let model = optimizer.model();
+    for info in optimizer.enumeration().subsets() {
+        let tables = info.tables;
+        if tables.len() < 2 {
+            continue;
+        }
+        if let Some(blob) = optimizer.export_subset(tables) {
+            cache.insert(SubsetFingerprint::of(spec, tables, &*model), blob);
+        }
     }
 }
 
@@ -756,6 +868,13 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
             if ticks >= cfg.ticks_per_slice.max(1) || slice_start.elapsed() >= cfg.slice_budget {
                 break;
             }
+        }
+
+        // A session that just ended is about to park; harvest its
+        // per-subset frontiers while the worker still owns it exclusively,
+        // outside the state lock (blob encoding is real work).
+        if outcome.is_some() {
+            harvest_subfrontiers(&shared.subfrontiers, active.session.optimizer());
         }
 
         // --- Check the session back in. ---

@@ -473,3 +473,106 @@ fn per_session_cost_models_share_nothing_across_models() {
     assert_eq!(stats.hits, 2);
     assert_eq!(stats.entries, 0, "both hits transferred ownership out");
 }
+
+#[test]
+fn similar_queries_transplant_sub_frontiers() {
+    // chain(5) and chain(7) share their even-offset contiguous subchains
+    // (testkit chains alternate cardinalities by position parity), so a
+    // finished chain(5) session's harvested sub-frontiers seed many table
+    // subsets of a later chain(7) session — a warm start across *similar*,
+    // not identical, queries.
+    let m = manager(2);
+    let small = Arc::new(testkit::chain_query(5, 60_000));
+    let big = Arc::new(testkit::chain_query(7, 60_000));
+
+    let donor = m.submit(small);
+    assert!(m.wait_idle(IDLE));
+    m.finish(donor).unwrap();
+    let harvested = m.subfrontier_stats();
+    assert!(
+        harvested.insertions > 0,
+        "finish must harvest sub-frontiers"
+    );
+    assert!(harvested.entries > 0);
+
+    let seeded = m.submit(big.clone());
+    assert!(m.wait_idle(IDLE));
+    let s = m.status(seeded).unwrap();
+    assert!(!s.warm_start, "different query: not an exact warm hit");
+    assert!(!s.rebased, "different shape: not a rebase");
+    assert!(
+        s.seeded_subsets > 0,
+        "shared subchains must transplant: {s:?}"
+    );
+    assert!(m.subfrontier_stats().hits > 0);
+    assert!(!s.frontier.is_empty());
+
+    // The transplant pays: a cold manager over the same query generates
+    // more plans across the full ladder.
+    let fp = moqo_engine::QueryFingerprint::of(&big, &m.model());
+    m.finish(seeded).unwrap();
+    let seeded_plans = m
+        .with_parked(fp, |opt| opt.stats().plans_generated)
+        .expect("finished session parks");
+    let transplanted = m
+        .with_parked(fp, |opt| opt.stats().transplanted_candidates)
+        .unwrap();
+    assert!(transplanted > 0);
+
+    let cold = manager(2);
+    let cold_id = cold.submit(big.clone());
+    assert!(cold.wait_idle(IDLE));
+    cold.finish(cold_id).unwrap();
+    let cold_plans = cold
+        .with_parked(fp, |opt| opt.stats().plans_generated)
+        .unwrap();
+    assert!(
+        seeded_plans < cold_plans,
+        "transplant must cut generation: seeded={seeded_plans} cold={cold_plans}"
+    );
+}
+
+#[test]
+fn drifted_statistics_rebase_the_parked_frontier() {
+    // The same query resubmitted after a stats refresh: the exact
+    // fingerprint misses, but the cardinality-blind RebaseKey finds the
+    // parked frontier and the new session starts from its plans,
+    // re-costed under the fresh statistics.
+    let m = manager(2);
+    let spec = Arc::new(testkit::chain_query(4, 80_000));
+    let drifted = Arc::new(testkit::drift_cardinalities(&spec, 1.07));
+    let model = m.model();
+    let donor_fp = moqo_engine::QueryFingerprint::of(&spec, &model);
+    let drifted_fp = moqo_engine::QueryFingerprint::of(&drifted, &model);
+    assert_ne!(donor_fp, drifted_fp);
+
+    let donor = m.submit(spec);
+    assert!(m.wait_idle(IDLE));
+    m.finish(donor).unwrap();
+
+    let id = m.submit(drifted.clone());
+    assert!(m.wait_idle(IDLE));
+    let s = m.status(id).unwrap();
+    assert!(!s.warm_start);
+    assert!(s.rebased, "drifted twin must rebase: {s:?}");
+    assert!(!s.frontier.is_empty());
+    assert!(m.cache_stats().rebase_hits >= 1);
+    // The donor stays parked for exact repeats of its own statistics.
+    assert!(m.has_parked(donor_fp));
+
+    m.finish(id).unwrap();
+    let rebased_plans = m
+        .with_parked(drifted_fp, |opt| opt.stats().plans_generated)
+        .unwrap();
+    let cold = manager(2);
+    let cold_id = cold.submit(drifted);
+    assert!(cold.wait_idle(IDLE));
+    cold.finish(cold_id).unwrap();
+    let cold_plans = cold
+        .with_parked(drifted_fp, |opt| opt.stats().plans_generated)
+        .unwrap();
+    assert!(
+        rebased_plans < cold_plans,
+        "rebase must cut generation: rebased={rebased_plans} cold={cold_plans}"
+    );
+}

@@ -150,6 +150,52 @@ impl ShapeKey {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Computes the shape key of the subgraph induced by `set`, relabeled
+    /// to local positions `0..set.len()` in ascending order of the
+    /// original positions.
+    ///
+    /// The relabeling makes the key *position independent*: a subset of a
+    /// larger query hashes equal to a standalone query of the same shape,
+    /// which is what lets warm per-subset frontier state be keyed by the
+    /// sub-shape and transplanted across enclosing queries. Restricting to
+    /// the full set recovers [`ShapeKey::of`]:
+    ///
+    /// ```
+    /// use moqo_query::{testkit, ShapeKey};
+    ///
+    /// let spec = testkit::chain_query(5, 10_000);
+    /// let full = spec.all_tables();
+    /// assert_eq!(
+    ///     ShapeKey::of_subset(&spec.graph, full, false),
+    ///     ShapeKey::of(&spec.graph, false),
+    /// );
+    /// ```
+    pub fn of_subset(graph: &JoinGraph, set: TableSet, allow_cross_products: bool) -> Self {
+        // Map original position -> local index (ascending order).
+        let mut local = vec![usize::MAX; graph.n_tables()];
+        let mut k = 0usize;
+        for pos in set.iter() {
+            local[pos] = k;
+            k += 1;
+        }
+        let mut pairs: Vec<(usize, usize)> = graph
+            .edges
+            .iter()
+            .filter(|e| set.contains(e.left) && set.contains(e.right))
+            .map(|e| (local[e.left], local[e.right]))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut h = moqo_cost::Fnv64::new();
+        h.u64(k as u64);
+        h.u64(allow_cross_products as u64);
+        for (l, r) in pairs {
+            h.u64(l as u64);
+            h.u64(r as u64);
+        }
+        ShapeKey(h.finish())
+    }
 }
 
 /// The precomputed enumeration plane of one join-graph shape: all relevant

@@ -37,6 +37,30 @@ pub fn chain_query(n: usize, base_card: u64) -> QuerySpec {
     QuerySpec::new(format!("chain-{n}"), g, Arc::new(b.build()))
 }
 
+/// The same query under refreshed table statistics: every cardinality is
+/// scaled by `factor` (floored at 10 rows) while names, row widths,
+/// columns, local filters, and join selectivities stay untouched — the
+/// "hourly stats refresh" twin of a spec, used to exercise frontier
+/// **rebasing** (same cardinality-blind identity, different exact
+/// fingerprint).
+pub fn drift_cardinalities(spec: &QuerySpec, factor: f64) -> QuerySpec {
+    let mut b = CatalogBuilder::new();
+    let mut ids = Vec::with_capacity(spec.graph.n_tables());
+    for pos in 0..spec.graph.n_tables() {
+        let t = spec.catalog.table(spec.graph.tables[pos]);
+        let card = ((t.cardinality as f64 * factor) as u64).max(10);
+        ids.push(b.add_table(t.name.clone(), card, t.row_width, t.columns.clone()));
+    }
+    let mut g = JoinGraph::new(ids);
+    for e in &spec.graph.edges {
+        g.add_edge(e.left, e.right, e.selectivity);
+    }
+    for (pos, &f) in spec.graph.filters.iter().enumerate() {
+        g.set_filter(pos, f);
+    }
+    QuerySpec::new(spec.name.clone(), g, Arc::new(b.build()))
+}
+
 /// A star query: a large fact table at position 0 joined to `n - 1`
 /// dimension tables.
 pub fn star_query(n: usize, fact_card: u64) -> QuerySpec {

@@ -165,6 +165,9 @@ pub struct ServerStats {
     pub live: usize,
     /// Per-shard load, cache, and routing statistics.
     pub shards: Vec<crate::shard::ShardStats>,
+    /// Deployment-wide sub-frontier transplant cache counters (one cache
+    /// shared by every shard).
+    pub subfrontiers: moqo_engine::SubFrontierCacheStats,
 }
 
 /// Ticket table plus the bounded history of closed (finished/rejected)
@@ -525,6 +528,7 @@ impl MoqoServer {
             pending: self.admission.pending(),
             live: self.engine.live_sessions(),
             shards: self.engine.shard_stats(),
+            subfrontiers: self.engine.subfrontier_stats(),
         }
     }
 }

@@ -93,6 +93,17 @@ pub struct NetStats {
     /// Connections dropped on a wire/socket fault (malformed frames,
     /// version skew, mid-stream disconnects).
     pub faulted: u64,
+    /// Sessions the engine routed to an exact parked frontier (summed
+    /// over shards; includes in-process traffic on the shared server).
+    pub warm_routed: u64,
+    /// Sessions the engine routed to a rebase donor — a parked frontier
+    /// of the same shape under drifted catalog cardinalities.
+    pub rebase_routed: u64,
+    /// Sub-frontier transplant cache hits: table subsets of admitted
+    /// queries seeded from state harvested off *similar* queries.
+    pub subfrontier_hits: u64,
+    /// Sub-frontier transplant cache misses.
+    pub subfrontier_misses: u64,
 }
 
 #[derive(Default)]
@@ -483,11 +494,17 @@ impl NetServer {
 
     /// Network-front counters.
     pub fn stats(&self) -> NetStats {
+        let shards = self.server.engine().shard_stats();
+        let sub = self.server.engine().subfrontier_stats();
         NetStats {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             frames_in: self.counters.frames_in.load(Ordering::Relaxed),
             frames_out: self.counters.frames_out.load(Ordering::Relaxed),
             faulted: self.counters.faulted.load(Ordering::Relaxed),
+            warm_routed: shards.iter().map(|s| s.warm_routed).sum(),
+            rebase_routed: shards.iter().map(|s| s.rebase_routed).sum(),
+            subfrontier_hits: sub.hits,
+            subfrontier_misses: sub.misses,
         }
     }
 

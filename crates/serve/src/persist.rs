@@ -462,6 +462,42 @@ mod tests {
     }
 
     #[test]
+    fn restored_frontiers_serve_as_rebase_donors() {
+        // Overnight: the server snapshots and stops; the catalog's stats
+        // refresh; the restarted server sees the same queries under new
+        // cardinalities. The exact fingerprints all miss, but restored
+        // frontiers still pay off — as rebase donors.
+        let dir = temp_dir("rebase");
+        let store = SnapshotStore::new(&dir);
+        let spec = Arc::new(testkit::chain_query(4, 70_000));
+        {
+            let e = engine(2);
+            let (gid, _) = e.submit(spec.clone());
+            assert!(e.wait_idle(IDLE));
+            e.finish(gid).unwrap();
+            store.save(&e).unwrap();
+        }
+
+        let e = engine(2);
+        assert_eq!(store.restore(&e).unwrap().restored, 1);
+        let drifted = Arc::new(testkit::drift_cardinalities(&spec, 1.1));
+        assert!(
+            !e.has_parked(e.fingerprint(&drifted)),
+            "drifted stats must not be an exact hit"
+        );
+        let (gid, decision) = e.submit(drifted);
+        assert!(
+            decision.is_rebase(),
+            "restored frontier must serve as a rebase donor, got {decision:?}"
+        );
+        assert!(e.wait_idle(IDLE));
+        let s = e.status(gid).unwrap();
+        assert!(s.rebased, "{s:?}");
+        assert!(!s.frontier.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn restore_from_a_missing_directory_is_a_clean_noop() {
         let store = SnapshotStore::new(temp_dir("missing"));
         let e = engine(2);

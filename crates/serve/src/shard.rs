@@ -30,8 +30,8 @@ use moqo_core::{FrontierSnapshot, IamaOptimizer};
 use moqo_cost::{Bounds, ResolutionSchedule};
 use moqo_costmodel::{CostModel, SharedCostModel};
 use moqo_engine::{
-    CacheStats, EngineConfig, PlanCacheStats, QueryFingerprint, SessionId, SessionManager,
-    SessionStatus,
+    CacheStats, EngineConfig, PlanCacheStats, QueryFingerprint, RebaseKey, SessionId,
+    SessionManager, SessionStatus, SubFrontierCache, SubFrontierCacheStats,
 };
 use moqo_query::QuerySpec;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +85,17 @@ pub enum RouteDecision {
         /// The fingerprint's hash-home that was bypassed.
         home: usize,
     },
+    /// Home shard, which parks no exact frontier but a **rebase donor**:
+    /// a frontier of the same shape under drifted catalog cardinalities
+    /// (see [`moqo_engine::RebaseKey`]). The session starts from the
+    /// donor's plans re-admitted as level-0 candidates.
+    RebaseHome,
+    /// A non-home shard parks a rebase donor for the fingerprint's shape;
+    /// the submission follows it.
+    RebaseRemote {
+        /// The fingerprint's hash-home that was bypassed.
+        home: usize,
+    },
     /// Home shard, cold (first sight of the fingerprint, or its frontier
     /// was evicted).
     ColdHome,
@@ -104,6 +115,15 @@ impl RouteDecision {
             RouteDecision::WarmHome | RouteDecision::WarmRemote { .. }
         )
     }
+
+    /// True if the decision targets a shard parking a rebase donor of the
+    /// fingerprint's shape (warm start under drifted statistics).
+    pub fn is_rebase(self) -> bool {
+        matches!(
+            self,
+            RouteDecision::RebaseHome | RouteDecision::RebaseRemote { .. }
+        )
+    }
 }
 
 /// Per-shard load and effectiveness snapshot.
@@ -119,6 +139,9 @@ pub struct ShardStats {
     pub plans: PlanCacheStats,
     /// Submissions routed here warm (frontier already parked).
     pub warm_routed: u64,
+    /// Submissions routed here to a rebase donor (same shape, drifted
+    /// cardinalities).
+    pub rebase_routed: u64,
     /// Submissions routed here cold by hash.
     pub cold_routed: u64,
     /// Cold submissions diverted here from an overloaded home shard.
@@ -128,6 +151,7 @@ pub struct ShardStats {
 #[derive(Default)]
 struct RouteCounters {
     warm: AtomicU64,
+    rebase: AtomicU64,
     cold: AtomicU64,
     rebalanced_in: AtomicU64,
 }
@@ -147,8 +171,20 @@ impl ShardedEngine {
     /// caches.
     pub fn new(model: SharedCostModel, schedule: ResolutionSchedule, config: ShardConfig) -> Self {
         let n = config.shards.max(1);
+        // One sub-frontier cache spans all shards: exported sub-frontiers
+        // are position- and query-independent immutable blobs, so unlike
+        // parked optimizers they are safe (and profitable) to share —
+        // a subset harvested on shard 0 seeds a similar query on shard 3.
+        let subfrontiers = Arc::new(SubFrontierCache::new(config.engine.subfrontier_capacity));
         let shards = (0..n)
-            .map(|_| SessionManager::new(model.clone(), schedule.clone(), config.engine.clone()))
+            .map(|_| {
+                SessionManager::with_subfrontiers(
+                    model.clone(),
+                    schedule.clone(),
+                    config.engine.clone(),
+                    Arc::clone(&subfrontiers),
+                )
+            })
             .collect();
         Self {
             shards,
@@ -199,8 +235,32 @@ impl ShardedEngine {
     /// Routes a fingerprint: to parked warmth wherever it lives (home
     /// first), otherwise home — unless home is overloaded and the
     /// fingerprint is cold (nothing warm to forfeit), in which case the
-    /// least-loaded shard takes it.
+    /// least-loaded shard takes it. Routing without a [`RebaseKey`] skips
+    /// the rebase-donor tier; [`ShardedEngine::route_with_rebase`] is the
+    /// full policy.
     pub fn route(&self, fp: QueryFingerprint) -> (usize, RouteDecision) {
+        self.route_inner(fp, None)
+    }
+
+    /// Routes a fingerprint with its cardinality-blind [`RebaseKey`]:
+    /// exact warmth wherever it lives (home first), then a **rebase
+    /// donor** — a parked frontier of the same shape under drifted
+    /// cardinalities — wherever one is parked (home first), then home,
+    /// unless home is overloaded, in which case the least-loaded shard
+    /// takes the cold submission.
+    pub fn route_with_rebase(
+        &self,
+        fp: QueryFingerprint,
+        rebase: RebaseKey,
+    ) -> (usize, RouteDecision) {
+        self.route_inner(fp, Some(rebase))
+    }
+
+    fn route_inner(
+        &self,
+        fp: QueryFingerprint,
+        rebase: Option<RebaseKey>,
+    ) -> (usize, RouteDecision) {
         let home = self.home_shard(fp);
         if self.shards[home].has_parked(fp) {
             return (home, RouteDecision::WarmHome);
@@ -209,6 +269,17 @@ impl ShardedEngine {
         // rather than rebuilding from scratch at home.
         if let Some(remote) = self.shards.iter().position(|s| s.has_parked(fp)) {
             return (remote, RouteDecision::WarmRemote { home });
+        }
+        // No exact frontier anywhere: a shard parking a same-shape
+        // frontier under drifted cardinalities still beats a cold start —
+        // the manager rebases the donor's plans into the new session.
+        if let Some(key) = rebase {
+            if self.shards[home].has_rebase_donor(key) {
+                return (home, RouteDecision::RebaseHome);
+            }
+            if let Some(remote) = self.shards.iter().position(|s| s.has_rebase_donor(key)) {
+                return (remote, RouteDecision::RebaseRemote { home });
+            }
         }
         if self.rebalance_headroom > 0 {
             let home_load = self.shards[home].live_sessions();
@@ -240,13 +311,18 @@ impl ShardedEngine {
         &self,
         request: SessionRequest,
     ) -> Result<(GlobalSessionId, RouteDecision), ProtocolError> {
-        request.validate(request.effective_model(&self.model).dim())?;
+        let model = request.effective_model(&self.model);
+        request.validate(model.dim())?;
         let fp = self.fingerprint_of(&request);
-        let (shard, decision) = self.route(fp);
+        let rebase = RebaseKey::of(&request.spec, &model);
+        let (shard, decision) = self.route_with_rebase(fp, rebase);
         let counter = &self.counters[shard];
         match decision {
             RouteDecision::WarmHome | RouteDecision::WarmRemote { .. } => {
                 counter.warm.fetch_add(1, Ordering::Relaxed)
+            }
+            RouteDecision::RebaseHome | RouteDecision::RebaseRemote { .. } => {
+                counter.rebase.fetch_add(1, Ordering::Relaxed)
             }
             RouteDecision::ColdHome => counter.cold.fetch_add(1, Ordering::Relaxed),
             RouteDecision::Rebalanced { .. } => {
@@ -320,10 +396,17 @@ impl ShardedEngine {
                 cache: s.cache_stats(),
                 plans: s.plan_cache_stats(),
                 warm_routed: c.warm.load(Ordering::Relaxed),
+                rebase_routed: c.rebase.load(Ordering::Relaxed),
                 cold_routed: c.cold.load(Ordering::Relaxed),
                 rebalanced_in: c.rebalanced_in.load(Ordering::Relaxed),
             })
             .collect()
+    }
+
+    /// Effectiveness counters of the deployment-wide sub-frontier cache
+    /// (one instance shared by every shard).
+    pub fn subfrontier_stats(&self) -> SubFrontierCacheStats {
+        self.shards[0].subfrontier_stats()
     }
 
     /// Parks an optimizer in its fingerprint's *home* shard cache — the
@@ -490,5 +573,57 @@ mod tests {
         let s = e.status(gid2).unwrap();
         assert!(s.warm_start);
         assert_eq!(s.first_report.unwrap().plans_generated, 0);
+    }
+
+    #[test]
+    fn drifted_statistics_route_to_the_rebase_donor_shard() {
+        let e = engine(4);
+        let spec = Arc::new(testkit::chain_query(4, 90_000));
+        let (gid, d) = e.submit(spec.clone());
+        assert_eq!(d, RouteDecision::ColdHome);
+        assert!(e.wait_idle(IDLE));
+        e.finish(gid).unwrap();
+
+        // A stats-refresh twin: exact fingerprint misses (it may even home
+        // on a different shard), but the router finds the parked donor by
+        // its cardinality-blind key and sends the session there.
+        let drifted = Arc::new(testkit::drift_cardinalities(&spec, 1.08));
+        let (gid2, d2) = e.submit(drifted);
+        assert!(d2.is_rebase(), "expected a rebase route, got {d2:?}");
+        assert_eq!(gid2.shard, gid.shard, "must follow the donor's shard");
+        assert!(e.wait_idle(IDLE));
+        let s = e.status(gid2).unwrap();
+        assert!(s.rebased, "routed to the donor but did not rebase: {s:?}");
+        assert!(!s.frontier.is_empty());
+        let stats = e.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.rebase_routed).sum::<u64>(), 1);
+        // The donor is still parked for exact repeats of its own stats.
+        assert!(e.has_parked(e.fingerprint(&testkit::chain_query(4, 90_000))));
+    }
+
+    #[test]
+    fn sub_frontiers_cross_shard_boundaries() {
+        // The sub-frontier cache is deployment-wide: a donor finishing on
+        // one shard seeds a similar query that hashes to another. With 8
+        // shards the two chain fingerprints land apart with near
+        // certainty; the assert tolerates a collision by checking seeding
+        // regardless of placement.
+        let e = engine(8);
+        let small = Arc::new(testkit::chain_query(5, 60_000));
+        let big = Arc::new(testkit::chain_query(7, 60_000));
+        let (gid, _) = e.submit(small);
+        assert!(e.wait_idle(IDLE));
+        e.finish(gid).unwrap();
+        assert!(e.subfrontier_stats().entries > 0);
+
+        let (gid2, d) = e.submit(big);
+        assert!(!d.is_warm() && !d.is_rebase(), "different query shape");
+        assert!(e.wait_idle(IDLE));
+        let s = e.status(gid2).unwrap();
+        assert!(
+            s.seeded_subsets > 0,
+            "shared subchains must transplant across shards: {s:?}"
+        );
+        assert!(e.subfrontier_stats().hits > 0);
     }
 }
