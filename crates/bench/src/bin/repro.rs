@@ -7,15 +7,25 @@
 //! Experiments: `fig1`, `fig2a`, `fig2b`, `fig3`, `fig4`, `fig5`,
 //! `lemmas`, `quality`, `ablation-index`, `ablation-delta`,
 //! `ablation-shadow`, `bounds`, `space`, `amortized`, `schedules`,
-//! `enumeration`, `pruning`, `serve`, `net`, `similarity`, or `all`.
+//! `enumeration`, `pruning`, `serve`, `net`, `similarity`, `fleet`, or
+//! `all`.
 //! `--fast` shrinks the scale factor and level counts for a quick smoke
 //! run; `--stats` appends the enumeration-plane counter table (splits
 //! visited/skipped, pairs skipped, scratch high-water) regardless of the
 //! chosen experiment.
 //!
-//! The `enumeration`, `pruning`, `serve`, `net`, and `similarity`
-//! experiments additionally drop machine-readable `BENCH_<name>.json`
-//! files into the working directory (schemas in `docs/benchmarks.md`).
+//! The `enumeration`, `pruning`, `serve`, `net`, `similarity`, and
+//! `fleet` experiments additionally drop machine-readable
+//! `BENCH_<name>.json` files into the working directory (schemas in
+//! `docs/benchmarks.md`).
+//!
+//! `repro fleet` spawns real serving processes by re-executing this
+//! binary in a hidden child mode which serves one fleet node until its
+//! stdin closes:
+//!
+//! ```text
+//! repro fleet-node --id <id> --store <dir>
+//! ```
 
 use moqo_baselines::one_shot;
 use moqo_bench::*;
@@ -55,6 +65,7 @@ const EXPERIMENTS: &[&str] = &[
     "serve",
     "net",
     "similarity",
+    "fleet",
     "all",
 ];
 
@@ -115,7 +126,39 @@ fn parse_cli() -> Cli {
     }
 }
 
+/// The hidden `fleet-node` child mode: parses `--id`/`--store` and
+/// serves one fleet node until stdin closes (never returns).
+fn fleet_node_main(args: &[String]) -> ! {
+    let mut id: Option<&str> = None;
+    let mut store: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--id" => {
+                i += 1;
+                id = args.get(i).map(String::as_str);
+            }
+            "--store" => {
+                i += 1;
+                store = args.get(i).map(String::as_str);
+            }
+            other => cli_error(&format!("unknown fleet-node flag {other:?}")),
+        }
+        i += 1;
+    }
+    match (id, store) {
+        (Some(id), Some(store)) => fleet_node_serve(id, std::path::Path::new(store)),
+        _ => cli_error("fleet-node needs --id <id> --store <dir>"),
+    }
+}
+
 fn main() {
+    // `repro fleet` re-executes this binary as its node processes; the
+    // child mode must win before normal CLI parsing.
+    let raw: Vec<String> = env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("fleet-node") {
+        fleet_node_main(&raw[1..]);
+    }
     let cli = parse_cli();
     let model = bench_model();
     let run = |name: &str| cli.experiment == name || cli.experiment == "all";
@@ -214,6 +257,85 @@ fn main() {
     if run("similarity") {
         similarity_exp(cli.fast);
     }
+    if run("fleet") {
+        fleet_exp(cli.fast);
+    }
+}
+
+/// Fleet: the kill-and-repeat experiment over real node processes —
+/// placement-routed sessions, a SIGKILLed home, store adoption, and
+/// warm repeats that survive it all (every step asserted in the driver).
+fn fleet_exp(fast: bool) {
+    println!("=== Fleet: kill-and-repeat over 3 real node processes ===\n");
+    let exe = env::current_exe().expect("own executable path");
+    let report = fleet_experiment(&exe, fast);
+    let mut t = TextTable::new(vec![
+        "pass",
+        "sessions",
+        "mean first-frontier",
+        "p50",
+        "max",
+        "0-plan starts",
+    ]);
+    for r in &report.phases {
+        t.row(vec![
+            r.label.to_string(),
+            r.sessions.to_string(),
+            format!("{:.1} us", r.mean_us),
+            format!("{:.1} us", r.p50_us),
+            format!("{:.1} us", r.max_us),
+            r.zero_plan_starts.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "{} was SIGKILLed after the warm pass: {} of the workload's keys\n         lost their home, all {} were adopted warm from the shared\n         snapshot store by their new homes, and the post-kill repeats\n         still all started at zero plans. Client view bits_eq across\n         the hand-off: {}. Routes per node: {:?}.\n",
+        report.killed, report.orphaned, report.adopted_warm, report.view_bits_eq, report.routes
+    );
+    let json = Json::Obj(vec![
+        ("experiment", Json::Str("fleet".into())),
+        ("fast", Json::Bool(fast)),
+        ("nodes", Json::Int(report.nodes as u64)),
+        ("killed_node", Json::Str(report.killed.clone())),
+        ("orphaned_keys", Json::Int(report.orphaned as u64)),
+        ("adopted_warm", Json::Int(report.adopted_warm as u64)),
+        ("view_bits_eq", Json::Bool(report.view_bits_eq)),
+        (
+            "routes",
+            Json::Arr(
+                report
+                    .routes
+                    .iter()
+                    .map(|(id, n)| {
+                        Json::Obj(vec![
+                            ("node", Json::Str(id.clone())),
+                            ("sessions", Json::Int(*n)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "phases",
+            Json::Arr(
+                report
+                    .phases
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("label", Json::Str(r.label.into())),
+                            ("sessions", Json::Int(r.sessions as u64)),
+                            ("mean_us", Json::Num(r.mean_us)),
+                            ("p50_us", Json::Num(r.p50_us)),
+                            ("max_us", Json::Num(r.max_us)),
+                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_bench_json("BENCH_fleet.json", &json);
 }
 
 /// Warm-state sharing across *similar* (not identical) queries: plans

@@ -1,0 +1,372 @@
+//! Fleet experiment: the kill-and-repeat story over **real processes**
+//! (`repro fleet`).
+//!
+//! The fleet integration tests and `examples/fleet_serving.rs` run their
+//! nodes in-process (deterministic, CI-cheap); this experiment spawns N
+//! actual `repro fleet-node` child processes over loopback TCP and
+//! SIGKILLs one of them mid-experiment, so process isolation is real:
+//! the dead node's in-memory warm state is genuinely gone, and the only
+//! path back to zero-plan repeats is the fleet machinery — placement
+//! rebalance, router adoption, and the shared `SnapshotStore` directory.
+//!
+//! Phases reported (submit→first-frontier, socket to socket):
+//!
+//! 1. **cold** — every fingerprint is new; sessions park on their
+//!    placement homes and the sweepers persist them to the shared store.
+//! 2. **warm** — exact repeats; every session resumes its parked
+//!    frontier (zero plans generated).
+//! 3. **post-kill warm** — the home node of the first workload key is
+//!    SIGKILLed, the router probes and marks it dead, orphaned keys are
+//!    adopted from the shared store by their new homes, and the repeats
+//!    **still** all start at zero plans. The driver also re-runs the
+//!    orphaned key to ladder saturation and checks the client-side
+//!    [`SessionView`](moqo_core::protocol::SessionView) `bits_eq`
+//!    against the frontier the serving node parked.
+
+use moqo_core::protocol::{SessionCommand, SessionRequest};
+use moqo_core::IamaOptimizer;
+use moqo_costmodel::{SharedCostModel, StandardCostModel};
+use moqo_engine::QueryFingerprint;
+use moqo_fleet::{share, FleetClient, FleetNode, FleetNodeConfig, FleetRouter, Placement};
+use moqo_query::{testkit, QuerySpec};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const IDLE: Duration = Duration::from_secs(600);
+
+/// Sweep cadence of spawned nodes: short, so the cold pass reaches the
+/// shared store quickly and the kill loses at most a beat of state.
+const SWEEP: Duration = Duration::from_millis(25);
+
+/// Latency and warm-start figures for one pass of the fleet workload.
+#[derive(Clone, Debug)]
+pub struct FleetPhaseReport {
+    /// `"cold"`, `"warm"`, or `"post-kill warm"`.
+    pub label: &'static str,
+    /// Sessions driven (one placement-routed connection each).
+    pub sessions: usize,
+    /// Mean submit→first-frontier latency (microseconds).
+    pub mean_us: f64,
+    /// Median latency (microseconds).
+    pub p50_us: f64,
+    /// Worst latency (microseconds).
+    pub max_us: f64,
+    /// Sessions whose first invocation generated zero plans.
+    pub zero_plan_starts: usize,
+}
+
+/// What the whole kill-and-repeat run observed.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Node processes spawned.
+    pub nodes: usize,
+    /// Id of the SIGKILLed node.
+    pub killed: String,
+    /// Workload keys whose home was the killed node.
+    pub orphaned: usize,
+    /// Orphaned keys the router warmed on their new homes from the
+    /// shared store (asserted equal to `orphaned`).
+    pub adopted_warm: usize,
+    /// Whether the client-side view of the post-kill repeat was
+    /// `bits_eq` with the frontier its serving node parked.
+    pub view_bits_eq: bool,
+    /// Per-node session route counts at the end of the run.
+    pub routes: Vec<(String, u64)>,
+    /// The cold / warm / post-kill passes.
+    pub phases: Vec<FleetPhaseReport>,
+}
+
+/// Distinct chain and star fingerprints, repeated verbatim by the warm
+/// passes (mirrors `net_workload`, smaller: each session crosses a
+/// process boundary).
+pub fn fleet_workload(fast: bool) -> Vec<Arc<QuerySpec>> {
+    let mut specs: Vec<Arc<QuerySpec>> = Vec::new();
+    let top = if fast { 3 } else { 4 };
+    for n in 2..=top {
+        specs.push(Arc::new(testkit::chain_query(n, 55_000)));
+        specs.push(Arc::new(testkit::star_query(n, 85_000)));
+    }
+    specs
+}
+
+/// The child half of `repro fleet`: serves one fleet node until stdin
+/// reaches EOF (which the parent's exit guarantees), then stops
+/// gracefully. Announces `LISTENING <addr>` on stdout so the parent can
+/// build the placement. Never returns.
+pub fn fleet_node_serve(id: &str, store: &Path) -> ! {
+    let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+    let node = FleetNode::start(
+        model,
+        FleetNodeConfig::loopback(id)
+            .with_store(store)
+            .with_sweep(SWEEP),
+    )
+    .expect("bind loopback");
+    println!("LISTENING {}", node.addr());
+    let _ = std::io::stdout().flush();
+    // Park until the parent closes our stdin; a SIGKILL from the parent
+    // (the experiment's whole point) never reaches this line.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    node.stop();
+    std::process::exit(0)
+}
+
+/// Spawns one `repro fleet-node` child and reads its announced address.
+fn spawn_node(exe: &Path, id: &str, store: &Path) -> (Child, String) {
+    let mut child = Command::new(exe)
+        .arg("fleet-node")
+        .arg("--id")
+        .arg(id)
+        .arg("--store")
+        .arg(store)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn fleet node process");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("node announces itself");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("bad node announcement {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Drives every spec through its own placement-routed session, recording
+/// submit→first-frontier latency; sessions are cancelled afterwards so
+/// their frontiers park (and sweep to the store) for the next pass.
+fn run_phase(
+    client: &FleetClient,
+    specs: &[Arc<QuerySpec>],
+    label: &'static str,
+) -> FleetPhaseReport {
+    let mut us: Vec<f64> = Vec::with_capacity(specs.len());
+    let mut zero_plan_starts = 0usize;
+    for spec in specs {
+        let t0 = Instant::now();
+        let mut session = client
+            .submit(SessionRequest::new(spec.clone()))
+            .expect("routed to a live node");
+        assert!(session.admission.is_admitted());
+        while session.client.view().frontier.is_empty() {
+            session.client.recv(IDLE).expect("healthy stream");
+        }
+        us.push(t0.elapsed().as_secs_f64() * 1e6);
+        while session.client.view().first_report.is_none() {
+            session.client.recv(IDLE).expect("healthy stream");
+        }
+        if session
+            .client
+            .view()
+            .first_report
+            .as_ref()
+            .is_some_and(|r| r.plans_generated == 0)
+        {
+            zero_plan_starts += 1;
+        }
+        session
+            .client
+            .command(SessionCommand::Cancel)
+            .expect("send");
+        session.client.wait_finished(IDLE).expect("terminal event");
+    }
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    FleetPhaseReport {
+        label,
+        sessions: specs.len(),
+        mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        p50_us: us[us.len() / 2],
+        max_us: us.last().copied().unwrap_or(0.0),
+        zero_plan_starts,
+    }
+}
+
+/// Runs one key to ladder saturation on its (post-kill) home and checks
+/// the client-side view `bits_eq` the frontier the node parked: the pull
+/// endpoint hands back the parked `export_frontier` bytes, and the
+/// re-imported optimizer's target-resolution frontier must be
+/// bit-identical to what the deltas reassembled client-side.
+fn view_matches_served_frontier(
+    client: &FleetClient,
+    model: &SharedCostModel,
+    spec: Arc<QuerySpec>,
+    fp: QueryFingerprint,
+) -> bool {
+    let mut session = client
+        .submit(SessionRequest::new(spec))
+        .expect("routed to a live node");
+    assert!(session.admission.is_admitted());
+    // Saturate the ladder: once the *next* resolution equals the one the
+    // last invocation ran at, that invocation ran at the target r_max —
+    // so the last event's frontier is the r_max frontier.
+    loop {
+        let view = session.client.view();
+        if view
+            .last_report
+            .as_ref()
+            .is_some_and(|r| r.resolution == view.resolution)
+        {
+            break;
+        }
+        session.client.recv(IDLE).expect("healthy stream");
+    }
+    session
+        .client
+        .command(SessionCommand::Cancel)
+        .expect("send");
+    session.client.wait_finished(IDLE).expect("terminal event");
+    let bounds = session.client.view().bounds.expect("bounds seen");
+    let blob = client
+        .pull_frontier(fp)
+        .expect("control pull answered")
+        .expect("the serving node parked the session");
+    let opt = IamaOptimizer::import_frontier(model.clone(), &blob).expect("self-validating bytes");
+    let served = opt.frontier(&bounds, opt.schedule().r_max());
+    served.bits_eq(&session.client.view().frontier)
+}
+
+/// Spawns `nodes` real `repro fleet-node` processes over one shared
+/// snapshot directory, runs the cold and warm passes, SIGKILLs the home
+/// of the first workload key, and proves the post-kill repeats still all
+/// start at zero plans — asserting every step. `exe` is the `repro`
+/// binary itself (`std::env::current_exe()` in the CLI,
+/// `env!("CARGO_BIN_EXE_repro")` in tests).
+pub fn fleet_experiment(exe: &Path, fast: bool) -> FleetReport {
+    let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+    let dir = std::env::temp_dir().join(format!("moqo-fleet-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let n = 3;
+    let mut children: HashMap<String, Child> = HashMap::new();
+    let mut placement = Placement::new();
+    for i in 0..n {
+        let id = format!("node-{i}");
+        let (child, addr) = spawn_node(exe, &id, &dir);
+        placement.add_node(&id, addr);
+        children.insert(id, child);
+    }
+    let placement = share(placement);
+    let client = FleetClient::new(placement.clone(), model.clone());
+    let router = FleetRouter::new(placement.clone());
+
+    let specs = fleet_workload(fast);
+    let fps: Vec<QueryFingerprint> = specs
+        .iter()
+        .map(|s| client.fingerprint(&SessionRequest::new(s.clone())))
+        .collect();
+    let homes: Vec<String> = fps
+        .iter()
+        .map(|fp| {
+            placement
+                .read()
+                .unwrap()
+                .home_of(*fp)
+                .expect("live fleet")
+                .id
+                .clone()
+        })
+        .collect();
+
+    let cold = run_phase(&client, &specs, "cold");
+    let warm = run_phase(&client, &specs, "warm");
+    assert_eq!(cold.zero_plan_starts, 0, "first sight cannot be warm");
+    assert_eq!(
+        warm.zero_plan_starts, warm.sessions,
+        "every warm repeat must resume its parked frontier"
+    );
+
+    // Wait until every fingerprint's sweep reached the shared store —
+    // the state the kill must not be able to destroy.
+    let deadline = Instant::now() + IDLE;
+    for fp in &fps {
+        let file = dir.join(format!("{:016x}.frontier", fp.as_u64()));
+        while !file.exists() {
+            assert!(Instant::now() < deadline, "sweep never persisted {file:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    // SIGKILL the home of the first key: its in-memory frontiers are
+    // gone for real; only the shared store survives.
+    let victim = homes[0].clone();
+    let mut corpse = children.remove(&victim).expect("victim is running");
+    corpse.kill().expect("SIGKILL");
+    corpse.wait().expect("reap");
+
+    let health = router.probe();
+    assert!(
+        health.iter().any(|h| h.id == victim && !h.alive),
+        "the probe must find the body: {health:?}"
+    );
+    let orphans: Vec<QueryFingerprint> = fps
+        .iter()
+        .zip(&homes)
+        .filter(|(_, home)| **home == victim)
+        .map(|(fp, _)| *fp)
+        .collect();
+    let mut adopted_warm = 0usize;
+    for fp in &orphans {
+        let new_home = placement
+            .read()
+            .unwrap()
+            .home_of(*fp)
+            .expect("survivors left")
+            .id
+            .clone();
+        assert_ne!(new_home, victim, "a dead node must not own keys");
+        if router.adopt(*fp).expect("pull answered").is_some() {
+            adopted_warm += 1;
+        }
+    }
+    assert_eq!(
+        adopted_warm,
+        orphans.len(),
+        "every orphaned key must adopt from the shared store"
+    );
+
+    // The acceptance assertion: repeats after the kill are still all
+    // zero-plan starts — survivors kept their keys warm, orphans were
+    // re-parked from the store by their new homes.
+    let post = run_phase(&client, &specs, "post-kill warm");
+    assert_eq!(
+        post.zero_plan_starts, post.sessions,
+        "a warm repeat must survive its home node's death"
+    );
+    let view_bits_eq = view_matches_served_frontier(&client, &model, specs[0].clone(), fps[0]);
+    assert!(
+        view_bits_eq,
+        "client view diverged from the serving node across the hand-off"
+    );
+
+    let routes: Vec<(String, u64)> = placement
+        .read()
+        .unwrap()
+        .route_counts()
+        .iter()
+        .map(|(id, n)| (id.clone(), *n))
+        .collect();
+    // Graceful teardown: closing stdin is the stop signal.
+    for (_, mut child) in children {
+        drop(child.stdin.take());
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    FleetReport {
+        nodes: n,
+        killed: victim,
+        orphaned: orphans.len(),
+        adopted_warm,
+        view_bits_eq,
+        routes,
+        phases: vec![cold, warm, post],
+    }
+}

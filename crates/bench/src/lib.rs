@@ -10,6 +10,7 @@
 
 pub mod benchjson;
 pub mod experiments;
+pub mod fleet;
 pub mod net;
 pub mod pruning;
 pub mod serve;
@@ -18,6 +19,9 @@ pub mod workload;
 
 pub use benchjson::Json;
 pub use experiments::*;
+pub use fleet::{
+    fleet_experiment, fleet_node_serve, fleet_workload, FleetPhaseReport, FleetReport,
+};
 pub use net::{net_serving_experiment, net_workload, NetPhaseReport};
 pub use pruning::{
     build_pruning_grid, kernel_measurements, prune_share_rows, KernelMeasurement, PruneShareRow,

@@ -1,0 +1,32 @@
+//! End-to-end fleet test over **real processes**: spawns the actual
+//! `repro` binary (in its hidden `fleet-node` mode) as three serving
+//! processes, SIGKILLs one, and checks the kill-and-repeat story the
+//! `repro fleet` experiment asserts — warm repeats generate zero plans
+//! after their home node died, orphaned keys adopt from the shared
+//! snapshot store, and the client-side view stays `bits_eq` with the
+//! serving node's frontier across the hand-off.
+
+use moqo_bench::fleet_experiment;
+use std::path::Path;
+
+#[test]
+fn kill_and_repeat_survives_across_real_processes() {
+    // Cargo builds and points us at the sibling binary target.
+    let exe = Path::new(env!("CARGO_BIN_EXE_repro"));
+    let report = fleet_experiment(exe, true);
+    assert_eq!(report.nodes, 3);
+    assert_eq!(report.phases.len(), 3);
+    let (cold, warm, post) = (&report.phases[0], &report.phases[1], &report.phases[2]);
+    assert_eq!(cold.zero_plan_starts, 0, "first sight cannot be warm");
+    assert_eq!(warm.zero_plan_starts, warm.sessions);
+    // The acceptance assertion: repeats stay zero-plan after the kill.
+    assert_eq!(post.zero_plan_starts, post.sessions);
+    assert!(report.orphaned >= 1, "the victim must have owned something");
+    assert_eq!(report.adopted_warm, report.orphaned);
+    assert!(report.view_bits_eq);
+    // Route counters saw every successful submit (3 passes + the
+    // dedicated bits_eq session), spread over the node ids.
+    let routed: u64 = report.routes.iter().map(|(_, n)| *n).sum();
+    assert_eq!(routed as usize, 3 * cold.sessions + 1);
+    assert!(report.routes.iter().all(|(id, _)| id.starts_with("node-")));
+}

@@ -70,6 +70,21 @@ pub struct IamaConfig {
     /// report the prune-path share of invocation time. Not serialized
     /// in snapshots (pure diagnostics).
     pub time_pruning: bool,
+    /// Upper bound on warm-start **seed** candidates (rebased or
+    /// transplanted plans, see [`crate::IamaOptimizer::rebase_from`] and
+    /// [`crate::IamaOptimizer::import_subset`]) admitted into the
+    /// candidate sets per invocation. Seeds beyond the cap wait in a
+    /// plain pending queue — already replayed and re-costed, but not yet
+    /// indexed — and are admitted in FIFO order at the start of later
+    /// invocations, amortizing the drain of a very warm donor across the
+    /// refinement ladder instead of paying it all in the first
+    /// invocation's candidate phase. Seeding is an accelerant, never a
+    /// correctness input, so deferral (or even loss, when a session ends
+    /// before its queue empties) cannot weaken Theorem 2: native
+    /// enumeration still covers every plan. The default is generous
+    /// enough that typical donors are admitted in one slice; not
+    /// serialized in snapshots (imports run with the default).
+    pub max_seeds_per_slice: usize,
 }
 
 impl Default for IamaConfig {
@@ -83,6 +98,7 @@ impl Default for IamaConfig {
             shadow_dominated: true,
             use_batch_kernels: true,
             time_pruning: false,
+            max_seeds_per_slice: 4096,
         }
     }
 }
@@ -112,6 +128,7 @@ mod tests {
         assert!(c.shadow_dominated);
         assert!(c.use_batch_kernels);
         assert!(!c.time_pruning);
+        assert_eq!(c.max_seeds_per_slice, 4096);
         assert!(IamaConfig::tracked().track_invariants);
     }
 }

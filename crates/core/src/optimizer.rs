@@ -177,6 +177,14 @@ pub struct IamaOptimizer {
     pub(crate) last_ctx: Option<(Bounds, usize)>,
     pub(crate) scans_done: bool,
     pub(crate) stats: OptimizerStats,
+    /// Warm-start seeds (rebased/transplanted plans, already replayed
+    /// into the arena and re-costed) waiting for candidate admission.
+    /// Drained FIFO, at most [`IamaConfig::max_seeds_per_slice`] per
+    /// invocation, so a very warm donor cannot stall the first frontier
+    /// behind one giant candidate drain. Not serialized in snapshots:
+    /// seeds are an accelerant, and a parked optimizer that ran its
+    /// ladder has long admitted them all.
+    pub(crate) pending_seeds: std::collections::VecDeque<(SubsetId, PlanId, CostVector)>,
 }
 
 impl IamaOptimizer {
@@ -240,6 +248,7 @@ impl IamaOptimizer {
             last_ctx: None,
             scans_done: false,
             stats: OptimizerStats::default(),
+            pending_seeds: std::collections::VecDeque::new(),
         }
     }
 
@@ -286,6 +295,13 @@ impl IamaOptimizer {
     /// Number of completed invocations.
     pub fn invocations(&self) -> u32 {
         self.stats.invocations
+    }
+
+    /// Warm-start seed plans still waiting for candidate admission (the
+    /// surplus beyond [`IamaConfig::max_seeds_per_slice`] per invocation;
+    /// see [`IamaOptimizer::rebase_from`] / [`IamaOptimizer::import_subset`]).
+    pub fn pending_seeds(&self) -> usize {
+        self.pending_seeds.len()
     }
 
     /// Resolution level the next [`IamaOptimizer::run_invocation`] will
@@ -337,6 +353,17 @@ impl IamaOptimizer {
         if !self.scans_done {
             self.init_scans(bounds, r);
             self.scans_done = true;
+        }
+
+        // Admit up to one slice's worth of warm-start seeds as level-0
+        // candidates; phase 1 below drains and re-prunes them like any
+        // re-queued candidate (Lemma 7). The surplus stays pending, so
+        // the drain of a very warm donor amortizes across the ladder.
+        for _ in 0..self.config.max_seeds_per_slice {
+            let Some((q, plan, cost)) = self.pending_seeds.pop_front() else {
+                break;
+            };
+            self.insert_candidate(q, plan, cost, 0);
         }
 
         // Δ-set filtering is sound when every plan now in

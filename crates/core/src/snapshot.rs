@@ -822,11 +822,13 @@ impl IamaOptimizer {
     /// each operator must still be offered by
     /// [`scan_alternatives`](moqo_costmodel::CostModel::scan_alternatives)
     /// / [`join_alternatives`](moqo_costmodel::CostModel::join_alternatives),
-    /// and the plan is admitted with the freshly computed cost as a
-    /// level-0 `Cand` entry — so it re-enters through pruning at the next
-    /// invocation exactly like a natively generated plan, and Theorem 2's
-    /// `alpha_T` guarantee is preserved without caveats. Trees whose
-    /// operators are no longer offered are skipped, not errors.
+    /// and the plan is queued with the freshly computed cost for
+    /// admission as a level-0 `Cand` entry — the next invocations admit
+    /// at most [`IamaConfig::max_seeds_per_slice`](crate::IamaConfig)
+    /// seeds each, and every admitted seed re-enters through pruning
+    /// exactly like a natively generated plan, so Theorem 2's `alpha_T`
+    /// guarantee is preserved without caveats. Trees whose operators are
+    /// no longer offered are skipped, not errors.
     ///
     /// The blob's metric layout, cost-model identity, and induced
     /// statistics must match this optimizer's; any mismatch yields an
@@ -912,7 +914,10 @@ impl IamaOptimizer {
                         "sub-frontier tree does not cover its subset".into(),
                     ));
                 }
-                self.insert_candidate(q, plan, cost, 0);
+                // Queued, not indexed: the next invocations admit seeds
+                // at most `max_seeds_per_slice` at a time (level-0 `Cand`
+                // entries), amortizing the drain across the ladder.
+                self.pending_seeds.push_back((q, plan, cost));
                 self.stats.transplanted_candidates += 1;
                 admitted += 1;
             }
@@ -1010,7 +1015,11 @@ impl IamaOptimizer {
     ///
     /// Every donor plan tree is copied arena-to-arena with the identity
     /// table mapping and re-costed under this optimizer's model and live
-    /// statistics, then admitted as a level-0 `Cand` entry of its subset.
+    /// statistics, then queued for admission as a level-0 `Cand` entry of
+    /// its subset (at most
+    /// [`IamaConfig::max_seeds_per_slice`](crate::IamaConfig) seeds enter
+    /// the candidate sets per invocation, amortizing a very warm donor's
+    /// drain across the ladder).
     /// By Lemma 7 each re-admitted candidate is re-examined at most
     /// `rM + 1` times, which is cheaper than regenerating it through the
     /// full enumeration — while pruning under the fresh costs keeps the
@@ -1069,7 +1078,8 @@ impl IamaOptimizer {
             for root in roots {
                 if let Some(plan) = self.replay_donor(donor, root, &mut memo) {
                     let cost = *self.arena.cost(plan);
-                    self.insert_candidate(q, plan, cost, 0);
+                    // Queued for per-slice admission; see `import_subset`.
+                    self.pending_seeds.push_back((q, plan, cost));
                     self.stats.rebased_candidates += 1;
                     admitted += 1;
                     seeded = true;

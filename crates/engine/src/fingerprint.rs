@@ -71,6 +71,14 @@ impl QueryFingerprint {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs a fingerprint from its raw value (wire transport,
+    /// snapshot file names). Only meaningful for values produced by
+    /// [`QueryFingerprint::as_u64`]; an arbitrary value simply never
+    /// matches any cached entry.
+    pub const fn from_u64(v: u64) -> Self {
+        Self(v)
+    }
 }
 
 /// A cardinality-blind variant of [`QueryFingerprint`]: everything the

@@ -645,6 +645,15 @@ impl SessionManager {
         self.lock().cache.parked(fp).map(f)
     }
 
+    /// Serializes one parked optimizer as self-validating
+    /// [`export_frontier`](IamaOptimizer::export_frontier) bytes; `None`
+    /// if nothing is parked for `fp`. The warm-state hand-off hook: a
+    /// fleet layer ships these bytes to another node, which re-parks
+    /// them after the usual snapshot validation.
+    pub fn export_parked(&self, fp: QueryFingerprint) -> Option<Vec<u8>> {
+        self.with_parked(fp, |opt| opt.export_frontier())
+    }
+
     /// Number of admitted, not-yet-finished sessions — the load figure
     /// admission control and shard routing balance on.
     pub fn live_sessions(&self) -> usize {

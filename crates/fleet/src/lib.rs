@@ -1,0 +1,50 @@
+//! moqo-fleet — cross-process shard placement with warm-state hand-off.
+//!
+//! `moqo-serve` made one process a multi-session service; this crate
+//! assembles N such processes into a **fleet**. The paper's economics
+//! (Trummer & Koch, SIGMOD 2015: anytime frontiers amortized across
+//! repeats at "millions of users" scale) only hold if warm state
+//! survives process boundaries, and every ingredient already exists —
+//! `MOQOWIRE` framing, self-validating `export_frontier` bytes, the
+//! [`SnapshotStore`](moqo_serve::SnapshotStore) — so the fleet layer is
+//! deliberately thin:
+//!
+//! * [`Placement`] — a deterministic rendezvous-hash table mapping
+//!   [`QueryFingerprint`](moqo_engine::QueryFingerprint) /
+//!   [`RebaseKey`](moqo_engine::RebaseKey) routing keys to named nodes,
+//!   plus an explicit override map for planned hand-offs. Node death
+//!   moves *only* the dead node's keys; every surviving node keeps its
+//!   warm frontiers hot.
+//! * [`FleetNode`] — one serving node: a
+//!   [`NetServer`](moqo_serve::NetServer) over a shared snapshot
+//!   directory, with a periodic persistence sweeper and crash
+//!   ([`kill`](FleetNode::kill)) vs. graceful ([`stop`](FleetNode::stop))
+//!   semantics.
+//! * [`FleetClient`] — the client library: fingerprints each request,
+//!   routes it to its home node via the shared placement, and fails over
+//!   (marking unreachable nodes dead) when the home vanishes.
+//! * [`FleetRouter`] — the control-plane process: health probes over the
+//!   `MOQOWIRE` handshake, death detection, and warm-state rebalancing —
+//!   `PullFrontier` off the old home, `PushFrontier` onto the new one
+//!   (validated there exactly like a snapshot restore, never trusted),
+//!   then a placement pin. After an *unplanned* death the new home
+//!   re-parks the key from the shared store on first demand
+//!   ([`FleetRouter::adopt`]), so a warm repeat still generates zero
+//!   plans after its home node was killed.
+//!
+//! End to end (asserted by `examples/fleet_serving.rs` and `repro
+//! fleet`): kill a node, probe, and the repeat of a query it served
+//! starts warm on the surviving home — zero plans generated, client-side
+//! view `bits_eq` with the serving node's.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod node;
+pub mod placement;
+pub mod router;
+
+pub use client::{share, FleetClient, FleetSession, SharedPlacement};
+pub use node::{FleetNode, FleetNodeConfig};
+pub use placement::{NodeEntry, Placement, PlacementKey};
+pub use router::{FleetRouter, NodeHealth, Rebalance};

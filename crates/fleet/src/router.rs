@@ -1,0 +1,189 @@
+//! The fleet router: health probes, death detection, and warm-state
+//! rebalancing over the shared placement table.
+
+use crate::client::SharedPlacement;
+use moqo_engine::QueryFingerprint;
+use moqo_serve::NetClient;
+use moqo_wire::{check_hello, client_hello, NetError, HELLO_LEN};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One node's probe outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// The probed node.
+    pub id: String,
+    /// True when the node accepted a connection and answered the
+    /// `MOQOWIRE` handshake within the probe timeout.
+    pub alive: bool,
+}
+
+/// What a planned [`FleetRouter::rebalance`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rebalance {
+    /// The frontier was pulled off the old home, pushed to (and
+    /// validated by) the new home, and the key pinned there.
+    Moved {
+        /// Node the warm state left.
+        from: String,
+        /// Node that now owns the key.
+        to: String,
+        /// Size of the shipped `export_frontier` blob.
+        bytes: usize,
+    },
+    /// The old home had nothing parked for the key; the pin was still
+    /// set (the new home starts cold, or adopts from the shared store on
+    /// first pull).
+    ColdMove {
+        /// Node that now owns the key.
+        to: String,
+    },
+}
+
+/// The thin router process: it owns mutations of the [`SharedPlacement`]
+/// (marking dead nodes, pinning rebalanced keys) and ships warm state
+/// between nodes over their control endpoints. It holds **no** optimizer
+/// state itself — every frontier it moves is self-validating
+/// `export_frontier` bytes that the receiving node re-validates at
+/// admission.
+pub struct FleetRouter {
+    placement: SharedPlacement,
+    /// Per-node connect budget of a health probe.
+    pub probe_timeout: Duration,
+    /// Per-request budget of control pulls/pushes during rebalance.
+    pub control_timeout: Duration,
+}
+
+impl FleetRouter {
+    /// A router over the fleet's shared placement.
+    pub fn new(placement: SharedPlacement) -> Self {
+        Self {
+            placement,
+            probe_timeout: Duration::from_millis(500),
+            control_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// The shared placement table.
+    pub fn placement(&self) -> &SharedPlacement {
+        &self.placement
+    }
+
+    /// Probes `addr`: TCP connect within the timeout plus a full
+    /// `MOQOWIRE` hello exchange — a port that accepts but speaks
+    /// something else is as dead as a refused connection.
+    fn probe_addr(&self, addr: &str) -> bool {
+        let Some(sock_addr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+            return false;
+        };
+        let Ok(mut stream) = TcpStream::connect_timeout(&sock_addr, self.probe_timeout) else {
+            return false;
+        };
+        let _ = stream.set_read_timeout(Some(self.probe_timeout));
+        let _ = stream.set_write_timeout(Some(self.probe_timeout));
+        if stream.write_all(&client_hello()).is_err() {
+            return false;
+        }
+        let mut hello = [0u8; HELLO_LEN];
+        if stream.read_exact(&mut hello).is_err() {
+            return false;
+        }
+        check_hello(&hello).is_ok()
+    }
+
+    /// Probes every non-dead node and marks the unreachable ones dead in
+    /// the shared placement — after this returns, every key a dead node
+    /// owned resolves to its surviving runner-up. Returns each probed
+    /// node's health.
+    pub fn probe(&self) -> Vec<NodeHealth> {
+        let targets: Vec<(String, String)> = {
+            let placement = self.placement.read().expect("placement poisoned");
+            placement
+                .live_nodes()
+                .map(|n| (n.id.clone(), n.addr.clone()))
+                .collect()
+        };
+        let mut health = Vec::with_capacity(targets.len());
+        for (id, addr) in targets {
+            let alive = self.probe_addr(&addr);
+            if !alive {
+                self.placement
+                    .write()
+                    .expect("placement poisoned")
+                    .mark_dead(&id);
+            }
+            health.push(NodeHealth { id, alive });
+        }
+        health
+    }
+
+    /// Planned hand-off: pulls the warm frontier for `fp` off its
+    /// current home, pushes it to node `to` (which re-validates it like
+    /// a snapshot restore), and pins the key there. The pulled bytes
+    /// stay parked on the old home too — placement decides who serves,
+    /// duplicates are harmless.
+    pub fn rebalance(&self, fp: QueryFingerprint, to: &str) -> Result<Rebalance, NetError> {
+        let (from, from_addr, to_addr) = {
+            let placement = self.placement.read().expect("placement poisoned");
+            let target = placement
+                .node(to)
+                .filter(|n| !n.dead)
+                .ok_or(NetError::Disconnected)?;
+            match placement.home_of(fp) {
+                Some(home) if home.id != target.id => {
+                    (home.id.clone(), home.addr.clone(), target.addr.clone())
+                }
+                // Already home (or no home at all): nothing to ship.
+                _ => (String::new(), String::new(), target.addr.clone()),
+            }
+        };
+        let blob = if from.is_empty() {
+            None
+        } else {
+            let mut control = NetClient::connect(&from_addr)?;
+            control.pull_frontier(fp.as_u64(), self.control_timeout)?
+        };
+        let result = match blob {
+            Some(blob) => {
+                let bytes = blob.len();
+                let mut control = NetClient::connect(&to_addr)?;
+                let admitted = control.push_frontier(blob, self.control_timeout)?;
+                if admitted != Some(fp.as_u64()) {
+                    // The new home refused the bytes (or decoded them to
+                    // a different fingerprint): do NOT pin — routing to
+                    // a cold node on purpose needs a validated frontier.
+                    return Err(NetError::UnexpectedFrame("push refused by the new home"));
+                }
+                Rebalance::Moved {
+                    from,
+                    to: to.to_string(),
+                    bytes,
+                }
+            }
+            None => Rebalance::ColdMove { to: to.to_string() },
+        };
+        self.placement
+            .write()
+            .expect("placement poisoned")
+            .set_override(fp, to);
+        Ok(result)
+    }
+
+    /// Adopt-after-death: asks `fp`'s **current** home to pull the
+    /// frontier up — from its own cache or, for a key just inherited
+    /// from a dead node, from the shared snapshot store (re-parking it).
+    /// Returns the blob when the new home is warm, `None` when the key
+    /// starts cold (nothing ever persisted).
+    pub fn adopt(&self, fp: QueryFingerprint) -> Result<Option<Vec<u8>>, NetError> {
+        let addr = {
+            let placement = self.placement.read().expect("placement poisoned");
+            match placement.home_of(fp) {
+                Some(n) => n.addr.clone(),
+                None => return Err(NetError::Disconnected),
+            }
+        };
+        let mut control = NetClient::connect(&addr)?;
+        control.pull_frontier(fp.as_u64(), self.control_timeout)
+    }
+}

@@ -33,11 +33,13 @@
 //! frame carries the ticket id for exactly this correlation).
 
 use crate::api::{MoqoServer, Ticket, TicketStatus};
+use crate::persist::SnapshotStore;
 use moqo_core::protocol::{
     AdmissionResponse, FrontierDelta, ProtocolError, SessionCommand, SessionEvent, SessionRequest,
     SessionView,
 };
-use moqo_engine::ModelRegistry;
+use moqo_core::IamaOptimizer;
+use moqo_engine::{ModelRegistry, QueryFingerprint};
 use moqo_wire::{
     check_hello, client_hello, ClientMessage, FrameBuffer, NetError, ServerMessage, WireError,
     HELLO_LEN,
@@ -104,6 +106,28 @@ pub struct NetStats {
     pub subfrontier_hits: u64,
     /// Sub-frontier transplant cache misses.
     pub subfrontier_misses: u64,
+    /// Sessions the engine started cold — no parked frontier, no rebase
+    /// donor (summed over shards; with `warm_routed` and
+    /// `rebase_routed` this is the per-node route breakdown a fleet
+    /// router balances on).
+    pub cold_routed: u64,
+    /// Sessions a non-home shard absorbed under rebalance headroom.
+    pub rebalanced_in: u64,
+    /// Admitted, not-yet-finished sessions right now (load figure).
+    pub live: u64,
+    /// Sessions parked because their connection disconnected or faulted
+    /// before the terminal event — warm state captured off vanished
+    /// clients.
+    pub disconnect_parked: u64,
+    /// `PullFrontier` control requests served (hits and misses both).
+    pub frontier_pulls: u64,
+    /// `PullFrontier` requests that found nothing parked and nothing in
+    /// the snapshot store.
+    pub frontier_misses: u64,
+    /// `PushFrontier` control requests accepted and parked.
+    pub frontier_pushes: u64,
+    /// `PushFrontier` requests refused by snapshot validation.
+    pub frontier_refused: u64,
 }
 
 #[derive(Default)]
@@ -112,6 +136,11 @@ struct NetCounters {
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     faulted: AtomicU64,
+    disconnect_parked: AtomicU64,
+    frontier_pulls: AtomicU64,
+    frontier_misses: AtomicU64,
+    frontier_pushes: AtomicU64,
+    frontier_refused: AtomicU64,
 }
 
 /// What one pump of a connection concluded.
@@ -180,13 +209,14 @@ impl Conn {
         &mut self,
         server: &Arc<MoqoServer>,
         registry: &Arc<ModelRegistry>,
+        store: Option<&Arc<SnapshotStore>>,
         counters: &NetCounters,
     ) -> Pump {
-        match self.try_pump(server, registry, counters) {
+        match self.try_pump(server, registry, store, counters) {
             Ok(keep) => keep,
             Err(_) => {
                 counters.faulted.fetch_add(1, Ordering::Relaxed);
-                self.retire(server);
+                self.retire(server, counters);
                 Pump::Close
             }
         }
@@ -196,6 +226,7 @@ impl Conn {
         &mut self,
         server: &Arc<MoqoServer>,
         registry: &Arc<ModelRegistry>,
+        store: Option<&Arc<SnapshotStore>>,
         counters: &NetCounters,
     ) -> Result<Pump, NetError> {
         let mut progressed = false;
@@ -208,7 +239,7 @@ impl Conn {
                 Ok(0) => {
                     // Orderly client close: retire the session (parking
                     // its warm frontier) unless it already finished.
-                    self.retire(server);
+                    self.retire(server, counters);
                     return Ok(Pump::Close);
                 }
                 Ok(n) => {
@@ -296,6 +327,64 @@ impl Conn {
                 (ClientMessage::Submit(_), Some(_)) => {
                     return Err(NetError::UnexpectedFrame("second submit on one stream"));
                 }
+                (ClientMessage::PullFrontier { fingerprint }, None) => {
+                    // Control request: ship the parked frontier for this
+                    // fingerprint, falling back to the shared snapshot
+                    // store — the adopt-after-death path re-parks the
+                    // dead home's last persisted state on first demand.
+                    counters.frontier_pulls.fetch_add(1, Ordering::Relaxed);
+                    let fp = QueryFingerprint::from_u64(fingerprint);
+                    let engine = server.engine();
+                    let blob = engine
+                        .export_parked(fp)
+                        .or_else(|| store.and_then(|s| s.restore_one(engine, fp)));
+                    if blob.is_none() {
+                        counters.frontier_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.send(
+                        &ServerMessage::FrontierBlob {
+                            fingerprint,
+                            frontier: blob.unwrap_or_default(),
+                        },
+                        counters,
+                    )?;
+                }
+                (ClientMessage::PushFrontier { frontier }, None) => {
+                    // Control request: admit a shipped frontier exactly
+                    // like a snapshot restore — full validation, and the
+                    // fingerprint recomputed from the decoded spec, never
+                    // taken from the sender. Refusals ack with the
+                    // documented fingerprint-0 sentinel.
+                    let engine = server.engine();
+                    let ack = match IamaOptimizer::import_frontier(engine.model(), &frontier) {
+                        Ok(opt) => {
+                            let model = opt.model();
+                            let fp = QueryFingerprint::of(opt.spec(), &model);
+                            engine.park(fp, opt);
+                            counters.frontier_pushes.fetch_add(1, Ordering::Relaxed);
+                            fp.as_u64()
+                        }
+                        Err(_) => {
+                            counters.frontier_refused.fetch_add(1, Ordering::Relaxed);
+                            0
+                        }
+                    };
+                    self.send(
+                        &ServerMessage::FrontierBlob {
+                            fingerprint: ack,
+                            frontier: Vec::new(),
+                        },
+                        counters,
+                    )?;
+                }
+                (
+                    ClientMessage::PullFrontier { .. } | ClientMessage::PushFrontier { .. },
+                    Some(_),
+                ) => {
+                    return Err(NetError::UnexpectedFrame(
+                        "control message on a session stream",
+                    ));
+                }
             }
         }
 
@@ -346,9 +435,10 @@ impl Conn {
 
     /// Parks the connection's session if it never finished (disconnects
     /// and faults must not leak admission slots).
-    fn retire(&mut self, server: &Arc<MoqoServer>) {
+    fn retire(&mut self, server: &Arc<MoqoServer>, counters: &NetCounters) {
         if let Some(ticket) = self.ticket.take() {
             if !self.finished {
+                counters.disconnect_parked.fetch_add(1, Ordering::Relaxed);
                 let _ = server.finish(ticket);
             }
         }
@@ -375,6 +465,29 @@ impl NetServer {
         server: Arc<MoqoServer>,
         registry: Arc<ModelRegistry>,
         config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        Self::bind_inner(server, registry, config, None)
+    }
+
+    /// Like [`NetServer::bind`], with a [`SnapshotStore`] backing the
+    /// `PullFrontier` endpoint: a pull for a fingerprint not parked in
+    /// memory falls back to the store directory and re-parks what it
+    /// finds — the lazy restore path a node uses when placement makes it
+    /// the new home of a dead node's shard.
+    pub fn bind_with_store(
+        server: Arc<MoqoServer>,
+        registry: Arc<ModelRegistry>,
+        config: NetConfig,
+        store: Arc<SnapshotStore>,
+    ) -> std::io::Result<NetServer> {
+        Self::bind_inner(server, registry, config, Some(store))
+    }
+
+    fn bind_inner(
+        server: Arc<MoqoServer>,
+        registry: Arc<ModelRegistry>,
+        config: NetConfig,
+        store: Option<Arc<SnapshotStore>>,
     ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -429,6 +542,7 @@ impl NetServer {
             let injector = injector.clone();
             let server = server.clone();
             let registry = registry.clone();
+            let store = store.clone();
             threads.push(
                 thread::Builder::new()
                     .name(format!("moqo-net-io-{i}"))
@@ -439,7 +553,7 @@ impl NetServer {
                                 // Graceful drain: park every unfinished
                                 // session, then close the sockets.
                                 for conn in &mut conns {
-                                    conn.retire(&server);
+                                    conn.retire(&server, &counters);
                                 }
                                 return;
                             }
@@ -450,7 +564,7 @@ impl NetServer {
                             }
                             let mut progressed = false;
                             conns.retain_mut(|conn| {
-                                match conn.pump(&server, &registry, &counters) {
+                                match conn.pump(&server, &registry, store.as_ref(), &counters) {
                                     Pump::Keep(p) => {
                                         progressed |= p;
                                         true
@@ -505,6 +619,14 @@ impl NetServer {
             rebase_routed: shards.iter().map(|s| s.rebase_routed).sum(),
             subfrontier_hits: sub.hits,
             subfrontier_misses: sub.misses,
+            cold_routed: shards.iter().map(|s| s.cold_routed).sum(),
+            rebalanced_in: shards.iter().map(|s| s.rebalanced_in).sum(),
+            live: shards.iter().map(|s| s.live as u64).sum(),
+            disconnect_parked: self.counters.disconnect_parked.load(Ordering::Relaxed),
+            frontier_pulls: self.counters.frontier_pulls.load(Ordering::Relaxed),
+            frontier_misses: self.counters.frontier_misses.load(Ordering::Relaxed),
+            frontier_pushes: self.counters.frontier_pushes.load(Ordering::Relaxed),
+            frontier_refused: self.counters.frontier_refused.load(Ordering::Relaxed),
         }
     }
 
@@ -592,6 +714,9 @@ impl NetClient {
             Some(ServerMessage::Event(_)) => {
                 Err(NetError::UnexpectedFrame("event before admission"))
             }
+            Some(ServerMessage::FrontierBlob { .. }) => {
+                Err(NetError::UnexpectedFrame("frontier blob before admission"))
+            }
             // Distinguish a genuinely closed socket from a server that is
             // merely slow to decide admission within `timeout`.
             None if self.eof => Err(NetError::Disconnected),
@@ -636,8 +761,76 @@ impl NetClient {
                 Some(ServerMessage::Admission { .. }) => {
                     return Err(NetError::UnexpectedFrame("second admission"));
                 }
+                Some(ServerMessage::FrontierBlob { .. }) => {
+                    return Err(NetError::UnexpectedFrame(
+                        "frontier blob on a session stream",
+                    ));
+                }
                 None => return Ok(None),
             }
+        }
+    }
+
+    /// Pulls the parked frontier for a raw fingerprint off the server
+    /// (control request; only valid before [`NetClient::submit`]).
+    /// `Ok(None)` is a miss — nothing parked, nothing in the server's
+    /// snapshot store. The bytes are self-validating
+    /// `export_frontier` state, importable on any node whose cost model
+    /// matches.
+    pub fn pull_frontier(
+        &mut self,
+        fingerprint: u64,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        if self.ticket.is_some() {
+            return Err(NetError::UnexpectedFrame("control message after submit"));
+        }
+        moqo_wire::write_frame(
+            &mut self.stream,
+            &ClientMessage::PullFrontier { fingerprint }.encode(),
+        )?;
+        match self.read_message(Instant::now() + timeout)? {
+            Some(ServerMessage::FrontierBlob { frontier, .. }) => {
+                Ok((!frontier.is_empty()).then_some(frontier))
+            }
+            Some(ServerMessage::Error(e)) => Err(e.into()),
+            Some(_) => Err(NetError::UnexpectedFrame("expected frontier blob")),
+            None if self.eof => Err(NetError::Disconnected),
+            None => Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "no frontier blob within the pull timeout",
+            ))),
+        }
+    }
+
+    /// Pushes self-validating `export_frontier` bytes onto the server to
+    /// be parked at their home shard (control request; only valid before
+    /// [`NetClient::submit`]). Returns the admitted fingerprint the
+    /// server recomputed from the decoded spec, or `Ok(None)` when the
+    /// push was refused by validation.
+    pub fn push_frontier(
+        &mut self,
+        frontier: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Option<u64>, NetError> {
+        if self.ticket.is_some() {
+            return Err(NetError::UnexpectedFrame("control message after submit"));
+        }
+        moqo_wire::write_frame(
+            &mut self.stream,
+            &ClientMessage::PushFrontier { frontier }.encode(),
+        )?;
+        match self.read_message(Instant::now() + timeout)? {
+            Some(ServerMessage::FrontierBlob { fingerprint, .. }) => {
+                Ok((fingerprint != 0).then_some(fingerprint))
+            }
+            Some(ServerMessage::Error(e)) => Err(e.into()),
+            Some(_) => Err(NetError::UnexpectedFrame("expected frontier blob")),
+            None if self.eof => Err(NetError::Disconnected),
+            None => Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "no push acknowledgement within the timeout",
+            ))),
         }
     }
 
@@ -871,6 +1064,147 @@ mod tests {
             response,
             AdmissionResponse::Rejected(moqo_core::RejectReason::Overloaded { .. })
         ));
+        net.shutdown();
+    }
+
+    /// Runs one session to completion on `addr` (submit, drain the
+    /// ladder, cancel) so the server parks its frontier.
+    fn park_one(addr: SocketAddr, spec: Arc<moqo_query::QuerySpec>) {
+        let mut client = NetClient::connect(addr).expect("connect");
+        client
+            .submit(SessionRequest::new(spec), IDLE)
+            .expect("admitted");
+        while client.view().invocations < 3 {
+            client.recv(IDLE).expect("stream healthy");
+        }
+        client.command(SessionCommand::Cancel).expect("send");
+        client.wait_finished(IDLE).expect("terminal event");
+    }
+
+    #[test]
+    fn frontiers_travel_between_nodes_over_the_wire() {
+        // Node A refines and parks; a control connection pulls the
+        // frontier off A and pushes it onto node B; a repeat of the
+        // query on B starts warm and generates zero plans.
+        let (a, addr_a, _model) = start(AdmissionConfig::default());
+        let (b, addr_b, _model) = start(AdmissionConfig::default());
+        let spec = Arc::new(testkit::chain_query(3, 40_000));
+        park_one(addr_a, spec.clone());
+        let fp = a.moqo().engine().fingerprint(&spec);
+
+        let mut control = NetClient::connect(addr_a).expect("connect");
+        // A fingerprint nobody ever parked is a clean miss.
+        assert_eq!(control.pull_frontier(1, IDLE).expect("answered"), None);
+        let blob = control
+            .pull_frontier(fp.as_u64(), IDLE)
+            .expect("answered")
+            .expect("parked frontier must be pullable");
+
+        let mut control_b = NetClient::connect(addr_b).expect("connect");
+        // Garbage is refused by validation, not parked.
+        assert_eq!(
+            control_b
+                .push_frontier(vec![0xa5; 64], IDLE)
+                .expect("answered"),
+            None
+        );
+        let admitted = control_b
+            .push_frontier(blob, IDLE)
+            .expect("answered")
+            .expect("validated frontier must be admitted");
+        assert_eq!(admitted, fp.as_u64());
+        assert!(b.moqo().engine().has_parked(fp));
+
+        // The shipped state serves a warm repeat on B: zero plans.
+        let mut repeat = NetClient::connect(addr_b).expect("connect");
+        repeat
+            .submit(SessionRequest::new(spec), IDLE)
+            .expect("admitted");
+        while repeat.view().first_report.is_none() {
+            repeat.recv(IDLE).expect("stream healthy");
+        }
+        assert_eq!(
+            repeat.view().first_report.as_ref().unwrap().plans_generated,
+            0,
+            "warm repeat after hand-off must not regenerate plans"
+        );
+
+        let sa = a.stats();
+        assert_eq!(sa.frontier_pulls, 2);
+        assert_eq!(sa.frontier_misses, 1);
+        let sb = b.stats();
+        assert_eq!(sb.frontier_pushes, 1);
+        assert_eq!(sb.frontier_refused, 1);
+        assert!(sb.warm_routed >= 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn pull_falls_back_to_the_snapshot_store() {
+        // A node that never served the query itself adopts it from the
+        // shared snapshot directory on first demand — the re-park path a
+        // new home runs after its predecessor died.
+        let dir = std::env::temp_dir().join(format!("moqo-net-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = Arc::new(testkit::chain_query(4, 52_000));
+        let (a, addr_a, _model) = start(AdmissionConfig::default());
+        park_one(addr_a, spec.clone());
+        let fp = a.moqo().engine().fingerprint(&spec);
+        SnapshotStore::new(&dir).save(a.moqo().engine()).unwrap();
+        a.shutdown();
+
+        let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+        let server = Arc::new(MoqoServer::new(
+            model.clone(),
+            ResolutionSchedule::linear(2, 1.1, 0.4),
+            ServeConfig::default(),
+        ));
+        let registry = Arc::new(ModelRegistry::with_default(model));
+        let fresh = NetServer::bind_with_store(
+            server,
+            registry,
+            NetConfig::default(),
+            Arc::new(SnapshotStore::new(&dir)),
+        )
+        .expect("bind loopback");
+        assert!(!fresh.moqo().engine().has_parked(fp));
+        let mut control = NetClient::connect(fresh.local_addr()).expect("connect");
+        let blob = control
+            .pull_frontier(fp.as_u64(), IDLE)
+            .expect("answered")
+            .expect("store-backed pull must hit");
+        assert!(!blob.is_empty());
+        assert!(fresh.moqo().engine().has_parked(fp), "pull must re-park");
+        assert_eq!(fresh.stats().frontier_pulls, 1);
+        assert_eq!(fresh.stats().frontier_misses, 0);
+        fresh.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disconnects_park_and_are_counted() {
+        let (net, addr, _model) = start(AdmissionConfig::default());
+        let spec = Arc::new(testkit::chain_query(3, 30_000));
+        {
+            let mut client = NetClient::connect(addr).expect("connect");
+            client
+                .submit(SessionRequest::new(spec.clone()), IDLE)
+                .expect("admitted");
+            while client.view().invocations < 3 {
+                client.recv(IDLE).expect("stream healthy");
+            }
+        } // drop without cancel: the vanished-user path
+        let deadline = Instant::now() + IDLE;
+        while net.stats().disconnect_parked == 0 {
+            assert!(Instant::now() < deadline, "disconnect never counted");
+            thread::sleep(Duration::from_millis(5));
+        }
+        let stats = net.stats();
+        assert_eq!(stats.disconnect_parked, 1);
+        assert_eq!(stats.live, 0, "disconnect must not leak a session slot");
+        let fp = net.moqo().engine().fingerprint(&spec);
+        assert!(net.moqo().engine().has_parked(fp));
         net.shutdown();
     }
 

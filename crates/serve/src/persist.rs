@@ -192,6 +192,30 @@ impl SnapshotStore {
         Ok(report)
     }
 
+    /// Restores the single snapshot file for `fp` — if present, valid,
+    /// and actually describing `fp` (the fingerprint is recomputed from
+    /// the decoded spec; a mis-named file is refused) — re-parks it at
+    /// the fingerprint's home shard, and returns the raw bytes.
+    ///
+    /// This is the fleet adopt-after-death hook: when placement moves a
+    /// fingerprint to a new home node, that node pulls the dead home's
+    /// last persisted frontier out of the *shared* store directory
+    /// lazily, on first demand, instead of bulk-restoring everything.
+    pub fn restore_one(&self, engine: &ShardedEngine, fp: QueryFingerprint) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.file_for(fp)).ok()?;
+        let opt = IamaOptimizer::import_frontier(engine.model(), &bytes).ok()?;
+        let model = opt.model();
+        if QueryFingerprint::of(opt.spec(), &model) != fp {
+            return None;
+        }
+        engine.park(fp, opt);
+        self.persisted
+            .lock()
+            .expect("snapshot dirty map poisoned")
+            .insert(fp.as_u64(), content_hash(&bytes));
+        Some(bytes)
+    }
+
     /// Decodes every snapshot file and re-parks the frontiers in their
     /// home shards. Individual bad files are skipped (reported in the
     /// result); only directory-level IO fails the whole restore. A

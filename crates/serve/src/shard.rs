@@ -451,6 +451,14 @@ impl ShardedEngine {
         out
     }
 
+    /// Serializes one parked optimizer (whichever shard holds it) as
+    /// self-validating `export_frontier` bytes; `None` when no shard
+    /// parks `fp`. The warm-state hand-off hook behind the network
+    /// front's frontier-pull endpoint.
+    pub fn export_parked(&self, fp: QueryFingerprint) -> Option<Vec<u8>> {
+        self.shards.iter().find_map(|s| s.export_parked(fp))
+    }
+
     /// Unbounded initial bounds under the engine's cost model.
     pub fn unbounded(&self) -> Bounds {
         Bounds::unbounded(self.model.dim())

@@ -263,6 +263,29 @@ proptest! {
             other => prop_assert!(false, "wrong envelope: {other:?}"),
         }
     }
+
+    #[test]
+    fn frontier_envelopes_round_trip(
+        fp in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // The fleet control vocabulary: pull requests, pushes, and the
+        // blob answer all round-trip with arbitrary payload bytes — the
+        // envelope never interprets the frontier blob itself.
+        let resolver = model();
+        let pull = ClientMessage::PullFrontier { fingerprint: fp };
+        match ClientMessage::decode(&pull.encode(), &resolver).unwrap() {
+            ClientMessage::PullFrontier { fingerprint } => prop_assert_eq!(fingerprint, fp),
+            other => prop_assert!(false, "wrong envelope: {other:?}"),
+        }
+        let push = ClientMessage::PushFrontier { frontier: blob.clone() };
+        match ClientMessage::decode(&push.encode(), &resolver).unwrap() {
+            ClientMessage::PushFrontier { frontier } => prop_assert_eq!(&frontier, &blob),
+            other => prop_assert!(false, "wrong envelope: {other:?}"),
+        }
+        let server = ServerMessage::FrontierBlob { fingerprint: fp, frontier: blob };
+        prop_assert_eq!(ServerMessage::decode(&server.encode()).unwrap(), server);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -312,6 +335,30 @@ proptest! {
                         || SessionCommand::decode_exact(&bytes[..len]).is_err()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn frontier_envelope_truncations_and_flips_never_panic(
+        fp in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..96),
+        flips in proptest::collection::vec((0usize..4096, 0u8..8), 1..12),
+    ) {
+        let encodings = [
+            ClientMessage::PullFrontier { fingerprint: fp }.encode(),
+            ClientMessage::PushFrontier { frontier: blob.clone() }.encode(),
+            ServerMessage::FrontierBlob { fingerprint: fp, frontier: blob }.encode(),
+        ];
+        for bytes in &encodings {
+            for len in 0..bytes.len() {
+                decode_all(&bytes[..len]);
+            }
+            let mut mutant = bytes.clone();
+            for &(pos, bit) in &flips {
+                let i = pos % mutant.len();
+                mutant[i] ^= 1 << bit;
+            }
+            decode_all(&mutant);
         }
     }
 

@@ -26,6 +26,11 @@
 //! * [`wire`] — the versioned, length-prefixed binary wire format the
 //!   network front speaks: handshake, frames, and message envelopes over
 //!   the validated per-type codecs of `moqo_core::wire`;
+//! * [`fleet`] — cross-process shard placement: a deterministic
+//!   rendezvous-hash `Placement` over named nodes, the `FleetRouter`
+//!   control plane (health probes, death detection, warm-state
+//!   rebalancing over `PullFrontier`/`PushFrontier`), and the
+//!   placement-routed `FleetClient` with failover;
 //! * [`baselines`] — memoryless, one-shot, exhaustive, and single-objective
 //!   reference optimizers;
 //! * [`viz`] — ASCII rendering of cost frontiers.
@@ -56,6 +61,7 @@ pub use moqo_core as core;
 pub use moqo_cost as cost;
 pub use moqo_costmodel as costmodel;
 pub use moqo_engine as engine;
+pub use moqo_fleet as fleet;
 pub use moqo_index as index;
 pub use moqo_plan as plan;
 pub use moqo_query as query;
@@ -77,6 +83,7 @@ pub mod prelude {
     pub use moqo_engine::{
         EngineConfig, ModelRegistry, QueryFingerprint, SessionId, SessionManager,
     };
+    pub use moqo_fleet::{FleetClient, FleetNode, FleetNodeConfig, FleetRouter, Placement};
     pub use moqo_query::QuerySpec;
     pub use moqo_serve::{
         AdmissionConfig, AdmissionPolicy, MoqoServer, NetClient, NetConfig, NetServer, ServeConfig,
