@@ -234,6 +234,132 @@ fn view_matches_served_frontier(
     served.bits_eq(&session.client.view().frontier)
 }
 
+/// What a bounded `repro fleet-router --watch` run observed in total.
+#[derive(Clone, Debug, Default)]
+pub struct WatchReport {
+    /// Liveness-loop beats executed.
+    pub ticks: u64,
+    /// Nodes found dead across the run.
+    pub deaths: usize,
+    /// Keys orphaned by those deaths.
+    pub orphaned: usize,
+    /// Orphaned keys re-parked warm from the shared store.
+    pub adopted_warm: usize,
+    /// Keys shipped warm between nodes by load leveling.
+    pub rebalanced: usize,
+}
+
+/// The daemonizable liveness loop behind `repro fleet-router --watch
+/// <ms>`: spawns 3 real `repro fleet-node` processes over a shared
+/// snapshot directory, parks the workload on them, then runs
+/// [`FleetRouter::watch_tick`] every `every` — probe, adopt orphans
+/// after a death, level skewed ownership — printing one line per beat.
+///
+/// With `ticks: None` the loop runs until the process dies (SIGTERM is
+/// the intended stop; the node children notice the closed stdin pipes
+/// and drain gracefully). A bounded run (`ticks: Some(n)`, the `--ticks`
+/// flag) additionally SIGKILLs one node after the second beat so the
+/// death-detection and store-adoption paths demonstrably fire, then
+/// tears the fleet down and reports totals.
+pub fn fleet_router_watch(
+    exe: &Path,
+    every: Duration,
+    ticks: Option<u64>,
+    fast: bool,
+) -> WatchReport {
+    let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+    let dir = std::env::temp_dir().join(format!("moqo-fleet-watch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let n = 3;
+    let mut children: HashMap<String, Child> = HashMap::new();
+    let mut placement = Placement::new();
+    for i in 0..n {
+        let id = format!("node-{i}");
+        let (child, addr) = spawn_node(exe, &id, &dir);
+        placement.add_node(&id, addr);
+        children.insert(id, child);
+    }
+    let placement = share(placement);
+    let client = FleetClient::new(placement.clone(), model.clone());
+    let router = FleetRouter::new(placement.clone());
+
+    // Park the workload and wait for the sweepers to persist it — the
+    // state a mid-loop death must not destroy.
+    let specs = fleet_workload(fast);
+    let fps: Vec<QueryFingerprint> = specs
+        .iter()
+        .map(|s| client.fingerprint(&SessionRequest::new(s.clone())))
+        .collect();
+    run_phase(&client, &specs, "park");
+    let deadline = Instant::now() + IDLE;
+    for fp in &fps {
+        let file = dir.join(format!("{:016x}.frontier", fp.as_u64()));
+        while !file.exists() {
+            assert!(Instant::now() < deadline, "sweep never persisted {file:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    println!(
+        "watching {} keys on {} nodes every {:?} ({})",
+        fps.len(),
+        n,
+        every,
+        match ticks {
+            Some(t) => format!("{t} ticks, one induced kill"),
+            None => "until SIGTERM".to_string(),
+        }
+    );
+
+    let mut report = WatchReport::default();
+    loop {
+        std::thread::sleep(every);
+        if ticks.is_some() && report.ticks == 2 {
+            // Bounded demo runs induce the failure they exist to repair:
+            // SIGKILL the current home of the first workload key.
+            let victim = placement
+                .read()
+                .unwrap()
+                .home_of(fps[0])
+                .expect("live fleet")
+                .id
+                .clone();
+            if let Some(mut corpse) = children.remove(&victim) {
+                corpse.kill().expect("SIGKILL");
+                corpse.wait().expect("reap");
+                println!("tick {}: SIGKILLed {victim}", report.ticks);
+            }
+        }
+        let tick = router.watch_tick(&fps, 2);
+        report.ticks += 1;
+        report.deaths += tick.died.len();
+        report.orphaned += tick.orphaned;
+        report.adopted_warm += tick.adopted_warm;
+        report.rebalanced += tick.rebalanced;
+        println!(
+            "tick {}: {} alive, died {:?}, orphaned {}, adopted warm {}, \
+             adopted cold {}, rebalanced {}",
+            report.ticks,
+            tick.health.iter().filter(|h| h.alive).count(),
+            tick.died,
+            tick.orphaned,
+            tick.adopted_warm,
+            tick.adopted_cold,
+            tick.rebalanced,
+        );
+        if ticks.is_some_and(|t| report.ticks >= t) {
+            break;
+        }
+    }
+
+    for (_, mut child) in children {
+        drop(child.stdin.take());
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
 /// Spawns `nodes` real `repro fleet-node` processes over one shared
 /// snapshot directory, runs the cold and warm passes, SIGKILLs the home
 /// of the first workload key, and proves the post-kill repeats still all

@@ -12,6 +12,7 @@ pub mod benchjson;
 pub mod experiments;
 pub mod fleet;
 pub mod net;
+pub mod net_scale;
 pub mod pruning;
 pub mod serve;
 pub mod similarity;
@@ -20,9 +21,11 @@ pub mod workload;
 pub use benchjson::Json;
 pub use experiments::*;
 pub use fleet::{
-    fleet_experiment, fleet_node_serve, fleet_workload, FleetPhaseReport, FleetReport,
+    fleet_experiment, fleet_node_serve, fleet_router_watch, fleet_workload, FleetPhaseReport,
+    FleetReport, WatchReport,
 };
 pub use net::{net_serving_experiment, net_workload, NetPhaseReport};
+pub use net_scale::{net_scale_experiment, net_scale_templates, proc_status, NetScaleReport};
 pub use pruning::{
     build_pruning_grid, kernel_measurements, prune_share_rows, KernelMeasurement, PruneShareRow,
     KERNEL_CELL_SIZES, KERNEL_DIMS,

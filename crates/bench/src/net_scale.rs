@@ -1,0 +1,326 @@
+//! Scale experiment: one node holding thousands of **idle** interactive
+//! sessions (`repro net-scale`).
+//!
+//! The latency experiments (`repro serve`, `repro net`) measure the
+//! interactive SLO for one session at a time; this one measures the
+//! *capacity* claim behind the readiness-driven front: a single
+//! event-loop thread plus a fixed decode pool holds N connected,
+//! admitted, idle sessions without a per-connection thread and with
+//! bounded per-connection memory. The report samples `/proc/self/status`
+//! (so the figures are userspace RSS and real thread counts, client and
+//! server side combined — both live in this process) and the server's
+//! [`NetStats`](moqo_serve::NetStats) backpressure counters before and
+//! while holding the fleet.
+//!
+//! Sequence: raise `RLIMIT_NOFILE`, bind one [`NetServer`], connect and
+//! submit N sessions over a handful of repeated query templates, drain
+//! every client to its first frontier, hold the fleet idle, then drop all
+//! clients at once (the disconnect-park path) and time the drain and the
+//! event-driven shutdown.
+
+use moqo_core::protocol::SessionRequest;
+use moqo_cost::ResolutionSchedule;
+use moqo_costmodel::StandardCostModel;
+use moqo_engine::{EngineConfig, ModelRegistry};
+use moqo_query::{testkit, QuerySpec};
+use moqo_serve::{
+    AdmissionConfig, MoqoServer, NetClient, NetConfig, NetServer, ServeConfig, ShardConfig,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const IDLE: Duration = Duration::from_secs(600);
+
+/// What one `net-scale` run measured. All memory figures are kibibytes
+/// straight from `VmRSS`; they cover the whole process (server *and* the
+/// N clients), so `kb_per_conn` is an upper bound on the server's own
+/// per-connection footprint.
+#[derive(Clone, Debug)]
+pub struct NetScaleReport {
+    /// Connections actually held (may be clamped below `requested` by the
+    /// file-descriptor hard limit).
+    pub connections: usize,
+    /// Connections asked for on the command line.
+    pub requested: usize,
+    /// Soft `RLIMIT_NOFILE` after raising it.
+    pub nofile_soft: u64,
+    /// Distinct query templates cycled over the fleet.
+    pub templates: usize,
+    /// Mean TCP connect + handshake latency (microseconds).
+    pub connect_mean_us: f64,
+    /// Median connect + handshake latency.
+    pub connect_p50_us: f64,
+    /// Worst connect + handshake latency.
+    pub connect_max_us: f64,
+    /// Mean framed submit → admission frame latency (microseconds).
+    pub admit_mean_us: f64,
+    /// Median submit → admission latency.
+    pub admit_p50_us: f64,
+    /// Worst submit → admission latency.
+    pub admit_max_us: f64,
+    /// Sessions whose first invocation generated zero plans (warm starts
+    /// on repeated templates).
+    pub zero_plan_starts: usize,
+    /// `VmRSS` (kB) after the server started, before any connection.
+    pub rss_before_kb: u64,
+    /// `VmRSS` (kB) while holding the full idle fleet.
+    pub rss_held_kb: u64,
+    /// `(rss_held_kb - rss_before_kb) / connections` — process-wide
+    /// userspace growth per held connection.
+    pub kb_per_conn: f64,
+    /// OS threads after the server started, before any connection.
+    pub threads_before: u64,
+    /// OS threads while holding the full idle fleet — equal to
+    /// `threads_before`: connections never spawn threads.
+    pub threads_held: u64,
+    /// `NetStats::live` while holding (should equal `connections`).
+    pub live_held: u64,
+    /// `NetStats::live` after the idle hold (still the full fleet).
+    pub live_after_hold: u64,
+    /// How long the fleet was held idle (milliseconds).
+    pub hold_ms: u64,
+    /// Faulted connections over the whole run (should stay 0).
+    pub faulted: u64,
+    /// Stall-expired connections (should stay 0: every client drained).
+    pub stalled: u64,
+    /// Events merged by the outbound coalescing valve.
+    pub coalesced_events: u64,
+    /// Largest pending outbound queue (bytes) any connection reached.
+    pub outbound_high_water: u64,
+    /// Total frames decoded off clients.
+    pub frames_in: u64,
+    /// Total frames written to clients.
+    pub frames_out: u64,
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Sessions parked warm when their clients vanished.
+    pub disconnect_parked: u64,
+    /// Dropping all N clients → `live == 0` (milliseconds).
+    pub drain_ms: f64,
+    /// `NetServer::shutdown` wall time (milliseconds).
+    pub shutdown_ms: f64,
+}
+
+/// Reads `VmRSS` (kB) and `Threads` for this process. Returns zeros on
+/// non-Linux /proc layouts so the experiment still runs (memory columns
+/// just read 0).
+pub fn proc_status() -> (u64, u64) {
+    let text = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let field = |key: &str| {
+        text.lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    (field("VmRSS:"), field("Threads:"))
+}
+
+/// The small template set the fleet cycles over: enough shapes to spread
+/// across shards, few enough that repeats dominate and the warm cache
+/// carries most of the plan work.
+pub fn net_scale_templates() -> Vec<Arc<QuerySpec>> {
+    vec![
+        Arc::new(testkit::chain_query(2, 40_000)),
+        Arc::new(testkit::chain_query(3, 45_000)),
+        Arc::new(testkit::star_query(3, 60_000)),
+        Arc::new(testkit::chain_query(2, 55_000)),
+    ]
+}
+
+fn sorted_stats(mut us: Vec<f64>) -> (f64, f64, f64) {
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = us.iter().sum::<f64>() / us.len().max(1) as f64;
+    let p50 = us.get(us.len() / 2).copied().unwrap_or(0.0);
+    let max = us.last().copied().unwrap_or(0.0);
+    (mean, p50, max)
+}
+
+/// Runs the experiment at `requested` connections, clamped to what the
+/// file-descriptor limit allows (each held connection costs two fds in
+/// this single-process harness: the client socket and the server socket).
+pub fn net_scale_experiment(requested: usize, fast: bool) -> NetScaleReport {
+    let nofile_soft = moqo_poll::raise_nofile_limit(requested as u64 * 2 + 512).unwrap_or(1024);
+    let usable = (nofile_soft.saturating_sub(256) / 2) as usize;
+    let connections = requested.min(usable).max(1);
+
+    let model: moqo_costmodel::SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+    let server = Arc::new(MoqoServer::new(
+        model.clone(),
+        ResolutionSchedule::linear(1, 1.1, 0.5),
+        ServeConfig {
+            shard: ShardConfig {
+                shards: 2,
+                engine: EngineConfig {
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+                rebalance_headroom: 8,
+            },
+            admission: AdmissionConfig {
+                max_live: connections + 16,
+                ..AdmissionConfig::default()
+            },
+            retired_tickets: connections + 16,
+        },
+    ));
+    let registry = Arc::new(ModelRegistry::with_default(model));
+    let net = NetServer::bind(server, registry, NetConfig::default()).expect("bind 127.0.0.1:0");
+    let addr = net.local_addr();
+    let templates = net_scale_templates();
+
+    // Pre-warm: one sequential session per template parks its frontier,
+    // so the fleet's first repeat of each template starts at zero plans
+    // (the rest run concurrently and cannot all share one parked state).
+    for spec in &templates {
+        let mut client = NetClient::connect(addr).expect("connect over loopback");
+        client
+            .submit(SessionRequest::new(spec.clone()), IDLE)
+            .expect("admitted");
+        while client.view().frontier.is_empty() {
+            client.recv(IDLE).expect("healthy stream");
+        }
+        client
+            .command(moqo_core::SessionCommand::Cancel)
+            .expect("send");
+        client.wait_finished(IDLE).expect("terminal event");
+    }
+
+    let (rss_before_kb, threads_before) = proc_status();
+
+    // Connect and submit the whole fleet; each session runs its (tiny)
+    // resolution ladder and then sits idle awaiting commands.
+    let mut clients: Vec<NetClient> = Vec::with_capacity(connections);
+    let mut connect_us: Vec<f64> = Vec::with_capacity(connections);
+    let mut admit_us: Vec<f64> = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let t0 = Instant::now();
+        let mut client = NetClient::connect(addr).expect("connect over loopback");
+        connect_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        let spec = templates[i % templates.len()].clone();
+        let t1 = Instant::now();
+        client
+            .submit(SessionRequest::new(spec), IDLE)
+            .expect("admitted");
+        admit_us.push(t1.elapsed().as_secs_f64() * 1e6);
+        clients.push(client);
+    }
+    assert!(
+        net.moqo().wait_idle(IDLE),
+        "engine did not go idle under the held fleet"
+    );
+
+    // Drain every client to its first frontier and first report: this
+    // proves end-to-end delivery for all N streams, not just admission.
+    let mut zero_plan_starts = 0usize;
+    for client in &mut clients {
+        while client.view().frontier.is_empty() || client.view().first_report.is_none() {
+            client.recv(IDLE).expect("healthy stream");
+        }
+        if client
+            .view()
+            .first_report
+            .as_ref()
+            .is_some_and(|r| r.plans_generated == 0)
+        {
+            zero_plan_starts += 1;
+        }
+    }
+
+    // Quiesce every stream exactly: the engine is idle, so the server's
+    // view epoch per ticket is final — recv until the client has caught
+    // up. Without this, frames still in flight would turn the bulk drop
+    // below into TCP resets (counted as faults) instead of orderly EOFs.
+    for client in &mut clients {
+        let ticket = moqo_serve::Ticket::from_u64(client.server_ticket().expect("admitted"));
+        let target = match net.moqo().poll(ticket) {
+            Some(moqo_serve::TicketStatus::Active { view, .. }) => view.epoch,
+            other => panic!("held session not active: {other:?}"),
+        };
+        while client.view().epoch < target {
+            client.recv(IDLE).expect("healthy stream");
+        }
+    }
+
+    let (rss_held_kb, threads_held) = proc_status();
+    let held = net.stats();
+
+    // Hold the fleet idle: nothing polls, nothing spins — the loop thread
+    // blocks in the reactor the whole time.
+    let hold_ms: u64 = if fast { 150 } else { 500 };
+    std::thread::sleep(Duration::from_millis(hold_ms));
+    let after_hold = net.stats();
+
+    // Drop all N clients at once: every live session takes the
+    // disconnect-park path and the fleet drains to zero.
+    let t_drain = Instant::now();
+    drop(clients);
+    let drain_deadline = Instant::now() + IDLE;
+    while net.stats().live != 0 {
+        assert!(Instant::now() < drain_deadline, "fleet did not drain");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+    let end = net.stats();
+
+    let t_stop = Instant::now();
+    net.shutdown();
+    let shutdown_ms = t_stop.elapsed().as_secs_f64() * 1e3;
+
+    let (connect_mean_us, connect_p50_us, connect_max_us) = sorted_stats(connect_us);
+    let (admit_mean_us, admit_p50_us, admit_max_us) = sorted_stats(admit_us);
+    NetScaleReport {
+        connections,
+        requested,
+        nofile_soft,
+        templates: templates.len(),
+        connect_mean_us,
+        connect_p50_us,
+        connect_max_us,
+        admit_mean_us,
+        admit_p50_us,
+        admit_max_us,
+        zero_plan_starts,
+        rss_before_kb,
+        rss_held_kb,
+        kb_per_conn: rss_held_kb.saturating_sub(rss_before_kb) as f64 / connections as f64,
+        threads_before,
+        threads_held,
+        live_held: held.live,
+        live_after_hold: after_hold.live,
+        hold_ms,
+        faulted: end.faulted,
+        stalled: end.stalled,
+        coalesced_events: end.coalesced_events,
+        outbound_high_water: end.outbound_high_water,
+        frames_in: end.frames_in,
+        frames_out: end.frames_out,
+        accepted: end.accepted,
+        disconnect_parked: end.disconnect_parked,
+        drain_ms,
+        shutdown_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_an_idle_fleet_without_per_connection_threads() {
+        let n = 192;
+        let report = net_scale_experiment(n, true);
+        assert_eq!(report.connections, n, "fd limit clamped the smoke run");
+        assert_eq!(report.live_held, n as u64);
+        assert_eq!(report.live_after_hold, n as u64, "sessions died while idle");
+        assert_eq!(report.faulted, 0);
+        assert_eq!(report.stalled, 0);
+        // The capacity claim: N connections, zero new threads.
+        assert_eq!(report.threads_held, report.threads_before);
+        // Every session delivered its first frontier; repeats of the
+        // four templates must hit the warm cache at least sometimes.
+        assert!(report.zero_plan_starts > 0);
+        assert_eq!(report.disconnect_parked, n as u64);
+        assert!(report.shutdown_ms < 1000.0);
+    }
+}

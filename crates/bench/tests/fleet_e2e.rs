@@ -6,8 +6,9 @@
 //! snapshot store, and the client-side view stays `bits_eq` with the
 //! serving node's frontier across the hand-off.
 
-use moqo_bench::fleet_experiment;
+use moqo_bench::{fleet_experiment, fleet_router_watch};
 use std::path::Path;
+use std::time::Duration;
 
 #[test]
 fn kill_and_repeat_survives_across_real_processes() {
@@ -29,4 +30,18 @@ fn kill_and_repeat_survives_across_real_processes() {
     let routed: u64 = report.routes.iter().map(|(_, n)| *n).sum();
     assert_eq!(routed as usize, 3 * cold.sessions + 1);
     assert!(report.routes.iter().all(|(id, _)| id.starts_with("node-")));
+}
+
+#[test]
+fn watch_loop_heals_a_killed_node_across_real_processes() {
+    // Bounded `repro fleet-router` run: five beats at a tight cadence,
+    // with the driver SIGKILLing one node after the second beat. The
+    // next beat must find the death and adopt every orphaned key warm
+    // from the shared snapshot store.
+    let exe = Path::new(env!("CARGO_BIN_EXE_repro"));
+    let report = fleet_router_watch(exe, Duration::from_millis(60), Some(5), true);
+    assert_eq!(report.ticks, 5);
+    assert_eq!(report.deaths, 1, "the induced SIGKILL must be detected");
+    assert!(report.orphaned >= 1, "the victim must have owned a key");
+    assert_eq!(report.adopted_warm, report.orphaned);
 }

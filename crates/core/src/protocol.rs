@@ -456,12 +456,43 @@ pub struct SessionEvent {
     pub first_report: Option<InvocationReport>,
     /// Terminal state, present once on the stream's final event.
     pub outcome: Option<SessionOutcome>,
+    /// Number of *extra* source events merged into this one by
+    /// [`coalesce`](SessionEvent::coalesce) — `0` for an event straight
+    /// off a session stream. A receiver at epoch `k` accepts a
+    /// coalesced event at epoch `k + 1 + coalesced`: the event covers
+    /// that whole epoch range, so the gap is accounted for, not lost.
+    pub coalesced: u64,
 }
 
 impl SessionEvent {
     /// True if this is the stream's final event.
     pub fn is_final(&self) -> bool {
         self.outcome.is_some()
+    }
+
+    /// Merges `next` (the later event) onto `self`: folding the result
+    /// into a [`SessionView`] leaves the view **bits-equal** to folding
+    /// `self` then `next`. This is the serving front's backpressure
+    /// valve — N pending events for a slow reader collapse into one
+    /// frame instead of buffering N.
+    ///
+    /// Scalar state (epoch, resolution, bounds, invocations) comes from
+    /// `next`; deltas compose via [`FrontierDelta::then`]; `report`
+    /// keeps the latest observation while `first_report` keeps the
+    /// earliest; [`coalesced`](SessionEvent::coalesced) accounts for
+    /// the covered epoch range so the receiver's gap check still holds.
+    pub fn coalesce(self, next: &SessionEvent) -> SessionEvent {
+        SessionEvent {
+            epoch: next.epoch,
+            delta: self.delta.then(&next.delta),
+            resolution: next.resolution,
+            bounds: next.bounds,
+            invocations: next.invocations,
+            report: next.report.clone().or(self.report),
+            first_report: self.first_report.or_else(|| next.first_report.clone()),
+            outcome: next.outcome.or(self.outcome),
+            coalesced: self.coalesced + 1 + next.coalesced,
+        }
     }
 }
 
@@ -492,11 +523,14 @@ pub struct SessionView {
 impl SessionView {
     /// Applies one event. Events must arrive in epoch order; a gap
     /// without a reset delta is rejected (the view would silently
-    /// diverge from the server otherwise). This also covers a fresh view
-    /// joining mid-stream: it must start from a reset-delta event (every
-    /// stream primes with one), not a live delta.
+    /// diverge from the server otherwise) — except the gap a
+    /// [coalesced](SessionEvent::coalesce) event declares, which is
+    /// covered by its merged delta: an event at epoch
+    /// `self.epoch + 1 + coalesced` is contiguous. This also covers a
+    /// fresh view joining mid-stream: it must start from a reset-delta
+    /// event (every stream primes with one), not a live delta.
     pub fn fold(&mut self, event: &SessionEvent) -> Result<(), ProtocolError> {
-        if !event.delta.reset && event.epoch != self.epoch + 1 {
+        if !event.delta.reset && event.epoch != self.epoch + 1 + event.coalesced {
             return Err(ProtocolError::EpochGap {
                 have: self.epoch,
                 got: event.epoch,
@@ -664,6 +698,7 @@ mod tests {
             report: None,
             first_report: None,
             outcome: None,
+            coalesced: 0,
         };
         view.fold(&base).unwrap();
         let gap = SessionEvent {
@@ -684,6 +719,64 @@ mod tests {
         view.fold(&resync).unwrap();
         assert_eq!(view.epoch, 9);
         assert_eq!(view.frontier.points[0].plan, PlanId(5));
+    }
+
+    #[test]
+    fn coalesced_events_cover_their_epoch_gap_exactly() {
+        let prime = SessionEvent {
+            epoch: 1,
+            delta: FrontierDelta::full(&snap(&[(0, [1.0, 2.0])])),
+            resolution: 1,
+            bounds: Bounds::unbounded(2),
+            invocations: 1,
+            report: None,
+            first_report: None,
+            outcome: None,
+            coalesced: 0,
+        };
+        let e2 = SessionEvent {
+            epoch: 2,
+            delta: FrontierDelta {
+                reset: false,
+                removed: vec![],
+                added: vec![pt(1, &[4.0, 1.0])],
+            },
+            invocations: 2,
+            ..prime.clone()
+        };
+        let e3 = SessionEvent {
+            epoch: 3,
+            delta: FrontierDelta {
+                reset: false,
+                removed: vec![PlanId(0)],
+                added: vec![pt(2, &[0.5, 0.5])],
+            },
+            invocations: 3,
+            ..prime.clone()
+        };
+        // One at a time.
+        let mut slow = SessionView::default();
+        for e in [&prime, &e2, &e3] {
+            slow.fold(e).unwrap();
+        }
+        // Coalesced: the merged event declares the gap it covers, so
+        // the fold accepts it; a raw gap of the same size is rejected.
+        let merged = e2.clone().coalesce(&e3);
+        assert_eq!(merged.coalesced, 1);
+        let mut fast = SessionView::default();
+        fast.fold(&prime).unwrap();
+        let raw_gap = SessionEvent {
+            coalesced: 0,
+            ..merged.clone()
+        };
+        assert_eq!(
+            fast.fold(&raw_gap),
+            Err(ProtocolError::EpochGap { have: 1, got: 3 })
+        );
+        fast.fold(&merged).unwrap();
+        assert_eq!(fast.epoch, slow.epoch);
+        assert_eq!(fast.invocations, slow.invocations);
+        assert!(fast.frontier.bits_eq(&slow.frontier));
     }
 
     #[test]

@@ -250,6 +250,7 @@ impl Session {
             first_report: (self.invocations == 1).then(|| report.clone()),
             report: Some(report),
             outcome,
+            coalesced: 0,
         })
     }
 
@@ -266,6 +267,7 @@ impl Session {
             report: None,
             first_report: None,
             outcome: Some(outcome),
+            coalesced: 0,
         }
     }
 

@@ -662,6 +662,7 @@ impl WireEncode for SessionEvent {
         encode_opt(w, &self.report);
         encode_opt(w, &self.first_report);
         encode_opt(w, &self.outcome);
+        w.u64(self.coalesced);
     }
 }
 
@@ -676,6 +677,7 @@ impl WireDecode for SessionEvent {
             report: decode_opt(r)?,
             first_report: decode_opt(r)?,
             outcome: decode_opt(r)?,
+            coalesced: r.u64()?,
         })
     }
 }
@@ -1065,6 +1067,7 @@ mod tests {
                 plan: PlanId(9),
                 by_preference: true,
             }),
+            coalesced: 4,
         };
         let bytes = event.encode_to_vec();
         assert_eq!(&SessionEvent::decode_exact(&bytes).unwrap(), &event);
@@ -1169,6 +1172,7 @@ mod tests {
             report: None,
             first_report: None,
             outcome: None,
+            coalesced: 0,
         };
         let bytes = event.encode_to_vec();
         for len in 0..bytes.len() {

@@ -1,0 +1,281 @@
+//! Property tests for the event-stream coalescing laws the serving
+//! front's backpressure valve relies on: for **any** event stream and
+//! **any** split of it into chunks, coalescing each chunk into one frame
+//! and folding the frames leaves a [`SessionView`] bits-equal to folding
+//! every event one at a time — across appends, removals, refocus resets,
+//! and terminal events. The valve may merge any suffix of a slow
+//! reader's queue at any moment, so the law must hold for every split,
+//! not just the ones the server happens to produce.
+
+use moqo_core::{
+    FrontierDelta, FrontierPoint, FrontierSnapshot, InvocationReport, ProtocolError, SessionEvent,
+    SessionOutcome, SessionView,
+};
+use moqo_cost::{Bounds, CostVector};
+use moqo_plan::PlanId;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const DIM: usize = 3;
+
+fn cost_component() -> BoxedStrategy<f64> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|v| v as f64 / 64.0),
+        Just(0.0),
+        Just(f64::INFINITY),
+    ]
+    .boxed()
+}
+
+fn cost_vector() -> BoxedStrategy<CostVector> {
+    proptest::collection::vec(cost_component(), DIM)
+        .prop_map(|v| CostVector::new(&v))
+        .boxed()
+}
+
+fn frontier_point() -> BoxedStrategy<FrontierPoint> {
+    (0u32..64, cost_vector())
+        .prop_map(|(plan, cost)| FrontierPoint {
+            plan: PlanId(plan),
+            cost,
+        })
+        .boxed()
+}
+
+/// A deterministic report whose fields depend on `seed`, so report
+/// bookkeeping mistakes (dropped / swapped reports) cannot cancel out.
+fn mk_report(seed: u32) -> InvocationReport {
+    InvocationReport {
+        invocation: seed,
+        resolution: seed as usize % 9,
+        alpha: 1.0 + f64::from(seed % 50) / 100.0,
+        duration: Duration::from_micros(u64::from(seed)),
+        frontier_size: seed as usize % 17,
+        plans_generated: u64::from(seed % 7),
+        candidates_retrieved: u64::from(seed % 11),
+        pairs_generated: u64::from(seed % 13),
+        result_insertions: u64::from(seed % 5),
+        candidate_insertions: u64::from(seed % 3),
+        subsets_visited: u64::from(seed % 19),
+        splits_visited: u64::from(seed % 23),
+        splits_skipped: u64::from(seed % 29),
+        used_delta: seed.is_multiple_of(2),
+    }
+}
+
+/// One step of a generated stream: how the frontier evolves plus the
+/// scalar payload of the event covering the step.
+#[derive(Clone, Debug)]
+struct Step {
+    /// 0 = append, 1 = remove-and-append, 2 = refocus (reset delta).
+    kind: u8,
+    points: Vec<FrontierPoint>,
+    remove_mask: u64,
+    bounds_limit: u64,
+    report: Option<u32>,
+    first_report: Option<u32>,
+    /// 0 = none, 1 = retired, 2 = selected.
+    outcome: u8,
+}
+
+fn maybe_seed() -> BoxedStrategy<Option<u32>> {
+    prop_oneof![Just(None), any::<u32>().prop_map(Some)].boxed()
+}
+
+fn step() -> BoxedStrategy<Step> {
+    (
+        (
+            0u8..3,
+            proptest::collection::vec(frontier_point(), 0..5),
+            any::<u64>(),
+        ),
+        (1u64..1_000_000, maybe_seed(), maybe_seed(), 0u8..3),
+    )
+        .prop_map(
+            |((kind, points, remove_mask), (bounds_limit, report, first_report, outcome))| Step {
+                kind,
+                points,
+                remove_mask,
+                bounds_limit,
+                report,
+                first_report,
+                outcome,
+            },
+        )
+        .boxed()
+}
+
+/// Realizes a step sequence as (snapshots, events): snapshot `i + 1` is
+/// the frontier after event `i + 1`, events carry epochs `1..`, and the
+/// stream primes with a reset delta exactly like a live session stream.
+/// Appended points get fresh plan ids so append/remove steps stay
+/// expressible as non-reset deltas; refocus steps keep the generated
+/// (possibly colliding) ids and ship a full reset.
+fn realize(steps: &[Step]) -> Vec<SessionEvent> {
+    let mut snaps = vec![FrontierSnapshot::default()];
+    let mut events = Vec::with_capacity(steps.len());
+    let mut next_plan = 1_000u32;
+    for (i, s) in steps.iter().enumerate() {
+        let prev = snaps.last().unwrap().clone();
+        let renumber = |points: &[FrontierPoint], next_plan: &mut u32| -> Vec<FrontierPoint> {
+            points
+                .iter()
+                .map(|p| {
+                    *next_plan += 1;
+                    FrontierPoint {
+                        plan: PlanId(*next_plan),
+                        cost: p.cost,
+                    }
+                })
+                .collect()
+        };
+        let new = match s.kind {
+            0 => {
+                let mut n = prev.clone();
+                n.points.extend(renumber(&s.points, &mut next_plan));
+                n
+            }
+            1 => {
+                let mut n = FrontierSnapshot::new(
+                    prev.points
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| s.remove_mask >> (j % 64) & 1 == 0)
+                        .map(|(_, p)| *p)
+                        .collect(),
+                );
+                n.points.extend(renumber(&s.points, &mut next_plan));
+                n
+            }
+            _ => FrontierSnapshot::new(s.points.clone()),
+        };
+        let delta = if i == 0 || s.kind == 2 {
+            FrontierDelta::full(&new)
+        } else {
+            FrontierDelta::between(&prev, &new)
+        };
+        events.push(SessionEvent {
+            epoch: i as u64 + 1,
+            delta,
+            resolution: i % 9,
+            bounds: Bounds::unbounded(DIM).with_limit(0, s.bounds_limit as f64),
+            invocations: i as u64,
+            report: s.report.map(mk_report),
+            first_report: s.first_report.map(mk_report),
+            outcome: match s.outcome {
+                0 => None,
+                1 => Some(SessionOutcome::Retired),
+                _ => Some(SessionOutcome::Selected {
+                    plan: PlanId(7),
+                    by_preference: true,
+                }),
+            },
+            coalesced: 0,
+        });
+        snaps.push(new);
+    }
+    events
+}
+
+/// Splits `events` into contiguous chunks: bit `i` of `mask` set means a
+/// chunk boundary after event `i`.
+fn chunks(events: &[SessionEvent], mask: u64) -> Vec<&[SessionEvent]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for i in 0..events.len() {
+        if i + 1 == events.len() || mask >> (i % 64) & 1 == 1 {
+            out.push(&events[start..=i]);
+            start = i + 1;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The valve's contract: any chunking, coalesced per chunk, folds to
+    /// the same view — frontier bits, epoch, scalars, and all three
+    /// report/outcome slots — as the unchunked stream.
+    #[test]
+    fn any_chunking_coalesces_to_a_bits_equal_view(
+        steps in proptest::collection::vec(step(), 1..12),
+        chunk_mask in any::<u64>(),
+    ) {
+        let events = realize(&steps);
+
+        let mut reference = SessionView::default();
+        for e in &events {
+            reference.fold(e).expect("contiguous stream folds");
+        }
+
+        let mut chunked = SessionView::default();
+        for chunk in chunks(&events, chunk_mask) {
+            let merged = chunk[1..]
+                .iter()
+                .fold(chunk[0].clone(), |acc, e| acc.coalesce(e));
+            prop_assert_eq!(merged.coalesced, chunk.len() as u64 - 1);
+            chunked.fold(&merged).expect("coalesced frame declares its epoch range");
+        }
+
+        prop_assert!(chunked.frontier.bits_eq(&reference.frontier));
+        prop_assert_eq!(chunked.epoch, reference.epoch);
+        prop_assert_eq!(chunked.resolution, reference.resolution);
+        prop_assert_eq!(chunked.invocations, reference.invocations);
+        prop_assert!(chunked.bounds == reference.bounds);
+        prop_assert_eq!(chunked.first_report, reference.first_report);
+        prop_assert_eq!(chunked.last_report, reference.last_report);
+        prop_assert_eq!(chunked.outcome, reference.outcome);
+    }
+
+    /// The delta law under the valve: composing consecutive deltas with
+    /// `then` applies identically to applying them in sequence, and
+    /// `between` reassembles the target exactly.
+    #[test]
+    fn then_composition_equals_sequential_application(
+        base in proptest::collection::vec(frontier_point(), 0..8),
+        mid in proptest::collection::vec(frontier_point(), 0..8),
+        last in proptest::collection::vec(frontier_point(), 0..8),
+    ) {
+        let base = FrontierSnapshot::new(base);
+        let mid = FrontierSnapshot::new(mid);
+        let last = FrontierSnapshot::new(last);
+        let d1 = FrontierDelta::between(&base, &mid);
+        let d2 = FrontierDelta::between(&mid, &last);
+
+        let mut sequential = base.clone();
+        d1.apply(&mut sequential);
+        prop_assert!(sequential.bits_eq(&mid));
+        d2.apply(&mut sequential);
+        prop_assert!(sequential.bits_eq(&last));
+
+        let mut composed = base.clone();
+        d1.then(&d2).apply(&mut composed);
+        prop_assert!(composed.bits_eq(&last));
+    }
+
+    /// The gap check behind the `coalesced` accounting: silently dropping
+    /// a frame is always detected (the next non-reset frame is rejected
+    /// with an epoch gap), while the same pair merged into one declared
+    /// frame folds fine. A reset frame resynchronizes by design.
+    #[test]
+    fn undeclared_drops_are_rejected_declared_merges_fold(
+        steps in proptest::collection::vec(step(), 3..12),
+    ) {
+        let events = realize(&steps);
+        let mut view = SessionView::default();
+        view.fold(&events[0]).expect("prime folds");
+        for k in 0..events.len().saturating_sub(2) {
+            let skipped = &events[k + 2];
+            if !skipped.delta.reset {
+                let err = view.clone().fold(skipped).expect_err("gap must be caught");
+                prop_assert!(matches!(err, ProtocolError::EpochGap { .. }));
+            }
+            let merged = events[k + 1].clone().coalesce(skipped);
+            view.clone()
+                .fold(&merged)
+                .expect("the merged frame covers the gap");
+            view.fold(&events[k + 1]).expect("contiguous frame folds");
+        }
+    }
+}

@@ -77,7 +77,7 @@ pub mod subfrontier;
 
 pub use cache::{CacheStats, FrontierCache};
 pub use fingerprint::{QueryFingerprint, RebaseKey, SubsetFingerprint};
-pub use manager::{EngineConfig, SessionId, SessionManager, SessionStatus};
+pub use manager::{EngineConfig, EventHook, SessionId, SessionManager, SessionStatus};
 pub use plans::{PlanCache, PlanCacheStats};
 pub use registry::ModelRegistry;
 pub use subfrontier::{SubFrontierCache, SubFrontierCacheStats};

@@ -221,6 +221,15 @@ struct EngineState {
     retired: VecDeque<SessionId>,
 }
 
+/// Callback fired whenever a session publishes a [`SessionEvent`] to its
+/// watchers — the readiness signal an event-driven serving front needs to
+/// know *which* watch channel became non-empty without polling them all.
+///
+/// Invoked with the engine state lock held, so implementations must be
+/// cheap and must only take leaf locks (push an id on a queue, ring a
+/// doorbell) — never call back into the manager.
+pub type EventHook = Arc<dyn Fn(SessionId) + Send + Sync>;
+
 struct Shared {
     state: Mutex<EngineState>,
     /// Signals workers that the run queue may be non-empty.
@@ -228,6 +237,8 @@ struct Shared {
     /// Signals waiters that a slice finished (idle / finish conditions).
     settled: Condvar,
     shutdown: AtomicBool,
+    /// See [`EventHook`]; `None` until a serving front installs one.
+    event_hook: Mutex<Option<EventHook>>,
     /// Harvested per-subset warm state, probed on cold opens. Internally
     /// locked (never under the state lock order issues: workers touch it
     /// *outside* the state lock, `open`/`finish` take state → sub-frontier
@@ -290,6 +301,7 @@ impl SessionManager {
             work: Condvar::new(),
             settled: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            event_hook: Mutex::new(None),
             subfrontiers,
         });
         let workers = (0..config.workers.max(1))
@@ -560,7 +572,15 @@ impl SessionManager {
         }
         let event = terminal_event(&slot.status);
         slot.publish(event);
+        fire_event_hook(&self.shared, id);
         Some(slot.status)
+    }
+
+    /// Installs (or replaces) the [`EventHook`] fired after every
+    /// published session event. The serving front uses it to learn which
+    /// sessions have fresh events without sleep-polling watch channels.
+    pub fn set_event_hook(&self, hook: EventHook) {
+        *self.shared.event_hook.lock().expect("event hook lock") = Some(hook);
     }
 
     /// Subscribes to a session's event stream.
@@ -592,6 +612,7 @@ impl SessionManager {
             report: s.last_report.clone(),
             first_report: s.first_report.clone(),
             outcome: s.outcome,
+            coalesced: 0,
         };
         let _ = tx.send(prime);
         if s.outcome.is_none() {
@@ -758,6 +779,7 @@ fn terminal_event(status: &SessionStatus) -> SessionEvent {
         report: None,
         first_report: None,
         outcome: status.outcome,
+        coalesced: 0,
     }
 }
 
@@ -892,6 +914,7 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
         let st: &mut EngineState = &mut state;
         let mut requeue = false;
         let mut retire = false;
+        let mut published = false;
         let mut park: Option<(QueryFingerprint, IamaOptimizer)> = None;
         match st.slots.get_mut(&id) {
             // finish() cannot remove a Running slot, so this is
@@ -938,8 +961,10 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
                         report: last_report,
                         first_report: if covered_first { first_report } else { None },
                         outcome: slot.status.outcome,
+                        coalesced: 0,
                     };
                     slot.publish(event);
+                    published = true;
                 }
                 if retire {
                     // Final update delivered above; release the channels.
@@ -966,6 +991,17 @@ fn worker_loop(shared: Arc<Shared>, cfg: EngineConfig) {
             enqueue(st, id);
             shared.work.notify_one();
         }
+        if published {
+            fire_event_hook(&shared, id);
+        }
         shared.settled.notify_all();
+    }
+}
+
+/// Fires the installed [`EventHook`], if any (see its locking contract).
+fn fire_event_hook(shared: &Shared, id: SessionId) {
+    let hook = shared.event_hook.lock().expect("event hook lock").clone();
+    if let Some(hook) = hook {
+        hook(id);
     }
 }

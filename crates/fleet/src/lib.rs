@@ -30,7 +30,11 @@
 //!   then a placement pin. After an *unplanned* death the new home
 //!   re-parks the key from the shared store on first demand
 //!   ([`FleetRouter::adopt`]), so a warm repeat still generates zero
-//!   plans after its home node was killed.
+//!   plans after its home node was killed. The daemonizable liveness
+//!   beat [`FleetRouter::watch_tick`] composes all three — probe,
+//!   adopt every orphaned key, and one gentle load-leveling move per
+//!   tick — and `repro fleet-router --watch <ms>` runs it as a loop
+//!   over real node processes until SIGTERM.
 //!
 //! End to end (asserted by `examples/fleet_serving.rs` and `repro
 //! fleet`): kill a node, probe, and the repeat of a query it served
@@ -47,4 +51,4 @@ pub mod router;
 pub use client::{share, FleetClient, FleetSession, SharedPlacement};
 pub use node::{FleetNode, FleetNodeConfig};
 pub use placement::{NodeEntry, Placement, PlacementKey};
-pub use router::{FleetRouter, NodeHealth, Rebalance};
+pub use router::{FleetRouter, NodeHealth, Rebalance, WatchTick};

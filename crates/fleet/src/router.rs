@@ -5,6 +5,7 @@ use crate::client::SharedPlacement;
 use moqo_engine::QueryFingerprint;
 use moqo_serve::NetClient;
 use moqo_wire::{check_hello, client_hello, NetError, HELLO_LEN};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -39,6 +40,28 @@ pub enum Rebalance {
         /// Node that now owns the key.
         to: String,
     },
+}
+
+/// What one [`FleetRouter::watch_tick`] beat observed and repaired.
+#[derive(Clone, Debug, Default)]
+pub struct WatchTick {
+    /// Probe outcome for every node that was live going into the tick.
+    pub health: Vec<NodeHealth>,
+    /// Nodes that failed their probe this tick (newly marked dead).
+    pub died: Vec<String>,
+    /// Watched keys whose home died this tick; rendezvous hashing moved
+    /// each to a surviving node.
+    pub orphaned: usize,
+    /// Orphaned keys re-parked **warm** on their new homes (the new home
+    /// pulled the dead node's last persisted state from the shared
+    /// store).
+    pub adopted_warm: usize,
+    /// Orphaned keys with nothing persisted anywhere: their new homes
+    /// start cold.
+    pub adopted_cold: usize,
+    /// Keys shipped warm from the most- to the least-loaded live node
+    /// because the ownership spread exceeded the tick's headroom.
+    pub rebalanced: usize,
 }
 
 /// The thin router process: it owns mutations of the [`SharedPlacement`]
@@ -168,6 +191,86 @@ impl FleetRouter {
             .expect("placement poisoned")
             .set_override(fp, to);
         Ok(result)
+    }
+
+    /// One beat of the liveness loop (`repro fleet-router --watch`):
+    /// probe every live node, adopt the watched keys a newly-dead node
+    /// orphaned, and — when the ownership spread of `keys` across live
+    /// nodes exceeds `headroom` — ship one key warm from the
+    /// most-loaded to the least-loaded node (one move per tick, so a
+    /// skewed fleet converges gently instead of thundering).
+    /// `usize::MAX` disables rebalancing.
+    ///
+    /// A tick against a healthy, balanced fleet does nothing but the
+    /// probes; the loop is safe to run forever at any cadence.
+    pub fn watch_tick(&self, keys: &[QueryFingerprint], headroom: usize) -> WatchTick {
+        let home_of = |fp: QueryFingerprint| -> Option<String> {
+            self.placement
+                .read()
+                .expect("placement poisoned")
+                .home_of(fp)
+                .map(|n| n.id.clone())
+        };
+        let homes_before: Vec<Option<String>> = keys.iter().map(|fp| home_of(*fp)).collect();
+        let health = self.probe();
+        let died: Vec<String> = health
+            .iter()
+            .filter(|h| !h.alive)
+            .map(|h| h.id.clone())
+            .collect();
+
+        let mut tick = WatchTick {
+            health,
+            died,
+            ..WatchTick::default()
+        };
+        if !tick.died.is_empty() {
+            for (fp, before) in keys.iter().zip(&homes_before) {
+                let orphaned = before.as_ref().is_some_and(|id| tick.died.contains(id));
+                if !orphaned {
+                    continue;
+                }
+                tick.orphaned += 1;
+                // Adopt lazily: the new home re-parks the key from the
+                // shared store on this pull (or reports a cold start). A
+                // pull error leaves the key for the next tick.
+                match self.adopt(*fp) {
+                    Ok(Some(_)) => tick.adopted_warm += 1,
+                    Ok(None) => tick.adopted_cold += 1,
+                    Err(_) => {}
+                }
+            }
+        }
+
+        if headroom != usize::MAX {
+            // Ownership census of the watched keys over live nodes.
+            let mut owned: BTreeMap<String, Vec<QueryFingerprint>> = {
+                let placement = self.placement.read().expect("placement poisoned");
+                placement
+                    .live_nodes()
+                    .map(|n| (n.id.clone(), Vec::new()))
+                    .collect()
+            };
+            for fp in keys {
+                if let Some(id) = home_of(*fp) {
+                    if let Some(list) = owned.get_mut(&id) {
+                        list.push(*fp);
+                    }
+                }
+            }
+            let most = owned.iter().max_by_key(|(_, v)| v.len());
+            let least = owned.iter().min_by_key(|(_, v)| v.len());
+            if let (Some((from, from_keys)), Some((to, to_keys))) = (most, least) {
+                if from != to && from_keys.len() - to_keys.len() > headroom {
+                    if let Some(fp) = from_keys.first() {
+                        if self.rebalance(*fp, to).is_ok() {
+                            tick.rebalanced += 1;
+                        }
+                    }
+                }
+            }
+        }
+        tick
     }
 
     /// Adopt-after-death: asks `fp`'s **current** home to pull the

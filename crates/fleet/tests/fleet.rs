@@ -210,6 +210,183 @@ fn killed_home_is_detected_and_survivor_adopts_from_the_shared_store() {
 }
 
 #[test]
+fn watch_loop_adopts_orphans_and_levels_a_skewed_fleet() {
+    let dir = temp_dir("watch");
+    let (mut nodes, placement) = fleet(3, "watch", Some(&dir));
+    let client = FleetClient::new(placement.clone(), model());
+    let router = FleetRouter::new(placement.clone());
+    let specs: Vec<Arc<moqo_query::QuerySpec>> = (2..=5)
+        .map(|n| Arc::new(testkit::chain_query(n, 47_000)))
+        .collect();
+    let fps: Vec<_> = specs
+        .iter()
+        .map(|s| client.fingerprint(&moqo_serve::SessionRequest::new(s.clone())))
+        .collect();
+
+    // Skew the fleet on purpose: pin every key to one node and park the
+    // whole workload there.
+    let skew_home = "watch-0".to_string();
+    for fp in &fps {
+        placement.write().unwrap().set_override(*fp, &skew_home);
+    }
+    for spec in &specs {
+        assert_eq!(run_once(&client, spec.clone()), skew_home);
+    }
+
+    // A healthy-fleet tick with rebalancing off is pure observation.
+    let quiet = router.watch_tick(&fps, usize::MAX);
+    assert!(quiet.died.is_empty() && quiet.orphaned == 0 && quiet.rebalanced == 0);
+    assert_eq!(quiet.health.len(), 3);
+
+    // Ticks with tight headroom level the skew one warm move at a time.
+    let mut moved = 0usize;
+    for _ in 0..fps.len() {
+        moved += router.watch_tick(&fps, 1).rebalanced;
+    }
+    let spread = {
+        let placement = placement.read().unwrap();
+        let counts: Vec<usize> = placement
+            .live_nodes()
+            .map(|n| {
+                fps.iter()
+                    .filter(|fp| placement.home_of(**fp).unwrap().id == n.id)
+                    .count()
+            })
+            .collect();
+        counts.iter().max().unwrap() - counts.iter().min().unwrap()
+    };
+    assert!(moved >= 2, "a 4-0-0 skew needs two moves to level out");
+    assert!(spread <= 1, "ticks must converge to a level fleet");
+
+    // Wait until every key's frontier reached the shared store, then
+    // kill one key's current home: the next tick must find the body and
+    // re-park its keys warm on the survivors.
+    let deadline = Instant::now() + IDLE;
+    for fp in &fps {
+        let file = dir.join(format!("{:016x}.frontier", fp.as_u64()));
+        while !file.exists() {
+            assert!(Instant::now() < deadline, "sweep never persisted {file:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let victim = placement
+        .read()
+        .unwrap()
+        .home_of(fps[0])
+        .unwrap()
+        .id
+        .clone();
+    let owned_by_victim = {
+        let placement = placement.read().unwrap();
+        fps.iter()
+            .filter(|fp| placement.home_of(**fp).unwrap().id == victim)
+            .count()
+    };
+    nodes.remove(&victim).unwrap().kill();
+    let tick = router.watch_tick(&fps, usize::MAX);
+    assert_eq!(tick.died, vec![victim.clone()]);
+    assert_eq!(tick.orphaned, owned_by_victim);
+    assert_eq!(
+        tick.adopted_warm, tick.orphaned,
+        "every orphaned key was persisted, so every adoption is warm"
+    );
+    assert_eq!(tick.adopted_cold, 0);
+    for fp in &fps {
+        let home = placement.read().unwrap().home_of(*fp).unwrap().id.clone();
+        assert_ne!(home, victim);
+        assert!(nodes[&home].net().moqo().engine().has_parked(*fp));
+    }
+
+    // The loop idles once the fleet is healthy again.
+    let after = router.watch_tick(&fps, usize::MAX);
+    assert!(after.died.is_empty() && after.orphaned == 0);
+    assert_eq!(after.health.len(), 2);
+    for (_, node) in nodes {
+        node.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_sessions_soak_through_sweep_and_probe_periods() {
+    // The fleet-level soak: dozens of idle interactive sessions held
+    // open while the nodes' persistence sweepers and the router's
+    // probe loop keep running. Nothing may fault, no event may be
+    // lost, and `live` must stay exactly stable until the clients act.
+    const SESSIONS: usize = 48;
+    let dir = temp_dir("soak");
+    let (nodes, placement) = fleet(2, "soak", Some(&dir));
+    let client = FleetClient::new(placement.clone(), model());
+    let router = FleetRouter::new(placement.clone());
+
+    let live_total = || -> u64 { nodes.values().map(|n| n.net().stats().live).sum() };
+    let faulted_total = || -> u64 { nodes.values().map(|n| n.net().stats().faulted).sum() };
+
+    let mut sessions = Vec::with_capacity(SESSIONS);
+    let mut fps = Vec::with_capacity(SESSIONS);
+    for i in 0..SESSIONS {
+        let spec = Arc::new(testkit::chain_query(2 + i % 3, 40_000 + 1_000 * i as u64));
+        let request = moqo_serve::SessionRequest::new(spec);
+        fps.push(client.fingerprint(&request));
+        let mut session = client.submit(request).expect("routed");
+        assert!(session.admission.is_admitted());
+        while session.client.view().frontier.is_empty()
+            || session.client.view().first_report.is_none()
+        {
+            session.client.recv(IDLE).expect("stream healthy");
+        }
+        sessions.push(session);
+    }
+    assert_eq!(live_total(), SESSIONS as u64);
+
+    // Hold through several 30 ms sweep periods, probing each beat. The
+    // probes' connect/handshake/close cycles share the event loops with
+    // the idle sessions and must not disturb them.
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(40));
+        let tick = router.watch_tick(&fps, usize::MAX);
+        assert!(tick.died.is_empty(), "a soaking fleet must stay alive");
+        assert_eq!(live_total(), SESSIONS as u64, "idle sessions were lost");
+        assert_eq!(faulted_total(), 0);
+    }
+
+    // Zero event loss: after catching up to the serving node's (final,
+    // engine-idle) epoch, every client view must be bit-identical to
+    // the node's view of the same ticket.
+    for node in nodes.values() {
+        assert!(node.net().moqo().wait_idle(IDLE), "engine stuck busy");
+    }
+    for session in &mut sessions {
+        let ticket = moqo_serve::Ticket::from_u64(session.client.server_ticket().unwrap());
+        match nodes[&session.node].net().moqo().poll(ticket) {
+            Some(TicketStatus::Active { view, .. }) => {
+                while session.client.view().epoch < view.epoch {
+                    session.client.recv(IDLE).expect("stream healthy");
+                }
+                assert!(session.client.view().frontier.bits_eq(&view.frontier));
+                assert_eq!(session.client.view().epoch, view.epoch);
+            }
+            other => panic!("expected an active ticket, got {other:?}"),
+        }
+        session
+            .client
+            .command(moqo_serve::SessionCommand::Cancel)
+            .expect("send");
+        session.client.wait_finished(IDLE).expect("terminal event");
+    }
+    let deadline = Instant::now() + IDLE;
+    while live_total() != 0 {
+        assert!(Instant::now() < deadline, "fleet did not drain");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(faulted_total(), 0);
+    for (_, node) in nodes {
+        node.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn client_failover_marks_the_dead_node_and_reroutes() {
     let (mut nodes, placement) = fleet(2, "failover", None);
     let client = FleetClient::new(placement.clone(), model());

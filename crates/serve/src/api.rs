@@ -31,7 +31,7 @@ use moqo_cost::ResolutionSchedule;
 use moqo_costmodel::SharedCostModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// Serving-front configuration: sharding plus admission.
@@ -207,9 +207,22 @@ pub struct MoqoServer {
     /// Admissions decided under the gate whose engine submission has not
     /// completed yet; added to the engine's live count for decisions.
     reserved: AtomicU64,
+    /// Session → ticket reverse map, kept by `activate` and ticket close;
+    /// translates engine-level event notifications into the tickets the
+    /// serving front routes by. A leaf lock: taken under `tickets` and
+    /// under engine state locks (via the event hook), never the reverse.
+    gid_tickets: Arc<Mutex<HashMap<GlobalSessionId, u64>>>,
     retired_tickets: usize,
     next: AtomicU64,
 }
+
+/// Callback fired whenever a session behind a ticket publishes a
+/// [`SessionEvent`]: `Some(ticket)` names the ticket with a fresh event,
+/// `None` means an event fired for a session not yet in the ticket table
+/// (an activation in flight) — treat it as a generic "something moved"
+/// wake. Same locking contract as [`moqo_engine::EventHook`]: invoked
+/// under an engine state lock, keep it to queue-push + doorbell work.
+pub type ServerEventHook = Arc<dyn Fn(Option<Ticket>) + Send + Sync>;
 
 impl MoqoServer {
     /// Starts the shard pool.
@@ -223,9 +236,22 @@ impl MoqoServer {
             }),
             gate: Mutex::new(()),
             reserved: AtomicU64::new(0),
+            gid_tickets: Arc::new(Mutex::new(HashMap::new())),
             retired_tickets: config.retired_tickets,
             next: AtomicU64::new(1),
         }
+    }
+
+    /// Installs a [`ServerEventHook`] fired after every published session
+    /// event, resolved to the owning ticket — the signal an event-driven
+    /// network front needs to forward events without sleep-polling every
+    /// ticket channel.
+    pub fn set_event_hook(&self, hook: ServerEventHook) {
+        let map = Arc::clone(&self.gid_tickets);
+        self.engine.set_event_hook(Arc::new(move |gid| {
+            let ticket = map.lock().expect("gid map poisoned").get(&gid).copied();
+            hook(ticket.map(Ticket));
+        }));
     }
 
     /// Live sessions plus decided-but-not-yet-submitted admissions — the
@@ -279,7 +305,7 @@ impl MoqoServer {
             Admission::Admit => {
                 self.reserved.fetch_add(1, Ordering::Relaxed);
                 drop(gate);
-                let cell = Cell::Active(Box::new(self.activate(request, false)));
+                let cell = Cell::Active(Box::new(self.activate(id, request, false)));
                 self.reserved.fetch_sub(1, Ordering::Relaxed);
                 self.with_tickets(|t| {
                     t.cells.insert(id, cell);
@@ -293,7 +319,7 @@ impl MoqoServer {
                     schedule: Some(ladder.clone()),
                     ..request
                 };
-                let cell = Cell::Active(Box::new(self.activate(degraded, true)));
+                let cell = Cell::Active(Box::new(self.activate(id, degraded, true)));
                 self.reserved.fetch_sub(1, Ordering::Relaxed);
                 self.with_tickets(|t| {
                     t.cells.insert(id, cell);
@@ -319,11 +345,15 @@ impl MoqoServer {
     }
 
     /// Submits to the engine and wires up the per-ticket event channel.
-    fn activate(&self, request: SessionRequest, degraded: bool) -> ActiveCell {
+    fn activate(&self, id: u64, request: SessionRequest, degraded: bool) -> ActiveCell {
         let (gid, route) = self
             .engine
             .open(request)
             .expect("request was validated at submission");
+        self.gid_tickets
+            .lock()
+            .expect("gid map poisoned")
+            .insert(gid, id);
         let rx = self.engine.watch(gid).expect("freshly submitted session");
         // The watch channel self-primes with a reset-delta event.
         let primed = rx.recv().expect("primed event");
@@ -357,7 +387,7 @@ impl MoqoServer {
             };
             self.reserved.fetch_add(1, Ordering::Relaxed);
             drop(gate);
-            let cell = Cell::Active(Box::new(self.activate(p.request, false)));
+            let cell = Cell::Active(Box::new(self.activate(p.ticket, p.request, false)));
             self.reserved.fetch_sub(1, Ordering::Relaxed);
             self.with_tickets(|t| {
                 t.cells.insert(p.ticket, cell);
@@ -369,17 +399,23 @@ impl MoqoServer {
         f(&mut self.tickets.lock().expect("ticket table poisoned"))
     }
 
-    /// Marks a finished active cell closed (dropping its channel) and
-    /// files the ticket into the bounded closed-history (once). Call with
-    /// the table lock held. Idempotent on the channel: a receiver
-    /// restored by a `recv` that raced the close is dropped here too.
-    fn close_if_finished(t: &mut TicketTable, id: u64, cap: usize) {
+    /// Marks a finished active cell closed (dropping its channel and its
+    /// reverse-map entry) and files the ticket into the bounded
+    /// closed-history (once). Call with the table lock held. Idempotent
+    /// on the channel: a receiver restored by a `recv` that raced the
+    /// close is dropped here too.
+    fn close_if_finished(&self, t: &mut TicketTable, id: u64) {
         if let Some(Cell::Active(active)) = t.cells.get_mut(&id) {
             if active.view.is_finished() {
                 active.rx = None;
                 if !active.closed {
                     active.closed = true;
-                    t.close(id, cap);
+                    let gid = active.gid;
+                    self.gid_tickets
+                        .lock()
+                        .expect("gid map poisoned")
+                        .remove(&gid);
+                    t.close(id, self.retired_tickets);
                 }
             }
         }
@@ -391,7 +427,6 @@ impl MoqoServer {
     /// the bounded history).
     pub fn poll(&self, ticket: Ticket) -> Option<TicketStatus> {
         self.pump();
-        let cap = self.retired_tickets;
         self.with_tickets(|t| {
             let cell = t.cells.get_mut(&ticket.0)?;
             let status = match cell {
@@ -410,7 +445,7 @@ impl MoqoServer {
                     }
                 }
             };
-            Self::close_if_finished(t, ticket.0, cap);
+            self.close_if_finished(t, ticket.0);
             Some(status)
         })
     }
@@ -433,7 +468,6 @@ impl MoqoServer {
             _ => None,
         })?;
         let received = rx.recv_timeout(timeout).ok();
-        let cap = self.retired_tickets;
         self.with_tickets(|t| {
             if let Some(Cell::Active(active)) = t.cells.get_mut(&ticket.0) {
                 if let Some(event) = &received {
@@ -455,7 +489,7 @@ impl MoqoServer {
                     active.drain();
                 }
             }
-            Self::close_if_finished(t, ticket.0, cap);
+            self.close_if_finished(t, ticket.0);
         });
         received
     }
@@ -489,7 +523,6 @@ impl MoqoServer {
         // The engine publishes the terminal event to the ticket channel;
         // drain it into the view so the caller sees the final state.
         let final_status = self.engine.finish(gid)?;
-        let cap = self.retired_tickets;
         let view = self.with_tickets(|t| {
             let view = match t.cells.get_mut(&ticket.0) {
                 Some(Cell::Active(active)) => {
@@ -506,7 +539,7 @@ impl MoqoServer {
                 }
                 _ => None,
             };
-            Self::close_if_finished(t, ticket.0, cap);
+            self.close_if_finished(t, ticket.0);
             view
         });
         // The freed slot may admit a queued submission right away.

@@ -76,7 +76,7 @@ pub mod shard;
 pub use admission::{
     Admission, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats,
 };
-pub use api::{MoqoServer, ServeConfig, ServerStats, Ticket, TicketStatus};
+pub use api::{MoqoServer, ServeConfig, ServerEventHook, ServerStats, Ticket, TicketStatus};
 pub use net::{NetClient, NetConfig, NetServer, NetStats};
 pub use persist::{RestoreReport, SaveReport, SnapshotStore, FRONTIER_EXT};
 pub use shard::{GlobalSessionId, RouteDecision, ShardConfig, ShardStats, ShardedEngine};

@@ -1,9 +1,10 @@
-//! The TCP serving front: the session protocol over real sockets.
+//! The TCP serving front: the session protocol over real sockets,
+//! driven by readiness, not polling.
 //!
 //! [`NetServer`] wraps a [`MoqoServer`] behind a loopback-or-LAN TCP
 //! listener speaking the [`moqo_wire`] format: one framed duplex stream
-//! per ticket, multiplexed over a small pool of I/O worker threads. A
-//! connection's lifecycle is exactly the in-process ticket lifecycle:
+//! per ticket. A connection's lifecycle is exactly the in-process
+//! ticket lifecycle:
 //!
 //! 1. handshake (`MOQOWIRE` + version, both directions);
 //! 2. client sends [`ClientMessage::Submit`] — the same
@@ -20,11 +21,52 @@
 //!    disconnects retires its session, parking the frontier for future
 //!    warm starts — a vanished user never leaks a session slot.
 //!
+//! # Thread model
+//!
+//! One **event-loop thread** (`moqo-net-loop`) owns a
+//! [`moqo_poll::Reactor`], the listener, and every connection. It
+//! blocks in `poll` until a socket is ready or the wake channel rings —
+//! there is no sleep-polling anywhere on this path, so 10k idle
+//! sessions cost zero CPU between events. The loop does only cheap
+//! work: accepting, nonblocking framed reads into each connection's
+//! incremental [`FrameBuffer`], write-readiness-driven flushes of the
+//! per-connection outbound [`WriteBuffer`], and inline dispatch of
+//! [`SessionCommand`]s (a short engine-lock hop).
+//!
+//! Expensive frames — submits (admission + warm-start routing) and
+//! frontier transfers (file I/O, validation) — ship to a small pool of
+//! **decode/dispatch workers** (`moqo-net-io-*`, [`NetConfig::io_threads`]),
+//! keyed by connection so per-stream order is preserved. Workers post
+//! completions back and ring the wake channel.
+//!
+//! Session events flow the same way: the server installs a
+//! [`crate::api::ServerEventHook`] so every engine-side publish marks
+//! the owning ticket dirty and rings the loop — the push counterpart of
+//! the engine's per-session channels, with no thread ever parked on a
+//! timeout.
+//!
+//! # Coalescing and backpressure
+//!
+//! A slow reader's outbound buffer fills. Once more than
+//! [`NetConfig::coalesce_after`] bytes are queued, further
+//! [`SessionEvent`]s are **coalesced** instead of serialized: N pending
+//! events merge into one frame via [`SessionEvent::coalesce`]
+//! (deltas compose with [`FrontierDelta::then`], the event declares the
+//! epoch range it covers), so folding the merged frame leaves the
+//! client's [`SessionView`] bit-identical to folding the originals
+//! one-for-one. The outbound queue is bounded
+//! ([`NetConfig::max_outbound`]); a connection that exceeds it, or that
+//! makes no write progress for [`NetConfig::write_timeout`], is counted
+//! stalled and retired (parking its session). [`NetStats`] exposes the
+//! backpressure picture: `coalesced_events`, `outbound_high_water`,
+//! `stalled`.
+//!
 //! [`NetClient`] is the matching blocking client: it folds the event
 //! stream into a [`SessionView`] with the same `fold` the in-process
 //! reassemblers use, so the client-side view is **bit-identical** to what
 //! `MoqoServer::poll` reports on the server (asserted end to end by
-//! `examples/network_serving.rs` and the cross-layer conformance test).
+//! `examples/network_serving.rs` and the cross-layer conformance test),
+//! coalesced frames included.
 //!
 //! The server owns its tickets' event channels: polling the same ticket
 //! concurrently through the in-process API while a connection is live
@@ -40,15 +82,18 @@ use moqo_core::protocol::{
 };
 use moqo_core::IamaOptimizer;
 use moqo_engine::{ModelRegistry, QueryFingerprint};
+use moqo_poll::{Events, Interest, Reactor, Token, WakeHandle, WAKE_TOKEN};
 use moqo_wire::{
-    check_hello, client_hello, ClientMessage, FrameBuffer, NetError, ServerMessage, WireError,
-    HELLO_LEN,
+    check_hello, client_hello, ClientFrameKind, ClientMessage, FrameBuffer, NetError,
+    ServerMessage, WireError, WriteBuffer, HELLO_LEN,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -58,18 +103,28 @@ pub struct NetConfig {
     /// Bind address; port 0 picks a free port (see
     /// [`NetServer::local_addr`]).
     pub addr: String,
-    /// I/O worker threads; each multiplexes a share of the open
-    /// connections. The optimizer work itself runs on the engine's shard
-    /// workers, so a handful of I/O threads serves many connections.
+    /// Decode/dispatch worker threads. The event loop hands them the
+    /// expensive frames (submits, frontier transfers); the optimizer
+    /// work itself runs on the engine's shard workers, so a handful
+    /// serves many connections.
     pub io_threads: usize,
-    /// Per-connection socket read timeout — the pacing of one worker
-    /// loop visit when a connection is idle.
-    pub read_timeout: Duration,
-    /// Per-connection socket write timeout. A client that stops reading
-    /// while the server streams events fills the TCP send buffer; the
-    /// write timeout bounds how long that client can hold a worker
-    /// thread before its connection is faulted and retired.
+    /// How long a connection with queued outbound bytes may go without
+    /// any write progress before it is counted stalled and retired. A
+    /// client that stops reading while the server streams events never
+    /// holds a session slot (or buffer memory) longer than this.
     pub write_timeout: Duration,
+    /// Kernel send-buffer size (`SO_SNDBUF`) for accepted sockets;
+    /// `None` keeps the OS default. Small values surface backpressure
+    /// early — the coalescing tests pin this to the kernel minimum to
+    /// force slow-reader behavior deterministically.
+    pub send_buffer: Option<usize>,
+    /// Outbound bytes beyond which session events coalesce into one
+    /// pending frame instead of being serialized individually.
+    pub coalesce_after: usize,
+    /// Hard bound on one connection's outbound buffer. Exceeding it
+    /// (a slow reader that also triggered large frames) stalls the
+    /// connection out immediately.
+    pub max_outbound: usize,
 }
 
 impl Default for NetConfig {
@@ -77,8 +132,10 @@ impl Default for NetConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             io_threads: 2,
-            read_timeout: Duration::from_millis(1),
             write_timeout: Duration::from_secs(5),
+            send_buffer: None,
+            coalesce_after: 64 << 10,
+            max_outbound: 8 << 20,
         }
     }
 }
@@ -93,8 +150,20 @@ pub struct NetStats {
     /// Frames sent to clients.
     pub frames_out: u64,
     /// Connections dropped on a wire/socket fault (malformed frames,
-    /// version skew, mid-stream disconnects).
+    /// version skew, mid-stream disconnects, stalled writers).
     pub faulted: u64,
+    /// Session events merged into a coalesced frame instead of shipped
+    /// individually — the volume of backpressure absorbed for slow
+    /// readers.
+    pub coalesced_events: u64,
+    /// High-water mark of any single connection's outbound buffer, in
+    /// bytes (how close the worst reader came to
+    /// [`NetConfig::max_outbound`]).
+    pub outbound_high_water: u64,
+    /// Connections retired for making no write progress within
+    /// [`NetConfig::write_timeout`] or overflowing
+    /// [`NetConfig::max_outbound`] (also counted in `faulted`).
+    pub stalled: u64,
     /// Sessions the engine routed to an exact parked frontier (summed
     /// over shards; includes in-process traffic on the shared server).
     pub warm_routed: u64,
@@ -136,6 +205,9 @@ struct NetCounters {
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     faulted: AtomicU64,
+    coalesced_events: AtomicU64,
+    outbound_high_water: AtomicU64,
+    stalled: AtomicU64,
     disconnect_parked: AtomicU64,
     frontier_pulls: AtomicU64,
     frontier_misses: AtomicU64,
@@ -143,26 +215,201 @@ struct NetCounters {
     frontier_refused: AtomicU64,
 }
 
-/// What one pump of a connection concluded.
-enum Pump {
-    /// Keep the connection; true if any byte or frame moved.
-    Keep(bool),
-    /// Drop the connection (stream ended or faulted).
-    Close,
+const LISTENER_TOKEN: Token = Token(0);
+const FIRST_CONN_TOKEN: usize = 1;
+/// One socket drain reads at most this much before yielding to the
+/// next ready connection (level-triggered polling re-reports the rest).
+const MAX_READ_PER_VISIT: usize = 1 << 20;
+
+/// Work the event loop hands to the decode/dispatch pool. Jobs for one
+/// connection always land on the same worker (keyed by token), so
+/// per-stream order is preserved without any cross-worker coordination.
+enum Job {
+    /// A raw frame payload whose decode + dispatch is too expensive for
+    /// the loop thread (submit, frontier pull/push).
+    Frame { token: usize, payload: Vec<u8> },
+    /// Park the session of a vanished connection.
+    Retire { ticket: Ticket },
 }
 
-/// One client connection: handshake, then at most one ticket.
+/// What a worker posts back; the loop applies these in arrival order
+/// (per-connection order holds because of worker affinity).
+enum Completion {
+    Admission {
+        token: usize,
+        ticket: Ticket,
+        response: AdmissionResponse,
+    },
+    /// Send the typed error, then fault the connection.
+    TypedFault { token: usize, error: ProtocolError },
+    /// Fault the connection without a protocol-level answer.
+    WireFault { token: usize },
+    Blob {
+        token: usize,
+        fingerprint: u64,
+        frontier: Vec<u8>,
+    },
+}
+
+/// Everything the workers (and the loop) share.
+struct Front {
+    server: Arc<MoqoServer>,
+    registry: Arc<ModelRegistry>,
+    store: Option<Arc<SnapshotStore>>,
+    counters: Arc<NetCounters>,
+    completions: Mutex<VecDeque<Completion>>,
+    wake: WakeHandle,
+}
+
+impl Front {
+    fn complete(&self, c: Completion) {
+        self.completions
+            .lock()
+            .expect("net completions poisoned")
+            .push_back(c);
+        self.wake.wake();
+    }
+}
+
+fn worker_loop(front: Arc<Front>, jobs: Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Frame { token, payload } => handle_frame(&front, token, &payload),
+            Job::Retire { ticket } => {
+                // finish() parks a live session's frontier; queued or
+                // rejected tickets come back None and count nothing.
+                if front.server.finish(ticket).is_some() {
+                    front
+                        .counters
+                        .disconnect_parked
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                front.wake.wake();
+            }
+        }
+    }
+}
+
+/// Decodes and executes one expensive client frame on a worker thread.
+fn handle_frame(front: &Front, token: usize, payload: &[u8]) {
+    let msg = match ClientMessage::decode(payload, front.registry.as_ref()) {
+        Ok(msg) => msg,
+        Err(WireError::UnknownModel { identity }) => {
+            // The one wire fault with a protocol-level answer: tell the
+            // client which identity was unknown, then drop the stream.
+            front.complete(Completion::TypedFault {
+                token,
+                error: ProtocolError::UnknownCostModel { identity },
+            });
+            return;
+        }
+        Err(_) => {
+            front.complete(Completion::WireFault { token });
+            return;
+        }
+    };
+    match msg {
+        ClientMessage::Submit(request) => match front.server.submit(request) {
+            Ok((ticket, response)) => front.complete(Completion::Admission {
+                token,
+                ticket,
+                response,
+            }),
+            Err(error) => {
+                // Malformed request: typed answer, then close — exactly
+                // what the in-process submit returns.
+                front.complete(Completion::TypedFault { token, error });
+            }
+        },
+        // Commands dispatch inline on the loop; one arriving here means
+        // the frame router broke, which is a programming error — but
+        // workers must never die on data, so fault the connection.
+        ClientMessage::Command(_) => front.complete(Completion::WireFault { token }),
+        ClientMessage::PullFrontier { fingerprint } => {
+            // Ship the parked frontier for this fingerprint, falling
+            // back to the shared snapshot store — the adopt-after-death
+            // path re-parks the dead home's last persisted state on
+            // first demand.
+            front
+                .counters
+                .frontier_pulls
+                .fetch_add(1, Ordering::Relaxed);
+            let fp = QueryFingerprint::from_u64(fingerprint);
+            let engine = front.server.engine();
+            let blob = engine
+                .export_parked(fp)
+                .or_else(|| front.store.as_ref().and_then(|s| s.restore_one(engine, fp)));
+            if blob.is_none() {
+                front
+                    .counters
+                    .frontier_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            front.complete(Completion::Blob {
+                token,
+                fingerprint,
+                frontier: blob.unwrap_or_default(),
+            });
+        }
+        ClientMessage::PushFrontier { frontier } => {
+            // Admit a shipped frontier exactly like a snapshot restore —
+            // full validation, and the fingerprint recomputed from the
+            // decoded spec, never taken from the sender. Refusals ack
+            // with the documented fingerprint-0 sentinel.
+            let engine = front.server.engine();
+            let ack = match IamaOptimizer::import_frontier(engine.model(), &frontier) {
+                Ok(opt) => {
+                    let model = opt.model();
+                    let fp = QueryFingerprint::of(opt.spec(), &model);
+                    engine.park(fp, opt);
+                    front
+                        .counters
+                        .frontier_pushes
+                        .fetch_add(1, Ordering::Relaxed);
+                    fp.as_u64()
+                }
+                Err(_) => {
+                    front
+                        .counters
+                        .frontier_refused
+                        .fetch_add(1, Ordering::Relaxed);
+                    0
+                }
+            };
+            front.complete(Completion::Blob {
+                token,
+                fingerprint: ack,
+                frontier: Vec::new(),
+            });
+        }
+    }
+}
+
+/// One client connection, owned by the event loop.
 struct Conn {
     stream: TcpStream,
     frames: FrameBuffer,
+    out: WriteBuffer,
     hello_done: bool,
     ticket: Option<Ticket>,
+    /// A submit frame is at a worker; its admission has not come back.
+    submit_inflight: bool,
+    /// Commands the client pipelined while the submit was in flight.
+    queued_cmds: VecDeque<SessionCommand>,
+    /// The coalesced not-yet-serialized event for a congested outbound
+    /// buffer; newer events merge into it via [`SessionEvent::coalesce`].
+    pending_event: Option<SessionEvent>,
     /// True once the client's view was primed (the full-state event sent
     /// after activation); channel events forward only after this.
     primed: bool,
-    /// True once the terminal event was forwarded (the session needs no
-    /// clean-up on disconnect).
+    /// True once the terminal event was captured for delivery (the
+    /// session needs no clean-up on disconnect).
     finished: bool,
+    /// Close as soon as the outbound buffer drains.
+    closing: bool,
+    /// Last instant the outbound buffer made progress toward the socket
+    /// (or became non-empty); drives the stall deadline.
+    last_drain: Instant,
 }
 
 impl Conn {
@@ -170,293 +417,662 @@ impl Conn {
         Self {
             stream,
             frames: FrameBuffer::new(),
+            out: WriteBuffer::new(),
             hello_done: false,
             ticket: None,
+            submit_inflight: false,
+            queued_cmds: VecDeque::new(),
+            pending_event: None,
             primed: false,
             finished: false,
+            closing: false,
+            last_drain: Instant::now(),
         }
     }
 
-    fn send(&mut self, msg: &ServerMessage, counters: &NetCounters) -> Result<(), NetError> {
-        moqo_wire::write_frame(&mut self.stream, &msg.encode())?;
+    /// Serializes a message into the outbound buffer (actual socket
+    /// writes happen on write readiness).
+    fn enqueue(&mut self, counters: &NetCounters, msg: &ServerMessage) {
+        if self.out.is_empty() {
+            // The stall clock measures drain progress; restart it when
+            // the buffer transitions from idle to loaded.
+            self.last_drain = Instant::now();
+        }
+        self.out.push_frame(&msg.encode());
         counters.frames_out.fetch_add(1, Ordering::Relaxed);
-        Ok(())
-    }
-
-    /// A full-state event reconstructed from the server-side view at
-    /// attach time: folding it into a fresh client view reproduces the
-    /// server's view exactly, and subsequent live deltas continue from
-    /// its epoch. This is how a stream "joins" a session whose priming
-    /// event the server consumed at activation (including sessions that
-    /// sat queued first).
-    fn prime_event(server: &MoqoServer, view: &SessionView) -> SessionEvent {
-        SessionEvent {
-            epoch: view.epoch,
-            delta: FrontierDelta::full(&view.frontier),
-            resolution: view.resolution,
-            bounds: view.bounds.unwrap_or_else(|| server.engine().unbounded()),
-            invocations: view.invocations,
-            report: view.last_report.clone(),
-            first_report: view.first_report.clone(),
-            outcome: view.outcome,
-        }
-    }
-
-    /// Advances the connection: read, handshake, dispatch frames, prime,
-    /// forward events. Any fault retires the connection (and parks its
-    /// session).
-    fn pump(
-        &mut self,
-        server: &Arc<MoqoServer>,
-        registry: &Arc<ModelRegistry>,
-        store: Option<&Arc<SnapshotStore>>,
-        counters: &NetCounters,
-    ) -> Pump {
-        match self.try_pump(server, registry, store, counters) {
-            Ok(keep) => keep,
-            Err(_) => {
-                counters.faulted.fetch_add(1, Ordering::Relaxed);
-                self.retire(server, counters);
-                Pump::Close
-            }
-        }
-    }
-
-    fn try_pump(
-        &mut self,
-        server: &Arc<MoqoServer>,
-        registry: &Arc<ModelRegistry>,
-        store: Option<&Arc<SnapshotStore>>,
-        counters: &NetCounters,
-    ) -> Result<Pump, NetError> {
-        let mut progressed = false;
-
-        // --- Drain the socket (reads block at most the configured
-        // read timeout, which paces the whole loop when idle). ---
-        let mut scratch = [0u8; 8192];
-        loop {
-            match self.stream.read(&mut scratch) {
-                Ok(0) => {
-                    // Orderly client close: retire the session (parking
-                    // its warm frontier) unless it already finished.
-                    self.retire(server, counters);
-                    return Ok(Pump::Close);
-                }
-                Ok(n) => {
-                    self.frames.extend(&scratch[..n]);
-                    progressed = true;
-                    if self.frames.buffered() > 1 << 20 {
-                        break; // keep one conn from starving its worker
-                    }
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    break;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-
-        // --- Handshake: raw hello in, raw hello out. ---
-        if !self.hello_done {
-            let Some(hello) = self.frames.take_raw(HELLO_LEN) else {
-                return Ok(Pump::Keep(progressed));
-            };
-            check_hello(&hello.try_into().expect("take_raw returned HELLO_LEN"))?;
-            self.stream.write_all(&client_hello())?;
-            self.hello_done = true;
-            progressed = true;
-        }
-
-        // --- Dispatch complete frames. ---
-        while let Some(payload) = self.frames.next_frame()? {
-            counters.frames_in.fetch_add(1, Ordering::Relaxed);
-            progressed = true;
-            let msg = match ClientMessage::decode(&payload, registry.as_ref()) {
-                Ok(msg) => msg,
-                Err(WireError::UnknownModel { identity }) => {
-                    // The one wire fault with a protocol-level answer:
-                    // tell the client which identity was unknown, then
-                    // drop the connection.
-                    let _ = self.send(
-                        &ServerMessage::Error(ProtocolError::UnknownCostModel { identity }),
-                        counters,
-                    );
-                    return Err(WireError::UnknownModel { identity }.into());
-                }
-                Err(e) => return Err(e.into()),
-            };
-            match (msg, self.ticket) {
-                (ClientMessage::Submit(request), None) => match server.submit(request) {
-                    Ok((ticket, response)) => {
-                        self.ticket = Some(ticket);
-                        let admitted = response.is_admitted();
-                        let rejected = matches!(response, AdmissionResponse::Rejected(_));
-                        self.send(
-                            &ServerMessage::Admission {
-                                ticket: ticket.as_u64(),
-                                response,
-                            },
-                            counters,
-                        )?;
-                        if rejected {
-                            self.finished = true;
-                            return Ok(Pump::Close);
-                        }
-                        if admitted {
-                            self.prime(server, counters)?;
-                        }
-                    }
-                    Err(protocol_error) => {
-                        // Malformed request: typed answer, then close —
-                        // exactly what the in-process submit returns.
-                        self.send(&ServerMessage::Error(protocol_error.clone()), counters)?;
-                        return Err(protocol_error.into());
-                    }
-                },
-                (ClientMessage::Command(command), Some(ticket)) => {
-                    if let Err(protocol_error) = server.command(ticket, command) {
-                        self.send(&ServerMessage::Error(protocol_error), counters)?;
-                    }
-                }
-                (ClientMessage::Command(_), None) => {
-                    return Err(NetError::UnexpectedFrame("command before submit"));
-                }
-                (ClientMessage::Submit(_), Some(_)) => {
-                    return Err(NetError::UnexpectedFrame("second submit on one stream"));
-                }
-                (ClientMessage::PullFrontier { fingerprint }, None) => {
-                    // Control request: ship the parked frontier for this
-                    // fingerprint, falling back to the shared snapshot
-                    // store — the adopt-after-death path re-parks the
-                    // dead home's last persisted state on first demand.
-                    counters.frontier_pulls.fetch_add(1, Ordering::Relaxed);
-                    let fp = QueryFingerprint::from_u64(fingerprint);
-                    let engine = server.engine();
-                    let blob = engine
-                        .export_parked(fp)
-                        .or_else(|| store.and_then(|s| s.restore_one(engine, fp)));
-                    if blob.is_none() {
-                        counters.frontier_misses.fetch_add(1, Ordering::Relaxed);
-                    }
-                    self.send(
-                        &ServerMessage::FrontierBlob {
-                            fingerprint,
-                            frontier: blob.unwrap_or_default(),
-                        },
-                        counters,
-                    )?;
-                }
-                (ClientMessage::PushFrontier { frontier }, None) => {
-                    // Control request: admit a shipped frontier exactly
-                    // like a snapshot restore — full validation, and the
-                    // fingerprint recomputed from the decoded spec, never
-                    // taken from the sender. Refusals ack with the
-                    // documented fingerprint-0 sentinel.
-                    let engine = server.engine();
-                    let ack = match IamaOptimizer::import_frontier(engine.model(), &frontier) {
-                        Ok(opt) => {
-                            let model = opt.model();
-                            let fp = QueryFingerprint::of(opt.spec(), &model);
-                            engine.park(fp, opt);
-                            counters.frontier_pushes.fetch_add(1, Ordering::Relaxed);
-                            fp.as_u64()
-                        }
-                        Err(_) => {
-                            counters.frontier_refused.fetch_add(1, Ordering::Relaxed);
-                            0
-                        }
-                    };
-                    self.send(
-                        &ServerMessage::FrontierBlob {
-                            fingerprint: ack,
-                            frontier: Vec::new(),
-                        },
-                        counters,
-                    )?;
-                }
-                (
-                    ClientMessage::PullFrontier { .. } | ClientMessage::PushFrontier { .. },
-                    Some(_),
-                ) => {
-                    return Err(NetError::UnexpectedFrame(
-                        "control message on a session stream",
-                    ));
-                }
-            }
-        }
-
-        // --- A queued submission activates asynchronously; prime the
-        // stream the moment the ticket goes live. ---
-        if self.ticket.is_some() && !self.primed {
-            self.prime(server, counters)?;
-        }
-
-        // --- Forward buffered session events. ---
-        if let Some(ticket) = self.ticket {
-            if self.primed && !self.finished {
-                while let Some(event) = server.recv(ticket, Duration::ZERO) {
-                    let is_final = event.is_final();
-                    self.send(&ServerMessage::Event(Box::new(event)), counters)?;
-                    progressed = true;
-                    if is_final {
-                        self.finished = true;
-                        return Ok(Pump::Close);
-                    }
-                }
-            }
-        }
-        Ok(Pump::Keep(progressed))
-    }
-
-    /// Sends the prime event if the ticket is active (no-op while it
-    /// still sits in the admission queue).
-    fn prime(&mut self, server: &Arc<MoqoServer>, counters: &NetCounters) -> Result<(), NetError> {
-        let ticket = self.ticket.expect("prime called without a ticket");
-        // poll() drains any pending channel events into the server-side
-        // view first, so the prime carries them and later recv()s only
-        // see strictly newer epochs.
-        match server.poll(ticket) {
-            Some(TicketStatus::Active { view, .. }) => {
-                let event = Self::prime_event(server, &view);
-                let is_final = event.is_final();
-                self.send(&ServerMessage::Event(Box::new(event)), counters)?;
-                self.primed = true;
-                if is_final {
-                    self.finished = true;
-                }
-                Ok(())
-            }
-            _ => Ok(()),
-        }
-    }
-
-    /// Parks the connection's session if it never finished (disconnects
-    /// and faults must not leak admission slots).
-    fn retire(&mut self, server: &Arc<MoqoServer>, counters: &NetCounters) {
-        if let Some(ticket) = self.ticket.take() {
-            if !self.finished {
-                counters.disconnect_parked.fetch_add(1, Ordering::Relaxed);
-                let _ = server.finish(ticket);
-            }
-        }
-        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        counters
+            .outbound_high_water
+            .fetch_max(self.out.pending() as u64, Ordering::Relaxed);
     }
 }
 
-/// The TCP front; see the module docs for the connection lifecycle.
+/// A full-state event reconstructed from the server-side view at attach
+/// time: folding it into a fresh client view reproduces the server's
+/// view exactly, and subsequent live deltas continue from its epoch.
+/// This is how a stream "joins" a session whose priming event the
+/// server consumed at activation (including sessions that sat queued
+/// first).
+fn prime_event(server: &MoqoServer, view: &SessionView) -> SessionEvent {
+    SessionEvent {
+        epoch: view.epoch,
+        delta: FrontierDelta::full(&view.frontier),
+        resolution: view.resolution,
+        bounds: view.bounds.unwrap_or_else(|| server.engine().unbounded()),
+        invocations: view.invocations,
+        report: view.last_report.clone(),
+        first_report: view.first_report.clone(),
+        outcome: view.outcome,
+        coalesced: 0,
+    }
+}
+
+/// Why a connection is being closed (decides the counters).
+enum Close {
+    /// Stream complete (terminal event delivered, or typed rejection).
+    Done,
+    /// Orderly client close before the terminal event.
+    Orderly,
+    /// Wire/socket fault.
+    Fault,
+    /// No write progress within the deadline, or outbound overflow.
+    Stalled,
+}
+
+/// The single-threaded reactor loop owning every connection.
+struct EventLoop {
+    front: Arc<Front>,
+    config: NetConfig,
+    reactor: Reactor,
+    listener: TcpListener,
+    conns: HashMap<usize, Conn>,
+    /// Ticket id → conn token, for routing dirty-ticket wakes.
+    tickets: HashMap<u64, usize>,
+    /// Tokens whose submission was queued by admission control; polled
+    /// for activation on every wake (each poll also pumps the server's
+    /// admission queue, so this doubles as the activation driver).
+    awaiting: Vec<usize>,
+    /// Tokens with a non-empty outbound buffer (stall bookkeeping).
+    loaded: HashSet<usize>,
+    jobs: Vec<Sender<Job>>,
+    /// Ticket ids marked dirty by the server event hook.
+    dirty: Arc<Mutex<VecDeque<u64>>>,
+    stop: Arc<AtomicBool>,
+    next_token: usize,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = Events::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            let timeout = self.next_wakeup();
+            if self.reactor.poll(&mut events, timeout).is_err() {
+                break; // reactor gone: nothing left to drive
+            }
+            let mut accept = false;
+            let mut ready: Vec<(usize, bool, bool)> = Vec::with_capacity(events.len());
+            for ev in events.iter() {
+                let token = ev.token();
+                if token == WAKE_TOKEN {
+                    continue;
+                }
+                if token == LISTENER_TOKEN {
+                    accept = true;
+                    continue;
+                }
+                // Errors and hangups fold into readability: the next
+                // read surfaces them as EOF or an error.
+                ready.push((
+                    token.0,
+                    ev.is_readable() || ev.is_closed(),
+                    ev.is_writable(),
+                ));
+            }
+            if accept {
+                self.accept_ready();
+            }
+            for (token, readable, writable) in ready {
+                if writable {
+                    self.pump_out(token);
+                }
+                if readable {
+                    self.read_conn(token);
+                }
+            }
+            self.drain_completions();
+            self.drain_dirty();
+            self.poll_awaiting();
+            self.expire_stalled();
+        }
+        // Graceful drain: park every unfinished session (via the
+        // workers), close the sockets, and let the job senders drop so
+        // the workers run dry and exit.
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token, Close::Done);
+        }
+    }
+
+    /// How long `poll` may block: forever when nothing is buffered
+    /// outbound, else until the earliest stall deadline.
+    fn next_wakeup(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.loaded
+            .iter()
+            .filter_map(|t| self.conns.get(t))
+            .map(|c| {
+                (c.last_drain + self.config.write_timeout)
+                    .checked_duration_since(now)
+                    .unwrap_or(Duration::from_millis(1))
+            })
+            .min()
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if let Some(bytes) = self.config.send_buffer {
+                        let _ = moqo_poll::set_send_buffer(stream.as_raw_fd(), bytes);
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .reactor
+                        .register(&stream, Token(token), Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.front.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drains the socket into the frame buffer and processes what
+    /// arrived. Level-triggered polling re-reports anything left after
+    /// the per-visit read cap.
+    fn read_conn(&mut self, token: usize) {
+        let mut scratch = [0u8; 64 << 10];
+        let fate = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut fate = None;
+            let mut taken = 0usize;
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        fate = Some(Close::Orderly);
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.frames.extend(&scratch[..n]);
+                        taken += n;
+                        if taken > MAX_READ_PER_VISIT {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        fate = Some(Close::Fault);
+                        break;
+                    }
+                }
+            }
+            fate
+        };
+        // Frames that arrived before the close still count; a stream
+        // whose processing faults overrides an orderly close.
+        match self.process_inbound(token) {
+            Ok(()) => {
+                if let Some(reason) = fate {
+                    self.close_conn(token, reason);
+                } else {
+                    self.pump_out(token);
+                }
+            }
+            Err(e) => {
+                if let NetError::Protocol(error) = e {
+                    // Typed faults answer before closing (best effort).
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.enqueue(&self.front.counters, &ServerMessage::Error(error));
+                    }
+                }
+                self.close_conn(token, Close::Fault);
+            }
+        }
+    }
+
+    /// Handshake + frame dispatch for everything buffered on `token`.
+    fn process_inbound(&mut self, token: usize) -> Result<(), NetError> {
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return Ok(());
+            };
+            if !conn.hello_done {
+                let Some(hello) = conn.frames.take_raw(HELLO_LEN) else {
+                    return Ok(());
+                };
+                let hello: [u8; HELLO_LEN] =
+                    hello.try_into().expect("take_raw returned HELLO_LEN bytes");
+                check_hello(&hello)?;
+                conn.out.push_raw(&client_hello());
+                conn.hello_done = true;
+            }
+        }
+        loop {
+            let payload = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return Ok(());
+                };
+                if conn.closing {
+                    // The stream is logically over; ignore the rest.
+                    return Ok(());
+                }
+                match conn.frames.next_frame()? {
+                    Some(payload) => payload,
+                    None => return Ok(()),
+                }
+            };
+            self.front
+                .counters
+                .frames_in
+                .fetch_add(1, Ordering::Relaxed);
+            match ClientMessage::kind_of(&payload) {
+                Some(ClientFrameKind::Submit) => {
+                    let conn = self.conns.get_mut(&token).expect("conn vanished mid-frame");
+                    if conn.ticket.is_some() || conn.submit_inflight {
+                        return Err(NetError::UnexpectedFrame("second submit on one stream"));
+                    }
+                    conn.submit_inflight = true;
+                    self.dispatch(token, payload);
+                }
+                Some(ClientFrameKind::Command) => {
+                    let command =
+                        match ClientMessage::decode(&payload, self.front.registry.as_ref()) {
+                            Ok(ClientMessage::Command(command)) => command,
+                            Ok(_) => {
+                                return Err(NetError::UnexpectedFrame("mistagged command frame"))
+                            }
+                            Err(e) => return Err(e.into()),
+                        };
+                    let conn = self.conns.get_mut(&token).expect("conn vanished mid-frame");
+                    if conn.submit_inflight {
+                        conn.queued_cmds.push_back(command);
+                    } else if let Some(ticket) = conn.ticket {
+                        if let Err(error) = self.front.server.command(ticket, command) {
+                            let conn = self
+                                .conns
+                                .get_mut(&token)
+                                .expect("conn vanished mid-command");
+                            conn.enqueue(&self.front.counters, &ServerMessage::Error(error));
+                        }
+                    } else {
+                        return Err(NetError::UnexpectedFrame("command before submit"));
+                    }
+                }
+                Some(ClientFrameKind::PullFrontier | ClientFrameKind::PushFrontier) => {
+                    let conn = self.conns.get(&token).expect("conn vanished mid-frame");
+                    if conn.ticket.is_some() || conn.submit_inflight {
+                        return Err(NetError::UnexpectedFrame(
+                            "control message on a session stream",
+                        ));
+                    }
+                    self.dispatch(token, payload);
+                }
+                None => return Err(NetError::UnexpectedFrame("unknown client frame tag")),
+            }
+        }
+    }
+
+    fn dispatch(&self, token: usize, payload: Vec<u8>) {
+        let worker = token % self.jobs.len();
+        let _ = self.jobs[worker].send(Job::Frame { token, payload });
+    }
+
+    fn drain_completions(&mut self) {
+        loop {
+            let completion = self
+                .front
+                .completions
+                .lock()
+                .expect("net completions poisoned")
+                .pop_front();
+            match completion {
+                None => return,
+                Some(Completion::Admission {
+                    token,
+                    ticket,
+                    response,
+                }) => self.finish_admission(token, ticket, response),
+                Some(Completion::TypedFault { token, error }) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.enqueue(&self.front.counters, &ServerMessage::Error(error));
+                        self.close_conn(token, Close::Fault);
+                    }
+                }
+                Some(Completion::WireFault { token }) => {
+                    if self.conns.contains_key(&token) {
+                        self.close_conn(token, Close::Fault);
+                    }
+                }
+                Some(Completion::Blob {
+                    token,
+                    fingerprint,
+                    frontier,
+                }) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.enqueue(
+                            &self.front.counters,
+                            &ServerMessage::FrontierBlob {
+                                fingerprint,
+                                frontier,
+                            },
+                        );
+                        self.pump_out(token);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_admission(&mut self, token: usize, ticket: Ticket, response: AdmissionResponse) {
+        if !self.conns.contains_key(&token) {
+            // The connection died while the worker admitted: the session
+            // must not leak — park it like any other vanished client.
+            let worker = token % self.jobs.len();
+            let _ = self.jobs[worker].send(Job::Retire { ticket });
+            return;
+        }
+        let admitted = response.is_admitted();
+        let rejected = matches!(response, AdmissionResponse::Rejected(_));
+        let queued_cmds: Vec<SessionCommand> = {
+            let conn = self.conns.get_mut(&token).expect("checked above");
+            conn.submit_inflight = false;
+            conn.ticket = Some(ticket);
+            conn.enqueue(
+                &self.front.counters,
+                &ServerMessage::Admission {
+                    ticket: ticket.as_u64(),
+                    response,
+                },
+            );
+            if rejected {
+                conn.finished = true;
+                conn.closing = true;
+            }
+            conn.queued_cmds.drain(..).collect()
+        };
+        if rejected {
+            self.pump_out(token);
+            return;
+        }
+        self.tickets.insert(ticket.as_u64(), token);
+        for command in queued_cmds {
+            if let Err(error) = self.front.server.command(ticket, command) {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.enqueue(&self.front.counters, &ServerMessage::Error(error));
+                }
+            }
+        }
+        if admitted {
+            self.try_prime(token);
+        } else {
+            // Queued by admission control; primed when it activates.
+            self.awaiting.push(token);
+        }
+        self.pump_out(token);
+    }
+
+    /// Primes the stream if the ticket went active. Returns `false`
+    /// while it still sits in the admission queue.
+    fn try_prime(&mut self, token: usize) -> bool {
+        let ticket = match self.conns.get(&token) {
+            Some(conn) if !conn.primed => match conn.ticket {
+                Some(ticket) => ticket,
+                None => return true,
+            },
+            // Gone or already primed: stop tracking either way.
+            _ => return true,
+        };
+        // poll() folds any pending channel events into the server-side
+        // view first, so the prime carries them and later recv()s only
+        // see strictly newer epochs.
+        match self.front.server.poll(ticket) {
+            Some(TicketStatus::Active { view, .. }) => {
+                let event = prime_event(&self.front.server, &view);
+                let is_final = event.is_final();
+                let conn = self.conns.get_mut(&token).expect("conn checked above");
+                conn.primed = true;
+                conn.enqueue(&self.front.counters, &ServerMessage::Event(Box::new(event)));
+                if is_final {
+                    conn.finished = true;
+                    conn.closing = true;
+                }
+                // Cover events published between activation and the
+                // prime's poll: anything newer is already in the
+                // channel, so drain it now rather than waiting for the
+                // next hook wake.
+                self.forward_events(token);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn poll_awaiting(&mut self) {
+        if self.awaiting.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.awaiting);
+        for token in pending {
+            if self.try_prime(token) {
+                self.pump_out(token);
+            } else {
+                self.awaiting.push(token);
+            }
+        }
+    }
+
+    fn drain_dirty(&mut self) {
+        loop {
+            let id = self
+                .dirty
+                .lock()
+                .expect("net dirty queue poisoned")
+                .pop_front();
+            let Some(id) = id else { return };
+            if let Some(&token) = self.tickets.get(&id) {
+                self.forward_events(token);
+                self.pump_out(token);
+            }
+        }
+    }
+
+    /// Forwards every buffered session event for `token`'s ticket,
+    /// coalescing under backpressure.
+    fn forward_events(&mut self, token: usize) {
+        loop {
+            let ticket = match self.conns.get(&token) {
+                Some(conn) if conn.primed && !conn.finished => {
+                    conn.ticket.expect("primed conn without a ticket")
+                }
+                _ => return,
+            };
+            let Some(event) = self.front.server.recv(ticket, Duration::ZERO) else {
+                return;
+            };
+            self.queue_event(token, event);
+        }
+    }
+
+    fn queue_event(&mut self, token: usize, event: SessionEvent) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if event.is_final() {
+            // The terminal event is captured for delivery (possibly
+            // inside a coalesced frame): no clean-up owed on disconnect.
+            conn.finished = true;
+        }
+        if conn.pending_event.is_some() || conn.out.pending() > self.config.coalesce_after {
+            let merged = match conn.pending_event.take() {
+                Some(prev) => {
+                    self.front
+                        .counters
+                        .coalesced_events
+                        .fetch_add(1, Ordering::Relaxed);
+                    prev.coalesce(&event)
+                }
+                None => event,
+            };
+            conn.pending_event = Some(merged);
+        } else {
+            let close = conn.finished;
+            conn.enqueue(&self.front.counters, &ServerMessage::Event(Box::new(event)));
+            if close {
+                conn.closing = true;
+            }
+        }
+    }
+
+    /// Flushes the outbound buffer as far as the socket accepts,
+    /// promoting the coalesced pending frame when room frees up, and
+    /// closing/faulting the connection as its state dictates.
+    fn pump_out(&mut self, token: usize) {
+        let coalesce_after = self.config.coalesce_after;
+        let max_outbound = self.config.max_outbound;
+        let mut fate: Option<Close> = None;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            loop {
+                let before = conn.out.pending();
+                if conn.out.flush_to(&mut conn.stream).is_err() {
+                    fate = Some(Close::Fault);
+                    break;
+                }
+                if conn.out.pending() < before {
+                    conn.last_drain = Instant::now();
+                }
+                // Room freed for the coalesced frame? Serialize it and
+                // retry so a fast drain ships it in the same visit.
+                if conn.pending_event.is_some() && conn.out.pending() <= coalesce_after {
+                    let event = conn.pending_event.take().expect("checked above");
+                    let close = conn.finished;
+                    conn.enqueue(&self.front.counters, &ServerMessage::Event(Box::new(event)));
+                    if close {
+                        conn.closing = true;
+                    }
+                    continue;
+                }
+                break;
+            }
+            if fate.is_none() {
+                if conn.out.pending() > max_outbound {
+                    fate = Some(Close::Stalled);
+                } else if conn.closing && conn.out.is_empty() && conn.pending_event.is_none() {
+                    fate = Some(Close::Done);
+                }
+            }
+            if fate.is_none() {
+                if conn.out.is_empty() {
+                    self.loaded.remove(&token);
+                    let _ = self.reactor.set_interest(Token(token), Interest::READABLE);
+                } else {
+                    self.loaded.insert(token);
+                    let _ = self
+                        .reactor
+                        .set_interest(Token(token), Interest::READABLE.add(Interest::WRITABLE));
+                }
+            }
+        }
+        if let Some(reason) = fate {
+            self.close_conn(token, reason);
+        }
+    }
+
+    /// Retires conns whose outbound buffer made no progress within the
+    /// write deadline — slow readers must not hold memory forever.
+    fn expire_stalled(&mut self) {
+        if self.loaded.is_empty() {
+            return;
+        }
+        let timeout = self.config.write_timeout;
+        let now = Instant::now();
+        let expired: Vec<usize> = self
+            .loaded
+            .iter()
+            .filter(|t| {
+                self.conns
+                    .get(t)
+                    .is_some_and(|c| now.duration_since(c.last_drain) > timeout)
+            })
+            .copied()
+            .collect();
+        for token in expired {
+            self.close_conn(token, Close::Stalled);
+        }
+    }
+
+    fn close_conn(&mut self, token: usize, reason: Close) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        match reason {
+            Close::Done | Close::Orderly => {}
+            Close::Fault => {
+                self.front.counters.faulted.fetch_add(1, Ordering::Relaxed);
+            }
+            Close::Stalled => {
+                self.front.counters.stalled.fetch_add(1, Ordering::Relaxed);
+                self.front.counters.faulted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Hand the kernel whatever still fits (typed errors, terminal
+        // frames); anything beyond that is the slow reader's loss.
+        let _ = conn.out.flush_to(&mut conn.stream);
+        let _ = self.reactor.deregister(Token(token));
+        self.loaded.remove(&token);
+        self.awaiting.retain(|&t| t != token);
+        if let Some(ticket) = conn.ticket.take() {
+            self.tickets.remove(&ticket.as_u64());
+            if !conn.finished {
+                // Disconnects and faults must not leak admission slots:
+                // a worker parks the session (and counts it).
+                let worker = token % self.jobs.len();
+                let _ = self.jobs[worker].send(Job::Retire { ticket });
+            }
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The TCP front; see the module docs for the thread model and the
+/// connection lifecycle.
 pub struct NetServer {
     server: Arc<MoqoServer>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
+    wake: WakeHandle,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
-    /// Binds the listener and starts the acceptor plus I/O workers.
+    /// Binds the listener and starts the event loop plus the
+    /// decode/dispatch workers.
     ///
     /// `registry` must contain every cost model remote requests may
     /// reference (the deployment default is a sensible seed:
@@ -492,103 +1108,80 @@ impl NetServer {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let reactor = Reactor::new()?;
+        reactor.register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+        let wake = reactor.wake_handle();
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(NetCounters::default());
-        let injector: Arc<Mutex<VecDeque<TcpStream>>> = Arc::new(Mutex::new(VecDeque::new()));
-        let mut threads = Vec::new();
+        let front = Arc::new(Front {
+            server: server.clone(),
+            registry,
+            store,
+            counters: counters.clone(),
+            completions: Mutex::new(VecDeque::new()),
+            wake: wake.clone(),
+        });
 
-        // Acceptor: configures sockets and hands them to the pool.
+        // Every engine-side publish marks its ticket dirty and rings
+        // the loop: the push path that replaces sleep-polling. The hook
+        // runs under the engine state lock, so it touches only leaf
+        // state (the queue mutex and the wake latch). `None` means an
+        // event for a session whose activation is still in flight; the
+        // post-activation prime covers its content, so a bare wake
+        // suffices.
+        let dirty: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(VecDeque::new()));
         {
-            let stop = stop.clone();
-            let counters = counters.clone();
-            let injector = injector.clone();
-            let read_timeout = config.read_timeout;
-            let write_timeout = config.write_timeout;
-            threads.push(
-                thread::Builder::new()
-                    .name("moqo-net-accept".into())
-                    .spawn(move || {
-                        while !stop.load(Ordering::Relaxed) {
-                            match listener.accept() {
-                                Ok((stream, _)) => {
-                                    // Accepted sockets must NOT inherit the
-                                    // listener's nonblocking mode (platforms
-                                    // differ): the worker loop paces itself
-                                    // on the blocking read timeout.
-                                    let _ = stream.set_nonblocking(false);
-                                    let _ = stream.set_nodelay(true);
-                                    let _ = stream.set_read_timeout(Some(read_timeout));
-                                    let _ = stream.set_write_timeout(Some(write_timeout));
-                                    counters.accepted.fetch_add(1, Ordering::Relaxed);
-                                    injector
-                                        .lock()
-                                        .expect("net injector poisoned")
-                                        .push_back(stream);
-                                }
-                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                    thread::sleep(Duration::from_millis(2));
-                                }
-                                Err(_) => thread::sleep(Duration::from_millis(2)),
-                            }
-                        }
-                    })?,
-            );
+            let dirty = dirty.clone();
+            let wake = wake.clone();
+            server.set_event_hook(Arc::new(move |ticket| {
+                if let Some(t) = ticket {
+                    dirty
+                        .lock()
+                        .expect("net dirty queue poisoned")
+                        .push_back(t.as_u64());
+                }
+                wake.wake();
+            }));
         }
 
-        // I/O workers: each multiplexes its share of the connections.
+        let mut threads = Vec::new();
+        let mut jobs = Vec::new();
         for i in 0..config.io_threads.max(1) {
-            let stop = stop.clone();
-            let counters = counters.clone();
-            let injector = injector.clone();
-            let server = server.clone();
-            let registry = registry.clone();
-            let store = store.clone();
+            let (tx, rx) = mpsc::channel();
+            jobs.push(tx);
+            let front = front.clone();
             threads.push(
                 thread::Builder::new()
                     .name(format!("moqo-net-io-{i}"))
-                    .spawn(move || {
-                        let mut conns: Vec<Conn> = Vec::new();
-                        loop {
-                            if stop.load(Ordering::Relaxed) {
-                                // Graceful drain: park every unfinished
-                                // session, then close the sockets.
-                                for conn in &mut conns {
-                                    conn.retire(&server, &counters);
-                                }
-                                return;
-                            }
-                            if let Some(stream) =
-                                injector.lock().expect("net injector poisoned").pop_front()
-                            {
-                                conns.push(Conn::new(stream));
-                            }
-                            let mut progressed = false;
-                            conns.retain_mut(|conn| {
-                                match conn.pump(&server, &registry, store.as_ref(), &counters) {
-                                    Pump::Keep(p) => {
-                                        progressed |= p;
-                                        true
-                                    }
-                                    Pump::Close => {
-                                        progressed = true;
-                                        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                                        false
-                                    }
-                                }
-                            });
-                            if conns.is_empty() && !progressed {
-                                thread::sleep(Duration::from_millis(1));
-                            }
-                        }
-                    })?,
+                    .spawn(move || worker_loop(front, rx))?,
             );
         }
+        let event_loop = EventLoop {
+            front,
+            config,
+            reactor,
+            listener,
+            conns: HashMap::new(),
+            tickets: HashMap::new(),
+            awaiting: Vec::new(),
+            loaded: HashSet::new(),
+            jobs,
+            dirty,
+            stop: stop.clone(),
+            next_token: FIRST_CONN_TOKEN,
+        };
+        threads.push(
+            thread::Builder::new()
+                .name("moqo-net-loop".into())
+                .spawn(move || event_loop.run())?,
+        );
 
         Ok(NetServer {
             server,
             addr,
             stop,
             counters,
+            wake,
             threads,
         })
     }
@@ -615,6 +1208,9 @@ impl NetServer {
             frames_in: self.counters.frames_in.load(Ordering::Relaxed),
             frames_out: self.counters.frames_out.load(Ordering::Relaxed),
             faulted: self.counters.faulted.load(Ordering::Relaxed),
+            coalesced_events: self.counters.coalesced_events.load(Ordering::Relaxed),
+            outbound_high_water: self.counters.outbound_high_water.load(Ordering::Relaxed),
+            stalled: self.counters.stalled.load(Ordering::Relaxed),
             warm_routed: shards.iter().map(|s| s.warm_routed).sum(),
             rebase_routed: shards.iter().map(|s| s.rebase_routed).sum(),
             subfrontier_hits: sub.hits,
@@ -631,16 +1227,24 @@ impl NetServer {
     }
 
     /// Stops accepting, parks every unfinished session, closes all
-    /// connections, and joins the I/O threads.
+    /// connections, and joins the threads. Event-driven: the stop flag
+    /// plus one wake unblocks the loop immediately, so shutdown takes
+    /// milliseconds even under 10k idle connections.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
         self.stop.store(true, Ordering::Relaxed);
+        self.wake.wake();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Detach the event hook: the reactor it rang is gone.
+        self.server.set_event_hook(Arc::new(|_| {}));
     }
 }
 
@@ -658,7 +1262,8 @@ impl Drop for NetServer {
 ///
 /// Events fold into the same [`SessionView`] the in-process reassemblers
 /// use, so [`NetClient::view`] is bit-identical to the server-side view
-/// (`FrontierSnapshot::bits_eq`) at every point of the stream.
+/// (`FrontierSnapshot::bits_eq`) at every point of the stream — including
+/// across coalesced frames from a backpressured server.
 pub struct NetClient {
     stream: TcpStream,
     frames: FrameBuffer,
@@ -737,7 +1342,8 @@ impl NetClient {
 
     /// Blocks for the next [`SessionEvent`] (at most `timeout`), folding
     /// it into the view. `Ok(None)` on timeout, and once the stream ended
-    /// after the terminal event.
+    /// after the terminal event. A coalesced frame arrives (and folds) as
+    /// one event covering its declared epoch range.
     pub fn recv(&mut self, timeout: Duration) -> Result<Option<SessionEvent>, NetError> {
         let deadline = Instant::now() + timeout;
         loop {
@@ -915,7 +1521,10 @@ mod tests {
 
     const IDLE: Duration = Duration::from_secs(60);
 
-    fn start(admission: AdmissionConfig) -> (NetServer, SocketAddr, SharedCostModel) {
+    fn start_with(
+        admission: AdmissionConfig,
+        net: NetConfig,
+    ) -> (NetServer, SocketAddr, SharedCostModel) {
         let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
         let server = Arc::new(MoqoServer::new(
             model.clone(),
@@ -934,9 +1543,13 @@ mod tests {
             },
         ));
         let registry = Arc::new(ModelRegistry::with_default(model.clone()));
-        let net = NetServer::bind(server, registry, NetConfig::default()).expect("bind loopback");
+        let net = NetServer::bind(server, registry, net).expect("bind loopback");
         let addr = net.local_addr();
         (net, addr, model)
+    }
+
+    fn start(admission: AdmissionConfig) -> (NetServer, SocketAddr, SharedCostModel) {
+        start_with(admission, NetConfig::default())
     }
 
     #[test]
@@ -1231,5 +1844,197 @@ mod tests {
             thread::sleep(Duration::from_millis(5));
         }
         net.shutdown();
+    }
+
+    #[test]
+    fn slow_readers_coalesce_without_tearing_the_view() {
+        // A tiny kernel send buffer plus a client that stops reading
+        // forces outbound congestion; pending events must merge into
+        // coalesced frames, and the client view must still reassemble
+        // bit-identical to the server's once it finally drains.
+        let (net, addr, _model) = start_with(
+            AdmissionConfig::default(),
+            NetConfig {
+                send_buffer: Some(1), // kernel clamps to its minimum
+                coalesce_after: 0,    // any backlog coalesces
+                ..NetConfig::default()
+            },
+        );
+        let mut client = NetClient::connect(addr).expect("connect");
+        client
+            .submit(
+                SessionRequest::new(Arc::new(testkit::chain_query(4, 50_000))),
+                IDLE,
+            )
+            .expect("admitted");
+        // Wait server-side until the ladder refined — the client is NOT
+        // reading, so events pile into the connection's outbound path.
+        assert!(net.moqo().wait_idle(IDLE));
+        // Bounds drags publish further events (each refocuses the
+        // frontier), still unread by the client.
+        let unbounded = net.moqo().engine().unbounded();
+        for i in 0..60u32 {
+            let bounds = unbounded.with_limit(0, (i as f64 + 2.0) * 1e7);
+            client
+                .command(SessionCommand::SetBounds(bounds))
+                .expect("send");
+        }
+        client
+            .command(SessionCommand::SetBounds(unbounded))
+            .expect("send");
+        assert!(net.moqo().wait_idle(IDLE));
+        client.command(SessionCommand::Cancel).expect("send");
+        // Now drain everything — coalesced frames included.
+        let view = client.wait_finished(IDLE).expect("terminal event");
+        assert!(view.is_finished());
+        let ticket = Ticket::from_u64(client.server_ticket().unwrap());
+        match net.moqo().poll(ticket).expect("closed but queryable") {
+            TicketStatus::Active {
+                view: server_view, ..
+            } => {
+                assert!(
+                    client.view().frontier.bits_eq(&server_view.frontier),
+                    "coalesced stream must reassemble bit-exactly"
+                );
+                assert_eq!(client.view().epoch, server_view.epoch);
+            }
+            other => panic!("expected active ticket, got {other:?}"),
+        }
+        let stats = net.stats();
+        assert!(
+            stats.coalesced_events > 0,
+            "a non-reading client must force coalescing (stats: {stats:?})"
+        );
+        assert!(stats.outbound_high_water > 0);
+        assert_eq!(stats.stalled, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn stalled_writers_are_bounded_and_retired() {
+        // A reader that stops draining while the server owes it real
+        // volume must be cut loose after write_timeout. The volume is
+        // generated deterministically: the control connection requests
+        // a parked frontier a few hundred times up front and never
+        // reads a single reply — the response bytes overwhelm the
+        // kernel pipeline (tiny server send buffer + the client's
+        // initial receive window), so the userspace outbound buffer
+        // stays loaded and the write deadline has to fire.
+        let (net, addr, _model) = start_with(
+            AdmissionConfig::default(),
+            NetConfig {
+                send_buffer: Some(1), // kernel clamps to its minimum
+                write_timeout: Duration::from_millis(100),
+                ..NetConfig::default()
+            },
+        );
+        let spec = Arc::new(testkit::chain_query(4, 40_000));
+        park_one(addr, spec.clone());
+        let fp = net.moqo().engine().fingerprint(&spec);
+
+        // Raw control connection: handshake, then a burst of pulls with
+        // the read side abandoned.
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&client_hello()).expect("hello out");
+        let mut hello = [0u8; HELLO_LEN];
+        raw.read_exact(&mut hello).expect("hello back");
+        check_hello(&hello).expect("version match");
+        let pull = ClientMessage::PullFrontier {
+            fingerprint: fp.as_u64(),
+        }
+        .encode();
+        for _ in 0..300 {
+            moqo_wire::write_frame(&mut raw, &pull).expect("request out");
+        }
+
+        let deadline = Instant::now() + IDLE;
+        while net.stats().stalled == 0 {
+            assert!(Instant::now() < deadline, "stall never detected");
+            thread::sleep(Duration::from_millis(10));
+        }
+        let stats = net.stats();
+        assert!(stats.stalled >= 1);
+        assert!(stats.outbound_high_water > 0);
+        assert_eq!(stats.live, 0, "control connections never hold sessions");
+        drop(raw);
+        net.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_hold_without_event_loss() {
+        // A batch of sessions goes idle (ladder drained, user thinking);
+        // the front must hold them live with zero events lost and zero
+        // faults — then finish each one bit-exactly.
+        const SESSIONS: usize = 24;
+        let (net, addr, _model) = start(AdmissionConfig {
+            max_live: SESSIONS,
+            ..AdmissionConfig::default()
+        });
+        let mut clients = Vec::new();
+        for i in 0..SESSIONS {
+            let mut client = NetClient::connect(addr).expect("connect");
+            client
+                .submit(
+                    SessionRequest::new(Arc::new(testkit::chain_query(
+                        2 + (i % 3),
+                        10_000 + 1_000 * i as u64,
+                    ))),
+                    IDLE,
+                )
+                .expect("admitted");
+            clients.push(client);
+        }
+        for client in &mut clients {
+            while client.view().invocations < 3 {
+                client.recv(IDLE).expect("stream healthy");
+            }
+        }
+        // Idle period: several probe/sweep intervals long, nobody talks.
+        thread::sleep(Duration::from_millis(300));
+        let stats = net.stats();
+        assert_eq!(stats.live, SESSIONS as u64, "idle sessions must stay live");
+        assert_eq!(stats.faulted, 0);
+        // Everyone wakes up and finishes; no event was lost while idle.
+        for client in &mut clients {
+            let plan = client.view().frontier.min_by_metric(0).unwrap().plan;
+            client
+                .command(SessionCommand::SelectPlan(plan))
+                .expect("send");
+            let view = client.wait_finished(IDLE).expect("terminal event");
+            assert_eq!(view.selected(), Some(plan));
+        }
+        assert_eq!(net.stats().live, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_event_driven_and_fast() {
+        let (net, addr, _model) = start(AdmissionConfig::default());
+        let mut clients = Vec::new();
+        for _ in 0..8 {
+            let mut client = NetClient::connect(addr).expect("connect");
+            client
+                .submit(
+                    SessionRequest::new(Arc::new(testkit::chain_query(2, 10_000))),
+                    IDLE,
+                )
+                .expect("admitted");
+            clients.push(client);
+        }
+        for client in &mut clients {
+            while client.view().invocations < 3 {
+                client.recv(IDLE).expect("stream healthy");
+            }
+        }
+        // Everything is idle; the loop is blocked in poll with no
+        // timeout. Shutdown must ring the wake channel and return well
+        // under the no-sleep-polling bound.
+        let started = Instant::now();
+        net.shutdown();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "graceful stop took {elapsed:?}, expected < 100ms"
+        );
     }
 }

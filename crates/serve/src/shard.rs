@@ -370,6 +370,20 @@ impl ShardedEngine {
         self.shard(id)?.finish(id.local)
     }
 
+    /// Installs a [`moqo_engine::EventHook`]-style callback on every
+    /// shard, translating each shard-local session id into the
+    /// [`GlobalSessionId`] the serving layers route by. Same contract as
+    /// the per-shard hook: invoked under the shard's state lock, so keep
+    /// it to leaf-lock work (queue push + doorbell).
+    pub fn set_event_hook(&self, hook: Arc<dyn Fn(GlobalSessionId) + Send + Sync>) {
+        for (shard, manager) in self.shards.iter().enumerate() {
+            let hook = hook.clone();
+            manager.set_event_hook(Arc::new(move |local| {
+                hook(GlobalSessionId { shard, local });
+            }));
+        }
+    }
+
     /// Blocks until every shard has drained. Returns `false` on timeout.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;

@@ -40,10 +40,10 @@ pub mod framing;
 pub mod message;
 
 pub use framing::{
-    check_hello, client_hello, read_frame, write_frame, FrameBuffer, NetError, HELLO_LEN,
-    MAX_FRAME, WIRE_MAGIC, WIRE_VERSION,
+    check_hello, client_hello, read_frame, write_frame, FrameBuffer, NetError, WriteBuffer,
+    HELLO_LEN, MAX_FRAME, WIRE_MAGIC, WIRE_VERSION,
 };
-pub use message::{ClientMessage, ServerMessage};
+pub use message::{ClientFrameKind, ClientMessage, ServerMessage};
 
 // The payload codec this crate frames, re-exported so wire users need no
 // direct moqo-core dependency.

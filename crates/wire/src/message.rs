@@ -48,7 +48,37 @@ pub enum ClientMessage {
     },
 }
 
+/// The envelope kind of an encoded client frame, readable from its tag
+/// byte alone. An event loop peeks this to route expensive frames
+/// (submits, frontier transfers) to decode workers while dispatching
+/// cheap ones inline — without paying a full [`ClientMessage::decode`]
+/// on the loop thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientFrameKind {
+    /// [`ClientMessage::Submit`].
+    Submit,
+    /// [`ClientMessage::Command`].
+    Command,
+    /// [`ClientMessage::PullFrontier`].
+    PullFrontier,
+    /// [`ClientMessage::PushFrontier`].
+    PushFrontier,
+}
+
 impl ClientMessage {
+    /// Peeks the envelope kind of an encoded payload from its tag byte,
+    /// without decoding. `None` for an empty payload or an unknown tag
+    /// (both decode errors; callers fault such frames).
+    pub fn kind_of(payload: &[u8]) -> Option<ClientFrameKind> {
+        match payload.first()? {
+            0 => Some(ClientFrameKind::Submit),
+            1 => Some(ClientFrameKind::Command),
+            2 => Some(ClientFrameKind::PullFrontier),
+            3 => Some(ClientFrameKind::PushFrontier),
+            _ => None,
+        }
+    }
+
     /// Serializes the envelope into one frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
@@ -272,6 +302,7 @@ mod tests {
                 report: None,
                 first_report: None,
                 outcome: None,
+                coalesced: 0,
             })),
             ServerMessage::Error(ProtocolError::UnknownCostModel { identity: 7 }),
             ServerMessage::FrontierBlob {

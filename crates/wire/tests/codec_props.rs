@@ -153,7 +153,7 @@ fn command() -> BoxedStrategy<SessionCommand> {
 fn event() -> BoxedStrategy<SessionEvent> {
     (
         (0u64..1000, delta(), 0usize..8, bounds(), 0u64..1000),
-        (opt(report()), opt(report()), opt(outcome())),
+        (opt(report()), opt(report()), opt(outcome()), 0u64..5),
     )
         .prop_map(|(head, tail)| SessionEvent {
             epoch: head.0,
@@ -164,6 +164,7 @@ fn event() -> BoxedStrategy<SessionEvent> {
             report: tail.0,
             first_report: tail.1,
             outcome: tail.2,
+            coalesced: tail.3,
         })
         .boxed()
 }
@@ -406,6 +407,7 @@ fn single_byte_corruption_never_panics_the_event_decoder() {
         report: None,
         first_report: None,
         outcome: Some(SessionOutcome::Retired),
+        coalesced: 0,
     };
     let bytes = event.encode_to_vec();
     for i in 0..bytes.len() {

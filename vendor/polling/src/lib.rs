@@ -1,0 +1,806 @@
+//! Offline readiness-polling shim: a minimal mio-style `Poll` /
+//! `Events` / `Token` / `Interest` API over raw OS primitives.
+//!
+//! The workspace builds without network access, so instead of depending
+//! on `mio`/`polling` from crates.io this crate binds the two system
+//! facilities directly (std already links libc — no new dependency):
+//!
+//! * **epoll** (Linux): `epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//!   level-triggered, O(ready) wakeups. The default backend on Linux.
+//! * **poll(2)** (portable fallback): the registration table lives in
+//!   userspace and every wait rebuilds a `pollfd` array — O(registered)
+//!   per call, but available on every Unix and a useful cross-check of
+//!   the epoll path. Selected automatically off-Linux, or explicitly
+//!   via `MOQO_POLL_BACKEND=poll` / [`Backend::Poll`].
+//!
+//! Both backends are **level-triggered**: an fd that stays readable
+//! keeps reporting readable. Callers drain until `WouldBlock`.
+//!
+//! A [`Waker`] (self-pipe) lets any thread interrupt a blocked
+//! [`Poll::poll`]; it surfaces as a readable [`Event`] on the token it
+//! was registered with. The socket helpers at the bottom
+//! ([`set_send_buffer`], [`raise_nofile_limit`]) exist for the serving
+//! layer's backpressure tests and 10k-connection experiments.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+mod sys {
+    //! The handful of libc functions this crate needs, declared
+    //! directly: std links libc on every Unix target, so `extern "C"`
+    //! declarations resolve at link time with no added dependency.
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+    pub type c_short = i16;
+    pub type c_uint = u32;
+    pub type c_ulong = u64;
+    pub type nfds_t = c_ulong;
+
+    /// Kernel ABI: packed on x86-64 (the 12-byte layout), natural
+    /// alignment everywhere else — mirrors libc's definition.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub u64: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub u64: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    #[repr(C)]
+    pub struct rlimit {
+        pub rlim_cur: c_ulong,
+        pub rlim_max: c_ulong,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_SNDBUF: c_int = 7;
+    pub const SO_RCVBUF: c_int = 8;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_int,
+            len: c_uint,
+        ) -> c_int;
+        pub fn getsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *mut c_int,
+            len: *mut c_uint,
+        ) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Opaque per-registration identifier, echoed back on every [`Event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness classes a registration subscribes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Subscribe to read readiness (and peer hangup).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Subscribe to write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (`READABLE.add(WRITABLE)`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether read readiness is subscribed.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Whether write readiness is subscribed.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification: a token plus what fired.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    closed: bool,
+}
+
+impl Event {
+    /// The token the fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (data buffered, EOF pending, or an error that a
+    /// read will surface — error/hangup conditions fold into readable
+    /// so the caller's read path observes them).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Write readiness.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Peer hangup or error condition was reported alongside.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// Reusable buffer [`Poll::poll`] fills with ready [`Event`]s.
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer. (Capacity is managed internally; the wait
+    /// syscall caps one batch at an internal maximum and the next call
+    /// picks up whatever remained ready — level triggering keeps this
+    /// lossless.)
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.inner.iter()
+    }
+
+    /// Number of events from the last poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last poll returned no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Which OS facility backs a [`Poll`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` — O(ready) wakeups, the serving default.
+    Epoll,
+    /// Portable `poll(2)` — O(registered) per wait, always available.
+    Poll,
+}
+
+/// Largest batch a single wait syscall returns; level triggering makes
+/// the cap lossless (still-ready fds reappear on the next wait).
+const MAX_BATCH: usize = 1024;
+
+enum PollImpl {
+    Epoll {
+        epfd: RawFd,
+    },
+    Poll {
+        table: Mutex<Vec<(RawFd, Token, Interest)>>,
+    },
+}
+
+/// The readiness selector: register fds with a token and an interest,
+/// then [`poll`](Poll::poll) for whatever is ready.
+///
+/// Level-triggered on both backends. `register`/`reregister`/
+/// `deregister` take `&self` and are safe from any thread; `poll` is
+/// intended to be driven by one event-loop thread.
+pub struct Poll {
+    imp: PollImpl,
+    backend: Backend,
+}
+
+impl Poll {
+    /// Creates a selector on the default backend: epoll on Linux (or
+    /// whatever `MOQO_POLL_BACKEND=epoll|poll` requests), `poll(2)`
+    /// elsewhere.
+    pub fn new() -> io::Result<Poll> {
+        let backend = match std::env::var("MOQO_POLL_BACKEND").as_deref() {
+            Ok("poll") => Backend::Poll,
+            Ok("epoll") => Backend::Epoll,
+            _ if cfg!(target_os = "linux") => Backend::Epoll,
+            _ => Backend::Poll,
+        };
+        Poll::with_backend(backend)
+    }
+
+    /// Creates a selector on an explicit backend.
+    pub fn with_backend(backend: Backend) -> io::Result<Poll> {
+        let imp = match backend {
+            Backend::Epoll => {
+                let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+                PollImpl::Epoll { epfd }
+            }
+            Backend::Poll => PollImpl::Poll {
+                table: Mutex::new(Vec::new()),
+            },
+        };
+        Ok(Poll { imp, backend })
+    }
+
+    /// The backend this selector runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    fn epoll_mask(interest: Interest) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if interest.is_readable() {
+            mask |= sys::EPOLLIN;
+        }
+        if interest.is_writable() {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Starts watching `fd` under `token`. The fd must stay open until
+    /// [`deregister`](Poll::deregister); registering the same fd twice
+    /// is an error on both backends.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &self.imp {
+            PollImpl::Epoll { epfd } => {
+                let mut ev = sys::epoll_event {
+                    events: Self::epoll_mask(interest),
+                    u64: token.0 as u64,
+                };
+                cvt(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, &mut ev) })?;
+                Ok(())
+            }
+            PollImpl::Poll { table } => {
+                let mut table = table.lock().unwrap();
+                if table.iter().any(|(f, _, _)| *f == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                table.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the token and/or interest of an existing registration.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &self.imp {
+            PollImpl::Epoll { epfd } => {
+                let mut ev = sys::epoll_event {
+                    events: Self::epoll_mask(interest),
+                    u64: token.0 as u64,
+                };
+                cvt(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, &mut ev) })?;
+                Ok(())
+            }
+            PollImpl::Poll { table } => {
+                let mut table = table.lock().unwrap();
+                match table.iter_mut().find(|(f, _, _)| *f == fd) {
+                    Some(entry) => {
+                        entry.1 = token;
+                        entry.2 = interest;
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Call before closing the fd — epoll drops
+    /// closed fds silently, but the `poll(2)` table would keep a stale
+    /// entry otherwise.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        match &self.imp {
+            PollImpl::Epoll { epfd } => {
+                let mut ev = sys::epoll_event { events: 0, u64: 0 };
+                cvt(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) })?;
+                Ok(())
+            }
+            PollImpl::Poll { table } => {
+                let mut table = table.lock().unwrap();
+                let before = table.len();
+                table.retain(|(f, _, _)| *f != fd);
+                if table.len() == before {
+                    return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one registration is ready, the timeout
+    /// elapses (`events` left empty), or a [`Waker`] fires. `None`
+    /// means wait indefinitely.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout still sleeps (0 would spin).
+            Some(d) => d
+                .as_millis()
+                .max(if d.is_zero() { 0 } else { 1 })
+                .min(i32::MAX as u128) as i32,
+        };
+        match &self.imp {
+            PollImpl::Epoll { epfd } => {
+                let mut raw = [sys::epoll_event { events: 0, u64: 0 }; MAX_BATCH];
+                let n = loop {
+                    let n = unsafe {
+                        sys::epoll_wait(*epfd, raw.as_mut_ptr(), MAX_BATCH as i32, timeout_ms)
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for ev in &raw[..n] {
+                    let mask = ev.events;
+                    let closed = mask & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+                    events.inner.push(Event {
+                        token: Token(ev.u64 as usize),
+                        // Errors and hangups fold into readable: the
+                        // caller's read observes EOF or the error.
+                        readable: mask & sys::EPOLLIN != 0 || closed,
+                        writable: mask & sys::EPOLLOUT != 0,
+                        closed,
+                    });
+                }
+                Ok(())
+            }
+            PollImpl::Poll { table } => {
+                let snapshot: Vec<(RawFd, Token, Interest)> = table.lock().unwrap().clone();
+                let mut fds: Vec<sys::pollfd> = snapshot
+                    .iter()
+                    .map(|(fd, _, interest)| sys::pollfd {
+                        fd: *fd,
+                        events: {
+                            let mut e = 0;
+                            if interest.is_readable() {
+                                e |= sys::POLLIN;
+                            }
+                            if interest.is_writable() {
+                                e |= sys::POLLOUT;
+                            }
+                            e
+                        },
+                        revents: 0,
+                    })
+                    .collect();
+                loop {
+                    let n = unsafe {
+                        sys::poll(fds.as_mut_ptr(), fds.len() as sys::nfds_t, timeout_ms)
+                    };
+                    if n >= 0 {
+                        break;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                }
+                for (pfd, (_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    if events.inner.len() == MAX_BATCH {
+                        break;
+                    }
+                    let closed = pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0;
+                    events.inner.push(Event {
+                        token: *token,
+                        readable: pfd.revents & sys::POLLIN != 0 || closed,
+                        writable: pfd.revents & sys::POLLOUT != 0,
+                        closed,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        if let PollImpl::Epoll { epfd } = &self.imp {
+            unsafe { sys::close(*epfd) };
+        }
+    }
+}
+
+/// Cross-thread wakeup for a blocked [`Poll::poll`]: a nonblocking
+/// self-pipe whose read end is registered under the caller's chosen
+/// token. [`wake`](Waker::wake) is cheap, signal-safe, and idempotent
+/// while a wake is pending (a full pipe already guarantees readability).
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the pipe and registers its read end with `poll` under
+    /// `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let mut fds = [0i32; 2];
+        cvt(unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) })?;
+        let waker = Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        poll.register(waker.read_fd, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// Makes the registered token report readable on the next poll.
+    pub fn wake(&self) -> io::Result<()> {
+        let buf = [1u8];
+        let n = unsafe { sys::write(self.write_fd, buf.as_ptr(), 1) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            // A full pipe means wakes are already pending: mission
+            // accomplished, not an error.
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains pending wake bytes so the token stops reporting readable
+    /// (call from the event loop after observing the wake token).
+    pub fn clear(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+// Waker only touches its two fds via read/write/close.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+/// Puts `fd` into nonblocking mode (`O_NONBLOCK` via `fcntl`).
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = cvt(unsafe { sys::fcntl(fd, sys::F_GETFL, 0) })?;
+    cvt(unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) })?;
+    Ok(())
+}
+
+/// Shrinks (or grows) the kernel send buffer of a socket. The kernel
+/// doubles the requested value for bookkeeping and clamps it to a
+/// floor; returns the effective size. The serving tests use a tiny
+/// send buffer to force `WouldBlock` against a stalled reader
+/// deterministically.
+pub fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<usize> {
+    let val = bytes.min(i32::MAX as usize) as i32;
+    cvt(unsafe {
+        sys::setsockopt(
+            fd,
+            sys::SOL_SOCKET,
+            sys::SO_SNDBUF,
+            &val,
+            std::mem::size_of::<i32>() as u32,
+        )
+    })?;
+    let mut out: i32 = 0;
+    let mut len = std::mem::size_of::<i32>() as u32;
+    cvt(unsafe { sys::getsockopt(fd, sys::SOL_SOCKET, sys::SO_SNDBUF, &mut out, &mut len) })?;
+    Ok(out.max(0) as usize)
+}
+
+/// Shrinks (or grows) the kernel receive buffer of a socket; returns
+/// the effective size (see [`set_send_buffer`]).
+pub fn set_recv_buffer(fd: RawFd, bytes: usize) -> io::Result<usize> {
+    let val = bytes.min(i32::MAX as usize) as i32;
+    cvt(unsafe {
+        sys::setsockopt(
+            fd,
+            sys::SOL_SOCKET,
+            sys::SO_RCVBUF,
+            &val,
+            std::mem::size_of::<i32>() as u32,
+        )
+    })?;
+    let mut out: i32 = 0;
+    let mut len = std::mem::size_of::<i32>() as u32;
+    cvt(unsafe { sys::getsockopt(fd, sys::SOL_SOCKET, sys::SO_RCVBUF, &mut out, &mut len) })?;
+    Ok(out.max(0) as usize)
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward `target`, clamped to the
+/// hard limit; returns the resulting soft limit. Holding 10k+
+/// connections needs ~2× that many fds, well past the usual 1024
+/// default soft limit.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut lim = sys::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= target {
+        return Ok(lim.rlim_cur);
+    }
+    let want = target.min(lim.rlim_max);
+    let new = sys::rlimit {
+        rlim_cur: want,
+        rlim_max: lim.rlim_max,
+    };
+    cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &new) })?;
+    Ok(want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    fn tokens_of(events: &Events) -> Vec<usize> {
+        let mut t: Vec<usize> = events.iter().map(|e| e.token().0).collect();
+        t.sort_unstable();
+        t
+    }
+
+    #[test]
+    fn readable_and_writable_readiness_both_backends() {
+        for backend in backends() {
+            let poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+
+            poll.register(
+                server.as_raw_fd(),
+                Token(7),
+                Interest::READABLE | Interest::WRITABLE,
+            )
+            .unwrap();
+            let mut events = Events::new();
+
+            // Idle socket: writable only.
+            poll.poll(&mut events, Some(Duration::from_millis(500)))
+                .unwrap();
+            assert_eq!(tokens_of(&events), vec![7], "{backend:?}");
+            let ev = events.iter().next().unwrap();
+            assert!(ev.is_writable() && !ev.is_readable(), "{backend:?}");
+
+            // Peer writes: readable fires (level-triggered, repeats).
+            client.write_all(b"ping").unwrap();
+            for _ in 0..2 {
+                poll.poll(&mut events, Some(Duration::from_millis(500)))
+                    .unwrap();
+                let ev = events.iter().next().unwrap();
+                assert!(ev.is_readable(), "{backend:?}");
+            }
+
+            // Interest narrowed to writable: readable stops reporting.
+            poll.reregister(server.as_raw_fd(), Token(8), Interest::WRITABLE)
+                .unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(500)))
+                .unwrap();
+            let ev = events.iter().next().unwrap();
+            assert_eq!(ev.token(), Token(8), "{backend:?}");
+            assert!(!ev.is_readable() && ev.is_writable(), "{backend:?}");
+
+            poll.deregister(server.as_raw_fd()).unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}");
+            drop(client);
+        }
+    }
+
+    #[test]
+    fn hangup_reports_readable_and_closed() {
+        for backend in backends() {
+            let poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = TcpStream::connect(addr).unwrap();
+            let (mut server, _) = listener.accept().unwrap();
+            poll.register(server.as_raw_fd(), Token(1), Interest::READABLE)
+                .unwrap();
+            drop(client);
+            let mut events = Events::new();
+            poll.poll(&mut events, Some(Duration::from_millis(500)))
+                .unwrap();
+            let ev = events.iter().next().unwrap();
+            assert!(ev.is_readable(), "{backend:?}");
+            // The read path observes the hangup as EOF.
+            let mut buf = [0u8; 8];
+            assert_eq!(server.read(&mut buf).unwrap(), 0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll() {
+        for backend in backends() {
+            let poll = Poll::with_backend(backend).unwrap();
+            let waker = std::sync::Arc::new(Waker::new(&poll, Token(usize::MAX)).unwrap());
+            let remote = waker.clone();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                remote.wake().unwrap();
+            });
+            let mut events = Events::new();
+            let start = std::time::Instant::now();
+            poll.poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(start.elapsed() < Duration::from_secs(5), "{backend:?}");
+            assert_eq!(tokens_of(&events), vec![usize::MAX], "{backend:?}");
+            waker.clear();
+            // Cleared: the token stops reporting.
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}");
+            // Repeated wakes before a clear stay readable (idempotent).
+            for _ in 0..3 {
+                waker.wake().unwrap();
+            }
+            poll.poll(&mut events, Some(Duration::from_millis(500)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn double_register_errors_and_timeout_returns_empty() {
+        for backend in backends() {
+            let poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            poll.register(listener.as_raw_fd(), Token(0), Interest::READABLE)
+                .unwrap();
+            assert!(poll
+                .register(listener.as_raw_fd(), Token(1), Interest::READABLE)
+                .is_err());
+            let mut events = Events::new();
+            let start = std::time::Instant::now();
+            poll.poll(&mut events, Some(Duration::from_millis(25)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}");
+            assert!(
+                start.elapsed() >= Duration::from_millis(20),
+                "{backend:?}: timeout returned early"
+            );
+        }
+    }
+
+    #[test]
+    fn send_buffer_helper_clamps_and_reports() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let effective = set_send_buffer(client.as_raw_fd(), 4096).unwrap();
+        // The kernel doubles and floors the request; it must come back
+        // bounded, not zero and not the default ~200KiB.
+        assert!(effective >= 4096, "{effective}");
+        assert!(effective <= 1 << 20, "{effective}");
+    }
+
+    #[test]
+    fn nofile_limit_is_monotonic() {
+        let before = raise_nofile_limit(0).unwrap();
+        let after = raise_nofile_limit(before).unwrap();
+        assert!(after >= before);
+    }
+}
