@@ -1,19 +1,21 @@
-//! Minimal JSON emitter for the machine-readable `BENCH_*.json` outputs.
+//! Minimal JSON emitter and parser for the machine-readable
+//! `BENCH_*.json` outputs.
 //!
 //! The `repro` experiments print human tables *and* drop a small JSON
 //! file per experiment so scripts can track medians and counters across
 //! runs without scraping stdout. The workspace is offline (no serde);
 //! the subset of JSON needed here — objects, arrays, strings, numbers,
-//! booleans — is small enough to emit by hand. Schemas are documented
-//! in `docs/benchmarks.md`.
+//! booleans — is small enough to emit and parse by hand. Schemas are
+//! documented in `docs/benchmarks.md`, and `repro diff` uses the parser
+//! side to compare two envelopes.
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// A JSON value tree, built by the experiments and rendered with
-/// [`Json::render`].
-#[derive(Clone, Debug)]
+/// [`Json::render`], or recovered from text with [`Json::parse`].
+#[derive(Clone, Debug, PartialEq)]
 pub enum Json {
     /// `null`.
     Null,
@@ -30,10 +32,55 @@ pub enum Json {
     /// An ordered array.
     Arr(Vec<Json>),
     /// An object with insertion-ordered keys.
-    Obj(Vec<(&'static str, Json)>),
+    Obj(Vec<(String, Json)>),
 }
 
 impl Json {
+    /// Builds an object from `(&str, Json)` pairs — the common literal
+    /// shape at experiment call sites.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up `key` in an object; `None` for other variants or a
+    /// missing key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int` and `Num` both read as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Renders the tree as pretty-printed JSON (2-space indent, trailing
     /// newline) for stable, diff-friendly files.
     pub fn render(&self) -> String {
@@ -46,6 +93,24 @@ impl Json {
     /// Renders into `path`, overwriting any previous run's file.
     pub fn write_file(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.render())
+    }
+
+    /// Parses JSON text produced by [`Json::render`] (or any standard
+    /// JSON emitter). Numbers without a fraction or exponent that fit
+    /// `u64` come back as [`Json::Int`]; everything else numeric is
+    /// [`Json::Num`]. Errors carry a byte offset for context.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -117,7 +182,17 @@ fn escape_into(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            // Everything JSON cannot carry raw, plus the cases that are
+            // *legal* JSON but break downstream consumers: DEL and the
+            // C1 block are invisible in most editors, and U+2028/U+2029
+            // are line terminators in JavaScript source, so a BENCH
+            // file inlined into a JS context would split a string
+            // literal mid-token.
+            c if (c as u32) < 0x20
+                || (0x7f..=0x9f).contains(&(c as u32))
+                || c == '\u{2028}'
+                || c == '\u{2029}' =>
+            {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -126,13 +201,215 @@ fn escape_into(s: &str, out: &mut String) {
     out.push('"');
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(format!("bad low surrogate at byte {start}"));
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            s.push(c.ok_or_else(|| format!("bad \\u escape at byte {start}"))?);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {start}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| format!("bad utf-8 at byte {}", self.pos))?;
+                    let c = text.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control char at byte {}", self.pos));
+                    }
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let chunk = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(chunk, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        if !fractional {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn renders_the_whole_grammar() {
-        let j = Json::Obj(vec![
+        let j = Json::obj(vec![
             ("name", Json::Str("a \"quoted\"\nline".into())),
             ("count", Json::Int(42)),
             ("ratio", Json::Num(2.5)),
@@ -154,9 +431,71 @@ mod tests {
     }
 
     #[test]
+    fn escapes_every_control_case_uniformly() {
+        // U+2028/U+2029 are valid JSON but illegal raw in JavaScript
+        // string literals; DEL and the C1 block are invisible traps.
+        let s = Json::Str("a\u{2028}b\u{2029}c\u{7f}d\u{85}e\u{1}f".into()).render();
+        assert!(s.contains("\\u2028"));
+        assert!(s.contains("\\u2029"));
+        assert!(s.contains("\\u007f"));
+        assert!(s.contains("\\u0085"));
+        assert!(s.contains("\\u0001"));
+        for c in s.trim().chars() {
+            assert!(
+                (c as u32) >= 0x20 && (c as u32) < 0x7f,
+                "raw non-ASCII or control char {:?} leaked into output",
+                c
+            );
+        }
+    }
+
+    #[test]
     fn floats_round_trip_through_the_shortest_repr() {
         let v = 0.1 + 0.2;
         let s = Json::Num(v).render();
         assert_eq!(s.trim().parse::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn parse_round_trips_the_render_output() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("line\u{2028}break \"q\" \\ \n".into())),
+            ("count", Json::Int(42)),
+            ("ratio", Json::Num(2.5)),
+            ("neg", Json::Num(-0.125)),
+            ("big", Json::Num(1.5e300)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Num(0.5)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let parsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pairs_and_rejects_garbage() {
+        let j = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(j, Json::Str("😀".into()));
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("01x").is_err());
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parse_distinguishes_counters_from_floats() {
+        let j = Json::parse("[7, 7.0, -7, 1e2]").unwrap();
+        assert_eq!(
+            j,
+            Json::Arr(vec![
+                Json::Int(7),
+                Json::Num(7.0),
+                Json::Num(-7.0),
+                Json::Num(100.0),
+            ])
+        );
     }
 }

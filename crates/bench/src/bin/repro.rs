@@ -8,7 +8,7 @@
 //! `lemmas`, `quality`, `ablation-index`, `ablation-delta`,
 //! `ablation-shadow`, `bounds`, `space`, `amortized`, `schedules`,
 //! `enumeration`, `pruning`, `serve`, `net`, `net-scale`, `similarity`,
-//! `fleet`, `fleet-router`, or `all`.
+//! `fleet`, `fleet-router`, `replay`, `churn`, or `all`.
 //! `--fast` shrinks the scale factor and level counts for a quick smoke
 //! run; `--stats` appends the enumeration-plane counter table (splits
 //! visited/skipped, pairs skipped, scratch high-water) regardless of the
@@ -17,9 +17,20 @@
 //! (default 500) and `--ticks <n>` (default: run until SIGTERM).
 //!
 //! The `enumeration`, `pruning`, `serve`, `net`, `net-scale`,
-//! `similarity`, and `fleet` experiments additionally drop
-//! machine-readable `BENCH_<name>.json` files into the working directory
-//! (schemas in `docs/benchmarks.md`).
+//! `similarity`, `fleet`, `replay`, `churn`, and bounded `fleet-router`
+//! experiments additionally drop machine-readable `BENCH_<name>.json`
+//! files — one shared envelope schema — into the working directory
+//! (schema in `docs/benchmarks.md`).
+//!
+//! Two envelopes compare with the perf-trajectory gate:
+//!
+//! ```text
+//! repro diff <old.json> <new.json> [--tolerance <fraction>]
+//! ```
+//!
+//! which exits 0 when no direction-gated metric regressed beyond the
+//! tolerance, 1 on a regression or schema drift, and 2 on unreadable
+//! input.
 //!
 //! `repro fleet` spawns real serving processes by re-executing this
 //! binary in a hidden child mode which serves one fleet node until its
@@ -79,6 +90,8 @@ const EXPERIMENTS: &[&str] = &[
     "similarity",
     "fleet",
     "fleet-router",
+    "replay",
+    "churn",
     "all",
 ];
 
@@ -86,10 +99,13 @@ fn usage() -> String {
     format!(
         "usage: repro [<experiment>] [--sf <positive number>] [--fast] [--stats]\n\
          \x20            [--connections <n>] [--watch <ms>] [--ticks <n>]\n\
+         \x20      repro diff <old.json> <new.json> [--tolerance <fraction>]\n\
          experiments: {}\n\
          net-scale holds --connections idle sessions (default 10000; 512 with --fast).\n\
          fleet-router runs a liveness loop every --watch ms (default 500) until\n\
-         SIGTERM, or for --ticks beats (with one induced node kill) when bounded.",
+         SIGTERM, or for --ticks beats (with one induced node kill) when bounded.\n\
+         diff compares two BENCH_*.json envelopes; exit 0 = clean, 1 = regression\n\
+         or schema drift, 2 = unreadable input.",
         EXPERIMENTS.join(", ")
     )
 }
@@ -208,12 +224,63 @@ fn fleet_node_main(args: &[String]) -> ! {
     }
 }
 
+/// The `repro diff` subcommand: compares two `BENCH_*.json` envelopes
+/// metric by metric and exits 0 (clean), 1 (regression or schema
+/// drift), or 2 (unreadable input). Never returns.
+fn diff_main(args: &[String]) -> ! {
+    let mut tolerance = 0.5;
+    let mut files: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = match args.get(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(v)) if v >= 0.0 && v.is_finite() => v,
+                    Some(_) => cli_error(&format!(
+                        "--tolerance needs a nonnegative fraction, got {:?}",
+                        args[i]
+                    )),
+                    None => cli_error("--tolerance needs a value"),
+                };
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => files.push(other),
+            other => cli_error(&format!("unknown diff flag {other:?}")),
+        }
+        i += 1;
+    }
+    let [old, new] = files[..] else {
+        cli_error("diff needs exactly two files: repro diff <old.json> <new.json>");
+    };
+    match diff_files(
+        std::path::Path::new(old),
+        std::path::Path::new(new),
+        tolerance,
+    ) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            std::process::exit(if outcome.failed() { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     // `repro fleet` re-executes this binary as its node processes; the
-    // child mode must win before normal CLI parsing.
+    // child mode must win before normal CLI parsing, and `diff` takes
+    // positional file arguments no experiment takes.
     let raw: Vec<String> = env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("fleet-node") {
-        fleet_node_main(&raw[1..]);
+    match raw.first().map(String::as_str) {
+        Some("fleet-node") => fleet_node_main(&raw[1..]),
+        Some("diff") => diff_main(&raw[1..]),
+        _ => {}
     }
     let cli = parse_cli();
     let model = bench_model();
@@ -299,28 +366,35 @@ fn main() {
         schedules_exp(&model, cli.sf);
     }
     if run("enumeration") || cli.stats {
-        enumeration_exp(cli.sf, cli.fast);
+        enumeration_experiment(cli.sf, cli.fast).emit();
     }
     if run("pruning") {
-        pruning_exp(cli.fast);
+        pruning_experiment(cli.fast).emit();
     }
     if run("serve") {
-        serve_exp(cli.fast);
+        serving_experiment(cli.fast).emit();
     }
     if run("net") {
-        net_exp(cli.fast);
+        net_serving_experiment(cli.fast).emit();
     }
     if run("net-scale") {
         let connections = cli
             .connections
             .unwrap_or(if cli.fast { 512 } else { 10_000 });
-        net_scale_exp(connections, cli.fast);
+        net_scale_experiment(connections, cli.fast).emit();
     }
     if run("similarity") {
-        similarity_exp(cli.fast);
+        similarity_experiment(cli.fast).emit();
+    }
+    if run("replay") {
+        replay_experiment(cli.fast).emit();
+    }
+    if run("churn") {
+        churn_experiment(cli.fast).emit();
     }
     if run("fleet") {
-        fleet_exp(cli.fast);
+        let exe = env::current_exe().expect("own executable path");
+        fleet_experiment(&exe, cli.fast).emit();
     }
     if run("fleet-router") {
         // Under `all` the loop must terminate: bound it like `--ticks 5`.
@@ -328,594 +402,28 @@ fn main() {
             ("all", None) => Some(5),
             (_, t) => t,
         };
-        fleet_router_exp(Duration::from_millis(cli.watch_ms), ticks, cli.fast);
-    }
-}
-
-/// Fleet router: the daemonizable liveness loop over real node
-/// processes — probe, adopt after death, level skewed ownership — every
-/// `--watch` ms until SIGTERM (or for `--ticks` beats, with one induced
-/// SIGKILL so the repair paths demonstrably fire).
-fn fleet_router_exp(every: Duration, ticks: Option<u64>, fast: bool) {
-    println!("=== Fleet router: liveness watch loop over 3 real node processes ===\n");
-    let exe = env::current_exe().expect("own executable path");
-    let report = fleet_router_watch(&exe, every, ticks, fast);
-    println!(
-        "\n{} beats: {} death(s) found, {} orphaned key(s), {} adopted warm,\n\
-         \x20        {} leveling move(s).\n",
-        report.ticks, report.deaths, report.orphaned, report.adopted_warm, report.rebalanced
-    );
-}
-
-/// Net scale: one node holding thousands of idle interactive sessions
-/// on the readiness-driven front — fixed thread count, bounded memory.
-fn net_scale_exp(connections: usize, fast: bool) {
-    println!("=== Net scale: holding {connections} idle sessions on one node ===\n");
-    let r = net_scale_experiment(connections, fast);
-    if r.connections < r.requested {
-        println!(
-            "(file-descriptor limit {} clamped the fleet to {} connections)\n",
-            r.nofile_soft, r.connections
-        );
-    }
-    let mut t = TextTable::new(vec!["figure", "value"]);
-    let rows: Vec<(&str, String)> = vec![
-        ("connections held", r.connections.to_string()),
-        ("query templates", r.templates.to_string()),
-        (
-            "connect+hello mean/p50/max",
-            format!(
-                "{:.1} / {:.1} / {:.1} us",
-                r.connect_mean_us, r.connect_p50_us, r.connect_max_us
-            ),
-        ),
-        (
-            "submit->admission mean/p50/max",
-            format!(
-                "{:.1} / {:.1} / {:.1} us",
-                r.admit_mean_us, r.admit_p50_us, r.admit_max_us
-            ),
-        ),
-        ("zero-plan starts", r.zero_plan_starts.to_string()),
-        (
-            "RSS before -> held",
-            format!("{} kB -> {} kB", r.rss_before_kb, r.rss_held_kb),
-        ),
-        ("userspace kB/conn", format!("{:.2}", r.kb_per_conn)),
-        (
-            "threads before -> held",
-            format!("{} -> {}", r.threads_before, r.threads_held),
-        ),
-        (
-            "live held / after hold",
-            format!(
-                "{} / {} ({} ms idle)",
-                r.live_held, r.live_after_hold, r.hold_ms
-            ),
-        ),
-        (
-            "faulted / stalled",
-            format!("{} / {}", r.faulted, r.stalled),
-        ),
-        (
-            "coalesced / outbound HW",
-            format!("{} / {} B", r.coalesced_events, r.outbound_high_water),
-        ),
-        (
-            "frames in / out",
-            format!("{} / {}", r.frames_in, r.frames_out),
-        ),
-        ("disconnect-parked", r.disconnect_parked.to_string()),
-        ("drain all", format!("{:.1} ms", r.drain_ms)),
-        ("shutdown", format!("{:.2} ms", r.shutdown_ms)),
-    ];
-    for (k, v) in rows {
-        t.row(vec![k.to_string(), v]);
-    }
-    println!("{}", t.render());
-    println!(
-        "One event-loop thread plus a fixed decode pool serves the whole\n\
-         \x20        fleet: the thread count while holding {} connections equals the\n\
-         \x20        count before the first connect, and memory grows only by the\n\
-         \x20        per-connection userspace figure above (client state included —\n\
-         \x20        both ends live in this process).\n",
-        r.connections
-    );
-    let json = Json::Obj(vec![
-        ("experiment", Json::Str("net_scale".into())),
-        ("fast", Json::Bool(fast)),
-        ("requested", Json::Int(r.requested as u64)),
-        ("connections", Json::Int(r.connections as u64)),
-        ("nofile_soft", Json::Int(r.nofile_soft)),
-        ("templates", Json::Int(r.templates as u64)),
-        ("connect_mean_us", Json::Num(r.connect_mean_us)),
-        ("connect_p50_us", Json::Num(r.connect_p50_us)),
-        ("connect_max_us", Json::Num(r.connect_max_us)),
-        ("admit_mean_us", Json::Num(r.admit_mean_us)),
-        ("admit_p50_us", Json::Num(r.admit_p50_us)),
-        ("admit_max_us", Json::Num(r.admit_max_us)),
-        ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
-        ("rss_before_kb", Json::Int(r.rss_before_kb)),
-        ("rss_held_kb", Json::Int(r.rss_held_kb)),
-        ("kb_per_conn", Json::Num(r.kb_per_conn)),
-        ("threads_before", Json::Int(r.threads_before)),
-        ("threads_held", Json::Int(r.threads_held)),
-        ("live_held", Json::Int(r.live_held)),
-        ("live_after_hold", Json::Int(r.live_after_hold)),
-        ("hold_ms", Json::Int(r.hold_ms)),
-        ("faulted", Json::Int(r.faulted)),
-        ("stalled", Json::Int(r.stalled)),
-        ("coalesced_events", Json::Int(r.coalesced_events)),
-        ("outbound_high_water", Json::Int(r.outbound_high_water)),
-        ("frames_in", Json::Int(r.frames_in)),
-        ("frames_out", Json::Int(r.frames_out)),
-        ("accepted", Json::Int(r.accepted)),
-        ("disconnect_parked", Json::Int(r.disconnect_parked)),
-        ("drain_ms", Json::Num(r.drain_ms)),
-        ("shutdown_ms", Json::Num(r.shutdown_ms)),
-    ]);
-    write_bench_json("BENCH_net_scale.json", &json);
-}
-
-/// Fleet: the kill-and-repeat experiment over real node processes —
-/// placement-routed sessions, a SIGKILLed home, store adoption, and
-/// warm repeats that survive it all (every step asserted in the driver).
-fn fleet_exp(fast: bool) {
-    println!("=== Fleet: kill-and-repeat over 3 real node processes ===\n");
-    let exe = env::current_exe().expect("own executable path");
-    let report = fleet_experiment(&exe, fast);
-    let mut t = TextTable::new(vec![
-        "pass",
-        "sessions",
-        "mean first-frontier",
-        "p50",
-        "max",
-        "0-plan starts",
-    ]);
-    for r in &report.phases {
-        t.row(vec![
-            r.label.to_string(),
-            r.sessions.to_string(),
-            format!("{:.1} us", r.mean_us),
-            format!("{:.1} us", r.p50_us),
-            format!("{:.1} us", r.max_us),
-            r.zero_plan_starts.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "{} was SIGKILLed after the warm pass: {} of the workload's keys\n         lost their home, all {} were adopted warm from the shared\n         snapshot store by their new homes, and the post-kill repeats\n         still all started at zero plans. Client view bits_eq across\n         the hand-off: {}. Routes per node: {:?}.\n",
-        report.killed, report.orphaned, report.adopted_warm, report.view_bits_eq, report.routes
-    );
-    let json = Json::Obj(vec![
-        ("experiment", Json::Str("fleet".into())),
-        ("fast", Json::Bool(fast)),
-        ("nodes", Json::Int(report.nodes as u64)),
-        ("killed_node", Json::Str(report.killed.clone())),
-        ("orphaned_keys", Json::Int(report.orphaned as u64)),
-        ("adopted_warm", Json::Int(report.adopted_warm as u64)),
-        ("view_bits_eq", Json::Bool(report.view_bits_eq)),
-        (
-            "routes",
-            Json::Arr(
-                report
-                    .routes
-                    .iter()
-                    .map(|(id, n)| {
-                        Json::Obj(vec![
-                            ("node", Json::Str(id.clone())),
-                            ("sessions", Json::Int(*n)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "phases",
-            Json::Arr(
-                report
-                    .phases
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("label", Json::Str(r.label.into())),
-                            ("sessions", Json::Int(r.sessions as u64)),
-                            ("mean_us", Json::Num(r.mean_us)),
-                            ("p50_us", Json::Num(r.p50_us)),
-                            ("max_us", Json::Num(r.max_us)),
-                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
-    write_bench_json("BENCH_fleet.json", &json);
-}
-
-/// Warm-state sharing across *similar* (not identical) queries: plans
-/// generated and submit→first-frontier latency for cold, exact-warm,
-/// sub-frontier-transplant, and stats-drift-rebase sessions.
-fn similarity_exp(fast: bool) {
-    println!("=== Similar queries: sub-frontier transplant and stats-drift rebase ===\n");
-    let reports = similarity_experiment(fast);
-    let mut t = TextTable::new(vec![
-        "pass",
-        "sessions",
-        "plans generated",
-        "mean first-frontier",
-        "p50",
-        "max",
-        "0-plan starts",
-        "rebased",
-        "seeded (subsets)",
-    ]);
-    for r in &reports {
-        t.row(vec![
-            r.label.to_string(),
-            r.sessions.to_string(),
-            r.plans_generated.to_string(),
-            format!("{:.1} us", r.mean_us),
-            format!("{:.1} us", r.p50_us),
-            format!("{:.1} us", r.max_us),
-            r.zero_plan_starts.to_string(),
-            r.rebased_sessions.to_string(),
-            format!("{} ({})", r.transplanted_sessions, r.seeded_subsets),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Same queries, four histories. Exact repeats do zero plan work;\n         transplanted sessions seed every shared subset from donor\n         sub-frontiers and generate measurably fewer plans than cold;\n         drifted replays rebase the parked frontier under the new stats\n         (Lemma 7: re-pruning known plans beats regenerating them).\n"
-    );
-    let json = Json::Obj(vec![
-        ("experiment", Json::Str("similarity".into())),
-        ("fast", Json::Bool(fast)),
-        (
-            "phases",
-            Json::Arr(
-                reports
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("label", Json::Str(r.label.into())),
-                            ("sessions", Json::Int(r.sessions as u64)),
-                            ("plans_generated", Json::Int(r.plans_generated)),
-                            ("mean_us", Json::Num(r.mean_us)),
-                            ("p50_us", Json::Num(r.p50_us)),
-                            ("max_us", Json::Num(r.max_us)),
-                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
-                            ("rebased_sessions", Json::Int(r.rebased_sessions as u64)),
-                            (
-                                "transplanted_sessions",
-                                Json::Int(r.transplanted_sessions as u64),
-                            ),
-                            ("seeded_subsets", Json::Int(r.seeded_subsets)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
-    write_bench_json("BENCH_similarity.json", &json);
-}
-
-/// Network front: the serving SLO as a remote TCP client observes it —
-/// handshake + framed submit + admission + delta-streamed events — cold
-/// versus warm over one loopback server.
-fn net_exp(fast: bool) {
-    println!("=== Network front: submit -> first-frontier over loopback TCP ===\n");
-    let reports = net_serving_experiment(fast);
-    let mut t = TextTable::new(vec![
-        "pass",
-        "sessions",
-        "mean first-frontier",
-        "p50",
-        "max",
-        "0-plan starts",
-    ]);
-    for r in &reports {
-        t.row(vec![
-            r.label.to_string(),
-            r.sessions.to_string(),
-            format!("{:.1} us", r.mean_us),
-            format!("{:.1} us", r.p50_us),
-            format!("{:.1} us", r.max_us),
-            r.zero_plan_starts.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Every session crosses a real socket: MOQOWIRE handshake, framed\n         submit, typed admission, delta-streamed events. The warm pass\n         resumes parked frontiers — zero plan generation before the first\n         tradeoffs appear — so a repeat pays only transport pacing\n         (compare `repro serve` for the in-process figure), never plan\n         regeneration.\n"
-    );
-    let json = Json::Obj(vec![
-        ("experiment", Json::Str("net".into())),
-        ("fast", Json::Bool(fast)),
-        (
-            "phases",
-            Json::Arr(
-                reports
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("label", Json::Str(r.label.into())),
-                            ("sessions", Json::Int(r.sessions as u64)),
-                            ("mean_us", Json::Num(r.mean_us)),
-                            ("p50_us", Json::Num(r.p50_us)),
-                            ("max_us", Json::Num(r.max_us)),
-                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
-    write_bench_json("BENCH_net.json", &json);
-}
-
-/// Serving front: submit→first-frontier latency and warm-hit economy of
-/// the sharded engine under a skewed fingerprint workload.
-fn serve_exp(fast: bool) {
-    println!("=== Serving front: submit -> first-frontier latency, 4 shards ===\n");
-    let reports = serving_experiment(fast);
-    let mut t = TextTable::new(vec![
-        "pass",
-        "sessions",
-        "distinct fps",
-        "mean first-frontier",
-        "p50",
-        "max",
-        "warm routed",
-        "0-plan starts",
-    ]);
-    for r in &reports {
-        t.row(vec![
-            r.label.to_string(),
-            r.sessions.to_string(),
-            r.distinct.to_string(),
-            format!("{:.1} us", r.mean_us),
-            format!("{:.1} us", r.p50_us),
-            format!("{:.1} us", r.max_us),
-            r.warm_routed.to_string(),
-            r.zero_plan_starts.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "The warm pass resumes parked frontiers on their home shards: its\n         first copy of every repeated fingerprint starts with zero plan\n         generation, so first tradeoffs appear in cache-lookup time.\n"
-    );
-    let json = Json::Obj(vec![
-        ("experiment", Json::Str("serve".into())),
-        ("fast", Json::Bool(fast)),
-        (
-            "phases",
-            Json::Arr(
-                reports
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("label", Json::Str(r.label.into())),
-                            ("sessions", Json::Int(r.sessions as u64)),
-                            ("distinct_fingerprints", Json::Int(r.distinct as u64)),
-                            ("mean_us", Json::Num(r.mean_us)),
-                            ("p50_us", Json::Num(r.p50_us)),
-                            ("max_us", Json::Num(r.max_us)),
-                            ("warm_routed", Json::Int(r.warm_routed)),
-                            ("zero_plan_starts", Json::Int(r.zero_plan_starts as u64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
-    write_bench_json("BENCH_serve.json", &json);
-}
-
-/// Enumeration-plane effectiveness: split visits of the dense path versus
-/// the exhaustive (per-invocation re-enumeration) path, plus the
-/// steady-state skip counters (`--stats` appends this to any experiment).
-fn enumeration_exp(sf: f64, fast: bool) {
-    use moqo_costmodel::{MetricSet, StandardCostModelConfig};
-    use moqo_query::testkit;
-    println!("=== Enumeration plane: precomputed splits vs exhaustive re-enumeration ===\n");
-    // A lean model keeps the refinement ladders fast; the counters being
-    // reported are model-independent structure metrics.
-    let model = StandardCostModel::new(
-        MetricSet::paper(),
-        StandardCostModelConfig {
-            dops: vec![1, 4],
-            sampling_rates_pm: vec![100, 500],
-            eval_spin: 0,
-            ..StandardCostModelConfig::default()
-        },
-    );
-    let schedule = ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.05, 0.5);
-    let n = if fast { 8 } else { 10 };
-    let mut specs = vec![
-        testkit::chain_query(n, 100_000),
-        testkit::cycle_query(n, 100_000),
-        testkit::star_query(if fast { 6 } else { 8 }, 100_000),
-        testkit::clique_query(if fast { 5 } else { 7 }, 1000),
-    ];
-    for name in ["q03", "q05", "q09"] {
-        if let Some(spec) = query_block(name, sf) {
-            specs.push(spec);
+        let exe = env::current_exe().expect("own executable path");
+        let every = Duration::from_millis(cli.watch_ms);
+        match ticks {
+            // Bounded runs (with one induced node kill) go through the
+            // harness and drop an envelope like every other experiment.
+            Some(n) => fleet_router_experiment(&exe, every, n, cli.fast).emit(),
+            // Unbounded: the daemonizable liveness loop, no envelope —
+            // it ends by SIGTERM, not by finishing a measurement.
+            None => {
+                println!("=== Fleet router: liveness watch loop over 3 real node processes ===\n");
+                let report = fleet_router_watch(&exe, every, None, cli.fast);
+                println!(
+                    "\n{} beats: {} death(s) found, {} orphaned key(s), {} adopted warm,\n\
+                     \x20        {} leveling move(s).\n",
+                    report.ticks,
+                    report.deaths,
+                    report.orphaned,
+                    report.adopted_warm,
+                    report.rebalanced
+                );
+            }
         }
-    }
-    let reports = enumeration_effectiveness(&model, &schedule, &specs);
-    let mut t = TextTable::new(vec![
-        "query",
-        "tables",
-        "exhaustive splits/inv",
-        "plan splits",
-        "ladder visited",
-        "steady visited",
-        "steady skipped",
-        "pairs skipped",
-        "scratch HW",
-    ]);
-    for r in &reports {
-        t.row(vec![
-            r.query.clone(),
-            r.n_tables.to_string(),
-            r.exhaustive_splits_per_invocation.to_string(),
-            r.plan_splits.to_string(),
-            r.ladder_splits_visited.to_string(),
-            r.steady_splits_visited.to_string(),
-            r.steady_splits_skipped.to_string(),
-            r.pairs_skipped.to_string(),
-            r.scratch_high_water.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "A repeated invocation visits 0 splits: the watermark rectangles\n         settle the whole plan, versus the exhaustive path re-walking\n         every split of every subset each invocation.\n"
-    );
-    let json = Json::Obj(vec![
-        ("experiment", Json::Str("enumeration".into())),
-        ("fast", Json::Bool(fast)),
-        ("sf", Json::Num(sf)),
-        (
-            "queries",
-            Json::Arr(
-                reports
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("query", Json::Str(r.query.clone())),
-                            ("tables", Json::Int(r.n_tables as u64)),
-                            (
-                                "exhaustive_splits_per_invocation",
-                                Json::Int(r.exhaustive_splits_per_invocation),
-                            ),
-                            ("plan_subsets", Json::Int(r.plan_subsets as u64)),
-                            ("plan_splits", Json::Int(r.plan_splits as u64)),
-                            ("ladder_splits_visited", Json::Int(r.ladder_splits_visited)),
-                            ("steady_splits_visited", Json::Int(r.steady_splits_visited)),
-                            ("steady_splits_skipped", Json::Int(r.steady_splits_skipped)),
-                            ("pairs_skipped", Json::Int(r.pairs_skipped)),
-                            ("scratch_high_water", Json::Int(r.scratch_high_water as u64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
-    write_bench_json("BENCH_enumeration.json", &json);
-}
-
-/// Pruning hot path: scalar visitor vs batched SoA lane kernels, plus
-/// the prune-path share of end-to-end invocation time.
-fn pruning_exp(fast: bool) {
-    println!("=== Pruning kernels: scalar visitor vs batched SoA lanes ===\n");
-    let kernel = kernel_measurements(fast);
-    let mut t = TextTable::new(vec![
-        "dim",
-        "cell size",
-        "entries",
-        "scalar ns/scan",
-        "batch ns/scan",
-        "scalar Mcmp/s",
-        "batch Mcmp/s",
-        "speedup",
-    ]);
-    for m in &kernel {
-        t.row(vec![
-            m.dim.to_string(),
-            m.cell_size.to_string(),
-            m.entries.to_string(),
-            format!("{:.0}", m.scalar_ns),
-            format!("{:.0}", m.batch_ns),
-            format!("{:.1}", m.scalar_comparisons_per_sec / 1e6),
-            format!("{:.1}", m.batch_comparisons_per_sec / 1e6),
-            format!("{:.2}x", m.speedup),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Prune-path share of full refinement ladders (time_pruning on):\n");
-    let share = prune_share_rows(fast);
-    let mut t = TextTable::new(vec![
-        "query",
-        "kernels",
-        "total (s)",
-        "prune (s)",
-        "share",
-        "comparisons",
-        "Mcmp/s",
-    ]);
-    for r in &share {
-        t.row(vec![
-            r.query.clone(),
-            if r.batch_kernels { "batched" } else { "scalar" }.to_string(),
-            format!("{:.4}", r.total_seconds),
-            format!("{:.4}", r.prune_seconds),
-            format!("{:.1}%", r.prune_share * 100.0),
-            r.prune_comparisons.to_string(),
-            format!("{:.1}", r.comparisons_per_sec / 1e6),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Both modes produced bit-identical frontiers (asserted per run):\n         the kernels change time, never bytes.\n"
-    );
-    let json = Json::Obj(vec![
-        ("experiment", Json::Str("pruning".into())),
-        ("fast", Json::Bool(fast)),
-        (
-            "kernel",
-            Json::Arr(
-                kernel
-                    .iter()
-                    .map(|m| {
-                        Json::Obj(vec![
-                            ("dim", Json::Int(m.dim as u64)),
-                            ("cell_size", Json::Int(m.cell_size as u64)),
-                            ("cells", Json::Int(m.cells as u64)),
-                            ("entries", Json::Int(m.entries as u64)),
-                            ("scalar_ns_median", Json::Num(m.scalar_ns)),
-                            ("batch_ns_median", Json::Num(m.batch_ns)),
-                            (
-                                "scalar_comparisons_per_sec",
-                                Json::Num(m.scalar_comparisons_per_sec),
-                            ),
-                            (
-                                "batch_comparisons_per_sec",
-                                Json::Num(m.batch_comparisons_per_sec),
-                            ),
-                            ("speedup", Json::Num(m.speedup)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "prune_share",
-            Json::Arr(
-                share
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("query", Json::Str(r.query.clone())),
-                            ("batch_kernels", Json::Bool(r.batch_kernels)),
-                            ("total_seconds", Json::Num(r.total_seconds)),
-                            ("prune_seconds", Json::Num(r.prune_seconds)),
-                            ("prune_share", Json::Num(r.prune_share)),
-                            ("prune_comparisons", Json::Int(r.prune_comparisons)),
-                            ("comparisons_per_sec", Json::Num(r.comparisons_per_sec)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
-    write_bench_json("BENCH_pruning.json", &json);
-}
-
-/// Writes one experiment's machine-readable output, reporting rather
-/// than aborting on filesystem trouble (read-only checkouts).
-fn write_bench_json(name: &str, json: &Json) {
-    match json.write_file(std::path::Path::new(name)) {
-        Ok(()) => println!("wrote {name}\n"),
-        Err(e) => eprintln!("could not write {name}: {e}\n"),
     }
 }
 
@@ -1030,16 +538,14 @@ fn fig1(model: &StandardCostModel, sf: f64) {
         println!("(b) refined approximation ({} plans):", frontier.len());
         println!("{}", render_scatter(&frontier.costs(), &opts(None)));
     }
-    // (c) the user drags the time bound.
+    // (c) the user drags the time bound to the median visualized time.
     let dim = model.dim();
     let t_mid = {
         let f = session
             .optimizer()
             .frontier(session.bounds(), session.resolution());
-        let costs = f.costs();
-        let mut ts: Vec<f64> = costs.iter().map(|c| c[0]).collect();
-        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        ts.get(ts.len() / 2).copied().unwrap_or(f64::INFINITY)
+        let ts: Samples = f.costs().iter().map(|c| c[0]).collect();
+        Summary::of(&ts).map(|s| s.p50).unwrap_or(f64::INFINITY)
     };
     let new_bounds = Bounds::unbounded(dim).with_limit(0, t_mid);
     session

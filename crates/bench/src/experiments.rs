@@ -98,12 +98,12 @@ pub fn figure_invocation_times(
             for spec in &group {
                 let reports = iama_series(spec, model, &schedule);
                 let times: Vec<f64> = reports.iter().map(|r| r.seconds()).collect();
-                iama_avg += mean(&times);
-                iama_max = iama_max.max(max(&times));
+                iama_avg += crate::stats::mean(&times).unwrap_or(0.0);
+                iama_max = iama_max.max(crate::stats::max(&times).unwrap_or(0.0));
                 let mem = memoryless_series(spec, model, &schedule, &b);
                 let mem_times: Vec<f64> = mem.iter().map(|o| o.duration.as_secs_f64()).collect();
-                mem_avg += mean(&mem_times);
-                mem_max = mem_max.max(max(&mem_times));
+                mem_avg += crate::stats::mean(&mem_times).unwrap_or(0.0);
+                mem_max = mem_max.max(crate::stats::max(&mem_times).unwrap_or(0.0));
                 shot += one_shot(spec, model, &schedule, &b).duration.as_secs_f64();
             }
             let q = group.len() as f64;
@@ -398,18 +398,6 @@ pub fn bounds_scenario(
     out
 }
 
-fn mean(v: &[f64]) -> f64 {
-    if v.is_empty() {
-        0.0
-    } else {
-        v.iter().sum::<f64>() / v.len() as f64
-    }
-}
-
-fn max(v: &[f64]) -> f64 {
-    v.iter().copied().fold(0.0, f64::max)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,7 +601,7 @@ pub fn schedule_comparison(
             let reports = iama_series(spec, model, &schedule);
             let times: Vec<f64> = reports.iter().map(|r| r.seconds()).collect();
             let total: f64 = times.iter().sum();
-            let max = times.iter().copied().fold(0.0, f64::max);
+            let max = crate::stats::max(&times).unwrap_or(0.0);
             (label, total / times.len() as f64, max, total)
         })
         .collect()
@@ -663,6 +651,68 @@ pub fn exhaustive_split_visits(n: usize) -> u64 {
         }
     }
     total
+}
+
+/// The `repro enumeration` experiment on the shared harness: one variant
+/// per query, reporting the split-visit economy of the precomputed
+/// enumeration plan versus exhaustive per-invocation re-enumeration.
+///
+/// A lean model (small option sets, no evaluation spin) keeps the
+/// refinement ladders fast; the counters being reported are
+/// model-independent structure metrics.
+pub fn enumeration_experiment(sf: f64, fast: bool) -> crate::harness::ExperimentReport {
+    use moqo_costmodel::{MetricSet, StandardCostModelConfig};
+    use moqo_query::testkit;
+
+    let model = StandardCostModel::new(
+        MetricSet::paper(),
+        StandardCostModelConfig {
+            dops: vec![1, 4],
+            sampling_rates_pm: vec![100, 500],
+            eval_spin: 0,
+            ..StandardCostModelConfig::default()
+        },
+    );
+    let schedule = ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.05, 0.5);
+    let n = if fast { 8 } else { 10 };
+    let mut specs = vec![
+        testkit::chain_query(n, 100_000),
+        testkit::cycle_query(n, 100_000),
+        testkit::star_query(if fast { 6 } else { 8 }, 100_000),
+        testkit::clique_query(if fast { 5 } else { 7 }, 1000),
+    ];
+    for name in ["q03", "q05", "q09"] {
+        if let Some(spec) = moqo_tpch::query_block(name, sf) {
+            specs.push(spec);
+        }
+    }
+    let mut exp = crate::harness::Experiment::new("enumeration", fast, move || (model, schedule))
+        .title("enumeration plane: precomputed splits vs exhaustive re-enumeration");
+    for spec in specs {
+        let label = spec.name.clone();
+        exp = exp.variant("enumeration plane", label, move |s, t| {
+            let reports = enumeration_effectiveness(&s.0, &s.1, std::slice::from_ref(&spec));
+            let r = &reports[0];
+            t.int("tables", r.n_tables as u64);
+            t.int(
+                "exhaustive_splits_per_inv",
+                r.exhaustive_splits_per_invocation,
+            );
+            t.int("plan_subsets", r.plan_subsets as u64);
+            t.int("plan_splits", r.plan_splits as u64);
+            t.int_lower("ladder_splits_visited", r.ladder_splits_visited);
+            t.int_lower("steady_splits_visited", r.steady_splits_visited);
+            t.int("steady_splits_skipped", r.steady_splits_skipped);
+            t.int("pairs_skipped", r.pairs_skipped);
+            t.int_lower("scratch_high_water", r.scratch_high_water as u64);
+        });
+    }
+    exp.conclusion(
+        "A repeated invocation visits 0 splits: the watermark rectangles \
+         settle the whole plan, versus the exhaustive path re-walking \
+         every split of every subset each invocation.",
+    )
+    .run()
 }
 
 /// Runs a full ladder plus one repeated invocation per query and reports

@@ -31,54 +31,19 @@ use moqo_fleet::{share, FleetClient, FleetNode, FleetNodeConfig, FleetRouter, Pl
 use moqo_query::{testkit, QuerySpec};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read as _, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::harness::{Experiment, ExperimentReport, Trial};
+use crate::stats::{Samples, Summary};
 
 const IDLE: Duration = Duration::from_secs(600);
 
 /// Sweep cadence of spawned nodes: short, so the cold pass reaches the
 /// shared store quickly and the kill loses at most a beat of state.
 const SWEEP: Duration = Duration::from_millis(25);
-
-/// Latency and warm-start figures for one pass of the fleet workload.
-#[derive(Clone, Debug)]
-pub struct FleetPhaseReport {
-    /// `"cold"`, `"warm"`, or `"post-kill warm"`.
-    pub label: &'static str,
-    /// Sessions driven (one placement-routed connection each).
-    pub sessions: usize,
-    /// Mean submit→first-frontier latency (microseconds).
-    pub mean_us: f64,
-    /// Median latency (microseconds).
-    pub p50_us: f64,
-    /// Worst latency (microseconds).
-    pub max_us: f64,
-    /// Sessions whose first invocation generated zero plans.
-    pub zero_plan_starts: usize,
-}
-
-/// What the whole kill-and-repeat run observed.
-#[derive(Clone, Debug)]
-pub struct FleetReport {
-    /// Node processes spawned.
-    pub nodes: usize,
-    /// Id of the SIGKILLed node.
-    pub killed: String,
-    /// Workload keys whose home was the killed node.
-    pub orphaned: usize,
-    /// Orphaned keys the router warmed on their new homes from the
-    /// shared store (asserted equal to `orphaned`).
-    pub adopted_warm: usize,
-    /// Whether the client-side view of the post-kill repeat was
-    /// `bits_eq` with the frontier its serving node parked.
-    pub view_bits_eq: bool,
-    /// Per-node session route counts at the end of the run.
-    pub routes: Vec<(String, u64)>,
-    /// The cold / warm / post-kill passes.
-    pub phases: Vec<FleetPhaseReport>,
-}
 
 /// Distinct chain and star fingerprints, repeated verbatim by the warm
 /// passes (mirrors `net_workload`, smaller: each session crosses a
@@ -141,16 +106,27 @@ fn spawn_node(exe: &Path, id: &str, store: &Path) -> (Child, String) {
     (child, addr)
 }
 
+/// Figures from one pass over the workload.
+struct PhaseFigures {
+    sessions: usize,
+    us: Samples,
+    zero_plan_starts: u64,
+}
+
+impl PhaseFigures {
+    fn record(&self, trial: &mut Trial) {
+        trial.int("sessions", self.sessions as u64);
+        trial.summary_us("", Summary::of_or_zero(&self.us));
+        trial.int("zero_plan_starts", self.zero_plan_starts);
+    }
+}
+
 /// Drives every spec through its own placement-routed session, recording
 /// submit→first-frontier latency; sessions are cancelled afterwards so
 /// their frontiers park (and sweep to the store) for the next pass.
-fn run_phase(
-    client: &FleetClient,
-    specs: &[Arc<QuerySpec>],
-    label: &'static str,
-) -> FleetPhaseReport {
-    let mut us: Vec<f64> = Vec::with_capacity(specs.len());
-    let mut zero_plan_starts = 0usize;
+fn run_phase(client: &FleetClient, specs: &[Arc<QuerySpec>]) -> PhaseFigures {
+    let mut us = Samples::with_capacity(specs.len());
+    let mut zero_plan_starts = 0u64;
     for spec in specs {
         let t0 = Instant::now();
         let mut session = client
@@ -179,13 +155,9 @@ fn run_phase(
             .expect("send");
         session.client.wait_finished(IDLE).expect("terminal event");
     }
-    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    FleetPhaseReport {
-        label,
+    PhaseFigures {
         sessions: specs.len(),
-        mean_us: us.iter().sum::<f64>() / us.len() as f64,
-        p50_us: us[us.len() / 2],
-        max_us: us.last().copied().unwrap_or(0.0),
+        us,
         zero_plan_starts,
     }
 }
@@ -234,6 +206,193 @@ fn view_matches_served_frontier(
     served.bits_eq(&session.client.view().frontier)
 }
 
+/// Everything the kill-and-repeat variants share: the live fleet and
+/// the workload routing metadata.
+struct FleetState {
+    model: SharedCostModel,
+    dir: PathBuf,
+    children: HashMap<String, Child>,
+    placement: moqo_fleet::SharedPlacement,
+    client: FleetClient,
+    router: FleetRouter,
+    specs: Vec<Arc<QuerySpec>>,
+    fps: Vec<QueryFingerprint>,
+    homes: Vec<String>,
+}
+
+fn fleet_state(exe: &Path, fast: bool, tag: &str) -> FleetState {
+    let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+    let dir = std::env::temp_dir().join(format!("moqo-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let n = 3;
+    let mut children: HashMap<String, Child> = HashMap::new();
+    let mut placement = Placement::new();
+    for i in 0..n {
+        let id = format!("node-{i}");
+        let (child, addr) = spawn_node(exe, &id, &dir);
+        placement.add_node(&id, addr);
+        children.insert(id, child);
+    }
+    let placement = share(placement);
+    let client = FleetClient::new(placement.clone(), model.clone());
+    let router = FleetRouter::new(placement.clone());
+
+    let specs = fleet_workload(fast);
+    let fps: Vec<QueryFingerprint> = specs
+        .iter()
+        .map(|s| client.fingerprint(&SessionRequest::new(s.clone())))
+        .collect();
+    let homes: Vec<String> = fps
+        .iter()
+        .map(|fp| {
+            placement
+                .read()
+                .unwrap()
+                .home_of(*fp)
+                .expect("live fleet")
+                .id
+                .clone()
+        })
+        .collect();
+    FleetState {
+        model,
+        dir,
+        children,
+        placement,
+        client,
+        router,
+        specs,
+        fps,
+        homes,
+    }
+}
+
+/// Graceful teardown: closing stdin is the children's stop signal.
+fn fleet_teardown(mut state: FleetState) {
+    for (_, child) in state.children.iter_mut() {
+        drop(child.stdin.take());
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&state.dir);
+}
+
+/// Blocks until every fingerprint's sweep reached the shared store —
+/// the state a kill must not be able to destroy.
+fn wait_for_sweep(dir: &Path, fps: &[QueryFingerprint]) {
+    let deadline = Instant::now() + IDLE;
+    for fp in fps {
+        let file = dir.join(format!("{:016x}.frontier", fp.as_u64()));
+        while !file.exists() {
+            assert!(Instant::now() < deadline, "sweep never persisted {file:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Spawns 3 real `repro fleet-node` processes over one shared snapshot
+/// directory, runs the cold and warm passes, SIGKILLs the home of the
+/// first workload key, and proves the post-kill repeats still all start
+/// at zero plans — asserting every step. `exe` is the `repro` binary
+/// itself (`std::env::current_exe()` in the CLI,
+/// `env!("CARGO_BIN_EXE_repro")` in tests).
+pub fn fleet_experiment(exe: &Path, fast: bool) -> ExperimentReport {
+    let exe = exe.to_path_buf();
+    Experiment::new("fleet", fast, move || fleet_state(&exe, fast, "bench"))
+        .title("fleet kill-and-repeat over real processes")
+        .variant("kill-and-repeat", "cold", |s, t| {
+            let cold = run_phase(&s.client, &s.specs);
+            assert_eq!(cold.zero_plan_starts, 0, "first sight cannot be warm");
+            cold.record(t);
+        })
+        .variant("kill-and-repeat", "warm", |s, t| {
+            let warm = run_phase(&s.client, &s.specs);
+            assert_eq!(
+                warm.zero_plan_starts, warm.sessions as u64,
+                "every warm repeat must resume its parked frontier"
+            );
+            warm.record(t);
+            wait_for_sweep(&s.dir, &s.fps);
+        })
+        .variant("kill-and-repeat", "post-kill warm", |s, t| {
+            // SIGKILL the home of the first key: its in-memory frontiers
+            // are gone for real; only the shared store survives.
+            let victim = s.homes[0].clone();
+            let mut corpse = s.children.remove(&victim).expect("victim is running");
+            corpse.kill().expect("SIGKILL");
+            corpse.wait().expect("reap");
+
+            let health = s.router.probe();
+            assert!(
+                health.iter().any(|h| h.id == victim && !h.alive),
+                "the probe must find the body: {health:?}"
+            );
+            let orphans: Vec<QueryFingerprint> = s
+                .fps
+                .iter()
+                .zip(&s.homes)
+                .filter(|(_, home)| **home == victim)
+                .map(|(fp, _)| *fp)
+                .collect();
+            let mut adopted_warm = 0u64;
+            for fp in &orphans {
+                let new_home = s
+                    .placement
+                    .read()
+                    .unwrap()
+                    .home_of(*fp)
+                    .expect("survivors left")
+                    .id
+                    .clone();
+                assert_ne!(new_home, victim, "a dead node must not own keys");
+                if s.router.adopt(*fp).expect("pull answered").is_some() {
+                    adopted_warm += 1;
+                }
+            }
+            assert_eq!(
+                adopted_warm,
+                orphans.len() as u64,
+                "every orphaned key must adopt from the shared store"
+            );
+
+            // The acceptance assertion: repeats after the kill are still
+            // all zero-plan starts — survivors kept their keys warm,
+            // orphans were re-parked from the store by their new homes.
+            let post = run_phase(&s.client, &s.specs);
+            assert_eq!(
+                post.zero_plan_starts, post.sessions as u64,
+                "a warm repeat must survive its home node's death"
+            );
+            let view_bits_eq =
+                view_matches_served_frontier(&s.client, &s.model, s.specs[0].clone(), s.fps[0]);
+            assert!(
+                view_bits_eq,
+                "client view diverged from the serving node across the hand-off"
+            );
+            post.record(t);
+            t.text("killed", victim);
+            t.int("orphaned", orphans.len() as u64);
+            t.int("adopted_warm", adopted_warm);
+            t.flag("view_bits_eq", view_bits_eq);
+        })
+        .variant("routing", "routes", |s, t| {
+            t.int("nodes", s.children.len() as u64 + 1);
+            let routes: Vec<(String, u64)> = s
+                .placement
+                .read()
+                .unwrap()
+                .route_counts()
+                .iter()
+                .map(|(id, n)| (id.clone(), *n))
+                .collect();
+            for (id, n) in routes {
+                t.int(&format!("routed_{id}"), n);
+            }
+        })
+        .teardown(fleet_teardown)
+        .run()
+}
+
 /// What a bounded `repro fleet-router --watch` run observed in total.
 #[derive(Clone, Debug, Default)]
 pub struct WatchReport {
@@ -267,43 +426,12 @@ pub fn fleet_router_watch(
     ticks: Option<u64>,
     fast: bool,
 ) -> WatchReport {
-    let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
-    let dir = std::env::temp_dir().join(format!("moqo-fleet-watch-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-
-    let n = 3;
-    let mut children: HashMap<String, Child> = HashMap::new();
-    let mut placement = Placement::new();
-    for i in 0..n {
-        let id = format!("node-{i}");
-        let (child, addr) = spawn_node(exe, &id, &dir);
-        placement.add_node(&id, addr);
-        children.insert(id, child);
-    }
-    let placement = share(placement);
-    let client = FleetClient::new(placement.clone(), model.clone());
-    let router = FleetRouter::new(placement.clone());
-
-    // Park the workload and wait for the sweepers to persist it — the
-    // state a mid-loop death must not destroy.
-    let specs = fleet_workload(fast);
-    let fps: Vec<QueryFingerprint> = specs
-        .iter()
-        .map(|s| client.fingerprint(&SessionRequest::new(s.clone())))
-        .collect();
-    run_phase(&client, &specs, "park");
-    let deadline = Instant::now() + IDLE;
-    for fp in &fps {
-        let file = dir.join(format!("{:016x}.frontier", fp.as_u64()));
-        while !file.exists() {
-            assert!(Instant::now() < deadline, "sweep never persisted {file:?}");
-            std::thread::sleep(Duration::from_millis(10));
-        }
-    }
+    let state = fleet_state(exe, fast, "watch");
+    run_phase(&state.client, &state.specs);
+    wait_for_sweep(&state.dir, &state.fps);
     println!(
-        "watching {} keys on {} nodes every {:?} ({})",
-        fps.len(),
-        n,
+        "watching {} keys on 3 nodes every {:?} ({})",
+        state.fps.len(),
         every,
         match ticks {
             Some(t) => format!("{t} ticks, one induced kill"),
@@ -311,26 +439,28 @@ pub fn fleet_router_watch(
         }
     );
 
+    let mut state = state;
     let mut report = WatchReport::default();
     loop {
         std::thread::sleep(every);
         if ticks.is_some() && report.ticks == 2 {
             // Bounded demo runs induce the failure they exist to repair:
             // SIGKILL the current home of the first workload key.
-            let victim = placement
+            let victim = state
+                .placement
                 .read()
                 .unwrap()
-                .home_of(fps[0])
+                .home_of(state.fps[0])
                 .expect("live fleet")
                 .id
                 .clone();
-            if let Some(mut corpse) = children.remove(&victim) {
+            if let Some(mut corpse) = state.children.remove(&victim) {
                 corpse.kill().expect("SIGKILL");
                 corpse.wait().expect("reap");
                 println!("tick {}: SIGKILLed {victim}", report.ticks);
             }
         }
-        let tick = router.watch_tick(&fps, 2);
+        let tick = state.router.watch_tick(&state.fps, 2);
         report.ticks += 1;
         report.deaths += tick.died.len();
         report.orphaned += tick.orphaned;
@@ -351,148 +481,35 @@ pub fn fleet_router_watch(
             break;
         }
     }
-
-    for (_, mut child) in children {
-        drop(child.stdin.take());
-        let _ = child.wait();
-    }
-    let _ = std::fs::remove_dir_all(&dir);
+    fleet_teardown(state);
     report
 }
 
-/// Spawns `nodes` real `repro fleet-node` processes over one shared
-/// snapshot directory, runs the cold and warm passes, SIGKILLs the home
-/// of the first workload key, and proves the post-kill repeats still all
-/// start at zero plans — asserting every step. `exe` is the `repro`
-/// binary itself (`std::env::current_exe()` in the CLI,
-/// `env!("CARGO_BIN_EXE_repro")` in tests).
-pub fn fleet_experiment(exe: &Path, fast: bool) -> FleetReport {
-    let model: SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
-    let dir = std::env::temp_dir().join(format!("moqo-fleet-bench-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-
-    let n = 3;
-    let mut children: HashMap<String, Child> = HashMap::new();
-    let mut placement = Placement::new();
-    for i in 0..n {
-        let id = format!("node-{i}");
-        let (child, addr) = spawn_node(exe, &id, &dir);
-        placement.add_node(&id, addr);
-        children.insert(id, child);
-    }
-    let placement = share(placement);
-    let client = FleetClient::new(placement.clone(), model.clone());
-    let router = FleetRouter::new(placement.clone());
-
-    let specs = fleet_workload(fast);
-    let fps: Vec<QueryFingerprint> = specs
-        .iter()
-        .map(|s| client.fingerprint(&SessionRequest::new(s.clone())))
-        .collect();
-    let homes: Vec<String> = fps
-        .iter()
-        .map(|fp| {
-            placement
-                .read()
-                .unwrap()
-                .home_of(*fp)
-                .expect("live fleet")
-                .id
-                .clone()
+/// Harness wrapper for a **bounded** router-watch run: executes
+/// [`fleet_router_watch`] with `Some(ticks)` and records its totals, so
+/// `repro fleet-router --ticks N` emits the shared envelope like every
+/// other experiment. (The unbounded daemon mode bypasses the harness —
+/// it never returns.)
+pub fn fleet_router_experiment(
+    exe: &Path,
+    every: Duration,
+    ticks: u64,
+    fast: bool,
+) -> ExperimentReport {
+    let exe = exe.to_path_buf();
+    Experiment::new("fleet-router", fast, || ())
+        .title("fleet-router watch loop: probe, adopt, level")
+        .variant("watch", "bounded run", move |_, t| {
+            let report = fleet_router_watch(&exe, every, Some(ticks), fast);
+            t.int("ticks", report.ticks);
+            t.int("deaths", report.deaths as u64);
+            t.int("orphaned", report.orphaned as u64);
+            t.int("adopted_warm", report.adopted_warm as u64);
+            t.int("rebalanced", report.rebalanced as u64);
         })
-        .collect();
-
-    let cold = run_phase(&client, &specs, "cold");
-    let warm = run_phase(&client, &specs, "warm");
-    assert_eq!(cold.zero_plan_starts, 0, "first sight cannot be warm");
-    assert_eq!(
-        warm.zero_plan_starts, warm.sessions,
-        "every warm repeat must resume its parked frontier"
-    );
-
-    // Wait until every fingerprint's sweep reached the shared store —
-    // the state the kill must not be able to destroy.
-    let deadline = Instant::now() + IDLE;
-    for fp in &fps {
-        let file = dir.join(format!("{:016x}.frontier", fp.as_u64()));
-        while !file.exists() {
-            assert!(Instant::now() < deadline, "sweep never persisted {file:?}");
-            std::thread::sleep(Duration::from_millis(10));
-        }
-    }
-
-    // SIGKILL the home of the first key: its in-memory frontiers are
-    // gone for real; only the shared store survives.
-    let victim = homes[0].clone();
-    let mut corpse = children.remove(&victim).expect("victim is running");
-    corpse.kill().expect("SIGKILL");
-    corpse.wait().expect("reap");
-
-    let health = router.probe();
-    assert!(
-        health.iter().any(|h| h.id == victim && !h.alive),
-        "the probe must find the body: {health:?}"
-    );
-    let orphans: Vec<QueryFingerprint> = fps
-        .iter()
-        .zip(&homes)
-        .filter(|(_, home)| **home == victim)
-        .map(|(fp, _)| *fp)
-        .collect();
-    let mut adopted_warm = 0usize;
-    for fp in &orphans {
-        let new_home = placement
-            .read()
-            .unwrap()
-            .home_of(*fp)
-            .expect("survivors left")
-            .id
-            .clone();
-        assert_ne!(new_home, victim, "a dead node must not own keys");
-        if router.adopt(*fp).expect("pull answered").is_some() {
-            adopted_warm += 1;
-        }
-    }
-    assert_eq!(
-        adopted_warm,
-        orphans.len(),
-        "every orphaned key must adopt from the shared store"
-    );
-
-    // The acceptance assertion: repeats after the kill are still all
-    // zero-plan starts — survivors kept their keys warm, orphans were
-    // re-parked from the store by their new homes.
-    let post = run_phase(&client, &specs, "post-kill warm");
-    assert_eq!(
-        post.zero_plan_starts, post.sessions,
-        "a warm repeat must survive its home node's death"
-    );
-    let view_bits_eq = view_matches_served_frontier(&client, &model, specs[0].clone(), fps[0]);
-    assert!(
-        view_bits_eq,
-        "client view diverged from the serving node across the hand-off"
-    );
-
-    let routes: Vec<(String, u64)> = placement
-        .read()
-        .unwrap()
-        .route_counts()
-        .iter()
-        .map(|(id, n)| (id.clone(), *n))
-        .collect();
-    // Graceful teardown: closing stdin is the stop signal.
-    for (_, mut child) in children {
-        drop(child.stdin.take());
-        let _ = child.wait();
-    }
-    let _ = std::fs::remove_dir_all(&dir);
-    FleetReport {
-        nodes: n,
-        killed: victim,
-        orphaned: orphans.len(),
-        adopted_warm,
-        view_bits_eq,
-        routes,
-        phases: vec![cold, warm, post],
-    }
+        .conclusion(
+            "the watch loop finds the induced death and adopts every \
+             orphaned key warm from the shared store.",
+        )
+        .run()
 }

@@ -1,0 +1,671 @@
+//! Declarative experiment harness.
+//!
+//! Every `repro` experiment used to hand-roll the same loop: build
+//! fresh state, run a few labelled phases, time them, summarize
+//! latencies, print a `TextTable`, and emit a `BENCH_<name>.json` file
+//! — each with its own copy of the percentile helper and its own ad-hoc
+//! JSON schema. This module owns that loop once, after dashflow's
+//! experiment-framework design: an [`Experiment`] is a *declaration*
+//! (name, fresh-state setup closure, ordered variants, metric
+//! extraction per variant) and [`Experiment::run`] is the single
+//! executor that owns timing, summarization via [`crate::stats`], the
+//! human table, and the shared JSON envelope (`schema_version`,
+//! `experiment`, `fast`, git commit, ISO timestamp, host — see
+//! `docs/benchmarks.md`).
+//!
+//! The envelope gives every metric a *direction* (`lower` / `higher` /
+//! info), which is what lets `repro diff` decide whether a delta
+//! between two runs is a regression without per-experiment knowledge.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use moqo_viz::TextTable;
+
+use crate::benchjson::Json;
+use crate::stats::Summary;
+
+/// Version stamp of the `BENCH_*.json` envelope; bump on breaking
+/// schema changes so `repro diff` can refuse to compare across them.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A single extracted metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A counter.
+    Int(u64),
+    /// A measurement.
+    Num(f64),
+    /// A label or other non-numeric figure.
+    Str(String),
+    /// A pass/fail or mode flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view (counters widen to `f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Counter view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Int(n) => Json::Int(*n),
+            Value::Num(v) => Json::Num(*v),
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+
+    fn cell(&self) -> String {
+        match self {
+            Value::Int(n) => n.to_string(),
+            Value::Num(v) => fmt_num(*v),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.001 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Whether a smaller or larger value of a metric is better — the
+/// contract `repro diff` uses to turn a delta into a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (latencies, plan counts, memory).
+    Lower,
+    /// Larger is better (throughput, prune share, adoption counts).
+    Higher,
+    /// Context only (sizes, modes, labels); never gates a diff.
+    Info,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::Lower => "lower",
+            Direction::Higher => "higher",
+            Direction::Info => "info",
+        }
+    }
+}
+
+/// One extracted metric: key, value, and gating direction.
+#[derive(Clone, Debug)]
+pub struct Metric {
+    /// Column name in the table and key in the envelope.
+    pub key: String,
+    /// Extracted value.
+    pub value: Value,
+    /// Gating direction for `repro diff`.
+    pub direction: Direction,
+}
+
+/// Metric sink handed to each variant's measurement closure.
+///
+/// The closure runs the workload and records what it extracted; the
+/// harness owns everything downstream (table, envelope, directions).
+#[derive(Debug, Default)]
+pub struct Trial {
+    metrics: Vec<Metric>,
+}
+
+impl Trial {
+    fn record(&mut self, key: &str, value: Value, direction: Direction) {
+        assert!(
+            !self.metrics.iter().any(|m| m.key == key),
+            "metric {key:?} recorded twice in one variant"
+        );
+        self.metrics.push(Metric {
+            key: key.to_string(),
+            value,
+            direction,
+        });
+    }
+
+    /// Records a context counter (never gates a diff).
+    pub fn int(&mut self, key: &str, v: u64) {
+        self.record(key, Value::Int(v), Direction::Info);
+    }
+
+    /// Records a counter where smaller is better.
+    pub fn int_lower(&mut self, key: &str, v: u64) {
+        self.record(key, Value::Int(v), Direction::Lower);
+    }
+
+    /// Records a counter where larger is better.
+    pub fn int_higher(&mut self, key: &str, v: u64) {
+        self.record(key, Value::Int(v), Direction::Higher);
+    }
+
+    /// Records a context measurement (never gates a diff).
+    pub fn num(&mut self, key: &str, v: f64) {
+        self.record(key, Value::Num(v), Direction::Info);
+    }
+
+    /// Records a measurement where smaller is better.
+    pub fn num_lower(&mut self, key: &str, v: f64) {
+        self.record(key, Value::Num(v), Direction::Lower);
+    }
+
+    /// Records a measurement where larger is better.
+    pub fn num_higher(&mut self, key: &str, v: f64) {
+        self.record(key, Value::Num(v), Direction::Higher);
+    }
+
+    /// Records a label.
+    pub fn text(&mut self, key: &str, v: impl Into<String>) {
+        self.record(key, Value::Str(v.into()), Direction::Info);
+    }
+
+    /// Records a pass/fail or mode flag.
+    pub fn flag(&mut self, key: &str, v: bool) {
+        self.record(key, Value::Bool(v), Direction::Info);
+    }
+
+    /// Records a latency summary as `{prefix}mean_us` / `p50_us` /
+    /// `p99_us` / `max_us`, all lower-is-better. `prefix` is usually
+    /// empty (one latency family per variant) or `"submit_"`-style.
+    pub fn summary_us(&mut self, prefix: &str, s: Summary) {
+        self.record(
+            &format!("{prefix}mean_us"),
+            Value::Num(s.mean),
+            Direction::Lower,
+        );
+        self.record(
+            &format!("{prefix}p50_us"),
+            Value::Num(s.p50),
+            Direction::Lower,
+        );
+        self.record(
+            &format!("{prefix}p99_us"),
+            Value::Num(s.p99),
+            Direction::Lower,
+        );
+        self.record(
+            &format!("{prefix}max_us"),
+            Value::Num(s.max),
+            Direction::Lower,
+        );
+    }
+}
+
+struct Variant<S> {
+    section: String,
+    label: String,
+    #[allow(clippy::type_complexity)]
+    run: Box<dyn FnOnce(&mut S, &mut Trial)>,
+}
+
+/// A declarative experiment: fresh-state setup, ordered variants, and
+/// optional teardown. Build with [`Experiment::new`], add variants,
+/// then [`Experiment::run`].
+pub struct Experiment<S> {
+    name: &'static str,
+    title: String,
+    conclusion: String,
+    fast: bool,
+    setup: Box<dyn FnOnce() -> S>,
+    variants: Vec<Variant<S>>,
+    teardown: Option<Box<dyn FnOnce(S)>>,
+}
+
+impl<S> Experiment<S> {
+    /// Declares an experiment. `name` becomes `BENCH_<name>.json`
+    /// (dashes mapped to underscores); `setup` builds the fresh state
+    /// every run starts from, so runs never inherit a previous run's
+    /// warm caches unless a variant warms them on purpose.
+    pub fn new(name: &'static str, fast: bool, setup: impl FnOnce() -> S + 'static) -> Self {
+        Experiment {
+            name,
+            title: name.to_string(),
+            conclusion: String::new(),
+            fast,
+            setup: Box::new(setup),
+            variants: Vec::new(),
+            teardown: None,
+        }
+    }
+
+    /// Human heading printed above the tables.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// One-paragraph interpretation printed after the tables.
+    pub fn conclusion(mut self, text: impl Into<String>) -> Self {
+        self.conclusion = text.into();
+        self
+    }
+
+    /// Adds a measured variant. Variants run in declaration order and
+    /// share the state built by `setup`; `section` groups rows into one
+    /// table. The closure records extracted metrics into the [`Trial`].
+    pub fn variant(
+        mut self,
+        section: &str,
+        label: impl Into<String>,
+        run: impl FnOnce(&mut S, &mut Trial) + 'static,
+    ) -> Self {
+        self.variants.push(Variant {
+            section: section.to_string(),
+            label: label.into(),
+            run: Box::new(run),
+        });
+        self
+    }
+
+    /// Cleanup (kill child processes, shut listeners down) after the
+    /// last variant.
+    pub fn teardown(mut self, f: impl FnOnce(S) + 'static) -> Self {
+        self.teardown = Some(Box::new(f));
+        self
+    }
+
+    /// Executes setup, every variant (timing each), and teardown.
+    pub fn run(self) -> ExperimentReport {
+        let mut state = (self.setup)();
+        let mut variants = Vec::with_capacity(self.variants.len());
+        for v in self.variants {
+            let mut trial = Trial::default();
+            let t0 = Instant::now();
+            (v.run)(&mut state, &mut trial);
+            let wall = t0.elapsed().as_secs_f64();
+            trial.record("wall_s", Value::Num(wall), Direction::Info);
+            variants.push(VariantReport {
+                section: v.section,
+                label: v.label,
+                metrics: trial.metrics,
+            });
+        }
+        if let Some(teardown) = self.teardown {
+            teardown(state);
+        }
+        ExperimentReport {
+            name: self.name,
+            title: self.title,
+            conclusion: self.conclusion,
+            fast: self.fast,
+            variants,
+        }
+    }
+}
+
+/// Metrics extracted from one variant run.
+#[derive(Clone, Debug)]
+pub struct VariantReport {
+    /// Table the row belongs to.
+    pub section: String,
+    /// Row label.
+    pub label: String,
+    /// Extracted metrics in recording order.
+    pub metrics: Vec<Metric>,
+}
+
+/// The result of [`Experiment::run`]: everything needed to print the
+/// human tables and write the JSON envelope.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Experiment name (`BENCH_<name>.json` stem).
+    pub name: &'static str,
+    /// Human heading.
+    pub title: String,
+    /// Interpretation paragraph (may be empty).
+    pub conclusion: String,
+    /// Whether the run used the reduced `--fast` workload.
+    pub fast: bool,
+    /// Per-variant extracted metrics, in execution order.
+    pub variants: Vec<VariantReport>,
+}
+
+impl ExperimentReport {
+    /// Looks a metric up by variant label and key (first matching
+    /// variant wins) — how in-crate tests assert on outcomes.
+    pub fn metric(&self, label: &str, key: &str) -> Option<&Value> {
+        self.variants
+            .iter()
+            .filter(|v| v.label == label)
+            .flat_map(|v| v.metrics.iter())
+            .find(|m| m.key == key)
+            .map(|m| &m.value)
+    }
+
+    /// Renders the human tables (one per section, in first-seen
+    /// order). Sections with a single variant and many metrics
+    /// transpose into a `figure | value` table.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== {} ===\n", self.title);
+        for section in self.section_order() {
+            let rows: Vec<&VariantReport> = self
+                .variants
+                .iter()
+                .filter(|v| v.section == section)
+                .collect();
+            if !section.is_empty() {
+                out.push_str(&format!("\n-- {section} --\n"));
+            } else {
+                out.push('\n');
+            }
+            if rows.len() == 1 && rows[0].metrics.len() > 6 {
+                let mut table = TextTable::new(vec!["figure", "value"]);
+                for m in &rows[0].metrics {
+                    table.row(vec![m.key.clone(), m.value.cell()]);
+                }
+                out.push_str(&table.render());
+            } else {
+                let keys = self.section_keys(&rows);
+                let mut headers = vec!["variant"];
+                headers.extend(keys.iter().map(String::as_str));
+                let mut table = TextTable::new(headers);
+                for row in &rows {
+                    let mut cells = vec![row.label.clone()];
+                    for key in &keys {
+                        cells.push(
+                            row.metrics
+                                .iter()
+                                .find(|m| &m.key == key)
+                                .map(|m| m.value.cell())
+                                .unwrap_or_default(),
+                        );
+                    }
+                    table.row(cells);
+                }
+                out.push_str(&table.render());
+            }
+        }
+        if !self.conclusion.is_empty() {
+            out.push_str(&format!("\n{}\n", self.conclusion));
+        }
+        out
+    }
+
+    fn section_order(&self) -> Vec<String> {
+        let mut order: Vec<String> = Vec::new();
+        for v in &self.variants {
+            if !order.contains(&v.section) {
+                order.push(v.section.clone());
+            }
+        }
+        order
+    }
+
+    fn section_keys(&self, rows: &[&VariantReport]) -> Vec<String> {
+        let mut keys: Vec<String> = Vec::new();
+        for row in rows {
+            for m in &row.metrics {
+                if !keys.contains(&m.key) {
+                    keys.push(m.key.clone());
+                }
+            }
+        }
+        keys
+    }
+
+    /// Builds the shared `BENCH_*.json` envelope (schema documented in
+    /// `docs/benchmarks.md`).
+    pub fn envelope(&self) -> Json {
+        let mut directions: Vec<(String, Json)> = Vec::new();
+        for v in &self.variants {
+            for m in &v.metrics {
+                if m.direction == Direction::Info {
+                    continue;
+                }
+                if !directions.iter().any(|(k, _)| k == &m.key) {
+                    directions.push((m.key.clone(), Json::Str(m.direction.as_str().into())));
+                }
+            }
+        }
+        let variants = self
+            .variants
+            .iter()
+            .map(|v| {
+                Json::obj(vec![
+                    ("section", Json::Str(v.section.clone())),
+                    ("label", Json::Str(v.label.clone())),
+                    (
+                        "metrics",
+                        Json::Obj(
+                            v.metrics
+                                .iter()
+                                .map(|m| (m.key.clone(), m.value.to_json()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("experiment", Json::Str(self.name.to_string())),
+            ("title", Json::Str(self.title.clone())),
+            ("fast", Json::Bool(self.fast)),
+            ("git_commit", Json::Str(git_commit())),
+            ("timestamp", Json::Str(iso_timestamp())),
+            ("host", host_info()),
+            ("directions", Json::Obj(directions)),
+            ("variants", Json::Arr(variants)),
+        ])
+    }
+
+    /// File the envelope is written to: `BENCH_<name>.json` with dashes
+    /// mapped to underscores, in the current directory.
+    pub fn json_path(&self) -> String {
+        format!("BENCH_{}.json", self.name.replace('-', "_"))
+    }
+
+    /// Prints the tables and writes the envelope — the tail every
+    /// `repro` experiment shares.
+    pub fn emit(&self) {
+        print!("{}", self.render());
+        let path = self.json_path();
+        match self.envelope().write_file(std::path::Path::new(&path)) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Best-effort current commit hash, read straight from `.git` (the
+/// workspace is offline and has no git2 binding): walk up from the
+/// working directory to a `.git`, follow `HEAD`, and fall back through
+/// loose refs and `packed-refs`. `"unknown"` when not in a checkout.
+fn git_commit() -> String {
+    fn lookup() -> Option<String> {
+        let mut dir = std::env::current_dir().ok()?;
+        let git = loop {
+            let candidate = dir.join(".git");
+            if candidate.is_dir() {
+                break candidate;
+            }
+            if !dir.pop() {
+                return None;
+            }
+        };
+        let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+        let head = head.trim();
+        let Some(refname) = head.strip_prefix("ref: ") else {
+            return Some(head.to_string());
+        };
+        if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+            return Some(hash.trim().to_string());
+        }
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        packed
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with('^'))
+            .find_map(|l| {
+                let (hash, name) = l.split_once(' ')?;
+                (name == refname).then(|| hash.to_string())
+            })
+    }
+    lookup().unwrap_or_else(|| "unknown".to_string())
+}
+
+/// UTC wall-clock time as `YYYY-MM-DDThh:mm:ssZ`, derived from the Unix
+/// epoch with the standard civil-from-days conversion (no chrono in an
+/// offline workspace).
+fn iso_timestamp() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, min, s) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{h:02}:{min:02}:{s:02}Z")
+}
+
+fn host_info() -> Json {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0);
+    let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .or_else(|_| std::env::var("HOSTNAME"))
+        .unwrap_or_else(|_| "unknown".to_string());
+    Json::obj(vec![
+        ("os", Json::Str(std::env::consts::OS.to_string())),
+        ("arch", Json::Str(std::env::consts::ARCH.to_string())),
+        ("cpus", Json::Int(cpus)),
+        ("hostname", Json::Str(hostname)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Samples;
+
+    fn toy_report() -> ExperimentReport {
+        Experiment::new("toy", true, || vec![10.0_f64, 20.0, 30.0])
+            .title("toy experiment")
+            .conclusion("the toy concluded")
+            .variant("phases", "cold", |state, t| {
+                let samples: Samples = state.iter().copied().collect();
+                t.int("sessions", state.len() as u64);
+                t.summary_us("", Summary::of_or_zero(&samples));
+                t.int_lower("plans", 12);
+            })
+            .variant("phases", "warm", |state, t| {
+                state.iter_mut().for_each(|v| *v *= 0.5);
+                let samples: Samples = state.iter().copied().collect();
+                t.int("sessions", state.len() as u64);
+                t.summary_us("", Summary::of_or_zero(&samples));
+                t.int_lower("plans", 0);
+                t.flag("warm", true);
+            })
+            .run()
+    }
+
+    #[test]
+    fn runs_variants_in_order_over_shared_fresh_state() {
+        let report = toy_report();
+        assert_eq!(report.metric("cold", "p50_us"), Some(&Value::Num(20.0)));
+        // The warm variant saw the state the cold variant left behind.
+        assert_eq!(report.metric("warm", "p50_us"), Some(&Value::Num(10.0)));
+        assert_eq!(report.metric("warm", "plans"), Some(&Value::Int(0)));
+        // Wall-clock is recorded automatically for every variant.
+        assert!(report.metric("cold", "wall_s").is_some());
+    }
+
+    #[test]
+    fn renders_one_table_per_section_with_the_union_of_keys() {
+        let report = toy_report();
+        let text = report.render();
+        assert!(text.starts_with("=== toy experiment ==="));
+        assert!(text.contains("-- phases --"));
+        assert!(text.contains("variant"));
+        assert!(text.contains("p99_us"));
+        assert!(text.contains("cold"));
+        assert!(text.contains("warm"));
+        assert!(text.contains("the toy concluded"));
+    }
+
+    #[test]
+    fn envelope_carries_metadata_directions_and_parses_back() {
+        let report = toy_report();
+        let envelope = report.envelope();
+        let parsed = Json::parse(&envelope.render()).unwrap();
+        assert_eq!(
+            parsed.get("schema_version"),
+            Some(&Json::Int(SCHEMA_VERSION))
+        );
+        assert_eq!(parsed.get("experiment").and_then(Json::as_str), Some("toy"));
+        assert_eq!(parsed.get("fast"), Some(&Json::Bool(true)));
+        assert!(parsed.get("git_commit").and_then(Json::as_str).is_some());
+        let ts = parsed.get("timestamp").and_then(Json::as_str).unwrap();
+        assert!(ts.len() == 20 && ts.ends_with('Z'), "bad timestamp {ts}");
+        assert!(parsed.get("host").and_then(|h| h.get("os")).is_some());
+        let dirs = parsed.get("directions").unwrap();
+        assert_eq!(dirs.get("p50_us").and_then(Json::as_str), Some("lower"));
+        assert!(dirs.get("sessions").is_none(), "info metrics do not gate");
+        let variants = parsed.get("variants").and_then(Json::as_arr).unwrap();
+        assert_eq!(variants.len(), 2);
+        let warm = &variants[1];
+        assert_eq!(warm.get("label").and_then(Json::as_str), Some("warm"));
+        assert_eq!(
+            warm.get("metrics").and_then(|m| m.get("plans")),
+            Some(&Json::Int(0))
+        );
+    }
+
+    #[test]
+    fn duplicate_metric_keys_are_a_bug() {
+        let result = std::panic::catch_unwind(|| {
+            Experiment::new("dup", true, || ())
+                .variant("s", "v", |_, t| {
+                    t.int("k", 1);
+                    t.int("k", 2);
+                })
+                .run()
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn timestamp_is_plausible() {
+        let ts = iso_timestamp();
+        // 2026 or later (the repo did not exist before 2024).
+        let year: u32 = ts[..4].parse().unwrap();
+        assert!(year >= 2024, "{ts}");
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], "T");
+    }
+}

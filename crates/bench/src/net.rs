@@ -20,26 +20,10 @@ use moqo_serve::{
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const IDLE: Duration = Duration::from_secs(600);
+use crate::harness::{Experiment, ExperimentReport, Trial};
+use crate::stats::{Samples, Summary};
 
-/// Latency and warm-start figures for one pass over the workload, as
-/// observed by remote clients.
-#[derive(Clone, Debug)]
-pub struct NetPhaseReport {
-    /// `"cold"` or `"warm"`.
-    pub label: &'static str,
-    /// Sessions driven (one connection each).
-    pub sessions: usize,
-    /// Mean submit→first-frontier latency (microseconds), socket to
-    /// socket.
-    pub mean_us: f64,
-    /// Median latency (microseconds).
-    pub p50_us: f64,
-    /// Worst latency (microseconds).
-    pub max_us: f64,
-    /// Sessions whose first invocation generated zero plans.
-    pub zero_plan_starts: usize,
-}
+const IDLE: Duration = Duration::from_secs(600);
 
 /// A small mixed workload of **distinct** fingerprints: the cold pass
 /// sees every template for the first time, the warm pass repeats the
@@ -54,17 +38,20 @@ pub fn net_workload(fast: bool) -> Vec<Arc<QuerySpec>> {
     specs
 }
 
+/// Server, listener, and workload shared by the cold and warm passes.
+struct NetState {
+    net: NetServer,
+    specs: Vec<Arc<QuerySpec>>,
+}
+
 /// Drives every spec through its own connection, recording
 /// submit→first-frontier latency; each session is cancelled afterwards so
 /// its frontier parks for the warm pass.
-fn run_phase(
-    addr: std::net::SocketAddr,
-    specs: &[Arc<QuerySpec>],
-    label: &'static str,
-) -> NetPhaseReport {
-    let mut us: Vec<f64> = Vec::with_capacity(specs.len());
-    let mut zero_plan_starts = 0usize;
-    for spec in specs {
+fn run_phase(state: &mut NetState, trial: &mut Trial) {
+    let addr = state.net.local_addr();
+    let mut us = Samples::with_capacity(state.specs.len());
+    let mut zero_plan_starts = 0u64;
+    for spec in &state.specs {
         let mut client = NetClient::connect(addr).expect("connect over loopback");
         let t0 = Instant::now();
         client
@@ -89,46 +76,48 @@ fn run_phase(
         client.command(SessionCommand::Cancel).expect("send");
         client.wait_finished(IDLE).expect("terminal event");
     }
-    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    NetPhaseReport {
-        label,
-        sessions: specs.len(),
-        mean_us: us.iter().sum::<f64>() / us.len() as f64,
-        p50_us: us[us.len() / 2],
-        max_us: us.last().copied().unwrap_or(0.0),
-        zero_plan_starts,
-    }
+    trial.int("sessions", state.specs.len() as u64);
+    trial.summary_us("", Summary::of_or_zero(&us));
+    trial.int("zero_plan_starts", zero_plan_starts);
 }
 
 /// Starts a loopback [`NetServer`] and runs the cold and warm passes.
-pub fn net_serving_experiment(fast: bool) -> Vec<NetPhaseReport> {
-    let model: moqo_costmodel::SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
-    let server = Arc::new(MoqoServer::new(
-        model.clone(),
-        ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.02, 0.4),
-        ServeConfig {
-            shard: ShardConfig {
-                shards: 2,
-                engine: EngineConfig {
-                    workers: 2,
-                    ..EngineConfig::default()
+pub fn net_serving_experiment(fast: bool) -> ExperimentReport {
+    Experiment::new("net", fast, move || {
+        let model: moqo_costmodel::SharedCostModel = Arc::new(StandardCostModel::paper_metrics());
+        let server = Arc::new(MoqoServer::new(
+            model.clone(),
+            ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.02, 0.4),
+            ServeConfig {
+                shard: ShardConfig {
+                    shards: 2,
+                    engine: EngineConfig {
+                        workers: 2,
+                        ..EngineConfig::default()
+                    },
+                    rebalance_headroom: 8,
                 },
-                rebalance_headroom: 8,
+                admission: AdmissionConfig::default(),
+                retired_tickets: 4096,
             },
-            admission: AdmissionConfig::default(),
-            retired_tickets: 4096,
-        },
-    ));
-    let registry = Arc::new(ModelRegistry::with_default(model));
-    let net = NetServer::bind(server, registry, NetConfig::default()).expect("bind 127.0.0.1:0");
-    let addr = net.local_addr();
-    let specs = net_workload(fast);
+        ));
+        let registry = Arc::new(ModelRegistry::with_default(model));
+        let net =
+            NetServer::bind(server, registry, NetConfig::default()).expect("bind 127.0.0.1:0");
+        let specs = net_workload(fast);
+        NetState { net, specs }
+    })
+    .title("network serving: submit -> first frontier over loopback TCP")
     // Cold pass: every fingerprint is new; cancelled sessions park.
-    let cold = run_phase(addr, &specs, "cold");
     // Warm pass: repeats resume parked frontiers across the wire.
-    let warm = run_phase(addr, &specs, "warm");
-    net.shutdown();
-    vec![cold, warm]
+    .variant("wire latency", "cold", run_phase)
+    .variant("wire latency", "warm", run_phase)
+    .conclusion(
+        "warm repeats resume parked frontiers across the wire: every warm \
+         session starts at zero generated plans.",
+    )
+    .teardown(|state| state.net.shutdown())
+    .run()
 }
 
 #[cfg(test)]
@@ -137,14 +126,21 @@ mod tests {
 
     #[test]
     fn warm_pass_survives_the_wire() {
-        let reports = net_serving_experiment(true);
-        assert_eq!(reports.len(), 2);
-        let (cold, warm) = (&reports[0], &reports[1]);
-        assert_eq!(cold.sessions, warm.sessions);
-        assert_eq!(cold.zero_plan_starts, 0, "first sight cannot be warm");
+        let report = net_serving_experiment(true);
+        let sessions = |label: &str| report.metric(label, "sessions").unwrap().as_u64().unwrap();
+        let zero = |label: &str| {
+            report
+                .metric(label, "zero_plan_starts")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(sessions("cold"), sessions("warm"));
+        assert_eq!(zero("cold"), 0, "first sight cannot be warm");
         // Sequential sessions: every warm repeat resumes its own parked
         // frontier, so the whole warm pass starts at zero plans.
-        assert_eq!(warm.zero_plan_starts, warm.sessions);
-        assert!(cold.mean_us > 0.0 && warm.mean_us > 0.0);
+        assert_eq!(zero("warm"), sessions("warm"));
+        let mean = |label: &str| report.metric(label, "mean_us").unwrap().as_f64().unwrap();
+        assert!(mean("cold") > 0.0 && mean("warm") > 0.0);
     }
 }

@@ -29,77 +29,10 @@ use moqo_serve::{
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const IDLE: Duration = Duration::from_secs(600);
+use crate::harness::{Experiment, ExperimentReport, Trial};
+use crate::stats::{Samples, Summary};
 
-/// What one `net-scale` run measured. All memory figures are kibibytes
-/// straight from `VmRSS`; they cover the whole process (server *and* the
-/// N clients), so `kb_per_conn` is an upper bound on the server's own
-/// per-connection footprint.
-#[derive(Clone, Debug)]
-pub struct NetScaleReport {
-    /// Connections actually held (may be clamped below `requested` by the
-    /// file-descriptor hard limit).
-    pub connections: usize,
-    /// Connections asked for on the command line.
-    pub requested: usize,
-    /// Soft `RLIMIT_NOFILE` after raising it.
-    pub nofile_soft: u64,
-    /// Distinct query templates cycled over the fleet.
-    pub templates: usize,
-    /// Mean TCP connect + handshake latency (microseconds).
-    pub connect_mean_us: f64,
-    /// Median connect + handshake latency.
-    pub connect_p50_us: f64,
-    /// Worst connect + handshake latency.
-    pub connect_max_us: f64,
-    /// Mean framed submit → admission frame latency (microseconds).
-    pub admit_mean_us: f64,
-    /// Median submit → admission latency.
-    pub admit_p50_us: f64,
-    /// Worst submit → admission latency.
-    pub admit_max_us: f64,
-    /// Sessions whose first invocation generated zero plans (warm starts
-    /// on repeated templates).
-    pub zero_plan_starts: usize,
-    /// `VmRSS` (kB) after the server started, before any connection.
-    pub rss_before_kb: u64,
-    /// `VmRSS` (kB) while holding the full idle fleet.
-    pub rss_held_kb: u64,
-    /// `(rss_held_kb - rss_before_kb) / connections` — process-wide
-    /// userspace growth per held connection.
-    pub kb_per_conn: f64,
-    /// OS threads after the server started, before any connection.
-    pub threads_before: u64,
-    /// OS threads while holding the full idle fleet — equal to
-    /// `threads_before`: connections never spawn threads.
-    pub threads_held: u64,
-    /// `NetStats::live` while holding (should equal `connections`).
-    pub live_held: u64,
-    /// `NetStats::live` after the idle hold (still the full fleet).
-    pub live_after_hold: u64,
-    /// How long the fleet was held idle (milliseconds).
-    pub hold_ms: u64,
-    /// Faulted connections over the whole run (should stay 0).
-    pub faulted: u64,
-    /// Stall-expired connections (should stay 0: every client drained).
-    pub stalled: u64,
-    /// Events merged by the outbound coalescing valve.
-    pub coalesced_events: u64,
-    /// Largest pending outbound queue (bytes) any connection reached.
-    pub outbound_high_water: u64,
-    /// Total frames decoded off clients.
-    pub frames_in: u64,
-    /// Total frames written to clients.
-    pub frames_out: u64,
-    /// Connections accepted.
-    pub accepted: u64,
-    /// Sessions parked warm when their clients vanished.
-    pub disconnect_parked: u64,
-    /// Dropping all N clients → `live == 0` (milliseconds).
-    pub drain_ms: f64,
-    /// `NetServer::shutdown` wall time (milliseconds).
-    pub shutdown_ms: f64,
-}
+const IDLE: Duration = Duration::from_secs(600);
 
 /// Reads `VmRSS` (kB) and `Threads` for this process. Returns zeros on
 /// non-Linux /proc layouts so the experiment still runs (memory columns
@@ -128,18 +61,9 @@ pub fn net_scale_templates() -> Vec<Arc<QuerySpec>> {
     ]
 }
 
-fn sorted_stats(mut us: Vec<f64>) -> (f64, f64, f64) {
-    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let mean = us.iter().sum::<f64>() / us.len().max(1) as f64;
-    let p50 = us.get(us.len() / 2).copied().unwrap_or(0.0);
-    let max = us.last().copied().unwrap_or(0.0);
-    (mean, p50, max)
-}
-
-/// Runs the experiment at `requested` connections, clamped to what the
-/// file-descriptor limit allows (each held connection costs two fds in
-/// this single-process harness: the client socket and the server socket).
-pub fn net_scale_experiment(requested: usize, fast: bool) -> NetScaleReport {
+/// Runs the hold sequence at `requested` connections (clamped by the fd
+/// limit) and records every capacity figure into `trial`.
+fn run_hold(requested: usize, fast: bool, trial: &mut Trial) {
     let nofile_soft = moqo_poll::raise_nofile_limit(requested as u64 * 2 + 512).unwrap_or(1024);
     let usable = (nofile_soft.saturating_sub(256) / 2) as usize;
     let connections = requested.min(usable).max(1);
@@ -191,8 +115,8 @@ pub fn net_scale_experiment(requested: usize, fast: bool) -> NetScaleReport {
     // Connect and submit the whole fleet; each session runs its (tiny)
     // resolution ladder and then sits idle awaiting commands.
     let mut clients: Vec<NetClient> = Vec::with_capacity(connections);
-    let mut connect_us: Vec<f64> = Vec::with_capacity(connections);
-    let mut admit_us: Vec<f64> = Vec::with_capacity(connections);
+    let mut connect_us = Samples::with_capacity(connections);
+    let mut admit_us = Samples::with_capacity(connections);
     for i in 0..connections {
         let t0 = Instant::now();
         let mut client = NetClient::connect(addr).expect("connect over loopback");
@@ -212,7 +136,7 @@ pub fn net_scale_experiment(requested: usize, fast: bool) -> NetScaleReport {
 
     // Drain every client to its first frontier and first report: this
     // proves end-to-end delivery for all N streams, not just admission.
-    let mut zero_plan_starts = 0usize;
+    let mut zero_plan_starts = 0u64;
     for client in &mut clients {
         while client.view().frontier.is_empty() || client.view().first_report.is_none() {
             client.recv(IDLE).expect("healthy stream");
@@ -267,39 +191,51 @@ pub fn net_scale_experiment(requested: usize, fast: bool) -> NetScaleReport {
     net.shutdown();
     let shutdown_ms = t_stop.elapsed().as_secs_f64() * 1e3;
 
-    let (connect_mean_us, connect_p50_us, connect_max_us) = sorted_stats(connect_us);
-    let (admit_mean_us, admit_p50_us, admit_max_us) = sorted_stats(admit_us);
-    NetScaleReport {
-        connections,
-        requested,
-        nofile_soft,
-        templates: templates.len(),
-        connect_mean_us,
-        connect_p50_us,
-        connect_max_us,
-        admit_mean_us,
-        admit_p50_us,
-        admit_max_us,
-        zero_plan_starts,
-        rss_before_kb,
-        rss_held_kb,
-        kb_per_conn: rss_held_kb.saturating_sub(rss_before_kb) as f64 / connections as f64,
-        threads_before,
-        threads_held,
-        live_held: held.live,
-        live_after_hold: after_hold.live,
-        hold_ms,
-        faulted: end.faulted,
-        stalled: end.stalled,
-        coalesced_events: end.coalesced_events,
-        outbound_high_water: end.outbound_high_water,
-        frames_in: end.frames_in,
-        frames_out: end.frames_out,
-        accepted: end.accepted,
-        disconnect_parked: end.disconnect_parked,
-        drain_ms,
-        shutdown_ms,
-    }
+    trial.int("connections", connections as u64);
+    trial.int("requested", requested as u64);
+    trial.int("nofile_soft", nofile_soft);
+    trial.int("templates", templates.len() as u64);
+    trial.summary_us("connect_", Summary::of_or_zero(&connect_us));
+    trial.summary_us("admit_", Summary::of_or_zero(&admit_us));
+    trial.int("zero_plan_starts", zero_plan_starts);
+    trial.int("rss_before_kb", rss_before_kb);
+    trial.int("rss_held_kb", rss_held_kb);
+    // Process-wide userspace growth per held connection.
+    trial.num_lower(
+        "kb_per_conn",
+        rss_held_kb.saturating_sub(rss_before_kb) as f64 / connections as f64,
+    );
+    trial.int("threads_before", threads_before);
+    trial.int("threads_held", threads_held);
+    trial.int("live_held", held.live);
+    trial.int("live_after_hold", after_hold.live);
+    trial.int("hold_ms", hold_ms);
+    trial.int_lower("faulted", end.faulted);
+    trial.int_lower("stalled", end.stalled);
+    trial.int("coalesced_events", end.coalesced_events);
+    trial.int("outbound_high_water", end.outbound_high_water);
+    trial.int("frames_in", end.frames_in);
+    trial.int("frames_out", end.frames_out);
+    trial.int("accepted", end.accepted);
+    trial.int("disconnect_parked", end.disconnect_parked);
+    trial.num_lower("drain_ms", drain_ms);
+    trial.num_lower("shutdown_ms", shutdown_ms);
+}
+
+/// Runs the experiment at `requested` connections, clamped to what the
+/// file-descriptor limit allows (each held connection costs two fds in
+/// this single-process harness: the client socket and the server socket).
+pub fn net_scale_experiment(requested: usize, fast: bool) -> ExperimentReport {
+    Experiment::new("net-scale", fast, || ())
+        .title(format!(
+            "net-scale: holding {requested} idle sessions on one event loop"
+        ))
+        .variant("capacity", "hold", move |_, t| run_hold(requested, fast, t))
+        .conclusion(
+            "N connections, zero new threads, bounded per-connection memory; \
+             the bulk disconnect parks every session warm.",
+        )
+        .run()
 }
 
 #[cfg(test)]
@@ -308,19 +244,25 @@ mod tests {
 
     #[test]
     fn holds_an_idle_fleet_without_per_connection_threads() {
-        let n = 192;
-        let report = net_scale_experiment(n, true);
-        assert_eq!(report.connections, n, "fd limit clamped the smoke run");
-        assert_eq!(report.live_held, n as u64);
-        assert_eq!(report.live_after_hold, n as u64, "sessions died while idle");
-        assert_eq!(report.faulted, 0);
-        assert_eq!(report.stalled, 0);
+        let n = 192u64;
+        let report = net_scale_experiment(n as usize, true);
+        let counter = |key: &str| report.metric("hold", key).unwrap().as_u64().unwrap();
+        assert_eq!(counter("connections"), n, "fd limit clamped the smoke run");
+        assert_eq!(counter("live_held"), n);
+        assert_eq!(counter("live_after_hold"), n, "sessions died while idle");
+        assert_eq!(counter("faulted"), 0);
+        assert_eq!(counter("stalled"), 0);
         // The capacity claim: N connections, zero new threads.
-        assert_eq!(report.threads_held, report.threads_before);
+        assert_eq!(counter("threads_held"), counter("threads_before"));
         // Every session delivered its first frontier; repeats of the
         // four templates must hit the warm cache at least sometimes.
-        assert!(report.zero_plan_starts > 0);
-        assert_eq!(report.disconnect_parked, n as u64);
-        assert!(report.shutdown_ms < 1000.0);
+        assert!(counter("zero_plan_starts") > 0);
+        assert_eq!(counter("disconnect_parked"), n);
+        let shutdown_ms = report
+            .metric("hold", "shutdown_ms")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(shutdown_ms < 1000.0);
     }
 }

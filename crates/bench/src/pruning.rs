@@ -28,38 +28,19 @@ use moqo_cost::{Bounds, CostVector, ResolutionSchedule};
 use moqo_costmodel::{CostModel, MetricSet, StandardCostModel, StandardCostModelConfig};
 use moqo_index::{dominance_scan_scalar, CellGrid, Entry, PlanIndex};
 use moqo_query::{testkit, QuerySpec};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+use crate::harness::{Experiment, ExperimentReport, Trial};
+use crate::stats::{Samples, Summary};
+use crate::workload::XorShift;
 
 /// Cost-metric dimensionalities the kernel microbench sweeps.
 pub const KERNEL_DIMS: &[usize] = &[2, 3, 6];
 
 /// Grid-cell populations the kernel microbench sweeps.
 pub const KERNEL_CELL_SIZES: &[usize] = &[8, 64, 512];
-
-/// A tiny deterministic xorshift generator so the benchmark inputs are
-/// reproducible without external crates in library code.
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> Self {
-        Self(seed | 1)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-
-    /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-}
 
 /// Builds a cell grid with exactly `cells` populated cells of
 /// `cell_size` entries each: cell `c` gets the per-metric log-bucket
@@ -101,40 +82,11 @@ pub fn build_pruning_grid(
     (grid, target)
 }
 
-/// One (dim, cell size) point of the kernel microbench.
-#[derive(Clone, Debug)]
-pub struct KernelMeasurement {
-    /// Cost dimensionality.
-    pub dim: usize,
-    /// Entries per grid cell.
-    pub cell_size: usize,
-    /// Populated cells in the grid.
-    pub cells: usize,
-    /// Total entries scanned per pass (`cells * cell_size`).
-    pub entries: usize,
-    /// Median nanoseconds per full scalar-visitor scan.
-    pub scalar_ns: f64,
-    /// Median nanoseconds per full batched-lane scan.
-    pub batch_ns: f64,
-    /// Scalar cost-vector comparisons per second (entries / scan time).
-    pub scalar_comparisons_per_sec: f64,
-    /// Batched cost-vector comparisons per second.
-    pub batch_comparisons_per_sec: f64,
-    /// `scalar_ns / batch_ns`.
-    pub speedup: f64,
-}
-
-/// Median of a small sample (consumes and sorts it).
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs[xs.len() / 2]
-}
-
-/// Times `scan` (which performs one full pass over `entries` entries)
-/// and returns its median ns/pass over `samples` samples of `reps`
-/// passes each.
+/// Times `scan` (which performs one full pass over the grid) and
+/// returns its median ns/pass over `samples` samples of `reps` passes
+/// each.
 fn time_scans(mut scan: impl FnMut() -> f64, reps: usize, samples: usize) -> f64 {
-    let mut per_pass = Vec::with_capacity(samples);
+    let mut per_pass = Samples::with_capacity(samples);
     for _ in 0..samples {
         let t = Instant::now();
         let mut sink = 0.0;
@@ -145,81 +97,44 @@ fn time_scans(mut scan: impl FnMut() -> f64, reps: usize, samples: usize) -> f64
         assert!(sink.is_finite());
         per_pass.push(ns);
     }
-    median(per_pass)
+    Summary::of_or_zero(&per_pass).p50
 }
 
-/// Runs the kernel microbench sweep ([`KERNEL_DIMS`] ×
-/// [`KERNEL_CELL_SIZES`]).
-pub fn kernel_measurements(fast: bool) -> Vec<KernelMeasurement> {
+/// Measures one (dim, cell size) point: median ns per full scan, both
+/// paths, plus derived throughput and speedup.
+fn measure_kernel_point(dim: usize, cell_size: usize, fast: bool, trial: &mut Trial) {
     let (samples, target_total) = if fast { (3, 1024) } else { (5, 4096) };
-    let mut out = Vec::new();
-    for &dim in KERNEL_DIMS {
-        for &cell_size in KERNEL_CELL_SIZES {
-            let cells = (target_total / cell_size).clamp(1, 256);
-            let entries = cells * cell_size;
-            let (grid, target) = build_pruning_grid(dim, cells, cell_size, 0x5eed + dim as u64);
-            let bounds = Bounds::unbounded(dim);
-            let reps = (2_000_000 / entries).max(8);
-            // Full scans: a negative-infinity threshold never triggers
-            // the early exit, so both paths walk every entry.
-            let scalar_ns = time_scans(
-                || {
-                    dominance_scan_scalar(
-                        &grid,
-                        &bounds,
-                        0,
-                        &target,
-                        f64::NEG_INFINITY,
-                        &mut |_| true,
-                    )
-                    .best_factor
-                },
-                reps,
-                samples,
-            );
-            let batch_ns = time_scans(
-                || {
-                    grid.dominance_scan(&bounds, 0, &target, f64::NEG_INFINITY, &mut |_| true)
-                        .best_factor
-                },
-                reps,
-                samples,
-            );
-            let per_sec = |ns: f64| entries as f64 / (ns * 1e-9);
-            out.push(KernelMeasurement {
-                dim,
-                cell_size,
-                cells,
-                entries,
-                scalar_ns,
-                batch_ns,
-                scalar_comparisons_per_sec: per_sec(scalar_ns),
-                batch_comparisons_per_sec: per_sec(batch_ns),
-                speedup: scalar_ns / batch_ns,
-            });
-        }
-    }
-    out
-}
-
-/// End-to-end prune-path profile of one refinement ladder.
-#[derive(Clone, Debug)]
-pub struct PruneShareRow {
-    /// Query name.
-    pub query: String,
-    /// Whether the batched kernels were enabled.
-    pub batch_kernels: bool,
-    /// Total seconds across the ladder.
-    pub total_seconds: f64,
-    /// Seconds spent inside the pruning witness search.
-    pub prune_seconds: f64,
-    /// `prune_seconds / total_seconds`.
-    pub prune_share: f64,
-    /// Cost-vector comparisons charged to pruning (block-granular for
-    /// the batched path).
-    pub prune_comparisons: u64,
-    /// `prune_comparisons / prune_seconds`.
-    pub comparisons_per_sec: f64,
+    let cells = (target_total / cell_size).clamp(1, 256);
+    let entries = cells * cell_size;
+    let (grid, target) = build_pruning_grid(dim, cells, cell_size, 0x5eed + dim as u64);
+    let bounds = Bounds::unbounded(dim);
+    let reps = (2_000_000 / entries).max(8);
+    // Full scans: a negative-infinity threshold never triggers the
+    // early exit, so both paths walk every entry.
+    let scalar_ns = time_scans(
+        || {
+            dominance_scan_scalar(&grid, &bounds, 0, &target, f64::NEG_INFINITY, &mut |_| true)
+                .best_factor
+        },
+        reps,
+        samples,
+    );
+    let batch_ns = time_scans(
+        || {
+            grid.dominance_scan(&bounds, 0, &target, f64::NEG_INFINITY, &mut |_| true)
+                .best_factor
+        },
+        reps,
+        samples,
+    );
+    let per_sec = |ns: f64| entries as f64 / (ns * 1e-9);
+    trial.int("cells", cells as u64);
+    trial.int("entries", entries as u64);
+    trial.num_lower("scalar_ns", scalar_ns);
+    trial.num_lower("batch_ns", batch_ns);
+    trial.num_higher("scalar_cmp_per_sec", per_sec(scalar_ns));
+    trial.num_higher("batch_cmp_per_sec", per_sec(batch_ns));
+    trial.num("speedup", scalar_ns / batch_ns);
 }
 
 /// The lean cost model used for enumeration-plane and pruning profiles:
@@ -237,59 +152,102 @@ fn lean_model() -> StandardCostModel {
     )
 }
 
-/// Runs full refinement ladders with pruning timed, batched kernels on
-/// and off, over a mixed topology workload. Panics if the two modes
-/// disagree on a single frontier byte — the kernels must change time,
-/// never bytes.
-pub fn prune_share_rows(fast: bool) -> Vec<PruneShareRow> {
-    let model = Arc::new(lean_model());
-    let schedule = ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.05, 0.5);
+/// The mixed topology workload the prune-share ladders run.
+fn share_specs(fast: bool) -> Vec<Arc<QuerySpec>> {
     let n = if fast { 7 } else { 9 };
-    let specs: Vec<QuerySpec> = vec![
-        testkit::chain_query(n, 100_000),
-        testkit::star_query(if fast { 5 } else { 7 }, 100_000),
-        testkit::clique_query(if fast { 4 } else { 6 }, 1000),
-    ];
-    let bounds = Bounds::unbounded(model.dim());
-    let mut out = Vec::new();
-    for spec in &specs {
-        let mut frontiers = Vec::new();
-        for batch in [true, false] {
-            let config = IamaConfig {
-                use_batch_kernels: batch,
-                time_pruning: true,
-                ..IamaConfig::default()
-            };
-            let mut opt = IamaOptimizer::with_config(
-                Arc::new(spec.clone()),
-                model.clone(),
-                schedule.clone(),
-                config,
-            );
-            let mut total_seconds = 0.0;
-            for r in 0..=schedule.r_max() {
-                total_seconds += opt.optimize(&bounds, r).seconds();
-            }
-            let stats = opt.stats();
-            let prune_seconds = stats.prune_nanos as f64 * 1e-9;
-            out.push(PruneShareRow {
-                query: spec.name.clone(),
-                batch_kernels: batch,
-                total_seconds,
-                prune_seconds,
-                prune_share: prune_seconds / total_seconds.max(1e-12),
-                prune_comparisons: stats.prune_comparisons,
-                comparisons_per_sec: stats.prune_comparisons as f64 / prune_seconds.max(1e-12),
-            });
-            frontiers.push(opt.frontier(&bounds, schedule.r_max()));
-        }
-        assert!(
-            frontiers[0].bits_eq(&frontiers[1]),
-            "{}: batched and scalar pruning disagree on frontier bytes",
-            spec.name
-        );
+    vec![
+        Arc::new(testkit::chain_query(n, 100_000)),
+        Arc::new(testkit::star_query(if fast { 5 } else { 7 }, 100_000)),
+        Arc::new(testkit::clique_query(if fast { 4 } else { 6 }, 1000)),
+    ]
+}
+
+/// Frontiers the batched ladders produced, keyed by query name, so the
+/// scalar twin of each query can assert byte-equality.
+struct PruningState {
+    fast: bool,
+    model: Arc<StandardCostModel>,
+    frontiers: HashMap<String, moqo_core::FrontierSnapshot>,
+}
+
+/// Runs one full ladder with pruning timed and records the prune-path
+/// profile; returns the final frontier for the bits_eq cross-check.
+fn run_share_ladder(
+    state: &PruningState,
+    spec: &Arc<QuerySpec>,
+    batch: bool,
+    trial: &mut Trial,
+) -> moqo_core::FrontierSnapshot {
+    let schedule = ResolutionSchedule::linear(if state.fast { 2 } else { 4 }, 1.05, 0.5);
+    let bounds = Bounds::unbounded(state.model.dim());
+    let config = IamaConfig {
+        use_batch_kernels: batch,
+        time_pruning: true,
+        ..IamaConfig::default()
+    };
+    let mut opt =
+        IamaOptimizer::with_config(spec.clone(), state.model.clone(), schedule.clone(), config);
+    let mut total_seconds = 0.0;
+    for r in 0..=schedule.r_max() {
+        total_seconds += opt.optimize(&bounds, r).seconds();
     }
-    out
+    let stats = opt.stats();
+    let prune_seconds = stats.prune_nanos as f64 * 1e-9;
+    trial.num_lower("total_s", total_seconds);
+    trial.num_lower("prune_s", prune_seconds);
+    trial.num("prune_share", prune_seconds / total_seconds.max(1e-12));
+    trial.int("prune_comparisons", stats.prune_comparisons);
+    trial.num_higher(
+        "cmp_per_sec",
+        stats.prune_comparisons as f64 / prune_seconds.max(1e-12),
+    );
+    opt.frontier(&bounds, schedule.r_max())
+}
+
+/// The pruning experiment: the kernel sweep ([`KERNEL_DIMS`] ×
+/// [`KERNEL_CELL_SIZES`]) and the end-to-end prune-share ladders
+/// (batched kernels on versus off, per query). Panics if the two ladder
+/// modes disagree on a single frontier byte — the kernels must change
+/// time, never bytes.
+pub fn pruning_experiment(fast: bool) -> ExperimentReport {
+    let mut exp = Experiment::new("pruning", fast, move || PruningState {
+        fast,
+        model: Arc::new(lean_model()),
+        frontiers: HashMap::new(),
+    })
+    .title("dominance-scan pruning: batched lanes vs the scalar visitor");
+    for &dim in KERNEL_DIMS {
+        for &cell_size in KERNEL_CELL_SIZES {
+            exp = exp.variant(
+                "kernel microbench",
+                format!("dim{dim} cell{cell_size}"),
+                move |_, t| measure_kernel_point(dim, cell_size, fast, t),
+            );
+        }
+    }
+    for spec in share_specs(fast) {
+        let name = spec.name.clone();
+        let batch_spec = spec.clone();
+        exp = exp
+            .variant("prune share", format!("{name} batch"), move |s, t| {
+                let frontier = run_share_ladder(s, &batch_spec, true, t);
+                s.frontiers.insert(batch_spec.name.clone(), frontier);
+            })
+            .variant("prune share", format!("{name} scalar"), move |s, t| {
+                let frontier = run_share_ladder(s, &spec, false, t);
+                let batched = &s.frontiers[&spec.name];
+                assert!(
+                    frontier.bits_eq(batched),
+                    "{}: batched and scalar pruning disagree on frontier bytes",
+                    spec.name
+                );
+            });
+    }
+    exp.conclusion(
+        "batched struct-of-arrays lanes outscan the dyn visitor at every \
+         (dim, cell size) point, and the two paths stay bit-identical.",
+    )
+    .run()
 }
 
 #[cfg(test)]

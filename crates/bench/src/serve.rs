@@ -18,26 +18,8 @@ use moqo_serve::{GlobalSessionId, ShardConfig, ShardedEngine};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Latency and warm-hit figures for one pass over the workload.
-#[derive(Clone, Debug)]
-pub struct ServingPhaseReport {
-    /// `"cold"` or `"warm"`.
-    pub label: &'static str,
-    /// Sessions submitted.
-    pub sessions: usize,
-    /// Distinct fingerprints in the workload.
-    pub distinct: usize,
-    /// Mean submit→first-frontier latency (microseconds).
-    pub mean_us: f64,
-    /// Median latency (microseconds).
-    pub p50_us: f64,
-    /// Worst latency (microseconds).
-    pub max_us: f64,
-    /// Submissions routed to a shard already parking their frontier.
-    pub warm_routed: u64,
-    /// Sessions whose first invocation generated zero plans.
-    pub zero_plan_starts: usize,
-}
+use crate::harness::{Experiment, ExperimentReport, Trial};
+use crate::stats::{Samples, Summary};
 
 /// A skewed fingerprint workload: template `k` repeats ~`16/(k+1)` times.
 pub fn serving_workload(fast: bool) -> Vec<Arc<QuerySpec>> {
@@ -64,17 +46,19 @@ pub fn serving_workload(fast: bool) -> Vec<Arc<QuerySpec>> {
     specs
 }
 
+struct ServeState {
+    engine: ShardedEngine,
+    specs: Vec<Arc<QuerySpec>>,
+}
+
 /// Submits the workload and records submit→first-frontier latency per
 /// session via the per-session watch channels (no engine-global waits on
 /// the measurement path). Each channel delivers delta-streamed
 /// [`moqo_serve::SessionEvent`]s; a client-side
 /// [`moqo_serve::SessionView`] reassembles them exactly as a remote UI
 /// would.
-fn run_phase(
-    engine: &ShardedEngine,
-    specs: &[Arc<QuerySpec>],
-    label: &'static str,
-) -> ServingPhaseReport {
+fn run_phase(state: &mut ServeState, trial: &mut Trial) {
+    let (engine, specs) = (&state.engine, &state.specs);
     let warm_before: u64 = engine.shard_stats().iter().map(|s| s.warm_routed).sum();
     let mut watchers: Vec<(
         GlobalSessionId,
@@ -90,7 +74,7 @@ fn run_phase(
     }
     // Round-robin over the channels until every session showed a frontier.
     let mut latency = vec![None::<Duration>; watchers.len()];
-    let mut zero_plan_starts = 0usize;
+    let mut zero_plan_starts = 0u64;
     let deadline = Instant::now() + Duration::from_secs(600);
     while latency.iter().any(Option::is_none) {
         assert!(Instant::now() < deadline, "serving experiment stalled");
@@ -123,11 +107,10 @@ fn run_phase(
     for (gid, _, _, _) in &watchers {
         engine.finish(*gid);
     }
-    let mut us: Vec<f64> = latency
+    let us: Samples = latency
         .into_iter()
         .map(|d| d.expect("measured").as_secs_f64() * 1e6)
         .collect();
-    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let distinct = {
         let mut fps: Vec<u64> = specs
             .iter()
@@ -138,38 +121,41 @@ fn run_phase(
         fps.len()
     };
     let warm_after: u64 = engine.shard_stats().iter().map(|s| s.warm_routed).sum();
-    ServingPhaseReport {
-        label,
-        sessions: specs.len(),
-        distinct,
-        mean_us: us.iter().sum::<f64>() / us.len() as f64,
-        p50_us: us[us.len() / 2],
-        max_us: us.last().copied().unwrap_or(0.0),
-        warm_routed: warm_after - warm_before,
-        zero_plan_starts,
-    }
+    trial.int("sessions", specs.len() as u64);
+    trial.int("distinct", distinct as u64);
+    trial.summary_us("", Summary::of_or_zero(&us));
+    trial.int_higher("warm_routed", warm_after - warm_before);
+    trial.int("zero_plan_starts", zero_plan_starts);
 }
 
 /// Runs the cold pass and the warm pass over one sharded engine.
-pub fn serving_experiment(fast: bool) -> Vec<ServingPhaseReport> {
-    let engine = ShardedEngine::new(
-        Arc::new(StandardCostModel::paper_metrics()),
-        ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.02, 0.4),
-        ShardConfig {
-            shards: 4,
-            engine: EngineConfig {
-                workers: 2,
-                ..EngineConfig::default()
+pub fn serving_experiment(fast: bool) -> ExperimentReport {
+    Experiment::new("serve", fast, move || {
+        let engine = ShardedEngine::new(
+            Arc::new(StandardCostModel::paper_metrics()),
+            ResolutionSchedule::linear(if fast { 2 } else { 4 }, 1.02, 0.4),
+            ShardConfig {
+                shards: 4,
+                engine: EngineConfig {
+                    workers: 2,
+                    ..EngineConfig::default()
+                },
+                rebalance_headroom: 8,
             },
-            rebalance_headroom: 8,
-        },
-    );
-    let specs = serving_workload(fast);
+        );
+        let specs = serving_workload(fast);
+        ServeState { engine, specs }
+    })
+    .title("sharded serving: submit -> first frontier under a skewed workload")
     // Cold pass: every fingerprint is new; frontiers park on finish.
-    let cold = run_phase(&engine, &specs, "cold");
     // Warm pass: repeats resume parked frontiers on their warm shards.
-    let warm = run_phase(&engine, &specs, "warm");
-    vec![cold, warm]
+    .variant("serving latency", "cold", run_phase)
+    .variant("serving latency", "warm", run_phase)
+    .conclusion(
+        "hot fingerprints resume from parked frontiers on their home shards; \
+         warm-routed sessions start with zero plan generation.",
+    )
+    .run()
 }
 
 #[cfg(test)]
@@ -178,22 +164,29 @@ mod tests {
 
     #[test]
     fn warm_pass_serves_from_parked_frontiers() {
-        let reports = serving_experiment(true);
-        assert_eq!(reports.len(), 2);
-        let (cold, warm) = (&reports[0], &reports[1]);
-        assert_eq!(cold.sessions, warm.sessions);
-        assert_eq!(cold.warm_routed, 0, "first sight cannot be warm");
-        assert_eq!(cold.zero_plan_starts, 0);
+        let report = serving_experiment(true);
+        let counter = |label: &str, key: &str| report.metric(label, key).unwrap().as_u64().unwrap();
+        assert_eq!(counter("cold", "sessions"), counter("warm", "sessions"));
+        assert_eq!(
+            counter("cold", "warm_routed"),
+            0,
+            "first sight cannot be warm"
+        );
+        assert_eq!(counter("cold", "zero_plan_starts"), 0);
         // The cold pass parked each fingerprint at least once (rebalanced
         // duplicates may have parked copies on several shards). The warm
         // pass resumes every parked copy — `take` transfers ownership, so
         // concurrent duplicates beyond the parked copies run cold — and
         // exactly the warm-routed sessions start with zero plans.
         assert!(
-            warm.warm_routed >= warm.distinct as u64,
-            "every distinct fingerprint must resume warm at least once: {warm:?}"
+            counter("warm", "warm_routed") >= counter("warm", "distinct"),
+            "every distinct fingerprint must resume warm at least once"
         );
-        assert_eq!(warm.zero_plan_starts as u64, warm.warm_routed);
-        assert!(cold.mean_us > 0.0 && warm.mean_us > 0.0);
+        assert_eq!(
+            counter("warm", "zero_plan_starts"),
+            counter("warm", "warm_routed")
+        );
+        let mean = |label: &str| report.metric(label, "mean_us").unwrap().as_f64().unwrap();
+        assert!(mean("cold") > 0.0 && mean("warm") > 0.0);
     }
 }

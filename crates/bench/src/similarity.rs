@@ -27,30 +27,8 @@ use moqo_serve::{GlobalSessionId, ShardConfig, ShardedEngine};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Latency and plan-work figures for one pass of the experiment.
-#[derive(Clone, Debug)]
-pub struct SimilarityPhaseReport {
-    /// `"cold"`, `"exact-warm"`, `"transplant"`, or `"rebase"`.
-    pub label: &'static str,
-    /// Sessions submitted (one per recipient query).
-    pub sessions: usize,
-    /// Mean submit→first-frontier latency (microseconds).
-    pub mean_us: f64,
-    /// Median latency (microseconds).
-    pub p50_us: f64,
-    /// Worst latency (microseconds).
-    pub max_us: f64,
-    /// Plans generated across all sessions *during this phase*.
-    pub plans_generated: u64,
-    /// Sessions whose first invocation generated zero plans.
-    pub zero_plan_starts: usize,
-    /// Sessions that started from a stats-drift rebase.
-    pub rebased_sessions: usize,
-    /// Sessions seeded from at least one transplanted sub-frontier.
-    pub transplanted_sessions: usize,
-    /// Table subsets seeded across all sessions of the phase.
-    pub seeded_subsets: u64,
-}
+use crate::harness::{Experiment, ExperimentReport, Trial};
+use crate::stats::{Samples, Summary};
 
 fn engine(fast: bool) -> ShardedEngine {
     ShardedEngine::new(
@@ -92,16 +70,35 @@ pub fn similarity_recipients(fast: bool) -> Vec<Arc<QuerySpec>> {
     specs
 }
 
+/// Figures extracted from one pass (priming passes discard them).
+struct PhaseFigures {
+    sessions: usize,
+    us: Samples,
+    plans_generated: u64,
+    zero_plan_starts: u64,
+    rebased_sessions: u64,
+    transplanted_sessions: u64,
+    seeded_subsets: u64,
+}
+
+impl PhaseFigures {
+    fn record(self, trial: &mut Trial) {
+        trial.int("sessions", self.sessions as u64);
+        trial.summary_us("", Summary::of_or_zero(&self.us));
+        trial.int_lower("plans_generated", self.plans_generated);
+        trial.int("zero_plan_starts", self.zero_plan_starts);
+        trial.int("rebased_sessions", self.rebased_sessions);
+        trial.int("transplanted_sessions", self.transplanted_sessions);
+        trial.int("seeded_subsets", self.seeded_subsets);
+    }
+}
+
 /// Submits `specs`, recording submit→first-frontier latency per session
 /// and folding each session's full watch stream to sum the plans its
 /// invocations generated within this phase. Sessions are finished at the
 /// end of the phase (parking their frontiers and harvesting their
 /// sub-frontiers for the next phase, where applicable).
-fn run_phase(
-    eng: &ShardedEngine,
-    specs: &[Arc<QuerySpec>],
-    label: &'static str,
-) -> SimilarityPhaseReport {
+fn run_phase(eng: &ShardedEngine, specs: &[Arc<QuerySpec>]) -> PhaseFigures {
     let mut watchers: Vec<(
         GlobalSessionId,
         Instant,
@@ -116,7 +113,7 @@ fn run_phase(
     }
     let mut latency = vec![None::<Duration>; watchers.len()];
     let mut plans = vec![0u64; watchers.len()];
-    let mut zero_plan_starts = 0usize;
+    let mut zero_plan_starts = 0u64;
     let deadline = Instant::now() + Duration::from_secs(600);
     while latency.iter().any(Option::is_none) {
         assert!(Instant::now() < deadline, "similarity experiment stalled");
@@ -151,8 +148,8 @@ fn run_phase(
     assert!(eng.wait_idle(Duration::from_secs(600)));
     // Drain the remainder of each stream: the ladder kept refining after
     // the first frontier, and that work belongs to this phase too.
-    let mut rebased_sessions = 0usize;
-    let mut transplanted_sessions = 0usize;
+    let mut rebased_sessions = 0u64;
+    let mut transplanted_sessions = 0u64;
     let mut seeded_subsets = 0u64;
     for (i, (gid, _, rx, _)) in watchers.iter().enumerate() {
         while let Ok(event) = rx.try_recv() {
@@ -170,17 +167,13 @@ fn run_phase(
         }
         eng.finish(*gid);
     }
-    let mut us: Vec<f64> = latency
+    let us: Samples = latency
         .into_iter()
         .map(|d| d.expect("measured").as_secs_f64() * 1e6)
         .collect();
-    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    SimilarityPhaseReport {
-        label,
+    PhaseFigures {
         sessions: specs.len(),
-        mean_us: us.iter().sum::<f64>() / us.len() as f64,
-        p50_us: us[us.len() / 2],
-        max_us: us.last().copied().unwrap_or(0.0),
+        us,
         plans_generated: plans.iter().sum(),
         zero_plan_starts,
         rebased_sessions,
@@ -189,37 +182,58 @@ fn run_phase(
     }
 }
 
-/// Runs the four phases and returns their reports in order `cold`,
-/// `exact-warm`, `transplant`, `rebase`.
-pub fn similarity_experiment(fast: bool) -> Vec<SimilarityPhaseReport> {
-    let donors = similarity_donors(fast);
-    let recipients = similarity_recipients(fast);
+/// Shared state across the four variants: the workloads plus the engine
+/// of the moment (fresh engines replace it between warm-start tiers).
+struct SimilarityState {
+    fast: bool,
+    donors: Vec<Arc<QuerySpec>>,
+    recipients: Vec<Arc<QuerySpec>>,
+    engine: ShardedEngine,
+}
 
+/// Runs the four phases `cold`, `exact-warm`, `transplant`, `rebase`.
+pub fn similarity_experiment(fast: bool) -> ExperimentReport {
+    Experiment::new("similarity", fast, move || SimilarityState {
+        fast,
+        donors: similarity_donors(fast),
+        recipients: similarity_recipients(fast),
+        engine: engine(fast),
+    })
+    .title("similar-query warm starts: exact, transplant, and rebase tiers")
     // Phase 1+2: one engine; the recipients run cold, then resubmit as
     // exact repeats against their own parked frontiers.
-    let e = engine(fast);
-    let cold = run_phase(&e, &recipients, "cold");
-    let exact = run_phase(&e, &recipients, "exact-warm");
-
+    .variant("warm-start tiers", "cold", |s, t| {
+        run_phase(&s.engine, &s.recipients).record(t);
+    })
+    .variant("warm-start tiers", "exact-warm", |s, t| {
+        run_phase(&s.engine, &s.recipients).record(t);
+    })
     // Phase 3: a fresh engine that has only ever seen the *donors* — the
     // recipients' fingerprints all miss, but their shared subsets seed
     // from the harvested donor sub-frontiers.
-    let e = engine(fast);
-    run_phase(&e, &donors, "donor-prime");
-    let transplant = run_phase(&e, &recipients, "transplant");
-
+    .variant("warm-start tiers", "transplant", |s, t| {
+        s.engine = engine(s.fast);
+        run_phase(&s.engine, &s.donors);
+        run_phase(&s.engine, &s.recipients).record(t);
+    })
     // Phase 4: a fresh engine primed with the recipients under *stale*
     // statistics, then replayed under a 5% cardinality drift — exact
     // fingerprints miss, the cardinality-blind rebase tier hits.
-    let e = engine(fast);
-    run_phase(&e, &recipients, "stale-prime");
-    let drifted: Vec<Arc<QuerySpec>> = recipients
-        .iter()
-        .map(|s| Arc::new(testkit::drift_cardinalities(s, 1.05)))
-        .collect();
-    let rebase = run_phase(&e, &drifted, "rebase");
-
-    vec![cold, exact, transplant, rebase]
+    .variant("warm-start tiers", "rebase", |s, t| {
+        s.engine = engine(s.fast);
+        run_phase(&s.engine, &s.recipients);
+        let drifted: Vec<Arc<QuerySpec>> = s
+            .recipients
+            .iter()
+            .map(|spec| Arc::new(testkit::drift_cardinalities(spec, 1.05)))
+            .collect();
+        run_phase(&s.engine, &drifted).record(t);
+    })
+    .conclusion(
+        "exact repeats do zero plan work; transplant and rebase recipients \
+         generate measurably fewer plans than their cold twins.",
+    )
+    .run()
 }
 
 #[cfg(test)]
@@ -228,33 +242,36 @@ mod tests {
 
     #[test]
     fn transplant_and_rebase_beat_cold() {
-        let reports = similarity_experiment(true);
-        assert_eq!(reports.len(), 4);
-        let (cold, exact, transplant, rebase) =
-            (&reports[0], &reports[1], &reports[2], &reports[3]);
-        assert_eq!(cold.rebased_sessions, 0);
-        assert_eq!(cold.transplanted_sessions, 0);
-        assert!(cold.plans_generated > 0);
+        let report = similarity_experiment(true);
+        let counter = |label: &str, key: &str| report.metric(label, key).unwrap().as_u64().unwrap();
+        assert_eq!(counter("cold", "rebased_sessions"), 0);
+        assert_eq!(counter("cold", "transplanted_sessions"), 0);
+        assert!(counter("cold", "plans_generated") > 0);
         // Exact repeats do no plan work at all.
-        assert_eq!(exact.plans_generated, 0);
-        assert_eq!(exact.zero_plan_starts, exact.sessions);
+        assert_eq!(counter("exact-warm", "plans_generated"), 0);
+        assert_eq!(
+            counter("exact-warm", "zero_plan_starts"),
+            counter("exact-warm", "sessions")
+        );
         // Every recipient seeds from donor sub-frontiers and generates
         // measurably fewer plans than its cold twin.
-        assert_eq!(transplant.transplanted_sessions, transplant.sessions);
-        assert!(transplant.seeded_subsets as usize >= transplant.sessions);
+        assert_eq!(
+            counter("transplant", "transplanted_sessions"),
+            counter("transplant", "sessions")
+        );
+        assert!(counter("transplant", "seeded_subsets") >= counter("transplant", "sessions"));
         assert!(
-            transplant.plans_generated < cold.plans_generated,
-            "transplant {} !< cold {}",
-            transplant.plans_generated,
-            cold.plans_generated
+            counter("transplant", "plans_generated") < counter("cold", "plans_generated"),
+            "transplant must beat cold"
         );
         // Every drifted replay rebases and also beats cold regeneration.
-        assert_eq!(rebase.rebased_sessions, rebase.sessions);
+        assert_eq!(
+            counter("rebase", "rebased_sessions"),
+            counter("rebase", "sessions")
+        );
         assert!(
-            rebase.plans_generated < cold.plans_generated,
-            "rebase {} !< cold {}",
-            rebase.plans_generated,
-            cold.plans_generated
+            counter("rebase", "plans_generated") < counter("cold", "plans_generated"),
+            "rebase must beat cold"
         );
     }
 }

@@ -1,0 +1,212 @@
+//! The single summary-statistics implementation for the bench crate.
+//!
+//! Every experiment used to carry its own copy of the sort-and-index
+//! percentile helper; several of those copies indexed past the end of an
+//! empty vector and all of them sorted with
+//! `partial_cmp(..).unwrap()`, which panics on NaN. This module replaces
+//! them: samples assert finiteness at collection time (where the broken
+//! measurement is still attributable), sorting uses the total order on
+//! `f64`, and summarizing an empty sample set returns `None` instead of
+//! panicking.
+
+/// A growing set of finite `f64` samples.
+///
+/// `push` rejects non-finite values immediately so a broken timer or a
+/// divide-by-zero in metric extraction fails at the collection site,
+/// not later inside a sort comparator three modules away.
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sized empty sample set.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            values: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records one sample. Panics if `v` is NaN or infinite: a
+    /// non-finite measurement is a bug in the experiment, and the
+    /// collection site is where it can still be attributed.
+    pub fn push(&mut self, v: f64) {
+        assert!(
+            v.is_finite(),
+            "non-finite sample {v} collected; fix the measurement, \
+             not the summary"
+        );
+        self.values.push(v);
+    }
+
+    /// Number of samples collected so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Read-only view of the raw samples (unsorted, insertion order).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+/// Mean / p50 / p99 / max over a sample set, plus the count.
+///
+/// Percentiles use the nearest-rank method on a `f64::total_cmp`-sorted
+/// copy, so `p50` of an even-length set is the upper median (matching
+/// the `xs[len / 2]` convention the old per-experiment helpers used for
+/// non-empty sets).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (upper median for even-length sets).
+    pub p50: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`, or `None` when there are none — the
+    /// guarded replacement for the old `us[us.len() / 2]` pattern.
+    pub fn of(samples: &Samples) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        Some(Summary {
+            count,
+            mean: sum / count as f64,
+            p50: sorted[count / 2],
+            p99: sorted[nearest_rank(count, 0.99)],
+            max: sorted[count - 1],
+        })
+    }
+
+    /// Like [`Summary::of`], but an empty sample set yields an all-zero
+    /// summary with `count == 0` instead of `None`. Experiments that
+    /// report a table row per phase use this so an empty phase renders
+    /// as zeros rather than aborting the whole run.
+    pub fn of_or_zero(samples: &Samples) -> Summary {
+        Summary::of(samples).unwrap_or(Summary {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        })
+    }
+}
+
+/// Index of the nearest-rank percentile `q` in a sorted set of `count`
+/// samples (`count > 0`, `0.0 < q <= 1.0`).
+fn nearest_rank(count: usize, q: f64) -> usize {
+    let rank = (q * count as f64).ceil() as usize;
+    rank.clamp(1, count) - 1
+}
+
+/// Mean of a finite slice, or `None` when it is empty. Asserts
+/// finiteness of every element (same contract as [`Samples::push`]).
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let sum: f64 = xs
+        .iter()
+        .inspect(|v| assert!(v.is_finite(), "non-finite sample {v} in mean"))
+        .sum();
+    Some(sum / xs.len() as f64)
+}
+
+/// Maximum of a slice under the total order, or `None` when empty.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(f64::total_cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_summarize_to_none_not_a_panic() {
+        let s = Samples::new();
+        assert!(Summary::of(&s).is_none());
+        let z = Summary::of_or_zero(&s);
+        assert_eq!(z.count, 0);
+        assert_eq!(z.p50, 0.0);
+        assert_eq!(z.max, 0.0);
+        assert_eq!(mean(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary() {
+        let s: Samples = [7.5].into_iter().collect();
+        let sum = Summary::of(&s).unwrap();
+        assert_eq!(sum.count, 1);
+        assert_eq!(sum.mean, 7.5);
+        assert_eq!(sum.p50, 7.5);
+        assert_eq!(sum.p99, 7.5);
+        assert_eq!(sum.max, 7.5);
+    }
+
+    #[test]
+    fn even_length_takes_the_upper_median() {
+        // The old per-experiment helpers used xs[len / 2]; keep that
+        // convention so regenerated BENCH files stay comparable.
+        let s: Samples = [4.0, 1.0, 3.0, 2.0].into_iter().collect();
+        let sum = Summary::of(&s).unwrap();
+        assert_eq!(sum.p50, 3.0);
+        assert_eq!(sum.mean, 2.5);
+        assert_eq!(sum.max, 4.0);
+    }
+
+    #[test]
+    fn p99_is_nearest_rank() {
+        let s: Samples = (1..=100).map(f64::from).collect();
+        let sum = Summary::of(&s).unwrap();
+        assert_eq!(sum.p99, 99.0);
+        assert_eq!(sum.max, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn nan_is_rejected_at_collection_time() {
+        let mut s = Samples::new();
+        s.push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn infinity_is_rejected_at_collection_time() {
+        let mut s = Samples::new();
+        s.push(f64::INFINITY);
+    }
+}

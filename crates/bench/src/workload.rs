@@ -3,6 +3,33 @@
 use moqo_cost::ResolutionSchedule;
 use moqo_costmodel::{MetricSet, StandardCostModel, StandardCostModelConfig};
 
+/// A tiny deterministic xorshift generator so benchmark inputs are
+/// reproducible without external crates in library code. Shared by the
+/// pruning grid builder and the traffic-replay/churn experiments.
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeds the generator (`seed | 1`, so zero seeds still cycle).
+    pub fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// The cost model used for figure reproduction: the paper's three metrics
 /// (time, cores, error) over the full operator space, with Postgres-style
 /// fuzzy cost granularity (1 % multiplicative grid, cf. Postgres's

@@ -6,7 +6,7 @@
 //! snapshot store, and the client-side view stays `bits_eq` with the
 //! serving node's frontier across the hand-off.
 
-use moqo_bench::{fleet_experiment, fleet_router_watch};
+use moqo_bench::{fleet_experiment, fleet_router_watch, Value};
 use std::path::Path;
 use std::time::Duration;
 
@@ -15,21 +15,48 @@ fn kill_and_repeat_survives_across_real_processes() {
     // Cargo builds and points us at the sibling binary target.
     let exe = Path::new(env!("CARGO_BIN_EXE_repro"));
     let report = fleet_experiment(exe, true);
-    assert_eq!(report.nodes, 3);
-    assert_eq!(report.phases.len(), 3);
-    let (cold, warm, post) = (&report.phases[0], &report.phases[1], &report.phases[2]);
-    assert_eq!(cold.zero_plan_starts, 0, "first sight cannot be warm");
-    assert_eq!(warm.zero_plan_starts, warm.sessions);
+    let counter = |label: &str, key: &str| report.metric(label, key).unwrap().as_u64().unwrap();
+    assert_eq!(counter("routes", "nodes"), 3);
+    assert_eq!(
+        counter("cold", "zero_plan_starts"),
+        0,
+        "first sight cannot be warm"
+    );
+    assert_eq!(
+        counter("warm", "zero_plan_starts"),
+        counter("warm", "sessions")
+    );
     // The acceptance assertion: repeats stay zero-plan after the kill.
-    assert_eq!(post.zero_plan_starts, post.sessions);
-    assert!(report.orphaned >= 1, "the victim must have owned something");
-    assert_eq!(report.adopted_warm, report.orphaned);
-    assert!(report.view_bits_eq);
+    assert_eq!(
+        counter("post-kill warm", "zero_plan_starts"),
+        counter("post-kill warm", "sessions")
+    );
+    let orphaned = counter("post-kill warm", "orphaned");
+    assert!(orphaned >= 1, "the victim must have owned something");
+    assert_eq!(counter("post-kill warm", "adopted_warm"), orphaned);
+    assert_eq!(
+        report.metric("post-kill warm", "view_bits_eq"),
+        Some(&Value::Bool(true))
+    );
     // Route counters saw every successful submit (3 passes + the
     // dedicated bits_eq session), spread over the node ids.
-    let routed: u64 = report.routes.iter().map(|(_, n)| *n).sum();
-    assert_eq!(routed as usize, 3 * cold.sessions + 1);
-    assert!(report.routes.iter().all(|(id, _)| id.starts_with("node-")));
+    let routes = report
+        .variants
+        .iter()
+        .find(|v| v.label == "routes")
+        .expect("routing summary variant");
+    let routed: u64 = routes
+        .metrics
+        .iter()
+        .filter(|m| m.key.starts_with("routed_"))
+        .map(|m| m.value.as_u64().unwrap())
+        .sum();
+    assert_eq!(routed, 3 * counter("cold", "sessions") + 1);
+    assert!(routes
+        .metrics
+        .iter()
+        .filter(|m| m.key.starts_with("routed_"))
+        .all(|m| m.key.starts_with("routed_node-")));
 }
 
 #[test]
